@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// run exercises the CLI end to end against a store file in a temp dir.
+func cli(t *testing.T, dir string, args ...string) error {
+	t.Helper()
+	full := append([]string{"-d", filepath.Join(dir, "s.odb")}, args...)
+	return run(full)
+}
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "data.csv",
+		"protein1:string,protein2:string,coexpression:integer\nA,B,10\nC,D,20\n")
+
+	steps := [][]string{
+		{"init", "-n", "prot", "-f", csv, "-p", "protein1,protein2"},
+		{"checkout", "prot", "-v", "1", "-t", "work"},
+		{"run", "-q", "UPDATE work SET coexpression = 99 WHERE protein1 = 'A'"},
+		{"commit", "-t", "work", "-m", "bump"},
+		{"log", "prot"},
+		{"diff", "prot", "-v", "1,2"},
+		{"ls"},
+		{"run", "-q", "SELECT vid, count(*) FROM CVD prot GROUP BY vid"},
+		{"run", "-q", "SELECT * FROM VERSION 2 OF CVD prot"},
+		{"explain", "prot", "-v", "1"},
+		{"whoami"},
+		{"create_user", "ann"},
+	}
+	for _, s := range steps {
+		if err := cli(t, dir, s...); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestCLICSVCheckoutCommit(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "d.csv", "k:integer,v:string\n1,a\n")
+	if err := cli(t, dir, "init", "-n", "d", "-f", csv); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "work.csv")
+	if err := cli(t, dir, "checkout", "d", "-v", "1", "-f", out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli(t, dir, "commit", "-f", out, "-m", "recommit"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIOptimize(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "d.csv", "k:integer\n1\n2\n3\n")
+	if err := cli(t, dir, "init", "-n", "d", "-f", csv, "-m", "partitioned-rlist"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cli(t, dir, "checkout", "d", "-v", "1", "-t", "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli(t, dir, "commit", "-t", "w", "-m", "branch"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli(t, dir, "optimize", "d", "-gamma", "2.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli(t, dir, "run", "-q", "SELECT count(*) FROM VERSION 4 OF CVD d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"nope"},
+		{"checkout", "missing", "-v", "1", "-t", "t"},
+		{"drop", "missing"},
+		{"diff", "missing", "-v", "1,2"},
+		{"run", "-q", "SELEC nonsense"},
+		{"commit", "-t", "unstaged"},
+		{"init", "-n", "x"},
+		{"checkout"},
+	}
+	for _, s := range cases {
+		if err := cli(t, dir, s...); err == nil {
+			t.Errorf("%v should fail", s)
+		}
+	}
+}
+
+func TestCLIUserScoping(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "d.csv", "k:integer\n1\n")
+	if err := cli(t, dir, "init", "-n", "d", "-f", csv); err != nil {
+		t.Fatal(err)
+	}
+	// bob checks out; alice cannot commit his table.
+	if err := run([]string{"-d", filepath.Join(dir, "s.odb"), "-u", "bob", "checkout", "d", "-v", "1", "-t", "w"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-d", filepath.Join(dir, "s.odb"), "-u", "alice", "commit", "-t", "w", "-m", "steal"}); err == nil {
+		t.Fatal("cross-user commit allowed")
+	}
+	if err := run([]string{"-d", filepath.Join(dir, "s.odb"), "-u", "bob", "commit", "-t", "w", "-m", "mine"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIOptimizeWithTolerance(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "d.csv", "k:integer\n1\n2\n")
+	if err := cli(t, dir, "init", "-n", "d", "-f", csv, "-m", "partitioned-rlist"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := cli(t, dir, "checkout", "d", "-v", "1", "-t", "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli(t, dir, "commit", "-t", "w", "-m", "branch"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli(t, dir, "optimize", "d", "-gamma", "2.0", "-mu", "1.2"); err != nil {
+		t.Fatal(err)
+	}
+	// A second tolerance check is a no-op.
+	if err := cli(t, dir, "optimize", "d", "-gamma", "2.0", "-mu", "1.2"); err != nil {
+		t.Fatal(err)
+	}
+}

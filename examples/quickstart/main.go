@@ -1,0 +1,89 @@
+// Quickstart: create a versioned dataset, branch it, query across versions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orpheusdb "orpheusdb"
+)
+
+func main() {
+	store := orpheusdb.NewStore()
+
+	// A CVD is a relation plus all of its versions. The primary key holds
+	// within each version, not across versions.
+	cols := []orpheusdb.Column{
+		{Name: "city", Type: orpheusdb.KindString},
+		{Name: "population", Type: orpheusdb.KindInt},
+	}
+	ds, err := store.Init("cities", cols, orpheusdb.InitOptions{PrimaryKey: []string{"city"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// v1: initial import.
+	v1, err := ds.Commit([]orpheusdb.Row{
+		{orpheusdb.String("springfield"), orpheusdb.Int(30000)},
+		{orpheusdb.String("shelbyville"), orpheusdb.Int(25000)},
+	}, nil, "initial import")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two analysts branch from v1 and commit independently.
+	v2, err := ds.Commit([]orpheusdb.Row{
+		{orpheusdb.String("springfield"), orpheusdb.Int(30500)}, // corrected
+		{orpheusdb.String("shelbyville"), orpheusdb.Int(25000)},
+	}, []orpheusdb.VersionID{v1}, "fix springfield census")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v3, err := ds.Commit([]orpheusdb.Row{
+		{orpheusdb.String("springfield"), orpheusdb.Int(30000)},
+		{orpheusdb.String("shelbyville"), orpheusdb.Int(25000)},
+		{orpheusdb.String("ogdenville"), orpheusdb.Int(12000)}, // added
+	}, []orpheusdb.VersionID{v1}, "add ogdenville")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Merge: records are taken in precedence order; the primary key
+	// resolves conflicts (v2's springfield wins).
+	merged, err := ds.Checkout(v2, v3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v4, err := ds.Commit(merged, []orpheusdb.VersionID{v2, v3}, "merge census fix + ogdenville")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("version graph: v1 -> {v2, v3} -> v4 (merge), v4 has %d rows\n", len(merged))
+
+	// SQL on one version without materializing it by hand.
+	res, err := store.Run("SELECT city, population FROM VERSION 4 OF CVD cities ORDER BY population DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %d\n", r[0].S, r[1].I)
+	}
+
+	// Aggregate across every version at once.
+	res, err = store.Run("SELECT vid, count(*) AS cities, sum(population) AS total FROM CVD cities GROUP BY vid ORDER BY vid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-version totals:")
+	for _, r := range res.Rows {
+		fmt.Printf("  v%d: %d cities, %d people\n", r[0].I, r[1].I, r[2].I)
+	}
+
+	// Standard diff between the two branches.
+	onlyA, onlyB, err := ds.Diff(v2, v3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diff v2 vs v3: %d records only in v2, %d only in v3\n", len(onlyA), len(onlyB))
+	_ = v4
+}

@@ -1,0 +1,428 @@
+// Package benchgen generates the versioning benchmark workloads of Section
+// 5.1 (from Maddox et al.'s Decibel benchmark): the SCI workload, a mainline
+// with data-science branches (a version tree), and the CUR workload, a
+// curated dataset whose branches periodically merge back (a version DAG).
+// Generation is deterministic for a given configuration.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// Workload selects the benchmark shape.
+type Workload int
+
+// Workloads.
+const (
+	SCI Workload = iota // science: tree-shaped branching
+	CUR                 // curation: DAG with periodic merges
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	if w == CUR {
+		return "CUR"
+	}
+	return "SCI"
+}
+
+// Config parameterizes a benchmark dataset, mirroring Table 2: the number of
+// branches B, the target number of distinct records |R|, and the number of
+// insert/update operations per commit I.
+type Config struct {
+	Workload      Workload
+	Name          string  // label, e.g. "SCI_1M"
+	TargetRecords int64   // |R| target; #versions is derived as TargetRecords/OpsPerCommit
+	Branches      int     // B
+	OpsPerCommit  int     // I
+	NumAttrs      int     // data attributes per record (paper: 100 4-byte ints)
+	UpdateFrac    float64 // fraction of ops that update an existing record (default 0.9)
+	DeleteFrac    float64 // fraction of ops that delete (default 0.005, "only a few deleted tuples")
+	MergeEvery    int     // CUR: a branch becomes merge-eligible after this many commits (default 5)
+	MergeFrac     float64 // CUR: fraction of branches that merge back (default 0.25)
+	MainlineFrac  float64 // share of commits landing directly on the mainline (default 0.25)
+	Seed          int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.OpsPerCommit <= 0 {
+		c.OpsPerCommit = 1000
+	}
+	if c.Branches <= 0 {
+		c.Branches = 10
+	}
+	if c.NumAttrs <= 0 {
+		c.NumAttrs = 10
+	}
+	if c.UpdateFrac == 0 {
+		c.UpdateFrac = 0.9
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.005
+	}
+	if c.MergeEvery <= 0 {
+		c.MergeEvery = 5
+	}
+	if c.MergeFrac == 0 {
+		c.MergeFrac = 0.25
+	}
+	if c.MainlineFrac == 0 {
+		c.MainlineFrac = 0.25
+	}
+	if c.TargetRecords <= 0 {
+		c.TargetRecords = int64(c.OpsPerCommit) * 100
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("%s_%d", c.Workload, c.TargetRecords)
+	}
+	return c
+}
+
+// Commit is one version in commit order: its parents (two for CUR merges)
+// and the full sorted record list of the resulting version.
+type Commit struct {
+	ID      vgraph.VersionID
+	Parents []vgraph.VersionID
+	Records []vgraph.RecordID
+	// NewRecords lists the rids first created by this commit.
+	NewRecords []vgraph.RecordID
+	// IsMerge marks CUR merge commits.
+	IsMerge bool
+}
+
+// Dataset is a generated benchmark instance.
+type Dataset struct {
+	Config  Config
+	Commits []Commit
+	// KeyOf maps each rid to its logical primary key: updates create a new
+	// rid with the same key, so two rids with equal keys are two versions
+	// of "the same" record, as in the paper's protein example.
+	KeyOf []int64
+	// NumRecords is the number of rids allocated during generation; rids
+	// superseded within their own commit never appear in any version, so
+	// the dataset's |R| (Stats().R) can be slightly smaller.
+	NumRecords int64
+
+	bip   *vgraph.Bipartite
+	graph *vgraph.Graph
+}
+
+// Bipartite returns the version-record bipartite graph of the dataset.
+func (d *Dataset) Bipartite() *vgraph.Bipartite {
+	if d.bip == nil {
+		b := vgraph.NewBipartite()
+		for _, c := range d.Commits {
+			// Commit record lists are already sorted; sharing the slice
+			// with the bipartite graph halves generator memory.
+			b.AddVersion(c.ID, c.Records)
+		}
+		d.bip = b
+	}
+	return d.bip
+}
+
+// Graph returns the version graph with record-intersection edge weights.
+func (d *Dataset) Graph() *vgraph.Graph {
+	if d.graph == nil {
+		b := d.Bipartite()
+		parents := make(map[vgraph.VersionID][]vgraph.VersionID, len(d.Commits))
+		for _, c := range d.Commits {
+			parents[c.ID] = c.Parents
+		}
+		g, err := b.Graph(parents)
+		if err != nil {
+			panic("benchgen: inconsistent dataset: " + err.Error())
+		}
+		d.graph = g
+	}
+	return d.graph
+}
+
+// Stats summarizes the dataset as in Table 2.
+type Stats struct {
+	Name     string
+	V        int   // |V|
+	R        int64 // |R|
+	E        int64 // |E|
+	B        int   // branches
+	I        int   // ops per commit
+	DupR     int64 // |R̂| (CUR only; 0 for trees)
+	AvgVSize float64
+}
+
+// Stats computes the Table 2 row for the dataset.
+func (d *Dataset) Stats() Stats {
+	b := d.Bipartite()
+	g := d.Graph()
+	s := Stats{
+		Name: d.Config.Name,
+		V:    b.NumVersions(),
+		R:    b.NumRecords(),
+		E:    b.NumEdges(),
+		B:    d.Config.Branches,
+		I:    d.Config.OpsPerCommit,
+	}
+	if !g.IsTree() {
+		s.DupR = g.ToTree().DupRecords(b)
+	}
+	if s.V > 0 {
+		s.AvgVSize = float64(s.E) / float64(s.V)
+	}
+	return s
+}
+
+// RecordRow deterministically materializes the data attributes of a record.
+// Column 0 is the logical key (the relation's primary key); the remaining
+// NumAttrs-1 columns are pseudo-random ints derived from the rid, so updated
+// record versions share the key but differ in payload.
+func (d *Dataset) RecordRow(rid vgraph.RecordID) []int64 {
+	n := d.Config.NumAttrs
+	row := make([]int64, n)
+	row[0] = d.KeyOf[rid]
+	x := uint64(rid)*0x9e3779b97f4a7c15 + uint64(d.Config.Seed)
+	for i := 1; i < n; i++ {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		row[i] = int64(x % 1000)
+	}
+	return row
+}
+
+// branch tracks one line of development during generation.
+type branch struct {
+	head         vgraph.VersionID
+	parentBranch int
+	commits      int  // lifetime commits on this branch
+	willMerge    bool // CUR: decided at spawn time
+	retired      bool // CUR: merged back; no further commits
+}
+
+// Generate builds a dataset from the configuration.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	d := &Dataset{Config: cfg, KeyOf: []int64{0}} // rid 0 unused
+	numVersions := int(cfg.TargetRecords / int64(cfg.OpsPerCommit))
+	if numVersions < 2 {
+		numVersions = 2
+	}
+
+	var nextRid vgraph.RecordID = 1
+	var nextKey int64 = 1
+	newRecord := func(key int64) vgraph.RecordID {
+		rid := nextRid
+		nextRid++
+		d.KeyOf = append(d.KeyOf, key)
+		return rid
+	}
+
+	var nextVid vgraph.VersionID = 1
+	commit := func(parents []vgraph.VersionID, records, created []vgraph.RecordID, isMerge bool) vgraph.VersionID {
+		id := nextVid
+		nextVid++
+		sort.Slice(records, func(i, j int) bool { return records[i] < records[j] })
+		// A record created by an op can be superseded by a later op in the
+		// same commit; only survivors count as the version's new records.
+		if len(created) > 0 {
+			kept := created[:0]
+			for _, r := range created {
+				i := sort.Search(len(records), func(i int) bool { return records[i] >= r })
+				if i < len(records) && records[i] == r {
+					kept = append(kept, r)
+				}
+			}
+			created = kept
+		}
+		d.Commits = append(d.Commits, Commit{
+			ID: id, Parents: parents, Records: records, NewRecords: created, IsMerge: isMerge,
+		})
+		return id
+	}
+
+	// evolve applies I operations to the parent record list.
+	evolve := func(parent []vgraph.RecordID) (records, created []vgraph.RecordID) {
+		recs := append([]vgraph.RecordID(nil), parent...)
+		for op := 0; op < cfg.OpsPerCommit; op++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.DeleteFrac && len(recs) > 1:
+				i := rng.Intn(len(recs))
+				recs[i] = recs[len(recs)-1]
+				recs = recs[:len(recs)-1]
+			case r < cfg.DeleteFrac+cfg.UpdateFrac && len(recs) > 0:
+				i := rng.Intn(len(recs))
+				nr := newRecord(d.KeyOf[recs[i]])
+				recs[i] = nr
+				created = append(created, nr)
+			default:
+				nr := newRecord(nextKey)
+				nextKey++
+				recs = append(recs, nr)
+				created = append(created, nr)
+			}
+		}
+		return recs, created
+	}
+
+	// Root commit: I fresh records.
+	rootRecs := make([]vgraph.RecordID, 0, cfg.OpsPerCommit)
+	for i := 0; i < cfg.OpsPerCommit; i++ {
+		r := newRecord(nextKey)
+		nextKey++
+		rootRecs = append(rootRecs, r)
+	}
+	root := commit(nil, rootRecs, append([]vgraph.RecordID(nil), rootRecs...), false)
+
+	mainline := &branch{head: root, parentBranch: -1}
+	branches := []*branch{mainline}
+	recordsOf := map[vgraph.VersionID][]vgraph.RecordID{root: rootRecs}
+
+	// Branches spawn at evenly spaced commit indexes, forking from the
+	// current head of a parent branch — "from different points on the
+	// mainline as well as from other already existing branches". In CUR a
+	// branch decides at spawn time whether it will merge back; it does so
+	// once it has MergeEvery commits, then retires.
+	spawnEvery := numVersions / cfg.Branches
+	if spawnEvery < 1 {
+		spawnEvery = 1
+	}
+	pickBranch := func() *branch {
+		if rng.Float64() < cfg.MainlineFrac {
+			return mainline
+		}
+		alive := make([]*branch, 0, len(branches))
+		for _, b := range branches {
+			if !b.retired {
+				alive = append(alive, b)
+			}
+		}
+		return alive[rng.Intn(len(alive))]
+	}
+
+	for len(d.Commits) < numVersions {
+		step := len(d.Commits)
+		if step%spawnEvery == 0 && len(branches) < cfg.Branches {
+			// Parent is the mainline half the time, else a random live
+			// branch.
+			pb := 0
+			if rng.Float64() >= 0.5 {
+				pb = rng.Intn(len(branches))
+				if branches[pb].retired {
+					pb = 0
+				}
+			}
+			branches = append(branches, &branch{
+				head:         branches[pb].head,
+				parentBranch: pb,
+				willMerge:    cfg.Workload == CUR && rng.Float64() < cfg.MergeFrac,
+			})
+		}
+		br := pickBranch()
+
+		if br.willMerge && br.commits >= cfg.MergeEvery {
+			// Merge the branch back into its parent branch; the branch's
+			// records take precedence on key conflicts.
+			pb := branches[br.parentBranch]
+			if pb.retired {
+				pb = mainline
+			}
+			if pb.head != br.head {
+				merged := mergeRecords(d, recordsOf[br.head], recordsOf[pb.head])
+				id := commit([]vgraph.VersionID{br.head, pb.head}, merged, nil, true)
+				recordsOf[id] = merged
+				pb.head = id
+			}
+			br.retired = true
+			br.willMerge = false
+			continue
+		}
+
+		recs, created := evolve(recordsOf[br.head])
+		id := commit([]vgraph.VersionID{br.head}, recs, created, false)
+		recordsOf[id] = recs
+		br.head = id
+		br.commits++
+	}
+
+	d.NumRecords = int64(nextRid - 1)
+	return d
+}
+
+// mergeRecords unions two record lists with primary-key precedence: records
+// of the first (higher-precedence) list win conflicts on logical key, exactly
+// like the paper's multi-version checkout.
+func mergeRecords(d *Dataset, first, second []vgraph.RecordID) []vgraph.RecordID {
+	seen := make(map[int64]struct{}, len(first))
+	out := make([]vgraph.RecordID, 0, len(first)+len(second))
+	for _, r := range first {
+		k := d.KeyOf[r]
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	for _, r := range second {
+		k := d.KeyOf[r]
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Standard returns the scaled-down counterpart of one of the paper's named
+// datasets. The scale factor shrinks |R| (and hence |V| = |R|/I) while
+// preserving the branching structure: scale=1.0 reproduces the paper's
+// parameters exactly.
+func Standard(name string, scale float64, seed int64) (*Dataset, error) {
+	type params struct {
+		w Workload
+		r int64
+		b int
+		i int
+	}
+	table := map[string]params{
+		"SCI_1M":  {SCI, 1_000_000, 100, 1000},
+		"SCI_2M":  {SCI, 2_000_000, 100, 2000},
+		"SCI_5M":  {SCI, 5_000_000, 100, 5000},
+		"SCI_8M":  {SCI, 8_000_000, 100, 8000},
+		"SCI_10M": {SCI, 10_000_000, 1000, 1000},
+		"CUR_1M":  {CUR, 1_000_000, 100, 1000},
+		"CUR_5M":  {CUR, 5_000_000, 100, 5000},
+		"CUR_10M": {CUR, 10_000_000, 1000, 1000},
+	}
+	p, ok := table[name]
+	if !ok {
+		return nil, fmt.Errorf("benchgen: unknown dataset %q", name)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	r := int64(float64(p.r) * scale)
+	i := int(float64(p.i) * scale)
+	if i < 10 {
+		i = 10
+	}
+	if r < int64(i)*10 {
+		r = int64(i) * 10
+	}
+	return Generate(Config{
+		Workload:      p.w,
+		Name:          name,
+		TargetRecords: r,
+		Branches:      p.b,
+		OpsPerCommit:  i,
+		Seed:          seed,
+	}), nil
+}

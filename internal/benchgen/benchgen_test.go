@@ -1,0 +1,205 @@
+package benchgen
+
+import (
+	"reflect"
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+func small(t *testing.T, w Workload) *Dataset {
+	t.Helper()
+	return Generate(Config{
+		Workload:      w,
+		TargetRecords: 5000,
+		Branches:      20,
+		OpsPerCommit:  25,
+		Seed:          42,
+	})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := small(t, SCI)
+	b := small(t, SCI)
+	if len(a.Commits) != len(b.Commits) {
+		t.Fatal("nondeterministic commit count")
+	}
+	for i := range a.Commits {
+		if !reflect.DeepEqual(a.Commits[i].Records, b.Commits[i].Records) {
+			t.Fatalf("commit %d differs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.RecordRow(7), b.RecordRow(7)) {
+		t.Fatal("record payloads nondeterministic")
+	}
+	c := Generate(Config{Workload: SCI, TargetRecords: 5000, Branches: 20, OpsPerCommit: 25, Seed: 43})
+	if reflect.DeepEqual(a.Commits[len(a.Commits)-1].Records, c.Commits[len(c.Commits)-1].Records) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSCIIsTree(t *testing.T) {
+	d := small(t, SCI)
+	g := d.Graph()
+	if !g.IsTree() {
+		t.Fatal("SCI must be a tree")
+	}
+	s := d.Stats()
+	if s.DupR != 0 {
+		t.Fatalf("SCI |R̂| = %d, want 0", s.DupR)
+	}
+	if s.V != len(d.Commits) {
+		t.Fatalf("V = %d, commits = %d", s.V, len(d.Commits))
+	}
+}
+
+func TestCURIsDAGWithModestDuplication(t *testing.T) {
+	d := small(t, CUR)
+	g := d.Graph()
+	if g.IsTree() {
+		t.Fatal("CUR must contain merges")
+	}
+	merges := 0
+	for _, c := range d.Commits {
+		if c.IsMerge {
+			if len(c.Parents) != 2 {
+				t.Fatalf("merge with %d parents", len(c.Parents))
+			}
+			merges++
+		} else if len(c.Parents) > 1 {
+			t.Fatal("non-merge with multiple parents")
+		}
+	}
+	if merges == 0 {
+		t.Fatal("no merges generated")
+	}
+	s := d.Stats()
+	// Table 2: |R̂| is about 7-10% of |R|; allow a generous band.
+	ratio := float64(s.DupR) / float64(s.R)
+	if ratio <= 0 || ratio > 0.35 {
+		t.Fatalf("|R̂|/|R| = %.2f outside plausible band", ratio)
+	}
+}
+
+func TestRecordCountNearTarget(t *testing.T) {
+	d := small(t, SCI)
+	s := d.Stats()
+	if s.R < 3500 || s.R > 6500 {
+		t.Fatalf("|R| = %d, target 5000", s.R)
+	}
+	if d.NumRecords < s.R {
+		t.Fatalf("allocated %d rids but %d appear in versions", d.NumRecords, s.R)
+	}
+}
+
+func TestCommitsAreConsistent(t *testing.T) {
+	d := small(t, SCI)
+	seen := map[vgraph.VersionID]bool{}
+	for _, c := range d.Commits {
+		for _, p := range c.Parents {
+			if !seen[p] {
+				t.Fatalf("commit %d references future/unknown parent %d", c.ID, p)
+			}
+		}
+		seen[c.ID] = true
+		// Records sorted and unique.
+		for i := 1; i < len(c.Records); i++ {
+			if c.Records[i-1] >= c.Records[i] {
+				t.Fatalf("commit %d records not sorted/unique", c.ID)
+			}
+		}
+		// New records appear in the version.
+		inVersion := map[vgraph.RecordID]bool{}
+		for _, r := range c.Records {
+			inVersion[r] = true
+		}
+		for _, r := range c.NewRecords {
+			if !inVersion[r] {
+				t.Fatalf("commit %d: new record %d missing from version", c.ID, r)
+			}
+		}
+	}
+}
+
+func TestUniqueKeysWithinVersion(t *testing.T) {
+	// The relation primary key must hold within each version (the paper's
+	// per-version key constraint).
+	d := small(t, CUR)
+	for _, c := range d.Commits {
+		keys := map[int64]bool{}
+		for _, r := range c.Records {
+			k := d.KeyOf[r]
+			if keys[k] {
+				t.Fatalf("commit %d: duplicate key %d", c.ID, k)
+			}
+			keys[k] = true
+		}
+	}
+}
+
+func TestRecordRowShape(t *testing.T) {
+	d := small(t, SCI)
+	row := d.RecordRow(5)
+	if len(row) != d.Config.NumAttrs {
+		t.Fatalf("row width %d, want %d", len(row), d.Config.NumAttrs)
+	}
+	if row[0] != d.KeyOf[5] {
+		t.Fatal("column 0 must be the logical key")
+	}
+	// Updated record versions share the key but differ in payload.
+	var updated vgraph.RecordID
+	for rid := vgraph.RecordID(2); int(rid) < len(d.KeyOf); rid++ {
+		if d.KeyOf[rid] == d.KeyOf[1] && rid != 1 {
+			updated = rid
+			break
+		}
+	}
+	if updated != 0 {
+		a, b := d.RecordRow(1), d.RecordRow(updated)
+		if a[0] != b[0] {
+			t.Fatal("update lost its key")
+		}
+		if reflect.DeepEqual(a, b) {
+			t.Fatal("update produced identical payload")
+		}
+	}
+}
+
+func TestStandardNamesAndScale(t *testing.T) {
+	d, err := Standard("SCI_1M", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.V != 1000 {
+		t.Fatalf("SCI_1M keeps |V| = 1000 at any scale, got %d", s.V)
+	}
+	if s.B != 100 || s.I != 10 {
+		t.Fatalf("params B=%d I=%d", s.B, s.I)
+	}
+	if _, err := Standard("SCI_99M", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	for _, name := range []string{"SCI_2M", "SCI_5M", "SCI_8M", "SCI_10M", "CUR_1M", "CUR_5M", "CUR_10M"} {
+		if _, err := Standard(name, 0.002, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	if SCI.String() != "SCI" || CUR.String() != "CUR" {
+		t.Fatal("workload names wrong")
+	}
+}
+
+func TestAvgVersionSizeBand(t *testing.T) {
+	// The paper's SCI datasets have |E|/|V| ≈ 11×I; ours should land in
+	// the same decade.
+	d := small(t, SCI)
+	s := d.Stats()
+	ratio := s.AvgVSize / float64(s.I)
+	if ratio < 2 || ratio > 60 {
+		t.Fatalf("|E|/|V| = %.0f = %.1f×I, outside plausible band", s.AvgVSize, ratio)
+	}
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// CVD is a collaborative versioned dataset: one relation plus many versions
+// of it, stored in the backing database under one of the Section 3 data
+// models, with version metadata, record identity, and schema history managed
+// by the middleware.
+type CVD struct {
+	db    *engine.DB
+	name  string
+	model DataModel
+	// pk names the relation's primary-key attributes (may be empty). The
+	// key holds within any single version, not across versions.
+	pk []string
+	// schema is the current attribute-id list (indexes into the attribute
+	// table); cols caches the corresponding engine columns.
+	schema []int64
+	cols   []engine.Column
+
+	vm *versionManager
+	rm *recordManager
+	am *attrManager
+
+	// Clock supplies commit timestamps; replaceable for deterministic
+	// tests.
+	Clock func() time.Time
+}
+
+// catalogTable is the global registry of CVDs in a database.
+const catalogTable = "__orpheus_cvds"
+
+// ensureCatalog creates the CVD registry table if missing.
+func ensureCatalog(db *engine.DB) (*engine.Table, error) {
+	if t := db.Table(catalogTable); t != nil {
+		return t, nil
+	}
+	return db.CreateTable(catalogTable, []engine.Column{
+		{Name: "name", Type: engine.KindString},
+		{Name: "model", Type: engine.KindString},
+		{Name: "pk", Type: engine.KindString},
+	})
+}
+
+// ListCVDs names the CVDs registered in db.
+func ListCVDs(db *engine.DB) []string {
+	t := db.Table(catalogTable)
+	if t == nil {
+		return nil
+	}
+	var names []string
+	t.Scan(func(_ engine.RowID, row engine.Row) bool {
+		names = append(names, row[0].S)
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// InitOptions configures CVD creation.
+type InitOptions struct {
+	// Model selects the data model (default split-by-rlist, the paper's
+	// choice).
+	Model ModelKind
+	// PrimaryKey names the relation's key attributes.
+	PrimaryKey []string
+}
+
+// Init creates a new CVD with the given data attributes.
+func Init(db *engine.DB, name string, cols []engine.Column, opts InitOptions) (*CVD, error) {
+	if opts.Model == "" {
+		opts.Model = SplitByRlistModel
+	}
+	cat, err := ensureCatalog(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, existing := range ListCVDs(db) {
+		if existing == name {
+			return nil, fmt.Errorf("core: CVD %q already exists", name)
+		}
+	}
+	for _, k := range opts.PrimaryKey {
+		found := false
+		for _, c := range cols {
+			if c.Name == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: CVD %q: primary key column %q not in schema", name, k)
+		}
+	}
+	model, err := NewDataModel(opts.Model, db, name)
+	if err != nil {
+		return nil, err
+	}
+	c := &CVD{
+		db:    db,
+		name:  name,
+		model: model,
+		pk:    append([]string(nil), opts.PrimaryKey...),
+		vm:    newVersionManager(db, name),
+		rm:    newRecordManager(db, name),
+		am:    newAttrManager(db, name),
+		Clock: time.Now,
+	}
+	if err := c.vm.init(); err != nil {
+		return nil, err
+	}
+	if err := c.rm.init(); err != nil {
+		return nil, err
+	}
+	if err := c.am.init(); err != nil {
+		return nil, err
+	}
+	for _, col := range cols {
+		id, err := c.am.add(col.Name, col.Type)
+		if err != nil {
+			return nil, err
+		}
+		c.schema = append(c.schema, id)
+		c.cols = append(c.cols, col)
+	}
+	if err := model.Init(cols); err != nil {
+		return nil, err
+	}
+	pkList := ""
+	for i, k := range opts.PrimaryKey {
+		if i > 0 {
+			pkList += ","
+		}
+		pkList += k
+	}
+	if _, err := cat.Insert(engine.Row{
+		engine.StringValue(name),
+		engine.StringValue(string(opts.Model)),
+		engine.StringValue(pkList),
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open loads an existing CVD from the database (e.g. after the CLI reloads a
+// snapshot).
+func Open(db *engine.DB, name string) (*CVD, error) {
+	cat := db.Table(catalogTable)
+	if cat == nil {
+		return nil, fmt.Errorf("core: no CVDs in database")
+	}
+	var modelKind, pkList string
+	found := false
+	cat.Scan(func(_ engine.RowID, row engine.Row) bool {
+		if row[0].S == name {
+			modelKind, pkList = row[1].S, row[2].S
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return nil, fmt.Errorf("core: no CVD %q", name)
+	}
+	model, err := NewDataModel(ModelKind(modelKind), db, name)
+	if err != nil {
+		return nil, err
+	}
+	c := &CVD{
+		db:    db,
+		name:  name,
+		model: model,
+		vm:    newVersionManager(db, name),
+		rm:    newRecordManager(db, name),
+		am:    newAttrManager(db, name),
+		Clock: time.Now,
+	}
+	if pkList != "" {
+		start := 0
+		for i := 0; i <= len(pkList); i++ {
+			if i == len(pkList) || pkList[i] == ',' {
+				c.pk = append(c.pk, pkList[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if err := c.vm.load(); err != nil {
+		return nil, err
+	}
+	if err := c.rm.load(); err != nil {
+		return nil, err
+	}
+	if err := c.am.load(); err != nil {
+		return nil, err
+	}
+	// The physical pool is persisted once a schema change happens; static-
+	// schema CVDs reconstruct it from the attribute table (whose entries
+	// are then exactly the initial columns, in order).
+	loaded, err := c.loadSchema()
+	if err != nil {
+		return nil, err
+	}
+	if !loaded {
+		for id := int64(1); id < c.am.nextID; id++ {
+			a, ok := c.am.get(id)
+			if !ok {
+				continue
+			}
+			c.schema = append(c.schema, id)
+			c.cols = append(c.cols, engine.Column{Name: a.Name, Type: a.Type})
+		}
+	}
+	if err := c.reloadModelState(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// reloadModelState rebuilds model-internal caches that live outside model
+// tables after a database reload.
+func (c *CVD) reloadModelState() error {
+	switch m := c.model.(type) {
+	case *deltaModel:
+		m.rlists = make(map[vgraph.VersionID][]vgraph.RecordID, len(c.vm.rlists))
+		m.deltaCols = append(dataColumns(c.cols), engine.Column{Name: "tombstone", Type: engine.KindBool})
+		for v, rl := range c.vm.rlists {
+			m.rlists[v] = rl
+		}
+	case *tablePerVersion:
+		m.cols = dataColumns(c.cols)
+		m.versions = append([]vgraph.VersionID(nil), c.vm.order...)
+	case *partitionedRlist:
+		return m.reload(c.cols)
+	}
+	return nil
+}
+
+// Name returns the CVD name.
+func (c *CVD) Name() string { return c.name }
+
+// Model returns the data model in use.
+func (c *CVD) Model() DataModel { return c.model }
+
+// Columns returns the CVD's current data attributes.
+func (c *CVD) Columns() []engine.Column { return c.cols }
+
+// PrimaryKey returns the relation's key attribute names.
+func (c *CVD) PrimaryKey() []string { return c.pk }
+
+// NumVersions returns the number of committed versions.
+func (c *CVD) NumVersions() int { return len(c.vm.order) }
+
+// Versions lists version ids in commit order.
+func (c *CVD) Versions() []vgraph.VersionID { return c.vm.order }
+
+// LatestVersion returns the most recently committed version id (0 if none).
+func (c *CVD) LatestVersion() vgraph.VersionID {
+	if len(c.vm.order) == 0 {
+		return 0
+	}
+	return c.vm.order[len(c.vm.order)-1]
+}
+
+// Info returns a version's metadata.
+func (c *CVD) Info(v vgraph.VersionID) (*VersionInfo, error) { return c.vm.info(v) }
+
+// Rlist returns the record ids of a version.
+func (c *CVD) Rlist(v vgraph.VersionID) ([]vgraph.RecordID, error) { return c.vm.rlist(v) }
+
+// VersionGraph builds the CVD's version graph.
+func (c *CVD) VersionGraph() (*vgraph.Graph, error) { return c.vm.graph() }
+
+// Bipartite builds the CVD's version-record bipartite graph.
+func (c *CVD) Bipartite() *vgraph.Bipartite { return c.vm.bipartite() }
+
+// Ancestors returns all transitive ancestors of v.
+func (c *CVD) Ancestors(v vgraph.VersionID) ([]vgraph.VersionID, error) {
+	g, err := c.vm.graph()
+	if err != nil {
+		return nil, err
+	}
+	if !g.Has(v) {
+		return nil, fmt.Errorf("core: %s: no version %d", c.name, v)
+	}
+	return g.Ancestors(v), nil
+}
+
+// Descendants returns all transitive descendants of v.
+func (c *CVD) Descendants(v vgraph.VersionID) ([]vgraph.VersionID, error) {
+	g, err := c.vm.graph()
+	if err != nil {
+		return nil, err
+	}
+	if !g.Has(v) {
+		return nil, fmt.Errorf("core: %s: no version %d", c.name, v)
+	}
+	return g.Descendants(v), nil
+}
+
+// StorageBytes reports the model-owned storage (Figure 3a's metric).
+func (c *CVD) StorageBytes() int64 { return c.model.StorageBytes() }
+
+// pkPositions resolves the primary-key attribute positions in the current
+// schema.
+func (c *CVD) pkPositions() []int {
+	pos := make([]int, 0, len(c.pk))
+	for _, k := range c.pk {
+		for i, col := range c.cols {
+			if col.Name == k {
+				pos = append(pos, i)
+				break
+			}
+		}
+	}
+	return pos
+}
+
+// Commit adds a new version built from rows (data attributes only, matching
+// the current schema), derived from the given parents. Per the
+// no-cross-version-diff rule, rows are matched only against the parents'
+// records: unchanged rows keep their rid, anything else becomes a new
+// record. Returns the new version id.
+func (c *CVD) Commit(rows []engine.Row, parents []vgraph.VersionID, msg string) (vgraph.VersionID, error) {
+	return c.commitAt(rows, parents, msg, c.Clock(), c.Clock())
+}
+
+func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string, checkoutT, commitT time.Time) (vgraph.VersionID, error) {
+	for _, p := range parents {
+		if _, err := c.vm.info(p); err != nil {
+			return 0, err
+		}
+	}
+	for i, r := range rows {
+		if len(r) != len(c.cols) {
+			return 0, fmt.Errorf("core: %s: commit row %d has %d values, want %d", c.name, i, len(r), len(c.cols))
+		}
+	}
+	// Primary-key constraint within the committed version.
+	if pos := c.pkPositions(); len(pos) > 0 {
+		seen := make(map[string]bool, len(rows))
+		for i, r := range rows {
+			vals := make([]engine.Value, len(pos))
+			for j, p := range pos {
+				vals[j] = r[p]
+			}
+			k := engine.EncodeKey(vals...)
+			if seen[k] {
+				return 0, fmt.Errorf("core: %s: commit row %d violates primary key", c.name, i)
+			}
+			seen[k] = true
+		}
+	}
+
+	// Match rows against parent records by content hash.
+	var parentRids []vgraph.RecordID
+	seenRid := make(map[vgraph.RecordID]bool)
+	for _, p := range parents {
+		rl, err := c.vm.rlist(p)
+		if err != nil {
+			return 0, err
+		}
+		for _, rid := range rl {
+			if !seenRid[rid] {
+				seenRid[rid] = true
+				parentRids = append(parentRids, rid)
+			}
+		}
+	}
+	parentIndex := c.rm.hashIndex(parentRids)
+
+	all := make([]Record, 0, len(rows))
+	var fresh []Record
+	usedRid := make(map[vgraph.RecordID]bool, len(rows))
+	for _, r := range rows {
+		h := HashRow(r)
+		if rid, ok := parentIndex[h]; ok && !usedRid[rid] {
+			usedRid[rid] = true
+			all = append(all, Record{RID: rid, Data: r})
+			continue
+		}
+		rid, err := c.rm.alloc(h)
+		if err != nil {
+			return 0, err
+		}
+		usedRid[rid] = true
+		rec := Record{RID: rid, Data: r}
+		all = append(all, rec)
+		fresh = append(fresh, rec)
+	}
+
+	vid := c.vm.allocVersion()
+	if err := c.model.Commit(vid, parents, all, fresh); err != nil {
+		return 0, err
+	}
+	rlist := make([]vgraph.RecordID, len(all))
+	for i, r := range all {
+		rlist[i] = r.RID
+	}
+	info := &VersionInfo{
+		ID:           vid,
+		Parents:      append([]vgraph.VersionID(nil), parents...),
+		CheckoutTime: checkoutT,
+		CommitTime:   commitT,
+		Message:      msg,
+		Attributes:   append([]int64(nil), c.schema...),
+		NumRecords:   len(all),
+	}
+	if err := c.vm.add(info, rlist); err != nil {
+		return 0, err
+	}
+	return vid, nil
+}
+
+// Checkout materializes the given versions as rows. With multiple versions,
+// records are added in the precedence order listed: a record whose primary
+// key was already added is omitted, so the result respects the key (Section
+// 2.2). Without a primary key, duplicate rids are dropped but distinct
+// records are all kept.
+func (c *CVD) Checkout(vids ...vgraph.VersionID) ([]engine.Row, error) {
+	if len(vids) == 0 {
+		return nil, fmt.Errorf("core: %s: checkout needs at least one version", c.name)
+	}
+	pos := c.pkPositions()
+	seenPK := make(map[string]bool)
+	seenRid := make(map[vgraph.RecordID]bool)
+	var out []engine.Row
+	for _, vid := range vids {
+		if _, err := c.vm.info(vid); err != nil {
+			return nil, err
+		}
+		recs, err := c.model.Checkout(vid)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			if rec.RID != 0 && seenRid[rec.RID] {
+				continue
+			}
+			if rec.RID != 0 {
+				seenRid[rec.RID] = true
+			}
+			if len(pos) > 0 {
+				vals := make([]engine.Value, len(pos))
+				for j, p := range pos {
+					vals[j] = rec.Data[p]
+				}
+				k := engine.EncodeKey(vals...)
+				if seenPK[k] {
+					continue
+				}
+				seenPK[k] = true
+			}
+			out = append(out, rec.Data)
+		}
+	}
+	return out, nil
+}
+
+// Diff returns the records present in a but not b, and in b but not a — the
+// standard differencing operation of Section 2.2.
+func (c *CVD) Diff(a, b vgraph.VersionID) (onlyA, onlyB []engine.Row, err error) {
+	ra, err := c.vm.rlist(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := c.vm.rlist(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	inB := make(map[vgraph.RecordID]bool, len(rb))
+	for _, r := range rb {
+		inB[r] = true
+	}
+	inA := make(map[vgraph.RecordID]bool, len(ra))
+	for _, r := range ra {
+		inA[r] = true
+	}
+	recsA, err := c.model.Checkout(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rec := range recsA {
+		if !inB[rec.RID] {
+			onlyA = append(onlyA, rec.Data)
+		}
+	}
+	recsB, err := c.model.Checkout(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rec := range recsB {
+		if !inA[rec.RID] {
+			onlyB = append(onlyB, rec.Data)
+		}
+	}
+	return onlyA, onlyB, nil
+}
+
+// Drop removes the CVD: model tables, system tables, and the catalog entry.
+func (c *CVD) Drop() error {
+	if err := c.model.Drop(); err != nil {
+		return err
+	}
+	if err := c.vm.drop(); err != nil {
+		return err
+	}
+	if err := c.rm.drop(); err != nil {
+		return err
+	}
+	if err := c.am.drop(); err != nil {
+		return err
+	}
+	cat := c.db.Table(catalogTable)
+	if cat == nil {
+		return nil
+	}
+	var drop []engine.RowID
+	cat.Scan(func(id engine.RowID, row engine.Row) bool {
+		if row[0].S == c.name {
+			drop = append(drop, id)
+		}
+		return true
+	})
+	for _, id := range drop {
+		cat.Delete(id)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/partition"
+	"orpheusdb/internal/vgraph"
+)
+
+// PartitionedModel is the extended interface of the partitioned split-by-
+// rlist model, which the partition optimizer operates on.
+type PartitionedModel interface {
+	DataModel
+	// NumPartitions returns the live partition count.
+	NumPartitions() int
+	// PartitionOf returns the physical partition holding a version.
+	PartitionOf(v vgraph.VersionID) (int, bool)
+	// PartitionRecords returns |Rk| for a physical partition.
+	PartitionRecords(p int) int64
+	// StorageRecords returns S = Σ|Rk|.
+	StorageRecords() int64
+	// CheckoutCost returns the current Cavg in records.
+	CheckoutCost() float64
+	// SetOnlineParams configures online placement (δ*, γ in records).
+	SetOnlineParams(deltaStar float64, gammaRecords int64)
+	// ApplyPartitioning migrates to the given version groups.
+	ApplyPartitioning(groups [][]vgraph.VersionID, naive bool) (*MigrationReport, error)
+}
+
+// OptimizeResult reports one invocation of the partition optimizer.
+type OptimizeResult struct {
+	Delta         float64
+	Gamma         int64
+	Partitions    int
+	EstStorage    int64
+	EstCheckout   float64
+	Migration     *MigrationReport
+	MigrationTime time.Duration
+	SolveTime     time.Duration
+}
+
+// Optimize runs LYRESPLIT under the storage budget γ = gammaFactor·|R| and
+// migrates the CVD's partitioned model to the resulting layout (the
+// `optimize` command of Section 2.2). The CVD must use the partitioned
+// split-by-rlist model. naive selects rebuild-from-scratch migration.
+func (c *CVD) Optimize(gammaFactor float64, naive bool) (*OptimizeResult, error) {
+	pm, ok := c.model.(PartitionedModel)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: optimize requires the %s model (have %s)",
+			c.name, PartitionedRlistModel, c.model.Kind())
+	}
+	g, err := c.vm.graph()
+	if err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("core: %s: nothing to optimize", c.name)
+	}
+	totalRecords := int64(c.rm.nextR - 1)
+	gamma := int64(gammaFactor * float64(totalRecords))
+	ls := &partition.LyreSplit{Tree: g.ToTree()}
+	t0 := time.Now()
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return nil, err
+	}
+	solveTime := time.Since(t0)
+	t1 := time.Now()
+	report, err := pm.ApplyPartitioning(res.Groups, naive)
+	if err != nil {
+		return nil, err
+	}
+	pm.SetOnlineParams(res.Delta, gamma)
+	return &OptimizeResult{
+		Delta:         res.Delta,
+		Gamma:         gamma,
+		Partitions:    len(res.Groups),
+		EstStorage:    res.EstStorage,
+		EstCheckout:   res.EstCheckout,
+		Migration:     report,
+		MigrationTime: time.Since(t1),
+		SolveTime:     solveTime,
+	}, nil
+}
+
+// reloadPartitionedState rebuilds the partitioned model's caches from its
+// tables after a database reload.
+func (m *partitionedRlist) reload(cols []engine.Column) error {
+	m.cols = dataColumns(cols)
+	m.partOf = make(map[vgraph.VersionID]int)
+	m.rlists = make(map[vgraph.VersionID][]int64)
+	m.partRecs = make(map[int]map[int64]bool)
+	m.partIDs = nil
+	mt, err := m.db.MustTable(m.mapName())
+	if err != nil {
+		return err
+	}
+	mt.Scan(func(_ engine.RowID, row engine.Row) bool {
+		m.partOf[vgraph.VersionID(row[0].I)] = int(row[1].I)
+		return true
+	})
+	seenPart := make(map[int]bool)
+	for _, p := range m.partOf {
+		seenPart[p] = true
+	}
+	// Partition 0 exists even before the first commit.
+	if m.db.HasTable(m.dataName(0)) {
+		seenPart[0] = true
+	}
+	for p := range seenPart {
+		m.partIDs = append(m.partIDs, p)
+		if p >= m.nextPart {
+			m.nextPart = p + 1
+		}
+		recs := make(map[int64]bool)
+		dt, err := m.db.MustTable(m.dataName(p))
+		if err != nil {
+			return err
+		}
+		dt.Scan(func(_ engine.RowID, row engine.Row) bool {
+			recs[row[0].I] = true
+			return true
+		})
+		m.partRecs[p] = recs
+		m.storageRecs += int64(len(recs))
+		vt, err := m.db.MustTable(m.versionName(p))
+		if err != nil {
+			return err
+		}
+		vt.Scan(func(_ engine.RowID, row engine.Row) bool {
+			m.rlists[vgraph.VersionID(row[0].I)] = append([]int64(nil), row[1].A...)
+			return true
+		})
+	}
+	m.totalRecords = m.countMaxRid()
+	return nil
+}
+
+// MaintenanceResult reports one MaintainPartitions check.
+type MaintenanceResult struct {
+	// Cavg and BestCavg are the current and LYRESPLIT-optimal checkout
+	// costs in records.
+	Cavg, BestCavg float64
+	// Migrated reports whether the tolerance factor was exceeded and a
+	// migration ran; Optimize carries its details.
+	Migrated bool
+	Optimize *OptimizeResult
+}
+
+// MaintainPartitions implements the periodic check of Section 4.3: compute
+// the current checkout cost Cavg of the partitioned layout, the best cost
+// C*avg LYRESPLIT can reach under γ = gammaFactor·|R|, and migrate when
+// Cavg > µ·C*avg. The OrpheusDB backend calls this after commits (or on the
+// `optimize` command's schedule).
+func (c *CVD) MaintainPartitions(gammaFactor, mu float64, naive bool) (*MaintenanceResult, error) {
+	pm, ok := c.model.(PartitionedModel)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: maintenance requires the %s model (have %s)",
+			c.name, PartitionedRlistModel, c.model.Kind())
+	}
+	g, err := c.vm.graph()
+	if err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return &MaintenanceResult{}, nil
+	}
+	totalRecords := int64(c.rm.nextR - 1)
+	gamma := int64(gammaFactor * float64(totalRecords))
+	ls := &partition.LyreSplit{Tree: g.ToTree()}
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return nil, err
+	}
+	out := &MaintenanceResult{Cavg: pm.CheckoutCost(), BestCavg: res.EstCheckout}
+	// Keep δ* and γ fresh for online placement even when no migration runs.
+	pm.SetOnlineParams(res.Delta, gamma)
+	if out.BestCavg <= 0 || out.Cavg <= mu*out.BestCavg {
+		return out, nil
+	}
+	opt, err := c.Optimize(gammaFactor, naive)
+	if err != nil {
+		return nil, err
+	}
+	out.Migrated = true
+	out.Optimize = opt
+	return out, nil
+}

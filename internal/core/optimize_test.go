@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// branchyCVD commits a mainline with periodic branches under the partitioned
+// model, returning the CVD and all version ids.
+func branchyCVD(t *testing.T, versions int) (*CVD, []vgraph.VersionID) {
+	t.Helper()
+	db := engine.NewDB()
+	c, err := Init(db, "d", protCols(), InitOptions{Model: PartitionedRlistModel, PrimaryKey: []string{"protein1", "protein2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var rows []engine.Row
+	next := 0
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			rows = append(rows, protRow(fmt.Sprintf("P%05d", next), "Q", rng.Int63n(10), 0, 0))
+			next++
+		}
+	}
+	add(20)
+	v, err := c.Commit(rows, nil, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vids := []vgraph.VersionID{v}
+	for i := 1; i < versions; i++ {
+		parent := vids[len(vids)-1]
+		if i%5 == 0 {
+			parent = vids[rng.Intn(len(vids))]
+			rows, err = c.Checkout(parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		add(5)
+		v, err := c.Commit(rows, []vgraph.VersionID{parent}, "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vids = append(vids, v)
+	}
+	return c, vids
+}
+
+func TestOptimizePartitionsAndPreservesCheckouts(t *testing.T) {
+	c, vids := branchyCVD(t, 40)
+	pm := c.Model().(PartitionedModel)
+	if pm.NumPartitions() != 1 {
+		t.Fatalf("pre-optimize partitions = %d", pm.NumPartitions())
+	}
+	// Snapshot all version contents.
+	before := map[vgraph.VersionID]int{}
+	for _, v := range vids {
+		rows, err := c.Checkout(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[v] = len(rows)
+	}
+	res, err := c.Optimize(2.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Fatalf("optimize produced %d partitions", res.Partitions)
+	}
+	if pm.NumPartitions() != res.Partitions {
+		t.Fatalf("physical partitions %d != plan %d", pm.NumPartitions(), res.Partitions)
+	}
+	// Every checkout is unchanged.
+	for _, v := range vids {
+		rows, err := c.Checkout(v)
+		if err != nil {
+			t.Fatalf("checkout %d after optimize: %v", v, err)
+		}
+		if len(rows) != before[v] {
+			t.Fatalf("v%d: %d rows after optimize, want %d", v, len(rows), before[v])
+		}
+	}
+	// Storage within budget (in records).
+	if pm.StorageRecords() > res.Gamma {
+		t.Fatalf("S = %d exceeds γ = %d", pm.StorageRecords(), res.Gamma)
+	}
+	// A second optimize at the same budget is a near no-op.
+	res2, err := c.Optimize(2.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Migration.Plan.TotalRecords > res.Migration.Plan.TotalRecords {
+		t.Fatal("re-optimize moved more data than the first")
+	}
+}
+
+func TestOptimizeNaiveMovesMore(t *testing.T) {
+	cSmart, _ := branchyCVD(t, 30)
+	cNaive, _ := branchyCVD(t, 30)
+	smart, err := cSmart.Optimize(2.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := cNaive.Optimize(2.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Migration.Plan.TotalRecords > naive.Migration.Plan.TotalRecords {
+		t.Fatalf("intelligent migration moved %d records, naive %d",
+			smart.Migration.Plan.TotalRecords, naive.Migration.Plan.TotalRecords)
+	}
+}
+
+func TestOnlinePlacementAfterOptimize(t *testing.T) {
+	c, vids := branchyCVD(t, 30)
+	if _, err := c.Optimize(1.5, false); err != nil {
+		t.Fatal(err)
+	}
+	pm := c.Model().(PartitionedModel)
+
+	// With a low δ*, a commit whose overlap with its parent exceeds δ*·|R|
+	// joins the parent's partition (the Section 4.3 rule).
+	pm.SetOnlineParams(0.05, 1<<40)
+	nBefore := pm.NumPartitions()
+	// The mainline tip shares nearly all of |R| with its child.
+	biggest := vids[0]
+	var biggestN int
+	for _, v := range vids {
+		info, err := c.Info(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.NumRecords > biggestN {
+			biggest, biggestN = v, info.NumRecords
+		}
+	}
+	rows, err := c.Checkout(biggest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Commit(rows, []vgraph.VersionID{biggest}, "online-join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNew, ok := pm.PartitionOf(v)
+	if !ok {
+		t.Fatal("new version unplaced")
+	}
+	pParent, _ := pm.PartitionOf(biggest)
+	if pNew != pParent {
+		t.Fatalf("high-overlap commit went to partition %d, parent in %d", pNew, pParent)
+	}
+	if pm.NumPartitions() != nBefore {
+		t.Fatal("partition count changed unexpectedly")
+	}
+	got, err := c.Checkout(v)
+	if err != nil || len(got) != len(rows) {
+		t.Fatalf("checkout new version: %d rows, %v", len(got), err)
+	}
+
+	// With δ* near 1 and storage headroom, a low-overlap commit opens its
+	// own partition.
+	pm.SetOnlineParams(0.99, 1<<40)
+	small := []engine.Row{protRow("Z", "Z", 1, 1, 1)}
+	v2, err := c.Commit(small, []vgraph.VersionID{v}, "online-split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := pm.PartitionOf(v2)
+	if p2 == pNew {
+		t.Fatal("low-overlap commit should open a new partition")
+	}
+	if _, err := c.Checkout(v2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeRequiresPartitionedModel(t *testing.T) {
+	db := engine.NewDB()
+	c, err := Init(db, "d", protCols(), InitOptions{Model: SplitByRlistModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit([]engine.Row{protRow("A", "B", 1, 2, 3)}, nil, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Optimize(2.0, false); err == nil {
+		t.Fatal("optimize on non-partitioned model accepted")
+	}
+}
+
+func TestOptimizeEmptyCVD(t *testing.T) {
+	db := engine.NewDB()
+	c, err := Init(db, "d", protCols(), InitOptions{Model: PartitionedRlistModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Optimize(2.0, false); err == nil {
+		t.Fatal("optimize of empty CVD accepted")
+	}
+}
+
+func TestPartitionedReloadKeepsLayout(t *testing.T) {
+	c, vids := branchyCVD(t, 25)
+	if _, err := c.Optimize(2.0, false); err != nil {
+		t.Fatal(err)
+	}
+	pm := c.Model().(PartitionedModel)
+	wantParts := pm.NumPartitions()
+
+	path := t.TempDir() + "/s.gob"
+	if err := c.db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := engine.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(db2, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2 := c2.Model().(PartitionedModel)
+	if pm2.NumPartitions() != wantParts {
+		t.Fatalf("partitions after reload = %d, want %d", pm2.NumPartitions(), wantParts)
+	}
+	for _, v := range vids {
+		p1, _ := pm.PartitionOf(v)
+		p2, ok := pm2.PartitionOf(v)
+		if !ok || p1 != p2 {
+			t.Fatalf("placement of v%d changed on reload", v)
+		}
+		if _, err := c2.Checkout(v); err != nil {
+			t.Fatalf("checkout %d after reload: %v", v, err)
+		}
+	}
+}
+
+func TestCheckoutCostDropsAfterOptimize(t *testing.T) {
+	c, _ := branchyCVD(t, 50)
+	pm := c.Model().(PartitionedModel)
+	before := pm.CheckoutCost()
+	if _, err := c.Optimize(2.0, false); err != nil {
+		t.Fatal(err)
+	}
+	after := pm.CheckoutCost()
+	if after >= before {
+		t.Fatalf("Cavg did not drop: %.0f -> %.0f", before, after)
+	}
+}
+
+func TestOptimizeWeighted(t *testing.T) {
+	c, vids := branchyCVD(t, 40)
+	freq := c.RecencyWeights(0.25, 20)
+	if len(freq) != len(vids) {
+		t.Fatalf("weights for %d versions, want %d", len(freq), len(vids))
+	}
+	res, err := c.OptimizeWeighted(2.0, freq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 1 {
+		t.Fatal("no partitions")
+	}
+	// All versions remain checkable.
+	for _, v := range vids {
+		if _, err := c.Checkout(v); err != nil {
+			t.Fatalf("checkout %d: %v", v, err)
+		}
+	}
+	// Hot (recent) versions should sit in partitions no larger than the
+	// average cold partition.
+	pm := c.Model().(PartitionedModel)
+	var hotCost, coldCost, hotN, coldN int64
+	for _, v := range vids {
+		p, _ := pm.PartitionOf(v)
+		if freq[v] > 1 {
+			hotCost += pm.PartitionRecords(p)
+			hotN++
+		} else {
+			coldCost += pm.PartitionRecords(p)
+			coldN++
+		}
+	}
+	if hotN == 0 || coldN == 0 {
+		t.Fatal("weight split degenerate")
+	}
+	if hotCost/hotN > 2*(coldCost/coldN) {
+		t.Fatalf("hot versions average %d records/partition vs cold %d",
+			hotCost/hotN, coldCost/coldN)
+	}
+}
+
+func TestOptimizeWeightedRequiresPartitionedModel(t *testing.T) {
+	db := engine.NewDB()
+	c, err := Init(db, "w", protCols(), InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OptimizeWeighted(2.0, nil, false); err == nil {
+		t.Fatal("weighted optimize on plain model accepted")
+	}
+}
+
+func TestMaintainPartitions(t *testing.T) {
+	c, vids := branchyCVD(t, 40)
+	// Fresh CVD: everything in one partition, so Cavg far exceeds the best.
+	res, err := c.MaintainPartitions(2.0, 1.2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Migrated {
+		t.Fatalf("expected migration: Cavg=%.0f best=%.0f", res.Cavg, res.BestCavg)
+	}
+	// Immediately after, the layout is within tolerance.
+	res2, err := c.MaintainPartitions(2.0, 1.2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Migrated {
+		t.Fatal("second maintenance should be a no-op")
+	}
+	if res2.Cavg > 1.2*res2.BestCavg+1e-6 {
+		t.Fatalf("tolerance violated after migration: %.0f vs %.0f", res2.Cavg, res2.BestCavg)
+	}
+	for _, v := range vids {
+		if _, err := c.Checkout(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaintainPartitionsRequiresModel(t *testing.T) {
+	db := engine.NewDB()
+	c, err := Init(db, "m", protCols(), InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MaintainPartitions(2.0, 1.5, false); err == nil {
+		t.Fatal("maintenance on plain model accepted")
+	}
+}

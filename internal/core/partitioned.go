@@ -1,0 +1,611 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/partition"
+	"orpheusdb/internal/vgraph"
+)
+
+// PartitionedRlistModel is the hybrid representation of Section 4: the
+// split-by-rlist layout broken into partitions so a checkout touches only the
+// records of its own partition. It is what the partition optimizer migrates a
+// CVD to.
+const PartitionedRlistModel ModelKind = "partitioned-rlist"
+
+// partitionedRlist stores one (data, versioning) table pair per partition,
+// a version→partition map, and online-maintenance parameters (δ*, γ).
+type partitionedRlist struct {
+	db   *engine.DB
+	cvd  string
+	cols []engine.Column // rid + data attributes
+
+	partOf   map[vgraph.VersionID]int
+	partIDs  []int // live physical partition ids
+	nextPart int
+	rlists   map[vgraph.VersionID][]int64
+	partRecs map[int]map[int64]bool
+
+	// deltaStar and gammaRecords implement the online placement rule: a new
+	// version opens its own partition when it shares at most δ*·|R| records
+	// with its best parent and storage is under γ. Zeroes disable splitting
+	// (all versions share partition 0) until Optimize sets them.
+	deltaStar    float64
+	gammaRecords int64
+	totalRecords int64 // |R|: distinct records across the CVD
+	storageRecs  int64 // S = Σ|Rk|
+}
+
+func (m *partitionedRlist) Kind() ModelKind { return PartitionedRlistModel }
+
+func (m *partitionedRlist) dataName(p int) string {
+	return fmt.Sprintf("%s_part%d_data", m.cvd, p)
+}
+func (m *partitionedRlist) versionName(p int) string {
+	return fmt.Sprintf("%s_part%d_version", m.cvd, p)
+}
+func (m *partitionedRlist) mapName() string { return m.cvd + "__partmap" }
+
+func (m *partitionedRlist) Init(cols []engine.Column) error {
+	m.cols = dataColumns(cols)
+	m.partOf = make(map[vgraph.VersionID]int)
+	m.rlists = make(map[vgraph.VersionID][]int64)
+	m.partRecs = make(map[int]map[int64]bool)
+	t, err := m.db.CreateTable(m.mapName(), []engine.Column{
+		{Name: "vid", Type: engine.KindInt},
+		{Name: "pid", Type: engine.KindInt},
+	})
+	if err != nil {
+		return err
+	}
+	if err := t.SetPrimaryKey("vid"); err != nil {
+		return err
+	}
+	_, err = m.createPartition()
+	return err
+}
+
+// createPartition allocates a new physical partition and returns its id.
+func (m *partitionedRlist) createPartition() (int, error) {
+	p := m.nextPart
+	m.nextPart++
+	dt, err := m.db.CreateTable(m.dataName(p), m.cols)
+	if err != nil {
+		return 0, err
+	}
+	if err := dt.SetPrimaryKey("rid"); err != nil {
+		return 0, err
+	}
+	vt, err := m.db.CreateTable(m.versionName(p), []engine.Column{
+		{Name: "vid", Type: engine.KindInt},
+		{Name: "rlist", Type: engine.KindIntArray},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := vt.SetPrimaryKey("vid"); err != nil {
+		return 0, err
+	}
+	m.partIDs = append(m.partIDs, p)
+	m.partRecs[p] = make(map[int64]bool)
+	return p, nil
+}
+
+func (m *partitionedRlist) dropPartition(p int) error {
+	for _, n := range []string{m.dataName(p), m.versionName(p)} {
+		if m.db.HasTable(n) {
+			if err := m.db.DropTable(n); err != nil {
+				return err
+			}
+		}
+	}
+	m.storageRecs -= int64(len(m.partRecs[p]))
+	delete(m.partRecs, p)
+	for i, id := range m.partIDs {
+		if id == p {
+			m.partIDs = append(m.partIDs[:i], m.partIDs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetOnlineParams configures the online placement rule (δ*, γ in records).
+func (m *partitionedRlist) SetOnlineParams(deltaStar float64, gammaRecords int64) {
+	m.deltaStar = deltaStar
+	m.gammaRecords = gammaRecords
+}
+
+// NumPartitions returns the live partition count.
+func (m *partitionedRlist) NumPartitions() int { return len(m.partIDs) }
+
+// PartitionOf returns the physical partition holding a version.
+func (m *partitionedRlist) PartitionOf(v vgraph.VersionID) (int, bool) {
+	p, ok := m.partOf[v]
+	return p, ok
+}
+
+// PartitionRecords returns |Rk| for a physical partition.
+func (m *partitionedRlist) PartitionRecords(p int) int64 { return int64(len(m.partRecs[p])) }
+
+// StorageRecords returns S = Σ|Rk| in records (the partitioning metric).
+func (m *partitionedRlist) StorageRecords() int64 { return m.storageRecs }
+
+// CheckoutCost returns the current Cavg = Σ|Vk||Rk| / n in records.
+func (m *partitionedRlist) CheckoutCost() float64 {
+	if len(m.partOf) == 0 {
+		return 0
+	}
+	counts := make(map[int]int64, len(m.partIDs))
+	for _, p := range m.partOf {
+		counts[p]++
+	}
+	var num int64
+	for p, n := range counts {
+		num += n * int64(len(m.partRecs[p]))
+	}
+	return float64(num) / float64(len(m.partOf))
+}
+
+func (m *partitionedRlist) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, all []Record, fresh []Record) error {
+	rids := ridsOf(all)
+	// Online placement (Section 4.3): join the best parent's partition
+	// unless the overlap is small while storage headroom remains.
+	target := -1
+	if len(parents) > 0 {
+		ridSet := make(map[int64]bool, len(rids))
+		for _, r := range rids {
+			ridSet[r] = true
+		}
+		var bestParent vgraph.VersionID
+		var bestW int64 = -1
+		for _, p := range parents {
+			var w int64
+			for _, r := range m.rlists[p] {
+				if ridSet[r] {
+					w++
+				}
+			}
+			if w > bestW {
+				bestParent, bestW = p, w
+			}
+		}
+		openNew := m.deltaStar > 0 &&
+			float64(bestW) <= m.deltaStar*float64(m.totalRecords) &&
+			m.storageRecs < m.gammaRecords
+		if !openNew {
+			target = m.partOf[bestParent]
+		}
+	} else if len(m.partOf) == 0 && len(m.partIDs) > 0 {
+		// First commit lands in the initial partition.
+		target = m.partIDs[0]
+	}
+	if target < 0 {
+		p, err := m.createPartition()
+		if err != nil {
+			return err
+		}
+		target = p
+	}
+	return m.storeVersion(target, vid, all, rids)
+}
+
+// storeVersion inserts the version's missing records and its rlist tuple
+// into partition p.
+func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Record, rids []int64) error {
+	dt, err := m.db.MustTable(m.dataName(p))
+	if err != nil {
+		return err
+	}
+	vt, err := m.db.MustTable(m.versionName(p))
+	if err != nil {
+		return err
+	}
+	recs := m.partRecs[p]
+	for _, r := range all {
+		rid := int64(r.RID)
+		if recs[rid] {
+			continue
+		}
+		if r.Data == nil {
+			return fmt.Errorf("core: %s: partition %d missing data for record %d", m.cvd, p, rid)
+		}
+		if _, err := dt.Insert(rowWithRID(r)); err != nil {
+			return err
+		}
+		recs[rid] = true
+		m.storageRecs++
+	}
+	if _, err := vt.Insert(engine.Row{
+		engine.IntValue(int64(vid)),
+		engine.ArrayValue(rids),
+	}); err != nil {
+		return err
+	}
+	mt, err := m.db.MustTable(m.mapName())
+	if err != nil {
+		return err
+	}
+	if _, err := mt.Insert(engine.Row{
+		engine.IntValue(int64(vid)),
+		engine.IntValue(int64(p)),
+	}); err != nil {
+		return err
+	}
+	m.partOf[vid] = p
+	m.rlists[vid] = rids
+	for _, r := range rids {
+		if r > m.totalRecords {
+			m.totalRecords = r
+		}
+	}
+	return nil
+}
+
+// countMaxRid recomputes |R| as the highest rid seen; rids are allocated
+// densely by the record manager, so this matches the CVD-wide record count
+// the online placement rule compares against.
+func (m *partitionedRlist) countMaxRid() int64 {
+	var maxRid int64
+	for _, recs := range m.partRecs {
+		for r := range recs {
+			if r > maxRid {
+				maxRid = r
+			}
+		}
+	}
+	return maxRid
+}
+
+func (m *partitionedRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
+	p, ok := m.partOf[vid]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: no version %d", m.cvd, vid)
+	}
+	dt, err := m.db.MustTable(m.dataName(p))
+	if err != nil {
+		return nil, err
+	}
+	vt, err := m.db.MustTable(m.versionName(p))
+	if err != nil {
+		return nil, err
+	}
+	ids := vt.Index("vid").Lookup(engine.IntValue(int64(vid)))
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: %s: partition %d lost version %d", m.cvd, p, vid)
+	}
+	rids := vt.Get(ids[0])[1].A
+	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(rows))
+	for i, row := range rows {
+		out[i] = recordFromRow(row)
+	}
+	return out, nil
+}
+
+func (m *partitionedRlist) StorageBytes() int64 {
+	var n int64
+	for _, p := range m.partIDs {
+		if t := m.db.Table(m.dataName(p)); t != nil {
+			n += t.SizeBytes()
+		}
+		if t := m.db.Table(m.versionName(p)); t != nil {
+			n += t.SizeBytes()
+		}
+	}
+	return n
+}
+
+func (m *partitionedRlist) AddColumn(c engine.Column) error {
+	m.cols = append(m.cols, c)
+	for _, p := range m.partIDs {
+		dt, err := m.db.MustTable(m.dataName(p))
+		if err != nil {
+			return err
+		}
+		if err := dt.AddColumn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *partitionedRlist) AlterColumnType(name string, k engine.Kind) error {
+	for i := range m.cols {
+		if m.cols[i].Name == name {
+			m.cols[i].Type = engine.MoreGeneral(m.cols[i].Type, k)
+		}
+	}
+	for _, p := range m.partIDs {
+		dt, err := m.db.MustTable(m.dataName(p))
+		if err != nil {
+			return err
+		}
+		if err := dt.AlterColumnType(name, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *partitionedRlist) Drop() error {
+	for _, p := range append([]int(nil), m.partIDs...) {
+		if err := m.dropPartition(p); err != nil {
+			return err
+		}
+	}
+	if m.db.HasTable(m.mapName()) {
+		return m.db.DropTable(m.mapName())
+	}
+	return nil
+}
+
+// bipartite reconstructs the version-record graph from the rlist cache.
+func (m *partitionedRlist) bipartite() *vgraph.Bipartite {
+	b := vgraph.NewBipartite()
+	vids := make([]vgraph.VersionID, 0, len(m.rlists))
+	for v := range m.rlists {
+		vids = append(vids, v)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, v := range vids {
+		rl := make([]vgraph.RecordID, len(m.rlists[v]))
+		for i, r := range m.rlists[v] {
+			rl[i] = vgraph.RecordID(r)
+		}
+		b.AddVersion(v, rl)
+	}
+	return b
+}
+
+// currentPartitioning snapshots the physical layout as a partition.Partitioning
+// (partition indexes are positions in partIDs).
+func (m *partitionedRlist) currentPartitioning() *partition.Partitioning {
+	p := &partition.Partitioning{Of: make(map[vgraph.VersionID]int, len(m.partOf))}
+	idx := make(map[int]int, len(m.partIDs))
+	for i, pid := range m.partIDs {
+		idx[pid] = i
+		recs := make([]vgraph.RecordID, 0, len(m.partRecs[pid]))
+		for r := range m.partRecs[pid] {
+			recs = append(recs, vgraph.RecordID(r))
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a] < recs[b] })
+		p.Parts = append(p.Parts, partition.Part{
+			Records:    recs,
+			NumRecords: int64(len(recs)),
+		})
+	}
+	for v, pid := range m.partOf {
+		i := idx[pid]
+		p.Of[v] = i
+		p.Parts[i].Versions = append(p.Parts[i].Versions, v)
+	}
+	return p
+}
+
+// MigrationReport summarizes one physical migration.
+type MigrationReport struct {
+	Plan          *partition.MigrationPlan
+	NewPartitions int
+	RowsInserted  int64
+	RowsDeleted   int64
+}
+
+// ApplyPartitioning migrates the physical layout to the given version
+// groups. With naive=true every partition is rebuilt from scratch; otherwise
+// the intelligent plan of Section 4.3 edits the closest existing partitions.
+func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive bool) (*MigrationReport, error) {
+	b := m.bipartite()
+	next := partition.FromVersionGroups(b, groups)
+	old := m.currentPartitioning()
+	var plan *partition.MigrationPlan
+	if naive {
+		plan = partition.PlanNaiveMigration(next)
+	} else {
+		plan = partition.PlanMigration(b, old, next)
+	}
+	report := &MigrationReport{Plan: plan, NewPartitions: len(next.Parts)}
+
+	// recLoc finds a live partition holding each record, for fetching rows.
+	recLoc := make(map[int64]int, m.totalRecords)
+	for _, pid := range m.partIDs {
+		for r := range m.partRecs[pid] {
+			recLoc[r] = pid
+		}
+	}
+	fetch := func(rid int64) (engine.Row, error) {
+		pid, ok := recLoc[rid]
+		if !ok {
+			return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, rid)
+		}
+		dt, err := m.db.MustTable(m.dataName(pid))
+		if err != nil {
+			return nil, err
+		}
+		ids := dt.Index("rid").Lookup(engine.IntValue(rid))
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("core: %s: record %d missing from partition %d", m.cvd, rid, pid)
+		}
+		return dt.Get(ids[0]), nil
+	}
+
+	newPartIDs := make([]int, len(next.Parts))
+	newRecs := make([]map[int64]bool, len(next.Parts))
+	reusedOld := make(map[int]bool)
+
+	// Pass 1: reuse partitions per the plan (edits happen after all fetches
+	// below are planned against the pre-migration layout, so fetch rows
+	// eagerly for inserts).
+	type pendingInsert struct {
+		step partition.MigrationStep
+		rows []engine.Row
+	}
+	var pending []pendingInsert
+	for _, step := range plan.Steps {
+		want := make(map[int64]bool, next.Parts[step.New].NumRecords)
+		for _, r := range next.Parts[step.New].Records {
+			want[int64(r)] = true
+		}
+		newRecs[step.New] = want
+		var ins pendingInsert
+		ins.step = step
+		if step.Old >= 0 {
+			oldPID := m.partIDs[step.Old]
+			reusedOld[oldPID] = true
+			newPartIDs[step.New] = oldPID
+			have := m.partRecs[oldPID]
+			for r := range want {
+				if !have[r] {
+					row, err := fetch(r)
+					if err != nil {
+						return nil, err
+					}
+					ins.rows = append(ins.rows, engine.CloneRow(row))
+				}
+			}
+		} else {
+			newPartIDs[step.New] = -1 // build from scratch
+			for r := range want {
+				row, err := fetch(r)
+				if err != nil {
+					return nil, err
+				}
+				ins.rows = append(ins.rows, engine.CloneRow(row))
+			}
+		}
+		pending = append(pending, ins)
+	}
+
+	// Pass 2: apply edits.
+	for i, ins := range pending {
+		step := ins.step
+		want := newRecs[step.New]
+		if step.Old >= 0 {
+			pid := newPartIDs[step.New]
+			dt, err := m.db.MustTable(m.dataName(pid))
+			if err != nil {
+				return nil, err
+			}
+			// Delete rows the new partition no longer needs.
+			var drop []engine.RowID
+			dt.Scan(func(id engine.RowID, row engine.Row) bool {
+				if !want[row[0].I] {
+					drop = append(drop, id)
+				}
+				return true
+			})
+			dt.DeleteBatch(drop)
+			report.RowsDeleted += int64(len(drop))
+			for _, row := range ins.rows {
+				if _, err := dt.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+			report.RowsInserted += int64(len(ins.rows))
+		} else {
+			pid, err := m.createPartition()
+			if err != nil {
+				return nil, err
+			}
+			newPartIDs[step.New] = pid
+			dt, err := m.db.MustTable(m.dataName(pid))
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range ins.rows {
+				if _, err := dt.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+			report.RowsInserted += int64(len(ins.rows))
+		}
+		_ = i
+	}
+
+	// Drop old partitions with no successor.
+	for _, pid := range append([]int(nil), m.partIDs...) {
+		keep := false
+		for _, np := range newPartIDs {
+			if np == pid {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			if err := m.dropPartition(pid); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Rebuild versioning tables and the version→partition map.
+	m.partIDs = append([]int(nil), newPartIDs...)
+	sort.Ints(m.partIDs)
+	m.storageRecs = 0
+	for i, pid := range newPartIDs {
+		recs := make(map[int64]bool, len(newRecs[i]))
+		for r := range newRecs[i] {
+			recs[r] = true
+		}
+		m.partRecs[pid] = recs
+		m.storageRecs += int64(len(recs))
+		vtName := m.versionName(pid)
+		if m.db.HasTable(vtName) {
+			if err := m.db.DropTable(vtName); err != nil {
+				return nil, err
+			}
+		}
+		vt, err := m.db.CreateTable(vtName, []engine.Column{
+			{Name: "vid", Type: engine.KindInt},
+			{Name: "rlist", Type: engine.KindIntArray},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := vt.SetPrimaryKey("vid"); err != nil {
+			return nil, err
+		}
+		for _, v := range next.Parts[i].Versions {
+			if _, err := vt.Insert(engine.Row{
+				engine.IntValue(int64(v)),
+				engine.ArrayValue(m.rlists[v]),
+			}); err != nil {
+				return nil, err
+			}
+			m.partOf[v] = pid
+		}
+	}
+	// Rewrite the persistent map.
+	if m.db.HasTable(m.mapName()) {
+		if err := m.db.DropTable(m.mapName()); err != nil {
+			return nil, err
+		}
+	}
+	mt, err := m.db.CreateTable(m.mapName(), []engine.Column{
+		{Name: "vid", Type: engine.KindInt},
+		{Name: "pid", Type: engine.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mt.SetPrimaryKey("vid"); err != nil {
+		return nil, err
+	}
+	for v, pid := range m.partOf {
+		if _, err := mt.Insert(engine.Row{
+			engine.IntValue(int64(v)),
+			engine.IntValue(int64(pid)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	m.totalRecords = m.countMaxRid()
+	return report, nil
+}
+
+var _ DataModel = (*partitionedRlist)(nil)

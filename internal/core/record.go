@@ -1,0 +1,40 @@
+// Package core implements the OrpheusDB versioning layer: collaborative
+// versioned datasets (CVDs), the five data models of Section 3 (a-table-per-
+// version, combined-table, split-by-vlist, split-by-rlist, delta-based), the
+// record/version/provenance managers, multi-version checkout with primary-key
+// precedence, commit with the no-cross-version-diff rule, diff, and schema
+// evolution. It sits as middleware over the internal/engine database, which —
+// like PostgreSQL in the paper — is completely unaware of versioning.
+package core
+
+import (
+	"hash/fnv"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// Record pairs an immutable record id with its data attributes (data columns
+// only; no versioning attributes).
+type Record struct {
+	RID  vgraph.RecordID
+	Data engine.Row
+}
+
+// RecordHash is a 128-bit content hash of a record's data attributes. Records
+// within a CVD are immutable, so equal hashes identify "the same" record for
+// the no-cross-version-diff commit rule.
+type RecordHash struct {
+	H1, H2 uint64
+}
+
+// HashRow computes the content hash of a row's data attributes.
+func HashRow(r engine.Row) RecordHash {
+	key := engine.EncodeKey(r...)
+	a := fnv.New64a()
+	a.Write([]byte(key))
+	b := fnv.New64()
+	b.Write([]byte{0x5f})
+	b.Write([]byte(key))
+	return RecordHash{H1: a.Sum64(), H2: b.Sum64()}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// splitByVlist separates data from versioning information (Approach 2,
+// Figure 1c.i): a data table (rid, attrs...) and a versioning table
+// (rid, vlist). Commit still pays per-record array appends in the versioning
+// table; checkout selects rids whose vlist contains the version and joins
+// them with the data table.
+type splitByVlist struct {
+	db  *engine.DB
+	cvd string
+}
+
+func (m *splitByVlist) Kind() ModelKind { return SplitByVlistModel }
+
+func (m *splitByVlist) dataName() string    { return m.cvd + "_vl_data" }
+func (m *splitByVlist) versionName() string { return m.cvd + "_vl_version" }
+
+func (m *splitByVlist) Init(cols []engine.Column) error {
+	dt, err := m.db.CreateTable(m.dataName(), dataColumns(cols))
+	if err != nil {
+		return err
+	}
+	if err := dt.SetPrimaryKey("rid"); err != nil {
+		return err
+	}
+	vt, err := m.db.CreateTable(m.versionName(), []engine.Column{
+		{Name: "rid", Type: engine.KindInt},
+		{Name: "vlist", Type: engine.KindIntArray},
+	})
+	if err != nil {
+		return err
+	}
+	return vt.SetPrimaryKey("rid")
+}
+
+func (m *splitByVlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []Record, fresh []Record) error {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return err
+	}
+	vt, err := m.db.MustTable(m.versionName())
+	if err != nil {
+		return err
+	}
+	freshSet := make(map[vgraph.RecordID]bool, len(fresh))
+	for _, r := range fresh {
+		freshSet[r.RID] = true
+	}
+	// UPDATE versioningTable SET vlist = vlist + vj WHERE rid IN (...):
+	// per-record appends via the rid primary-key index.
+	ix := vt.Index("rid")
+	vlistCol := vt.ColIndex("vlist")
+	for _, r := range all {
+		if freshSet[r.RID] {
+			continue
+		}
+		ids := ix.Lookup(engine.IntValue(int64(r.RID)))
+		for _, id := range ids {
+			row := vt.Get(id)
+			nr := engine.CloneRow(row)
+			nr[vlistCol] = engine.ArrayValue(engine.ArrayAppend(row[vlistCol].A, int64(vid)))
+			if err := vt.Update(id, nr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range fresh {
+		if _, err := dt.Insert(rowWithRID(r)); err != nil {
+			return err
+		}
+		_, err := vt.Insert(engine.Row{
+			engine.IntValue(int64(r.RID)),
+			engine.ArrayValue([]int64{int64(vid)}),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *splitByVlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return nil, err
+	}
+	vt, err := m.db.MustTable(m.versionName())
+	if err != nil {
+		return nil, err
+	}
+	// SELECT rid FROM versioningTable WHERE ARRAY[vid] <@ vlist — a full
+	// scan of the versioning table with containment checks...
+	vlistCol := vt.ColIndex("vlist")
+	want := []int64{int64(vid)}
+	var rids []int64
+	vt.Scan(func(_ engine.RowID, row engine.Row) bool {
+		if engine.ArrayContains(want, row[vlistCol].A) {
+			rids = append(rids, row[0].I)
+		}
+		return true
+	})
+	// ...followed by a join with the data table.
+	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(rows))
+	for i, row := range rows {
+		out[i] = recordFromRow(row)
+	}
+	return out, nil
+}
+
+func (m *splitByVlist) StorageBytes() int64 {
+	var n int64
+	if t := m.db.Table(m.dataName()); t != nil {
+		n += t.SizeBytes()
+	}
+	if t := m.db.Table(m.versionName()); t != nil {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+func (m *splitByVlist) AddColumn(c engine.Column) error {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return err
+	}
+	return dt.AddColumn(c)
+}
+
+func (m *splitByVlist) AlterColumnType(name string, k engine.Kind) error {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return err
+	}
+	return dt.AlterColumnType(name, k)
+}
+
+func (m *splitByVlist) Drop() error {
+	for _, n := range []string{m.dataName(), m.versionName()} {
+		if m.db.HasTable(n) {
+			if err := m.db.DropTable(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var _ DataModel = (*splitByVlist)(nil)

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is the engine's catalog: a set of named tables sharing one Stats
+// instance, plus session settings (e.g. the preferred join method). It is the
+// stand-in for the PostgreSQL instance OrpheusDB wraps.
+type DB struct {
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	settings map[string]string
+	stats    Stats
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		tables:   make(map[string]*Table),
+		settings: make(map[string]string),
+	}
+}
+
+// Stats returns the shared I/O counters.
+func (db *DB) Stats() *Stats { return &db.stats }
+
+// SetSetting stores a session setting (e.g. "join_method" = "hash").
+func (db *DB) SetSetting(key, value string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.settings[key] = value
+}
+
+// Setting fetches a session setting.
+func (db *DB) Setting(key string) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.settings[key]
+}
+
+// JoinMethodSetting returns the session's preferred join method, defaulting
+// to hash join (the paper's standard choice).
+func (db *DB) JoinMethodSetting() JoinMethod {
+	s := db.Setting("join_method")
+	if s == "" {
+		return HashJoin
+	}
+	m, err := ParseJoinMethod(s)
+	if err != nil {
+		return HashJoin
+	}
+	return m
+}
+
+// CreateTable creates a table with the given columns.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("engine: table %q: duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := newTable(name, cols, &db.stats)
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// MustTable returns the named table or an error.
+func (db *DB) MustTable(name string) (*Table, error) {
+	if t := db.Table(name); t != nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("engine: no table %q", name)
+}
+
+// DropTable removes the named table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("engine: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// HasTable reports whether the named table exists.
+func (db *DB) HasTable(name string) bool { return db.Table(name) != nil }
+
+// RenameTable renames a table.
+func (db *DB) RenameTable(old, new string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[old]
+	if !ok {
+		return fmt.Errorf("engine: no table %q", old)
+	}
+	if _, ok := db.tables[new]; ok {
+		return fmt.Errorf("engine: table %q already exists", new)
+	}
+	delete(db.tables, old)
+	t.name = new
+	db.tables[new] = t
+	return nil
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalSizeBytes sums the storage of all tables.
+func (db *DB) TotalSizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, t := range db.tables {
+		n += t.SizeBytes()
+	}
+	return n
+}

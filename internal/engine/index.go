@@ -1,0 +1,106 @@
+package engine
+
+import "sort"
+
+// Index is an ordered (B-tree-like) secondary index mapping encoded column
+// keys to row IDs. Lookups are binary searches over a sorted entry slice;
+// inserts keep the slice sorted. This matches the access patterns the paper
+// relies on: point lookups on vid / rid and ordered traversal for merge
+// joins.
+type Index struct {
+	cols    []int
+	entries []indexEntry
+	dirty   int // number of unsorted tail entries awaiting merge
+}
+
+type indexEntry struct {
+	key string
+	id  RowID
+}
+
+// newIndex builds an empty index over the given column positions.
+func newIndex(cols []int) *Index {
+	return &Index{cols: append([]int(nil), cols...)}
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// keyOf encodes the indexed columns of r.
+func (ix *Index) keyOf(r Row) string {
+	vals := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = r[c]
+	}
+	return EncodeKey(vals...)
+}
+
+// insert adds an entry. Insertions append to an unsorted tail which is merged
+// lazily on the next lookup; bulk loads therefore cost O(n log n) total.
+func (ix *Index) insert(r Row, id RowID) {
+	ix.entries = append(ix.entries, indexEntry{key: ix.keyOf(r), id: id})
+	ix.dirty++
+}
+
+// remove drops the entry for (r, id).
+func (ix *Index) remove(r Row, id RowID) {
+	ix.settle()
+	key := ix.keyOf(r)
+	i := sort.Search(len(ix.entries), func(i int) bool { return ix.entries[i].key >= key })
+	for ; i < len(ix.entries) && ix.entries[i].key == key; i++ {
+		if ix.entries[i].id == id {
+			ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeIDs drops every entry whose row id is in the set, in one sweep.
+func (ix *Index) removeIDs(drop map[RowID]bool) {
+	ix.settle()
+	out := ix.entries[:0]
+	for _, e := range ix.entries {
+		if !drop[e.id] {
+			out = append(out, e)
+		}
+	}
+	ix.entries = out
+}
+
+// settle sorts any unsorted tail into place.
+func (ix *Index) settle() {
+	if ix.dirty == 0 {
+		return
+	}
+	sort.Slice(ix.entries, func(i, j int) bool { return ix.entries[i].key < ix.entries[j].key })
+	ix.dirty = 0
+}
+
+// Lookup returns the row IDs whose key equals the encoding of vals.
+func (ix *Index) Lookup(vals ...Value) []RowID {
+	ix.settle()
+	key := EncodeKey(vals...)
+	i := sort.Search(len(ix.entries), func(i int) bool { return ix.entries[i].key >= key })
+	var out []RowID
+	for ; i < len(ix.entries) && ix.entries[i].key == key; i++ {
+		out = append(out, ix.entries[i].id)
+	}
+	return out
+}
+
+// Ordered returns all entries in key order, for merge-join style traversal.
+// The returned slice is the index's own storage; callers must not modify it.
+func (ix *Index) Ordered() []indexEntry {
+	ix.settle()
+	return ix.entries
+}
+
+// OrderedIDs returns the row IDs in key order.
+func (ix *Index) OrderedIDs() []RowID {
+	ix.settle()
+	out := make([]RowID, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = e.id
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Persistence snapshots the whole database with encoding/gob so the CLI can
+// operate across process invocations. The snapshot format is explicit structs
+// decoupled from the in-memory representation, so internal layout can evolve.
+
+type dbSnapshot struct {
+	Settings map[string]string
+	Tables   []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name      string
+	Cols      []Column
+	PK        []string
+	Indexes   [][]string
+	Clustered []string
+	Rows      []Row
+}
+
+// Save writes a snapshot of the database to path atomically (write to a temp
+// file, then rename).
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	snap := dbSnapshot{Settings: make(map[string]string, len(db.settings))}
+	for k, v := range db.settings {
+		snap.Settings[k] = v
+	}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		ts := tableSnapshot{Name: t.name, Cols: append([]Column(nil), t.cols...)}
+		for _, c := range t.pk {
+			ts.PK = append(ts.PK, t.cols[c].Name)
+		}
+		for key := range t.indexes {
+			ts.Indexes = append(ts.Indexes, splitIndexKey(key))
+		}
+		if t.cluster != "" {
+			ts.Clustered = splitIndexKey(t.cluster)
+		}
+		ts.Rows = make([]Row, 0, t.NumRows())
+		for _, page := range t.pages {
+			for _, r := range page {
+				if r != nil {
+					ts.Rows = append(ts.Rows, r)
+				}
+			}
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	db.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// tableNamesLocked lists table names; caller holds at least a read lock.
+func (db *DB) tableNamesLocked() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	// Deterministic snapshots make tests and diffs stable.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func splitIndexKey(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// Load reads a snapshot produced by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: load: %w", err)
+	}
+	defer f.Close()
+	var snap dbSnapshot
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: load %s: %w", filepath.Base(path), err)
+	}
+	db := NewDB()
+	for k, v := range snap.Settings {
+		db.settings[k] = v
+	}
+	for _, ts := range snap.Tables {
+		t, err := db.CreateTable(ts.Name, ts.Cols)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.InsertMany(ts.Rows); err != nil {
+			return nil, err
+		}
+		for _, names := range ts.Indexes {
+			if err := t.CreateIndex(names...); err != nil {
+				return nil, err
+			}
+		}
+		if len(ts.PK) > 0 {
+			if err := t.SetPrimaryKey(ts.PK...); err != nil {
+				return nil, err
+			}
+		}
+		if len(ts.Clustered) > 0 {
+			if err := t.Cluster(ts.Clustered...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

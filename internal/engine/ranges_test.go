@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeRangesBasics(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want []int64
+	}{
+		{nil, nil},
+		{[]int64{5}, []int64{5, 6}},
+		{[]int64{1, 2, 3}, []int64{1, 4}},
+		{[]int64{3, 1, 2}, []int64{1, 4}},
+		{[]int64{1, 2, 2, 3}, []int64{1, 4}},
+		{[]int64{1, 3, 5}, []int64{1, 2, 3, 4, 5, 6}},
+		{[]int64{1, 2, 3, 7, 8, 20}, []int64{1, 4, 7, 9, 20, 21}},
+	}
+	for _, c := range cases {
+		if got := EncodeRanges(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("EncodeRanges(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRangesRoundTripQuick(t *testing.T) {
+	// Property: decode(encode(xs)) equals sorted, deduplicated xs.
+	f := func(raw []uint16) bool {
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		enc := EncodeRanges(xs)
+		got := DecodeRanges(enc)
+		seen := map[int64]bool{}
+		var want []int64
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				want = append(want, x)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return RangesLen(enc) == int64(len(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangesContain(t *testing.T) {
+	enc := EncodeRanges([]int64{1, 2, 3, 10, 11, 50})
+	for _, x := range []int64{1, 2, 3, 10, 11, 50} {
+		if !RangesContain(enc, x) {
+			t.Errorf("missing %d", x)
+		}
+	}
+	for _, x := range []int64{0, 4, 9, 12, 49, 51} {
+		if RangesContain(enc, x) {
+			t.Errorf("spurious %d", x)
+		}
+	}
+	if RangesContain(nil, 1) {
+		t.Error("empty encoding contains nothing")
+	}
+}
+
+func TestRangeCompressionOnVersionLists(t *testing.T) {
+	// The workload shape the paper appeals to: rlists of consecutively
+	// allocated rids with occasional gaps compress heavily.
+	rng := rand.New(rand.NewSource(9))
+	rlist := make([]int64, 0, 10_000)
+	next := int64(0)
+	for len(rlist) < 10_000 {
+		runLen := 50 + rng.Int63n(200)
+		for i := int64(0); i < runLen; i++ {
+			rlist = append(rlist, next)
+			next++
+		}
+		next += 1 + rng.Int63n(5) // gap from records updated on a branch
+	}
+	ratio := RangeCompressionRatio(rlist)
+	if ratio < 10 {
+		t.Fatalf("run-heavy rlist compressed only %.1fx", ratio)
+	}
+	// Random ids barely compress.
+	randIDs := make([]int64, 1000)
+	for i := range randIDs {
+		randIDs[i] = rng.Int63n(1 << 40)
+	}
+	if r := RangeCompressionRatio(randIDs); r > 1.0 {
+		t.Fatalf("random ids compressed %.2fx", r)
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RandCost is the modeled cost of a random page fetch relative to a
+// sequential one. Appendix D.1 of the paper observes that large numbers of
+// random accesses degrade to (and beyond) a full sequential scan; the planner
+// uses this factor when choosing between index and sequential scans.
+const RandCost = 50
+
+// Stats accounts the I/O the engine performs. Counters are cumulative and
+// safe for concurrent use; Reset or Snapshot+diff them around a measured
+// region. One Stats instance is shared by all tables of a DB.
+type Stats struct {
+	SeqPages    atomic.Int64 // pages fetched as part of a sequential scan
+	RandPages   atomic.Int64 // pages fetched via random access (index probes)
+	RowsScanned atomic.Int64 // rows materialized from pages
+	IndexProbes atomic.Int64 // index lookups performed
+	HashBuilds  atomic.Int64 // rows inserted into transient hash tables
+}
+
+// StatSnapshot is an immutable copy of the counters.
+type StatSnapshot struct {
+	SeqPages    int64
+	RandPages   int64
+	RowsScanned int64
+	IndexProbes int64
+	HashBuilds  int64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() StatSnapshot {
+	return StatSnapshot{
+		SeqPages:    s.SeqPages.Load(),
+		RandPages:   s.RandPages.Load(),
+		RowsScanned: s.RowsScanned.Load(),
+		IndexProbes: s.IndexProbes.Load(),
+		HashBuilds:  s.HashBuilds.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.SeqPages.Store(0)
+	s.RandPages.Store(0)
+	s.RowsScanned.Store(0)
+	s.IndexProbes.Store(0)
+	s.HashBuilds.Store(0)
+}
+
+// Since returns the counter deltas accumulated after the given snapshot.
+func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
+	cur := s.Snapshot()
+	return StatSnapshot{
+		SeqPages:    cur.SeqPages - prev.SeqPages,
+		RandPages:   cur.RandPages - prev.RandPages,
+		RowsScanned: cur.RowsScanned - prev.RowsScanned,
+		IndexProbes: cur.IndexProbes - prev.IndexProbes,
+		HashBuilds:  cur.HashBuilds - prev.HashBuilds,
+	}
+}
+
+// IOCost is the modeled I/O cost in sequential-page units.
+func (d StatSnapshot) IOCost() int64 {
+	return d.SeqPages + RandCost*d.RandPages
+}
+
+// String formats the snapshot for logs and experiment output.
+func (d StatSnapshot) String() string {
+	return fmt.Sprintf("seq=%d rand=%d rows=%d probes=%d cost=%d",
+		d.SeqPages, d.RandPages, d.RowsScanned, d.IndexProbes, d.IOCost())
+}

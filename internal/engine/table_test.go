@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testTable(t *testing.T, n int) (*DB, *Table) {
+	t.Helper()
+	db := NewDB()
+	tab, err := db.CreateTable("t", []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "name", Type: KindString},
+		{Name: "score", Type: KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := tab.Insert(Row{IntValue(int64(i)), StringValue(fmt.Sprintf("n%d", i)), IntValue(int64(i % 10))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tab
+}
+
+func TestTableInsertScan(t *testing.T) {
+	_, tab := testTable(t, 1000)
+	if tab.NumRows() != 1000 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	wantPages := (1000 + RowsPerPage - 1) / RowsPerPage
+	if tab.NumPages() != wantPages {
+		t.Fatalf("NumPages = %d, want %d", tab.NumPages(), wantPages)
+	}
+	sum := int64(0)
+	tab.Scan(func(_ RowID, r Row) bool {
+		sum += r[0].I
+		return true
+	})
+	if sum != 999*1000/2 {
+		t.Fatalf("scan sum = %d", sum)
+	}
+}
+
+func TestTableScanEarlyStop(t *testing.T) {
+	_, tab := testTable(t, 100)
+	count := 0
+	tab.Scan(func(_ RowID, _ Row) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d rows", count)
+	}
+}
+
+func TestTableGetUpdateDelete(t *testing.T) {
+	_, tab := testTable(t, 10)
+	var id RowID
+	tab.Scan(func(rid RowID, r Row) bool {
+		if r[0].I == 5 {
+			id = rid
+			return false
+		}
+		return true
+	})
+	got := tab.Get(id)
+	if got == nil || got[0].I != 5 {
+		t.Fatalf("Get: %v", got)
+	}
+	if err := tab.Update(id, Row{IntValue(5), StringValue("five"), IntValue(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Get(id)[1].S != "five" {
+		t.Fatal("update not applied")
+	}
+	tab.Delete(id)
+	if tab.Get(id) != nil {
+		t.Fatal("delete not applied")
+	}
+	if tab.NumRows() != 9 {
+		t.Fatalf("NumRows after delete = %d", tab.NumRows())
+	}
+}
+
+func TestTableRowWidthValidation(t *testing.T) {
+	_, tab := testTable(t, 0)
+	if _, err := tab.Insert(Row{IntValue(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	id, _ := tab.Insert(Row{IntValue(1), StringValue("a"), IntValue(2)})
+	if err := tab.Update(id, Row{IntValue(1)}); err == nil {
+		t.Fatal("short update accepted")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	_, tab := testTable(t, 500)
+	if err := tab.CreateIndex("score"); err != nil {
+		t.Fatal(err)
+	}
+	ix := tab.Index("score")
+	ids := ix.Lookup(IntValue(3))
+	if len(ids) != 50 {
+		t.Fatalf("score=3 matched %d rows, want 50", len(ids))
+	}
+	for _, id := range ids {
+		if tab.Get(id)[2].I != 3 {
+			t.Fatal("index returned wrong row")
+		}
+	}
+	if got := ix.Lookup(IntValue(99)); len(got) != 0 {
+		t.Fatalf("missing key returned %d rows", len(got))
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	_, tab := testTable(t, 50)
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	ix := tab.Index("id")
+	ids := ix.Lookup(IntValue(7))
+	if len(ids) != 1 {
+		t.Fatal("setup")
+	}
+	// Update moves the key.
+	if err := tab.Update(ids[0], Row{IntValue(1007), StringValue("x"), IntValue(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup(IntValue(7))) != 0 {
+		t.Fatal("stale index entry after update")
+	}
+	if len(ix.Lookup(IntValue(1007))) != 1 {
+		t.Fatal("missing index entry after update")
+	}
+	// Delete removes the entry.
+	tab.Delete(ix.Lookup(IntValue(1007))[0])
+	if len(ix.Lookup(IntValue(1007))) != 0 {
+		t.Fatal("stale index entry after delete")
+	}
+}
+
+func TestIndexOrdered(t *testing.T) {
+	_, tab := testTable(t, 300)
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	entries := tab.Index("id").Ordered()
+	if len(entries) != 300 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].key > entries[i].key {
+			t.Fatal("index not ordered")
+		}
+	}
+}
+
+func TestPrimaryKey(t *testing.T) {
+	_, tab := testTable(t, 10)
+	if err := tab.SetPrimaryKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckPrimaryKey(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{IntValue(3), StringValue("dup"), IntValue(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckPrimaryKey(); err == nil {
+		t.Fatal("duplicate primary key not detected")
+	}
+	if err := tab.SetPrimaryKey("nope"); err == nil {
+		t.Fatal("bad pk column accepted")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	db, tab := testTable(t, 1000)
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster on score: rows with equal score become contiguous.
+	if err := tab.Cluster("score"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ClusteredOn() != "score" {
+		t.Fatalf("ClusteredOn = %q", tab.ClusteredOn())
+	}
+	last := int64(-1)
+	tab.Scan(func(_ RowID, r Row) bool {
+		if r[2].I < last {
+			t.Fatal("heap not in clustered order")
+		}
+		last = r[2].I
+		return true
+	})
+	// Indexes must survive clustering.
+	if got := len(tab.Index("id").Lookup(IntValue(123))); got != 1 {
+		t.Fatalf("index after cluster: %d", got)
+	}
+	_ = db
+}
+
+func TestAddColumnAndAlter(t *testing.T) {
+	_, tab := testTable(t, 5)
+	if err := tab.AddColumn(Column{Name: "extra", Type: KindFloat}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ColIndex("extra") != 3 {
+		t.Fatal("column not added")
+	}
+	tab.Scan(func(_ RowID, r Row) bool {
+		if len(r) != 4 || !r[3].IsNull() {
+			t.Fatal("old rows should read NULL")
+		}
+		return true
+	})
+	if err := tab.AddColumn(Column{Name: "extra", Type: KindInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	// Widen score int -> float.
+	if err := tab.AlterColumnType("score", KindFloat); err != nil {
+		t.Fatal(err)
+	}
+	tab.Scan(func(_ RowID, r Row) bool {
+		if r[2].K != KindFloat {
+			t.Fatalf("score not widened: %v", r[2])
+		}
+		return true
+	})
+	// Narrowing must fail.
+	if err := tab.AlterColumnType("name", KindInt); err == nil {
+		t.Fatal("narrowing accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db, tab := testTable(t, RowsPerPage*4)
+	db.Stats().Reset()
+	tab.Scan(func(_ RowID, _ Row) bool { return true })
+	snap := db.Stats().Snapshot()
+	if snap.SeqPages != 4 {
+		t.Fatalf("SeqPages = %d, want 4", snap.SeqPages)
+	}
+	if snap.RowsScanned != int64(RowsPerPage*4) {
+		t.Fatalf("RowsScanned = %d", snap.RowsScanned)
+	}
+	tab.Get(MakeRowID(2, 5))
+	d := db.Stats().Since(snap)
+	if d.RandPages != 1 {
+		t.Fatalf("RandPages delta = %d", d.RandPages)
+	}
+	if d.IOCost() != RandCost {
+		t.Fatalf("IOCost = %d", d.IOCost())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	_, tab := testTable(t, 100)
+	s1 := tab.SizeBytes()
+	if s1 <= 0 {
+		t.Fatal("zero size")
+	}
+	if _, err := tab.Insert(Row{IntValue(1000), StringValue("more"), IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.SizeBytes() <= s1 {
+		t.Fatal("size did not grow")
+	}
+}
+
+func TestRowIDPacking(t *testing.T) {
+	id := MakeRowID(123456, 789)
+	if id.Page() != 123456 || id.Slot() != 789 {
+		t.Fatalf("roundtrip: page=%d slot=%d", id.Page(), id.Slot())
+	}
+}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindInt: "integer", KindFloat: "decimal",
+		KindString: "string", KindBool: "boolean", KindIntArray: "integer[]",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "bigint": KindInt,
+		"float": KindFloat, "decimal": KindFloat, "numeric": KindFloat,
+		"text": KindString, "varchar": KindString,
+		"bool": KindBool, "boolean": KindBool,
+		"int[]": KindIntArray, "integer[]": KindIntArray,
+	} {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := KindFromName("blob"); err == nil {
+		t.Error("KindFromName(blob) should fail")
+	}
+}
+
+func TestMoreGeneral(t *testing.T) {
+	cases := []struct {
+		a, b, want Kind
+	}{
+		{KindInt, KindFloat, KindFloat},
+		{KindFloat, KindInt, KindFloat},
+		{KindInt, KindString, KindString},
+		{KindBool, KindInt, KindInt},
+		{KindInt, KindInt, KindInt},
+		{KindFloat, KindString, KindString},
+	}
+	for _, c := range cases {
+		if got := MoreGeneral(c.a, c.b); got != c.want {
+			t.Errorf("MoreGeneral(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NullValue(), "NULL"},
+		{IntValue(-7), "-7"},
+		{FloatValue(2.5), "2.5"},
+		{StringValue("hi"), "hi"},
+		{BoolValue(true), "true"},
+		{BoolValue(false), "false"},
+		{ArrayValue([]int64{1, 2, 3}), "{1,2,3}"},
+		{ArrayValue(nil), "{}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueBoolAndFloat(t *testing.T) {
+	if !IntValue(3).Bool() || IntValue(0).Bool() {
+		t.Error("int truthiness wrong")
+	}
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Error("bool truthiness wrong")
+	}
+	if NullValue().Bool() {
+		t.Error("NULL should be false")
+	}
+	if IntValue(4).AsFloat() != 4 || FloatValue(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{FloatValue(1.5), IntValue(1), 1},
+		{IntValue(1), FloatValue(1.0), 0},
+		{NullValue(), IntValue(0), -1},
+		{NullValue(), NullValue(), 0},
+		{StringValue("a"), StringValue("b"), -1},
+		{ArrayValue([]int64{1, 2}), ArrayValue([]int64{1, 3}), -1},
+		{ArrayValue([]int64{1, 2}), ArrayValue([]int64{1, 2, 0}), -1},
+		{ArrayValue([]int64{1, 2}), ArrayValue([]int64{1, 2}), 0},
+		{BoolValue(true), IntValue(1), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestArrayContains(t *testing.T) {
+	if !ArrayContains(nil, []int64{1}) {
+		t.Error("empty sub should be contained")
+	}
+	if ArrayContains([]int64{1}, nil) {
+		t.Error("nothing contained in empty super")
+	}
+	if !ArrayContains([]int64{2, 3}, []int64{1, 2, 3, 4}) {
+		t.Error("subset not detected")
+	}
+	if ArrayContains([]int64{2, 9}, []int64{1, 2, 3, 4}) {
+		t.Error("non-subset accepted")
+	}
+	big := make([]int64, 100)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	if !ArrayContains([]int64{0, 99}, big) || ArrayContains([]int64{100}, big) {
+		t.Error("map-based path wrong")
+	}
+}
+
+func TestArrayContainsQuick(t *testing.T) {
+	// Property: ArrayContains(sub, super) agrees with a naive set check.
+	f := func(sub, super []int64) bool {
+		set := make(map[int64]bool, len(super))
+		for _, x := range super {
+			set[x] = true
+		}
+		want := true
+		for _, x := range sub {
+			if !set[x] {
+				want = false
+				break
+			}
+		}
+		return ArrayContains(sub, super) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayHasAndAppend(t *testing.T) {
+	arr := []int64{5, 1, 9}
+	if !ArrayHas(arr, 9) || ArrayHas(arr, 2) {
+		t.Error("ArrayHas wrong")
+	}
+	sorted := []int64{1, 5, 9}
+	if !SortedArrayHas(sorted, 5) || SortedArrayHas(sorted, 4) {
+		t.Error("SortedArrayHas wrong")
+	}
+	out := ArrayAppend(arr, 7)
+	if len(out) != 4 || out[3] != 7 {
+		t.Error("ArrayAppend wrong")
+	}
+	if len(arr) != 3 {
+		t.Error("ArrayAppend must not modify input")
+	}
+}
+
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	// Property: lexicographic order of encoded int keys matches numeric
+	// order — required for ordered-index range behaviour.
+	f := func(a, b int64) bool {
+		ka := EncodeKey(IntValue(a))
+		kb := EncodeKey(IntValue(b))
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		}
+		return ka == kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyUnambiguous(t *testing.T) {
+	// Different field splits must encode differently.
+	a := EncodeKey(StringValue("ab"), StringValue("c"))
+	b := EncodeKey(StringValue("a"), StringValue("bc"))
+	if a == b {
+		t.Error("composite keys collide across field boundaries")
+	}
+	if EncodeKey(IntValue(1)) == EncodeKey(StringValue("1")) {
+		t.Error("kinds must disambiguate")
+	}
+}
+
+func TestEncodeKeyEqualityQuick(t *testing.T) {
+	// Property: equal rows encode equally; a random in-place perturbation
+	// changes the encoding.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		row := randomRow(rng)
+		same := CloneRow(row)
+		if EncodeKey(row...) != EncodeKey(same...) {
+			t.Fatal("clone encodes differently")
+		}
+		j := rng.Intn(len(row))
+		mut := CloneRow(row)
+		mut[j] = IntValue(rng.Int63())
+		if Equal(row[j], mut[j]) {
+			continue
+		}
+		if EncodeKey(row...) == EncodeKey(mut...) {
+			t.Fatalf("mutation not reflected: %v vs %v", row, mut)
+		}
+	}
+}
+
+func randomRow(rng *rand.Rand) Row {
+	n := 1 + rng.Intn(5)
+	row := make(Row, n)
+	for i := range row {
+		switch rng.Intn(5) {
+		case 0:
+			row[i] = IntValue(rng.Int63n(1000))
+		case 1:
+			row[i] = FloatValue(rng.Float64())
+		case 2:
+			row[i] = StringValue(strings.Repeat("x", rng.Intn(4)))
+		case 3:
+			row[i] = BoolValue(rng.Intn(2) == 0)
+		default:
+			arr := make([]int64, rng.Intn(3))
+			for j := range arr {
+				arr[j] = rng.Int63n(10)
+			}
+			row[i] = ArrayValue(arr)
+		}
+	}
+	return row
+}
+
+func TestCompareTotalOrderQuick(t *testing.T) {
+	// Property: Compare sorts values consistently (transitivity via
+	// sort.SliceIsSorted after sorting).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]Value, 30)
+		for i := range vals {
+			vals[i] = randomRow(rng)[0]
+		}
+		sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+		if !sort.SliceIsSorted(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 }) {
+			t.Fatal("Compare is not a consistent order")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"orpheusdb/internal/benchgen"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/partition"
+)
+
+// Fig1213Row is one dataset's with/without-partitioning comparison.
+type Fig1213Row struct {
+	Dataset          string
+	CheckoutNoPart   time.Duration
+	StorageNoPart    int64
+	CheckoutGamma15  time.Duration
+	StorageGamma15   int64
+	PartsGamma15     int
+	CheckoutGamma20  time.Duration
+	StorageGamma20   int64
+	PartsGamma20     int
+	SpeedupAtGamma20 float64
+}
+
+// Fig1213 reproduces Figures 12 and 13: average checkout time and storage
+// size without partitioning versus LYRESPLIT partitionings under
+// γ = 1.5|R| and γ = 2|R|.
+func Fig1213(names []string, cfg SweepConfig) ([]Fig1213Row, *Report, error) {
+	var rows []Fig1213Row
+	for _, name := range names {
+		d, err := benchgen.Standard(name, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := d.Bipartite()
+		g := d.Graph()
+		tree := g.ToTree()
+		row := Fig1213Row{Dataset: d.Config.Name}
+
+		single := partition.NewSinglePartition(b)
+		ps, err := BuildPhysStore(d, single)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.CheckoutNoPart, err = ps.AvgCheckoutTime(cfg.Samples, cfg.Seed, engine.HashJoin)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.StorageNoPart = ps.StorageBytes()
+
+		ls := &partition.LyreSplit{Tree: tree}
+		for _, gammaFactor := range []float64{1.5, 2.0} {
+			gamma := int64(gammaFactor * float64(b.NumRecords()))
+			res, err := ls.Solve(gamma)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig12 %s gamma=%.1f: %w", name, gammaFactor, err)
+			}
+			p := partition.FromVersionGroups(b, res.Groups)
+			ps, err := BuildPhysStore(d, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			avg, err := ps.AvgCheckoutTime(cfg.Samples, cfg.Seed, engine.HashJoin)
+			if err != nil {
+				return nil, nil, err
+			}
+			if gammaFactor == 1.5 {
+				row.CheckoutGamma15 = avg
+				row.StorageGamma15 = ps.StorageBytes()
+				row.PartsGamma15 = len(p.Parts)
+			} else {
+				row.CheckoutGamma20 = avg
+				row.StorageGamma20 = ps.StorageBytes()
+				row.PartsGamma20 = len(p.Parts)
+			}
+		}
+		if row.CheckoutGamma20 > 0 {
+			row.SpeedupAtGamma20 = float64(row.CheckoutNoPart) / float64(row.CheckoutGamma20)
+		}
+		rows = append(rows, row)
+	}
+	rep := &Report{
+		Title: "Figures 12/13: checkout time and storage, with vs without partitioning",
+		Header: []string{"dataset", "co_none", "S_none",
+			"co_g1.5", "S_g1.5", "P_g1.5",
+			"co_g2.0", "S_g2.0", "P_g2.0", "speedup@g2"},
+	}
+	for _, r := range rows {
+		rep.Add(r.Dataset, r.CheckoutNoPart, mb(r.StorageNoPart),
+			r.CheckoutGamma15, mb(r.StorageGamma15), r.PartsGamma15,
+			r.CheckoutGamma20, mb(r.StorageGamma20), r.PartsGamma20,
+			fmt.Sprintf("%.1fx", r.SpeedupAtGamma20))
+	}
+	return rows, rep, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"orpheusdb/internal/benchgen"
+	"orpheusdb/internal/partition"
+)
+
+// OnlinePoint samples the checkout-cost trajectory of Figure 14a/15a.
+type OnlinePoint struct {
+	Commit   int
+	Cavg     float64 // current checkout cost, records
+	BestCavg float64 // C*avg from LYRESPLIT
+}
+
+// OnlineRun is the outcome of streaming one dataset through the online
+// maintainer with one (γ, µ) setting.
+type OnlineRun struct {
+	Dataset    string
+	Gamma      float64
+	Mu         float64
+	Naive      bool
+	Trajectory []OnlinePoint
+	Migrations []MigrationTiming
+}
+
+// MigrationTiming pairs a migration event with its measured physical time.
+type MigrationTiming struct {
+	AtCommit    int
+	PlanRecords int64
+	Time        time.Duration
+}
+
+// Fig1415Config parameterizes the online experiment.
+type Fig1415Config struct {
+	Versions     int // streamed commits (the paper streams 10,000)
+	OpsPerCommit int
+	Branches     int
+	Seed         int64
+	SampleEvery  int
+	Mus          []float64
+	MeasureTime  bool // replay migrations physically to time them
+}
+
+// DefaultFig1415Config returns laptop-scale defaults.
+func DefaultFig1415Config() Fig1415Config {
+	return Fig1415Config{
+		Versions:     1500,
+		OpsPerCommit: 50,
+		Branches:     150,
+		Seed:         42,
+		SampleEvery:  25,
+		Mus:          []float64{1.05, 1.2, 1.5, 2, 2.5},
+		MeasureTime:  true,
+	}
+}
+
+// Fig1415 reproduces Figures 14 and 15 for one γ: versions stream in, online
+// maintenance places them, LYRESPLIT tracks the best cost, and migrations
+// trigger at the tolerance factor µ. For each µ, intelligent migration is
+// timed physically; µ = Mus[0] is additionally run with the naive
+// rebuild-from-scratch engine.
+func Fig1415(gammaFactor float64, cfg Fig1415Config) ([]OnlineRun, []*Report, error) {
+	d := benchgen.Generate(benchgen.Config{
+		Workload:      benchgen.SCI,
+		Name:          fmt.Sprintf("SCI_stream_%dv", cfg.Versions),
+		TargetRecords: int64(cfg.Versions) * int64(cfg.OpsPerCommit),
+		Branches:      cfg.Branches,
+		OpsPerCommit:  cfg.OpsPerCommit,
+		Seed:          cfg.Seed,
+	})
+	var runs []OnlineRun
+	for i, mu := range cfg.Mus {
+		run, err := onlineRun(d, gammaFactor, mu, false, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, *run)
+		if i == 0 {
+			naive, err := onlineRun(d, gammaFactor, mu, true, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			runs = append(runs, *naive)
+		}
+	}
+
+	traj := &Report{
+		Title:  fmt.Sprintf("Figure %sa: online maintenance, checkout cost trajectory (gamma=%.1f|R|)", figNo(gammaFactor), gammaFactor),
+		Header: []string{"mu", "commits", "migrations", "final_Cavg", "final_C*avg", "max_ratio"},
+	}
+	for _, run := range runs {
+		if run.Naive {
+			continue
+		}
+		var last OnlinePoint
+		maxRatio := 1.0
+		for _, p := range run.Trajectory {
+			last = p
+			if p.BestCavg > 0 {
+				if r := p.Cavg / p.BestCavg; r > maxRatio {
+					maxRatio = r
+				}
+			}
+		}
+		traj.Add(run.Mu, last.Commit, len(run.Migrations),
+			fmt.Sprintf("%.0f", last.Cavg), fmt.Sprintf("%.0f", last.BestCavg),
+			fmt.Sprintf("%.2f", maxRatio))
+	}
+
+	mig := &Report{
+		Title:  fmt.Sprintf("Figure %sb: migration time (gamma=%.1f|R|)", figNo(gammaFactor), gammaFactor),
+		Header: []string{"mu", "engine", "at_commit", "plan_records", "migration_time"},
+	}
+	for _, run := range runs {
+		eng := "intelligent"
+		if run.Naive {
+			eng = "naive"
+		}
+		for _, m := range run.Migrations {
+			mig.Add(run.Mu, eng, m.AtCommit, m.PlanRecords, m.Time)
+		}
+	}
+	return runs, []*Report{traj, mig}, nil
+}
+
+func figNo(gammaFactor float64) string {
+	if gammaFactor < 1.75 {
+		return "14"
+	}
+	return "15"
+}
+
+// onlineRun streams the dataset through one (γ, µ, engine) configuration,
+// timing each triggered migration by replaying it on a physical layout.
+func onlineRun(d *benchgen.Dataset, gammaFactor, mu float64, naive bool, cfg Fig1415Config) (*OnlineRun, error) {
+	o := partition.NewOnline(gammaFactor, mu)
+	o.UseNaiveMigration = naive
+	run := &OnlineRun{Dataset: d.Config.Name, Gamma: gammaFactor, Mu: mu, Naive: naive}
+	for i, c := range d.Commits {
+		migratedNow, err := o.Commit(c.ID, c.Parents, c.Records)
+		if err != nil {
+			return nil, err
+		}
+		if migratedNow && cfg.MeasureTime {
+			ev := o.Migrations[len(o.Migrations)-1]
+			ps, err := BuildPhysStore(d, ev.Prev)
+			if err != nil {
+				return nil, err
+			}
+			dt, err := ps.ApplyMigration(ev.Next, ev.Plan)
+			if err != nil {
+				return nil, err
+			}
+			run.Migrations = append(run.Migrations, MigrationTiming{
+				AtCommit:    ev.AtCommit,
+				PlanRecords: ev.Plan.TotalRecords,
+				Time:        dt,
+			})
+		} else if migratedNow {
+			ev := o.Migrations[len(o.Migrations)-1]
+			run.Migrations = append(run.Migrations, MigrationTiming{
+				AtCommit:    ev.AtCommit,
+				PlanRecords: ev.Plan.TotalRecords,
+			})
+		}
+		if (i+1)%cfg.SampleEvery == 0 || i == len(d.Commits)-1 {
+			run.Trajectory = append(run.Trajectory, OnlinePoint{
+				Commit:   i + 1,
+				Cavg:     o.CheckoutCost(),
+				BestCavg: o.BestCheckoutCost(),
+			})
+		}
+	}
+	return run, nil
+}

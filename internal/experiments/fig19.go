@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"orpheusdb/internal/engine"
+)
+
+// Fig19Point is one (join method, clustering, |Rk|, |rlist|) measurement of
+// the checkout cost-model validation (Appendix D.1, Figure 19).
+type Fig19Point struct {
+	Method    engine.JoinMethod
+	Clustered string // "rid" or "pk"
+	TableRows int
+	RlistLen  int
+	Time      time.Duration
+	IOCost    int64 // modeled cost in sequential-page units
+	SeqPages  int64
+	RandPages int64
+}
+
+// Fig19Config bounds the validation sweep.
+type Fig19Config struct {
+	TableSizes []int
+	RlistSizes []int
+	NumAttrs   int
+	Seed       int64
+}
+
+// DefaultFig19Config returns laptop-scale defaults: the paper sweeps |Rk| to
+// 30M and |rlist| to 1M; we default two orders of magnitude lower.
+func DefaultFig19Config() Fig19Config {
+	return Fig19Config{
+		TableSizes: []int{10_000, 30_000, 100_000, 300_000},
+		RlistSizes: []int{100, 1_000, 10_000, 100_000},
+		NumAttrs:   10,
+		Seed:       42,
+	}
+}
+
+// Fig19 measures checkout time and modeled I/O for hash, merge, and
+// index-nested-loop joins over data tables physically clustered on rid
+// versus on the relation primary key, across table and rlist sizes. The
+// validated claim: with hash join the cost is linear in |Rk| regardless of
+// layout; merge and INL joins degrade to per-row random access when the
+// table is clustered on the primary key.
+func Fig19(cfg Fig19Config) ([]Fig19Point, []*Report, error) {
+	var points []Fig19Point
+	for _, clustered := range []string{"rid", "pk"} {
+		for _, rows := range cfg.TableSizes {
+			db := engine.NewDB()
+			t, err := buildFig19Table(db, rows, cfg.NumAttrs, cfg.Seed, clustered)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, rl := range cfg.RlistSizes {
+				if rl > rows {
+					continue
+				}
+				rlist := sampleRids(rows, rl, cfg.Seed+int64(rl))
+				for _, m := range []engine.JoinMethod{engine.HashJoin, engine.MergeJoin, engine.IndexNestedLoopJoin} {
+					snap := db.Stats().Snapshot()
+					start := time.Now()
+					out, err := engine.JoinRids(t, 0, rlist, m)
+					if err != nil {
+						return nil, nil, err
+					}
+					elapsed := time.Since(start)
+					if len(out) != rl {
+						return nil, nil, fmt.Errorf("fig19: %v returned %d rows, want %d", m, len(out), rl)
+					}
+					d := db.Stats().Since(snap)
+					points = append(points, Fig19Point{
+						Method:    m,
+						Clustered: clustered,
+						TableRows: rows,
+						RlistLen:  rl,
+						Time:      elapsed,
+						IOCost:    d.IOCost(),
+						SeqPages:  d.SeqPages,
+						RandPages: d.RandPages,
+					})
+				}
+			}
+		}
+	}
+	var reports []*Report
+	for _, m := range []engine.JoinMethod{engine.HashJoin, engine.MergeJoin, engine.IndexNestedLoopJoin} {
+		for _, clustered := range []string{"rid", "pk"} {
+			rep := &Report{
+				Title:  fmt.Sprintf("Figure 19: %s (clustered on %s)", m, clustered),
+				Header: []string{"|Rk|", "|rlist|", "time", "io_cost", "seq_pages", "rand_pages"},
+			}
+			for _, p := range points {
+				if p.Method == m && p.Clustered == clustered {
+					rep.Add(p.TableRows, p.RlistLen, p.Time, p.IOCost, p.SeqPages, p.RandPages)
+				}
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return points, reports, nil
+}
+
+// buildFig19Table creates a data table of n rows with an index on rid,
+// physically clustered on rid or on the synthetic primary key.
+func buildFig19Table(db *engine.DB, n, attrs int, seed int64, clustered string) (*engine.Table, error) {
+	cols := []engine.Column{{Name: "rid", Type: engine.KindInt}}
+	for i := 0; i < attrs; i++ {
+		cols = append(cols, engine.Column{Name: fmt.Sprintf("a%d", i), Type: engine.KindInt})
+	}
+	t, err := db.CreateTable("fig19", cols)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// The primary key (a0) is a random permutation so clustering on it
+	// scatters rids across pages, as in the paper's PK-clustered layout.
+	perm := rng.Perm(n)
+	for rid := 0; rid < n; rid++ {
+		row := make(engine.Row, len(cols))
+		row[0] = engine.IntValue(int64(rid))
+		row[1] = engine.IntValue(int64(perm[rid]))
+		for i := 2; i < len(cols); i++ {
+			row[i] = engine.IntValue(rng.Int63n(1000))
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	switch clustered {
+	case "rid":
+		if err := t.Cluster("rid"); err != nil {
+			return nil, err
+		}
+	case "pk":
+		if err := t.Cluster("a0"); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.CreateIndex("rid"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// sampleRids picks k distinct rids in [0, n) and returns them sorted.
+func sampleRids(n, k int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = int64(perm[i])
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"orpheusdb/internal/benchgen"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/partition"
+)
+
+// SweepPoint is one partitioning scheme on the storage/checkout trade-off
+// curve of Figure 9 (and, via the estimated columns, Figures 20-23).
+type SweepPoint struct {
+	Dataset      string
+	Algorithm    string
+	Param        string
+	Partitions   int
+	StorageBytes int64
+	CheckoutTime time.Duration
+	// EstStorage and EstCheckout are the cost-model values in records
+	// (Figures 20-21); EstCheckout vs CheckoutTime gives Figures 22-23.
+	EstStorage  int64
+	EstCheckout float64
+}
+
+// SweepConfig bounds the Figure 9 sweeps.
+type SweepConfig struct {
+	Scale      float64
+	Seed       int64
+	Samples    int           // versions sampled per checkout-time estimate
+	Budget     time.Duration // per-algorithm time budget (the paper used 10h)
+	LyrePoints int
+	AggloPoint int
+	KMeansPts  int
+}
+
+// DefaultSweepConfig returns laptop-scale defaults.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Scale:      0.01,
+		Seed:       42,
+		Samples:    30,
+		Budget:     2 * time.Minute,
+		LyrePoints: 8,
+		AggloPoint: 6,
+		KMeansPts:  5,
+	}
+}
+
+// Fig9 sweeps δ (LYRESPLIT), BC (AGGLO) and K (KMEANS) on one dataset,
+// materializing each resulting partitioning physically and measuring real
+// checkout times.
+func Fig9(name string, cfg SweepConfig) ([]SweepPoint, *Report, error) {
+	d, err := benchgen.Standard(name, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Fig9Dataset(d, cfg)
+}
+
+// Fig9Dataset is Fig9 over an already generated dataset.
+func Fig9Dataset(d *benchgen.Dataset, cfg SweepConfig) ([]SweepPoint, *Report, error) {
+	b := d.Bipartite()
+	g := d.Graph()
+	tree := g.ToTree()
+	var points []SweepPoint
+
+	addPoint := func(algo, param string, p *partition.Partitioning) error {
+		ps, err := BuildPhysStore(d, p)
+		if err != nil {
+			return err
+		}
+		avg, err := ps.AvgCheckoutTime(cfg.Samples, cfg.Seed, engine.HashJoin)
+		if err != nil {
+			return err
+		}
+		points = append(points, SweepPoint{
+			Dataset:      d.Config.Name,
+			Algorithm:    algo,
+			Param:        param,
+			Partitions:   len(p.Parts),
+			StorageBytes: ps.StorageBytes(),
+			CheckoutTime: avg,
+			EstStorage:   p.StorageCost(),
+			EstCheckout:  p.CheckoutCost(),
+		})
+		return nil
+	}
+
+	// LYRESPLIT: sweep δ log-spaced between the single-partition minimum
+	// and 1.
+	ls := &partition.LyreSplit{Tree: tree}
+	minDelta := float64(b.NumEdges()) / (float64(b.NumRecords()) * float64(b.NumVersions()))
+	if minDelta >= 1 {
+		minDelta = 0.5
+	}
+	for i := 0; i < cfg.LyrePoints; i++ {
+		frac := float64(i) / float64(cfg.LyrePoints-1)
+		delta := math.Exp(math.Log(minDelta) + frac*(math.Log(1.0)-math.Log(minDelta)))
+		res := ls.Run(delta)
+		p := partition.FromVersionGroups(b, res.Groups)
+		if err := addPoint("LyreSplit", fmt.Sprintf("delta=%.4f", delta), p); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// AGGLO: sweep the partition capacity BC.
+	deadline := time.Now().Add(cfg.Budget)
+	ag := &partition.Agglo{B: b, Seed: cfg.Seed, Deadline: deadline}
+	for i := 0; i < cfg.AggloPoint && time.Now().Before(deadline); i++ {
+		frac := float64(i) / float64(cfg.AggloPoint-1)
+		bc := int64(math.Exp(math.Log(float64(b.NumRecords())/8) +
+			frac*(math.Log(float64(b.NumEdges()))-math.Log(float64(b.NumRecords())/8))))
+		p := partition.FromVersionGroups(b, ag.Run(bc))
+		if err := addPoint("AGGLO", fmt.Sprintf("BC=%d", bc), p); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// KMEANS: sweep K (capacity unbounded, as in the paper).
+	deadline = time.Now().Add(cfg.Budget)
+	km := &partition.KMeans{B: b, Seed: cfg.Seed, Deadline: deadline}
+	for i := 0; i < cfg.KMeansPts && time.Now().Before(deadline); i++ {
+		k := 2 << i // 2, 4, 8, ...
+		if k > b.NumVersions() {
+			break
+		}
+		p := partition.FromVersionGroups(b, km.Run(k))
+		if err := addPoint("KMEANS", fmt.Sprintf("K=%d", k), p); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Figure 9: storage vs checkout time (%s)", d.Config.Name),
+		Header: []string{"algorithm", "param", "parts", "storage",
+			"checkout_time", "est_S(recs)", "est_Cavg(recs)"},
+	}
+	for _, pt := range points {
+		rep.Add(pt.Algorithm, pt.Param, pt.Partitions, mb(pt.StorageBytes),
+			pt.CheckoutTime, pt.EstStorage, fmt.Sprintf("%.0f", pt.EstCheckout))
+	}
+	return points, rep, nil
+}
+
+// Fig2023 reformats sweep points as the estimated-cost scatter of Figures
+// 20/21 (est S vs est Cavg) and 22/23 (est Cavg vs real checkout time).
+func Fig2023(points []SweepPoint) (*Report, *Report) {
+	est := &Report{
+		Title:  "Figures 20/21: estimated storage cost vs estimated checkout cost",
+		Header: []string{"dataset", "algorithm", "param", "est_S(recs)", "est_Cavg(recs)"},
+	}
+	real := &Report{
+		Title:  "Figures 22/23: estimated checkout cost vs real checkout time",
+		Header: []string{"dataset", "algorithm", "param", "est_Cavg(recs)", "checkout_time"},
+	}
+	for _, pt := range points {
+		est.Add(pt.Dataset, pt.Algorithm, pt.Param, pt.EstStorage, fmt.Sprintf("%.0f", pt.EstCheckout))
+		real.Add(pt.Dataset, pt.Algorithm, pt.Param, fmt.Sprintf("%.0f", pt.EstCheckout), pt.CheckoutTime)
+	}
+	return est, real
+}
+
+// Fig1011Row is one algorithm timing of Figures 10/11.
+type Fig1011Row struct {
+	Dataset       string
+	Algorithm     string
+	TotalTime     time.Duration
+	PerIteration  time.Duration
+	Iterations    int
+	HitBudget     bool
+	FinalStorage  int64
+	FinalCheckout float64
+}
+
+// Fig1011 measures the end-to-end binary-search time of each partitioning
+// algorithm under γ = 2|R| (Figures 10 and 11). Algorithms exceeding the
+// budget are cut off and flagged, mirroring the paper's 10-hour cap.
+func Fig1011(name string, cfg SweepConfig) ([]Fig1011Row, *Report, error) {
+	d, err := benchgen.Standard(name, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := d.Bipartite()
+	g := d.Graph()
+	gamma := 2 * b.NumRecords()
+	var rows []Fig1011Row
+
+	// LYRESPLIT.
+	ls := &partition.LyreSplit{Tree: g.ToTree()}
+	start := time.Now()
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := time.Since(start)
+	rows = append(rows, Fig1011Row{
+		Dataset: d.Config.Name, Algorithm: "LyreSplit", TotalTime: total,
+		PerIteration: total / time.Duration(maxInt(1, res.Iterations)),
+		Iterations:   res.Iterations,
+		FinalStorage: res.EstStorage, FinalCheckout: res.EstCheckout,
+	})
+
+	// AGGLO and KMEANS run their binary searches under a wall-clock budget.
+	type solver struct {
+		name string
+		run  func() (*partition.Partitioning, int)
+	}
+	budgeted := func(step func(int) (*partition.Partitioning, bool)) (*partition.Partitioning, int) {
+		deadline := time.Now().Add(cfg.Budget)
+		var best *partition.Partitioning
+		iters := 0
+		for i := 0; time.Now().Before(deadline); i++ {
+			p, done := step(i)
+			iters++
+			if p != nil {
+				best = p
+			}
+			if done {
+				break
+			}
+		}
+		return best, iters
+	}
+	ag := &partition.Agglo{B: b, Seed: cfg.Seed, Deadline: time.Now().Add(cfg.Budget)}
+	km := &partition.KMeans{B: b, Seed: cfg.Seed, Deadline: time.Now().Add(2 * cfg.Budget)}
+	solvers := []solver{
+		{"AGGLO", func() (*partition.Partitioning, int) {
+			lo, hi := int64(1), b.NumEdges()
+			return budgeted(func(int) (*partition.Partitioning, bool) {
+				if lo > hi {
+					return nil, true
+				}
+				bc := (lo + hi) / 2
+				p := partition.FromVersionGroups(b, ag.Run(bc))
+				if p.StorageCost() <= gamma {
+					hi = bc - 1
+					return p, false
+				}
+				lo = bc + 1
+				return nil, false
+			})
+		}},
+		{"KMEANS", func() (*partition.Partitioning, int) {
+			lo, hi := 1, b.NumVersions()
+			return budgeted(func(int) (*partition.Partitioning, bool) {
+				if lo > hi {
+					return nil, true
+				}
+				k := (lo + hi) / 2
+				p := partition.FromVersionGroups(b, km.Run(k))
+				if p.StorageCost() <= gamma {
+					lo = k + 1
+					return p, false
+				}
+				hi = k - 1
+				return nil, false
+			})
+		}},
+	}
+	for _, sv := range solvers {
+		start := time.Now()
+		p, iters := sv.run()
+		total := time.Since(start)
+		row := Fig1011Row{
+			Dataset: d.Config.Name, Algorithm: sv.name, TotalTime: total,
+			PerIteration: total / time.Duration(maxInt(1, iters)),
+			Iterations:   iters, HitBudget: total >= cfg.Budget,
+		}
+		if p != nil {
+			row.FinalStorage = p.StorageCost()
+			row.FinalCheckout = p.CheckoutCost()
+		}
+		rows = append(rows, row)
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Figures 10/11: partitioning algorithm running time (%s, gamma=2|R|)", d.Config.Name),
+		Header: []string{"algorithm", "total_time", "per_iteration", "iters",
+			"hit_budget", "S(recs)", "Cavg(recs)"},
+	}
+	for _, r := range rows {
+		rep.Add(r.Algorithm, r.TotalTime, r.PerIteration, r.Iterations,
+			r.HitBudget, r.FinalStorage, fmt.Sprintf("%.0f", r.FinalCheckout))
+	}
+	return rows, rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

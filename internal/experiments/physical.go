@@ -1,0 +1,230 @@
+// Package experiments regenerates every table and figure of the OrpheusDB
+// paper's evaluation (Sections 3.2, 5 and Appendix D) on the embedded engine,
+// at configurable scale. Each experiment prints the same rows/series the
+// paper reports and returns structured results for tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"orpheusdb/internal/benchgen"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/partition"
+	"orpheusdb/internal/vgraph"
+)
+
+// PhysStore materializes a partitioned split-by-rlist layout for a benchmark
+// dataset directly on engine tables, bypassing the CVD middleware so
+// partitioning effects are measured in isolation.
+type PhysStore struct {
+	db    *engine.DB
+	d     *benchgen.Dataset
+	cols  []engine.Column
+	parts []*physPart
+	of    map[vgraph.VersionID]int
+}
+
+type physPart struct {
+	data   *engine.Table
+	rlists map[vgraph.VersionID][]int64
+}
+
+// rowOf materializes (rid, attrs...) for a record.
+func (ps *PhysStore) rowOf(rid vgraph.RecordID) engine.Row {
+	attrs := ps.d.RecordRow(rid)
+	row := make(engine.Row, 0, len(attrs)+1)
+	row = append(row, engine.IntValue(int64(rid)))
+	for _, a := range attrs {
+		row = append(row, engine.IntValue(a))
+	}
+	return row
+}
+
+// BuildPhysStore lays the dataset out under the given partitioning.
+func BuildPhysStore(d *benchgen.Dataset, p *partition.Partitioning) (*PhysStore, error) {
+	ps := &PhysStore{
+		db: engine.NewDB(),
+		d:  d,
+		of: make(map[vgraph.VersionID]int),
+	}
+	ps.cols = append(ps.cols, engine.Column{Name: "rid", Type: engine.KindInt})
+	for i := 0; i < d.Config.NumAttrs; i++ {
+		ps.cols = append(ps.cols, engine.Column{Name: fmt.Sprintf("a%d", i), Type: engine.KindInt})
+	}
+	b := d.Bipartite()
+	for k, part := range p.Parts {
+		pp, err := ps.addPartition(k)
+		if err != nil {
+			return nil, err
+		}
+		recs := part.Records
+		if recs == nil {
+			recs = b.Union(part.Versions)
+		}
+		for _, rid := range recs {
+			if _, err := pp.data.Insert(ps.rowOf(rid)); err != nil {
+				return nil, err
+			}
+		}
+		for _, v := range part.Versions {
+			rl := b.Records(v)
+			rlist := make([]int64, len(rl))
+			for i, r := range rl {
+				rlist[i] = int64(r)
+			}
+			pp.rlists[v] = rlist
+			ps.of[v] = k
+		}
+	}
+	return ps, nil
+}
+
+func (ps *PhysStore) addPartition(k int) (*physPart, error) {
+	dt, err := ps.db.CreateTable(fmt.Sprintf("part%d_data", k), ps.cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := dt.CreateIndex("rid"); err != nil {
+		return nil, err
+	}
+	pp := &physPart{data: dt, rlists: make(map[vgraph.VersionID][]int64)}
+	if k == len(ps.parts) {
+		ps.parts = append(ps.parts, pp)
+	} else {
+		for k >= len(ps.parts) {
+			ps.parts = append(ps.parts, nil)
+		}
+		ps.parts[k] = pp
+	}
+	return pp, nil
+}
+
+// Stats exposes the engine's I/O counters.
+func (ps *PhysStore) Stats() *engine.Stats { return ps.db.Stats() }
+
+// Checkout materializes one version via the configured join method and
+// returns the elapsed wall time and the number of rows.
+func (ps *PhysStore) Checkout(v vgraph.VersionID, method engine.JoinMethod) (time.Duration, int, error) {
+	k, ok := ps.of[v]
+	if !ok {
+		return 0, 0, fmt.Errorf("experiments: version %d not placed", v)
+	}
+	pp := ps.parts[k]
+	rlist := pp.rlists[v]
+	start := time.Now()
+	rows, err := engine.JoinRids(pp.data, 0, rlist, method)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(rows), nil
+}
+
+// AvgCheckoutTime measures the mean checkout wall time over n randomly
+// sampled versions (the paper samples 100).
+func (ps *PhysStore) AvgCheckoutTime(n int, seed int64, method engine.JoinMethod) (time.Duration, error) {
+	versions := ps.d.Bipartite().Versions()
+	if len(versions) == 0 {
+		return 0, fmt.Errorf("experiments: empty dataset")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		v := versions[rng.Intn(len(versions))]
+		dt, _, err := ps.Checkout(v, method)
+		if err != nil {
+			return 0, err
+		}
+		total += dt
+	}
+	return total / time.Duration(n), nil
+}
+
+// StorageBytes sums the data-table sizes (the versioning tables are constant
+// across partitionings, as in Section 5.2, so they are excluded).
+func (ps *PhysStore) StorageBytes() int64 {
+	var n int64
+	for _, pp := range ps.parts {
+		if pp != nil {
+			n += pp.data.SizeBytes()
+		}
+	}
+	return n
+}
+
+// ApplyMigration replays a migration plan against the physical layout,
+// returning the wall time of the data movement. Old partition indexes in the
+// plan refer to the current layout; after the call the store holds `next`.
+func (ps *PhysStore) ApplyMigration(next *partition.Partitioning, plan *partition.MigrationPlan) (time.Duration, error) {
+	start := time.Now()
+	b := ps.d.Bipartite()
+	oldParts := ps.parts
+	newParts := make([]*physPart, len(next.Parts))
+
+	for _, step := range plan.Steps {
+		want := make(map[int64]bool, next.Parts[step.New].NumRecords)
+		for _, r := range next.Parts[step.New].Records {
+			want[int64(r)] = true
+		}
+		if step.Old >= 0 && step.Old < len(oldParts) && oldParts[step.Old] != nil {
+			pp := oldParts[step.Old]
+			var drop []engine.RowID
+			have := make(map[int64]bool, pp.data.NumRows())
+			pp.data.Scan(func(id engine.RowID, row engine.Row) bool {
+				have[row[0].I] = true
+				if !want[row[0].I] {
+					drop = append(drop, id)
+				}
+				return true
+			})
+			pp.data.DeleteBatch(drop)
+			for r := range want {
+				if !have[r] {
+					if _, err := pp.data.Insert(ps.rowOf(vgraph.RecordID(r))); err != nil {
+						return 0, err
+					}
+				}
+			}
+			pp.rlists = make(map[vgraph.VersionID][]int64)
+			newParts[step.New] = pp
+			oldParts[step.Old] = nil
+		} else {
+			dt, err := ps.db.CreateTable(fmt.Sprintf("mig%d_data_%d", len(ps.parts)+step.New, time.Now().UnixNano()), ps.cols)
+			if err != nil {
+				return 0, err
+			}
+			if err := dt.CreateIndex("rid"); err != nil {
+				return 0, err
+			}
+			for r := range want {
+				if _, err := dt.Insert(ps.rowOf(vgraph.RecordID(r))); err != nil {
+					return 0, err
+				}
+			}
+			newParts[step.New] = &physPart{data: dt, rlists: make(map[vgraph.VersionID][]int64)}
+		}
+	}
+	// Drop unused old partitions.
+	for _, pp := range oldParts {
+		if pp != nil {
+			_ = ps.db.DropTable(pp.data.Name())
+		}
+	}
+	// Rebuild version placement.
+	ps.parts = newParts
+	ps.of = make(map[vgraph.VersionID]int, len(next.Of))
+	for k, part := range next.Parts {
+		pp := newParts[k]
+		for _, v := range part.Versions {
+			rl := b.Records(v)
+			rlist := make([]int64, len(rl))
+			for i, r := range rl {
+				rlist[i] = int64(r)
+			}
+			pp.rlists[v] = rlist
+			ps.of[v] = k
+		}
+	}
+	return time.Since(start), nil
+}

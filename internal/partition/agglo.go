@@ -1,0 +1,277 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// Agglo is the agglomerative-clustering baseline (Algorithm 4 of NScale,
+// as adapted in Section 5.1 of the OrpheusDB paper): partitions start as
+// single versions, are ordered by min-hash shingles, and repeatedly merge
+// with the following candidate sharing the most common shingles, subject to a
+// per-partition record capacity BC and a sampled similarity threshold τ.
+// Unlike LYRESPLIT it operates on the full version-record bipartite graph,
+// which is what makes it slow.
+type Agglo struct {
+	B *vgraph.Bipartite
+	// NumShingles is the min-hash signature width (default 16).
+	NumShingles int
+	// Lookahead is l, how many following partitions are merge candidates
+	// (default 100, the paper's initial value).
+	Lookahead int
+	// Seed drives the sampled threshold and hash functions.
+	Seed int64
+	// Deadline, when non-zero, caps the run: clustering stops and returns
+	// the current grouping once it passes (the paper capped baselines at
+	// ten hours).
+	Deadline time.Time
+}
+
+type aggloPart struct {
+	versions []vgraph.VersionID
+	records  []vgraph.RecordID
+	sig      []uint64
+	dead     bool
+}
+
+const minHashPrime = (1 << 61) - 1
+
+// minHasher is a family of k linear hash functions for min-hash signatures.
+type minHasher struct {
+	a, b []uint64
+}
+
+func newMinHasher(k int, seed int64) *minHasher {
+	rng := rand.New(rand.NewSource(seed))
+	h := &minHasher{a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		h.a[i] = uint64(rng.Int63())%minHashPrime | 1
+		h.b[i] = uint64(rng.Int63()) % minHashPrime
+	}
+	return h
+}
+
+func (h *minHasher) signature(recs []vgraph.RecordID) []uint64 {
+	sig := make([]uint64, len(h.a))
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, r := range recs {
+		x := uint64(r) + 0x9e3779b97f4a7c15
+		for i := range sig {
+			v := (h.a[i]*x + h.b[i]) % minHashPrime
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// commonShingles counts positions where the two signatures agree — an
+// estimator of Jaccard similarity scaled by signature width.
+func commonShingles(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes agglomerative clustering with partition capacity bc (maximum
+// records per partition; <=0 means unbounded) and returns the version groups.
+func (ag *Agglo) Run(bc int64) [][]vgraph.VersionID {
+	k := ag.NumShingles
+	if k <= 0 {
+		k = 16
+	}
+	l := ag.Lookahead
+	if l <= 0 {
+		l = 100
+	}
+	h := newMinHasher(k, ag.Seed+1)
+
+	parts := make([]*aggloPart, 0, ag.B.NumVersions())
+	for _, v := range ag.B.Versions() {
+		recs := append([]vgraph.RecordID(nil), ag.B.Records(v)...)
+		parts = append(parts, &aggloPart{
+			versions: []vgraph.VersionID{v},
+			records:  recs,
+			sig:      h.signature(recs),
+		})
+	}
+
+	// Shingle-based ordering: sort partitions by signature.
+	sortBySig := func(ps []*aggloPart) {
+		sort.SliceStable(ps, func(i, j int) bool {
+			a, b := ps[i].sig, ps[j].sig
+			for x := range a {
+				if a[x] != b[x] {
+					return a[x] < b[x]
+				}
+			}
+			return false
+		})
+	}
+	sortBySig(parts)
+
+	// Threshold τ via uniform sampling of partition pairs.
+	tau := ag.sampleThreshold(parts, k)
+
+	for {
+		merged := false
+		sortBySig(parts)
+		for i := 0; i < len(parts); i++ {
+			if !ag.Deadline.IsZero() && i%64 == 0 && time.Now().After(ag.Deadline) {
+				break
+			}
+			if parts[i].dead {
+				continue
+			}
+			bestJ, bestCommon := -1, tau
+			for j, seen := i+1, 0; j < len(parts) && seen < l; j++ {
+				if parts[j].dead {
+					continue
+				}
+				seen++
+				c := commonShingles(parts[i].sig, parts[j].sig)
+				if c <= bestCommon {
+					continue
+				}
+				if bc > 0 {
+					sz := unionSizeSorted(parts[i].records, parts[j].records)
+					if sz > bc {
+						continue
+					}
+				}
+				bestJ, bestCommon = j, c
+			}
+			if bestJ >= 0 {
+				ag.merge(parts[i], parts[bestJ])
+				parts[bestJ].dead = true
+				merged = true
+			}
+		}
+		if !merged || (!ag.Deadline.IsZero() && time.Now().After(ag.Deadline)) {
+			merged = false
+		}
+		if !merged {
+			break
+		}
+		live := parts[:0]
+		for _, p := range parts {
+			if !p.dead {
+				live = append(live, p)
+			}
+		}
+		parts = live
+	}
+
+	groups := make([][]vgraph.VersionID, 0, len(parts))
+	for _, p := range parts {
+		if !p.dead {
+			groups = append(groups, p.versions)
+		}
+	}
+	return groups
+}
+
+// sampleThreshold samples random partition pairs and returns the mean common
+// shingle count, NScale's uniform-sampling threshold.
+func (ag *Agglo) sampleThreshold(parts []*aggloPart, k int) int {
+	if len(parts) < 2 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(ag.Seed + 2))
+	samples := 200
+	if samples > len(parts)*(len(parts)-1)/2 {
+		samples = len(parts) * (len(parts) - 1) / 2
+	}
+	total := 0
+	for s := 0; s < samples; s++ {
+		i := rng.Intn(len(parts))
+		j := rng.Intn(len(parts))
+		for j == i {
+			j = rng.Intn(len(parts))
+		}
+		total += commonShingles(parts[i].sig, parts[j].sig)
+	}
+	if samples == 0 {
+		return 0
+	}
+	return total / samples
+}
+
+func (ag *Agglo) merge(dst, src *aggloPart) {
+	dst.versions = append(dst.versions, src.versions...)
+	dst.records = unionSorted(dst.records, src.records)
+	// The min-hash of a union is the elementwise min of the signatures, so
+	// no rescan of the merged record set is needed.
+	for i := range dst.sig {
+		if src.sig[i] < dst.sig[i] {
+			dst.sig[i] = src.sig[i]
+		}
+	}
+}
+
+// unionSorted merges two sorted distinct slices into a sorted distinct slice.
+func unionSorted(a, b []vgraph.RecordID) []vgraph.RecordID {
+	out := make([]vgraph.RecordID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func unionSizeSorted(a, b []vgraph.RecordID) int64 {
+	return int64(len(a)+len(b)) - vgraph.IntersectSize(a, b)
+}
+
+// Solve binary-searches the capacity BC to satisfy the storage threshold γ
+// (Problem 1), returning the grouping with the lowest checkout cost whose
+// storage fits.
+func (ag *Agglo) Solve(gamma int64) (*Partitioning, error) {
+	lo, hi := int64(1), ag.B.NumEdges()
+	var best *Partitioning
+	for iter := 0; iter < 20 && lo <= hi; iter++ {
+		bc := (lo + hi) / 2
+		p := FromVersionGroups(ag.B, ag.Run(bc))
+		s := p.StorageCost()
+		if s <= gamma {
+			if best == nil || p.CheckoutCost() < best.CheckoutCost() {
+				best = p
+			}
+			if 100*s >= 99*gamma {
+				break
+			}
+			// Under budget: smaller capacity keeps partitions apart,
+			// spending more storage for lower checkout cost.
+			hi = bc - 1
+		} else {
+			lo = bc + 1
+		}
+	}
+	if best == nil {
+		best = NewSinglePartition(ag.B)
+	}
+	return best, nil
+}

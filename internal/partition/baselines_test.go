@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+func TestAggloProducesValidPartitionings(t *testing.T) {
+	b, _ := randomLineage(80, 0, 20)
+	ag := &Agglo{B: b, Seed: 1}
+	for _, bc := range []int64{0, b.NumRecords() / 4, b.NumRecords(), b.NumEdges()} {
+		groups := ag.Run(bc)
+		p := FromVersionGroups(b, groups)
+		if err := p.Validate(b); err != nil {
+			t.Fatalf("BC=%d: %v", bc, err)
+		}
+		if bc > 0 {
+			for i, part := range p.Parts {
+				if part.NumRecords > bc && len(part.Versions) > 1 {
+					t.Fatalf("BC=%d: partition %d has %d records", bc, i, part.NumRecords)
+				}
+			}
+		}
+	}
+}
+
+func TestAggloCapacityControlsMerging(t *testing.T) {
+	b, _ := randomLineage(80, 0, 21)
+	ag := &Agglo{B: b, Seed: 1}
+	// A tiny capacity forbids merging; a huge one allows it.
+	tiny := FromVersionGroups(b, ag.Run(1))
+	huge := FromVersionGroups(b, ag.Run(b.NumEdges()))
+	if len(huge.Parts) > len(tiny.Parts) {
+		t.Fatalf("larger capacity produced more partitions (%d > %d)",
+			len(huge.Parts), len(tiny.Parts))
+	}
+}
+
+func TestAggloSolveMeetsGamma(t *testing.T) {
+	b, _ := randomLineage(60, 0, 22)
+	ag := &Agglo{B: b, Seed: 1}
+	gamma := 2 * b.NumRecords()
+	p, err := ag.Solve(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.StorageCost() > gamma {
+		t.Fatalf("S = %d exceeds γ = %d", p.StorageCost(), gamma)
+	}
+}
+
+func TestKMeansProducesValidPartitionings(t *testing.T) {
+	b, _ := randomLineage(70, 0, 23)
+	km := &KMeans{B: b, Seed: 1}
+	for _, k := range []int{1, 2, 5, 20, 200} {
+		p := FromVersionGroups(b, km.Run(k))
+		if err := p.Validate(b); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(p.Parts) > k && k <= b.NumVersions() {
+			t.Fatalf("K=%d produced %d partitions", k, len(p.Parts))
+		}
+	}
+}
+
+func TestKMeansKOneIsSinglePartition(t *testing.T) {
+	b, _ := randomLineage(30, 0, 24)
+	km := &KMeans{B: b, Seed: 1}
+	p := FromVersionGroups(b, km.Run(1))
+	if len(p.Parts) != 1 {
+		t.Fatalf("K=1 produced %d partitions", len(p.Parts))
+	}
+	if p.StorageCost() != b.NumRecords() {
+		t.Fatalf("K=1 storage = %d, want %d", p.StorageCost(), b.NumRecords())
+	}
+}
+
+func TestKMeansSolveMeetsGamma(t *testing.T) {
+	b, _ := randomLineage(50, 0, 25)
+	km := &KMeans{B: b, Seed: 1}
+	gamma := 2 * b.NumRecords()
+	p, err := km.Solve(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.StorageCost() > gamma {
+		t.Fatalf("S = %d exceeds γ = %d", p.StorageCost(), gamma)
+	}
+}
+
+func TestKMeansRespectsCapacity(t *testing.T) {
+	b, _ := randomLineage(40, 0, 26)
+	cap := b.NumRecords()
+	km := &KMeans{B: b, Seed: 1, Capacity: cap}
+	p := FromVersionGroups(b, km.Run(4))
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansEmpty(t *testing.T) {
+	km := &KMeans{B: vgraph.NewBipartite(), Seed: 1}
+	if groups := km.Run(3); groups != nil {
+		t.Fatalf("empty input produced %v", groups)
+	}
+}
+
+func TestLyreSplitDominatesBaselinesOnLineages(t *testing.T) {
+	// The Figure 9 headline at property scale: under the same storage
+	// budget, LYRESPLIT's checkout cost is within a whisker of (and usually
+	// below) both baselines'.
+	for seed := int64(0); seed < 3; seed++ {
+		b, parents := randomLineage(100, 0, 30+seed)
+		g, err := b.Graph(parents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := 2 * b.NumRecords()
+		ls := &LyreSplit{Tree: g.ToTree()}
+		lsRes, err := ls.Solve(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsP := FromVersionGroups(b, lsRes.Groups)
+
+		ag := &Agglo{B: b, Seed: seed}
+		agP, err := ag.Solve(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		km := &KMeans{B: b, Seed: seed}
+		kmP, err := km.Solve(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := 1.10 // allow 10% noise at this tiny scale
+		if lsP.CheckoutCost() > agP.CheckoutCost()*slack {
+			t.Fatalf("seed %d: LYRESPLIT Cavg %.1f vs AGGLO %.1f",
+				seed, lsP.CheckoutCost(), agP.CheckoutCost())
+		}
+		if lsP.CheckoutCost() > kmP.CheckoutCost()*slack {
+			t.Fatalf("seed %d: LYRESPLIT Cavg %.1f vs KMEANS %.1f",
+				seed, lsP.CheckoutCost(), kmP.CheckoutCost())
+		}
+	}
+}

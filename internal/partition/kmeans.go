@@ -1,0 +1,177 @@
+package partition
+
+import (
+	"math/rand"
+	"time"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// KMeans is the k-means-clustering baseline (Algorithm 5 of NScale, as
+// adapted in Section 5.1): K random versions seed partitions whose centroids
+// are record sets; versions join the centroid they share the most records
+// with; in subsequent sweeps versions move wherever the total record count
+// across partitions shrinks most, subject to the per-partition capacity BC.
+// Like AGGLO it works on the bipartite graph, and its per-iteration
+// version×centroid comparisons are what make it impractically slow.
+type KMeans struct {
+	B *vgraph.Bipartite
+	// Iterations is the number of refinement sweeps (default 10, as in the
+	// paper).
+	Iterations int
+	// Capacity is BC, the maximum records per partition (<=0 = unbounded,
+	// the setting the paper evaluates).
+	Capacity int64
+	// Seed drives the initial centroid choice.
+	Seed int64
+	// Deadline, when non-zero, caps the run: refinement stops and the
+	// current assignment is returned once it passes.
+	Deadline time.Time
+}
+
+// Run clusters the versions into (at most) k partitions and returns the
+// version groups.
+func (km *KMeans) Run(k int) [][]vgraph.VersionID {
+	versions := km.B.Versions()
+	n := len(versions)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	iters := km.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+
+	rng := rand.New(rand.NewSource(km.Seed + 3))
+	perm := rng.Perm(n)
+	centroids := make([][]vgraph.RecordID, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = append([]vgraph.RecordID(nil), km.B.Records(versions[perm[i]])...)
+	}
+
+	assign := make(map[vgraph.VersionID]int, n)
+	members := make([][]vgraph.VersionID, k)
+
+	// Initial assignment: nearest centroid by common-record count.
+	sizes := make([]int64, k)
+	for i := 0; i < k; i++ {
+		sizes[i] = int64(len(centroids[i]))
+	}
+	expired := func() bool {
+		return !km.Deadline.IsZero() && time.Now().After(km.Deadline)
+	}
+	for vi, v := range versions {
+		recs := km.B.Records(v)
+		if vi%64 == 0 && expired() {
+			// Assign the rest round-robin so the grouping stays valid.
+			for off, u := range versions[vi:] {
+				assign[u] = (vi + off) % k
+				members[(vi+off)%k] = append(members[(vi+off)%k], u)
+			}
+			break
+		}
+		best, bestCommon := 0, int64(-1)
+		for c := 0; c < k; c++ {
+			common := vgraph.IntersectSize(recs, centroids[c])
+			if km.Capacity > 0 && sizes[c]+int64(len(recs))-common > km.Capacity {
+				continue
+			}
+			if common > bestCommon {
+				best, bestCommon = c, common
+			}
+		}
+		assign[v] = best
+		members[best] = append(members[best], v)
+	}
+	recompute := func() {
+		for c := 0; c < k; c++ {
+			centroids[c] = km.B.Union(members[c])
+			sizes[c] = int64(len(centroids[c]))
+		}
+	}
+	recompute()
+
+	for it := 0; it < iters; it++ {
+		if expired() {
+			break
+		}
+		moved := false
+		for vi, v := range versions {
+			if vi%64 == 0 && expired() {
+				break
+			}
+			recs := km.B.Records(v)
+			cur := assign[v]
+			// Added records if v joins partition c.
+			bestC, bestAdd := cur, int64(len(recs))-vgraph.IntersectSize(recs, centroids[cur])
+			for c := 0; c < k; c++ {
+				if c == cur {
+					continue
+				}
+				add := int64(len(recs)) - vgraph.IntersectSize(recs, centroids[c])
+				if km.Capacity > 0 && sizes[c]+add > km.Capacity {
+					continue
+				}
+				if add < bestAdd {
+					bestC, bestAdd = c, add
+				}
+			}
+			if bestC != cur {
+				assign[v] = bestC
+				moved = true
+			}
+		}
+		for c := range members {
+			members[c] = members[c][:0]
+		}
+		for _, v := range versions {
+			members[assign[v]] = append(members[assign[v]], v)
+		}
+		recompute()
+		if !moved {
+			break
+		}
+	}
+
+	var groups [][]vgraph.VersionID
+	for c := 0; c < k; c++ {
+		if len(members[c]) > 0 {
+			groups = append(groups, append([]vgraph.VersionID(nil), members[c]...))
+		}
+	}
+	return groups
+}
+
+// Solve binary-searches K to minimize checkout cost under the storage
+// threshold γ: larger K means more partitions, more storage, and lower
+// checkout cost.
+func (km *KMeans) Solve(gamma int64) (*Partitioning, error) {
+	lo, hi := 1, km.B.NumVersions()
+	var best *Partitioning
+	for iter := 0; iter < 20 && lo <= hi; iter++ {
+		k := (lo + hi) / 2
+		p := FromVersionGroups(km.B, km.Run(k))
+		s := p.StorageCost()
+		if s <= gamma {
+			if best == nil || p.CheckoutCost() < best.CheckoutCost() {
+				best = p
+			}
+			if 100*s >= 99*gamma {
+				break
+			}
+			lo = k + 1
+		} else {
+			hi = k - 1
+		}
+	}
+	if best == nil {
+		best = NewSinglePartition(km.B)
+	}
+	return best, nil
+}

@@ -1,0 +1,377 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// LyreSplit implements Algorithm 1 of the paper: a recursive split of the
+// version tree guided only by version-graph aggregates, giving a
+// ((1+δ)^ℓ, 1/δ)-approximation for Problem 1. It never touches record lists,
+// which is why it is orders of magnitude faster than AGGLO/KMEANS.
+type LyreSplit struct {
+	Tree *vgraph.Tree
+
+	// TotalAttrs and EdgeAttrs enable the schema-change-aware rule of
+	// Appendix C.3: an edge is a split candidate when
+	// a(vi,vj) * w(vi,vj) <= δ * TotalAttrs * |R|. When TotalAttrs is 0
+	// the static-schema rule w <= δ|R| is used.
+	TotalAttrs int
+	EdgeAttrs  func(from, to vgraph.VersionID) int
+}
+
+// LyreSplitResult reports one run of the algorithm.
+type LyreSplitResult struct {
+	Delta  float64
+	Groups [][]vgraph.VersionID
+	// EstStorage and EstCheckout are the version-graph estimates of S and
+	// Cavg for the produced grouping (records duplicated across cut edges
+	// counted per Lemma 2).
+	EstStorage  int64
+	EstCheckout float64
+	// Levels is ℓ, the recursion depth reached.
+	Levels int
+	// Cuts is the number of edges removed.
+	Cuts int
+}
+
+// treeAgg holds per-subtree aggregates computed in one post-order pass.
+type treeAgg struct {
+	nodes []vgraph.VersionID
+	nV    int64
+	nE    int64 // bipartite edges = sum of R(v)
+	nR    int64 // distinct records, via |R| = ΣR(v) - Σw(internal edges)
+}
+
+// Run executes LYRESPLIT with the given δ over every root of the tree and
+// returns the resulting version groups with estimated costs.
+func (ls *LyreSplit) Run(delta float64) *LyreSplitResult {
+	if delta <= 0 {
+		delta = 1e-9
+	}
+	res := &LyreSplitResult{Delta: delta}
+	cuts := make(map[[2]vgraph.VersionID]bool)
+	for _, root := range ls.Tree.Roots() {
+		ls.split(root, delta, cuts, 0, res)
+	}
+	// Collect groups by walking each partition root (tree roots + cut
+	// children).
+	var roots []vgraph.VersionID
+	roots = append(roots, ls.Tree.Roots()...)
+	for e := range cuts {
+		roots = append(roots, e[1])
+	}
+	var totalE, totalVR int64
+	n := int64(ls.Tree.Graph.Len())
+	for _, r := range roots {
+		agg := ls.aggregate(r, cuts)
+		res.Groups = append(res.Groups, agg.nodes)
+		res.EstStorage += agg.nR
+		totalVR += agg.nV * agg.nR
+		totalE += agg.nE
+	}
+	if n > 0 {
+		res.EstCheckout = float64(totalVR) / float64(n)
+	}
+	res.Cuts = len(cuts)
+	return res
+}
+
+// split recursively applies lines 1-13 of Algorithm 1 to the partition
+// rooted at root (bounded by the current cut set).
+func (ls *LyreSplit) split(root vgraph.VersionID, delta float64, cuts map[[2]vgraph.VersionID]bool, level int, res *LyreSplitResult) {
+	if level+1 > res.Levels {
+		res.Levels = level + 1
+	}
+	agg := ls.aggregate(root, cuts)
+	// Termination: |R| * |V| < |E| / δ means the whole partition already
+	// satisfies the checkout bound of Lemma 1.
+	if float64(agg.nR)*float64(agg.nV)*delta < float64(agg.nE) {
+		return
+	}
+	e, ok := ls.pickEdge(root, cuts, delta, agg)
+	if !ok {
+		return
+	}
+	cuts[e] = true
+	ls.split(root, delta, cuts, level+1, res)
+	ls.split(e[1], delta, cuts, level+1, res)
+}
+
+// aggregate computes the partition aggregates for the subtree rooted at root,
+// stopping at cut edges.
+func (ls *LyreSplit) aggregate(root vgraph.VersionID, cuts map[[2]vgraph.VersionID]bool) treeAgg {
+	var agg treeAgg
+	g := ls.Tree.Graph
+	stack := []vgraph.VersionID{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := g.Node(v)
+		agg.nodes = append(agg.nodes, v)
+		agg.nV++
+		agg.nE += n.NumRecs
+		if v == root {
+			agg.nR += n.NumRecs
+		} else {
+			agg.nR += n.NumRecs - g.Weight(ls.Tree.Parent[v], v)
+		}
+		for _, c := range ls.Tree.Children(v) {
+			if !cuts[[2]vgraph.VersionID{v, c}] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return agg
+}
+
+// pickEdge selects the split edge among candidates Ω = {e : weight(e) ≤
+// δ|R|}: the paper's heuristic minimizes the difference in version counts of
+// the two sides, tie-broken on record balance.
+func (ls *LyreSplit) pickEdge(root vgraph.VersionID, cuts map[[2]vgraph.VersionID]bool, delta float64, agg treeAgg) ([2]vgraph.VersionID, bool) {
+	g := ls.Tree.Graph
+	// One post-order pass computes subtree (V, R) for every node.
+	subV := make(map[vgraph.VersionID]int64, len(agg.nodes))
+	subR := make(map[vgraph.VersionID]int64, len(agg.nodes))
+	var post func(v vgraph.VersionID)
+	post = func(v vgraph.VersionID) {
+		var nv, nr int64 = 1, g.Node(v).NumRecs
+		for _, c := range ls.Tree.Children(v) {
+			if cuts[[2]vgraph.VersionID{v, c}] {
+				continue
+			}
+			post(c)
+			nv += subV[c]
+			nr += subR[c] - g.Weight(v, c)
+		}
+		subV[v] = nv
+		subR[v] = nr
+	}
+	post(root)
+
+	threshold := delta * float64(agg.nR)
+	a := ls.TotalAttrs
+	var best [2]vgraph.VersionID
+	var bestVDiff, bestRDiff int64 = math.MaxInt64, math.MaxInt64
+	found := false
+	for _, v := range agg.nodes {
+		if v == root {
+			continue
+		}
+		p := ls.Tree.Parent[v]
+		w := g.Weight(p, v)
+		if a > 0 && ls.EdgeAttrs != nil {
+			// Schema-aware rule (Appendix C.3).
+			if float64(ls.EdgeAttrs(p, v))*float64(w) > delta*float64(a)*float64(agg.nR) {
+				continue
+			}
+		} else if float64(w) > threshold {
+			continue
+		}
+		v2, r2 := subV[v], subR[v]
+		v1, r1 := agg.nV-v2, agg.nR-r2+w
+		vd, rd := abs64(v1-v2), abs64(r1-r2)
+		if vd < bestVDiff || (vd == bestVDiff && rd < bestRDiff) {
+			best = [2]vgraph.VersionID{p, v}
+			bestVDiff, bestRDiff = vd, rd
+			found = true
+		}
+	}
+	return best, found
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SolveResult reports the outcome of the binary search on δ (Appendix B).
+type SolveResult struct {
+	*LyreSplitResult
+	Iterations int
+}
+
+// Solve finds, via binary search on δ, a partitioning whose estimated storage
+// S satisfies 0.99γ ≤ S ≤ γ (Problem 1 with storage threshold γ), returning
+// the feasible result with the most splits. The search space is
+// [|E|/(|R||V|), 1]; larger δ yields more partitions, more storage, and lower
+// checkout cost.
+func (ls *LyreSplit) Solve(gamma int64) (*SolveResult, error) {
+	g := ls.Tree.Graph
+	var nR, nE int64
+	n := int64(g.Len())
+	for _, v := range g.Versions() {
+		node := g.Node(v)
+		nE += node.NumRecs
+		if p, ok := ls.Tree.Parent[v]; ok {
+			nR += node.NumRecs - g.Weight(p, v)
+		} else {
+			nR += node.NumRecs
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("partition: lyresplit: empty version tree")
+	}
+	if gamma < nR {
+		return nil, fmt.Errorf("partition: lyresplit: storage threshold %d below minimum %d", gamma, nR)
+	}
+	lo := float64(nE) / (float64(nR) * float64(n))
+	hi := 1.0
+	if lo > hi {
+		lo = hi
+	}
+	var best *LyreSplitResult
+	iters := 0
+	for i := 0; i < 42; i++ {
+		iters++
+		mid := (lo + hi) / 2
+		r := ls.Run(mid)
+		if r.EstStorage <= gamma {
+			if best == nil || r.EstCheckout < best.EstCheckout ||
+				(r.EstCheckout == best.EstCheckout && r.EstStorage < best.EstStorage) {
+				best = r
+			}
+			if 100*r.EstStorage >= 99*gamma {
+				break
+			}
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	if best == nil {
+		// γ ≥ |R| guarantees the single-partition solution is feasible.
+		best = ls.Run(lo)
+		if best.EstStorage > gamma {
+			best = &LyreSplitResult{Delta: lo, Groups: singleGroup(g), EstStorage: nR, EstCheckout: float64(nR)}
+		}
+	}
+	return &SolveResult{LyreSplitResult: best, Iterations: iters}, nil
+}
+
+func singleGroup(g *vgraph.Graph) [][]vgraph.VersionID {
+	return [][]vgraph.VersionID{append([]vgraph.VersionID(nil), g.Versions()...)}
+}
+
+// SolveWeighted handles the weighted checkout cost of Appendix C.2: it builds
+// the expanded tree T' in which version vi appears freq[vi] times chained
+// together, runs the binary search on T', and maps the grouping back,
+// assigning each version to the partition with the fewest records among
+// those holding its copies.
+func SolveWeighted(t *vgraph.Tree, freq map[vgraph.VersionID]int64, gamma int64) (*SolveResult, error) {
+	g := t.Graph
+	// Expanded IDs are allocated past the maximum real ID.
+	var maxID vgraph.VersionID
+	for _, v := range g.Versions() {
+		if v > maxID {
+			maxID = v
+		}
+	}
+	next := maxID + 1
+	expanded := vgraph.New()
+	// copyOf maps expanded IDs back to originals; chainEnd maps an original
+	// to the last copy in its chain (children attach there).
+	copyOf := make(map[vgraph.VersionID]vgraph.VersionID)
+	chainEnd := make(map[vgraph.VersionID]vgraph.VersionID)
+	for _, v := range g.Versions() {
+		n := g.Node(v)
+		f := freq[v]
+		if f < 1 {
+			f = 1
+		}
+		var parents []vgraph.VersionID
+		var weights []int64
+		if p, ok := t.Parent[v]; ok {
+			parents = []vgraph.VersionID{chainEnd[p]}
+			weights = []int64{g.Weight(p, v)}
+		}
+		// First copy keeps the original ID.
+		if err := expanded.AddVersion(v, parents, n.NumRecs, weights); err != nil {
+			return nil, err
+		}
+		copyOf[v] = v
+		last := v
+		for j := int64(1); j < f; j++ {
+			id := next
+			next++
+			if err := expanded.AddVersion(id, []vgraph.VersionID{last}, n.NumRecs, []int64{n.NumRecs}); err != nil {
+				return nil, err
+			}
+			copyOf[id] = v
+			last = id
+		}
+		chainEnd[v] = last
+	}
+	et := expanded.ToTree()
+	ls := &LyreSplit{Tree: et}
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return nil, err
+	}
+	// Post-process: assign each original version to its smallest partition.
+	type choice struct {
+		group int
+		size  int64
+	}
+	bestOf := make(map[vgraph.VersionID]choice)
+	sizes := make([]int64, len(res.Groups))
+	for i, grp := range res.Groups {
+		// Estimate partition record count on the expanded tree.
+		agg := ls.aggregateGroup(grp)
+		sizes[i] = agg
+	}
+	for i, grp := range res.Groups {
+		for _, ev := range grp {
+			ov := copyOf[ev]
+			if c, ok := bestOf[ov]; !ok || sizes[i] < c.size {
+				bestOf[ov] = choice{group: i, size: sizes[i]}
+			}
+		}
+	}
+	groups := make([][]vgraph.VersionID, len(res.Groups))
+	for _, v := range g.Versions() {
+		c := bestOf[v]
+		groups[c.group] = append(groups[c.group], v)
+	}
+	var out [][]vgraph.VersionID
+	for _, grp := range groups {
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	final := &LyreSplitResult{
+		Delta:  res.Delta,
+		Groups: out,
+		Levels: res.Levels,
+		Cuts:   res.Cuts,
+	}
+	return &SolveResult{LyreSplitResult: final, Iterations: res.Iterations}, nil
+}
+
+// aggregateGroup estimates the distinct-record count of an arbitrary version
+// group using tree structure: records are summed as "new vs tree parent" for
+// members whose parent is also in the group, full R(v) otherwise.
+func (ls *LyreSplit) aggregateGroup(grp []vgraph.VersionID) int64 {
+	in := make(map[vgraph.VersionID]bool, len(grp))
+	for _, v := range grp {
+		in[v] = true
+	}
+	var nR int64
+	g := ls.Tree.Graph
+	for _, v := range grp {
+		n := g.Node(v)
+		if p, ok := ls.Tree.Parent[v]; ok && in[p] {
+			nR += n.NumRecs - g.Weight(p, v)
+		} else {
+			nR += n.NumRecs
+		}
+	}
+	return nR
+}

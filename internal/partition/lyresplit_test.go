@@ -1,0 +1,270 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+func lineageGraph(t *testing.T, n int, mergeProb float64, seed int64) (*vgraph.Bipartite, *vgraph.Graph) {
+	t.Helper()
+	b, parents := randomLineage(n, mergeProb, seed)
+	g, err := b.Graph(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, g
+}
+
+func TestLyreSplitGuaranteesOnTrees(t *testing.T) {
+	// Theorem 2: for any δ, LYRESPLIT yields Cavg < (1/δ)·|E|/|V| and
+	// S ≤ (1+δ)^ℓ·|R|. On trees the version-graph estimates are exact, so
+	// we check both the bound and the estimate-vs-exact agreement.
+	for seed := int64(0); seed < 8; seed++ {
+		b, g := lineageGraph(t, 120, 0, 100+seed)
+		tree := g.ToTree()
+		ls := &LyreSplit{Tree: tree}
+		for _, delta := range []float64{0.1, 0.3, 0.5, 0.9} {
+			res := ls.Run(delta)
+			p := FromVersionGroups(b, res.Groups)
+			if err := p.Validate(b); err != nil {
+				t.Fatalf("seed %d δ=%.1f: %v", seed, delta, err)
+			}
+			bound := float64(b.NumEdges()) / float64(b.NumVersions()) / delta
+			if got := p.CheckoutCost(); got >= bound+1e-9 {
+				t.Fatalf("seed %d δ=%.1f: Cavg = %f ≥ bound %f", seed, delta, got, bound)
+			}
+			sBound := math.Pow(1+delta, float64(res.Levels)) * float64(b.NumRecords())
+			if got := p.StorageCost(); float64(got) > sBound+1e-9 {
+				t.Fatalf("seed %d δ=%.1f: S = %d > bound %f", seed, delta, got, sBound)
+			}
+			if res.EstStorage != p.StorageCost() {
+				t.Fatalf("seed %d δ=%.1f: estimate %d != exact %d (trees must be exact)",
+					seed, delta, res.EstStorage, p.StorageCost())
+			}
+			if math.Abs(res.EstCheckout-p.CheckoutCost()) > 1e-6 {
+				t.Fatalf("seed %d δ=%.1f: est Cavg %f != exact %f",
+					seed, delta, res.EstCheckout, p.CheckoutCost())
+			}
+		}
+	}
+}
+
+func TestLyreSplitMonotoneInDelta(t *testing.T) {
+	// Appendix B: larger δ cuts a superset of edges — more partitions, more
+	// storage, less checkout.
+	_, g := lineageGraph(t, 150, 0, 7)
+	ls := &LyreSplit{Tree: g.ToTree()}
+	var lastParts int
+	var lastS int64
+	lastC := math.Inf(1)
+	for i, delta := range []float64{0.05, 0.2, 0.5, 1.0} {
+		res := ls.Run(delta)
+		if i > 0 {
+			if len(res.Groups) < lastParts {
+				t.Fatalf("δ=%.2f: partitions decreased (%d -> %d)", delta, lastParts, len(res.Groups))
+			}
+			if res.EstStorage < lastS {
+				t.Fatalf("δ=%.2f: storage decreased", delta)
+			}
+			if res.EstCheckout > lastC+1e-9 {
+				t.Fatalf("δ=%.2f: checkout increased", delta)
+			}
+		}
+		lastParts, lastS, lastC = len(res.Groups), res.EstStorage, res.EstCheckout
+	}
+}
+
+func TestLyreSplitDeltaOneIsPerVersion(t *testing.T) {
+	// δ=1 satisfies |R||V| < |E|/δ only when every partition has one
+	// version (|R(v)|·1 < |R(v)|/1 is false, so it splits until no
+	// candidate edges remain). All shared edges have w ≤ |R|, so every edge
+	// is a candidate and the result is a partition per version.
+	_, g := lineageGraph(t, 60, 0, 8)
+	ls := &LyreSplit{Tree: g.ToTree()}
+	res := ls.Run(1.0)
+	if len(res.Groups) != g.Len() {
+		t.Fatalf("δ=1 produced %d partitions, want %d", len(res.Groups), g.Len())
+	}
+}
+
+func TestSolveMeetsStorageThreshold(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		b, g := lineageGraph(t, 100, 0, 200+seed)
+		ls := &LyreSplit{Tree: g.ToTree()}
+		for _, factor := range []float64{1.2, 1.5, 2.0, 3.0} {
+			gamma := int64(factor * float64(b.NumRecords()))
+			res, err := ls.Solve(gamma)
+			if err != nil {
+				t.Fatalf("seed %d γ=%.1f|R|: %v", seed, factor, err)
+			}
+			if res.EstStorage > gamma {
+				t.Fatalf("seed %d γ=%.1f|R|: S=%d exceeds γ=%d", seed, factor, res.EstStorage, gamma)
+			}
+			p := FromVersionGroups(b, res.Groups)
+			if err := p.Validate(b); err != nil {
+				t.Fatal(err)
+			}
+			// More budget must never hurt checkout cost (weak sanity).
+			if factor == 3.0 {
+				tight, err := ls.Solve(int64(1.2 * float64(b.NumRecords())))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.EstCheckout > tight.EstCheckout+1e-9 {
+					t.Fatalf("seed %d: more budget worsened checkout", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRejectsInfeasibleGamma(t *testing.T) {
+	b, g := lineageGraph(t, 50, 0, 9)
+	ls := &LyreSplit{Tree: g.ToTree()}
+	if _, err := ls.Solve(b.NumRecords() / 2); err == nil {
+		t.Fatal("γ below |R| must be rejected")
+	}
+}
+
+func TestSolveEmptyTree(t *testing.T) {
+	ls := &LyreSplit{Tree: vgraph.New().ToTree()}
+	if _, err := ls.Solve(10); err == nil {
+		t.Fatal("empty tree must error")
+	}
+}
+
+func TestLyreSplitOnDAG(t *testing.T) {
+	// On DAGs the estimates count duplicated records |R̂| (Theorem 3):
+	// exact storage is never larger than the estimate.
+	for seed := int64(0); seed < 5; seed++ {
+		b, g := lineageGraph(t, 120, 0.2, 300+seed)
+		if g.IsTree() {
+			continue
+		}
+		tree := g.ToTree()
+		ls := &LyreSplit{Tree: tree}
+		dup := tree.DupRecords(b)
+		for _, delta := range []float64{0.2, 0.5} {
+			res := ls.Run(delta)
+			p := FromVersionGroups(b, res.Groups)
+			if err := p.Validate(b); err != nil {
+				t.Fatal(err)
+			}
+			if p.StorageCost() > res.EstStorage {
+				t.Fatalf("exact S %d exceeds estimate %d", p.StorageCost(), res.EstStorage)
+			}
+			sBound := math.Pow(1+delta, float64(res.Levels)) * float64(b.NumRecords()+dup)
+			if float64(p.StorageCost()) > sBound+1e-9 {
+				t.Fatalf("S = %d > Theorem 3 bound %f", p.StorageCost(), sBound)
+			}
+		}
+	}
+}
+
+func TestLyreSplitForest(t *testing.T) {
+	// Multiple root commits form a forest; every root gets its own
+	// partition tree.
+	b := vgraph.NewBipartite()
+	b.AddVersion(1, []vgraph.RecordID{1, 2})
+	b.AddVersion(2, []vgraph.RecordID{10, 11})
+	b.AddVersion(3, []vgraph.RecordID{1, 2, 3})
+	g, err := b.Graph(map[vgraph.VersionID][]vgraph.VersionID{1: nil, 2: nil, 3: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &LyreSplit{Tree: g.ToTree()}
+	res := ls.Run(0.5)
+	p := FromVersionGroups(b, res.Groups)
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveWeighted(t *testing.T) {
+	b, g := lineageGraph(t, 80, 0, 10)
+	tree := g.ToTree()
+	freq := map[vgraph.VersionID]int64{}
+	// Recent versions checked out more often, as in real workloads.
+	vs := b.Versions()
+	for i, v := range vs {
+		if i > len(vs)*3/4 {
+			freq[v] = 10
+		} else {
+			freq[v] = 1
+		}
+	}
+	gamma := 2 * b.NumRecords()
+	res, err := SolveWeighted(tree, freq, 3*gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromVersionGroups(b, res.Groups)
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	// The weighted cost of the weighted solution should not exceed the
+	// single-partition weighted cost.
+	single := NewSinglePartition(b)
+	if p.WeightedCheckoutCost(freq) > single.WeightedCheckoutCost(freq)+1e-9 {
+		t.Fatal("weighted solve did not improve on the single partition")
+	}
+}
+
+func TestSchemaAwareSplitting(t *testing.T) {
+	// Appendix C.3: with per-edge attribute overlap, an edge with few
+	// common attributes becomes a split candidate even when it shares many
+	// records.
+	b, g := lineageGraph(t, 60, 0, 11)
+	tree := g.ToTree()
+	plain := &LyreSplit{Tree: tree}
+	resPlain := plain.Run(0.3)
+
+	aware := &LyreSplit{
+		Tree:       tree,
+		TotalAttrs: 10,
+		EdgeAttrs: func(from, to vgraph.VersionID) int {
+			if to%2 == 0 {
+				return 1 // schema change on even versions
+			}
+			return 10
+		},
+	}
+	resAware := aware.Run(0.3)
+	pa := FromVersionGroups(b, resAware.Groups)
+	if err := pa.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(resAware.Groups) < len(resPlain.Groups) {
+		t.Fatalf("schema-aware rule found fewer candidates (%d < %d)",
+			len(resAware.Groups), len(resPlain.Groups))
+	}
+}
+
+func TestLyreSplitDeterministic(t *testing.T) {
+	_, g := lineageGraph(t, 100, 0, 12)
+	ls := &LyreSplit{Tree: g.ToTree()}
+	a := ls.Run(0.4)
+	bRes := ls.Run(0.4)
+	if len(a.Groups) != len(bRes.Groups) || a.EstStorage != bRes.EstStorage {
+		t.Fatal("LYRESPLIT is not deterministic")
+	}
+}
+
+func BenchmarkLyreSplitSolve(b *testing.B) {
+	bip, parents := randomLineage(1000, 0, 13)
+	g, err := bip.Graph(parents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := g.ToTree()
+	gamma := 2 * bip.NumRecords()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls := &LyreSplit{Tree: tree}
+		if _, err := ls.Solve(gamma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

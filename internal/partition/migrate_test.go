@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+func migrationSetup(t *testing.T, seed int64) (*vgraph.Bipartite, *Partitioning, *Partitioning) {
+	t.Helper()
+	b, parents := randomLineage(120, 0, seed)
+	g, err := b.Graph(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &LyreSplit{Tree: g.ToTree()}
+	oldRes := ls.Run(0.3)
+	newRes := ls.Run(0.6)
+	return b, FromVersionGroups(b, oldRes.Groups), FromVersionGroups(b, newRes.Groups)
+}
+
+func TestNaivePlanRebuildsEverything(t *testing.T) {
+	b, _, next := migrationSetup(t, 50)
+	plan := PlanNaiveMigration(next)
+	if len(plan.Steps) != len(next.Parts) {
+		t.Fatalf("steps = %d, want %d", len(plan.Steps), len(next.Parts))
+	}
+	var total int64
+	for _, s := range plan.Steps {
+		if s.Old != -1 {
+			t.Fatal("naive plan reused a partition")
+		}
+		total += s.Inserts
+	}
+	if total != next.StorageCost() {
+		t.Fatalf("naive inserts %d != S %d", total, next.StorageCost())
+	}
+	_ = b
+}
+
+func TestIntelligentPlanIsCheaper(t *testing.T) {
+	// The Section 4.3 claim: the intelligent plan moves far fewer records
+	// than rebuilding from scratch.
+	for seed := int64(0); seed < 4; seed++ {
+		b, old, next := migrationSetup(t, 60+seed)
+		smart := PlanMigration(b, old, next)
+		naive := PlanNaiveMigration(next)
+		if smart.TotalRecords > naive.TotalRecords {
+			t.Fatalf("seed %d: intelligent %d > naive %d records",
+				seed, smart.TotalRecords, naive.TotalRecords)
+		}
+	}
+}
+
+func TestPlanCoversEveryNewPartitionOnce(t *testing.T) {
+	b, old, next := migrationSetup(t, 70)
+	plan := PlanMigration(b, old, next)
+	seenNew := make(map[int]bool)
+	seenOld := make(map[int]bool)
+	for _, s := range plan.Steps {
+		if seenNew[s.New] {
+			t.Fatalf("new partition %d assigned twice", s.New)
+		}
+		seenNew[s.New] = true
+		if s.Old >= 0 {
+			if seenOld[s.Old] {
+				t.Fatalf("old partition %d reused twice", s.Old)
+			}
+			seenOld[s.Old] = true
+		}
+	}
+	if len(seenNew) != len(next.Parts) {
+		t.Fatalf("plan covers %d of %d new partitions", len(seenNew), len(next.Parts))
+	}
+	// Dropped old partitions are exactly the unused ones.
+	for _, d := range plan.DroppedOld {
+		if seenOld[d] {
+			t.Fatalf("dropped partition %d was also reused", d)
+		}
+	}
+	if len(plan.DroppedOld)+len(seenOld) != len(old.Parts) {
+		t.Fatal("old partitions unaccounted for")
+	}
+}
+
+func TestPlanScratchWhenModificationTooExpensive(t *testing.T) {
+	// A new partition with no common versions must be built from scratch.
+	b := vgraph.NewBipartite()
+	b.AddVersion(1, []vgraph.RecordID{1, 2})
+	b.AddVersion(2, []vgraph.RecordID{3, 4})
+	old := FromVersionGroups(b, [][]vgraph.VersionID{{1}})
+	next := FromVersionGroups(b, [][]vgraph.VersionID{{2}})
+	plan := PlanMigration(b, old, next)
+	if len(plan.Steps) != 1 || plan.Steps[0].Old != -1 {
+		t.Fatalf("expected scratch build, got %+v", plan.Steps)
+	}
+}
+
+func TestPlanIdentityMigrationIsFree(t *testing.T) {
+	b, old, _ := migrationSetup(t, 80)
+	plan := PlanMigration(b, old, old)
+	if plan.TotalRecords != 0 {
+		t.Fatalf("identity migration moved %d records", plan.TotalRecords)
+	}
+}

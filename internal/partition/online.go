@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"fmt"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// Online incrementally maintains a partitioning as versions are committed
+// (Section 4.3). Each commit either joins its best parent's partition or
+// opens a new one, following the same intuition as LYRESPLIT; when the
+// current checkout cost drifts beyond µ times the best cost LYRESPLIT can
+// achieve under the storage budget, the migration engine is invoked.
+type Online struct {
+	// GammaFactor is γ/|R|: the storage budget as a multiple of the current
+	// record count (e.g. 1.5 or 2).
+	GammaFactor float64
+	// Mu is the tolerance factor µ triggering migration.
+	Mu float64
+	// UseNaiveMigration switches to rebuild-from-scratch plans (baseline).
+	UseNaiveMigration bool
+	// RecomputeEvery controls how often C*avg is refreshed via LYRESPLIT
+	// (1 = every commit, the paper's setting).
+	RecomputeEvery int
+
+	graph   *vgraph.Graph
+	bip     *vgraph.Bipartite
+	parents map[vgraph.VersionID][]vgraph.VersionID
+	current *Partitioning
+	// deltaStar is δ* from the last LYRESPLIT invocation.
+	deltaStar float64
+	bestCavg  float64
+	commits   int
+
+	// Migrations records every migration that occurred, in commit order.
+	Migrations []MigrationEvent
+}
+
+// MigrationEvent records one triggered migration, including the layouts
+// before and after so callers can replay (and time) the physical move.
+type MigrationEvent struct {
+	AtCommit   int
+	Plan       *MigrationPlan
+	CavgBefore float64
+	CavgAfter  float64
+	Prev, Next *Partitioning
+}
+
+// NewOnline creates an online maintainer with an empty CVD.
+func NewOnline(gammaFactor, mu float64) *Online {
+	return &Online{
+		GammaFactor:    gammaFactor,
+		Mu:             mu,
+		RecomputeEvery: 1,
+		graph:          vgraph.New(),
+		bip:            vgraph.NewBipartite(),
+		parents:        make(map[vgraph.VersionID][]vgraph.VersionID),
+		current:        &Partitioning{Of: make(map[vgraph.VersionID]int)},
+		deltaStar:      0.5,
+	}
+}
+
+// Current returns the maintained partitioning.
+func (o *Online) Current() *Partitioning { return o.current }
+
+// Graph returns the version graph built so far.
+func (o *Online) Graph() *vgraph.Graph { return o.graph }
+
+// Bipartite returns the bipartite graph built so far.
+func (o *Online) Bipartite() *vgraph.Bipartite { return o.bip }
+
+// CheckoutCost returns the current Cavg.
+func (o *Online) CheckoutCost() float64 { return o.current.CheckoutCost() }
+
+// BestCheckoutCost returns C*avg from the last LYRESPLIT run.
+func (o *Online) BestCheckoutCost() float64 { return o.bestCavg }
+
+// Commit registers version v with its parents and record list, places it
+// per the online rule, and triggers migration when the tolerance is
+// exceeded. It reports whether a migration happened.
+func (o *Online) Commit(v vgraph.VersionID, parents []vgraph.VersionID, rids []vgraph.RecordID) (bool, error) {
+	o.bip.AddVersion(v, rids)
+	ws := make([]int64, len(parents))
+	for i, p := range parents {
+		ws[i] = vgraph.IntersectSize(o.bip.Records(p), o.bip.Records(v))
+	}
+	if err := o.graph.AddVersion(v, parents, int64(len(o.bip.Records(v))), ws); err != nil {
+		return false, err
+	}
+	o.parents[v] = append([]vgraph.VersionID(nil), parents...)
+	o.commits++
+
+	o.place(v, parents, ws)
+
+	if o.RecomputeEvery > 0 && o.commits%o.RecomputeEvery == 0 {
+		if err := o.refreshBest(); err != nil {
+			return false, err
+		}
+	}
+	if o.Mu > 0 && o.bestCavg > 0 && o.current.CheckoutCost() > o.Mu*o.bestCavg {
+		return true, o.migrate()
+	}
+	return false, nil
+}
+
+// place applies the online placement rule: join the best parent's partition
+// unless the shared-record weight is below δ*·|R| while storage headroom
+// remains, in which case a fresh partition is opened.
+func (o *Online) place(v vgraph.VersionID, parents []vgraph.VersionID, ws []int64) {
+	rids := o.bip.Records(v)
+	bestParent := vgraph.VersionID(0)
+	var bestW int64 = -1
+	for i, p := range parents {
+		if ws[i] > bestW {
+			bestParent, bestW = p, ws[i]
+		}
+	}
+	gamma := int64(o.GammaFactor * float64(o.bip.NumRecords()))
+	s := o.current.StorageCost()
+	newPartition := bestW < 0 ||
+		(float64(bestW) <= o.deltaStar*float64(o.bip.NumRecords()) && s < gamma)
+	if newPartition {
+		idx := len(o.current.Parts)
+		recs := append([]vgraph.RecordID(nil), rids...)
+		o.current.Parts = append(o.current.Parts, Part{
+			Versions:   []vgraph.VersionID{v},
+			Records:    recs,
+			NumRecords: int64(len(recs)),
+		})
+		o.current.Of[v] = idx
+		return
+	}
+	k := o.current.Of[bestParent]
+	part := &o.current.Parts[k]
+	part.Versions = append(part.Versions, v)
+	part.Records = unionSorted(part.Records, rids)
+	part.NumRecords = int64(len(part.Records))
+	o.current.Of[v] = k
+}
+
+// refreshBest reruns LYRESPLIT under the current budget to update C*avg and
+// δ*.
+func (o *Online) refreshBest() error {
+	gamma := int64(o.GammaFactor * float64(o.bip.NumRecords()))
+	ls := &LyreSplit{Tree: o.graph.ToTree()}
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return fmt.Errorf("partition: online: %w", err)
+	}
+	o.bestCavg = res.EstCheckout
+	o.deltaStar = res.Delta
+	return nil
+}
+
+// migrate reorganizes the current partitioning to LYRESPLIT's best grouping
+// using the configured migration planner.
+func (o *Online) migrate() error {
+	gamma := int64(o.GammaFactor * float64(o.bip.NumRecords()))
+	ls := &LyreSplit{Tree: o.graph.ToTree()}
+	res, err := ls.Solve(gamma)
+	if err != nil {
+		return err
+	}
+	next := FromVersionGroups(o.bip, res.Groups)
+	var plan *MigrationPlan
+	if o.UseNaiveMigration {
+		plan = PlanNaiveMigration(next)
+	} else {
+		plan = PlanMigration(o.bip, o.current, next)
+	}
+	ev := MigrationEvent{
+		AtCommit:   o.commits,
+		Plan:       plan,
+		CavgBefore: o.current.CheckoutCost(),
+		CavgAfter:  next.CheckoutCost(),
+		Prev:       o.current,
+		Next:       next,
+	}
+	o.Migrations = append(o.Migrations, ev)
+	o.current = next
+	o.deltaStar = res.Delta
+	o.bestCavg = res.EstCheckout
+	return nil
+}

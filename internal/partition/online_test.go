@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// streamLineage replays a random lineage through an Online maintainer.
+func streamLineage(t *testing.T, o *Online, n int, mergeProb float64, seed int64) (int, *vgraph.Bipartite) {
+	t.Helper()
+	b, parents := randomLineage(n, mergeProb, seed)
+	migrations := 0
+	for _, v := range b.Versions() {
+		recs := append([]vgraph.RecordID(nil), b.Records(v)...)
+		m, err := o.Commit(v, parents[v], recs)
+		if err != nil {
+			t.Fatalf("commit %d: %v", v, err)
+		}
+		if m {
+			migrations++
+		}
+	}
+	return migrations, b
+}
+
+func TestOnlineMaintainsValidPartitioning(t *testing.T) {
+	o := NewOnline(2.0, 1.5)
+	_, b := streamLineage(t, o, 150, 0, 40)
+	if err := o.Current().Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	if o.Graph().Len() != 150 {
+		t.Fatalf("graph has %d versions", o.Graph().Len())
+	}
+	if o.Bipartite().NumVersions() != 150 {
+		t.Fatalf("bipartite has %d versions", o.Bipartite().NumVersions())
+	}
+}
+
+func TestOnlineMigrationKeepsCostNearBest(t *testing.T) {
+	mu := 1.5
+	o := NewOnline(2.0, mu)
+	migrations, b := streamLineage(t, o, 200, 0, 41)
+	if migrations != len(o.Migrations) {
+		t.Fatalf("migration count mismatch: %d vs %d", migrations, len(o.Migrations))
+	}
+	// The tolerance invariant: after the stream, Cavg cannot exceed
+	// µ·C*avg (migration would have fired).
+	if best := o.BestCheckoutCost(); best > 0 {
+		if o.CheckoutCost() > mu*best+1e-6 {
+			t.Fatalf("Cavg %.1f exceeds µ·C* = %.1f", o.CheckoutCost(), mu*best)
+		}
+	}
+	if err := o.Current().Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineSmallerMuMigratesMoreOften(t *testing.T) {
+	tight := NewOnline(2.0, 1.05)
+	loose := NewOnline(2.0, 2.5)
+	mTight, _ := streamLineage(t, tight, 200, 0, 42)
+	mLoose, _ := streamLineage(t, loose, 200, 0, 42)
+	if mTight < mLoose {
+		t.Fatalf("µ=1.05 migrated %d times, µ=2.5 %d times", mTight, mLoose)
+	}
+}
+
+func TestOnlineZeroMuNeverMigrates(t *testing.T) {
+	o := NewOnline(2.0, 0)
+	m, _ := streamLineage(t, o, 100, 0, 43)
+	if m != 0 {
+		t.Fatalf("µ=0 migrated %d times", m)
+	}
+}
+
+func TestOnlineWithMerges(t *testing.T) {
+	o := NewOnline(2.0, 1.5)
+	_, b := streamLineage(t, o, 150, 0.2, 44)
+	if err := o.Current().Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMigrationEventsCarryLayouts(t *testing.T) {
+	o := NewOnline(1.5, 1.1)
+	streamLineage(t, o, 200, 0, 45)
+	if len(o.Migrations) == 0 {
+		t.Skip("no migrations triggered at this seed")
+	}
+	for _, ev := range o.Migrations {
+		if ev.Prev == nil || ev.Next == nil || ev.Plan == nil {
+			t.Fatal("migration event missing layouts")
+		}
+		if ev.CavgAfter > ev.CavgBefore+1e-9 {
+			t.Fatalf("migration worsened Cavg: %.1f -> %.1f", ev.CavgBefore, ev.CavgAfter)
+		}
+	}
+}

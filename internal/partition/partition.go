@@ -1,0 +1,209 @@
+// Package partition implements the OrpheusDB partition optimizer (Section 4):
+// the LYRESPLIT approximation algorithm, the NScale-derived AGGLO and KMEANS
+// baselines, the cost model for storage and checkout, online maintenance of a
+// partitioning as commits stream in, and the intelligent migration engine.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// Partitioning assigns every version of a CVD to exactly one partition; a
+// record may be duplicated across partitions (Section 4.1). Each partition
+// physically stores all records of all its versions.
+type Partitioning struct {
+	Parts []Part
+	// Of maps a version to its partition index in Parts.
+	Of map[vgraph.VersionID]int
+}
+
+// Part is one partition: its versions and the distinct records they cover.
+type Part struct {
+	Versions []vgraph.VersionID
+	Records  []vgraph.RecordID // sorted distinct; may be nil if not materialized
+	// NumRecords is |Rk|. It equals len(Records) when Records is
+	// materialized, and otherwise carries the version-graph estimate.
+	NumRecords int64
+}
+
+// NewSinglePartition places all versions of b into one partition — the
+// storage-minimal extreme (Observation 2).
+func NewSinglePartition(b *vgraph.Bipartite) *Partitioning {
+	p := &Partitioning{Of: make(map[vgraph.VersionID]int, b.NumVersions())}
+	vs := append([]vgraph.VersionID(nil), b.Versions()...)
+	part := Part{Versions: vs, Records: b.Union(vs)}
+	part.NumRecords = int64(len(part.Records))
+	p.Parts = []Part{part}
+	for _, v := range vs {
+		p.Of[v] = 0
+	}
+	return p
+}
+
+// NewPartitionPerVersion places every version in its own partition — the
+// checkout-minimal extreme (Observation 1).
+func NewPartitionPerVersion(b *vgraph.Bipartite) *Partitioning {
+	p := &Partitioning{Of: make(map[vgraph.VersionID]int, b.NumVersions())}
+	for i, v := range b.Versions() {
+		recs := append([]vgraph.RecordID(nil), b.Records(v)...)
+		p.Parts = append(p.Parts, Part{
+			Versions:   []vgraph.VersionID{v},
+			Records:    recs,
+			NumRecords: int64(len(recs)),
+		})
+		p.Of[v] = i
+	}
+	return p
+}
+
+// FromVersionGroups builds a Partitioning from version groups, materializing
+// each partition's record set from the bipartite graph.
+func FromVersionGroups(b *vgraph.Bipartite, groups [][]vgraph.VersionID) *Partitioning {
+	p := &Partitioning{Of: make(map[vgraph.VersionID]int)}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		recs := b.Union(g)
+		idx := len(p.Parts)
+		p.Parts = append(p.Parts, Part{
+			Versions:   append([]vgraph.VersionID(nil), g...),
+			Records:    recs,
+			NumRecords: int64(len(recs)),
+		})
+		for _, v := range g {
+			p.Of[v] = idx
+		}
+	}
+	return p
+}
+
+// Validate checks the structural invariants: every version of b appears in
+// exactly one partition, and each partition's records cover the records of
+// its versions.
+func (p *Partitioning) Validate(b *vgraph.Bipartite) error {
+	seen := make(map[vgraph.VersionID]int)
+	for i, part := range p.Parts {
+		for _, v := range part.Versions {
+			if j, ok := seen[v]; ok {
+				return fmt.Errorf("partition: version %d in partitions %d and %d", v, j, i)
+			}
+			seen[v] = i
+			if p.Of[v] != i {
+				return fmt.Errorf("partition: Of[%d]=%d but version listed in partition %d", v, p.Of[v], i)
+			}
+		}
+	}
+	for _, v := range b.Versions() {
+		i, ok := seen[v]
+		if !ok {
+			return fmt.Errorf("partition: version %d unassigned", v)
+		}
+		part := p.Parts[i]
+		if part.Records == nil {
+			continue
+		}
+		if n := vgraph.IntersectSize(part.Records, b.Records(v)); n != int64(len(b.Records(v))) {
+			return fmt.Errorf("partition: partition %d missing %d records of version %d",
+				i, int64(len(b.Records(v)))-n, v)
+		}
+	}
+	return nil
+}
+
+// StorageCost returns S = sum over partitions of |Rk| (Equation 4.1).
+func (p *Partitioning) StorageCost() int64 {
+	var s int64
+	for _, part := range p.Parts {
+		s += part.NumRecords
+	}
+	return s
+}
+
+// CheckoutCost returns Cavg = sum_k |Vk||Rk| / n (Equation 4.2).
+func (p *Partitioning) CheckoutCost() float64 {
+	var num, n int64
+	for _, part := range p.Parts {
+		num += int64(len(part.Versions)) * part.NumRecords
+		n += int64(len(part.Versions))
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(num) / float64(n)
+}
+
+// WeightedCheckoutCost returns Cw = sum_i fi*Ci / sum_i fi for the given
+// per-version checkout frequencies (Appendix C.2). Versions missing from
+// freq default to weight 1.
+func (p *Partitioning) WeightedCheckoutCost(freq map[vgraph.VersionID]int64) float64 {
+	var num, den int64
+	for _, part := range p.Parts {
+		for _, v := range part.Versions {
+			f, ok := freq[v]
+			if !ok {
+				f = 1
+			}
+			num += f * part.NumRecords
+			den += f
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// VersionCheckoutCost returns Ci = |Rk| for the partition holding v.
+func (p *Partitioning) VersionCheckoutCost(v vgraph.VersionID) int64 {
+	i, ok := p.Of[v]
+	if !ok {
+		return 0
+	}
+	return p.Parts[i].NumRecords
+}
+
+// Groups returns the version groups of the partitioning.
+func (p *Partitioning) Groups() [][]vgraph.VersionID {
+	out := make([][]vgraph.VersionID, len(p.Parts))
+	for i, part := range p.Parts {
+		out[i] = append([]vgraph.VersionID(nil), part.Versions...)
+	}
+	return out
+}
+
+// Clone deep-copies the partitioning.
+func (p *Partitioning) Clone() *Partitioning {
+	out := &Partitioning{Of: make(map[vgraph.VersionID]int, len(p.Of))}
+	out.Parts = make([]Part, len(p.Parts))
+	for i, part := range p.Parts {
+		out.Parts[i] = Part{
+			Versions:   append([]vgraph.VersionID(nil), part.Versions...),
+			Records:    append([]vgraph.RecordID(nil), part.Records...),
+			NumRecords: part.NumRecords,
+		}
+	}
+	for v, i := range p.Of {
+		out.Of[v] = i
+	}
+	return out
+}
+
+// LowerBounds returns the two extremes of Section 4.2: the minimum possible
+// storage cost (|R|, one partition) and the minimum possible checkout cost
+// (|E|/|V|, a partition per version).
+func LowerBounds(b *vgraph.Bipartite) (minStorage int64, minCheckout float64) {
+	minStorage = b.NumRecords()
+	if b.NumVersions() > 0 {
+		minCheckout = float64(b.NumEdges()) / float64(b.NumVersions())
+	}
+	return
+}
+
+// sortRecordIDs sorts a RecordID slice ascending.
+func sortRecordIDs(rs []vgraph.RecordID) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}

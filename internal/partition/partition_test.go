@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// randomLineage builds a bipartite graph + parent map the way commits do:
+// each version derives from a parent by dropping and adding records (records
+// have connected lifetimes, per the no-cross-version-diff rule). With
+// mergeProb > 0 some versions take two parents.
+func randomLineage(n int, mergeProb float64, seed int64) (*vgraph.Bipartite, map[vgraph.VersionID][]vgraph.VersionID) {
+	rng := rand.New(rand.NewSource(seed))
+	b := vgraph.NewBipartite()
+	parents := make(map[vgraph.VersionID][]vgraph.VersionID, n)
+	var next vgraph.RecordID = 1
+	fresh := func(k int) []vgraph.RecordID {
+		out := make([]vgraph.RecordID, k)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	recs := map[vgraph.VersionID][]vgraph.RecordID{}
+	b.AddVersion(1, fresh(10))
+	recs[1] = b.Records(1)
+	parents[1] = nil
+	for v := vgraph.VersionID(2); v <= vgraph.VersionID(n); v++ {
+		p := vgraph.VersionID(rng.Intn(int(v-1))) + 1
+		cur := append([]vgraph.RecordID(nil), recs[p]...)
+		ps := []vgraph.VersionID{p}
+		if mergeProb > 0 && rng.Float64() < mergeProb && int(v) > 2 {
+			q := vgraph.VersionID(rng.Intn(int(v-1))) + 1
+			if q != p {
+				seen := map[vgraph.RecordID]bool{}
+				for _, r := range cur {
+					seen[r] = true
+				}
+				for _, r := range recs[q] {
+					if !seen[r] {
+						cur = append(cur, r)
+					}
+				}
+				ps = append(ps, q)
+			}
+		}
+		// Drop a few, add a few.
+		drop := rng.Intn(3)
+		for i := 0; i < drop && len(cur) > 1; i++ {
+			j := rng.Intn(len(cur))
+			cur[j] = cur[len(cur)-1]
+			cur = cur[:len(cur)-1]
+		}
+		cur = append(cur, fresh(1+rng.Intn(5))...)
+		b.AddVersion(v, cur)
+		recs[v] = b.Records(v)
+		parents[v] = ps
+	}
+	return b, parents
+}
+
+func TestExtremesMatchObservations(t *testing.T) {
+	b, _ := randomLineage(60, 0, 1)
+	single := NewSinglePartition(b)
+	if err := single.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	// Observation 2: one partition minimizes storage at |R|.
+	if single.StorageCost() != b.NumRecords() {
+		t.Fatalf("single-partition S = %d, want %d", single.StorageCost(), b.NumRecords())
+	}
+	if single.CheckoutCost() != float64(b.NumRecords()) {
+		t.Fatalf("single-partition Cavg = %f", single.CheckoutCost())
+	}
+	per := NewPartitionPerVersion(b)
+	if err := per.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	// Observation 1: a partition per version minimizes checkout at |E|/|V|.
+	wantC := float64(b.NumEdges()) / float64(b.NumVersions())
+	if per.CheckoutCost() != wantC {
+		t.Fatalf("per-version Cavg = %f, want %f", per.CheckoutCost(), wantC)
+	}
+	if per.StorageCost() != b.NumEdges() {
+		t.Fatalf("per-version S = %d, want %d", per.StorageCost(), b.NumEdges())
+	}
+	minS, minC := LowerBounds(b)
+	if minS != b.NumRecords() || minC != wantC {
+		t.Fatal("LowerBounds wrong")
+	}
+}
+
+func TestValidateCatchesBrokenPartitionings(t *testing.T) {
+	b, _ := randomLineage(20, 0, 2)
+	p := NewSinglePartition(b)
+	// Drop a version from the partitioning.
+	p.Parts[0].Versions = p.Parts[0].Versions[1:]
+	delete(p.Of, b.Versions()[0])
+	if err := p.Validate(b); err == nil {
+		t.Fatal("missing version not detected")
+	}
+	p = NewSinglePartition(b)
+	// Remove a record the versions need.
+	p.Parts[0].Records = p.Parts[0].Records[1:]
+	if err := p.Validate(b); err == nil {
+		t.Fatal("missing record not detected")
+	}
+	p = NewSinglePartition(b)
+	// Duplicate version across partitions.
+	p.Parts = append(p.Parts, Part{Versions: []vgraph.VersionID{b.Versions()[0]}})
+	if err := p.Validate(b); err == nil {
+		t.Fatal("duplicated version not detected")
+	}
+}
+
+func TestVersionCheckoutCost(t *testing.T) {
+	b, _ := randomLineage(30, 0, 3)
+	p := NewPartitionPerVersion(b)
+	for _, v := range b.Versions() {
+		if got := p.VersionCheckoutCost(v); got != int64(len(b.Records(v))) {
+			t.Fatalf("Ci for %d = %d, want %d", v, got, len(b.Records(v)))
+		}
+	}
+	if p.VersionCheckoutCost(999) != 0 {
+		t.Fatal("missing version should cost 0")
+	}
+}
+
+func TestWeightedCheckoutCost(t *testing.T) {
+	b, _ := randomLineage(10, 0, 4)
+	p := NewSinglePartition(b)
+	// All weights equal -> same as unweighted.
+	freq := map[vgraph.VersionID]int64{}
+	if p.WeightedCheckoutCost(freq) != p.CheckoutCost() {
+		t.Fatal("uniform weighted cost should equal Cavg")
+	}
+	per := NewPartitionPerVersion(b)
+	// Weight one version heavily: Cw approaches that version's |R(v)|.
+	heavy := b.Versions()[3]
+	freq[heavy] = 1_000_000
+	cw := per.WeightedCheckoutCost(freq)
+	want := float64(len(b.Records(heavy)))
+	if cw < want*0.99 || cw > want*1.01 {
+		t.Fatalf("Cw = %f, want ~%f", cw, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b, _ := randomLineage(10, 0, 5)
+	p := NewSinglePartition(b)
+	q := p.Clone()
+	q.Parts[0].Versions[0] = 999
+	q.Parts[0].Records[0] = 999
+	q.Of[b.Versions()[1]] = 7
+	if p.Parts[0].Versions[0] == 999 || p.Parts[0].Records[0] == 999 {
+		t.Fatal("clone shares slices")
+	}
+	if p.Of[b.Versions()[1]] == 7 {
+		t.Fatal("clone shares map")
+	}
+}
+
+func TestFromVersionGroups(t *testing.T) {
+	b, _ := randomLineage(40, 0, 6)
+	vs := b.Versions()
+	groups := [][]vgraph.VersionID{vs[:20], vs[20:], nil}
+	p := FromVersionGroups(b, groups)
+	if len(p.Parts) != 2 {
+		t.Fatalf("parts = %d (empty group should be dropped)", len(p.Parts))
+	}
+	if err := p.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	// Groups() round trip covers every version once.
+	total := 0
+	for _, g := range p.Groups() {
+		total += len(g)
+	}
+	if total != len(vs) {
+		t.Fatalf("groups cover %d versions, want %d", total, len(vs))
+	}
+}

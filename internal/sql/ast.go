@@ -1,0 +1,210 @@
+package sql
+
+import "orpheusdb/internal/engine"
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a SELECT query, optionally SELECT ... INTO.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	Into     string // non-empty for SELECT INTO
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int
+}
+
+// SelectItem is one output column: a star, a qualified star, or an expression
+// with an optional alias.
+type SelectItem struct {
+	Star      bool
+	StarTable string // "t.*"
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// FromItem is a table reference, a derived table, or a join.
+type FromItem interface{ fromItem() }
+
+// TableRef names a stored table.
+type TableRef struct {
+	Name  string
+	Alias string
+	// Version/CVD are set by the ORPHEUSDB rewrite of
+	// `VERSION v OF CVD name` and resolved before execution.
+	Version int64
+	CVD     string
+}
+
+// SubqueryRef is a parenthesized SELECT in FROM.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinRef is an explicit `a JOIN b ON cond`.
+type JoinRef struct {
+	Left, Right FromItem
+	On          Expr
+}
+
+func (*TableRef) fromItem()    {}
+func (*SubqueryRef) fromItem() {}
+func (*JoinRef) fromItem()     {}
+
+// InsertStmt is INSERT INTO ... VALUES / SELECT.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+// UpdateStmt is UPDATE ... SET ... WHERE.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is DELETE FROM ... WHERE.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE with column definitions.
+type CreateTableStmt struct {
+	Table      string
+	Columns    []engine.Column
+	PrimaryKey []string
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct {
+	Table string
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct {
+	Value engine.Value
+}
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Op          string // =, <>, <, <=, >, >=, AND, OR, +, -, *, /, %, ||, <@, LIKE
+	Left, Right Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	X  Expr
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is `x [NOT] IN (list | subquery)`.
+type InExpr struct {
+	X      Expr
+	Not    bool
+	List   []Expr
+	Select *SelectStmt
+}
+
+// ExistsExpr is `EXISTS (subquery)`.
+type ExistsExpr struct {
+	Select *SelectStmt
+}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// FuncExpr is a function call; Star marks count(*).
+type FuncExpr struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// ArrayExpr is an ARRAY[...] literal; Select supports
+// ARRAY[SELECT rid FROM t] as used in Table 1.
+type ArrayExpr struct {
+	Elems  []Expr
+	Select *SelectStmt
+}
+
+// IndexExpr is array subscripting a[i] (1-based, as in PostgreSQL).
+type IndexExpr struct {
+	X, Index Expr
+}
+
+// CaseExpr is a searched CASE WHEN ... THEN ... ELSE ... END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond, Result Expr
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct {
+	Select *SelectStmt
+}
+
+func (*Literal) expr()      {}
+func (*ColumnRef) expr()    {}
+func (*BinaryExpr) expr()   {}
+func (*UnaryExpr) expr()    {}
+func (*IsNullExpr) expr()   {}
+func (*InExpr) expr()       {}
+func (*ExistsExpr) expr()   {}
+func (*BetweenExpr) expr()  {}
+func (*FuncExpr) expr()     {}
+func (*ArrayExpr) expr()    {}
+func (*IndexExpr) expr()    {}
+func (*CaseExpr) expr()     {}
+func (*SubqueryExpr) expr() {}

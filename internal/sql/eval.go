@@ -1,0 +1,505 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"orpheusdb/internal/engine"
+)
+
+// evalEnv evaluates expressions against one row of a relation. groupRows is
+// set while evaluating aggregate select lists and HAVING clauses.
+type evalEnv struct {
+	x         *executor
+	rel       *rel
+	row       engine.Row
+	grouped   bool
+	groupRows []engine.Row
+}
+
+func (ev *evalEnv) eval(e Expr) (engine.Value, error) {
+	switch t := e.(type) {
+	case *Literal:
+		return t.Value, nil
+
+	case *ColumnRef:
+		i, err := ev.rel.resolve(t.Table, t.Column)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return ev.row[i], nil
+
+	case *BinaryExpr:
+		return ev.evalBinary(t)
+
+	case *UnaryExpr:
+		v, err := ev.eval(t.X)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		switch t.Op {
+		case "NOT":
+			return engine.BoolValue(!v.Bool()), nil
+		case "-":
+			if v.K == engine.KindFloat {
+				return engine.FloatValue(-v.F), nil
+			}
+			return engine.IntValue(-v.I), nil
+		}
+		return engine.Value{}, fmt.Errorf("sql: unknown unary op %q", t.Op)
+
+	case *IsNullExpr:
+		v, err := ev.eval(t.X)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.BoolValue(v.IsNull() != t.Not), nil
+
+	case *BetweenExpr:
+		v, err := ev.eval(t.X)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		lo, err := ev.eval(t.Lo)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		hi, err := ev.eval(t.Hi)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		in := engine.Compare(v, lo) >= 0 && engine.Compare(v, hi) <= 0
+		return engine.BoolValue(in != t.Not), nil
+
+	case *InExpr:
+		v, err := ev.eval(t.X)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if t.Select != nil {
+			sub, err := ev.x.execSelect(t.Select)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			if len(sub.cols) != 1 {
+				return engine.Value{}, fmt.Errorf("sql: IN subquery must return one column")
+			}
+			for _, r := range sub.rows {
+				if engine.Equal(v, r[0]) {
+					return engine.BoolValue(!t.Not), nil
+				}
+			}
+			return engine.BoolValue(t.Not), nil
+		}
+		for _, le := range t.List {
+			lv, err := ev.eval(le)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			if engine.Equal(v, lv) {
+				return engine.BoolValue(!t.Not), nil
+			}
+		}
+		return engine.BoolValue(t.Not), nil
+
+	case *ExistsExpr:
+		sub, err := ev.x.execSelect(t.Select)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.BoolValue(len(sub.rows) > 0), nil
+
+	case *SubqueryExpr:
+		sub, err := ev.x.execSelect(t.Select)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if len(sub.cols) != 1 {
+			return engine.Value{}, fmt.Errorf("sql: scalar subquery must return one column")
+		}
+		if len(sub.rows) == 0 {
+			return engine.NullValue(), nil
+		}
+		if len(sub.rows) > 1 {
+			return engine.Value{}, fmt.Errorf("sql: scalar subquery returned %d rows", len(sub.rows))
+		}
+		return sub.rows[0][0], nil
+
+	case *ArrayExpr:
+		if t.Select != nil {
+			sub, err := ev.x.execSelect(t.Select)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			if len(sub.cols) != 1 {
+				return engine.Value{}, fmt.Errorf("sql: ARRAY[SELECT ...] must return one column")
+			}
+			arr := make([]int64, 0, len(sub.rows))
+			for _, r := range sub.rows {
+				arr = append(arr, r[0].I)
+			}
+			return engine.ArrayValue(arr), nil
+		}
+		arr := make([]int64, 0, len(t.Elems))
+		for _, el := range t.Elems {
+			v, err := ev.eval(el)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			arr = append(arr, v.I)
+		}
+		return engine.ArrayValue(arr), nil
+
+	case *IndexExpr:
+		v, err := ev.eval(t.X)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		idx, err := ev.eval(t.Index)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		i := idx.I
+		if v.K != engine.KindIntArray || i < 1 || int(i) > len(v.A) {
+			return engine.NullValue(), nil
+		}
+		return engine.IntValue(v.A[i-1]), nil
+
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			c, err := ev.eval(w.Cond)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			if c.Bool() {
+				return ev.eval(w.Result)
+			}
+		}
+		if t.Else != nil {
+			return ev.eval(t.Else)
+		}
+		return engine.NullValue(), nil
+
+	case *FuncExpr:
+		return ev.evalFunc(t)
+	}
+	return engine.Value{}, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func (ev *evalEnv) evalBinary(b *BinaryExpr) (engine.Value, error) {
+	// Short-circuit logic operators.
+	switch b.Op {
+	case "AND":
+		l, err := ev.eval(b.Left)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if !l.Bool() {
+			return engine.BoolValue(false), nil
+		}
+		r, err := ev.eval(b.Right)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.BoolValue(r.Bool()), nil
+	case "OR":
+		l, err := ev.eval(b.Left)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if l.Bool() {
+			return engine.BoolValue(true), nil
+		}
+		r, err := ev.eval(b.Right)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.BoolValue(r.Bool()), nil
+	}
+
+	l, err := ev.eval(b.Left)
+	if err != nil {
+		return engine.Value{}, err
+	}
+	r, err := ev.eval(b.Right)
+	if err != nil {
+		return engine.Value{}, err
+	}
+	switch b.Op {
+	case "=":
+		return engine.BoolValue(engine.Equal(l, r)), nil
+	case "<>":
+		return engine.BoolValue(!engine.Equal(l, r)), nil
+	case "<":
+		return engine.BoolValue(engine.Compare(l, r) < 0), nil
+	case "<=":
+		return engine.BoolValue(engine.Compare(l, r) <= 0), nil
+	case ">":
+		return engine.BoolValue(engine.Compare(l, r) > 0), nil
+	case ">=":
+		return engine.BoolValue(engine.Compare(l, r) >= 0), nil
+
+	case "<@":
+		if l.K != engine.KindIntArray || r.K != engine.KindIntArray {
+			return engine.Value{}, fmt.Errorf("sql: <@ requires arrays")
+		}
+		return engine.BoolValue(engine.ArrayContains(l.A, r.A)), nil
+
+	case "LIKE":
+		return engine.BoolValue(likeMatch(l.String(), r.String())), nil
+
+	case "||":
+		// Array concat/append, or string concat.
+		switch {
+		case l.K == engine.KindIntArray && r.K == engine.KindIntArray:
+			out := make([]int64, 0, len(l.A)+len(r.A))
+			out = append(out, l.A...)
+			out = append(out, r.A...)
+			return engine.ArrayValue(out), nil
+		case l.K == engine.KindIntArray:
+			return engine.ArrayValue(engine.ArrayAppend(l.A, r.I)), nil
+		case r.K == engine.KindIntArray:
+			out := make([]int64, 0, len(r.A)+1)
+			out = append(out, l.I)
+			out = append(out, r.A...)
+			return engine.ArrayValue(out), nil
+		default:
+			return engine.StringValue(l.String() + r.String()), nil
+		}
+
+	case "+":
+		// The paper writes vlist + vj for array append; support it.
+		if l.K == engine.KindIntArray {
+			return engine.ArrayValue(engine.ArrayAppend(l.A, r.I)), nil
+		}
+		return arith(l, r, b.Op)
+	case "-", "*", "/", "%":
+		return arith(l, r, b.Op)
+	}
+	return engine.Value{}, fmt.Errorf("sql: unknown operator %q", b.Op)
+}
+
+// arith applies numeric arithmetic with int/float promotion.
+func arith(l, r engine.Value, op string) (engine.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return engine.NullValue(), nil
+	}
+	if l.K == engine.KindFloat || r.K == engine.KindFloat {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case "+":
+			return engine.FloatValue(a + b), nil
+		case "-":
+			return engine.FloatValue(a - b), nil
+		case "*":
+			return engine.FloatValue(a * b), nil
+		case "/":
+			if b == 0 {
+				return engine.Value{}, fmt.Errorf("sql: division by zero")
+			}
+			return engine.FloatValue(a / b), nil
+		case "%":
+			return engine.Value{}, fmt.Errorf("sql: %% requires integers")
+		}
+	}
+	a, b := l.I, r.I
+	switch op {
+	case "+":
+		return engine.IntValue(a + b), nil
+	case "-":
+		return engine.IntValue(a - b), nil
+	case "*":
+		return engine.IntValue(a * b), nil
+	case "/":
+		if b == 0 {
+			return engine.Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return engine.IntValue(a / b), nil
+	case "%":
+		if b == 0 {
+			return engine.Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return engine.IntValue(a % b), nil
+	}
+	return engine.Value{}, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern segments split by %.
+	segs := strings.Split(pattern, "%")
+	if len(segs) == 1 {
+		return likeExact(s, pattern)
+	}
+	pos := 0
+	for i, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		switch i {
+		case 0:
+			if len(s) < len(seg) || !likeExact(s[:len(seg)], seg) {
+				return false
+			}
+			pos = len(seg)
+		case len(segs) - 1:
+			if len(s)-pos < len(seg) {
+				return false
+			}
+			return likeExact(s[len(s)-len(seg):], seg)
+		default:
+			found := -1
+			for j := pos; j+len(seg) <= len(s); j++ {
+				if likeExact(s[j:j+len(seg)], seg) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return false
+			}
+			pos = found + len(seg)
+		}
+	}
+	return true
+}
+
+func likeExact(s, pattern string) bool {
+	if len(s) != len(pattern) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if pattern[i] != '_' && pattern[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalFunc dispatches aggregate and scalar functions.
+func (ev *evalEnv) evalFunc(f *FuncExpr) (engine.Value, error) {
+	name := strings.ToLower(f.Name)
+	if isAggregateName(name) {
+		return ev.evalAggregate(name, f)
+	}
+	args := make([]engine.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ev.eval(a)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		args[i] = v
+	}
+	switch name {
+	case "abs":
+		if len(args) != 1 {
+			return engine.Value{}, fmt.Errorf("sql: abs takes one argument")
+		}
+		if args[0].K == engine.KindFloat {
+			if args[0].F < 0 {
+				return engine.FloatValue(-args[0].F), nil
+			}
+			return args[0], nil
+		}
+		if args[0].I < 0 {
+			return engine.IntValue(-args[0].I), nil
+		}
+		return args[0], nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return engine.NullValue(), nil
+	case "array_length", "cardinality":
+		if len(args) < 1 || args[0].K != engine.KindIntArray {
+			return engine.NullValue(), nil
+		}
+		return engine.IntValue(int64(len(args[0].A))), nil
+	case "array_append":
+		if len(args) != 2 || args[0].K != engine.KindIntArray {
+			return engine.Value{}, fmt.Errorf("sql: array_append(array, int)")
+		}
+		return engine.ArrayValue(engine.ArrayAppend(args[0].A, args[1].I)), nil
+	case "lower":
+		return engine.StringValue(strings.ToLower(args[0].String())), nil
+	case "upper":
+		return engine.StringValue(strings.ToUpper(args[0].String())), nil
+	case "length":
+		return engine.IntValue(int64(len(args[0].String()))), nil
+	case "unnest":
+		return engine.Value{}, fmt.Errorf("sql: unnest is only supported at the top of a select list")
+	}
+	return engine.Value{}, fmt.Errorf("sql: unknown function %q", f.Name)
+}
+
+// evalAggregate computes an aggregate over the current group.
+func (ev *evalEnv) evalAggregate(name string, f *FuncExpr) (engine.Value, error) {
+	if !ev.grouped {
+		return engine.Value{}, fmt.Errorf("sql: aggregate %s outside GROUP BY context", f.Name)
+	}
+	rows := ev.groupRows
+	if name == "count" && f.Star {
+		return engine.IntValue(int64(len(rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return engine.Value{}, fmt.Errorf("sql: %s takes one argument", f.Name)
+	}
+	var vals []engine.Value
+	for _, row := range rows {
+		sub := &evalEnv{x: ev.x, rel: ev.rel, row: row}
+		v, err := sub.eval(f.Args[0])
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch name {
+	case "count":
+		return engine.IntValue(int64(len(vals))), nil
+	case "sum", "avg":
+		if len(vals) == 0 {
+			return engine.NullValue(), nil
+		}
+		isFloat := false
+		var fs, is int64 = 0, 0
+		var ff float64
+		for _, v := range vals {
+			if v.K == engine.KindFloat {
+				isFloat = true
+			}
+			ff += v.AsFloat()
+			is += v.I
+		}
+		_ = fs
+		if name == "avg" {
+			return engine.FloatValue(ff / float64(len(vals))), nil
+		}
+		if isFloat {
+			return engine.FloatValue(ff), nil
+		}
+		return engine.IntValue(is), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return engine.NullValue(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := engine.Compare(v, best)
+			if (name == "min" && c < 0) || (name == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "array_agg":
+		arr := make([]int64, 0, len(vals))
+		for _, v := range vals {
+			arr = append(arr, v.I)
+		}
+		return engine.ArrayValue(arr), nil
+	}
+	return engine.Value{}, fmt.Errorf("sql: unknown aggregate %q", f.Name)
+}

@@ -1,0 +1,918 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orpheusdb/internal/engine"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Cols     []string
+	Rows     []engine.Row
+	Affected int
+}
+
+// Exec parses and executes one SQL statement against db.
+func Exec(db *engine.DB, src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the result of
+// the last statement.
+func ExecScript(db *engine.DB, src string) (*Result, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, s := range stmts {
+		res, err = Run(db, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Run executes a parsed statement.
+func Run(db *engine.DB, stmt Stmt) (*Result, error) {
+	x := &executor{db: db}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		rel, err := x.execSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		if s.Into != "" {
+			n, err := x.materialize(s.Into, rel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Affected: n}, nil
+		}
+		return &Result{Cols: rel.names(), Rows: rel.rows}, nil
+	case *InsertStmt:
+		return x.execInsert(s)
+	case *UpdateStmt:
+		return x.execUpdate(s)
+	case *DeleteStmt:
+		return x.execDelete(s)
+	case *CreateTableStmt:
+		return x.execCreate(s)
+	case *DropTableStmt:
+		if err := db.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+// colInfo names one column of an intermediate relation.
+type colInfo struct {
+	table string // alias, may be empty
+	name  string
+}
+
+// rel is a materialized intermediate relation.
+type rel struct {
+	cols []colInfo
+	rows []engine.Row
+}
+
+func (r *rel) names() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// executor runs statements; it carries the database for subqueries.
+type executor struct {
+	db *engine.DB
+}
+
+// resolve finds the position of a column reference.
+func (r *rel) resolve(table, name string) (int, error) {
+	found := -1
+	for i, c := range r.cols {
+		if c.name != name {
+			continue
+		}
+		if table != "" && c.table != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("sql: no column %s.%s", table, name)
+		}
+		return 0, fmt.Errorf("sql: no column %q", name)
+	}
+	return found, nil
+}
+
+// tableRel loads a stored table as a relation.
+func (x *executor) tableRel(name, alias string) (*rel, error) {
+	t, err := x.db.MustTable(name)
+	if err != nil {
+		return nil, err
+	}
+	if alias == "" {
+		alias = name
+	}
+	out := &rel{}
+	for _, c := range t.Columns() {
+		out.cols = append(out.cols, colInfo{table: alias, name: c.Name})
+	}
+	t.Scan(func(_ engine.RowID, row engine.Row) bool {
+		out.rows = append(out.rows, row)
+		return true
+	})
+	return out, nil
+}
+
+// fromRel evaluates a FROM item.
+func (x *executor) fromRel(f FromItem) (*rel, error) {
+	switch t := f.(type) {
+	case *TableRef:
+		if t.CVD != "" {
+			return nil, fmt.Errorf("sql: unresolved VERSION %d OF CVD %s (run through the OrpheusDB query translator)", t.Version, t.CVD)
+		}
+		return x.tableRel(t.Name, t.Alias)
+	case *SubqueryRef:
+		sub, err := x.execSelect(t.Select)
+		if err != nil {
+			return nil, err
+		}
+		alias := t.Alias
+		for i := range sub.cols {
+			sub.cols[i].table = alias
+		}
+		return sub, nil
+	case *JoinRef:
+		left, err := x.fromRel(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := x.fromRel(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return x.join(left, right, t.On)
+	}
+	return nil, fmt.Errorf("sql: unsupported FROM item %T", f)
+}
+
+// join combines two relations under an ON condition, using a hash join for
+// equality conjuncts and falling back to a filtered nested loop.
+func (x *executor) join(left, right *rel, on Expr) (*rel, error) {
+	out := &rel{cols: append(append([]colInfo(nil), left.cols...), right.cols...)}
+	conjs := conjuncts(on)
+	var lk, rk []int
+	var rest []Expr
+	for _, c := range conjs {
+		l, r, ok := x.equiKeys(c, left, right)
+		if ok {
+			lk = append(lk, l)
+			rk = append(rk, r)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	emit := func(l, r engine.Row) error {
+		row := make(engine.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		if len(rest) > 0 {
+			ev := &evalEnv{x: x, rel: out, row: row}
+			for _, c := range rest {
+				v, err := ev.eval(c)
+				if err != nil {
+					return err
+				}
+				if !v.Bool() {
+					return nil
+				}
+			}
+		}
+		out.rows = append(out.rows, row)
+		return nil
+	}
+	if len(lk) > 0 {
+		var emitErr error
+		engine.HashJoinGeneric(left.rows, right.rows, lk, rk, x.db.Stats(), func(b, p engine.Row) {
+			if emitErr == nil {
+				emitErr = emit(b, p)
+			}
+		})
+		if emitErr != nil {
+			return nil, emitErr
+		}
+		return out, nil
+	}
+	for _, l := range left.rows {
+		for _, r := range right.rows {
+			if err := emit(l, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// conjuncts flattens an AND tree.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// equiKeys recognizes `a.col = b.col` conditions joining left and right.
+func (x *executor) equiKeys(e Expr, left, right *rel) (int, int, bool) {
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	lc, ok1 := b.Left.(*ColumnRef)
+	rc, ok2 := b.Right.(*ColumnRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if li, err := left.resolve(lc.Table, lc.Column); err == nil {
+		if ri, err := right.resolve(rc.Table, rc.Column); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := left.resolve(rc.Table, rc.Column); err == nil {
+		if ri, err := right.resolve(lc.Table, lc.Column); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+// execSelect runs the full SELECT pipeline and returns the projected
+// relation.
+func (x *executor) execSelect(s *SelectStmt) (*rel, error) {
+	// FROM: join comma-separated items, pulling applicable equality
+	// conjuncts out of WHERE so the common `FROM a, b WHERE a.k = b.k`
+	// pattern gets a hash join rather than a cross product.
+	var src *rel
+	whereConjs := conjuncts(s.Where)
+	used := make([]bool, len(whereConjs))
+	if len(s.From) == 0 {
+		src = &rel{rows: []engine.Row{{}}}
+	} else {
+		var err error
+		src, err = x.fromRel(s.From[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range s.From[1:] {
+			right, err := x.fromRel(f)
+			if err != nil {
+				return nil, err
+			}
+			var on Expr
+			for i, c := range whereConjs {
+				if used[i] {
+					continue
+				}
+				if _, _, ok := x.equiKeys(c, src, right); ok {
+					used[i] = true
+					if on == nil {
+						on = c
+					} else {
+						on = &BinaryExpr{Op: "AND", Left: on, Right: c}
+					}
+				}
+			}
+			src, err = x.join(src, right, on)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// WHERE (remaining conjuncts).
+	var filtered []engine.Row
+	anyFilter := false
+	for i := range whereConjs {
+		if !used[i] {
+			anyFilter = true
+		}
+	}
+	if anyFilter {
+		for _, row := range src.rows {
+			ev := &evalEnv{x: x, rel: src, row: row}
+			keep := true
+			for i, c := range whereConjs {
+				if used[i] {
+					continue
+				}
+				v, err := ev.eval(c)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				filtered = append(filtered, row)
+			}
+		}
+		src = &rel{cols: src.cols, rows: filtered}
+	}
+
+	hasAgg := s.Having != nil || len(s.GroupBy) > 0
+	for _, item := range s.Items {
+		if item.Expr != nil && containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var out *rel
+	var err error
+	if hasAgg {
+		out, err = x.projectGrouped(s, src)
+	} else {
+		out, err = x.projectPlain(s, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Distinct {
+		seen := make(map[string]bool, len(out.rows))
+		var rows []engine.Row
+		for _, r := range out.rows {
+			k := engine.EncodeKey(r...)
+			if !seen[k] {
+				seen[k] = true
+				rows = append(rows, r)
+			}
+		}
+		out.rows = rows
+	}
+
+	if len(s.OrderBy) > 0 {
+		if err := x.orderBy(s, src, out, hasAgg); err != nil {
+			return nil, err
+		}
+	}
+	if s.Offset > 0 {
+		if s.Offset >= len(out.rows) {
+			out.rows = nil
+		} else {
+			out.rows = out.rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(out.rows) {
+		out.rows = out.rows[:s.Limit]
+	}
+	return out, nil
+}
+
+// expandItems resolves stars into column expressions.
+func expandItems(items []SelectItem, src *rel) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, item := range items {
+		switch {
+		case item.Star:
+			for _, c := range src.cols {
+				out = append(out, SelectItem{
+					Expr:  &ColumnRef{Table: c.table, Column: c.name},
+					Alias: c.name,
+				})
+			}
+		case item.StarTable != "":
+			found := false
+			for _, c := range src.cols {
+				if c.table == item.StarTable {
+					found = true
+					out = append(out, SelectItem{
+						Expr:  &ColumnRef{Table: c.table, Column: c.name},
+						Alias: c.name,
+					})
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sql: no table %q in FROM", item.StarTable)
+			}
+		default:
+			out = append(out, item)
+		}
+	}
+	return out, nil
+}
+
+// itemName derives an output column name.
+func itemName(item SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if c, ok := item.Expr.(*ColumnRef); ok {
+		return c.Column
+	}
+	if f, ok := item.Expr.(*FuncExpr); ok {
+		return strings.ToLower(f.Name)
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// projectPlain evaluates the select list row by row, expanding a single
+// unnest() set-returning item as PostgreSQL does.
+func (x *executor) projectPlain(s *SelectStmt, src *rel) (*rel, error) {
+	items, err := expandItems(s.Items, src)
+	if err != nil {
+		return nil, err
+	}
+	out := &rel{}
+	unnestAt := -1
+	for i, item := range items {
+		if f, ok := item.Expr.(*FuncExpr); ok && strings.EqualFold(f.Name, "unnest") {
+			if unnestAt >= 0 {
+				return nil, fmt.Errorf("sql: at most one unnest() per select list")
+			}
+			unnestAt = i
+		}
+		out.cols = append(out.cols, colInfo{name: itemName(item, i)})
+	}
+	for _, row := range src.rows {
+		ev := &evalEnv{x: x, rel: src, row: row}
+		vals := make(engine.Row, len(items))
+		var arr []int64
+		for i, item := range items {
+			if i == unnestAt {
+				f := item.Expr.(*FuncExpr)
+				if len(f.Args) != 1 {
+					return nil, fmt.Errorf("sql: unnest takes one argument")
+				}
+				v, err := ev.eval(f.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				arr = v.A
+				continue
+			}
+			v, err := ev.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if unnestAt < 0 {
+			out.rows = append(out.rows, vals)
+			continue
+		}
+		for _, el := range arr {
+			r := engine.CloneRow(vals)
+			r[unnestAt] = engine.IntValue(el)
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// projectGrouped evaluates GROUP BY / HAVING / aggregate select lists.
+func (x *executor) projectGrouped(s *SelectStmt, src *rel) (*rel, error) {
+	items, err := expandItems(s.Items, src)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		rows []engine.Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	if len(s.GroupBy) == 0 {
+		groups[""] = &group{rows: src.rows}
+		order = append(order, "")
+	} else {
+		for _, row := range src.rows {
+			ev := &evalEnv{x: x, rel: src, row: row}
+			keyVals := make([]engine.Value, len(s.GroupBy))
+			for i, ge := range s.GroupBy {
+				v, err := ev.eval(ge)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			k := engine.EncodeKey(keyVals...)
+			g, ok := groups[k]
+			if !ok {
+				g = &group{}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+	out := &rel{}
+	for i, item := range items {
+		out.cols = append(out.cols, colInfo{name: itemName(item, i)})
+	}
+	for _, k := range order {
+		g := groups[k]
+		var first engine.Row
+		if len(g.rows) > 0 {
+			first = g.rows[0]
+		} else {
+			first = make(engine.Row, len(src.cols))
+		}
+		ev := &evalEnv{x: x, rel: src, row: first, grouped: true, groupRows: g.rows}
+		if s.Having != nil {
+			v, err := ev.eval(s.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		vals := make(engine.Row, len(items))
+		for i, item := range items {
+			v, err := ev.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.rows = append(out.rows, vals)
+	}
+	return out, nil
+}
+
+// orderBy sorts the projected relation. Keys may be output ordinals, output
+// aliases, or (for non-aggregate queries) expressions over the source
+// relation.
+func (x *executor) orderBy(s *SelectStmt, src, out *rel, grouped bool) error {
+	type keyed struct {
+		row  engine.Row
+		keys []engine.Value
+	}
+	rows := make([]keyed, len(out.rows))
+	for i, row := range out.rows {
+		rows[i] = keyed{row: row}
+	}
+	for _, ord := range s.OrderBy {
+		// Ordinal?
+		if lit, ok := ord.Expr.(*Literal); ok && lit.Value.K == engine.KindInt {
+			idx := int(lit.Value.I) - 1
+			if idx < 0 || idx >= len(out.cols) {
+				return fmt.Errorf("sql: ORDER BY position %d out of range", lit.Value.I)
+			}
+			for i := range rows {
+				rows[i].keys = append(rows[i].keys, rows[i].row[idx])
+			}
+			continue
+		}
+		// Output alias?
+		if c, ok := ord.Expr.(*ColumnRef); ok && c.Table == "" {
+			found := -1
+			for j, col := range out.cols {
+				if col.name == c.Column {
+					found = j
+					break
+				}
+			}
+			if found >= 0 {
+				for i := range rows {
+					rows[i].keys = append(rows[i].keys, rows[i].row[found])
+				}
+				continue
+			}
+		}
+		if grouped {
+			return fmt.Errorf("sql: ORDER BY on aggregate queries must reference output columns")
+		}
+		// Expression over the source rows (valid because projection is
+		// 1:1 for non-aggregate, non-unnest queries).
+		if len(src.rows) != len(out.rows) {
+			return fmt.Errorf("sql: ORDER BY expression unsupported with unnest")
+		}
+		for i := range rows {
+			ev := &evalEnv{x: x, rel: src, row: src.rows[i]}
+			v, err := ev.eval(ord.Expr)
+			if err != nil {
+				return err
+			}
+			rows[i].keys = append(rows[i].keys, v)
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k, ord := range s.OrderBy {
+			c := engine.Compare(rows[a].keys[k], rows[b].keys[k])
+			if c == 0 {
+				continue
+			}
+			if ord.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range rows {
+		out.rows[i] = rows[i].row
+	}
+	return nil
+}
+
+// materialize stores a relation as a new table (SELECT INTO). Column types
+// are inferred from the first non-null value per column.
+func (x *executor) materialize(name string, r *rel) (int, error) {
+	cols := make([]engine.Column, len(r.cols))
+	for i, c := range r.cols {
+		k := engine.KindInt
+		for _, row := range r.rows {
+			if !row[i].IsNull() {
+				k = row[i].K
+				break
+			}
+		}
+		cols[i] = engine.Column{Name: c.name, Type: k}
+	}
+	t, err := x.db.CreateTable(name, cols)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range r.rows {
+		if _, err := t.Insert(engine.CloneRow(row)); err != nil {
+			return 0, err
+		}
+	}
+	return len(r.rows), nil
+}
+
+func (x *executor) execInsert(s *InsertStmt) (*Result, error) {
+	t, err := x.db.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := t.Columns()
+	pos := make([]int, 0, len(cols))
+	if len(s.Columns) == 0 {
+		for i := range cols {
+			pos = append(pos, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := t.ColIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("sql: table %s has no column %q", s.Table, name)
+			}
+			pos = append(pos, i)
+		}
+	}
+	buildRow := func(vals engine.Row) (engine.Row, error) {
+		if len(vals) != len(pos) {
+			return nil, fmt.Errorf("sql: INSERT has %d values, want %d", len(vals), len(pos))
+		}
+		row := make(engine.Row, len(cols))
+		for i := range row {
+			row[i] = engine.NullValue()
+		}
+		for i, p := range pos {
+			row[p] = coerce(vals[i], cols[p].Type)
+		}
+		return row, nil
+	}
+	n := 0
+	if s.Select != nil {
+		sub, err := x.execSelect(s.Select)
+		if err != nil {
+			return nil, err
+		}
+		for _, vals := range sub.rows {
+			row, err := buildRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := t.Insert(row); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return &Result{Affected: n}, nil
+	}
+	for _, exprs := range s.Rows {
+		vals := make(engine.Row, len(exprs))
+		ev := &evalEnv{x: x, rel: &rel{}, row: engine.Row{}}
+		for i, e := range exprs {
+			v, err := ev.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		row, err := buildRow(vals)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// coerce converts v to the column kind when a safe conversion exists.
+func coerce(v engine.Value, k engine.Kind) engine.Value {
+	if v.IsNull() || v.K == k {
+		return v
+	}
+	switch k {
+	case engine.KindFloat:
+		if v.K == engine.KindInt {
+			return engine.FloatValue(float64(v.I))
+		}
+	case engine.KindInt:
+		if v.K == engine.KindFloat && v.F == float64(int64(v.F)) {
+			return engine.IntValue(int64(v.F))
+		}
+	case engine.KindString:
+		return engine.StringValue(v.String())
+	}
+	return v
+}
+
+func (x *executor) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, err := x.db.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	srcCols := make([]colInfo, len(t.Columns()))
+	for i, c := range t.Columns() {
+		srcCols[i] = colInfo{table: s.Table, name: c.Name}
+	}
+	src := &rel{cols: srcCols}
+	setPos := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		p := t.ColIndex(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %q", s.Table, a.Column)
+		}
+		setPos[i] = p
+	}
+	type change struct {
+		id  engine.RowID
+		row engine.Row
+	}
+	var changes []change
+	var evalErr error
+	t.Scan(func(id engine.RowID, row engine.Row) bool {
+		ev := &evalEnv{x: x, rel: src, row: row}
+		if s.Where != nil {
+			v, err := ev.eval(s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Bool() {
+				return true
+			}
+		}
+		nr := engine.CloneRow(row)
+		for i, a := range s.Set {
+			v, err := ev.eval(a.Expr)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			nr[setPos[i]] = coerce(v, t.Columns()[setPos[i]].Type)
+		}
+		changes = append(changes, change{id: id, row: nr})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, c := range changes {
+		if err := t.Update(c.id, c.row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(changes)}, nil
+}
+
+func (x *executor) execDelete(s *DeleteStmt) (*Result, error) {
+	t, err := x.db.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	srcCols := make([]colInfo, len(t.Columns()))
+	for i, c := range t.Columns() {
+		srcCols[i] = colInfo{table: s.Table, name: c.Name}
+	}
+	src := &rel{cols: srcCols}
+	var ids []engine.RowID
+	var evalErr error
+	t.Scan(func(id engine.RowID, row engine.Row) bool {
+		if s.Where != nil {
+			ev := &evalEnv{x: x, rel: src, row: row}
+			v, err := ev.eval(s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Bool() {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	t.DeleteBatch(ids)
+	return &Result{Affected: len(ids)}, nil
+}
+
+func (x *executor) execCreate(s *CreateTableStmt) (*Result, error) {
+	t, err := x.db.CreateTable(s.Table, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.PrimaryKey) > 0 {
+		if err := t.SetPrimaryKey(s.PrimaryKey...); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, nil
+}
+
+// containsAggregate reports whether the expression contains an aggregate
+// function call.
+func containsAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case *FuncExpr:
+		if isAggregateName(t.Name) {
+			return true
+		}
+		for _, a := range t.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return containsAggregate(t.Left) || containsAggregate(t.Right)
+	case *UnaryExpr:
+		return containsAggregate(t.X)
+	case *IsNullExpr:
+		return containsAggregate(t.X)
+	case *BetweenExpr:
+		return containsAggregate(t.X) || containsAggregate(t.Lo) || containsAggregate(t.Hi)
+	case *InExpr:
+		if containsAggregate(t.X) {
+			return true
+		}
+		for _, l := range t.List {
+			if containsAggregate(l) {
+				return true
+			}
+		}
+	case *IndexExpr:
+		return containsAggregate(t.X) || containsAggregate(t.Index)
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			if containsAggregate(w.Cond) || containsAggregate(w.Result) {
+				return true
+			}
+		}
+		if t.Else != nil {
+			return containsAggregate(t.Else)
+		}
+	}
+	return false
+}
+
+func isAggregateName(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max", "array_agg":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+// Package sql implements the SQL subset OrpheusDB's query translator emits
+// and users issue through the run command: SELECT (with joins, aggregates,
+// GROUP BY/HAVING/ORDER BY/LIMIT, subqueries, SELECT INTO), INSERT, UPDATE,
+// DELETE, CREATE TABLE and DROP TABLE, plus the array machinery the paper's
+// data models rely on: ARRAY literals, the <@ containment operator, array
+// append, and unnest.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp     // operators and punctuation
+	tokParamQ // ? placeholder
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents preserved lower-cased
+	pos  int
+}
+
+// keywords recognized by the parser. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "INTO": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "IS": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "INSERT": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "DROP": true, "PRIMARY": true,
+	"KEY": true, "ARRAY": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,
+	"CVD": true, "VERSION": true, "OF": true, "UNION": true, "ALL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// lexer splits input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: strings.ToLower(word), pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+
+	case c == '?':
+		l.pos++
+		return token{kind: tokParamQ, text: "?", pos: start}, nil
+
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"<@", "<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokOp, text: op, pos: start}, nil
+			}
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.', '[', ']':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,1003 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orpheusdb/internal/engine"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.eat(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return s, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for {
+		for p.eat(tokOp, ";") {
+		}
+		if p.at(tokEOF, "") {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKeyword(words ...string) bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	for _, w := range words {
+		if t.text == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(w string) error {
+	if p.eat(tokKeyword, w) {
+		return nil
+	}
+	return p.errf("expected %s, found %q", w, p.cur().text)
+}
+
+func (p *parser) expectOp(op string) error {
+	if p.eat(tokOp, op) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", op, p.cur().text)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		s := p.cur().text
+		p.pos++
+		return s, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("SELECT"):
+		return p.parseSelect()
+	case p.atKeyword("INSERT"):
+		return p.parseInsert()
+	case p.atKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.atKeyword("DELETE"):
+		return p.parseDelete()
+	case p.atKeyword("CREATE"):
+		return p.parseCreate()
+	case p.atKeyword("DROP"):
+		return p.parseDrop()
+	}
+	return nil, p.errf("expected a statement, found %q", p.cur().text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.eat(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.eat(tokOp, ",") {
+			break
+		}
+	}
+
+	if p.eat(tokKeyword, "INTO") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Into = name
+	}
+
+	if p.eat(tokKeyword, "FROM") {
+		for {
+			f, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, f)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.eat(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.eat(tokKeyword, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.eat(tokKeyword, "ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.eat(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.eat(tokKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "LIMIT") {
+		n, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+	}
+	if p.eat(tokKeyword, "OFFSET") {
+		n, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = n
+	}
+	return s, nil
+}
+
+func (p *parser) integer() (int, error) {
+	if !p.at(tokNumber, "") {
+		return 0, p.errf("expected number, found %q", p.cur().text)
+	}
+	n, err := strconv.Atoi(p.cur().text)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.cur().text)
+	}
+	p.pos++
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.eat(tokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* needs two-token lookahead.
+	if p.at(tokIdent, "") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokOp && p.toks[p.pos+2].text == "*" {
+		t := p.cur().text
+		p.pos += 3
+		return SelectItem{StarTable: t}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eat(tokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	left, err := p.parseFromPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// INNER/LEFT are accepted; only inner-join semantics are
+		// implemented (LEFT joins via executor flag).
+		if p.eat(tokKeyword, "INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.eat(tokKeyword, "JOIN") {
+			return left, nil
+		}
+		right, err := p.parseFromPrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinRef{Left: left, Right: right, On: on}
+	}
+}
+
+func (p *parser) parseFromPrimary() (FromItem, error) {
+	if p.eat(tokOp, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ref := &SubqueryRef{Select: sub}
+		p.eat(tokKeyword, "AS")
+		if p.at(tokIdent, "") {
+			ref.Alias = p.cur().text
+			p.pos++
+		}
+		return ref, nil
+	}
+	// ORPHEUSDB extension: CVD <name> exposes every version of the CVD as
+	// one relation with a leading vid column.
+	if p.eat(tokKeyword, "CVD") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := &TableRef{CVD: name, Version: -1}
+		p.eat(tokKeyword, "AS")
+		if p.at(tokIdent, "") {
+			ref.Alias = p.cur().text
+			p.pos++
+		}
+		return ref, nil
+	}
+	// ORPHEUSDB extension: VERSION <n> OF CVD <name>.
+	if p.eat(tokKeyword, "VERSION") {
+		v, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("OF"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("CVD"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := &TableRef{CVD: name, Version: int64(v)}
+		p.eat(tokKeyword, "AS")
+		if p.at(tokIdent, "") {
+			ref.Alias = p.cur().text
+			p.pos++
+		}
+		return ref, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableRef{Name: name}
+	p.eat(tokKeyword, "AS")
+	if p.at(tokIdent, "") {
+		ref.Alias = p.cur().text
+		p.pos++
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	if p.eat(tokOp, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Select = sel
+		return ins, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.eat(tokOp, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: name}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Column: col, Expr: e})
+		if !p.eat(tokOp, ",") {
+			break
+		}
+	}
+	if p.eat(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: name}
+	if p.eat(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c := &CreateTableStmt{Table: name}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.eat(tokKeyword, "PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				k, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				c.PrimaryKey = append(c.PrimaryKey, k)
+				if !p.eat(tokOp, ",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typeName, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			k, err := engine.KindFromName(typeName)
+			if err != nil {
+				return nil, p.errf("unknown type %q", typeName)
+			}
+			kc := engine.Column{Name: col, Type: k}
+			if p.eat(tokKeyword, "PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				c.PrimaryKey = append(c.PrimaryKey, col)
+			}
+			c.Columns = append(c.Columns, kc)
+		}
+		if !p.eat(tokOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// typeName reads a type identifier, allowing the int[] array form.
+func (p *parser) typeName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.eat(tokOp, "[") {
+		if err := p.expectOp("]"); err != nil {
+			return "", err
+		}
+		name += "[]"
+	}
+	return name, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: name}, nil
+}
+
+// Expression grammar, lowest precedence first:
+// OR > AND > NOT > comparison (=, <>, <, <=, >, >=, <@, LIKE, IN, BETWEEN,
+// IS NULL) > additive (+, -, ||) > multiplicative (*, /, %) > unary > primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.eat(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokOp, "=") || p.at(tokOp, "<>") || p.at(tokOp, "!=") ||
+			p.at(tokOp, "<") || p.at(tokOp, "<=") || p.at(tokOp, ">") ||
+			p.at(tokOp, ">=") || p.at(tokOp, "<@"):
+			op := p.cur().text
+			if op == "!=" {
+				op = "<>"
+			}
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+
+		case p.atKeyword("LIKE"):
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+
+		case p.atKeyword("IS"):
+			p.pos++
+			not := p.eat(tokKeyword, "NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{X: left, Not: not}
+
+		case p.atKeyword("IN"):
+			p.pos++
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+
+		case p.atKeyword("BETWEEN"):
+			p.pos++
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{X: left, Lo: lo, Hi: hi}
+
+		case p.atKeyword("NOT"):
+			// x NOT IN / NOT BETWEEN / NOT LIKE
+			save := p.pos
+			p.pos++
+			switch {
+			case p.eat(tokKeyword, "IN"):
+				in, err := p.parseInTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case p.eat(tokKeyword, "BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: true}
+			case p.eat(tokKeyword, "LIKE"):
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", X: &BinaryExpr{Op: "LIKE", Left: left, Right: right}}
+			default:
+				p.pos = save
+				return left, nil
+			}
+
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	in := &InExpr{X: left, Not: not}
+	if p.atKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		in.Select = sub
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.eat(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") || p.at(tokOp, "||") {
+		op := p.cur().text
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		op := p.cur().text
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.eat(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix handles array subscripting.
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokOp, "[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{X: x, Index: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Value: engine.FloatValue(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Value: engine.IntValue(n)}, nil
+
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Value: engine.StringValue(t.text)}, nil
+
+	case p.atKeyword("NULL"):
+		p.pos++
+		return &Literal{Value: engine.NullValue()}, nil
+	case p.atKeyword("TRUE"):
+		p.pos++
+		return &Literal{Value: engine.BoolValue(true)}, nil
+	case p.atKeyword("FALSE"):
+		p.pos++
+		return &Literal{Value: engine.BoolValue(false)}, nil
+
+	case p.atKeyword("ARRAY"):
+		p.pos++
+		if err := p.expectOp("["); err != nil {
+			return nil, err
+		}
+		a := &ArrayExpr{}
+		if p.atKeyword("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			a.Select = sub
+		} else if !p.at(tokOp, "]") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				a.Elems = append(a.Elems, e)
+				if !p.eat(tokOp, ",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return a, nil
+
+	case p.atKeyword("CASE"):
+		p.pos++
+		c := &CaseExpr{}
+		for p.eat(tokKeyword, "WHEN") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("THEN"); err != nil {
+				return nil, err
+			}
+			res, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+		}
+		if len(c.Whens) == 0 {
+			return nil, p.errf("CASE needs at least one WHEN")
+		}
+		if p.eat(tokKeyword, "ELSE") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Else = e
+		}
+		if err := p.expectKeyword("END"); err != nil {
+			return nil, err
+		}
+		return c, nil
+
+	case p.atKeyword("EXISTS"):
+		p.pos++
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Select: sub}, nil
+
+	case p.eat(tokOp, "("):
+		if p.atKeyword("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Select: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tokIdent:
+		name := t.text
+		p.pos++
+		// Function call?
+		if p.eat(tokOp, "(") {
+			f := &FuncExpr{Name: name}
+			if p.eat(tokOp, "*") {
+				f.Star = true
+			} else if !p.at(tokOp, ")") {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, e)
+					if !p.eat(tokOp, ",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.eat(tokOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

@@ -1,0 +1,467 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"orpheusdb/internal/engine"
+)
+
+func freshDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB()
+	mustExec(t, db, "CREATE TABLE emp (id int PRIMARY KEY, name text, dept text, salary int, tags int[])")
+	mustExec(t, db, `INSERT INTO emp VALUES
+		(1, 'ann', 'eng', 100, ARRAY[1,2]),
+		(2, 'bob', 'eng', 90, ARRAY[2]),
+		(3, 'cat', 'ops', 80, ARRAY[]),
+		(4, 'dan', 'ops', 80, ARRAY[1,3]),
+		(5, 'eve', 'mgmt', 150, ARRAY[3])`)
+	return db
+}
+
+func mustExec(t *testing.T, db *engine.DB, q string) *Result {
+	t.Helper()
+	r, err := Exec(db, q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return r
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT a, 'it''s', 3.5 FROM t WHERE x <@ y -- comment\n AND z <> 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		if tok.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tok.text)
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "it's") || !strings.Contains(joined, "<@") || !strings.Contains(joined, "<>") {
+		t.Fatalf("lexer output: %v", joined)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := lex("SELECT #"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO t VALUES (1,",
+		"CREATE TABLE t (x blobbytype)",
+		"UPDATE t SET",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER BY x LIMIT 'a'",
+		"DELETE t",
+		"SELECT * FROM t; SELECT",
+	}
+	for _, q := range bad {
+		if _, err := ParseScript(q); err == nil && q != "" {
+			t.Errorf("parse of %q should fail", q)
+		}
+	}
+}
+
+func TestSelectBasics(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT name FROM emp WHERE salary > 85 ORDER BY salary DESC, name")
+	if len(r.Rows) != 3 || r.Rows[0][0].S != "eve" || r.Rows[2][0].S != "bob" {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT * FROM emp WHERE dept = 'eng'")
+	if len(r.Rows) != 2 || len(r.Cols) != 5 {
+		t.Fatalf("star: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT e.name FROM emp e WHERE e.id = 3")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "cat" {
+		t.Fatalf("alias: %v", r.Rows)
+	}
+}
+
+func TestAggregatesAndGrouping(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT dept, count(*) AS c, sum(salary) AS s, avg(salary) AS a, min(salary), max(salary) FROM emp GROUP BY dept ORDER BY dept")
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups: %v", r.Rows)
+	}
+	eng := r.Rows[0]
+	if eng[0].S != "eng" || eng[1].I != 2 || eng[2].I != 190 || eng[3].F != 95 {
+		t.Fatalf("eng group: %v", eng)
+	}
+	r = mustExec(t, db, "SELECT dept FROM emp GROUP BY dept HAVING sum(salary) >= 160 ORDER BY dept")
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "eng" || r.Rows[1][0].S != "ops" {
+		t.Fatalf("having: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM emp")
+	if r.Rows[0][0].I != 5 {
+		t.Fatalf("count(*): %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM emp WHERE dept = 'none'")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 0 {
+		t.Fatalf("empty aggregate: %v", r.Rows)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := freshDB(t)
+	mustExec(t, db, "CREATE TABLE dept (name text, floor int)")
+	mustExec(t, db, "INSERT INTO dept VALUES ('eng', 3), ('ops', 1)")
+	r := mustExec(t, db, "SELECT e.name, d.floor FROM emp e JOIN dept d ON e.dept = d.name ORDER BY e.id")
+	if len(r.Rows) != 4 || r.Rows[0][1].I != 3 {
+		t.Fatalf("join: %v", r.Rows)
+	}
+	// Comma join with WHERE equality gets the same result.
+	r2 := mustExec(t, db, "SELECT e.name, d.floor FROM emp e, dept d WHERE e.dept = d.name ORDER BY e.id")
+	if len(r2.Rows) != len(r.Rows) {
+		t.Fatalf("comma join differs: %v", r2.Rows)
+	}
+	// Cross product without condition.
+	r3 := mustExec(t, db, "SELECT count(*) FROM emp, dept")
+	if r3.Rows[0][0].I != 10 {
+		t.Fatalf("cross: %v", r3.Rows)
+	}
+	// Join with extra non-equi condition.
+	r4 := mustExec(t, db, "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.name AND e.salary > 85")
+	if len(r4.Rows) != 2 {
+		t.Fatalf("join+filter: %v", r4.Rows)
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "eve" {
+		t.Fatalf("scalar: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT name FROM emp WHERE id IN (SELECT id FROM emp WHERE dept = 'ops') ORDER BY id")
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "cat" {
+		t.Fatalf("in-subquery: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT name FROM emp WHERE id NOT IN (1,2,3) ORDER BY id")
+	if len(r.Rows) != 2 {
+		t.Fatalf("not-in: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM (SELECT dept FROM emp GROUP BY dept) AS d")
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("from-subquery: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT name FROM emp WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 140) AND id = 1")
+	if len(r.Rows) != 1 {
+		t.Fatalf("exists: %v", r.Rows)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT name FROM emp WHERE ARRAY[1] <@ tags ORDER BY id")
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "ann" || r.Rows[1][0].S != "dan" {
+		t.Fatalf("containment: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT array_length(tags), tags[1] FROM emp WHERE id = 1")
+	if r.Rows[0][0].I != 2 || r.Rows[0][1].I != 1 {
+		t.Fatalf("length/index: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT tags[9] FROM emp WHERE id = 1")
+	if !r.Rows[0][0].IsNull() {
+		t.Fatalf("oob index should be NULL: %v", r.Rows)
+	}
+	mustExec(t, db, "UPDATE emp SET tags = tags || 9 WHERE id = 3")
+	r = mustExec(t, db, "SELECT tags FROM emp WHERE id = 3")
+	if r.Rows[0][0].String() != "{9}" {
+		t.Fatalf("append via ||: %v", r.Rows)
+	}
+	mustExec(t, db, "UPDATE emp SET tags = tags + 10 WHERE id = 3")
+	r = mustExec(t, db, "SELECT tags FROM emp WHERE id = 3")
+	if r.Rows[0][0].String() != "{9,10}" {
+		t.Fatalf("append via +: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT array_append(tags, 5) FROM emp WHERE id = 2")
+	if r.Rows[0][0].String() != "{2,5}" {
+		t.Fatalf("array_append: %v", r.Rows)
+	}
+}
+
+func TestUnnest(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT unnest(tags) AS tag, name FROM emp WHERE id = 1 ORDER BY tag")
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 1 || r.Rows[1][0].I != 2 || r.Rows[0][1].S != "ann" {
+		t.Fatalf("unnest: %v", r.Rows)
+	}
+	// Empty arrays contribute no rows.
+	r = mustExec(t, db, "SELECT unnest(tags) FROM emp WHERE id = 3")
+	if len(r.Rows) != 0 {
+		t.Fatalf("unnest empty: %v", r.Rows)
+	}
+	if _, err := Exec(db, "SELECT unnest(tags), unnest(tags) FROM emp"); err == nil {
+		t.Fatal("double unnest accepted")
+	}
+}
+
+func TestSelectInto(t *testing.T) {
+	db := freshDB(t)
+	mustExec(t, db, "SELECT id, name INTO eng_only FROM emp WHERE dept = 'eng'")
+	r := mustExec(t, db, "SELECT count(*) FROM eng_only")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("into: %v", r.Rows)
+	}
+	if _, err := Exec(db, "SELECT id INTO eng_only FROM emp"); err == nil {
+		t.Fatal("into existing table accepted")
+	}
+}
+
+func TestInsertVariants(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "INSERT INTO emp (id, name, dept, salary, tags) VALUES (6, 'fox', 'eng', 70, ARRAY[4])")
+	if r.Affected != 1 {
+		t.Fatalf("affected: %d", r.Affected)
+	}
+	mustExec(t, db, "CREATE TABLE names (n text)")
+	r = mustExec(t, db, "INSERT INTO names SELECT name FROM emp WHERE dept = 'eng'")
+	if r.Affected != 3 {
+		t.Fatalf("insert-select: %d", r.Affected)
+	}
+	if _, err := Exec(db, "INSERT INTO emp VALUES (1)"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := Exec(db, "INSERT INTO emp (nope) VALUES (1)"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	// Partial column list fills NULLs.
+	mustExec(t, db, "INSERT INTO names (n) VALUES ('zed')")
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "UPDATE emp SET salary = salary + 10 WHERE dept = 'ops'")
+	if r.Affected != 2 {
+		t.Fatalf("update affected: %d", r.Affected)
+	}
+	r = mustExec(t, db, "SELECT sum(salary) FROM emp WHERE dept = 'ops'")
+	if r.Rows[0][0].I != 180 {
+		t.Fatalf("after update: %v", r.Rows)
+	}
+	r = mustExec(t, db, "DELETE FROM emp WHERE salary < 95")
+	if r.Affected != 3 { // bob 90, cat 90, dan 90
+		t.Fatalf("delete affected: %d", r.Affected)
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM emp")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("after delete: %v", r.Rows)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	db := freshDB(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"SELECT 1 + 2 * 3", "7"},
+		{"SELECT (1 + 2) * 3", "9"},
+		{"SELECT -5 % 3", "-2"},
+		{"SELECT 7 / 2", "3"},
+		{"SELECT 7.0 / 2", "3.5"},
+		{"SELECT 'a' || 'b'", "ab"},
+		{"SELECT CASE WHEN 1 > 2 THEN 'x' ELSE 'y' END", "y"},
+		{"SELECT CASE WHEN 1 < 2 THEN 'x' END", "x"},
+		{"SELECT coalesce(NULL, 3)", "3"},
+		{"SELECT abs(-4)", "4"},
+		{"SELECT lower('AbC')", "abc"},
+		{"SELECT upper('AbC')", "ABC"},
+		{"SELECT length('abcd')", "4"},
+		{"SELECT 5 BETWEEN 1 AND 10", "true"},
+		{"SELECT 5 NOT BETWEEN 1 AND 10", "false"},
+		{"SELECT 'hello' LIKE 'h%o'", "true"},
+		{"SELECT 'hello' LIKE 'h_llo'", "true"},
+		{"SELECT 'hello' NOT LIKE 'x%'", "true"},
+		{"SELECT 'abc' LIKE '%b%'", "true"},
+		{"SELECT 'abc' LIKE 'b%'", "false"},
+		{"SELECT NULL IS NULL", "true"},
+		{"SELECT 1 IS NOT NULL", "true"},
+		{"SELECT NOT TRUE", "false"},
+		{"SELECT 2 IN (1, 2, 3)", "true"},
+		{"SELECT 9 NOT IN (1, 2, 3)", "true"},
+	}
+	for _, c := range cases {
+		r := mustExec(t, db, c.q)
+		if got := r.Rows[0][0].String(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+	for _, q := range []string{"SELECT 1/0", "SELECT 1%0", "SELECT nosuchfunc(1)", "SELECT nosuchcol FROM emp"} {
+		if _, err := Exec(db, q); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestDistinctLimitOffset(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT DISTINCT dept FROM emp ORDER BY dept")
+	if len(r.Rows) != 3 {
+		t.Fatalf("distinct: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 3 {
+		t.Fatalf("limit/offset: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT id FROM emp ORDER BY id OFFSET 10")
+	if len(r.Rows) != 0 {
+		t.Fatalf("offset past end: %v", r.Rows)
+	}
+	// ORDER BY ordinal.
+	r = mustExec(t, db, "SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1")
+	if r.Rows[0][0].S != "eve" {
+		t.Fatalf("ordinal order: %v", r.Rows)
+	}
+}
+
+func TestOrderByAggregateAlias(t *testing.T) {
+	db := freshDB(t)
+	r := mustExec(t, db, "SELECT dept, sum(salary) AS s FROM emp GROUP BY dept ORDER BY s DESC")
+	if r.Rows[0][0].S != "eng" {
+		t.Fatalf("aggregate order: %v", r.Rows)
+	}
+	if _, err := Exec(db, "SELECT dept, sum(salary) FROM emp GROUP BY dept ORDER BY salary"); err == nil {
+		t.Fatal("ORDER BY source column on aggregate should fail")
+	}
+}
+
+func TestCreateDropTable(t *testing.T) {
+	db := engine.NewDB()
+	mustExec(t, db, "CREATE TABLE x (a int, b text, c int[], PRIMARY KEY (a))")
+	tab := db.Table("x")
+	if tab == nil || len(tab.PrimaryKey()) != 1 {
+		t.Fatal("create with table-level pk failed")
+	}
+	mustExec(t, db, "DROP TABLE x")
+	if db.HasTable("x") {
+		t.Fatal("drop failed")
+	}
+	if _, err := Exec(db, "DROP TABLE x"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestExecScript(t *testing.T) {
+	db := engine.NewDB()
+	r, err := ExecScript(db, `
+		CREATE TABLE t (a int);
+		INSERT INTO t VALUES (1), (2), (3);
+		SELECT sum(a) FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 6 {
+		t.Fatalf("script result: %v", r.Rows)
+	}
+}
+
+func TestTable1CheckoutTranslationRuns(t *testing.T) {
+	// The exact SQL shape OrpheusDB's translator emits for split-by-rlist
+	// checkout must execute on the engine.
+	db := engine.NewDB()
+	mustExec(t, db, "CREATE TABLE d (rid int PRIMARY KEY, v int)")
+	mustExec(t, db, "INSERT INTO d VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
+	mustExec(t, db, "CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
+	mustExec(t, db, "INSERT INTO vt VALUES (7, ARRAY[2, 4])")
+	mustExec(t, db, "SELECT * INTO tp FROM d, (SELECT unnest(rlist) AS rid_tmp FROM vt WHERE vid = 7) AS tmp WHERE rid = rid_tmp")
+	r := mustExec(t, db, "SELECT sum(v) FROM tp")
+	if r.Rows[0][0].I != 60 {
+		t.Fatalf("translated checkout: %v", r.Rows)
+	}
+	// And the rlist commit translation.
+	mustExec(t, db, "INSERT INTO vt VALUES (8, ARRAY[SELECT rid FROM tp])")
+	r = mustExec(t, db, "SELECT rlist FROM vt WHERE vid = 8")
+	if r.Rows[0][0].String() != "{2,4}" {
+		t.Fatalf("translated commit: %v", r.Rows)
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := freshDB(t)
+	mustExec(t, db, "CREATE TABLE other (id int)")
+	mustExec(t, db, "INSERT INTO other VALUES (1)")
+	if _, err := Exec(db, "SELECT id FROM emp, other"); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+	mustExec(t, db, "SELECT emp.id FROM emp, other WHERE emp.id = other.id")
+}
+
+func TestCVDSyntaxUnresolved(t *testing.T) {
+	db := freshDB(t)
+	if _, err := Exec(db, "SELECT * FROM VERSION 1 OF CVD foo"); err == nil {
+		t.Fatal("unresolved CVD reference must error at the engine level")
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	// Robustness: random token soup must produce errors, not panics.
+	words := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "UPDATE", "DELETE", "GROUP",
+		"BY", "ORDER", "JOIN", "ON", "AND", "OR", "NOT", "IN", "ARRAY",
+		"VALUES", "INTO", "SET", "t", "x", "1", "1.5", "'s'", "(", ")",
+		",", "*", "=", "<@", "[", "]", "+", ";", "CVD", "VERSION", "OF",
+		"CASE", "WHEN", "END", "EXISTS", "LIKE", "BETWEEN", "NULL",
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(12)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseScript(src)
+		}()
+	}
+}
+
+func TestExecNeverPanicsOnValidParses(t *testing.T) {
+	// Statements that parse must execute to a result or an error, never a
+	// panic, even when semantically nonsensical.
+	db := freshDB(t)
+	stmts := []string{
+		"SELECT tags + name FROM emp",
+		"SELECT ARRAY[1] <@ salary FROM emp",
+		"SELECT sum(name) FROM emp",
+		"SELECT unnest(salary) FROM emp",
+		"SELECT emp.tags[salary] FROM emp",
+		"UPDATE emp SET salary = tags",
+		"SELECT * FROM emp WHERE salary = (SELECT id FROM emp)",
+		"SELECT min(tags), max(tags) FROM emp",
+	}
+	for _, src := range stmts {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Exec(db, src)
+		}()
+	}
+}

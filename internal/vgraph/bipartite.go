@@ -1,0 +1,122 @@
+package vgraph
+
+import "sort"
+
+// Bipartite is the version-record bipartite graph G = (V, R, E) of Section
+// 4.1: for every version the sorted list of record IDs it contains. It is
+// exactly the information the split-by-rlist versioning table stores.
+type Bipartite struct {
+	recs  map[VersionID][]RecordID
+	order []VersionID
+	edges int64
+	rset  map[RecordID]struct{}
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite() *Bipartite {
+	return &Bipartite{
+		recs: make(map[VersionID][]RecordID),
+		rset: make(map[RecordID]struct{}),
+	}
+}
+
+// AddVersion registers version v with its record list. The slice is sorted in
+// place and retained.
+func (b *Bipartite) AddVersion(v VersionID, rids []RecordID) {
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	if _, ok := b.recs[v]; !ok {
+		b.order = append(b.order, v)
+	} else {
+		b.edges -= int64(len(b.recs[v]))
+	}
+	b.recs[v] = rids
+	b.edges += int64(len(rids))
+	for _, r := range rids {
+		b.rset[r] = struct{}{}
+	}
+}
+
+// Records returns the sorted record list of v. Callers must not modify it.
+func (b *Bipartite) Records(v VersionID) []RecordID { return b.recs[v] }
+
+// Versions returns versions in insertion order.
+func (b *Bipartite) Versions() []VersionID { return b.order }
+
+// NumVersions returns |V|.
+func (b *Bipartite) NumVersions() int { return len(b.order) }
+
+// NumRecords returns |R|, the number of distinct records.
+func (b *Bipartite) NumRecords() int64 { return int64(len(b.rset)) }
+
+// NumEdges returns |E|.
+func (b *Bipartite) NumEdges() int64 { return b.edges }
+
+// CommonRecords counts the records shared by versions a and b by merging
+// their sorted lists.
+func (b *Bipartite) CommonRecords(x, y VersionID) int64 {
+	return IntersectSize(b.recs[x], b.recs[y])
+}
+
+// UnionSize counts distinct records across the given versions.
+func (b *Bipartite) UnionSize(vs []VersionID) int64 {
+	seen := make(map[RecordID]struct{})
+	for _, v := range vs {
+		for _, r := range b.recs[v] {
+			seen[r] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// Union returns the sorted distinct records across the given versions.
+func (b *Bipartite) Union(vs []VersionID) []RecordID {
+	seen := make(map[RecordID]struct{})
+	for _, v := range vs {
+		for _, r := range b.recs[v] {
+			seen[r] = struct{}{}
+		}
+	}
+	out := make([]RecordID, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntersectSize counts common elements of two sorted RecordID slices.
+func IntersectSize(a, b []RecordID) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Graph derives the version graph implied by the bipartite structure and an
+// explicit parent relation: edge weights are the record intersections.
+// parents[v] lists v's parents (commit order respected).
+func (b *Bipartite) Graph(parents map[VersionID][]VersionID) (*Graph, error) {
+	g := New()
+	for _, v := range b.order {
+		ps := parents[v]
+		ws := make([]int64, len(ps))
+		for i, p := range ps {
+			ws[i] = b.CommonRecords(p, v)
+		}
+		if err := g.AddVersion(v, ps, int64(len(b.recs[v])), ws); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,152 @@
+package vgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartiteBasics(t *testing.T) {
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{3, 1, 2}) // unsorted on purpose
+	b.AddVersion(2, []RecordID{2, 3, 4})
+	if b.NumVersions() != 2 {
+		t.Fatalf("NumVersions = %d", b.NumVersions())
+	}
+	if b.NumRecords() != 4 {
+		t.Fatalf("NumRecords = %d", b.NumRecords())
+	}
+	if b.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d", b.NumEdges())
+	}
+	recs := b.Records(1)
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1] >= recs[i] {
+			t.Fatal("records not sorted")
+		}
+	}
+	if got := b.CommonRecords(1, 2); got != 2 {
+		t.Fatalf("CommonRecords = %d", got)
+	}
+	if got := b.UnionSize([]VersionID{1, 2}); got != 4 {
+		t.Fatalf("UnionSize = %d", got)
+	}
+	u := b.Union([]VersionID{1, 2})
+	if len(u) != 4 || u[0] != 1 || u[3] != 4 {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestBipartiteReplaceVersion(t *testing.T) {
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{1, 2})
+	b.AddVersion(1, []RecordID{1, 2, 3})
+	if b.NumVersions() != 1 {
+		t.Fatalf("NumVersions = %d after replace", b.NumVersions())
+	}
+	if b.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d after replace", b.NumEdges())
+	}
+}
+
+func TestIntersectSizeQuick(t *testing.T) {
+	// Property: IntersectSize on sorted deduplicated slices equals the map-
+	// based set intersection size.
+	f := func(a, b []uint8) bool {
+		sa := dedupSorted(a)
+		sb := dedupSorted(b)
+		set := make(map[RecordID]bool, len(sa))
+		for _, x := range sa {
+			set[x] = true
+		}
+		var want int64
+		for _, x := range sb {
+			if set[x] {
+				want++
+			}
+		}
+		return IntersectSize(sa, sb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(xs []uint8) []RecordID {
+	seen := make(map[RecordID]bool)
+	var out []RecordID
+	for _, x := range xs {
+		r := RecordID(x)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestBipartiteGraphWeights(t *testing.T) {
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{1, 2, 3})
+	b.AddVersion(2, []RecordID{2, 3, 4, 5})
+	g, err := b.Graph(map[VersionID][]VersionID{1: nil, 2: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(1, 2) != 2 {
+		t.Fatalf("weight = %d", g.Weight(1, 2))
+	}
+	if g.Node(2).NumRecs != 4 {
+		t.Fatalf("NumRecs = %d", g.Node(2).NumRecs)
+	}
+}
+
+func TestBipartiteGraphUnknownParent(t *testing.T) {
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{1})
+	if _, err := b.Graph(map[VersionID][]VersionID{1: {99}}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+}
+
+func TestUnionSizeMatchesUnionLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := NewBipartite()
+	var vids []VersionID
+	for v := VersionID(1); v <= 20; v++ {
+		n := 1 + rng.Intn(50)
+		recs := make([]RecordID, n)
+		for i := range recs {
+			recs[i] = RecordID(rng.Intn(100))
+		}
+		b.AddVersion(v, dedupRecords(recs))
+		vids = append(vids, v)
+	}
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(len(vids))
+		sub := make([]VersionID, k)
+		for i := range sub {
+			sub[i] = vids[rng.Intn(len(vids))]
+		}
+		if int64(len(b.Union(sub))) != b.UnionSize(sub) {
+			t.Fatal("Union and UnionSize disagree")
+		}
+	}
+}
+
+func dedupRecords(rs []RecordID) []RecordID {
+	seen := make(map[RecordID]bool)
+	var out []RecordID
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

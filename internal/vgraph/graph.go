@@ -1,0 +1,277 @@
+// Package vgraph models version graphs and version-record bipartite graphs:
+// the two structures Section 4 of the OrpheusDB paper optimizes over. A
+// version graph is a DAG whose nodes are versions and whose edges carry the
+// number of records shared between parent and child; the bipartite graph
+// records which version contains which records.
+package vgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VersionID identifies a version within a CVD. IDs are dense and start at 1;
+// 0 is the invalid/root-parent sentinel.
+type VersionID int
+
+// RecordID identifies an immutable record within a CVD.
+type RecordID int64
+
+// Edge is a derivation edge vi -> vj with weight w(vi,vj) = number of records
+// the two versions share.
+type Edge struct {
+	From, To VersionID
+	Weight   int64
+}
+
+// Node holds per-version bookkeeping.
+type Node struct {
+	ID       VersionID
+	Parents  []VersionID
+	Children []VersionID
+	NumRecs  int64 // |R(v)|
+	Level    int   // depth in a topological order; roots have level 1
+	// NumAttrs is the number of schema attributes the version has; used by
+	// the schema-change-aware splitting rule of Appendix C.3. Zero means
+	// "same as the whole CVD" (the static-schema case).
+	NumAttrs int
+}
+
+// Graph is a version DAG. Nodes are added in commit order, which guarantees
+// parents exist before children (commits cannot reference future versions).
+type Graph struct {
+	nodes  map[VersionID]*Node
+	order  []VersionID // insertion (commit) order; a valid topological order
+	weight map[[2]VersionID]int64
+}
+
+// New returns an empty version graph.
+func New() *Graph {
+	return &Graph{
+		nodes:  make(map[VersionID]*Node),
+		weight: make(map[[2]VersionID]int64),
+	}
+}
+
+// Len returns the number of versions.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Versions returns the versions in commit order. Callers must not modify the
+// returned slice.
+func (g *Graph) Versions() []VersionID { return g.order }
+
+// Node returns the node for v, or nil.
+func (g *Graph) Node(v VersionID) *Node { return g.nodes[v] }
+
+// Has reports whether v is in the graph.
+func (g *Graph) Has(v VersionID) bool { return g.nodes[v] != nil }
+
+// Weight returns w(from,to), the records shared across the edge.
+func (g *Graph) Weight(from, to VersionID) int64 { return g.weight[[2]VersionID{from, to}] }
+
+// AddVersion inserts version v with the given parents, record count and
+// per-parent shared-record weights (aligned with parents). Parents must
+// already exist; the zero VersionID denotes a root commit and must be the
+// only parent if present.
+func (g *Graph) AddVersion(v VersionID, parents []VersionID, numRecs int64, weights []int64) error {
+	if g.nodes[v] != nil {
+		return fmt.Errorf("vgraph: version %d already exists", v)
+	}
+	if len(parents) != len(weights) {
+		return fmt.Errorf("vgraph: version %d: %d parents but %d weights", v, len(parents), len(weights))
+	}
+	level := 1
+	for _, p := range parents {
+		pn := g.nodes[p]
+		if pn == nil {
+			return fmt.Errorf("vgraph: version %d: unknown parent %d", v, p)
+		}
+		if pn.Level+1 > level {
+			level = pn.Level + 1
+		}
+	}
+	n := &Node{ID: v, Parents: append([]VersionID(nil), parents...), NumRecs: numRecs, Level: level}
+	g.nodes[v] = n
+	g.order = append(g.order, v)
+	for i, p := range parents {
+		g.nodes[p].Children = append(g.nodes[p].Children, v)
+		g.weight[[2]VersionID{p, v}] = weights[i]
+	}
+	return nil
+}
+
+// Roots returns the versions without parents.
+func (g *Graph) Roots() []VersionID {
+	var out []VersionID
+	for _, v := range g.order {
+		if len(g.nodes[v].Parents) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsTree reports whether no version has more than one parent (no merges).
+func (g *Graph) IsTree() bool {
+	for _, v := range g.order {
+		if len(g.nodes[v].Parents) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ancestors returns all transitive ancestors of v (excluding v), in no
+// particular order.
+func (g *Graph) Ancestors(v VersionID) []VersionID {
+	seen := make(map[VersionID]bool)
+	var out []VersionID
+	var walk func(VersionID)
+	walk = func(u VersionID) {
+		n := g.nodes[u]
+		if n == nil {
+			return
+		}
+		for _, p := range n.Parents {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+				walk(p)
+			}
+		}
+	}
+	walk(v)
+	sortVersions(out)
+	return out
+}
+
+// Descendants returns all transitive descendants of v (excluding v).
+func (g *Graph) Descendants(v VersionID) []VersionID {
+	seen := make(map[VersionID]bool)
+	var out []VersionID
+	var walk func(VersionID)
+	walk = func(u VersionID) {
+		n := g.nodes[u]
+		if n == nil {
+			return
+		}
+		for _, c := range n.Children {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+				walk(c)
+			}
+		}
+	}
+	walk(v)
+	sortVersions(out)
+	return out
+}
+
+// Leaves returns versions with no children.
+func (g *Graph) Leaves() []VersionID {
+	var out []VersionID
+	for _, v := range g.order {
+		if len(g.nodes[v].Children) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortVersions(vs []VersionID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+// Tree is a version tree: every node has at most one parent. LYRESPLIT runs
+// on trees; DAGs are first transformed via ToTree.
+type Tree struct {
+	Graph *Graph
+	// Parent maps each non-root version to its retained parent.
+	Parent map[VersionID]VersionID
+}
+
+// ToTree transforms the version DAG into a tree by keeping, for every merge
+// node, only the incoming edge with the highest weight (Appendix C.1).
+// Records a merge version shares only with its dropped parents are
+// conceptually duplicated (the set R̂); use DupRecords to count them exactly.
+// The weights of retained edges are unchanged, so LYRESPLIT's guarantees hold
+// with |R| replaced by |R|+|R̂| (Theorem 3).
+func (g *Graph) ToTree() *Tree {
+	t := &Tree{Graph: g, Parent: make(map[VersionID]VersionID, len(g.order))}
+	for _, v := range g.order {
+		n := g.nodes[v]
+		if len(n.Parents) == 0 {
+			continue
+		}
+		best := n.Parents[0]
+		bestW := g.Weight(best, v)
+		for _, p := range n.Parents[1:] {
+			if w := g.Weight(p, v); w > bestW || (w == bestW && p < best) {
+				best, bestW = p, w
+			}
+		}
+		t.Parent[v] = best
+	}
+	return t
+}
+
+// DupRecords computes |R̂| exactly (Appendix C.1): for every merge version,
+// the number of its records that appear in a dropped parent but not in the
+// retained parent. Those records are conceptually re-created when the DAG is
+// treated as the tree t.
+func (t *Tree) DupRecords(b *Bipartite) int64 {
+	var dup int64
+	for _, v := range t.Graph.Versions() {
+		n := t.Graph.Node(v)
+		if len(n.Parents) < 2 {
+			continue
+		}
+		kept := t.Parent[v]
+		keptSet := make(map[RecordID]struct{})
+		for _, r := range b.Records(kept) {
+			keptSet[r] = struct{}{}
+		}
+		inDropped := make(map[RecordID]struct{})
+		for _, p := range n.Parents {
+			if p == kept {
+				continue
+			}
+			for _, r := range b.Records(p) {
+				inDropped[r] = struct{}{}
+			}
+		}
+		for _, r := range b.Records(v) {
+			if _, ok := keptSet[r]; ok {
+				continue
+			}
+			if _, ok := inDropped[r]; ok {
+				dup++
+			}
+		}
+	}
+	return dup
+}
+
+// Children lists the tree children of v (graph children whose retained
+// parent is v).
+func (t *Tree) Children(v VersionID) []VersionID {
+	var out []VersionID
+	for _, c := range t.Graph.Node(v).Children {
+		if t.Parent[c] == v {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Roots lists the tree roots.
+func (t *Tree) Roots() []VersionID {
+	var out []VersionID
+	for _, v := range t.Graph.Versions() {
+		if _, ok := t.Parent[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

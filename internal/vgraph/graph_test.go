@@ -1,0 +1,163 @@
+package vgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// diamond builds v1 -> {v2, v3} -> v4 with the paper's Figure 4 weights.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddVersion(1, nil, 3, nil))
+	must(g.AddVersion(2, []VersionID{1}, 3, []int64{2}))
+	must(g.AddVersion(3, []VersionID{1}, 4, []int64{1}))
+	must(g.AddVersion(4, []VersionID{2, 3}, 6, []int64{3, 4}))
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := diamond(t)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Has(3) || g.Has(9) {
+		t.Fatal("Has wrong")
+	}
+	if g.Weight(1, 2) != 2 || g.Weight(2, 4) != 3 || g.Weight(9, 9) != 0 {
+		t.Fatal("weights wrong")
+	}
+	n := g.Node(4)
+	if n.Level != 3 || n.NumRecs != 6 {
+		t.Fatalf("node 4: %+v", n)
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Roots = %v", got)
+	}
+	if got := g.Leaves(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Leaves = %v", got)
+	}
+	if g.IsTree() {
+		t.Fatal("diamond is not a tree")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := New()
+	if err := g.AddVersion(1, nil, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddVersion(1, nil, 1, nil); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	if err := g.AddVersion(2, []VersionID{9}, 1, []int64{1}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := g.AddVersion(2, []VersionID{1}, 1, nil); err == nil {
+		t.Fatal("weights/parents mismatch accepted")
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	if got := g.Ancestors(4); !reflect.DeepEqual(got, []VersionID{1, 2, 3}) {
+		t.Fatalf("Ancestors(4) = %v", got)
+	}
+	if got := g.Descendants(1); !reflect.DeepEqual(got, []VersionID{2, 3, 4}) {
+		t.Fatalf("Descendants(1) = %v", got)
+	}
+	if got := g.Ancestors(1); len(got) != 0 {
+		t.Fatalf("Ancestors(1) = %v", got)
+	}
+	if got := g.Descendants(4); len(got) != 0 {
+		t.Fatalf("Descendants(4) = %v", got)
+	}
+}
+
+func TestToTreeKeepsMaxWeightEdge(t *testing.T) {
+	g := diamond(t)
+	tree := g.ToTree()
+	// v4's parents have weights 3 (from v2) and 4 (from v3): keep v3.
+	if tree.Parent[4] != 3 {
+		t.Fatalf("Parent[4] = %d, want 3", tree.Parent[4])
+	}
+	if tree.Parent[2] != 1 || tree.Parent[3] != 1 {
+		t.Fatal("chain parents wrong")
+	}
+	if got := tree.Roots(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("tree roots = %v", got)
+	}
+	if got := tree.Children(1); !reflect.DeepEqual(got, []VersionID{2, 3}) {
+		t.Fatalf("children(1) = %v", got)
+	}
+	if got := tree.Children(3); !reflect.DeepEqual(got, []VersionID{4}) {
+		t.Fatalf("children(3) = %v", got)
+	}
+	if got := tree.Children(2); len(got) != 0 {
+		t.Fatalf("children(2) = %v", got)
+	}
+}
+
+func TestDupRecordsMatchesPaperExample(t *testing.T) {
+	// Figure 17: v4 = {r2,r3,r4,r5,r6,r7}; v2 = {r2,r3,r4}; v3 = {r3,r5,r6,r7}.
+	// Tree keeps v3 -> v4, so r2 and r4 (shared only with v2) duplicate: |R̂| = 2.
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{1, 2, 3})
+	b.AddVersion(2, []RecordID{2, 3, 4})
+	b.AddVersion(3, []RecordID{3, 5, 6, 7})
+	b.AddVersion(4, []RecordID{2, 3, 4, 5, 6, 7})
+	g, err := b.Graph(map[VersionID][]VersionID{
+		1: nil, 2: {1}, 3: {1}, 4: {2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := g.ToTree()
+	if tree.Parent[4] != 3 {
+		t.Fatalf("kept parent = %d, want 3 (weight 4 vs 3)", tree.Parent[4])
+	}
+	if dup := tree.DupRecords(b); dup != 2 {
+		t.Fatalf("|R̂| = %d, want 2", dup)
+	}
+}
+
+func TestDupRecordsZeroForTrees(t *testing.T) {
+	b := NewBipartite()
+	b.AddVersion(1, []RecordID{1, 2})
+	b.AddVersion(2, []RecordID{1, 2, 3})
+	g, err := b.Graph(map[VersionID][]VersionID{1: nil, 2: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup := g.ToTree().DupRecords(b); dup != 0 {
+		t.Fatalf("tree |R̂| = %d", dup)
+	}
+}
+
+func TestLevelsOnRandomDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New()
+	if err := g.AddVersion(1, nil, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for v := VersionID(2); v <= 200; v++ {
+		p := VersionID(rng.Intn(int(v-1))) + 1
+		if err := g.AddVersion(v, []VersionID{p}, 1, []int64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range g.Versions() {
+		n := g.Node(v)
+		for _, p := range n.Parents {
+			if g.Node(p).Level >= n.Level {
+				t.Fatalf("level invariant broken at %d", v)
+			}
+		}
+	}
+}

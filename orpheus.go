@@ -1,0 +1,320 @@
+// Package orpheusdb is a Go reproduction of OrpheusDB (Huang et al., VLDB
+// 2017): a dataset version control system that bolts git-style versioning
+// onto a relational database while keeping the database itself unaware of
+// versions. A Store wraps an embedded relational engine; Datasets (CVDs —
+// collaborative versioned datasets) live inside it under one of the paper's
+// data models; SQL queries run against specific versions via the
+// VERSION ... OF CVD syntax; and the partition optimizer (LYRESPLIT) keeps
+// checkouts fast as the version graph grows.
+//
+// Quick start:
+//
+//	store := orpheusdb.NewStore()
+//	ds, _ := store.Init("prot", cols, orpheusdb.InitOptions{PrimaryKey: []string{"p1", "p2"}})
+//	v1, _ := ds.Commit(rows, nil, "initial import")
+//	rows2, _ := ds.Checkout(v1)
+//	res, _ := store.Run("SELECT count(*) FROM VERSION 1 OF CVD prot")
+package orpheusdb
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"orpheusdb/internal/core"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/sql"
+	"orpheusdb/internal/vgraph"
+)
+
+// Re-exported identifiers so applications only import this package.
+type (
+	// VersionID identifies a version of a dataset.
+	VersionID = vgraph.VersionID
+	// RecordID identifies an immutable record.
+	RecordID = vgraph.RecordID
+	// Column describes one attribute.
+	Column = engine.Column
+	// Row is one tuple.
+	Row = engine.Row
+	// Value is one cell.
+	Value = engine.Value
+	// ModelKind selects a data model.
+	ModelKind = core.ModelKind
+	// VersionInfo is version-level metadata.
+	VersionInfo = core.VersionInfo
+	// Result is a query result.
+	Result = sql.Result
+)
+
+// The data models of Section 3, plus the partitioned hybrid of Section 4.
+const (
+	TablePerVersion  = core.TablePerVersionModel
+	CombinedTable    = core.CombinedTableModel
+	SplitByVlist     = core.SplitByVlistModel
+	SplitByRlist     = core.SplitByRlistModel
+	DeltaBased       = core.DeltaModel
+	PartitionedRlist = core.PartitionedRlistModel
+)
+
+// Value constructors, re-exported.
+var (
+	Int    = engine.IntValue
+	Float  = engine.FloatValue
+	String = engine.StringValue
+	Bool   = engine.BoolValue
+	Array  = engine.ArrayValue
+	Null   = engine.NullValue
+)
+
+// Column kinds, re-exported.
+const (
+	KindInt      = engine.KindInt
+	KindFloat    = engine.KindFloat
+	KindString   = engine.KindString
+	KindBool     = engine.KindBool
+	KindIntArray = engine.KindIntArray
+)
+
+// Store is an OrpheusDB instance: an embedded relational database hosting any
+// number of CVDs, a staging area, and user accounts.
+type Store struct {
+	db   *engine.DB
+	path string
+	user string
+}
+
+// NewStore creates an in-memory store.
+func NewStore() *Store {
+	return &Store{db: engine.NewDB(), user: "default"}
+}
+
+// OpenStore opens (or creates) a store persisted at path.
+func OpenStore(path string) (*Store, error) {
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			s := NewStore()
+			s.path = path
+			return s, nil
+		}
+		return nil, err
+	}
+	db, err := engine.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db, path: path, user: "default"}, nil
+}
+
+// Save persists the store to its path (no-op for in-memory stores).
+func (s *Store) Save() error {
+	if s.path == "" {
+		return nil
+	}
+	return s.db.Save(s.path)
+}
+
+// DB exposes the underlying engine database (for advanced use and tests).
+func (s *Store) DB() *engine.DB { return s.db }
+
+// SetUser switches the active user (config command).
+func (s *Store) SetUser(name string) error {
+	if name == "" {
+		return fmt.Errorf("orpheusdb: empty user name")
+	}
+	s.user = name
+	return nil
+}
+
+// WhoAmI returns the active user name.
+func (s *Store) WhoAmI() string { return s.user }
+
+// CreateUser registers a new user and switches to it.
+func (s *Store) CreateUser(name string) error {
+	if err := core.CreateUser(s.db, name); err != nil {
+		return err
+	}
+	s.user = name
+	return nil
+}
+
+// Users lists registered users.
+func (s *Store) Users() []string { return core.Users(s.db) }
+
+// InitOptions configures dataset creation.
+type InitOptions struct {
+	// Model selects the data model; defaults to split-by-rlist.
+	Model ModelKind
+	// PrimaryKey names the relation's key attributes.
+	PrimaryKey []string
+}
+
+// Dataset is a handle to one CVD.
+type Dataset struct {
+	store *Store
+	cvd   *core.CVD
+}
+
+// Init creates a new CVD.
+func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, error) {
+	c, err := core.Init(s.db, name, cols, core.InitOptions{
+		Model:      opts.Model,
+		PrimaryKey: opts.PrimaryKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{store: s, cvd: c}, nil
+}
+
+// Dataset opens an existing CVD by name.
+func (s *Store) Dataset(name string) (*Dataset, error) {
+	c, err := core.Open(s.db, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{store: s, cvd: c}, nil
+}
+
+// List names the CVDs in the store (ls command).
+func (s *Store) List() []string { return core.ListCVDs(s.db) }
+
+// Drop removes a CVD and all its versions (drop command).
+func (s *Store) Drop(name string) error {
+	c, err := core.Open(s.db, name)
+	if err != nil {
+		return err
+	}
+	return c.Drop()
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.cvd.Name() }
+
+// Columns returns the dataset's current data attributes.
+func (d *Dataset) Columns() []Column { return d.cvd.Columns() }
+
+// PrimaryKey returns the relation's key attribute names.
+func (d *Dataset) PrimaryKey() []string { return d.cvd.PrimaryKey() }
+
+// Model returns the data model kind in use.
+func (d *Dataset) Model() ModelKind { return d.cvd.Model().Kind() }
+
+// Versions lists version ids in commit order.
+func (d *Dataset) Versions() []VersionID { return d.cvd.Versions() }
+
+// LatestVersion returns the most recent version id (0 if none).
+func (d *Dataset) LatestVersion() VersionID { return d.cvd.LatestVersion() }
+
+// Info returns a version's metadata.
+func (d *Dataset) Info(v VersionID) (*VersionInfo, error) { return d.cvd.Info(v) }
+
+// Commit adds a new version derived from parents and returns its id.
+func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	return d.cvd.Commit(rows, parents, msg)
+}
+
+// CommitWithSchema commits rows under a (possibly changed) schema,
+// exercising the single-pool schema evolution of Section 3.3.
+func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	return d.cvd.CommitWithSchema(cols, rows, parents, msg)
+}
+
+// Checkout materializes one or more versions as rows; with several versions
+// records merge in precedence order under the primary key.
+func (d *Dataset) Checkout(vids ...VersionID) ([]Row, error) {
+	return d.cvd.Checkout(vids...)
+}
+
+// CheckoutToTable materializes versions into a staging table owned by the
+// store's active user.
+func (d *Dataset) CheckoutToTable(table string, vids ...VersionID) error {
+	return d.cvd.CheckoutToTable(table, d.store.user, vids...)
+}
+
+// CommitTable commits a staged table back as a new version and removes it
+// from the staging area.
+func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
+	return d.cvd.CommitTable(table, d.store.user, msg)
+}
+
+// Diff returns the rows only in a and only in b.
+func (d *Dataset) Diff(a, b VersionID) (onlyA, onlyB []Row, err error) {
+	return d.cvd.Diff(a, b)
+}
+
+// Ancestors returns all transitive ancestors of v.
+func (d *Dataset) Ancestors(v VersionID) ([]VersionID, error) { return d.cvd.Ancestors(v) }
+
+// Descendants returns all transitive descendants of v.
+func (d *Dataset) Descendants(v VersionID) ([]VersionID, error) { return d.cvd.Descendants(v) }
+
+// StorageBytes reports the dataset's model-owned storage.
+func (d *Dataset) StorageBytes() int64 { return d.cvd.StorageBytes() }
+
+// Optimize runs the partition optimizer (LYRESPLIT) under the storage budget
+// γ = gammaFactor × |R| and migrates the partitioned layout. The dataset
+// must use the PartitionedRlist model.
+func (d *Dataset) Optimize(gammaFactor float64) (*core.OptimizeResult, error) {
+	return d.cvd.Optimize(gammaFactor, false)
+}
+
+// OptimizeNaive is Optimize with rebuild-from-scratch migration (the
+// baseline of Figures 14b/15b).
+func (d *Dataset) OptimizeNaive(gammaFactor float64) (*core.OptimizeResult, error) {
+	return d.cvd.Optimize(gammaFactor, true)
+}
+
+// CVD exposes the underlying core object for advanced use.
+func (d *Dataset) CVD() *core.CVD { return d.cvd }
+
+// SearchVersions returns the versions whose metadata satisfies pred, a
+// version-graph shortcut query (Section 2.2).
+func (d *Dataset) SearchVersions(pred func(*VersionInfo) bool) ([]VersionID, error) {
+	var out []VersionID
+	for _, v := range d.cvd.Versions() {
+		info, err := d.cvd.Info(v)
+		if err != nil {
+			return nil, err
+		}
+		if pred(info) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// LastModified returns the most recent commit time across versions.
+func (d *Dataset) LastModified() (time.Time, error) {
+	var best time.Time
+	for _, v := range d.cvd.Versions() {
+		info, err := d.cvd.Info(v)
+		if err != nil {
+			return time.Time{}, err
+		}
+		if info.CommitTime.After(best) {
+			best = info.CommitTime
+		}
+	}
+	return best, nil
+}
+
+// OptimizeWeighted is Optimize under the weighted checkout cost of Appendix
+// C.2: versions with higher freq land in smaller partitions. Missing
+// versions default to weight 1.
+func (d *Dataset) OptimizeWeighted(gammaFactor float64, freq map[VersionID]int64) (*core.OptimizeResult, error) {
+	return d.cvd.OptimizeWeighted(gammaFactor, freq, false)
+}
+
+// RecencyWeights builds a checkout-frequency map weighting the most recent
+// recentFraction of versions hot× more than the rest.
+func (d *Dataset) RecencyWeights(recentFraction float64, hot int64) map[VersionID]int64 {
+	return d.cvd.RecencyWeights(recentFraction, hot)
+}
+
+// MaintainPartitions runs the periodic partition check of Section 4.3:
+// when the current checkout cost exceeds mu times the best LYRESPLIT can
+// achieve under gammaFactor·|R|, the layout is migrated.
+func (d *Dataset) MaintainPartitions(gammaFactor, mu float64) (*core.MaintenanceResult, error) {
+	return d.cvd.MaintainPartitions(gammaFactor, mu, false)
+}

@@ -1,0 +1,285 @@
+package orpheusdb
+
+import (
+	"fmt"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/sql"
+	"orpheusdb/internal/vgraph"
+)
+
+// The query translator (Section 2.3): SQL statements may reference
+// `VERSION <v> OF CVD <name>` (one version as a relation) or `CVD <name>`
+// (every version, with a leading vid column). Run materializes each such
+// reference as a transient table, rewrites the statement to use it, executes,
+// and cleans up — so the underlying engine stays completely unaware of
+// versioning.
+
+// Run executes one SQL statement, resolving OrpheusDB version references.
+func (s *Store) Run(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	temps, err := s.resolveStmt(stmt)
+	defer s.dropTemps(temps)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Run(s.db, stmt)
+}
+
+// RunScript executes a semicolon-separated script, returning the last result.
+func (s *Store) RunScript(src string) (*Result, error) {
+	stmts, err := sql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, stmt := range stmts {
+		temps, err := s.resolveStmt(stmt)
+		if err != nil {
+			s.dropTemps(temps)
+			return nil, err
+		}
+		res, err = sql.Run(s.db, stmt)
+		s.dropTemps(temps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Store) dropTemps(temps []string) {
+	for _, t := range temps {
+		if s.db.HasTable(t) {
+			_ = s.db.DropTable(t)
+		}
+	}
+}
+
+// resolveStmt walks the statement and materializes CVD references, returning
+// the temp tables it created.
+func (s *Store) resolveStmt(stmt sql.Stmt) ([]string, error) {
+	var temps []string
+	var walkSelect func(sel *sql.SelectStmt) error
+
+	resolveFrom := func(f sql.FromItem) error {
+		ref, ok := f.(*sql.TableRef)
+		if !ok || ref.CVD == "" {
+			return nil
+		}
+		name, err := s.materializeRef(ref, len(temps))
+		if err != nil {
+			return err
+		}
+		temps = append(temps, name)
+		if ref.Alias == "" {
+			ref.Alias = ref.CVD
+		}
+		ref.Name = name
+		ref.CVD = ""
+		return nil
+	}
+
+	var walkFrom func(f sql.FromItem) error
+	walkFrom = func(f sql.FromItem) error {
+		switch t := f.(type) {
+		case *sql.TableRef:
+			return resolveFrom(t)
+		case *sql.SubqueryRef:
+			return walkSelect(t.Select)
+		case *sql.JoinRef:
+			if err := walkFrom(t.Left); err != nil {
+				return err
+			}
+			if err := walkFrom(t.Right); err != nil {
+				return err
+			}
+			return walkExpr(t.On, walkSelect)
+		}
+		return nil
+	}
+
+	walkSelect = func(sel *sql.SelectStmt) error {
+		if sel == nil {
+			return nil
+		}
+		for _, f := range sel.From {
+			if err := walkFrom(f); err != nil {
+				return err
+			}
+		}
+		for _, item := range sel.Items {
+			if err := walkExpr(item.Expr, walkSelect); err != nil {
+				return err
+			}
+		}
+		for _, e := range append([]sql.Expr{sel.Where, sel.Having}, sel.GroupBy...) {
+			if err := walkExpr(e, walkSelect); err != nil {
+				return err
+			}
+		}
+		for _, o := range sel.OrderBy {
+			if err := walkExpr(o.Expr, walkSelect); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var err error
+	switch t := stmt.(type) {
+	case *sql.SelectStmt:
+		err = walkSelect(t)
+	case *sql.InsertStmt:
+		err = walkSelect(t.Select)
+		for _, row := range t.Rows {
+			for _, e := range row {
+				if e2 := walkExpr(e, walkSelect); e2 != nil {
+					err = e2
+				}
+			}
+		}
+	case *sql.UpdateStmt:
+		for _, a := range t.Set {
+			if e2 := walkExpr(a.Expr, walkSelect); e2 != nil {
+				err = e2
+			}
+		}
+		if e2 := walkExpr(t.Where, walkSelect); e2 != nil {
+			err = e2
+		}
+	case *sql.DeleteStmt:
+		err = walkExpr(t.Where, walkSelect)
+	}
+	return temps, err
+}
+
+// walkExpr visits subqueries inside an expression tree.
+func walkExpr(e sql.Expr, visit func(*sql.SelectStmt) error) error {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case *sql.BinaryExpr:
+		if err := walkExpr(t.Left, visit); err != nil {
+			return err
+		}
+		return walkExpr(t.Right, visit)
+	case *sql.UnaryExpr:
+		return walkExpr(t.X, visit)
+	case *sql.IsNullExpr:
+		return walkExpr(t.X, visit)
+	case *sql.BetweenExpr:
+		if err := walkExpr(t.X, visit); err != nil {
+			return err
+		}
+		if err := walkExpr(t.Lo, visit); err != nil {
+			return err
+		}
+		return walkExpr(t.Hi, visit)
+	case *sql.InExpr:
+		if err := walkExpr(t.X, visit); err != nil {
+			return err
+		}
+		for _, l := range t.List {
+			if err := walkExpr(l, visit); err != nil {
+				return err
+			}
+		}
+		if t.Select != nil {
+			return visit(t.Select)
+		}
+	case *sql.ExistsExpr:
+		return visit(t.Select)
+	case *sql.SubqueryExpr:
+		return visit(t.Select)
+	case *sql.ArrayExpr:
+		for _, el := range t.Elems {
+			if err := walkExpr(el, visit); err != nil {
+				return err
+			}
+		}
+		if t.Select != nil {
+			return visit(t.Select)
+		}
+	case *sql.IndexExpr:
+		if err := walkExpr(t.X, visit); err != nil {
+			return err
+		}
+		return walkExpr(t.Index, visit)
+	case *sql.FuncExpr:
+		for _, a := range t.Args {
+			if err := walkExpr(a, visit); err != nil {
+				return err
+			}
+		}
+	case *sql.CaseExpr:
+		for _, w := range t.Whens {
+			if err := walkExpr(w.Cond, visit); err != nil {
+				return err
+			}
+			if err := walkExpr(w.Result, visit); err != nil {
+				return err
+			}
+		}
+		return walkExpr(t.Else, visit)
+	}
+	return nil
+}
+
+// materializeRef creates a transient table for a CVD reference: a single
+// version's rows, or the all-versions view with a leading vid column.
+func (s *Store) materializeRef(ref *sql.TableRef, n int) (string, error) {
+	d, err := s.Dataset(ref.CVD)
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("__orpheus_tmp_%s_%d", ref.CVD, n)
+	if s.db.HasTable(name) {
+		if err := s.db.DropTable(name); err != nil {
+			return "", err
+		}
+	}
+	if ref.Version >= 0 {
+		vid := vgraph.VersionID(ref.Version)
+		rows, err := d.Checkout(vid)
+		if err != nil {
+			return "", err
+		}
+		t, err := s.db.CreateTable(name, d.Columns())
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			if _, err := t.Insert(r); err != nil {
+				return "", err
+			}
+		}
+		return name, nil
+	}
+	// All-versions view: vid + data attributes, one row per
+	// (version, record) pair — the "table with versioned records" of
+	// Figure 1a, generated on the fly.
+	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}}, d.Columns()...)
+	t, err := s.db.CreateTable(name, cols)
+	if err != nil {
+		return "", err
+	}
+	for _, v := range d.Versions() {
+		rows, err := d.Checkout(v)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			row := make(engine.Row, 0, len(r)+1)
+			row = append(row, engine.IntValue(int64(v)))
+			row = append(row, r...)
+			if _, err := t.Insert(row); err != nil {
+				return "", err
+			}
+		}
+	}
+	return name, nil
+}

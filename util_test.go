@@ -1,0 +1,8 @@
+package orpheusdb
+
+import "os"
+
+// writeFile is a small test helper.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
