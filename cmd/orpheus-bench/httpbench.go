@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	orpheusdb "orpheusdb"
+	"orpheusdb/internal/server"
+)
+
+// The `http` artifact is a load generator for the versioning service: N
+// concurrent clients issue a configurable mix of commit / checkout / diff /
+// SQL requests and the tool reports per-operation throughput and latency
+// percentiles. With no -url it spins up an in-process server over an
+// in-memory store, so `orpheus-bench http` measures the full stack
+// (HTTP + JSON codecs + locking + engine) out of the box; point -url at a
+// running `orpheus serve` to measure over a real socket.
+func httpBench(args []string) error {
+	fs := flag.NewFlagSet("http", flag.ContinueOnError)
+	clients := fs.Int("clients", 32, "concurrent clients")
+	duration := fs.Duration("duration", 5*time.Second, "measurement window")
+	url := fs.String("url", "", "target server (default: in-process)")
+	rows := fs.Int("rows", 256, "rows in the seeded base version")
+	mix := fs.String("mix", "commit=20,checkout=40,diff=10,query=30", "operation weights")
+	benchSeed := fs.Int64("seed", 42, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+
+	base := *url
+	if base == "" {
+		store := orpheusdb.NewStore()
+		ts := httptest.NewServer(server.New(store, nil))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("== HTTP bench: in-process server ==\n")
+	} else {
+		fmt.Printf("== HTTP bench: %s ==\n", base)
+	}
+	fmt.Printf("clients=%d duration=%v mix=%s rows=%d\n", *clients, *duration, *mix, *rows)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+	if err := seedBench(client, base, *rows); err != nil {
+		return err
+	}
+
+	type sample struct {
+		op string
+		d  time.Duration
+	}
+	results := make([][]sample, *clients)
+	failCounts := make([]map[string]int, *clients)
+	var firstErr error
+	var errOnce sync.Once
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*benchSeed + int64(c)))
+			var local []sample
+			fails := map[string]int{}
+			for i := 0; time.Now().Before(deadline); i++ {
+				op := pickOp(rng, weights)
+				start := time.Now()
+				err := doOp(client, base, op, c, i, rng)
+				el := time.Since(start)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("client %d %s: %w", c, op, err) })
+					fails[op]++
+					continue
+				}
+				local = append(local, sample{op, el})
+			}
+			results[c] = local
+			failCounts[c] = fails
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "orpheus-bench: first failure: %v\n", firstErr)
+	}
+
+	// Merge per-client samples by operation.
+	byOp := map[string][]time.Duration{}
+	total := 0
+	for _, rs := range results {
+		for _, s := range rs {
+			byOp[s.op] = append(byOp[s.op], s.d)
+			total++
+		}
+	}
+	fmt.Printf("\n%-10s %10s %10s %10s %10s %10s %10s\n",
+		"op", "count", "ops/s", "p50", "p90", "p99", "max")
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		ds := byOp[op]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Printf("%-10s %10d %10.0f %10v %10v %10v %10v\n",
+			op, len(ds), float64(len(ds))/duration.Seconds(),
+			pct(ds, 50), pct(ds, 90), pct(ds, 99), ds[len(ds)-1])
+	}
+	fmt.Printf("%-10s %10d %10.0f\n", "TOTAL", total, float64(total)/duration.Seconds())
+	failed := map[string]int{}
+	for _, fails := range failCounts {
+		for op, n := range fails {
+			failed[op] += n
+		}
+	}
+	for _, op := range ops {
+		if failed[op] > 0 {
+			fmt.Printf("FAILED %-10s %d\n", op, failed[op])
+		}
+	}
+	for op, n := range failed {
+		if len(byOp[op]) == 0 {
+			fmt.Printf("FAILED %-10s %d\n", op, n)
+		}
+	}
+	return nil
+}
+
+func parseMix(s string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("negative mix weight %q", part)
+		}
+		switch name {
+		case "commit", "checkout", "diff", "query":
+			out[name] = w
+		default:
+			return nil, fmt.Errorf("unknown mix op %q", name)
+		}
+	}
+	sum := 0
+	for _, w := range out {
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return out, nil
+}
+
+func pickOp(rng *rand.Rand, weights map[string]int) string {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	n := rng.Intn(sum)
+	for _, op := range []string{"commit", "checkout", "diff", "query"} {
+		n -= weights[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return "checkout"
+}
+
+// benchDataset is the CVD the load generator drives.
+const benchDataset = "httpbench"
+
+func seedBench(client *http.Client, base string, rows int) error {
+	// Re-seeding an existing dataset (external -url runs) is fine: the
+	// conflict is ignored and the base version reused.
+	status, _, err := request(client, "POST", base+"/api/v1/datasets", map[string]any{
+		"name": benchDataset,
+		"columns": []map[string]string{
+			{"name": "id", "type": "integer"},
+			{"name": "val", "type": "string"},
+			{"name": "score", "type": "decimal"},
+		},
+		"primaryKey": []string{"id"},
+	})
+	if err != nil {
+		return fmt.Errorf("seed init: %w", err)
+	}
+	if status == http.StatusConflict {
+		return nil
+	}
+	if status != http.StatusCreated {
+		return fmt.Errorf("seed init: status %d", status)
+	}
+	seed := make([][]any, rows)
+	for i := range seed {
+		seed[i] = []any{i, fmt.Sprintf("row-%d", i), float64(i) * 0.5}
+	}
+	status, _, err = request(client, "POST", base+"/api/v1/datasets/"+benchDataset+"/commit", map[string]any{
+		"rows": seed, "message": "bench seed",
+	})
+	if err != nil || status != http.StatusCreated {
+		return fmt.Errorf("seed commit: status %d err %v", status, err)
+	}
+	return nil
+}
+
+func doOp(client *http.Client, base, op string, c, i int, rng *rand.Rand) error {
+	switch op {
+	case "commit":
+		status, _, err := request(client, "POST", base+"/api/v1/datasets/"+benchDataset+"/commit", map[string]any{
+			"rows":    [][]any{{1_000_000 + c*100_000 + i, fmt.Sprintf("c%d-%d", c, i), rng.Float64()}},
+			"parents": []int64{1},
+			"message": fmt.Sprintf("bench c%d i%d", c, i),
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("status %d", status)
+		}
+	case "checkout":
+		status, _, err := request(client, "GET", base+"/api/v1/datasets/"+benchDataset+"/checkout?versions=1", nil)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d", status)
+		}
+	case "diff":
+		status, _, err := request(client, "GET", base+"/api/v1/datasets/"+benchDataset+"/diff?a=1&b=1", nil)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d", status)
+		}
+	case "query":
+		status, _, err := request(client, "POST", base+"/api/v1/query", map[string]any{
+			"sql": "SELECT count(*) FROM VERSION 1 OF CVD " + benchDataset,
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d", status)
+		}
+	}
+	return nil
+}
+
+func request(client *http.Client, method, url string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, nil, err
+		}
+		rd = &buf
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

@@ -32,7 +32,15 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: orpheus-bench [flags] <table1|table2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig19|fig20|fig21|fig22|fig23|all>")
+		fmt.Fprintln(os.Stderr, "       orpheus-bench http [-clients 32] [-duration 5s] [-url http://host:port] [-mix commit=20,checkout=40,diff=10,query=30]")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "http" {
+		if err := httpBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus-bench: http:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, art := range flag.Args() {
 		if err := runArtifact(art); err != nil {

@@ -19,6 +19,7 @@
 //	run [-q <sql> | -s <script.sql>]                      execute SQL (VERSION ... OF CVD supported)
 //	create_user <name> | whoami | config -u <user>
 //	explain <cvd> -v <vid>                                Table 1 SQL translations
+//	serve [-addr :7077] [-quiet]                          run the HTTP/JSON versioning service
 package main
 
 import (
@@ -116,6 +117,8 @@ func dispatch(store *orpheusdb.Store, cmd string, args []string) error {
 		return nil
 	case "explain":
 		return cmdExplain(store, args)
+	case "serve":
+		return cmdServe(store, args)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }

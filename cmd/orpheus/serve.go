@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	orpheusdb "orpheusdb"
+	"orpheusdb/internal/server"
+)
+
+// cmdServe runs the store as a concurrent HTTP/JSON versioning service
+// (`orpheus -d store.odb serve -addr :7077`). The process persists commits
+// asynchronously with a debounced save and flushes on shutdown.
+func cmdServe(store *orpheusdb.Store, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":7077", "listen address")
+	quiet := fs.Bool("quiet", false, "disable request logging")
+	saveDelay := fs.Duration("save-delay", orpheusdb.DefaultSaveDelay, "debounce interval for async persistence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store.SetSaveDelay(*saveDelay)
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "orpheus: ", log.LstdFlags)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(store, logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "orpheus: serving on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "orpheus: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+	}
+	return store.Flush()
+}

@@ -17,7 +17,9 @@ import (
 
 // CheckoutToCSV writes versions to a CSV file and registers its provenance.
 func (d *Dataset) CheckoutToCSV(path string, vids ...VersionID) error {
-	rows, err := d.Checkout(vids...)
+	// One lock acquisition for schema and rows, so a concurrent
+	// schema-evolving commit cannot desynchronize header and data.
+	cols, rows, err := d.CheckoutWithColumns(vids...)
 	if err != nil {
 		return err
 	}
@@ -27,8 +29,8 @@ func (d *Dataset) CheckoutToCSV(path string, vids ...VersionID) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	header := make([]string, len(d.Columns()))
-	for i, c := range d.Columns() {
+	header := make([]string, len(cols))
+	for i, c := range cols {
 		header[i] = c.Name + ":" + c.Type.String()
 	}
 	if err := w.Write(header); err != nil {
@@ -51,14 +53,51 @@ func (d *Dataset) CheckoutToCSV(path string, vids ...VersionID) error {
 	if err := w.Error(); err != nil {
 		return err
 	}
-	return core.RecordProvenance(d.store.db, core.Provenance{
+	return d.store.recordProvenance(core.Provenance{
 		Name:      path,
 		CVD:       d.Name(),
 		Parents:   vids,
-		User:      d.store.user,
+		User:      d.store.WhoAmI(),
 		CreatedAt: d.cvd.Clock(),
 		IsFile:    true,
 	})
+}
+
+// recordProvenance registers a checkout artifact in the shared staging
+// tables. The save lock is held exclusively because SQL statements may scan
+// these tables under the shared lock.
+func (s *Store) recordProvenance(p core.Provenance) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.stagingMu.Lock()
+	defer s.stagingMu.Unlock()
+	if err := core.RecordProvenance(s.db, p); err != nil {
+		return err
+	}
+	s.ScheduleSave()
+	return nil
+}
+
+// lookupProvenance reads a staging registration under the staging lock.
+func (s *Store) lookupProvenance(name string) (*core.Provenance, error) {
+	s.ioMu.RLock() // the staging table is SQL-nameable; exclude DML writes
+	defer s.ioMu.RUnlock()
+	s.stagingMu.Lock()
+	defer s.stagingMu.Unlock()
+	return core.LookupProvenance(s.db, name)
+}
+
+// releaseProvenance removes a staging registration.
+func (s *Store) releaseProvenance(name string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.stagingMu.Lock()
+	defer s.stagingMu.Unlock()
+	if err := core.ReleaseProvenance(s.db, name); err != nil {
+		return err
+	}
+	s.ScheduleSave()
+	return nil
 }
 
 // CommitCSV commits a CSV file (typically produced by CheckoutToCSV and then
@@ -66,7 +105,7 @@ func (d *Dataset) CheckoutToCSV(path string, vids ...VersionID) error {
 // area its recorded parents are used; otherwise parents may be passed
 // explicitly.
 func (d *Dataset) CommitCSV(path, msg string, parents ...VersionID) (VersionID, error) {
-	if p, err := core.LookupProvenance(d.store.db, path); err == nil {
+	if p, err := d.store.lookupProvenance(path); err == nil {
 		if p.CVD != d.Name() {
 			return 0, fmt.Errorf("orpheusdb: %s was checked out from CVD %q, not %q", path, p.CVD, d.Name())
 		}
@@ -82,7 +121,7 @@ func (d *Dataset) CommitCSV(path, msg string, parents ...VersionID) (VersionID, 
 	if err != nil {
 		return 0, err
 	}
-	return vid, core.ReleaseProvenance(d.store.db, path)
+	return vid, d.store.releaseProvenance(path)
 }
 
 // ReadCSV loads a CSV file with a name:type header into columns and rows.

@@ -1,0 +1,3 @@
+module orpheusdb
+
+go 1.22

@@ -1,6 +1,9 @@
 package engine
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Index is an ordered (B-tree-like) secondary index mapping encoded column
 // keys to row IDs. Lookups are binary searches over a sorted entry slice;
@@ -9,6 +12,7 @@ import "sort"
 // joins.
 type Index struct {
 	cols    []int
+	mu      sync.Mutex // serializes lazy settling under concurrent readers
 	entries []indexEntry
 	dirty   int // number of unsorted tail entries awaiting merge
 }
@@ -67,8 +71,13 @@ func (ix *Index) removeIDs(drop map[RowID]bool) {
 	ix.entries = out
 }
 
-// settle sorts any unsorted tail into place.
+// settle sorts any unsorted tail into place. Entries only become dirty
+// under a writer's exclusive dataset lock, but the first post-commit lookup
+// may come from any of several concurrent readers, so the sort itself is
+// serialized here.
 func (ix *Index) settle() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.dirty == 0 {
 		return
 	}

@@ -11,8 +11,13 @@ import (
 // Persistence snapshots the whole database with encoding/gob so the CLI can
 // operate across process invocations. The snapshot format is explicit structs
 // decoupled from the in-memory representation, so internal layout can evolve.
+// Capturing (Snapshot) and serializing (WriteFile) are separate phases so a
+// caller can hold its locks only for the in-memory copy and run the
+// expensive gob encode + disk write without blocking writers.
 
-type dbSnapshot struct {
+// DBSnapshot is an immutable copy of a database's state, safe to serialize
+// concurrently with further mutations of the source DB.
+type DBSnapshot struct {
 	Settings map[string]string
 	Tables   []tableSnapshot
 }
@@ -26,11 +31,13 @@ type tableSnapshot struct {
 	Rows      []Row
 }
 
-// Save writes a snapshot of the database to path atomically (write to a temp
-// file, then rename).
-func (db *DB) Save(path string) error {
+// Snapshot captures the database state. Rows are copied cell-by-cell (array
+// payloads stay shared — they are immutable once stored) so later in-place
+// mutations like AlterColumnType cannot race a concurrent serialization.
+func (db *DB) Snapshot() *DBSnapshot {
 	db.mu.RLock()
-	snap := dbSnapshot{Settings: make(map[string]string, len(db.settings))}
+	defer db.mu.RUnlock()
+	snap := &DBSnapshot{Settings: make(map[string]string, len(db.settings))}
 	for k, v := range db.settings {
 		snap.Settings[k] = v
 	}
@@ -50,21 +57,25 @@ func (db *DB) Save(path string) error {
 		for _, page := range t.pages {
 			for _, r := range page {
 				if r != nil {
-					ts.Rows = append(ts.Rows, r)
+					ts.Rows = append(ts.Rows, CloneRow(r))
 				}
 			}
 		}
 		snap.Tables = append(snap.Tables, ts)
 	}
-	db.mu.RUnlock()
+	return snap
+}
 
+// WriteFile serializes the snapshot to path atomically (write to a temp
+// file, then rename).
+func (snap *DBSnapshot) WriteFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("engine: save: %w", err)
@@ -79,6 +90,11 @@ func (db *DB) Save(path string) error {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	return os.Rename(tmp, path)
+}
+
+// Save writes a snapshot of the database to path atomically.
+func (db *DB) Save(path string) error {
+	return db.Snapshot().WriteFile(path)
 }
 
 // tableNamesLocked lists table names; caller holds at least a read lock.
@@ -115,7 +131,7 @@ func Load(path string) (*DB, error) {
 		return nil, fmt.Errorf("engine: load: %w", err)
 	}
 	defer f.Close()
-	var snap dbSnapshot
+	var snap DBSnapshot
 	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("engine: load %s: %w", filepath.Base(path), err)
 	}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	orpheusdb "orpheusdb"
+	"orpheusdb/internal/engine"
+)
+
+// JSON codecs for the engine's dynamically typed cells. Values map onto
+// natural JSON: NULL <-> null, integers and decimals <-> numbers, strings <->
+// strings, booleans <-> booleans, and integer arrays <-> arrays of numbers.
+// Encoding needs no schema (the Value carries its kind); decoding is driven
+// by the destination column's declared kind, so a commit body can say `3`
+// for both an integer and a decimal column.
+
+// columnJSON is the wire form of a schema attribute.
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func encodeColumns(cols []orpheusdb.Column) []columnJSON {
+	out := make([]columnJSON, len(cols))
+	for i, c := range cols {
+		out[i] = columnJSON{Name: c.Name, Type: c.Type.String()}
+	}
+	return out
+}
+
+func decodeColumns(cols []columnJSON) ([]orpheusdb.Column, error) {
+	out := make([]orpheusdb.Column, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("column %d: missing name", i)
+		}
+		k, err := engine.KindFromName(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", c.Name, err)
+		}
+		out[i] = orpheusdb.Column{Name: c.Name, Type: k}
+	}
+	return out, nil
+}
+
+// encodeValue renders one cell as a JSON-marshalable value.
+func encodeValue(v orpheusdb.Value) any {
+	switch v.K {
+	case engine.KindNull:
+		return nil
+	case engine.KindInt:
+		return v.I
+	case engine.KindFloat:
+		return v.F
+	case engine.KindString:
+		return v.S
+	case engine.KindBool:
+		return v.I != 0
+	case engine.KindIntArray:
+		if v.A == nil {
+			return []int64{}
+		}
+		return v.A
+	}
+	return v.String()
+}
+
+func encodeRow(r orpheusdb.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeRows(rows []orpheusdb.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = encodeRow(r)
+	}
+	return out
+}
+
+// decodeValue converts one JSON value (as produced by a json.Decoder with
+// UseNumber) into a typed cell of the given kind. null is NULL for every
+// kind.
+func decodeValue(x any, k engine.Kind) (orpheusdb.Value, error) {
+	if x == nil {
+		return orpheusdb.Null(), nil
+	}
+	switch k {
+	case engine.KindInt:
+		n, ok := x.(json.Number)
+		if !ok {
+			return orpheusdb.Value{}, fmt.Errorf("want integer, got %T", x)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return orpheusdb.Value{}, fmt.Errorf("want integer, got %v", n)
+		}
+		return orpheusdb.Int(i), nil
+	case engine.KindFloat:
+		n, ok := x.(json.Number)
+		if !ok {
+			return orpheusdb.Value{}, fmt.Errorf("want number, got %T", x)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return orpheusdb.Value{}, fmt.Errorf("want number, got %v", n)
+		}
+		return orpheusdb.Float(f), nil
+	case engine.KindString:
+		s, ok := x.(string)
+		if !ok {
+			return orpheusdb.Value{}, fmt.Errorf("want string, got %T", x)
+		}
+		return orpheusdb.String(s), nil
+	case engine.KindBool:
+		b, ok := x.(bool)
+		if !ok {
+			return orpheusdb.Value{}, fmt.Errorf("want boolean, got %T", x)
+		}
+		return orpheusdb.Bool(b), nil
+	case engine.KindIntArray:
+		arr, ok := x.([]any)
+		if !ok {
+			return orpheusdb.Value{}, fmt.Errorf("want array of integers, got %T", x)
+		}
+		out := make([]int64, len(arr))
+		for i, el := range arr {
+			n, ok := el.(json.Number)
+			if !ok {
+				return orpheusdb.Value{}, fmt.Errorf("array element %d: want integer, got %T", i, el)
+			}
+			v, err := n.Int64()
+			if err != nil {
+				return orpheusdb.Value{}, fmt.Errorf("array element %d: want integer, got %v", i, n)
+			}
+			out[i] = v
+		}
+		return orpheusdb.Array(out), nil
+	}
+	return orpheusdb.Value{}, fmt.Errorf("unsupported column kind %v", k)
+}
+
+// decodeRows converts wire rows into typed rows under the given schema.
+func decodeRows(raw [][]any, cols []orpheusdb.Column) ([]orpheusdb.Row, error) {
+	rows := make([]orpheusdb.Row, len(raw))
+	for i, rr := range raw {
+		if len(rr) != len(cols) {
+			return nil, fmt.Errorf("row %d has %d values, want %d", i, len(rr), len(cols))
+		}
+		row := make(orpheusdb.Row, len(cols))
+		for j, x := range rr {
+			v, err := decodeValue(x, cols[j].Type)
+			if err != nil {
+				return nil, fmt.Errorf("row %d, column %q: %w", i, cols[j].Name, err)
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// versionIDs converts wire int64 ids to VersionIDs.
+func versionIDs(in []int64) []orpheusdb.VersionID {
+	if in == nil {
+		return nil
+	}
+	out := make([]orpheusdb.VersionID, len(in))
+	for i, v := range in {
+		out[i] = orpheusdb.VersionID(v)
+	}
+	return out
+}
+
+// int64IDs converts VersionIDs to wire int64s (never nil, so JSON renders []
+// rather than null).
+func int64IDs(in []orpheusdb.VersionID) []int64 {
+	out := make([]int64, len(in))
+	for i, v := range in {
+		out[i] = int64(v)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	orpheusdb "orpheusdb"
+)
+
+// TestConcurrentClients is the acceptance test for the service layer: 32
+// concurrent clients hammer one server with a mixed commit / checkout / diff
+// / SQL workload across several datasets. Run under -race it proves the
+// Store's locking layer; the per-dataset version counters prove no commit is
+// lost or double-assigned.
+func TestConcurrentClients(t *testing.T) {
+	const (
+		clients  = 32
+		opsEach  = 12
+		datasets = 4
+	)
+	store := orpheusdb.NewStore()
+	ts := httptest.NewServer(New(store, nil))
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+	post := func(path string, body any) (int, map[string]any, error) {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		dec := json.NewDecoder(resp.Body)
+		dec.UseNumber()
+		if err := dec.Decode(&out); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, out, nil
+	}
+	get := func(path string) (int, error) {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var sink map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Seed the datasets, one base version each.
+	for i := 0; i < datasets; i++ {
+		name := fmt.Sprintf("ds%d", i)
+		status, body, err := post("/api/v1/datasets", map[string]any{
+			"name": name,
+			"columns": []map[string]string{
+				{"name": "id", "type": "integer"},
+				{"name": "val", "type": "string"},
+			},
+			"primaryKey": []string{"id"},
+		})
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("seed init %s: status %d err %v body %v", name, status, err, body)
+		}
+		status, body, err = post("/api/v1/datasets/"+name+"/commit", map[string]any{
+			"rows":    [][]any{{0, "base"}},
+			"message": "base",
+		})
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("seed commit %s: status %d err %v body %v", name, status, err, body)
+		}
+	}
+
+	var commits atomic.Int64
+	errs := make(chan error, clients*opsEach)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("ds%d", c%datasets)
+			for op := 0; op < opsEach; op++ {
+				switch op % 4 {
+				case 0: // commit a new row on top of version 1
+					status, body, err := post("/api/v1/datasets/"+name+"/commit", map[string]any{
+						"rows":    [][]any{{c*1000 + op, fmt.Sprintf("c%d-op%d", c, op)}},
+						"parents": []int64{1},
+						"message": fmt.Sprintf("client %d op %d", c, op),
+					})
+					if err != nil || status != http.StatusCreated {
+						errs <- fmt.Errorf("client %d commit: status %d err %v body %v", c, status, err, body)
+						return
+					}
+					commits.Add(1)
+				case 1: // checkout the base version
+					if status, err := get("/api/v1/datasets/" + name + "/checkout?versions=1"); err != nil || status != http.StatusOK {
+						errs <- fmt.Errorf("client %d checkout: status %d err %v", c, status, err)
+						return
+					}
+				case 2: // diff base against latest-known
+					if status, err := get("/api/v1/datasets/" + name + "/diff?a=1&b=1"); err != nil || status != http.StatusOK {
+						errs <- fmt.Errorf("client %d diff: status %d err %v", c, status, err)
+						return
+					}
+				case 3: // SQL over the base version
+					sql := fmt.Sprintf("SELECT count(*) FROM VERSION 1 OF CVD %s", name)
+					status, body, err := post("/api/v1/query", map[string]any{"sql": sql})
+					if err != nil || status != http.StatusOK {
+						errs <- fmt.Errorf("client %d query: status %d err %v body %v", c, status, err, body)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Every commit produced a distinct version: 1 seed + the client commits
+	// that targeted each dataset.
+	var total int64
+	for i := 0; i < datasets; i++ {
+		d, err := store.Dataset(fmt.Sprintf("ds%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(d.Versions())) - 1 // minus seed version
+		if lat := d.LatestVersion(); int(lat) != len(d.Versions()) {
+			t.Errorf("ds%d: latest %d != version count %d (ids must be dense)", i, lat, len(d.Versions()))
+		}
+	}
+	if total != commits.Load() {
+		t.Errorf("committed versions %d != successful commits %d", total, commits.Load())
+	}
+}
+
+// TestConcurrentInitAndDrop exercises the store-level registry lock: clients
+// racing to create, use, and drop distinct datasets.
+func TestConcurrentInitAndDrop(t *testing.T) {
+	store := orpheusdb.NewStore()
+	ts := httptest.NewServer(New(store, nil))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tmp%d", c)
+			var buf bytes.Buffer
+			_ = json.NewEncoder(&buf).Encode(map[string]any{
+				"name":    name,
+				"columns": []map[string]string{{"name": "id", "type": "integer"}},
+			})
+			resp, err := http.Post(ts.URL+"/api/v1/datasets", "application/json", &buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				errs <- fmt.Errorf("init %s: status %d", name, resp.StatusCode)
+				return
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/datasets/"+name, nil)
+			resp, err = http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNoContent {
+				errs <- fmt.Errorf("drop %s: status %d", name, resp.StatusCode)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := len(store.List()); got != 0 {
+		t.Errorf("%d datasets left after drops, want 0", got)
+	}
+}

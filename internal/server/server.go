@@ -1,0 +1,566 @@
+// Package server exposes a Store as a concurrent HTTP/JSON versioning
+// service — the "versioning as a service" access layer the paper assumes a
+// deployment of OrpheusDB provides. It is built entirely on net/http; every
+// endpoint speaks JSON and maps failures onto structured error bodies.
+//
+// Routes (all under /api/v1 unless noted):
+//
+//	GET    /healthz                                   liveness + last async save error
+//	GET    /api/v1/stats                              engine I/O counters
+//	GET    /api/v1/datasets                           list CVDs
+//	POST   /api/v1/datasets                           init a CVD
+//	GET    /api/v1/datasets/{name}                    dataset summary
+//	DELETE /api/v1/datasets/{name}                    drop
+//	POST   /api/v1/datasets/{name}/commit             commit rows (optionally with a new schema)
+//	GET    /api/v1/datasets/{name}/checkout?versions= materialize version(s)
+//	GET    /api/v1/datasets/{name}/diff?a=&b=         diff two versions
+//	GET    /api/v1/datasets/{name}/versions           version graph with metadata
+//	GET    /api/v1/datasets/{name}/versions/{vid}     one version's metadata
+//	GET    /api/v1/datasets/{name}/versions/{vid}/ancestors
+//	GET    /api/v1/datasets/{name}/versions/{vid}/descendants
+//	POST   /api/v1/datasets/{name}/optimize           run LYRESPLIT / maintenance
+//	POST   /api/v1/query                              SQL with VERSION ... OF CVD
+//	GET    /api/v1/users                              list users
+//	POST   /api/v1/users                              register a user
+//
+// The Store's own locking makes every handler safe under concurrency:
+// commits on one dataset proceed in parallel with checkouts on another, and
+// persistence is debounced off the request path via Store.ScheduleSave.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// Server is the HTTP face of one Store.
+type Server struct {
+	store *orpheusdb.Store
+	mux   *http.ServeMux
+	log   *log.Logger
+}
+
+// New builds a Server around store. logger may be nil to disable request
+// logging.
+func New(store *orpheusdb.Store, logger *log.Logger) *Server {
+	s := &Server{store: store, mux: http.NewServeMux(), log: logger}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /api/v1/datasets", s.handleInitDataset)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /api/v1/datasets/{name}", s.handleDropDataset)
+	s.mux.HandleFunc("POST /api/v1/datasets/{name}/commit", s.handleCommit)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/checkout", s.handleCheckout)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions", s.handleVersions)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}", s.handleVersionInfo)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}/ancestors", s.handleAncestors)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}/descendants", s.handleDescendants)
+	s.mux.HandleFunc("POST /api/v1/datasets/{name}/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
+	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
+}
+
+// ServeHTTP implements http.Handler with optional request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		start := time.Now()
+		s.mux.ServeHTTP(w, r)
+		s.log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// decodeBody parses a JSON request body with numeric fidelity preserved
+// (json.Number), enforcing a sane size cap.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.UseNumber()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid JSON body: " + err.Error())
+	}
+	return nil
+}
+
+func pathVersion(r *http.Request) (orpheusdb.VersionID, error) {
+	n, err := strconv.Atoi(r.PathValue("vid"))
+	if err != nil {
+		return 0, badRequest(fmt.Sprintf("bad version id %q", r.PathValue("vid")))
+	}
+	return orpheusdb.VersionID(n), nil
+}
+
+// queryVersions parses a comma-separated versions= parameter.
+func queryVersions(r *http.Request, param string) ([]orpheusdb.VersionID, error) {
+	raw := r.URL.Query().Get(param)
+	if raw == "" {
+		return nil, badRequest("missing ?" + param + "= parameter")
+	}
+	var out []orpheusdb.VersionID
+	for _, part := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, badRequest(fmt.Sprintf("bad version id %q", part))
+		}
+		out = append(out, orpheusdb.VersionID(n))
+	}
+	return out, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"status": "ok"}
+	if err := s.store.SaveErr(); err != nil {
+		resp["status"] = "degraded"
+		resp["save_error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.DB().Stats().Snapshot()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"seq_pages":    snap.SeqPages,
+		"rand_pages":   snap.RandPages,
+		"rows_scanned": snap.RowsScanned,
+		"index_probes": snap.IndexProbes,
+		"hash_builds":  snap.HashBuilds,
+	})
+}
+
+type datasetSummary struct {
+	Name       string       `json:"name"`
+	Model      string       `json:"model"`
+	Columns    []columnJSON `json:"columns"`
+	PrimaryKey []string     `json:"primaryKey"`
+	Versions   []int64      `json:"versions"`
+	Latest     int64        `json:"latest"`
+	Storage    int64        `json:"storageBytes"`
+}
+
+func (s *Server) summarize(name string) (*datasetSummary, error) {
+	d, err := s.store.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	pk := d.PrimaryKey()
+	if pk == nil {
+		pk = []string{}
+	}
+	return &datasetSummary{
+		Name:       d.Name(),
+		Model:      string(d.Model()),
+		Columns:    encodeColumns(d.Columns()),
+		PrimaryKey: pk,
+		Versions:   int64IDs(d.Versions()),
+		Latest:     int64(d.LatestVersion()),
+		Storage:    d.StorageBytes(),
+	}, nil
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.store.List()
+	out := make([]*datasetSummary, 0, len(names))
+	for _, name := range names {
+		sum, err := s.summarize(name)
+		if err != nil {
+			// A dataset dropped by a concurrent client between List
+			// and summarize just disappears from the listing.
+			if classify(err).Status == http.StatusNotFound {
+				continue
+			}
+			writeError(w, err)
+			return
+		}
+		out = append(out, sum)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleInitDataset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name       string       `json:"name"`
+		Columns    []columnJSON `json:"columns"`
+		PrimaryKey []string     `json:"primaryKey"`
+		Model      string       `json:"model"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Name == "" || len(req.Columns) == 0 {
+		writeError(w, badRequest("name and columns are required"))
+		return
+	}
+	cols, err := decodeColumns(req.Columns)
+	if err != nil {
+		writeError(w, badRequest(err.Error()))
+		return
+	}
+	opts := orpheusdb.InitOptions{PrimaryKey: req.PrimaryKey}
+	if req.Model != "" {
+		opts.Model = orpheusdb.ModelKind(req.Model)
+	}
+	if _, err := s.store.Init(req.Name, cols, opts); err != nil {
+		writeError(w, err)
+		return
+	}
+	sum, err := s.summarize(req.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sum)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.summarize(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Drop(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req struct {
+		Columns []columnJSON `json:"columns"`
+		Rows    [][]any      `json:"rows"`
+		Parents []int64      `json:"parents"`
+		Message string       `json:"message"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var vid orpheusdb.VersionID
+	if len(req.Columns) > 0 {
+		cols, err := decodeColumns(req.Columns)
+		if err != nil {
+			writeError(w, badRequest(err.Error()))
+			return
+		}
+		rows, err := decodeRows(req.Rows, cols)
+		if err != nil {
+			writeError(w, badRequest(err.Error()))
+			return
+		}
+		vid, err = d.CommitWithSchema(cols, rows, versionIDs(req.Parents), req.Message)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		rows, err := decodeRows(req.Rows, d.Columns())
+		if err != nil {
+			writeError(w, badRequest(err.Error()))
+			return
+		}
+		vid, err = d.Commit(rows, versionIDs(req.Parents), req.Message)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"dataset": d.Name(),
+		"version": int64(vid),
+	})
+}
+
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vids, err := queryVersions(r, "versions")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cols, rows, err := d.CheckoutWithColumns(vids...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":  d.Name(),
+		"versions": int64IDs(vids),
+		"columns":  encodeColumns(cols),
+		"rows":     encodeRows(rows),
+	})
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	a, errA := strconv.Atoi(q.Get("a"))
+	b, errB := strconv.Atoi(q.Get("b"))
+	if errA != nil || errB != nil {
+		writeError(w, badRequest("diff needs integer ?a= and ?b= versions"))
+		return
+	}
+	cols, onlyA, onlyB, err := d.DiffWithColumns(orpheusdb.VersionID(a), orpheusdb.VersionID(b))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.Name(),
+		"a":       a,
+		"b":       b,
+		"columns": encodeColumns(cols),
+		"onlyA":   encodeRows(onlyA),
+		"onlyB":   encodeRows(onlyB),
+	})
+}
+
+type versionJSON struct {
+	ID         int64   `json:"id"`
+	Parents    []int64 `json:"parents"`
+	Message    string  `json:"message"`
+	CommitTime string  `json:"commitTime"`
+	NumRecords int     `json:"numRecords"`
+}
+
+func versionToJSON(info *orpheusdb.VersionInfo) versionJSON {
+	return versionJSON{
+		ID:         int64(info.ID),
+		Parents:    int64IDs(info.Parents),
+		Message:    info.Message,
+		CommitTime: info.CommitTime.UTC().Format(time.RFC3339Nano),
+		NumRecords: info.NumRecords,
+	}
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vids := d.Versions()
+	out := make([]versionJSON, 0, len(vids))
+	for _, v := range vids {
+		info, err := d.Info(v)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out = append(out, versionToJSON(info))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": d.Name(), "versions": out})
+}
+
+func (s *Server) handleVersionInfo(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vid, err := pathVersion(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := d.Info(vid)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, versionToJSON(info))
+}
+
+func (s *Server) handleAncestors(w http.ResponseWriter, r *http.Request) {
+	s.handleRelatives(w, r, "ancestors")
+}
+
+func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request) {
+	s.handleRelatives(w, r, "descendants")
+}
+
+func (s *Server) handleRelatives(w http.ResponseWriter, r *http.Request, dir string) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vid, err := pathVersion(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var rel []orpheusdb.VersionID
+	if dir == "ancestors" {
+		rel, err = d.Ancestors(vid)
+	} else {
+		rel, err = d.Descendants(vid)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.Name(),
+		"version": int64(vid),
+		dir:       int64IDs(rel),
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req struct {
+		Gamma json.Number `json:"gamma"`
+		Mu    json.Number `json:"mu"`
+		Naive bool        `json:"naive"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	gamma := 2.0
+	if req.Gamma != "" {
+		if gamma, err = req.Gamma.Float64(); err != nil {
+			writeError(w, badRequest("bad gamma"))
+			return
+		}
+	}
+	if req.Mu != "" {
+		mu, err := req.Mu.Float64()
+		if err != nil {
+			writeError(w, badRequest("bad mu"))
+			return
+		}
+		m, err := d.MaintainPartitions(gamma, mu)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := map[string]any{
+			"dataset":  d.Name(),
+			"migrated": m.Migrated,
+			"cavg":     m.Cavg,
+			"bestCavg": m.BestCavg,
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var res *orpheusdb.OptimizeResult
+	if req.Naive {
+		res, err = d.OptimizeNaive(gamma)
+	} else {
+		res, err = d.Optimize(gamma)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":         d.Name(),
+		"delta":           res.Delta,
+		"partitions":      res.Partitions,
+		"estStorage":      res.EstStorage,
+		"estCheckout":     res.EstCheckout,
+		"solveMillis":     res.SolveTime.Milliseconds(),
+		"migrationMillis": res.MigrationTime.Milliseconds(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL    string `json:"sql"`
+		Script bool   `json:"script"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, badRequest("sql is required"))
+		return
+	}
+	var res *orpheusdb.Result
+	var err error
+	if req.Script {
+		res, err = s.store.RunScript(req.SQL)
+	} else {
+		res, err = s.store.Run(req.SQL)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cols := res.Cols
+	if cols == nil {
+		cols = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns":  cols,
+		"rows":     encodeRows(res.Rows),
+		"affected": res.Affected,
+	})
+}
+
+func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request) {
+	users := s.store.Users()
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"users": users})
+}
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, badRequest("name is required"))
+		return
+	}
+	if err := s.store.AddUser(req.Name); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name})
+}

@@ -14,11 +14,20 @@
 //	v1, _ := ds.Commit(rows, nil, "initial import")
 //	rows2, _ := ds.Checkout(v1)
 //	res, _ := store.Run("SELECT count(*) FROM VERSION 1 OF CVD prot")
+//
+// A Store is safe for concurrent use by multiple goroutines (e.g. the HTTP
+// service in internal/server). Locking is layered so independent datasets
+// never contend: a store-level lock guards the dataset registry and catalog,
+// each Dataset carries its own RWMutex (commits on dataset A never block
+// checkouts on dataset B), and a store-wide save lock is held shared by
+// mutators and exclusively by Save, so snapshots observe a quiescent engine.
 package orpheusdb
 
 import (
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"orpheusdb/internal/core"
@@ -45,6 +54,10 @@ type (
 	VersionInfo = core.VersionInfo
 	// Result is a query result.
 	Result = sql.Result
+	// OptimizeResult reports a partition-optimizer run.
+	OptimizeResult = core.OptimizeResult
+	// MaintenanceResult reports a periodic partition-maintenance check.
+	MaintenanceResult = core.MaintenanceResult
 )
 
 // The data models of Section 3, plus the partitioned hybrid of Section 4.
@@ -76,26 +89,74 @@ const (
 	KindIntArray = engine.KindIntArray
 )
 
+// DefaultSaveDelay is the debounce interval for asynchronous saves scheduled
+// with ScheduleSave.
+const DefaultSaveDelay = 250 * time.Millisecond
+
 // Store is an OrpheusDB instance: an embedded relational database hosting any
-// number of CVDs, a staging area, and user accounts.
+// number of CVDs, a staging area, and user accounts. All methods are safe for
+// concurrent use.
 type Store struct {
 	db   *engine.DB
 	path string
-	user string
+
+	// mu guards the dataset registry, the CVD catalog and user tables, and
+	// the active user name. Held exclusively while the catalog mutates
+	// (Init, Drop, CreateUser) so readers never observe a half-written
+	// catalog row.
+	mu       sync.RWMutex
+	user     string
+	datasets map[string]*Dataset
+
+	// ioMu is the save lock. Dataset-scoped writers (commits, optimize)
+	// hold it shared — their tables are guarded by the per-dataset lock,
+	// so unrelated datasets proceed concurrently. Operations touching
+	// tables a raw SQL query could name concurrently (catalog, staging,
+	// users) hold it exclusively, as do SQL write statements and Save
+	// itself, so snapshots and scans never observe in-flight writes.
+	// Pure readers skip it entirely.
+	ioMu sync.RWMutex
+
+	// stagingMu serializes operations on the shared staging/provenance
+	// tables, which every dataset and user writes into.
+	stagingMu sync.Mutex
+
+	// diskMu serializes snapshot serialization to the store file, so an
+	// async save and a Flush never interleave writes to the same path.
+	diskMu sync.Mutex
+
+	// tmpSeq allocates unique transient-table names for concurrent Run
+	// calls.
+	tmpSeq atomic.Uint64
+
+	// Debounced async persistence (ScheduleSave / Flush).
+	saveMu    sync.Mutex
+	saveDelay time.Duration
+	saveTimer *time.Timer
+	saveArmed bool
+	saveErr   error
+}
+
+func newStore(db *engine.DB, path string) *Store {
+	return &Store{
+		db:        db,
+		path:      path,
+		user:      "default",
+		datasets:  make(map[string]*Dataset),
+		saveDelay: DefaultSaveDelay,
+	}
 }
 
 // NewStore creates an in-memory store.
 func NewStore() *Store {
-	return &Store{db: engine.NewDB(), user: "default"}
+	return newStore(engine.NewDB(), "")
 }
 
 // OpenStore opens (or creates) a store persisted at path.
 func OpenStore(path string) (*Store, error) {
 	if _, err := os.Stat(path); err != nil {
 		if os.IsNotExist(err) {
-			s := NewStore()
-			s.path = path
-			return s, nil
+			return newStore(engine.NewDB(), path), nil
 		}
 		return nil, err
 	}
@@ -103,18 +164,88 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{db: db, path: path, user: "default"}, nil
+	return newStore(db, path), nil
 }
 
-// Save persists the store to its path (no-op for in-memory stores).
+// Save persists the store to its path synchronously (no-op for in-memory
+// stores). The save lock is held exclusively only while the in-memory
+// snapshot is captured; the expensive gob encode and disk write run after
+// it is released, so in-flight requests stall only for the copy.
 func (s *Store) Save() error {
 	if s.path == "" {
 		return nil
 	}
-	return s.db.Save(s.path)
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	s.ioMu.Lock()
+	snap := s.db.Snapshot()
+	s.ioMu.Unlock()
+	err := snap.WriteFile(s.path)
+	s.saveMu.Lock()
+	s.saveErr = err
+	s.saveMu.Unlock()
+	return err
 }
 
+// SetSaveDelay changes the debounce interval used by ScheduleSave.
+func (s *Store) SetSaveDelay(d time.Duration) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if d <= 0 {
+		d = DefaultSaveDelay
+	}
+	s.saveDelay = d
+}
+
+// ScheduleSave requests an asynchronous save: the store persists itself at
+// most saveDelay later, coalescing bursts of mutations into one snapshot so
+// persistence stays off the request hot path. Mutating Dataset and Store
+// methods call this automatically. No-op for in-memory stores.
+func (s *Store) ScheduleSave() {
+	if s.path == "" {
+		return
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if s.saveArmed {
+		return
+	}
+	s.saveArmed = true
+	s.saveTimer = time.AfterFunc(s.saveDelay, s.asyncSave)
+}
+
+func (s *Store) asyncSave() {
+	s.saveMu.Lock()
+	s.saveArmed = false
+	s.saveMu.Unlock()
+	_ = s.Save() // outcome recorded in saveErr by Save itself
+}
+
+// SaveErr reports the outcome of the most recent save (sync or async).
+func (s *Store) SaveErr() error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	return s.saveErr
+}
+
+// Flush cancels any pending debounced save and persists synchronously. Call
+// it before process exit (Close is an alias).
+func (s *Store) Flush() error {
+	s.saveMu.Lock()
+	if s.saveTimer != nil {
+		s.saveTimer.Stop()
+	}
+	s.saveArmed = false
+	s.saveMu.Unlock()
+	return s.Save()
+}
+
+// Close flushes pending state to disk. The store remains usable.
+func (s *Store) Close() error { return s.Flush() }
+
 // DB exposes the underlying engine database (for advanced use and tests).
+// Access through DB bypasses the store's locking; do not mix it with
+// concurrent Store use.
 func (s *Store) DB() *engine.DB { return s.db }
 
 // SetUser switches the active user (config command).
@@ -122,24 +253,49 @@ func (s *Store) SetUser(name string) error {
 	if name == "" {
 		return fmt.Errorf("orpheusdb: empty user name")
 	}
+	s.mu.Lock()
 	s.user = name
+	s.mu.Unlock()
 	return nil
 }
 
 // WhoAmI returns the active user name.
-func (s *Store) WhoAmI() string { return s.user }
+func (s *Store) WhoAmI() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.user
+}
 
 // CreateUser registers a new user and switches to it.
 func (s *Store) CreateUser(name string) error {
+	if err := s.AddUser(name); err != nil {
+		return err
+	}
+	return s.SetUser(name)
+}
+
+// AddUser registers a new user without switching to it (the multi-client
+// variant of CreateUser, used by the HTTP service).
+func (s *Store) AddUser(name string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := core.CreateUser(s.db, name); err != nil {
 		return err
 	}
-	s.user = name
+	s.ScheduleSave()
 	return nil
 }
 
 // Users lists registered users.
-func (s *Store) Users() []string { return core.Users(s.db) }
+func (s *Store) Users() []string {
+	s.ioMu.RLock() // the users table is SQL-nameable; exclude DML writes
+	defer s.ioMu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return core.Users(s.db)
+}
 
 // InitOptions configures dataset creation.
 type InitOptions struct {
@@ -149,14 +305,38 @@ type InitOptions struct {
 	PrimaryKey []string
 }
 
-// Dataset is a handle to one CVD.
+// Dataset is a handle to one CVD. Handles are cached: all callers asking for
+// the same CVD share one Dataset and therefore one lock, so concurrent
+// commits and checkouts coordinate correctly. All methods are safe for
+// concurrent use.
 type Dataset struct {
 	store *Store
 	cvd   *core.CVD
+
+	// mu is the per-dataset lock: Commit/Optimize/Drop hold it
+	// exclusively, Checkout/Diff/Info and friends hold it shared.
+	mu sync.RWMutex
+	// dropped marks a handle whose CVD was removed by Drop; subsequent
+	// operations fail instead of writing stale state into a possibly
+	// re-created dataset of the same name. Guarded by mu.
+	dropped bool
+}
+
+// aliveLocked reports an error for a handle invalidated by Drop. Caller
+// holds d.mu (shared or exclusive).
+func (d *Dataset) aliveLocked() error {
+	if d.dropped {
+		return fmt.Errorf("orpheusdb: dataset %q was dropped; reopen it with Store.Dataset", d.cvd.Name())
+	}
+	return nil
 }
 
 // Init creates a new CVD.
 func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, err := core.Init(s.db, name, cols, core.InitOptions{
 		Model:      opts.Model,
 		PrimaryKey: opts.PrimaryKey,
@@ -164,113 +344,323 @@ func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, er
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{store: s, cvd: c}, nil
+	d := &Dataset{store: s, cvd: c}
+	s.datasets[name] = d
+	s.ScheduleSave()
+	return d, nil
 }
 
-// Dataset opens an existing CVD by name.
+// Dataset opens an existing CVD by name. The returned handle is shared by
+// every caller asking for the same name.
 func (s *Store) Dataset(name string) (*Dataset, error) {
+	s.ioMu.RLock() // the catalog is SQL-nameable; exclude DML writes
+	defer s.ioMu.RUnlock()
+	return s.dataset(name)
+}
+
+// dataset is Dataset for callers already holding ioMu (Run's materializer).
+func (s *Store) dataset(name string) (*Dataset, error) {
+	s.mu.RLock()
+	if d, ok := s.datasets[name]; ok {
+		s.mu.RUnlock()
+		return d, nil
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.datasets[name]; ok {
+		return d, nil
+	}
 	c, err := core.Open(s.db, name)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{store: s, cvd: c}, nil
+	d := &Dataset{store: s, cvd: c}
+	s.datasets[name] = d
+	return d, nil
 }
 
 // List names the CVDs in the store (ls command).
-func (s *Store) List() []string { return core.ListCVDs(s.db) }
+func (s *Store) List() []string {
+	s.ioMu.RLock() // the catalog is SQL-nameable; exclude DML writes
+	defer s.ioMu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return core.ListCVDs(s.db)
+}
 
-// Drop removes a CVD and all its versions (drop command).
+// Drop removes a CVD and all its versions (drop command). Outstanding
+// Dataset handles are invalidated: their operations fail until reopened.
 func (s *Store) Drop(name string) error {
-	c, err := core.Open(s.db, name)
-	if err != nil {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		c, err := core.Open(s.db, name)
+		if err != nil {
+			return err
+		}
+		d = &Dataset{store: s, cvd: c}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.cvd.Drop(); err != nil {
 		return err
 	}
-	return c.Drop()
+	d.dropped = true
+	delete(s.datasets, name)
+	s.ScheduleSave()
+	return nil
 }
 
 // Name returns the dataset name.
 func (d *Dataset) Name() string { return d.cvd.Name() }
 
-// Columns returns the dataset's current data attributes.
-func (d *Dataset) Columns() []Column { return d.cvd.Columns() }
+// Columns returns a copy of the dataset's current data attributes (a copy
+// because schema-evolving commits mutate the live slice in place).
+func (d *Dataset) Columns() []Column {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Column(nil), d.cvd.Columns()...)
+}
 
 // PrimaryKey returns the relation's key attribute names.
-func (d *Dataset) PrimaryKey() []string { return d.cvd.PrimaryKey() }
+func (d *Dataset) PrimaryKey() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.PrimaryKey()
+}
 
 // Model returns the data model kind in use.
-func (d *Dataset) Model() ModelKind { return d.cvd.Model().Kind() }
+func (d *Dataset) Model() ModelKind {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.Model().Kind()
+}
 
 // Versions lists version ids in commit order.
-func (d *Dataset) Versions() []VersionID { return d.cvd.Versions() }
+func (d *Dataset) Versions() []VersionID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]VersionID(nil), d.cvd.Versions()...)
+}
 
 // LatestVersion returns the most recent version id (0 if none).
-func (d *Dataset) LatestVersion() VersionID { return d.cvd.LatestVersion() }
+func (d *Dataset) LatestVersion() VersionID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.LatestVersion()
+}
 
 // Info returns a version's metadata.
-func (d *Dataset) Info(v VersionID) (*VersionInfo, error) { return d.cvd.Info(v) }
+func (d *Dataset) Info(v VersionID) (*VersionInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	return d.cvd.Info(v)
+}
 
 // Commit adds a new version derived from parents and returns its id.
 func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID, error) {
-	return d.cvd.Commit(rows, parents, msg)
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, err
+	}
+	v, err := d.cvd.Commit(rows, parents, msg)
+	if err == nil {
+		d.store.ScheduleSave()
+	}
+	return v, err
 }
 
 // CommitWithSchema commits rows under a (possibly changed) schema,
 // exercising the single-pool schema evolution of Section 3.3.
 func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionID, msg string) (VersionID, error) {
-	return d.cvd.CommitWithSchema(cols, rows, parents, msg)
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, err
+	}
+	v, err := d.cvd.CommitWithSchema(cols, rows, parents, msg)
+	if err == nil {
+		d.store.ScheduleSave()
+	}
+	return v, err
 }
 
 // Checkout materializes one or more versions as rows; with several versions
 // records merge in precedence order under the primary key.
 func (d *Dataset) Checkout(vids ...VersionID) ([]Row, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
 	return d.cvd.Checkout(vids...)
+}
+
+// CheckoutWithColumns returns the schema and the materialized rows under a
+// single lock acquisition, so the pair stays mutually consistent even while
+// schema-changing commits run concurrently.
+func (d *Dataset) CheckoutWithColumns(vids ...VersionID) ([]Column, []Row, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, nil, err
+	}
+	rows, err := d.cvd.Checkout(vids...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]Column(nil), d.cvd.Columns()...), rows, nil
+}
+
+// DiffWithColumns is Diff plus the schema under a single lock acquisition.
+func (d *Dataset) DiffWithColumns(a, b VersionID) (cols []Column, onlyA, onlyB []Row, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, nil, nil, err
+	}
+	onlyA, onlyB, err = d.cvd.Diff(a, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return append([]Column(nil), d.cvd.Columns()...), onlyA, onlyB, nil
 }
 
 // CheckoutToTable materializes versions into a staging table owned by the
 // store's active user.
 func (d *Dataset) CheckoutToTable(table string, vids ...VersionID) error {
-	return d.cvd.CheckoutToTable(table, d.store.user, vids...)
+	s := d.store
+	user := s.WhoAmI() // before d.mu: lock order is s.mu before dataset locks
+	// Exclusive save lock: the staged table and provenance rows must not
+	// be observed half-written by concurrent SQL or saves.
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return err
+	}
+	s.stagingMu.Lock()
+	defer s.stagingMu.Unlock()
+	if err := d.cvd.CheckoutToTable(table, user, vids...); err != nil {
+		return err
+	}
+	s.ScheduleSave()
+	return nil
 }
 
 // CommitTable commits a staged table back as a new version and removes it
 // from the staging area.
 func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
-	return d.cvd.CommitTable(table, d.store.user, msg)
+	s := d.store
+	user := s.WhoAmI() // before d.mu: lock order is s.mu before dataset locks
+	// Exclusive save lock: committing drops the staged table out from
+	// under any SQL statement that could name it.
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, err
+	}
+	s.stagingMu.Lock()
+	defer s.stagingMu.Unlock()
+	v, err := d.cvd.CommitTable(table, user, msg)
+	if err == nil {
+		s.ScheduleSave()
+	}
+	return v, err
 }
 
 // Diff returns the rows only in a and only in b.
 func (d *Dataset) Diff(a, b VersionID) (onlyA, onlyB []Row, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, nil, err
+	}
 	return d.cvd.Diff(a, b)
 }
 
 // Ancestors returns all transitive ancestors of v.
-func (d *Dataset) Ancestors(v VersionID) ([]VersionID, error) { return d.cvd.Ancestors(v) }
+func (d *Dataset) Ancestors(v VersionID) ([]VersionID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	return d.cvd.Ancestors(v)
+}
 
 // Descendants returns all transitive descendants of v.
-func (d *Dataset) Descendants(v VersionID) ([]VersionID, error) { return d.cvd.Descendants(v) }
+func (d *Dataset) Descendants(v VersionID) ([]VersionID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	return d.cvd.Descendants(v)
+}
 
 // StorageBytes reports the dataset's model-owned storage.
-func (d *Dataset) StorageBytes() int64 { return d.cvd.StorageBytes() }
+func (d *Dataset) StorageBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.StorageBytes()
+}
 
 // Optimize runs the partition optimizer (LYRESPLIT) under the storage budget
 // γ = gammaFactor × |R| and migrates the partitioned layout. The dataset
 // must use the PartitionedRlist model.
 func (d *Dataset) Optimize(gammaFactor float64) (*core.OptimizeResult, error) {
-	return d.cvd.Optimize(gammaFactor, false)
+	return d.optimize(gammaFactor, false)
 }
 
 // OptimizeNaive is Optimize with rebuild-from-scratch migration (the
 // baseline of Figures 14b/15b).
 func (d *Dataset) OptimizeNaive(gammaFactor float64) (*core.OptimizeResult, error) {
-	return d.cvd.Optimize(gammaFactor, true)
+	return d.optimize(gammaFactor, true)
 }
 
-// CVD exposes the underlying core object for advanced use.
+func (d *Dataset) optimize(gammaFactor float64, naive bool) (*core.OptimizeResult, error) {
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	res, err := d.cvd.Optimize(gammaFactor, naive)
+	if err == nil {
+		d.store.ScheduleSave()
+	}
+	return res, err
+}
+
+// CVD exposes the underlying core object for advanced use. Access through
+// CVD bypasses the dataset lock; do not mix it with concurrent use.
 func (d *Dataset) CVD() *core.CVD { return d.cvd }
 
 // SearchVersions returns the versions whose metadata satisfies pred, a
 // version-graph shortcut query (Section 2.2).
 func (d *Dataset) SearchVersions(pred func(*VersionInfo) bool) ([]VersionID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
 	var out []VersionID
 	for _, v := range d.cvd.Versions() {
 		info, err := d.cvd.Info(v)
@@ -286,6 +676,11 @@ func (d *Dataset) SearchVersions(pred func(*VersionInfo) bool) ([]VersionID, err
 
 // LastModified returns the most recent commit time across versions.
 func (d *Dataset) LastModified() (time.Time, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return time.Time{}, err
+	}
 	var best time.Time
 	for _, v := range d.cvd.Versions() {
 		info, err := d.cvd.Info(v)
@@ -303,12 +698,25 @@ func (d *Dataset) LastModified() (time.Time, error) {
 // C.2: versions with higher freq land in smaller partitions. Missing
 // versions default to weight 1.
 func (d *Dataset) OptimizeWeighted(gammaFactor float64, freq map[VersionID]int64) (*core.OptimizeResult, error) {
-	return d.cvd.OptimizeWeighted(gammaFactor, freq, false)
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	res, err := d.cvd.OptimizeWeighted(gammaFactor, freq, false)
+	if err == nil {
+		d.store.ScheduleSave()
+	}
+	return res, err
 }
 
 // RecencyWeights builds a checkout-frequency map weighting the most recent
 // recentFraction of versions hot× more than the rest.
 func (d *Dataset) RecencyWeights(recentFraction float64, hot int64) map[VersionID]int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.cvd.RecencyWeights(recentFraction, hot)
 }
 
@@ -316,5 +724,16 @@ func (d *Dataset) RecencyWeights(recentFraction float64, hot int64) map[VersionI
 // when the current checkout cost exceeds mu times the best LYRESPLIT can
 // achieve under gammaFactor·|R|, the layout is migrated.
 func (d *Dataset) MaintainPartitions(gammaFactor, mu float64) (*core.MaintenanceResult, error) {
-	return d.cvd.MaintainPartitions(gammaFactor, mu, false)
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	res, err := d.cvd.MaintainPartitions(gammaFactor, mu, false)
+	if err == nil && res != nil && res.Migrated {
+		d.store.ScheduleSave()
+	}
+	return res, err
 }

@@ -2,7 +2,9 @@ package orpheusdb
 
 import (
 	"fmt"
+	"sort"
 
+	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/sql"
 	"orpheusdb/internal/vgraph"
@@ -15,18 +17,90 @@ import (
 // and cleans up — so the underlying engine stays completely unaware of
 // versioning.
 
+// stmtWrites reports whether a statement mutates named engine tables
+// (INSERT/UPDATE/DELETE/DDL). Such statements run under the exclusive save
+// lock so they cannot race other queries or commits touching the same
+// tables; SELECTs run under the shared lock.
+func stmtWrites(st sql.Stmt) bool {
+	_, isSelect := st.(*sql.SelectStmt)
+	return !isSelect
+}
+
+// lockForStmts acquires the save lock in the mode the statements need and
+// returns the matching unlock.
+func (s *Store) lockForStmts(stmts ...sql.Stmt) func() {
+	for _, st := range stmts {
+		if stmtWrites(st) {
+			s.ioMu.Lock()
+			return s.ioMu.Unlock
+		}
+	}
+	s.ioMu.RLock()
+	return s.ioMu.RUnlock
+}
+
+// lockAllDatasets takes every dataset's lock (in name order, so concurrent
+// callers cannot deadlock) and returns the matching unlock. It backs raw SQL
+// that names tables directly: such a statement may touch any dataset's
+// backing tables, which are otherwise guarded only by per-dataset locks.
+// Caller holds ioMu, so the catalog is stable.
+func (s *Store) lockAllDatasets(write bool) func() {
+	names := core.ListCVDs(s.db)
+	sort.Strings(names)
+	locked := make([]*Dataset, 0, len(names))
+	for _, n := range names {
+		d, err := s.dataset(n)
+		if err != nil {
+			continue
+		}
+		if write {
+			d.mu.Lock()
+		} else {
+			d.mu.RLock()
+		}
+		locked = append(locked, d)
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			if write {
+				locked[i].mu.Unlock()
+			} else {
+				locked[i].mu.RUnlock()
+			}
+		}
+	}
+}
+
 // Run executes one SQL statement, resolving OrpheusDB version references.
+// Run is safe for concurrent use. VERSION ... OF CVD references materialize
+// into uniquely named transient tables under the referenced datasets' read
+// locks, so versioned queries on dataset A run alongside commits on dataset
+// B. Statements naming plain tables additionally take every dataset's lock
+// (shared for SELECT, exclusive for DML, which also holds the save lock
+// exclusively), since a raw name may resolve to any dataset's backing
+// tables.
 func (s *Store) Run(src string) (*Result, error) {
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	temps, err := s.resolveStmt(stmt)
+	writes := stmtWrites(stmt)
+	defer s.lockForStmts(stmt)()
+	temps, plain, err := s.resolveStmt(stmt)
 	defer s.dropTemps(temps)
 	if err != nil {
 		return nil, err
 	}
-	return sql.Run(s.db, stmt)
+	if writes || plain {
+		defer s.lockAllDatasets(writes)()
+	}
+	res, err := sql.Run(s.db, stmt)
+	if writes {
+		// Even a failed statement may have applied partial mutations
+		// (e.g. a multi-row INSERT failing midway), so persist either way.
+		s.ScheduleSave()
+	}
+	return res, err
 }
 
 // RunScript executes a semicolon-separated script, returning the last result.
@@ -35,14 +109,31 @@ func (s *Store) RunScript(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.lockForStmts(stmts...)()
 	res := &Result{}
+	wrote := false
+	// Writes applied by earlier statements must persist even when a later
+	// statement fails (or the failing statement itself applied partially).
+	defer func() {
+		if wrote {
+			s.ScheduleSave()
+		}
+	}()
 	for _, stmt := range stmts {
-		temps, err := s.resolveStmt(stmt)
+		temps, plain, err := s.resolveStmt(stmt)
 		if err != nil {
 			s.dropTemps(temps)
 			return nil, err
 		}
-		res, err = sql.Run(s.db, stmt)
+		w := stmtWrites(stmt)
+		wrote = wrote || w
+		if w || plain {
+			unlock := s.lockAllDatasets(w)
+			res, err = sql.Run(s.db, stmt)
+			unlock()
+		} else {
+			res, err = sql.Run(s.db, stmt)
+		}
 		s.dropTemps(temps)
 		if err != nil {
 			return nil, err
@@ -60,17 +151,22 @@ func (s *Store) dropTemps(temps []string) {
 }
 
 // resolveStmt walks the statement and materializes CVD references, returning
-// the temp tables it created.
-func (s *Store) resolveStmt(stmt sql.Stmt) ([]string, error) {
+// the temp tables it created and whether the statement also references plain
+// (non-versioned) tables by name.
+func (s *Store) resolveStmt(stmt sql.Stmt) (_ []string, plain bool, _ error) {
 	var temps []string
 	var walkSelect func(sel *sql.SelectStmt) error
 
 	resolveFrom := func(f sql.FromItem) error {
 		ref, ok := f.(*sql.TableRef)
-		if !ok || ref.CVD == "" {
+		if !ok {
 			return nil
 		}
-		name, err := s.materializeRef(ref, len(temps))
+		if ref.CVD == "" {
+			plain = true
+			return nil
+		}
+		name, err := s.materializeRef(ref)
 		if err != nil {
 			return err
 		}
@@ -134,6 +230,7 @@ func (s *Store) resolveStmt(stmt sql.Stmt) ([]string, error) {
 	case *sql.SelectStmt:
 		err = walkSelect(t)
 	case *sql.InsertStmt:
+		plain = true // targets a named table directly
 		err = walkSelect(t.Select)
 		for _, row := range t.Rows {
 			for _, e := range row {
@@ -143,6 +240,7 @@ func (s *Store) resolveStmt(stmt sql.Stmt) ([]string, error) {
 			}
 		}
 	case *sql.UpdateStmt:
+		plain = true // targets a named table directly
 		for _, a := range t.Set {
 			if e2 := walkExpr(a.Expr, walkSelect); e2 != nil {
 				err = e2
@@ -152,9 +250,13 @@ func (s *Store) resolveStmt(stmt sql.Stmt) ([]string, error) {
 			err = e2
 		}
 	case *sql.DeleteStmt:
+		plain = true // targets a named table directly
 		err = walkExpr(t.Where, walkSelect)
+	default:
+		// DDL and anything else touches named tables.
+		plain = true
 	}
-	return temps, err
+	return temps, plain, err
 }
 
 // walkExpr visits subqueries inside an expression tree.
@@ -230,25 +332,25 @@ func walkExpr(e sql.Expr, visit func(*sql.SelectStmt) error) error {
 }
 
 // materializeRef creates a transient table for a CVD reference: a single
-// version's rows, or the all-versions view with a leading vid column.
-func (s *Store) materializeRef(ref *sql.TableRef, n int) (string, error) {
-	d, err := s.Dataset(ref.CVD)
+// version's rows, or the all-versions view with a leading vid column. The
+// table name is globally unique so concurrent queries never collide, and the
+// dataset's read lock is held for the duration of the copy so a concurrent
+// commit cannot interleave.
+func (s *Store) materializeRef(ref *sql.TableRef) (string, error) {
+	d, err := s.dataset(ref.CVD) // caller (Run) already holds ioMu
 	if err != nil {
 		return "", err
 	}
-	name := fmt.Sprintf("__orpheus_tmp_%s_%d", ref.CVD, n)
-	if s.db.HasTable(name) {
-		if err := s.db.DropTable(name); err != nil {
-			return "", err
-		}
-	}
+	name := fmt.Sprintf("__orpheus_tmp_%s_%d", ref.CVD, s.tmpSeq.Add(1))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if ref.Version >= 0 {
 		vid := vgraph.VersionID(ref.Version)
-		rows, err := d.Checkout(vid)
+		rows, err := d.cvd.Checkout(vid)
 		if err != nil {
 			return "", err
 		}
-		t, err := s.db.CreateTable(name, d.Columns())
+		t, err := s.db.CreateTable(name, d.cvd.Columns())
 		if err != nil {
 			return "", err
 		}
@@ -262,13 +364,13 @@ func (s *Store) materializeRef(ref *sql.TableRef, n int) (string, error) {
 	// All-versions view: vid + data attributes, one row per
 	// (version, record) pair — the "table with versioned records" of
 	// Figure 1a, generated on the fly.
-	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}}, d.Columns()...)
+	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}}, d.cvd.Columns()...)
 	t, err := s.db.CreateTable(name, cols)
 	if err != nil {
 		return "", err
 	}
-	for _, v := range d.Versions() {
-		rows, err := d.Checkout(v)
+	for _, v := range d.cvd.Versions() {
+		rows, err := d.cvd.Checkout(v)
 		if err != nil {
 			return "", err
 		}
