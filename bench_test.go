@@ -7,10 +7,15 @@ package orpheusdb
 //	go test -bench=. -benchmem
 
 import (
+	"encoding/json"
 	"fmt"
+	"math/rand"
+	"os"
+	"sort"
 	"testing"
 
 	"orpheusdb/internal/benchgen"
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/experiments"
@@ -407,5 +412,214 @@ func BenchmarkRangeEncoding(b *testing.B) {
 			}
 			b.ReportMetric(float64(plain)/float64(encoded), "compression-ratio")
 		})
+	}
+}
+
+// --- rlist-vs-bitmap membership microbenchmarks ------------------------------
+//
+// BenchmarkRlistVsBitmap compares the two membership representations on the
+// operations every versioned workload reduces to: materializing a version's
+// membership (checkout), two-sided diff, and 2-way/8-way multi-version
+// intersection, at 10k and 100k records. The slice arm reproduces the seed's
+// []int64 implementation (sorted-merge intersects, map-based diffs); the
+// bitmap arm is the internal/bitmap algebra the engine now stores.
+// TestEmitBitmapBenchJSON records the same cases into BENCH_bitmap.json so
+// the perf trajectory is tracked across PRs.
+
+// membershipFixture builds 8 overlapping version rlists over ~n records:
+// a dense shared core (90% of n) plus a sparse per-version tail — the shape
+// OrpheusDB commits produce (dense rid ranges with per-branch additions).
+func membershipFixture(n int) (slices [][]int64, bitmaps []*bitmap.Bitmap) {
+	core := make([]int64, 0, n*9/10)
+	for r := int64(1); r <= int64(n*9/10); r++ {
+		core = append(core, r)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for v := 0; v < 8; v++ {
+		rl := append([]int64(nil), core...)
+		seen := make(map[int64]bool)
+		for len(seen) < n/10 {
+			// Sparse tail: scattered rids beyond the shared core.
+			r := int64(n) + rng.Int63n(int64(n)*4)
+			if !seen[r] {
+				seen[r] = true
+				rl = append(rl, r)
+			}
+		}
+		sort.Slice(rl, func(i, j int) bool { return rl[i] < rl[j] })
+		slices = append(slices, rl)
+		bitmaps = append(bitmaps, bitmap.FromSorted(rl))
+	}
+	return slices, bitmaps
+}
+
+// Seed-style slice membership operations.
+
+func sliceIntersect(a, b []int64) []int64 {
+	out := make([]int64, 0)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func sliceDiff(a, b []int64) (onlyA, onlyB []int64) {
+	inB := make(map[int64]bool, len(b))
+	for _, r := range b {
+		inB[r] = true
+	}
+	inA := make(map[int64]bool, len(a))
+	for _, r := range a {
+		inA[r] = true
+	}
+	for _, r := range a {
+		if !inB[r] {
+			onlyA = append(onlyA, r)
+		}
+	}
+	for _, r := range b {
+		if !inA[r] {
+			onlyB = append(onlyB, r)
+		}
+	}
+	return onlyA, onlyB
+}
+
+type membershipCase struct {
+	name string
+	run  func(slices [][]int64, bitmaps []*bitmap.Bitmap) int
+}
+
+func membershipCases() []membershipCase {
+	return []membershipCase{
+		{"checkout", func(s [][]int64, bm []*bitmap.Bitmap) int {
+			if s != nil {
+				return len(append([]int64(nil), s[0]...)) // defensive copy, as Rlist must
+			}
+			return len(bm[0].ToSlice())
+		}},
+		{"diff", func(s [][]int64, bm []*bitmap.Bitmap) int {
+			if s != nil {
+				a, b := sliceDiff(s[0], s[1])
+				return len(a) + len(b)
+			}
+			return len(bitmap.AndNot(bm[0], bm[1]).ToSlice()) + len(bitmap.AndNot(bm[1], bm[0]).ToSlice())
+		}},
+		{"intersect2", func(s [][]int64, bm []*bitmap.Bitmap) int {
+			if s != nil {
+				return len(sliceIntersect(s[0], s[1]))
+			}
+			return len(bitmap.And(bm[0], bm[1]).ToSlice())
+		}},
+		{"intersect8", func(s [][]int64, bm []*bitmap.Bitmap) int {
+			if s != nil {
+				acc := s[0]
+				for _, o := range s[1:] {
+					acc = sliceIntersect(acc, o)
+				}
+				return len(acc)
+			}
+			acc := bm[0]
+			for _, o := range bm[1:] {
+				acc = bitmap.And(acc, o)
+			}
+			return len(acc.ToSlice())
+		}},
+	}
+}
+
+// BenchmarkRlistVsBitmap runs every (operation, scale, representation) cell.
+func BenchmarkRlistVsBitmap(b *testing.B) {
+	for _, scale := range []int{10_000, 100_000} {
+		slices, bitmaps := membershipFixture(scale)
+		for _, c := range membershipCases() {
+			b.Run(fmt.Sprintf("%s-%dk/slice", c.name, scale/1000), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if c.run(slices, nil) < 0 {
+						b.Fatal("impossible")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s-%dk/bitmap", c.name, scale/1000), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if c.run(nil, bitmaps) < 0 {
+						b.Fatal("impossible")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEmitBitmapBenchJSON measures the BenchmarkRlistVsBitmap cells with
+// testing.Benchmark and writes BENCH_bitmap.json at the repo root, recording
+// the perf trajectory of the membership substrate. Heavier than a unit test,
+// so it only runs when ORPHEUS_EMIT_BENCH=1 is set (the checked-in JSON is
+// refreshed by running it).
+func TestEmitBitmapBenchJSON(t *testing.T) {
+	if os.Getenv("ORPHEUS_EMIT_BENCH") != "1" {
+		t.Skip("set ORPHEUS_EMIT_BENCH=1 to refresh BENCH_bitmap.json")
+	}
+	type cell struct {
+		Op          string  `json:"op"`
+		Records     int     `json:"records"`
+		SliceNsOp   int64   `json:"slice_ns_op"`
+		BitmapNsOp  int64   `json:"bitmap_ns_op"`
+		Speedup     float64 `json:"speedup"`
+		SliceBytes  int64   `json:"slice_membership_bytes"`
+		BitmapBytes int64   `json:"bitmap_membership_bytes"`
+		Compression float64 `json:"compression_ratio"`
+	}
+	var cells []cell
+	for _, scale := range []int{10_000, 100_000} {
+		slices, bitmaps := membershipFixture(scale)
+		var sliceBytes, bmBytes int64
+		for i := range slices {
+			sliceBytes += int64(len(slices[i])) * 8
+			bmBytes += bitmaps[i].SerializedSizeBytes()
+		}
+		for _, c := range membershipCases() {
+			c := c
+			rs := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.run(slices, nil)
+				}
+			})
+			rb := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.run(nil, bitmaps)
+				}
+			})
+			cells = append(cells, cell{
+				Op:          c.name,
+				Records:     scale,
+				SliceNsOp:   rs.NsPerOp(),
+				BitmapNsOp:  rb.NsPerOp(),
+				Speedup:     float64(rs.NsPerOp()) / float64(rb.NsPerOp()),
+				SliceBytes:  sliceBytes,
+				BitmapBytes: bmBytes,
+				Compression: float64(sliceBytes) / float64(bmBytes),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"benchmark": "RlistVsBitmap",
+		"cells":     cells,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_bitmap.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,489 @@
+// Package bitmap implements a dependency-free compressed bitmap in the
+// roaring style: the 64-bit value space is chunked by the high bits, and each
+// chunk stores its low 16 bits in whichever of three container layouts is
+// smallest — a sorted uint16 array for sparse chunks, a 65536-bit bitset for
+// dense ones, and run-length intervals for contiguous ranges (the common case
+// for OrpheusDB rlists, whose record ids are allocated densely).
+//
+// It is the membership substrate behind every version: rlists and vlists are
+// stored, persisted, and combined (checkout, diff, multi-version scans,
+// partition migration) as Bitmaps, so set algebra costs O(chunks touched)
+// instead of O(records).
+package bitmap
+
+import "sort"
+
+// Container type tags.
+const (
+	typeArray  uint8 = iota // sorted []uint16
+	typeBitmap              // 1024 words of 64 bits
+	typeRun                 // sorted, disjoint [start,last] intervals
+)
+
+// arrayMaxCard is the cardinality threshold above which an array container is
+// converted to a bitset container (the roaring constant).
+const arrayMaxCard = 4096
+
+// bitmapWords is the word count of a bitset container (65536 bits).
+const bitmapWords = 1024
+
+// interval is one run [Start, Last], inclusive on both ends.
+type interval struct {
+	Start, Last uint16
+}
+
+// container holds one 65536-value chunk in exactly one of three layouts,
+// selected by typ.
+type container struct {
+	typ  uint8
+	card int      // cardinality, maintained for all layouts
+	arr  []uint16 // typeArray
+	bits []uint64 // typeBitmap, len bitmapWords
+	runs []interval
+}
+
+// Bitmap is a compressed set of non-negative int64 values. The zero value is
+// not usable; call New or a From* constructor. A Bitmap is not safe for
+// concurrent mutation; once stored in the engine it is treated as immutable
+// and may be shared freely.
+type Bitmap struct {
+	keys []uint64 // sorted chunk keys (value >> 16)
+	cts  []*container
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap { return &Bitmap{} }
+
+// FromSlice builds a bitmap from values in any order. Negative values are
+// ignored (record ids are positive).
+func FromSlice(vals []int64) *Bitmap {
+	sorted := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		if v >= 0 {
+			sorted = append(sorted, v)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return FromSorted(sorted)
+}
+
+// FromSorted builds a bitmap from ascending values (duplicates allowed).
+// Negative values are ignored.
+func FromSorted(vals []int64) *Bitmap {
+	b := New()
+	var cur *container
+	var curKey uint64
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		key := uint64(v) >> 16
+		low := uint16(v)
+		if cur == nil || key != curKey {
+			cur = &container{typ: typeArray}
+			curKey = key
+			b.keys = append(b.keys, key)
+			b.cts = append(b.cts, cur)
+		}
+		cur.add(low)
+	}
+	for _, c := range b.cts {
+		c.shrink()
+	}
+	b.Optimize()
+	return b
+}
+
+// Add inserts v. Negative values are ignored.
+func (b *Bitmap) Add(v int64) {
+	if v < 0 {
+		return
+	}
+	key := uint64(v) >> 16
+	low := uint16(v)
+	i := b.findKey(key)
+	if i < 0 {
+		c := &container{typ: typeArray}
+		c.add(low)
+		b.insertContainer(key, c)
+		return
+	}
+	b.cts[i].add(low)
+}
+
+// AddMany inserts every value of vals.
+func (b *Bitmap) AddMany(vals []int64) {
+	for _, v := range vals {
+		b.Add(v)
+	}
+}
+
+// Contains reports whether v is in the set.
+func (b *Bitmap) Contains(v int64) bool {
+	if b == nil || v < 0 {
+		return false
+	}
+	i := b.findKey(uint64(v) >> 16)
+	return i >= 0 && b.cts[i].contains(uint16(v))
+}
+
+// Cardinality returns the number of values in the set.
+func (b *Bitmap) Cardinality() int64 {
+	if b == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range b.cts {
+		n += int64(c.card)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no values.
+func (b *Bitmap) IsEmpty() bool { return b == nil || b.Cardinality() == 0 }
+
+// Iterate calls f on every value in ascending order until f returns false.
+func (b *Bitmap) Iterate(f func(v int64) bool) {
+	if b == nil {
+		return
+	}
+	for i, key := range b.keys {
+		hi := int64(key) << 16
+		if !b.cts[i].iterate(func(low uint16) bool { return f(hi | int64(low)) }) {
+			return
+		}
+	}
+}
+
+// ToSlice materializes the set as an ascending []int64. Containers are
+// walked with typed loops (no per-value closure), so materializing dense
+// membership is a tight append loop.
+func (b *Bitmap) ToSlice() []int64 {
+	if b == nil {
+		return nil
+	}
+	out := make([]int64, 0, b.Cardinality())
+	for i, key := range b.keys {
+		hi := int64(key) << 16
+		c := b.cts[i]
+		switch c.typ {
+		case typeArray:
+			for _, low := range c.arr {
+				out = append(out, hi|int64(low))
+			}
+		case typeBitmap:
+			for w, word := range c.bits {
+				base := hi | int64(w<<6)
+				for word != 0 {
+					out = append(out, base|int64(trailingZeros(word)))
+					word &= word - 1
+				}
+			}
+		case typeRun:
+			for _, r := range c.runs {
+				for v := int(r.Start); v <= int(r.Last); v++ {
+					out = append(out, hi|int64(v))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Min returns the smallest value, or ok=false when empty.
+func (b *Bitmap) Min() (int64, bool) {
+	for i, key := range b.keys {
+		if b.cts[i].card > 0 {
+			low, _ := b.cts[i].minimum()
+			return int64(key)<<16 | int64(low), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest value, or ok=false when empty.
+func (b *Bitmap) Max() (int64, bool) {
+	for i := len(b.keys) - 1; i >= 0; i-- {
+		if b.cts[i].card > 0 {
+			low, _ := b.cts[i].maximum()
+			return int64(b.keys[i])<<16 | int64(low), true
+		}
+	}
+	return 0, false
+}
+
+// Rank returns the number of set values <= v.
+func (b *Bitmap) Rank(v int64) int64 {
+	if b == nil || v < 0 {
+		return 0
+	}
+	key := uint64(v) >> 16
+	var n int64
+	for i, k := range b.keys {
+		if k < key {
+			n += int64(b.cts[i].card)
+			continue
+		}
+		if k == key {
+			n += b.cts[i].rank(uint16(v))
+		}
+		break
+	}
+	return n
+}
+
+// Select returns the i-th smallest value (0-based), or ok=false when the set
+// holds fewer than i+1 values.
+func (b *Bitmap) Select(i int64) (int64, bool) {
+	if b == nil || i < 0 {
+		return 0, false
+	}
+	for j, c := range b.cts {
+		if i < int64(c.card) {
+			low, ok := c.selectAt(int(i))
+			if !ok {
+				return 0, false
+			}
+			return int64(b.keys[j])<<16 | int64(low), true
+		}
+		i -= int64(c.card)
+	}
+	return 0, false
+}
+
+// Clone deep-copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	if b == nil {
+		return New()
+	}
+	out := &Bitmap{
+		keys: append([]uint64(nil), b.keys...),
+		cts:  make([]*container, len(b.cts)),
+	}
+	for i, c := range b.cts {
+		out.cts[i] = c.clone()
+	}
+	return out
+}
+
+// Equal reports whether two bitmaps hold the same values.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.Cardinality() != o.Cardinality() {
+		return false
+	}
+	eq := true
+	i := 0
+	other := o.ToSlice()
+	b.Iterate(func(v int64) bool {
+		if other[i] != v {
+			eq = false
+			return false
+		}
+		i++
+		return true
+	})
+	return eq
+}
+
+// ContainerCounts reports how many chunks use each layout — surfaced by the
+// storage-breakdown endpoint and useful when tuning Optimize.
+func (b *Bitmap) ContainerCounts() (array, bitset, run int) {
+	if b == nil {
+		return
+	}
+	for _, c := range b.cts {
+		switch c.typ {
+		case typeArray:
+			array++
+		case typeBitmap:
+			bitset++
+		case typeRun:
+			run++
+		}
+	}
+	return
+}
+
+// Optimize converts containers to run encoding where that is the smallest
+// layout (roaring's runOptimize). Safe to call at any time.
+func (b *Bitmap) Optimize() {
+	for _, c := range b.cts {
+		c.runOptimize()
+	}
+}
+
+// findKey locates key in b.keys, or -1.
+func (b *Bitmap) findKey(key uint64) int {
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	if i < len(b.keys) && b.keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+// insertContainer inserts (key, c) preserving key order.
+func (b *Bitmap) insertContainer(key uint64, c *container) {
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	b.keys = append(b.keys, 0)
+	b.cts = append(b.cts, nil)
+	copy(b.keys[i+1:], b.keys[i:])
+	copy(b.cts[i+1:], b.cts[i:])
+	b.keys[i] = key
+	b.cts[i] = c
+}
+
+// And returns the intersection a ∩ b.
+func And(a, b *Bitmap) *Bitmap {
+	out := New()
+	if a == nil || b == nil {
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			if c := andContainers(a.cts[i], b.cts[j]); c.card > 0 {
+				out.keys = append(out.keys, a.keys[i])
+				out.cts = append(out.cts, c)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Or returns the union a ∪ b.
+func Or(a, b *Bitmap) *Bitmap {
+	out := New()
+	if a == nil {
+		return b.Clone()
+	}
+	if b == nil {
+		return a.Clone()
+	}
+	i, j := 0, 0
+	for i < len(a.keys) || j < len(b.keys) {
+		switch {
+		case j >= len(b.keys) || (i < len(a.keys) && a.keys[i] < b.keys[j]):
+			out.keys = append(out.keys, a.keys[i])
+			out.cts = append(out.cts, a.cts[i].clone())
+			i++
+		case i >= len(a.keys) || b.keys[j] < a.keys[i]:
+			out.keys = append(out.keys, b.keys[j])
+			out.cts = append(out.cts, b.cts[j].clone())
+			j++
+		default:
+			out.keys = append(out.keys, a.keys[i])
+			out.cts = append(out.cts, orContainers(a.cts[i], b.cts[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// OrAll unions any number of bitmaps.
+func OrAll(bs ...*Bitmap) *Bitmap {
+	out := New()
+	for _, b := range bs {
+		out.OrInPlace(b)
+	}
+	return out
+}
+
+// OrInPlace folds o into b (b ∪= o).
+func (b *Bitmap) OrInPlace(o *Bitmap) {
+	if o == nil {
+		return
+	}
+	for j, key := range o.keys {
+		i := b.findKey(key)
+		if i < 0 {
+			b.insertContainer(key, o.cts[j].clone())
+			continue
+		}
+		b.cts[i] = orContainers(b.cts[i], o.cts[j])
+	}
+}
+
+// AndNot returns the difference a \ b.
+func AndNot(a, b *Bitmap) *Bitmap {
+	out := New()
+	if a == nil {
+		return out
+	}
+	if b == nil {
+		return a.Clone()
+	}
+	for i, key := range a.keys {
+		j := b.findKey(key)
+		if j < 0 {
+			out.keys = append(out.keys, key)
+			out.cts = append(out.cts, a.cts[i].clone())
+			continue
+		}
+		if c := andNotContainers(a.cts[i], b.cts[j]); c.card > 0 {
+			out.keys = append(out.keys, key)
+			out.cts = append(out.cts, c)
+		}
+	}
+	return out
+}
+
+// Xor returns the symmetric difference a △ b.
+func Xor(a, b *Bitmap) *Bitmap {
+	// a△b = (a\b) ∪ (b\a); container-local work dominates either way.
+	return Or(AndNot(a, b), AndNot(b, a))
+}
+
+// AndCardinality returns |a ∩ b| without materializing the intersection —
+// the hot operation of the partition planner (edge weights, migration cost
+// estimates).
+func (b *Bitmap) AndCardinality(o *Bitmap) int64 {
+	if b == nil || o == nil {
+		return 0
+	}
+	var n int64
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			i++
+		case b.keys[i] > o.keys[j]:
+			j++
+		default:
+			n += andCardContainers(b.cts[i], o.cts[j])
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Intersects reports whether a ∩ b is non-empty.
+func (b *Bitmap) Intersects(o *Bitmap) bool {
+	if b == nil || o == nil {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			i++
+		case b.keys[i] > o.keys[j]:
+			j++
+		default:
+			if andCardContainers(b.cts[i], o.cts[j]) > 0 {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet is the map-based reference implementation ops are checked against.
+type refSet map[int64]bool
+
+func refFrom(vals []int64) refSet {
+	s := make(refSet, len(vals))
+	for _, v := range vals {
+		s[v] = true
+	}
+	return s
+}
+
+func (s refSet) sorted() []int64 {
+	out := make([]int64, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSlices(t *testing.T, name string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// testShapes yields value sets that exercise each container layout: sparse
+// (array), dense (bitset), contiguous (run), plus chunk-boundary straddlers.
+func testShapes() map[string][]int64 {
+	rng := rand.New(rand.NewSource(7))
+	sparse := make([]int64, 300)
+	for i := range sparse {
+		sparse[i] = rng.Int63n(1 << 40)
+	}
+	dense := make([]int64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		dense = append(dense, int64(rng.Intn(60000)))
+	}
+	runs := make([]int64, 0, 20000)
+	for v := int64(100); v < 20100; v++ {
+		runs = append(runs, v)
+	}
+	straddle := []int64{65534, 65535, 65536, 65537, 131071, 131072}
+	return map[string][]int64{
+		"sparse":   sparse,
+		"dense":    dense,
+		"runs":     runs,
+		"straddle": straddle,
+		"empty":    nil,
+		"single":   {42},
+	}
+}
+
+func TestBuildContainsIterate(t *testing.T) {
+	for name, vals := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			ref := refFrom(vals)
+			b := FromSlice(vals)
+			if b.Cardinality() != int64(len(ref)) {
+				t.Fatalf("cardinality %d, want %d", b.Cardinality(), len(ref))
+			}
+			equalSlices(t, "ToSlice", b.ToSlice(), ref.sorted())
+			for v := range ref {
+				if !b.Contains(v) {
+					t.Fatalf("missing %d", v)
+				}
+			}
+			for _, probe := range []int64{-1, 0, 1, 65536, 1 << 41} {
+				if b.Contains(probe) != ref[probe] {
+					t.Fatalf("Contains(%d) = %v, want %v", probe, b.Contains(probe), ref[probe])
+				}
+			}
+		})
+	}
+}
+
+func TestAddIncremental(t *testing.T) {
+	b := New()
+	ref := make(refSet)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(200000)
+		b.Add(v)
+		ref[v] = true
+	}
+	b.Add(-5) // ignored
+	equalSlices(t, "incremental", b.ToSlice(), ref.sorted())
+	// Adding into a run-optimized bitmap still works.
+	b.Optimize()
+	b.Add(999999)
+	ref[999999] = true
+	equalSlices(t, "post-optimize add", b.ToSlice(), ref.sorted())
+}
+
+func TestAlgebra(t *testing.T) {
+	shapes := testShapes()
+	names := make([]string, 0, len(shapes))
+	for n := range shapes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, na := range names {
+		for _, nb := range names {
+			a, bb := FromSlice(shapes[na]), FromSlice(shapes[nb])
+			ra, rb := refFrom(shapes[na]), refFrom(shapes[nb])
+
+			var wantAnd, wantOr, wantAndNot, wantXor []int64
+			for v := range ra {
+				if rb[v] {
+					wantAnd = append(wantAnd, v)
+				} else {
+					wantAndNot = append(wantAndNot, v)
+					wantXor = append(wantXor, v)
+				}
+				wantOr = append(wantOr, v)
+			}
+			for v := range rb {
+				if !ra[v] {
+					wantOr = append(wantOr, v)
+					wantXor = append(wantXor, v)
+				}
+			}
+			for _, s := range [][]int64{wantAnd, wantOr, wantAndNot, wantXor} {
+				sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			}
+
+			label := na + "/" + nb
+			equalSlices(t, label+" And", And(a, bb).ToSlice(), wantAnd)
+			equalSlices(t, label+" Or", Or(a, bb).ToSlice(), wantOr)
+			equalSlices(t, label+" AndNot", AndNot(a, bb).ToSlice(), wantAndNot)
+			equalSlices(t, label+" Xor", Xor(a, bb).ToSlice(), wantXor)
+			if got := a.AndCardinality(bb); got != int64(len(wantAnd)) {
+				t.Fatalf("%s AndCardinality = %d, want %d", label, got, len(wantAnd))
+			}
+			if got := a.Intersects(bb); got != (len(wantAnd) > 0) {
+				t.Fatalf("%s Intersects = %v, want %v", label, got, len(wantAnd) > 0)
+			}
+			// OrInPlace matches Or.
+			acc := a.Clone()
+			acc.OrInPlace(bb)
+			equalSlices(t, label+" OrInPlace", acc.ToSlice(), wantOr)
+		}
+	}
+}
+
+func TestRankSelectMinMax(t *testing.T) {
+	for name, vals := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			b := FromSlice(vals)
+			sorted := refFrom(vals).sorted()
+			if len(sorted) == 0 {
+				if _, ok := b.Min(); ok {
+					t.Fatal("Min on empty")
+				}
+				if _, ok := b.Select(0); ok {
+					t.Fatal("Select on empty")
+				}
+				return
+			}
+			if mn, _ := b.Min(); mn != sorted[0] {
+				t.Fatalf("Min = %d, want %d", mn, sorted[0])
+			}
+			if mx, _ := b.Max(); mx != sorted[len(sorted)-1] {
+				t.Fatalf("Max = %d, want %d", mx, sorted[len(sorted)-1])
+			}
+			for i, v := range sorted {
+				if got, ok := b.Select(int64(i)); !ok || got != v {
+					t.Fatalf("Select(%d) = %d,%v, want %d", i, got, ok, v)
+				}
+				if got := b.Rank(v); got != int64(i+1) {
+					t.Fatalf("Rank(%d) = %d, want %d", v, got, i+1)
+				}
+			}
+			if _, ok := b.Select(int64(len(sorted))); ok {
+				t.Fatal("Select past end")
+			}
+			if got := b.Rank(sorted[len(sorted)-1] + 1000); got != int64(len(sorted)) {
+				t.Fatalf("Rank past end = %d, want %d", got, len(sorted))
+			}
+		})
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	for name, vals := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			b := FromSlice(vals)
+			data, err := b.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(data)) != b.SerializedSizeBytes() {
+				t.Fatalf("size = %d, SerializedSizeBytes = %d", len(data), b.SerializedSizeBytes())
+			}
+			back, err := FromBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Equal(back) {
+				t.Fatal("round trip changed contents")
+			}
+			// Gob path is the same bytes.
+			gb, err := b.GobEncode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back2 Bitmap
+			if err := back2.GobDecode(gb); err != nil {
+				t.Fatal(err)
+			}
+			if !b.Equal(&back2) {
+				t.Fatal("gob round trip changed contents")
+			}
+		})
+	}
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("xx"),
+		[]byte("XXXX\x01\x00\x00\x00\x00"),
+		[]byte("ORBM\x09\x00\x00\x00\x00"),
+		[]byte("ORBM\x01\xff\xff\xff\xff"),
+	}
+	for i, data := range cases {
+		if _, err := FromBytes(data); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid payload.
+	good, _ := FromSlice([]int64{1, 2, 3, 100000}).MarshalBinary()
+	if _, err := FromBytes(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestContainerChoice(t *testing.T) {
+	// A contiguous range must land in a run container after Optimize.
+	vals := make([]int64, 0, 10000)
+	for v := int64(0); v < 10000; v++ {
+		vals = append(vals, v)
+	}
+	b := FromSorted(vals)
+	if _, _, runN := b.ContainerCounts(); runN != 1 {
+		t.Fatalf("contiguous range not run-encoded: %v", func() []int { a, bm, r := b.ContainerCounts(); return []int{a, bm, r} }())
+	}
+	if b.SerializedSizeBytes() > 64 {
+		t.Fatalf("run-encoded 10k range serialized to %d bytes", b.SerializedSizeBytes())
+	}
+	// Dense random fill past 4096 in one chunk becomes a bitset.
+	rng := rand.New(rand.NewSource(3))
+	b2 := New()
+	for i := 0; i < 30000; i++ {
+		b2.Add(int64(rng.Intn(32768))*2 + 1) // odds in one chunk: never run-friendly
+	}
+	if _, bitN, _ := b2.ContainerCounts(); bitN != 1 {
+		a, bm, r := b2.ContainerCounts()
+		t.Fatalf("dense chunk layout = array %d bitset %d run %d, want one bitset", a, bm, r)
+	}
+	// Sparse values stay arrays.
+	b3 := FromSlice([]int64{1, 70000, 140000})
+	if arrN, _, _ := b3.ContainerCounts(); arrN != 3 {
+		t.Fatalf("sparse values not array-encoded")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int64{1, 2, 3})
+	c := a.Clone()
+	c.Add(99)
+	if a.Contains(99) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Contains(2) {
+		t.Fatal("Clone lost values")
+	}
+}
+
+func TestNilReceivers(t *testing.T) {
+	var b *Bitmap
+	if b.Cardinality() != 0 || !b.IsEmpty() || b.Contains(1) {
+		t.Fatal("nil receiver basics")
+	}
+	if got := And(b, FromSlice([]int64{1})).Cardinality(); got != 0 {
+		t.Fatal("And with nil")
+	}
+	if got := Or(b, FromSlice([]int64{1})).Cardinality(); got != 1 {
+		t.Fatal("Or with nil")
+	}
+	if got := AndNot(FromSlice([]int64{1}), b).Cardinality(); got != 1 {
+		t.Fatal("AndNot with nil")
+	}
+	if b.ToSlice() != nil {
+		t.Fatal("nil ToSlice")
+	}
+}

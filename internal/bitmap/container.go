@@ -1,0 +1,563 @@
+package bitmap
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// This file implements the per-chunk container operations. Every mutating
+// entry point keeps card correct and converts between layouts at the roaring
+// thresholds: arrays hold at most arrayMaxCard values; a bitset that drains
+// below that converts back to an array; runOptimize picks run encoding when
+// it is the smallest of the three.
+
+func (c *container) clone() *container {
+	out := &container{typ: c.typ, card: c.card}
+	out.arr = append([]uint16(nil), c.arr...)
+	out.bits = append([]uint64(nil), c.bits...)
+	out.runs = append([]interval(nil), c.runs...)
+	return out
+}
+
+// add inserts low into the container, converting array→bitset on overflow.
+// Run containers are expanded first (adds after Optimize are rare).
+func (c *container) add(low uint16) {
+	switch c.typ {
+	case typeArray:
+		i := sort.Search(len(c.arr), func(i int) bool { return c.arr[i] >= low })
+		if i < len(c.arr) && c.arr[i] == low {
+			return
+		}
+		if len(c.arr) >= arrayMaxCard {
+			c.toBitmap()
+			c.add(low)
+			return
+		}
+		c.arr = append(c.arr, 0)
+		copy(c.arr[i+1:], c.arr[i:])
+		c.arr[i] = low
+		c.card++
+	case typeBitmap:
+		w, m := low>>6, uint64(1)<<(low&63)
+		if c.bits[w]&m == 0 {
+			c.bits[w] |= m
+			c.card++
+		}
+	case typeRun:
+		if c.runContains(low) {
+			return
+		}
+		c.expandRuns()
+		c.add(low)
+	}
+}
+
+func (c *container) contains(low uint16) bool {
+	switch c.typ {
+	case typeArray:
+		i := sort.Search(len(c.arr), func(i int) bool { return c.arr[i] >= low })
+		return i < len(c.arr) && c.arr[i] == low
+	case typeBitmap:
+		return c.bits[low>>6]&(uint64(1)<<(low&63)) != 0
+	case typeRun:
+		return c.runContains(low)
+	}
+	return false
+}
+
+func (c *container) runContains(low uint16) bool {
+	i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].Last >= low })
+	return i < len(c.runs) && c.runs[i].Start <= low
+}
+
+// iterate visits values ascending; stops early when f returns false,
+// reporting false in that case.
+func (c *container) iterate(f func(low uint16) bool) bool {
+	switch c.typ {
+	case typeArray:
+		for _, v := range c.arr {
+			if !f(v) {
+				return false
+			}
+		}
+	case typeBitmap:
+		for w, word := range c.bits {
+			for word != 0 {
+				t := word & -word
+				if !f(uint16(w<<6 | bits.TrailingZeros64(word))) {
+					return false
+				}
+				word ^= t
+			}
+		}
+	case typeRun:
+		for _, r := range c.runs {
+			for v := int(r.Start); v <= int(r.Last); v++ {
+				if !f(uint16(v)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (c *container) minimum() (uint16, bool) {
+	switch c.typ {
+	case typeArray:
+		if len(c.arr) > 0 {
+			return c.arr[0], true
+		}
+	case typeBitmap:
+		for w, word := range c.bits {
+			if word != 0 {
+				return uint16(w<<6 | bits.TrailingZeros64(word)), true
+			}
+		}
+	case typeRun:
+		if len(c.runs) > 0 {
+			return c.runs[0].Start, true
+		}
+	}
+	return 0, false
+}
+
+func (c *container) maximum() (uint16, bool) {
+	switch c.typ {
+	case typeArray:
+		if len(c.arr) > 0 {
+			return c.arr[len(c.arr)-1], true
+		}
+	case typeBitmap:
+		for w := len(c.bits) - 1; w >= 0; w-- {
+			if word := c.bits[w]; word != 0 {
+				return uint16(w<<6 | (63 - bits.LeadingZeros64(word))), true
+			}
+		}
+	case typeRun:
+		if len(c.runs) > 0 {
+			return c.runs[len(c.runs)-1].Last, true
+		}
+	}
+	return 0, false
+}
+
+// rank counts values <= low.
+func (c *container) rank(low uint16) int64 {
+	switch c.typ {
+	case typeArray:
+		return int64(sort.Search(len(c.arr), func(i int) bool { return c.arr[i] > low }))
+	case typeBitmap:
+		var n int64
+		w := int(low >> 6)
+		for i := 0; i < w; i++ {
+			n += int64(bits.OnesCount64(c.bits[i]))
+		}
+		mask := ^uint64(0) >> (63 - (low & 63))
+		n += int64(bits.OnesCount64(c.bits[w] & mask))
+		return n
+	case typeRun:
+		var n int64
+		for _, r := range c.runs {
+			if r.Start > low {
+				break
+			}
+			if r.Last <= low {
+				n += int64(r.Last-r.Start) + 1
+			} else {
+				n += int64(low-r.Start) + 1
+			}
+		}
+		return n
+	}
+	return 0
+}
+
+// selectAt returns the i-th smallest value (0-based) of the container.
+func (c *container) selectAt(i int) (uint16, bool) {
+	if i < 0 || i >= c.card {
+		return 0, false
+	}
+	switch c.typ {
+	case typeArray:
+		return c.arr[i], true
+	case typeBitmap:
+		for w, word := range c.bits {
+			n := bits.OnesCount64(word)
+			if i < n {
+				for ; word != 0; word &= word - 1 {
+					if i == 0 {
+						return uint16(w<<6 | bits.TrailingZeros64(word)), true
+					}
+					i--
+				}
+			}
+			i -= n
+		}
+	case typeRun:
+		for _, r := range c.runs {
+			n := int(r.Last-r.Start) + 1
+			if i < n {
+				return r.Start + uint16(i), true
+			}
+			i -= n
+		}
+	}
+	return 0, false
+}
+
+// toBitmap converts the container to the bitset layout.
+func (c *container) toBitmap() {
+	bitsArr := make([]uint64, bitmapWords)
+	card := 0
+	c.iterate(func(low uint16) bool {
+		bitsArr[low>>6] |= uint64(1) << (low & 63)
+		card++
+		return true
+	})
+	*c = container{typ: typeBitmap, bits: bitsArr, card: card}
+}
+
+// toArray converts the container to the sorted-array layout. Caller
+// guarantees card <= arrayMaxCard.
+func (c *container) toArray() {
+	arr := make([]uint16, 0, c.card)
+	c.iterate(func(low uint16) bool {
+		arr = append(arr, low)
+		return true
+	})
+	*c = container{typ: typeArray, arr: arr, card: len(arr)}
+}
+
+// expandRuns converts a run container to array or bitset, whichever fits.
+func (c *container) expandRuns() {
+	if c.card > arrayMaxCard {
+		c.toBitmap()
+	} else {
+		c.toArray()
+	}
+}
+
+// shrink trims spare capacity after bulk construction.
+func (c *container) shrink() {
+	if c.typ == typeArray && cap(c.arr) > len(c.arr) {
+		c.arr = append(make([]uint16, 0, len(c.arr)), c.arr...)
+	}
+}
+
+// countRuns returns the number of maximal runs in the container.
+func (c *container) countRuns() int {
+	n := 0
+	prev := -2
+	c.iterate(func(low uint16) bool {
+		if int(low) != prev+1 {
+			n++
+		}
+		prev = int(low)
+		return true
+	})
+	return n
+}
+
+// sizeInBytes estimates the in-memory/serialized payload of the layout.
+func (c *container) sizeInBytes() int {
+	switch c.typ {
+	case typeArray:
+		return 2 * len(c.arr)
+	case typeBitmap:
+		return 8 * bitmapWords
+	case typeRun:
+		return 4 * len(c.runs)
+	}
+	return 0
+}
+
+// runOptimize converts to run encoding when that is strictly smaller than
+// the current layout, and demotes oversized arrays / drained bitsets.
+func (c *container) runOptimize() {
+	if c.card == 0 {
+		return
+	}
+	// Normalize array/bitset choice first.
+	if c.typ == typeBitmap && c.card <= arrayMaxCard {
+		c.toArray()
+	}
+	nRuns := c.countRuns()
+	runBytes := 4 * nRuns
+	if runBytes < c.sizeInBytes() {
+		runs := make([]interval, 0, nRuns)
+		var cur interval
+		started := false
+		c.iterate(func(low uint16) bool {
+			if !started {
+				cur = interval{Start: low, Last: low}
+				started = true
+				return true
+			}
+			if low == cur.Last+1 {
+				cur.Last = low
+				return true
+			}
+			runs = append(runs, cur)
+			cur = interval{Start: low, Last: low}
+			return true
+		})
+		if started {
+			runs = append(runs, cur)
+		}
+		*c = container{typ: typeRun, runs: runs, card: c.card}
+	}
+}
+
+// asBits returns a bitset view of the container, reusing c.bits when the
+// container already is one. The returned slice must not be mutated unless
+// owned is true.
+func (c *container) asBits() (words []uint64, owned bool) {
+	if c.typ == typeBitmap {
+		return c.bits, false
+	}
+	words = make([]uint64, bitmapWords)
+	c.iterate(func(low uint16) bool {
+		words[low>>6] |= uint64(1) << (low & 63)
+		return true
+	})
+	return words, true
+}
+
+// fromBits builds a container from a bitset with known cardinality, choosing
+// the array layout when small. Takes ownership of words.
+func fromBits(words []uint64, card int) *container {
+	c := &container{typ: typeBitmap, bits: words, card: card}
+	if card <= arrayMaxCard {
+		c.toArray()
+	}
+	return c
+}
+
+// trailingZeros is bits.TrailingZeros64, aliased so bitmap.go needs no
+// second math/bits import site.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersectIntervals merge-intersects two sorted disjoint interval lists.
+func intersectIntervals(a, b []interval) []interval {
+	var out []interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i].Start, a[i].Last
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		if b[j].Last < hi {
+			hi = b[j].Last
+		}
+		if lo <= hi {
+			out = append(out, interval{Start: lo, Last: hi})
+		}
+		if a[i].Last < b[j].Last {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// subtractIntervals computes a \ b over sorted disjoint interval lists.
+func subtractIntervals(a, b []interval) []interval {
+	var out []interval
+	j := 0
+	for _, r := range a {
+		lo := int(r.Start)
+		hi := int(r.Last)
+		for j < len(b) && int(b[j].Last) < lo {
+			j++
+		}
+		k := j
+		for k < len(b) && int(b[k].Start) <= hi {
+			if int(b[k].Start) > lo {
+				out = append(out, interval{Start: uint16(lo), Last: b[k].Start - 1})
+			}
+			if int(b[k].Last) >= hi {
+				lo = hi + 1
+				break
+			}
+			lo = int(b[k].Last) + 1
+			k++
+		}
+		if lo <= hi {
+			out = append(out, interval{Start: uint16(lo), Last: uint16(hi)})
+		}
+	}
+	return out
+}
+
+// unionIntervals merge-unions two sorted disjoint interval lists, coalescing
+// touching runs.
+func unionIntervals(a, b []interval) []interval {
+	out := make([]interval, 0, len(a)+len(b))
+	i, j := 0, 0
+	push := func(r interval) {
+		if n := len(out); n > 0 && int(out[n-1].Last)+1 >= int(r.Start) {
+			if r.Last > out[n-1].Last {
+				out[n-1].Last = r.Last
+			}
+			return
+		}
+		out = append(out, r)
+	}
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Start <= b[j].Start) {
+			push(a[i])
+			i++
+		} else {
+			push(b[j])
+			j++
+		}
+	}
+	return out
+}
+
+func intervalsCard(runs []interval) int {
+	n := 0
+	for _, r := range runs {
+		n += int(r.Last-r.Start) + 1
+	}
+	return n
+}
+
+// runContainer wraps an interval list as a normalized container, demoting to
+// array/bitset when run encoding is not the smallest layout.
+func runContainer(runs []interval) *container {
+	c := &container{typ: typeRun, runs: runs, card: intervalsCard(runs)}
+	if len(runs) == 0 {
+		return &container{typ: typeArray}
+	}
+	if 4*len(runs) >= 2*c.card && c.card <= arrayMaxCard {
+		c.toArray()
+	} else if 4*len(runs) >= 8*bitmapWords {
+		c.toBitmap()
+	}
+	return c
+}
+
+// andContainers returns a ∩ b as a fresh container.
+func andContainers(a, b *container) *container {
+	if a.typ == typeRun && b.typ == typeRun {
+		return runContainer(intersectIntervals(a.runs, b.runs))
+	}
+	// Array-vs-anything: probe the other side.
+	if a.typ == typeArray || b.typ == typeArray {
+		small, big := a, b
+		if b.typ == typeArray && (a.typ != typeArray || len(b.arr) < len(a.arr)) {
+			small, big = b, a
+		}
+		out := &container{typ: typeArray}
+		for _, v := range small.arr {
+			if big.contains(v) {
+				out.arr = append(out.arr, v)
+			}
+		}
+		out.card = len(out.arr)
+		return out
+	}
+	aw, _ := a.asBits()
+	bw, _ := b.asBits()
+	words := make([]uint64, bitmapWords)
+	for i := range words {
+		words[i] = aw[i] & bw[i]
+	}
+	return fromBits(words, popcount(words))
+}
+
+// andCardContainers returns |a ∩ b| without building the result.
+func andCardContainers(a, b *container) int64 {
+	if a.typ == typeRun && b.typ == typeRun {
+		return int64(intervalsCard(intersectIntervals(a.runs, b.runs)))
+	}
+	if a.typ == typeArray || b.typ == typeArray {
+		small, big := a, b
+		if b.typ == typeArray && (a.typ != typeArray || len(b.arr) < len(a.arr)) {
+			small, big = b, a
+		}
+		var n int64
+		for _, v := range small.arr {
+			if big.contains(v) {
+				n++
+			}
+		}
+		return n
+	}
+	aw, _ := a.asBits()
+	bw, _ := b.asBits()
+	var n int64
+	for i := range aw {
+		n += int64(bits.OnesCount64(aw[i] & bw[i]))
+	}
+	return n
+}
+
+// orContainers returns a ∪ b as a fresh container.
+func orContainers(a, b *container) *container {
+	if a.typ == typeRun && b.typ == typeRun {
+		return runContainer(unionIntervals(a.runs, b.runs))
+	}
+	if a.typ == typeArray && b.typ == typeArray && a.card+b.card <= arrayMaxCard {
+		out := &container{typ: typeArray, arr: make([]uint16, 0, a.card+b.card)}
+		i, j := 0, 0
+		for i < len(a.arr) || j < len(b.arr) {
+			switch {
+			case j >= len(b.arr) || (i < len(a.arr) && a.arr[i] < b.arr[j]):
+				out.arr = append(out.arr, a.arr[i])
+				i++
+			case i >= len(a.arr) || b.arr[j] < a.arr[i]:
+				out.arr = append(out.arr, b.arr[j])
+				j++
+			default:
+				out.arr = append(out.arr, a.arr[i])
+				i++
+				j++
+			}
+		}
+		out.card = len(out.arr)
+		return out
+	}
+	aw, _ := a.asBits()
+	bw, _ := b.asBits()
+	words := make([]uint64, bitmapWords)
+	for i := range words {
+		words[i] = aw[i] | bw[i]
+	}
+	return fromBits(words, popcount(words))
+}
+
+// andNotContainers returns a \ b as a fresh container.
+func andNotContainers(a, b *container) *container {
+	if a.typ == typeRun && b.typ == typeRun {
+		return runContainer(subtractIntervals(a.runs, b.runs))
+	}
+	if a.typ == typeArray {
+		out := &container{typ: typeArray}
+		for _, v := range a.arr {
+			if !b.contains(v) {
+				out.arr = append(out.arr, v)
+			}
+		}
+		out.card = len(out.arr)
+		return out
+	}
+	aw, _ := a.asBits()
+	bw, _ := b.asBits()
+	words := make([]uint64, bitmapWords)
+	for i := range words {
+		words[i] = aw[i] &^ bw[i]
+	}
+	return fromBits(words, popcount(words))
+}

@@ -1,0 +1,186 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization. The format is little-endian and self-describing:
+//
+//	magic   [4]byte  "ORBM"
+//	version uint8    (1)
+//	nChunks uint32
+//	per chunk:
+//	  key  uint64    (value >> 16)
+//	  typ  uint8     (0 array, 1 bitset, 2 run)
+//	  n    uint32    (array: cardinality; bitset: cardinality; run: #runs)
+//	  payload:
+//	    array:  n × uint16
+//	    bitset: 1024 × uint64
+//	    run:    n × (uint16 start, uint16 last)
+//
+// The same bytes back GobEncode/GobDecode, so engine rows holding bitmap
+// values persist through the database's gob snapshots unchanged.
+
+var magic = [4]byte{'O', 'R', 'B', 'M'}
+
+const formatVersion = 1
+
+// SerializedSizeBytes returns the exact size MarshalBinary would produce.
+func (b *Bitmap) SerializedSizeBytes() int64 {
+	if b == nil {
+		return int64(len(magic)) + 1 + 4
+	}
+	n := int64(len(magic)) + 1 + 4
+	for _, c := range b.cts {
+		n += 8 + 1 + 4 + int64(c.sizeInBytes())
+	}
+	return n
+}
+
+// MarshalBinary serializes the bitmap.
+func (b *Bitmap) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, b.SerializedSizeBytes())
+	out = append(out, magic[:]...)
+	out = append(out, formatVersion)
+	var n int
+	if b != nil {
+		n = len(b.cts)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	if b == nil {
+		return out, nil
+	}
+	for i, c := range b.cts {
+		out = binary.LittleEndian.AppendUint64(out, b.keys[i])
+		out = append(out, c.typ)
+		switch c.typ {
+		case typeArray:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(c.arr)))
+			for _, v := range c.arr {
+				out = binary.LittleEndian.AppendUint16(out, v)
+			}
+		case typeBitmap:
+			out = binary.LittleEndian.AppendUint32(out, uint32(c.card))
+			for _, w := range c.bits {
+				out = binary.LittleEndian.AppendUint64(out, w)
+			}
+		case typeRun:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(c.runs)))
+			for _, r := range c.runs {
+				out = binary.LittleEndian.AppendUint16(out, r.Start)
+				out = binary.LittleEndian.AppendUint16(out, r.Last)
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a bitmap serialized by MarshalBinary.
+func (b *Bitmap) UnmarshalBinary(data []byte) error {
+	if len(data) < len(magic)+1+4 {
+		return fmt.Errorf("bitmap: truncated header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return fmt.Errorf("bitmap: bad magic %q", data[:4])
+	}
+	if v := data[4]; v != formatVersion {
+		return fmt.Errorf("bitmap: unsupported format version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(data[5:])
+	pos := 9
+	// Preallocate from the untrusted count only up to what the payload could
+	// possibly hold (13 bytes minimum per chunk).
+	capHint := int(n)
+	if max := (len(data) - pos) / 13; capHint > max {
+		capHint = max
+	}
+	b.keys = make([]uint64, 0, capHint)
+	b.cts = make([]*container, 0, capHint)
+	need := func(k int) error {
+		if pos+k > len(data) {
+			return fmt.Errorf("bitmap: truncated at byte %d (need %d of %d)", pos, k, len(data))
+		}
+		return nil
+	}
+	var prevKey uint64
+	for i := uint32(0); i < n; i++ {
+		if err := need(8 + 1 + 4); err != nil {
+			return err
+		}
+		key := binary.LittleEndian.Uint64(data[pos:])
+		typ := data[pos+8]
+		cnt := int(binary.LittleEndian.Uint32(data[pos+9:]))
+		pos += 13
+		if i > 0 && key <= prevKey {
+			return fmt.Errorf("bitmap: chunk keys out of order at %d", key)
+		}
+		prevKey = key
+		c := &container{typ: typ}
+		switch typ {
+		case typeArray:
+			if err := need(2 * cnt); err != nil {
+				return err
+			}
+			c.arr = make([]uint16, cnt)
+			for j := 0; j < cnt; j++ {
+				c.arr[j] = binary.LittleEndian.Uint16(data[pos+2*j:])
+			}
+			pos += 2 * cnt
+			c.card = cnt
+		case typeBitmap:
+			if err := need(8 * bitmapWords); err != nil {
+				return err
+			}
+			c.bits = make([]uint64, bitmapWords)
+			for j := 0; j < bitmapWords; j++ {
+				c.bits[j] = binary.LittleEndian.Uint64(data[pos+8*j:])
+			}
+			pos += 8 * bitmapWords
+			c.card = cnt
+			if got := popcount(c.bits); got != cnt {
+				return fmt.Errorf("bitmap: bitset cardinality mismatch: header %d, bits %d", cnt, got)
+			}
+		case typeRun:
+			if err := need(4 * cnt); err != nil {
+				return err
+			}
+			c.runs = make([]interval, cnt)
+			card := 0
+			for j := 0; j < cnt; j++ {
+				r := interval{
+					Start: binary.LittleEndian.Uint16(data[pos+4*j:]),
+					Last:  binary.LittleEndian.Uint16(data[pos+4*j+2:]),
+				}
+				if r.Last < r.Start {
+					return fmt.Errorf("bitmap: inverted run [%d,%d]", r.Start, r.Last)
+				}
+				c.runs[j] = r
+				card += int(r.Last-r.Start) + 1
+			}
+			pos += 4 * cnt
+			c.card = card
+		default:
+			return fmt.Errorf("bitmap: unknown container type %d", typ)
+		}
+		b.keys = append(b.keys, key)
+		b.cts = append(b.cts, c)
+	}
+	return nil
+}
+
+// FromBytes deserializes a bitmap.
+func FromBytes(data []byte) (*Bitmap, error) {
+	b := New()
+	if err := b.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// GobEncode implements gob.GobEncoder so bitmap values survive the engine's
+// snapshot persistence.
+func (b *Bitmap) GobEncode() ([]byte, error) { return b.MarshalBinary() }
+
+// GobDecode implements gob.GobDecoder.
+func (b *Bitmap) GobDecode(data []byte) error { return b.UnmarshalBinary(data) }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// rewriteMembershipAsArrays converts every membership cell of table name
+// back to the pre-bitmap int[] representation, simulating a snapshot written
+// before the bitmap refactor.
+func rewriteMembershipAsArrays(t *testing.T, db *engine.DB, name string, col int) {
+	t.Helper()
+	tab := db.Table(name)
+	if tab == nil {
+		t.Fatalf("no table %s", name)
+	}
+	type upd struct {
+		id  engine.RowID
+		row engine.Row
+	}
+	var updates []upd
+	tab.Scan(func(id engine.RowID, row engine.Row) bool {
+		if row[col].K == engine.KindBitmap {
+			nr := engine.CloneRow(row)
+			nr[col] = engine.ArrayValue(row[col].B.ToSlice())
+			updates = append(updates, upd{id, nr})
+		}
+		return true
+	})
+	for _, u := range updates {
+		if err := tab.Update(u.id, u.row); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPreBitmapSnapshotCompat verifies that stores written before the bitmap
+// membership representation (rlists/vlists as int[]) keep reading and
+// committing correctly: every read site widens arrays to bitmaps.
+func TestPreBitmapSnapshotCompat(t *testing.T) {
+	t.Run("split-by-rlist", func(t *testing.T) {
+		db := engine.NewDB()
+		c, err := Init(db, "d", protCols(), InitOptions{Model: SplitByRlistModel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := c.Commit([]engine.Row{
+			protRow("A", "B", 1, 2, 3),
+			protRow("C", "D", 4, 5, 6),
+		}, nil, "root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewriteMembershipAsArrays(t, db, "d_rl_version", 1)
+		rewriteMembershipAsArrays(t, db, "d__rlists", 1)
+
+		re, err := Open(db, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := re.Checkout(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("checkout after array rewrite: %d rows, want 2", len(rows))
+		}
+		// The model-level reader (used by SQL translation) must widen too.
+		m := re.Model().(*splitByRlist)
+		rl, err := m.Rlist(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rl) != 2 {
+			t.Fatalf("model Rlist after array rewrite: %v", rl)
+		}
+	})
+
+	t.Run("split-by-vlist", func(t *testing.T) {
+		db := engine.NewDB()
+		c, err := Init(db, "d", protCols(), InitOptions{Model: SplitByVlistModel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := c.Commit([]engine.Row{
+			protRow("A", "B", 1, 2, 3),
+			protRow("C", "D", 4, 5, 6),
+		}, nil, "root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewriteMembershipAsArrays(t, db, "d_vl_version", 1)
+		rewriteMembershipAsArrays(t, db, "d__rlists", 1)
+
+		re, err := Open(db, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Committing on top of the legacy vlists must preserve the old
+		// membership, not clobber it.
+		v2, err := re.Commit([]engine.Row{
+			protRow("A", "B", 1, 2, 3),
+			protRow("E", "F", 7, 8, 9),
+		}, []vgraph.VersionID{v1}, "child")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := re.Checkout(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("v1 checkout after legacy commit: %d rows, want 2", len(rows))
+		}
+		rows, err = re.Checkout(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("v2 checkout: %d rows, want 2", len(rows))
+		}
+	})
+
+	t.Run("partitioned-rlist", func(t *testing.T) {
+		db := engine.NewDB()
+		c, err := Init(db, "d", protCols(), InitOptions{Model: PartitionedRlistModel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := c.Commit([]engine.Row{
+			protRow("A", "B", 1, 2, 3),
+			protRow("C", "D", 4, 5, 6),
+		}, nil, "root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewriteMembershipAsArrays(t, db, "d_part0_version", 1)
+		rewriteMembershipAsArrays(t, db, "d__rlists", 1)
+
+		re, err := Open(db, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := re.Checkout(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("partitioned checkout after array rewrite: %d rows, want 2", len(rows))
+		}
+	})
+}

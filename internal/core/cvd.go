@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -229,7 +230,7 @@ func Open(db *engine.DB, name string) (*CVD, error) {
 func (c *CVD) reloadModelState() error {
 	switch m := c.model.(type) {
 	case *deltaModel:
-		m.rlists = make(map[vgraph.VersionID][]vgraph.RecordID, len(c.vm.rlists))
+		m.rlists = make(map[vgraph.VersionID]*bitmap.Bitmap, len(c.vm.rlists))
 		m.deltaCols = append(dataColumns(c.cols), engine.Column{Name: "tombstone", Type: engine.KindBool})
 		for v, rl := range c.vm.rlists {
 			m.rlists[v] = rl
@@ -272,8 +273,12 @@ func (c *CVD) LatestVersion() vgraph.VersionID {
 // Info returns a version's metadata.
 func (c *CVD) Info(v vgraph.VersionID) (*VersionInfo, error) { return c.vm.info(v) }
 
-// Rlist returns the record ids of a version.
+// Rlist returns the record ids of a version as a fresh slice.
 func (c *CVD) Rlist(v vgraph.VersionID) ([]vgraph.RecordID, error) { return c.vm.rlist(v) }
+
+// RlistSet returns the version's membership bitmap. The bitmap is shared and
+// must not be mutated.
+func (c *CVD) RlistSet(v vgraph.VersionID) (*bitmap.Bitmap, error) { return c.vm.rlistSet(v) }
 
 // VersionGraph builds the CVD's version graph.
 func (c *CVD) VersionGraph() (*vgraph.Graph, error) { return c.vm.graph() }
@@ -307,6 +312,32 @@ func (c *CVD) Descendants(v vgraph.VersionID) ([]vgraph.VersionID, error) {
 
 // StorageBytes reports the model-owned storage (Figure 3a's metric).
 func (c *CVD) StorageBytes() int64 { return c.model.StorageBytes() }
+
+// StorageBreakdown splits the model-owned storage into membership bytes
+// (compressed rlist/vlist bitmaps and their tables) and data bytes, plus the
+// middleware's own rlist table. Models without a separate membership
+// structure report zero membership.
+type StorageBreakdown struct {
+	TotalBytes      int64 `json:"totalBytes"`
+	DataBytes       int64 `json:"dataBytes"`
+	MembershipBytes int64 `json:"membershipBytes"`
+	// SystemMembershipBytes is the middleware rlist table (kept for every
+	// model), reported separately from the model's own membership storage.
+	SystemMembershipBytes int64 `json:"systemMembershipBytes"`
+}
+
+// StorageBreakdown reports where the CVD's bytes live.
+func (c *CVD) StorageBreakdown() StorageBreakdown {
+	out := StorageBreakdown{TotalBytes: c.model.StorageBytes()}
+	if ms, ok := c.model.(membershipSized); ok {
+		out.MembershipBytes = ms.MembershipBytes()
+	}
+	out.DataBytes = out.TotalBytes - out.MembershipBytes
+	if t := c.db.Table(c.vm.rlistsName()); t != nil {
+		out.SystemMembershipBytes = t.SizeBytes()
+	}
+	return out
+}
 
 // pkPositions resolves the primary-key attribute positions in the current
 // schema.
@@ -359,21 +390,22 @@ func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string
 		}
 	}
 
-	// Match rows against parent records by content hash.
-	var parentRids []vgraph.RecordID
-	seenRid := make(map[vgraph.RecordID]bool)
+	// Match rows against parent records by content hash. The candidate set
+	// is the bitmap union of the parents' rlists (duplicates across parents
+	// collapse for free).
+	parentSet := bitmap.New()
 	for _, p := range parents {
-		rl, err := c.vm.rlist(p)
+		set, err := c.vm.rlistSet(p)
 		if err != nil {
 			return 0, err
 		}
-		for _, rid := range rl {
-			if !seenRid[rid] {
-				seenRid[rid] = true
-				parentRids = append(parentRids, rid)
-			}
-		}
+		parentSet.OrInPlace(set)
 	}
+	parentRids := make([]vgraph.RecordID, 0, parentSet.Cardinality())
+	parentSet.Iterate(func(r int64) bool {
+		parentRids = append(parentRids, vgraph.RecordID(r))
+		return true
+	})
 	parentIndex := c.rm.hashIndex(parentRids)
 
 	all := make([]Record, 0, len(rows))
@@ -465,43 +497,150 @@ func (c *CVD) Checkout(vids ...vgraph.VersionID) ([]engine.Row, error) {
 }
 
 // Diff returns the records present in a but not b, and in b but not a — the
-// standard differencing operation of Section 2.2.
+// standard differencing operation of Section 2.2. The two sides are bitmap
+// differences of the versions' rlists, so only the |result| records are
+// fetched from the data tables; neither version is materialized in full on
+// models exposing record fetch.
 func (c *CVD) Diff(a, b vgraph.VersionID) (onlyA, onlyB []engine.Row, err error) {
-	ra, err := c.vm.rlist(a)
+	sa, err := c.vm.rlistSet(a)
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, err := c.vm.rlist(b)
+	sb, err := c.vm.rlistSet(b)
 	if err != nil {
 		return nil, nil, err
 	}
-	inB := make(map[vgraph.RecordID]bool, len(rb))
-	for _, r := range rb {
-		inB[r] = true
-	}
-	inA := make(map[vgraph.RecordID]bool, len(ra))
-	for _, r := range ra {
-		inA[r] = true
-	}
-	recsA, err := c.model.Checkout(a)
+	onlyA, err = c.fetchRows(bitmap.AndNot(sa, sb), a)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, rec := range recsA {
-		if !inB[rec.RID] {
-			onlyA = append(onlyA, rec.Data)
-		}
-	}
-	recsB, err := c.model.Checkout(b)
+	onlyB, err = c.fetchRows(bitmap.AndNot(sb, sa), b)
 	if err != nil {
 		return nil, nil, err
-	}
-	for _, rec := range recsB {
-		if !inA[rec.RID] {
-			onlyB = append(onlyB, rec.Data)
-		}
 	}
 	return onlyA, onlyB, nil
+}
+
+// SetOp is a record-membership set operator applied between versions.
+type SetOp uint8
+
+// The membership operators of multi-version scans.
+const (
+	SetOpUnion SetOp = iota
+	SetOpIntersect
+	SetOpExcept
+)
+
+// ParseSetOp maps the SQL keywords UNION/INTERSECT/EXCEPT onto SetOps.
+func ParseSetOp(kw string) (SetOp, error) {
+	switch kw {
+	case "UNION", "union":
+		return SetOpUnion, nil
+	case "INTERSECT", "intersect":
+		return SetOpIntersect, nil
+	case "EXCEPT", "except":
+		return SetOpExcept, nil
+	}
+	return 0, fmt.Errorf("core: unknown set operator %q", kw)
+}
+
+// MembershipSet evaluates a left-associative chain of record-set operations
+// over version rlists: vids[0] op[0] vids[1] op[1] ... — pure bitmap algebra
+// that never touches the data tables. len(ops) must be len(vids)-1.
+func (c *CVD) MembershipSet(vids []vgraph.VersionID, ops []SetOp) (*bitmap.Bitmap, error) {
+	if len(vids) == 0 {
+		return nil, fmt.Errorf("core: %s: membership set needs at least one version", c.name)
+	}
+	if len(ops) != len(vids)-1 {
+		return nil, fmt.Errorf("core: %s: %d versions need %d operators, have %d",
+			c.name, len(vids), len(vids)-1, len(ops))
+	}
+	acc, err := c.vm.rlistSet(vids[0])
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		next, err := c.vm.rlistSet(vids[i+1])
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case SetOpUnion:
+			acc = bitmap.Or(acc, next)
+		case SetOpIntersect:
+			acc = bitmap.And(acc, next)
+		case SetOpExcept:
+			acc = bitmap.AndNot(acc, next)
+		default:
+			return nil, fmt.Errorf("core: %s: unknown set operator %d", c.name, op)
+		}
+	}
+	return acc, nil
+}
+
+// MultiVersionCheckout materializes the record set produced by a chain of
+// version set operations (`VERSION v1 INTERSECT v2 ...` scans): membership
+// is resolved with bitmap algebra first, and only the result records touch
+// the data tables. The result is record-id algebra — no primary-key
+// precedence is applied, since each record appears once.
+func (c *CVD) MultiVersionCheckout(vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+	for _, v := range vids {
+		if _, err := c.vm.info(v); err != nil {
+			return nil, err
+		}
+	}
+	set, err := c.MembershipSet(vids, ops)
+	if err != nil {
+		return nil, err
+	}
+	return c.fetchRows(set, vids...)
+}
+
+// fetchRows materializes the data rows of a membership set. Models exposing
+// record fetch are driven directly; otherwise the hint versions (then every
+// version) are checked out and filtered, subtracting covered records so each
+// version is visited at most once.
+func (c *CVD) fetchRows(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]engine.Row, error) {
+	if set.IsEmpty() {
+		return nil, nil
+	}
+	if f, ok := c.model.(recordFetcher); ok {
+		recs, err := f.FetchRecords(set.ToSlice())
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]engine.Row, len(recs))
+		for i, r := range recs {
+			rows[i] = r.Data
+		}
+		return rows, nil
+	}
+	remaining := set
+	var rows []engine.Row
+	for _, v := range append(append([]vgraph.VersionID(nil), hints...), c.vm.order...) {
+		if remaining.IsEmpty() {
+			break
+		}
+		vset, err := c.vm.rlistSet(v)
+		if err != nil || !remaining.Intersects(vset) {
+			continue
+		}
+		recs, err := c.model.Checkout(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			if remaining.Contains(int64(rec.RID)) {
+				rows = append(rows, rec.Data)
+			}
+		}
+		remaining = bitmap.AndNot(remaining, vset)
+	}
+	if !remaining.IsEmpty() {
+		mn, _ := remaining.Min()
+		return nil, fmt.Errorf("core: %s: record %d not reachable from any version", c.name, mn)
+	}
+	return rows, nil
 }
 
 // Drop removes the CVD: model tables, system tables, and the catalog entry.

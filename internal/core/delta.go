@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -20,7 +21,8 @@ type deltaModel struct {
 	deltaCols []engine.Column
 	// rlists lets commit pick the parent sharing the most records as the
 	// base (the paper's multi-parent rule) without reconstructing parents.
-	rlists map[vgraph.VersionID][]vgraph.RecordID
+	// Membership is compared with bitmap intersections.
+	rlists map[vgraph.VersionID]*bitmap.Bitmap
 }
 
 func (m *deltaModel) Kind() ModelKind { return DeltaModel }
@@ -31,7 +33,7 @@ func (m *deltaModel) deltaName(vid vgraph.VersionID) string {
 func (m *deltaModel) precedentName() string { return m.cvd + "_delta_precedent" }
 
 func (m *deltaModel) Init(cols []engine.Column) error {
-	m.rlists = make(map[vgraph.VersionID][]vgraph.RecordID)
+	m.rlists = make(map[vgraph.VersionID]*bitmap.Bitmap)
 	pt, err := m.db.CreateTable(m.precedentName(), []engine.Column{
 		{Name: "vid", Type: engine.KindInt},
 		{Name: "base", Type: engine.KindInt},
@@ -49,26 +51,16 @@ func (m *deltaModel) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, al
 	if err != nil {
 		return err
 	}
-	rids := make([]vgraph.RecordID, len(all))
-	inVersion := make(map[vgraph.RecordID]bool, len(all))
-	for i, r := range all {
-		rids[i] = r.RID
-		inVersion[r.RID] = true
-	}
+	ridSet := bitmap.FromSlice(ridsOf(all))
 
 	// Base = the parent sharing the most records with the new version
 	// (storing deltas against multiple parents would complicate
-	// reconstruction; the paper opts for the single-base solution).
+	// reconstruction; the paper opts for the single-base solution). The
+	// overlap is a bitmap intersection cardinality per parent.
 	base := vgraph.VersionID(0)
 	var bestCommon int64 = -1
 	for _, p := range parents {
-		var common int64
-		for _, r := range m.rlists[p] {
-			if inVersion[r] {
-				common++
-			}
-		}
-		if common > bestCommon {
+		if common := m.rlists[p].AndCardinality(ridSet); common > bestCommon {
 			base, bestCommon = p, common
 		}
 	}
@@ -77,17 +69,10 @@ func (m *deltaModel) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, al
 	if err != nil {
 		return err
 	}
-	baseSet := make(map[vgraph.RecordID]bool, len(m.rlists[base]))
-	for _, r := range m.rlists[base] {
-		baseSet[r] = true
-	}
-	freshRows := make(map[vgraph.RecordID]engine.Row, len(fresh))
-	for _, r := range fresh {
-		freshRows[r.RID] = r.Data
-	}
+	baseSet := m.rlists[base]
 	// Inserts: records in the version but not in the base.
 	for _, r := range all {
-		if baseSet[r.RID] {
+		if baseSet.Contains(int64(r.RID)) {
 			continue
 		}
 		row := rowWithRID(r)
@@ -96,27 +81,30 @@ func (m *deltaModel) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, al
 			return err
 		}
 	}
-	// Deletes: records in the base but not in the version, tombstoned with
-	// only the rid populated.
-	for _, r := range m.rlists[base] {
-		if inVersion[r] {
-			continue
-		}
+	// Deletes: records in the base but not in the version (base \ version,
+	// a bitmap difference), tombstoned with only the rid populated.
+	var insertErr error
+	bitmap.AndNot(baseSet, ridSet).Iterate(func(r int64) bool {
 		row := make(engine.Row, len(m.deltaCols))
-		row[0] = engine.IntValue(int64(r))
+		row[0] = engine.IntValue(r)
 		for i := 1; i < len(row)-1; i++ {
 			row[i] = engine.NullValue()
 		}
 		row[len(row)-1] = engine.BoolValue(true)
 		if _, err := dt.Insert(row); err != nil {
-			return err
+			insertErr = err
+			return false
 		}
+		return true
+	})
+	if insertErr != nil {
+		return insertErr
 	}
 	_, err = pt.Insert(engine.Row{engine.IntValue(int64(vid)), engine.IntValue(int64(base))})
 	if err != nil {
 		return err
 	}
-	m.rlists[vid] = rids
+	m.rlists[vid] = ridSet
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -24,14 +25,17 @@ type VersionInfo struct {
 
 // versionManager is in charge of recording and retrieving versioning
 // information: the metadata table and the version-membership (rlist) table,
-// plus an in-memory mirror used to build graphs quickly.
+// plus an in-memory mirror used to build graphs quickly. Membership is held
+// as compressed bitmaps — the same objects stored in the rlist table rows —
+// and treated as immutable once committed, so set algebra (diff, multi-
+// version scans, graph weights) shares them freely without copying.
 type versionManager struct {
 	db  *engine.DB
 	cvd string
 
 	infos  map[vgraph.VersionID]*VersionInfo
 	order  []vgraph.VersionID
-	rlists map[vgraph.VersionID][]vgraph.RecordID
+	rlists map[vgraph.VersionID]*bitmap.Bitmap
 	nextV  vgraph.VersionID
 }
 
@@ -43,7 +47,7 @@ func newVersionManager(db *engine.DB, cvd string) *versionManager {
 		db:     db,
 		cvd:    cvd,
 		infos:  make(map[vgraph.VersionID]*VersionInfo),
-		rlists: make(map[vgraph.VersionID][]vgraph.RecordID),
+		rlists: make(map[vgraph.VersionID]*bitmap.Bitmap),
 		nextV:  1,
 	}
 }
@@ -66,7 +70,7 @@ func (vm *versionManager) init() error {
 	}
 	rt, err := vm.db.CreateTable(vm.rlistsName(), []engine.Column{
 		{Name: "vid", Type: engine.KindInt},
-		{Name: "rlist", Type: engine.KindIntArray},
+		{Name: "rlist", Type: engine.KindBitmap},
 	})
 	if err != nil {
 		return err
@@ -114,11 +118,13 @@ func (vm *versionManager) load() error {
 		}
 	}
 	rt.Scan(func(_ engine.RowID, row engine.Row) bool {
-		rl := make([]vgraph.RecordID, len(row[1].A))
-		for i, r := range row[1].A {
-			rl[i] = vgraph.RecordID(r)
+		set := row[1].B
+		if set == nil {
+			// Snapshots written before the bitmap representation stored
+			// rlists as int arrays; widen on load.
+			set = bitmap.FromSlice(row[1].A)
 		}
-		vm.rlists[vgraph.VersionID(row[0].I)] = rl
+		vm.rlists[vgraph.VersionID(row[0].I)] = set
 		return true
 	})
 	return nil
@@ -157,19 +163,20 @@ func (vm *versionManager) add(info *VersionInfo, rlist []vgraph.RecordID) error 
 	if err != nil {
 		return err
 	}
-	rl := make([]int64, len(rlist))
-	for i, r := range rlist {
-		rl[i] = int64(r)
+	set := bitmap.New()
+	for _, r := range rlist {
+		set.Add(int64(r))
 	}
+	set.Optimize()
 	if _, err := rt.Insert(engine.Row{
 		engine.IntValue(int64(info.ID)),
-		engine.ArrayValue(rl),
+		engine.BitmapValue(set),
 	}); err != nil {
 		return err
 	}
 	vm.infos[info.ID] = info
 	vm.order = append(vm.order, info.ID)
-	vm.rlists[info.ID] = append([]vgraph.RecordID(nil), rlist...)
+	vm.rlists[info.ID] = set
 	return nil
 }
 
@@ -180,18 +187,36 @@ func (vm *versionManager) info(v vgraph.VersionID) (*VersionInfo, error) {
 	return nil, fmt.Errorf("core: %s: no version %d", vm.cvd, v)
 }
 
+// rlist materializes the record ids of a version as a fresh slice (callers
+// may mutate it freely).
 func (vm *versionManager) rlist(v vgraph.VersionID) ([]vgraph.RecordID, error) {
-	if rl, ok := vm.rlists[v]; ok {
-		return rl, nil
+	set, err := vm.rlistSet(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vgraph.RecordID, 0, set.Cardinality())
+	set.Iterate(func(r int64) bool {
+		out = append(out, vgraph.RecordID(r))
+		return true
+	})
+	return out, nil
+}
+
+// rlistSet returns the version's membership bitmap. The bitmap is shared and
+// must not be mutated.
+func (vm *versionManager) rlistSet(v vgraph.VersionID) (*bitmap.Bitmap, error) {
+	if set, ok := vm.rlists[v]; ok {
+		return set, nil
 	}
 	return nil, fmt.Errorf("core: %s: no version %d", vm.cvd, v)
 }
 
-// bipartite builds the version-record bipartite graph of the CVD.
+// bipartite builds the version-record bipartite graph of the CVD, sharing
+// the immutable membership bitmaps.
 func (vm *versionManager) bipartite() *vgraph.Bipartite {
 	b := vgraph.NewBipartite()
 	for _, v := range vm.order {
-		b.AddVersion(v, append([]vgraph.RecordID(nil), vm.rlists[v]...))
+		b.AddVersionSet(v, vm.rlists[v])
 	}
 	return b
 }

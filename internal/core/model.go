@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -65,6 +66,35 @@ type DataModel interface {
 
 	// Drop removes all model-owned tables.
 	Drop() error
+}
+
+// membershipValue views a stored membership cell as a bitmap, widening the
+// int-array payloads written by pre-bitmap snapshots so old stores keep
+// reading correctly (the same fallback versionManager.load applies).
+func membershipValue(v engine.Value) *bitmap.Bitmap {
+	if v.B != nil {
+		return v.B
+	}
+	if v.K == engine.KindIntArray || v.A != nil {
+		return bitmap.FromSlice(v.A)
+	}
+	return bitmap.New()
+}
+
+// recordFetcher is an optional DataModel capability: materialize specific
+// records by id without checking out any version. Models backed by a shared
+// data table implement it with the same rid join checkout uses; the CVD's
+// set-algebra operations (diff, multi-version scans) push membership bitmaps
+// down to it so only result records touch the data table.
+type recordFetcher interface {
+	FetchRecords(rids []int64) ([]Record, error)
+}
+
+// membershipSized is an optional DataModel capability: report how many bytes
+// of the model's storage hold version membership (rlists/vlists) as opposed
+// to record data. Backs the storage-breakdown endpoint.
+type membershipSized interface {
+	MembershipBytes() int64
 }
 
 // NewDataModel constructs the given model kind over db for the named CVD.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/partition"
 	"orpheusdb/internal/vgraph"
@@ -90,8 +91,8 @@ func (c *CVD) Optimize(gammaFactor float64, naive bool) (*OptimizeResult, error)
 func (m *partitionedRlist) reload(cols []engine.Column) error {
 	m.cols = dataColumns(cols)
 	m.partOf = make(map[vgraph.VersionID]int)
-	m.rlists = make(map[vgraph.VersionID][]int64)
-	m.partRecs = make(map[int]map[int64]bool)
+	m.rlists = make(map[vgraph.VersionID]*bitmap.Bitmap)
+	m.partRecs = make(map[int]*bitmap.Bitmap)
 	m.partIDs = nil
 	mt, err := m.db.MustTable(m.mapName())
 	if err != nil {
@@ -114,23 +115,29 @@ func (m *partitionedRlist) reload(cols []engine.Column) error {
 		if p >= m.nextPart {
 			m.nextPart = p + 1
 		}
-		recs := make(map[int64]bool)
+		recs := bitmap.New()
 		dt, err := m.db.MustTable(m.dataName(p))
 		if err != nil {
 			return err
 		}
 		dt.Scan(func(_ engine.RowID, row engine.Row) bool {
-			recs[row[0].I] = true
+			recs.Add(row[0].I)
 			return true
 		})
+		recs.Optimize()
 		m.partRecs[p] = recs
-		m.storageRecs += int64(len(recs))
+		m.storageRecs += recs.Cardinality()
 		vt, err := m.db.MustTable(m.versionName(p))
 		if err != nil {
 			return err
 		}
 		vt.Scan(func(_ engine.RowID, row engine.Row) bool {
-			m.rlists[vgraph.VersionID(row[0].I)] = append([]int64(nil), row[1].A...)
+			set := row[1].B
+			if set == nil {
+				// Pre-bitmap snapshot compatibility.
+				set = bitmap.FromSlice(row[1].A)
+			}
+			m.rlists[vgraph.VersionID(row[0].I)] = set
 			return true
 		})
 	}

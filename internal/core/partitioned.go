@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/partition"
 	"orpheusdb/internal/vgraph"
@@ -17,6 +18,11 @@ const PartitionedRlistModel ModelKind = "partitioned-rlist"
 
 // partitionedRlist stores one (data, versioning) table pair per partition,
 // a version→partition map, and online-maintenance parameters (δ*, γ).
+// Version membership (rlists) and per-partition record coverage (partRecs)
+// are compressed bitmaps: placement overlaps, migration deltas, and
+// partition coverage are all bitmap algebra. rlists entries are immutable
+// once stored; partRecs bitmaps are private to the model and mutated in
+// place.
 type partitionedRlist struct {
 	db   *engine.DB
 	cvd  string
@@ -25,8 +31,8 @@ type partitionedRlist struct {
 	partOf   map[vgraph.VersionID]int
 	partIDs  []int // live physical partition ids
 	nextPart int
-	rlists   map[vgraph.VersionID][]int64
-	partRecs map[int]map[int64]bool
+	rlists   map[vgraph.VersionID]*bitmap.Bitmap
+	partRecs map[int]*bitmap.Bitmap
 
 	// deltaStar and gammaRecords implement the online placement rule: a new
 	// version opens its own partition when it shares at most δ*·|R| records
@@ -51,8 +57,8 @@ func (m *partitionedRlist) mapName() string { return m.cvd + "__partmap" }
 func (m *partitionedRlist) Init(cols []engine.Column) error {
 	m.cols = dataColumns(cols)
 	m.partOf = make(map[vgraph.VersionID]int)
-	m.rlists = make(map[vgraph.VersionID][]int64)
-	m.partRecs = make(map[int]map[int64]bool)
+	m.rlists = make(map[vgraph.VersionID]*bitmap.Bitmap)
+	m.partRecs = make(map[int]*bitmap.Bitmap)
 	t, err := m.db.CreateTable(m.mapName(), []engine.Column{
 		{Name: "vid", Type: engine.KindInt},
 		{Name: "pid", Type: engine.KindInt},
@@ -80,7 +86,7 @@ func (m *partitionedRlist) createPartition() (int, error) {
 	}
 	vt, err := m.db.CreateTable(m.versionName(p), []engine.Column{
 		{Name: "vid", Type: engine.KindInt},
-		{Name: "rlist", Type: engine.KindIntArray},
+		{Name: "rlist", Type: engine.KindBitmap},
 	})
 	if err != nil {
 		return 0, err
@@ -89,7 +95,7 @@ func (m *partitionedRlist) createPartition() (int, error) {
 		return 0, err
 	}
 	m.partIDs = append(m.partIDs, p)
-	m.partRecs[p] = make(map[int64]bool)
+	m.partRecs[p] = bitmap.New()
 	return p, nil
 }
 
@@ -101,7 +107,7 @@ func (m *partitionedRlist) dropPartition(p int) error {
 			}
 		}
 	}
-	m.storageRecs -= int64(len(m.partRecs[p]))
+	m.storageRecs -= m.partRecs[p].Cardinality()
 	delete(m.partRecs, p)
 	for i, id := range m.partIDs {
 		if id == p {
@@ -128,7 +134,7 @@ func (m *partitionedRlist) PartitionOf(v vgraph.VersionID) (int, bool) {
 }
 
 // PartitionRecords returns |Rk| for a physical partition.
-func (m *partitionedRlist) PartitionRecords(p int) int64 { return int64(len(m.partRecs[p])) }
+func (m *partitionedRlist) PartitionRecords(p int) int64 { return m.partRecs[p].Cardinality() }
 
 // StorageRecords returns S = Σ|Rk| in records (the partitioning metric).
 func (m *partitionedRlist) StorageRecords() int64 { return m.storageRecs }
@@ -144,31 +150,22 @@ func (m *partitionedRlist) CheckoutCost() float64 {
 	}
 	var num int64
 	for p, n := range counts {
-		num += n * int64(len(m.partRecs[p]))
+		num += n * m.partRecs[p].Cardinality()
 	}
 	return float64(num) / float64(len(m.partOf))
 }
 
 func (m *partitionedRlist) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, all []Record, fresh []Record) error {
-	rids := ridsOf(all)
+	ridSet := bitmap.FromSlice(ridsOf(all))
 	// Online placement (Section 4.3): join the best parent's partition
-	// unless the overlap is small while storage headroom remains.
+	// unless the overlap is small while storage headroom remains. Overlaps
+	// are bitmap intersection cardinalities against each parent's rlist.
 	target := -1
 	if len(parents) > 0 {
-		ridSet := make(map[int64]bool, len(rids))
-		for _, r := range rids {
-			ridSet[r] = true
-		}
 		var bestParent vgraph.VersionID
 		var bestW int64 = -1
 		for _, p := range parents {
-			var w int64
-			for _, r := range m.rlists[p] {
-				if ridSet[r] {
-					w++
-				}
-			}
-			if w > bestW {
+			if w := m.rlists[p].AndCardinality(ridSet); w > bestW {
 				bestParent, bestW = p, w
 			}
 		}
@@ -189,12 +186,12 @@ func (m *partitionedRlist) Commit(vid vgraph.VersionID, parents []vgraph.Version
 		}
 		target = p
 	}
-	return m.storeVersion(target, vid, all, rids)
+	return m.storeVersion(target, vid, all, ridSet)
 }
 
 // storeVersion inserts the version's missing records and its rlist tuple
 // into partition p.
-func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Record, rids []int64) error {
+func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Record, ridSet *bitmap.Bitmap) error {
 	dt, err := m.db.MustTable(m.dataName(p))
 	if err != nil {
 		return err
@@ -206,7 +203,7 @@ func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Recor
 	recs := m.partRecs[p]
 	for _, r := range all {
 		rid := int64(r.RID)
-		if recs[rid] {
+		if recs.Contains(rid) {
 			continue
 		}
 		if r.Data == nil {
@@ -215,12 +212,12 @@ func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Recor
 		if _, err := dt.Insert(rowWithRID(r)); err != nil {
 			return err
 		}
-		recs[rid] = true
+		recs.Add(rid)
 		m.storageRecs++
 	}
 	if _, err := vt.Insert(engine.Row{
 		engine.IntValue(int64(vid)),
-		engine.ArrayValue(rids),
+		engine.BitmapValue(ridSet),
 	}); err != nil {
 		return err
 	}
@@ -235,11 +232,9 @@ func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Recor
 		return err
 	}
 	m.partOf[vid] = p
-	m.rlists[vid] = rids
-	for _, r := range rids {
-		if r > m.totalRecords {
-			m.totalRecords = r
-		}
+	m.rlists[vid] = ridSet
+	if mx, ok := ridSet.Max(); ok && mx > m.totalRecords {
+		m.totalRecords = mx
 	}
 	return nil
 }
@@ -250,10 +245,8 @@ func (m *partitionedRlist) storeVersion(p int, vid vgraph.VersionID, all []Recor
 func (m *partitionedRlist) countMaxRid() int64 {
 	var maxRid int64
 	for _, recs := range m.partRecs {
-		for r := range recs {
-			if r > maxRid {
-				maxRid = r
-			}
+		if mx, ok := recs.Max(); ok && mx > maxRid {
+			maxRid = mx
 		}
 	}
 	return maxRid
@@ -276,7 +269,7 @@ func (m *partitionedRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: %s: partition %d lost version %d", m.cvd, p, vid)
 	}
-	rids := vt.Get(ids[0])[1].A
+	rids := membershipValue(vt.Get(ids[0])[1]).ToSlice()
 	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
 	if err != nil {
 		return nil, err
@@ -284,6 +277,40 @@ func (m *partitionedRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	out := make([]Record, len(rows))
 	for i, row := range rows {
 		out[i] = recordFromRow(row)
+	}
+	return out, nil
+}
+
+// FetchRecords materializes the given record ids, joining against each
+// partition that covers part of the set; records duplicated across
+// partitions are fetched once.
+func (m *partitionedRlist) FetchRecords(rids []int64) ([]Record, error) {
+	remaining := bitmap.FromSlice(rids)
+	out := make([]Record, 0, remaining.Cardinality())
+	for _, p := range m.partIDs {
+		if remaining.IsEmpty() {
+			break
+		}
+		sub := bitmap.And(remaining, m.partRecs[p])
+		if sub.IsEmpty() {
+			continue
+		}
+		dt, err := m.db.MustTable(m.dataName(p))
+		if err != nil {
+			return nil, err
+		}
+		rows, err := engine.JoinRids(dt, 0, sub.ToSlice(), m.db.JoinMethodSetting())
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			out = append(out, recordFromRow(row))
+		}
+		remaining = bitmap.AndNot(remaining, sub)
+	}
+	if !remaining.IsEmpty() {
+		mn, _ := remaining.Min()
+		return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, mn)
 	}
 	return out, nil
 }
@@ -345,7 +372,8 @@ func (m *partitionedRlist) Drop() error {
 	return nil
 }
 
-// bipartite reconstructs the version-record graph from the rlist cache.
+// bipartite reconstructs the version-record graph from the rlist cache,
+// sharing the immutable membership bitmaps.
 func (m *partitionedRlist) bipartite() *vgraph.Bipartite {
 	b := vgraph.NewBipartite()
 	vids := make([]vgraph.VersionID, 0, len(m.rlists))
@@ -354,11 +382,7 @@ func (m *partitionedRlist) bipartite() *vgraph.Bipartite {
 	}
 	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 	for _, v := range vids {
-		rl := make([]vgraph.RecordID, len(m.rlists[v]))
-		for i, r := range m.rlists[v] {
-			rl[i] = vgraph.RecordID(r)
-		}
-		b.AddVersion(v, rl)
+		b.AddVersionSet(v, m.rlists[v])
 	}
 	return b
 }
@@ -370,14 +394,10 @@ func (m *partitionedRlist) currentPartitioning() *partition.Partitioning {
 	idx := make(map[int]int, len(m.partIDs))
 	for i, pid := range m.partIDs {
 		idx[pid] = i
-		recs := make([]vgraph.RecordID, 0, len(m.partRecs[pid]))
-		for r := range m.partRecs[pid] {
-			recs = append(recs, vgraph.RecordID(r))
-		}
-		sort.Slice(recs, func(a, b int) bool { return recs[a] < recs[b] })
+		set := m.partRecs[pid].Clone()
 		p.Parts = append(p.Parts, partition.Part{
-			Records:    recs,
-			NumRecords: int64(len(recs)),
+			Set:        set,
+			NumRecords: set.Cardinality(),
 		})
 	}
 	for v, pid := range m.partOf {
@@ -411,78 +431,75 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 	}
 	report := &MigrationReport{Plan: plan, NewPartitions: len(next.Parts)}
 
-	// recLoc finds a live partition holding each record, for fetching rows.
-	recLoc := make(map[int64]int, m.totalRecords)
-	for _, pid := range m.partIDs {
-		for r := range m.partRecs[pid] {
-			recLoc[r] = pid
+	// fetchAll materializes the rows of a record set from the pre-migration
+	// layout, joining against each partition covering part of the set.
+	fetchAll := func(want *bitmap.Bitmap) ([]engine.Row, error) {
+		remaining := want
+		out := make([]engine.Row, 0, want.Cardinality())
+		for _, pid := range m.partIDs {
+			if remaining.IsEmpty() {
+				break
+			}
+			sub := bitmap.And(remaining, m.partRecs[pid])
+			if sub.IsEmpty() {
+				continue
+			}
+			dt, err := m.db.MustTable(m.dataName(pid))
+			if err != nil {
+				return nil, err
+			}
+			rows, err := engine.JoinRids(dt, 0, sub.ToSlice(), m.db.JoinMethodSetting())
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				out = append(out, engine.CloneRow(row))
+			}
+			remaining = bitmap.AndNot(remaining, sub)
 		}
-	}
-	fetch := func(rid int64) (engine.Row, error) {
-		pid, ok := recLoc[rid]
-		if !ok {
-			return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, rid)
+		if !remaining.IsEmpty() {
+			mn, _ := remaining.Min()
+			return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, mn)
 		}
-		dt, err := m.db.MustTable(m.dataName(pid))
-		if err != nil {
-			return nil, err
-		}
-		ids := dt.Index("rid").Lookup(engine.IntValue(rid))
-		if len(ids) == 0 {
-			return nil, fmt.Errorf("core: %s: record %d missing from partition %d", m.cvd, rid, pid)
-		}
-		return dt.Get(ids[0]), nil
+		return out, nil
 	}
 
 	newPartIDs := make([]int, len(next.Parts))
-	newRecs := make([]map[int64]bool, len(next.Parts))
-	reusedOld := make(map[int]bool)
+	newRecs := make([]*bitmap.Bitmap, len(next.Parts))
 
-	// Pass 1: reuse partitions per the plan (edits happen after all fetches
-	// below are planned against the pre-migration layout, so fetch rows
-	// eagerly for inserts).
+	// Pass 1: plan edits against the pre-migration layout, fetching the rows
+	// each new partition is missing. The missing set is a bitmap difference
+	// new \ old — O(|delta|), which is what makes intelligent migration
+	// cheaper than rebuilds (Figures 14b/15b).
 	type pendingInsert struct {
 		step partition.MigrationStep
 		rows []engine.Row
 	}
 	var pending []pendingInsert
 	for _, step := range plan.Steps {
-		want := make(map[int64]bool, next.Parts[step.New].NumRecords)
-		for _, r := range next.Parts[step.New].Records {
-			want[int64(r)] = true
-		}
+		want := next.Parts[step.New].Set
 		newRecs[step.New] = want
 		var ins pendingInsert
 		ins.step = step
+		var missing *bitmap.Bitmap
 		if step.Old >= 0 {
 			oldPID := m.partIDs[step.Old]
-			reusedOld[oldPID] = true
 			newPartIDs[step.New] = oldPID
-			have := m.partRecs[oldPID]
-			for r := range want {
-				if !have[r] {
-					row, err := fetch(r)
-					if err != nil {
-						return nil, err
-					}
-					ins.rows = append(ins.rows, engine.CloneRow(row))
-				}
-			}
+			missing = bitmap.AndNot(want, m.partRecs[oldPID])
 		} else {
 			newPartIDs[step.New] = -1 // build from scratch
-			for r := range want {
-				row, err := fetch(r)
-				if err != nil {
-					return nil, err
-				}
-				ins.rows = append(ins.rows, engine.CloneRow(row))
-			}
+			missing = want
 		}
+		rows, err := fetchAll(missing)
+		if err != nil {
+			return nil, err
+		}
+		ins.rows = rows
 		pending = append(pending, ins)
 	}
 
 	// Pass 2: apply edits.
-	for i, ins := range pending {
+	for _, ins := range pending {
 		step := ins.step
 		want := newRecs[step.New]
 		if step.Old >= 0 {
@@ -494,7 +511,7 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 			// Delete rows the new partition no longer needs.
 			var drop []engine.RowID
 			dt.Scan(func(id engine.RowID, row engine.Row) bool {
-				if !want[row[0].I] {
+				if !want.Contains(row[0].I) {
 					drop = append(drop, id)
 				}
 				return true
@@ -524,7 +541,6 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 			}
 			report.RowsInserted += int64(len(ins.rows))
 		}
-		_ = i
 	}
 
 	// Drop old partitions with no successor.
@@ -548,12 +564,9 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 	sort.Ints(m.partIDs)
 	m.storageRecs = 0
 	for i, pid := range newPartIDs {
-		recs := make(map[int64]bool, len(newRecs[i]))
-		for r := range newRecs[i] {
-			recs[r] = true
-		}
+		recs := newRecs[i].Clone()
 		m.partRecs[pid] = recs
-		m.storageRecs += int64(len(recs))
+		m.storageRecs += recs.Cardinality()
 		vtName := m.versionName(pid)
 		if m.db.HasTable(vtName) {
 			if err := m.db.DropTable(vtName); err != nil {
@@ -562,7 +575,7 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 		}
 		vt, err := m.db.CreateTable(vtName, []engine.Column{
 			{Name: "vid", Type: engine.KindInt},
-			{Name: "rlist", Type: engine.KindIntArray},
+			{Name: "rlist", Type: engine.KindBitmap},
 		})
 		if err != nil {
 			return nil, err
@@ -573,7 +586,7 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 		for _, v := range next.Parts[i].Versions {
 			if _, err := vt.Insert(engine.Row{
 				engine.IntValue(int64(v)),
-				engine.ArrayValue(m.rlists[v]),
+				engine.BitmapValue(m.rlists[v]),
 			}); err != nil {
 				return nil, err
 			}
@@ -608,4 +621,23 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 	return report, nil
 }
 
-var _ DataModel = (*partitionedRlist)(nil)
+// MembershipBytes reports the per-partition versioning tables plus the
+// version→partition map footprint.
+func (m *partitionedRlist) MembershipBytes() int64 {
+	var n int64
+	for _, p := range m.partIDs {
+		if t := m.db.Table(m.versionName(p)); t != nil {
+			n += t.SizeBytes()
+		}
+	}
+	if t := m.db.Table(m.mapName()); t != nil {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+var (
+	_ DataModel       = (*partitionedRlist)(nil)
+	_ recordFetcher   = (*partitionedRlist)(nil)
+	_ membershipSized = (*partitionedRlist)(nil)
+)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -10,7 +11,9 @@ import (
 // splitByRlist is the model OrpheusDB adopts (Approach 3, Figure 1c.ii): a
 // data table (rid, attrs...) and a versioning table (vid, rlist). Commit adds
 // a single versioning tuple — no array appends — and checkout unnests the
-// version's rlist and joins it with the data table.
+// version's rlist and joins it with the data table. The rlist is stored as a
+// compressed bitmap, so one versioning tuple costs O(runs) bytes for the
+// dense record ranges commits typically produce.
 type splitByRlist struct {
 	db  *engine.DB
 	cvd string
@@ -31,7 +34,7 @@ func (m *splitByRlist) Init(cols []engine.Column) error {
 	}
 	vt, err := m.db.CreateTable(m.versionName(), []engine.Column{
 		{Name: "vid", Type: engine.KindInt},
-		{Name: "rlist", Type: engine.KindIntArray},
+		{Name: "rlist", Type: engine.KindBitmap},
 	})
 	if err != nil {
 		return err
@@ -53,17 +56,17 @@ func (m *splitByRlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []
 			return err
 		}
 	}
-	// INSERT INTO versioningTable VALUES (vid, ARRAY[...]) — one tuple.
+	// INSERT INTO versioningTable VALUES (vid, <bitmap>) — one tuple.
 	_, err = vt.Insert(engine.Row{
 		engine.IntValue(int64(vid)),
-		engine.ArrayValue(ridsOf(all)),
+		engine.BitmapFromSlice(ridsOf(all)),
 	})
 	return err
 }
 
-// Rlist fetches the record-id list of a version via the vid primary-key
-// index.
-func (m *splitByRlist) Rlist(vid vgraph.VersionID) ([]int64, error) {
+// RlistSet fetches the membership bitmap of a version via the vid
+// primary-key index. The bitmap is shared and must not be mutated.
+func (m *splitByRlist) RlistSet(vid vgraph.VersionID) (*bitmap.Bitmap, error) {
 	vt, err := m.db.MustTable(m.versionName())
 	if err != nil {
 		return nil, err
@@ -72,16 +75,33 @@ func (m *splitByRlist) Rlist(vid vgraph.VersionID) ([]int64, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: %s: no version %d", m.cvd, vid)
 	}
-	row := vt.Get(ids[0])
-	return row[1].A, nil
+	return membershipValue(vt.Get(ids[0])[1]), nil
 }
 
-func (m *splitByRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
-	dt, err := m.db.MustTable(m.dataName())
+// Rlist fetches the record-id list of a version. The returned slice is a
+// fresh copy: mutating it cannot corrupt the stored versioning tuple (the
+// pre-bitmap implementation aliased the stored array).
+func (m *splitByRlist) Rlist(vid vgraph.VersionID) ([]int64, error) {
+	set, err := m.RlistSet(vid)
 	if err != nil {
 		return nil, err
 	}
+	return set.ToSlice(), nil
+}
+
+func (m *splitByRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	rids, err := m.Rlist(vid)
+	if err != nil {
+		return nil, err
+	}
+	return m.FetchRecords(rids)
+}
+
+// FetchRecords joins the given record ids against the data table — the same
+// physical plan as checkout, but driven by any membership set (diffs,
+// multi-version scans).
+func (m *splitByRlist) FetchRecords(rids []int64) ([]Record, error) {
+	dt, err := m.db.MustTable(m.dataName())
 	if err != nil {
 		return nil, err
 	}
@@ -103,10 +123,16 @@ func (m *splitByRlist) StorageBytes() int64 {
 	if t := m.db.Table(m.dataName()); t != nil {
 		n += t.SizeBytes()
 	}
+	return n + m.MembershipBytes()
+}
+
+// MembershipBytes reports the versioning-table footprint: the compressed
+// bitmap membership, as opposed to record data.
+func (m *splitByRlist) MembershipBytes() int64 {
 	if t := m.db.Table(m.versionName()); t != nil {
-		n += t.SizeBytes()
+		return t.SizeBytes()
 	}
-	return n
+	return 0
 }
 
 func (m *splitByRlist) AddColumn(c engine.Column) error {
@@ -136,4 +162,8 @@ func (m *splitByRlist) Drop() error {
 	return nil
 }
 
-var _ DataModel = (*splitByRlist)(nil)
+var (
+	_ DataModel       = (*splitByRlist)(nil)
+	_ recordFetcher   = (*splitByRlist)(nil)
+	_ membershipSized = (*splitByRlist)(nil)
+)

@@ -7,9 +7,10 @@ import (
 
 // splitByVlist separates data from versioning information (Approach 2,
 // Figure 1c.i): a data table (rid, attrs...) and a versioning table
-// (rid, vlist). Commit still pays per-record array appends in the versioning
-// table; checkout selects rids whose vlist contains the version and joins
-// them with the data table.
+// (rid, vlist). The vlist is a compressed bitmap of version ids. Commit
+// still pays a per-record update in the versioning table (the model's
+// structural weakness the paper exposes); checkout selects rids whose vlist
+// contains the version and joins them with the data table.
 type splitByVlist struct {
 	db  *engine.DB
 	cvd string
@@ -30,7 +31,7 @@ func (m *splitByVlist) Init(cols []engine.Column) error {
 	}
 	vt, err := m.db.CreateTable(m.versionName(), []engine.Column{
 		{Name: "rid", Type: engine.KindInt},
-		{Name: "vlist", Type: engine.KindIntArray},
+		{Name: "vlist", Type: engine.KindBitmap},
 	})
 	if err != nil {
 		return err
@@ -52,7 +53,9 @@ func (m *splitByVlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []
 		freshSet[r.RID] = true
 	}
 	// UPDATE versioningTable SET vlist = vlist + vj WHERE rid IN (...):
-	// per-record appends via the rid primary-key index.
+	// per-record updates via the rid primary-key index. Stored bitmaps are
+	// immutable, so each touched vlist is cloned before the version is
+	// added.
 	ix := vt.Index("rid")
 	vlistCol := vt.ColIndex("vlist")
 	for _, r := range all {
@@ -62,8 +65,10 @@ func (m *splitByVlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []
 		ids := ix.Lookup(engine.IntValue(int64(r.RID)))
 		for _, id := range ids {
 			row := vt.Get(id)
+			vl := membershipValue(row[vlistCol]).Clone()
+			vl.Add(int64(vid))
 			nr := engine.CloneRow(row)
-			nr[vlistCol] = engine.ArrayValue(engine.ArrayAppend(row[vlistCol].A, int64(vid)))
+			nr[vlistCol] = engine.BitmapValue(vl)
 			if err := vt.Update(id, nr); err != nil {
 				return err
 			}
@@ -75,7 +80,7 @@ func (m *splitByVlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []
 		}
 		_, err := vt.Insert(engine.Row{
 			engine.IntValue(int64(r.RID)),
-			engine.ArrayValue([]int64{int64(vid)}),
+			engine.BitmapFromSlice([]int64{int64(vid)}),
 		})
 		if err != nil {
 			return err
@@ -85,26 +90,30 @@ func (m *splitByVlist) Commit(vid vgraph.VersionID, _ []vgraph.VersionID, all []
 }
 
 func (m *splitByVlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
-	dt, err := m.db.MustTable(m.dataName())
-	if err != nil {
-		return nil, err
-	}
 	vt, err := m.db.MustTable(m.versionName())
 	if err != nil {
 		return nil, err
 	}
-	// SELECT rid FROM versioningTable WHERE ARRAY[vid] <@ vlist — a full
-	// scan of the versioning table with containment checks...
+	// SELECT rid FROM versioningTable WHERE vid ∈ vlist — a full scan of
+	// the versioning table with bitmap membership probes...
 	vlistCol := vt.ColIndex("vlist")
-	want := []int64{int64(vid)}
 	var rids []int64
 	vt.Scan(func(_ engine.RowID, row engine.Row) bool {
-		if engine.ArrayContains(want, row[vlistCol].A) {
+		if membershipValue(row[vlistCol]).Contains(int64(vid)) {
 			rids = append(rids, row[0].I)
 		}
 		return true
 	})
 	// ...followed by a join with the data table.
+	return m.FetchRecords(rids)
+}
+
+// FetchRecords joins the given record ids against the data table.
+func (m *splitByVlist) FetchRecords(rids []int64) ([]Record, error) {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return nil, err
+	}
 	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
 	if err != nil {
 		return nil, err
@@ -121,10 +130,15 @@ func (m *splitByVlist) StorageBytes() int64 {
 	if t := m.db.Table(m.dataName()); t != nil {
 		n += t.SizeBytes()
 	}
+	return n + m.MembershipBytes()
+}
+
+// MembershipBytes reports the versioning-table (vlist) footprint.
+func (m *splitByVlist) MembershipBytes() int64 {
 	if t := m.db.Table(m.versionName()); t != nil {
-		n += t.SizeBytes()
+		return t.SizeBytes()
 	}
-	return n
+	return 0
 }
 
 func (m *splitByVlist) AddColumn(c engine.Column) error {
@@ -154,4 +168,8 @@ func (m *splitByVlist) Drop() error {
 	return nil
 }
 
-var _ DataModel = (*splitByVlist)(nil)
+var (
+	_ DataModel       = (*splitByVlist)(nil)
+	_ recordFetcher   = (*splitByVlist)(nil)
+	_ membershipSized = (*splitByVlist)(nil)
+)

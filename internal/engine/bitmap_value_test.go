@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orpheusdb/internal/bitmap"
+)
+
+func TestBitmapValueBasics(t *testing.T) {
+	v := BitmapFromSlice([]int64{3, 1, 2})
+	if v.K != KindBitmap {
+		t.Fatalf("kind = %v", v.K)
+	}
+	if got := v.String(); got != "{1,2,3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if KindBitmap.String() != "bitmap" {
+		t.Fatalf("kind name = %q", KindBitmap.String())
+	}
+	k, err := KindFromName("bitmap")
+	if err != nil || k != KindBitmap {
+		t.Fatalf("KindFromName: %v, %v", k, err)
+	}
+	// Nil bitmaps normalize to the empty set.
+	if got := BitmapValue(nil).String(); got != "{}" {
+		t.Fatalf("nil bitmap String = %q", got)
+	}
+}
+
+func TestBitmapValueCompare(t *testing.T) {
+	a := BitmapFromSlice([]int64{1, 2, 3})
+	b := BitmapFromSlice([]int64{1, 2, 3})
+	c := BitmapFromSlice([]int64{1, 2, 4})
+	d := BitmapFromSlice([]int64{1, 2})
+	if !Equal(a, b) {
+		t.Fatal("equal bitmaps not Equal")
+	}
+	if Compare(a, c) >= 0 || Compare(c, a) <= 0 {
+		t.Fatal("element ordering wrong")
+	}
+	if Compare(d, a) >= 0 {
+		t.Fatal("prefix ordering wrong")
+	}
+	// Mixed kinds order by kind ordinal: bitmap is the last kind.
+	if Compare(ArrayValue([]int64{9}), a) >= 0 {
+		t.Fatal("array should sort before bitmap")
+	}
+	if Compare(StringValue("x"), a) >= 0 {
+		t.Fatal("string should sort before bitmap")
+	}
+	if MoreGeneral(KindIntArray, KindBitmap) != KindBitmap {
+		t.Fatal("MoreGeneral(array, bitmap)")
+	}
+	if MoreGeneral(KindBitmap, KindString) != KindString {
+		t.Fatal("MoreGeneral(bitmap, string)")
+	}
+}
+
+func TestBitmapColumnPersistRoundTrip(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("vt", []Column{
+		{Name: "vid", Type: KindInt},
+		{Name: "rlist", Type: KindBitmap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetPrimaryKey("vid"); err != nil {
+		t.Fatal(err)
+	}
+	sets := map[int64][]int64{
+		1: {1, 2, 3, 1000000},
+		2: nil,
+		3: make([]int64, 0, 9000),
+	}
+	for v := int64(0); v < 9000; v++ {
+		sets[3] = append(sets[3], v)
+	}
+	for vid, vals := range sets {
+		if _, err := tab.Insert(Row{IntValue(vid), BitmapFromSlice(vals)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "db.bin")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := back.Table("vt")
+	if bt == nil {
+		t.Fatal("table lost")
+	}
+	for vid, vals := range sets {
+		ids := bt.Index("vid").Lookup(IntValue(vid))
+		if len(ids) != 1 {
+			t.Fatalf("vid %d: %d rows", vid, len(ids))
+		}
+		got := bt.Get(ids[0])[1]
+		if got.K != KindBitmap {
+			t.Fatalf("vid %d: kind %v after reload", vid, got.K)
+		}
+		want := bitmap.FromSlice(vals)
+		if !got.B.Equal(want) {
+			t.Fatalf("vid %d: contents changed across persist (%d vs %d values)",
+				vid, got.B.Cardinality(), want.Cardinality())
+		}
+	}
+	// SizeBytes accounts the serialized (compressed) footprint: the dense 9k
+	// run must cost far less than 8 bytes per record.
+	if sz := bt.SizeBytes(); sz > 3000 {
+		t.Fatalf("bitmap column SizeBytes = %d, want compressed (<3000)", sz)
+	}
+	os.Remove(path)
+}
+
+func TestBitmapAlterColumnWidening(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "members", Type: KindIntArray},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{IntValue(1), ArrayValue([]int64{5, 3, 5})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AlterColumnType("members", KindBitmap); err != nil {
+		t.Fatal(err)
+	}
+	var got Value
+	tab.Scan(func(_ RowID, row Row) bool {
+		got = row[1]
+		return true
+	})
+	if got.K != KindBitmap || got.String() != "{3,5}" {
+		t.Fatalf("widened value = %v %q", got.K, got.String())
+	}
+	if err := tab.AlterColumnType("members", KindIntArray); err == nil {
+		t.Fatal("narrowing bitmap back to array must fail")
+	}
+}

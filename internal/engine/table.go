@@ -152,6 +152,10 @@ func convert(v Value, k Kind) Value {
 		return FloatValue(v.AsFloat())
 	case KindString:
 		return StringValue(v.String())
+	case KindBitmap:
+		if v.K == KindIntArray {
+			return BitmapFromSlice(v.A)
+		}
 	case KindInt:
 		switch v.K {
 		case KindFloat:
@@ -451,6 +455,8 @@ func rowBytes(r Row) int64 {
 			n += int64(len(v.S)) + 4
 		case KindIntArray:
 			n += int64(len(v.A))*8 + 4
+		case KindBitmap:
+			n += v.B.SerializedSizeBytes()
 		case KindNull:
 			n++
 		}

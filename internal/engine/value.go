@@ -12,13 +12,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"orpheusdb/internal/bitmap"
 )
 
 // Kind enumerates the data types the engine supports.
 type Kind uint8
 
 // Supported kinds. IntArray is the array type the paper relies on for vlist
-// and rlist attributes (PostgreSQL's int[]).
+// and rlist attributes (PostgreSQL's int[]); Bitmap is its compressed
+// replacement — a roaring-style set the versioning tables store membership
+// in, combinable with O(chunk) set algebra instead of O(n) array scans.
 const (
 	KindNull Kind = iota
 	KindInt
@@ -26,6 +30,7 @@ const (
 	KindString
 	KindBool
 	KindIntArray
+	KindBitmap
 )
 
 // String returns the SQL-ish name of the kind.
@@ -43,6 +48,8 @@ func (k Kind) String() string {
 		return "boolean"
 	case KindIntArray:
 		return "integer[]"
+	case KindBitmap:
+		return "bitmap"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -60,6 +67,8 @@ func KindFromName(name string) (Kind, error) {
 		return KindBool, nil
 	case "int[]", "integer[]", "intarray":
 		return KindIntArray, nil
+	case "bitmap":
+		return KindBitmap, nil
 	}
 	return KindNull, fmt.Errorf("engine: unknown type %q", name)
 }
@@ -83,10 +92,12 @@ func MoreGeneral(a, b Kind) Kind {
 			return 3
 		case KindIntArray:
 			return 4
-		case KindString:
+		case KindBitmap:
 			return 5
+		case KindString:
+			return 6
 		}
-		return 5
+		return 6
 	}
 	if rank(a) > rank(b) {
 		return a
@@ -96,13 +107,15 @@ func MoreGeneral(a, b Kind) Kind {
 
 // Value is a dynamically typed cell. The zero Value is NULL. Exactly one of
 // the payload fields is meaningful, selected by K. Bool values are stored in
-// I as 0/1.
+// I as 0/1. Bitmap payloads are shared, never copied: once a bitmap is
+// stored in a row it is treated as immutable.
 type Value struct {
 	K Kind
 	I int64
 	F float64
 	S string
 	A []int64
+	B *bitmap.Bitmap
 }
 
 // Convenience constructors.
@@ -130,6 +143,18 @@ func BoolValue(b bool) Value {
 
 // ArrayValue returns an integer-array value. The slice is not copied.
 func ArrayValue(a []int64) Value { return Value{K: KindIntArray, A: a} }
+
+// BitmapValue returns a compressed-bitmap value. The bitmap is not copied and
+// must not be mutated afterwards. A nil bitmap stores as an empty set.
+func BitmapValue(b *bitmap.Bitmap) Value {
+	if b == nil {
+		b = bitmap.New()
+	}
+	return Value{K: KindBitmap, B: b}
+}
+
+// BitmapFromSlice builds a bitmap value from record ids in any order.
+func BitmapFromSlice(a []int64) Value { return BitmapValue(bitmap.FromSlice(a)) }
 
 // IsNull reports whether v is NULL.
 func (v Value) IsNull() bool { return v.K == KindNull }
@@ -182,6 +207,22 @@ func (v Value) String() string {
 			}
 			b.WriteString(strconv.FormatInt(x, 10))
 		}
+		b.WriteByte('}')
+		return b.String()
+	case KindBitmap:
+		// Render like an array so SQL results read the same whichever
+		// membership representation the model stores.
+		var b strings.Builder
+		b.WriteByte('{')
+		first := true
+		v.B.Iterate(func(x int64) bool {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(strconv.FormatInt(x, 10))
+			return true
+		})
 		b.WriteByte('}')
 		return b.String()
 	}
@@ -238,6 +279,30 @@ func Compare(a, b Value) int {
 			return 1
 		}
 		return 0
+	case KindBitmap:
+		return compareBitmaps(a.B, b.B)
+	}
+	return 0
+}
+
+// compareBitmaps orders two bitmap sets lexicographically over their
+// ascending elements, shorter-prefix first — consistent with the IntArray
+// ordering for sorted arrays.
+func compareBitmaps(x, y *bitmap.Bitmap) int {
+	xs, ys := x.ToSlice(), y.ToSlice()
+	for i := 0; i < len(xs) && i < len(ys); i++ {
+		if xs[i] != ys[i] {
+			if xs[i] < ys[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(xs) < len(ys):
+		return -1
+	case len(xs) > len(ys):
+		return 1
 	}
 	return 0
 }
@@ -350,6 +415,14 @@ func EncodeKey(vals ...Value) string {
 				}
 				b.WriteString(strconv.FormatInt(x, 10))
 			}
+		case KindBitmap:
+			// Length-prefix the payload: serialized bitmaps may contain
+			// the 0x00 field separator, and the prefix keeps the composite
+			// encoding unambiguous across fields.
+			data, _ := v.B.MarshalBinary()
+			b.WriteString(strconv.Itoa(len(data)))
+			b.WriteByte(':')
+			b.Write(data)
 		}
 	}
 	return b.String()

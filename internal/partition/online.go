@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/vgraph"
 )
 
@@ -82,9 +83,9 @@ func (o *Online) Commit(v vgraph.VersionID, parents []vgraph.VersionID, rids []v
 	o.bip.AddVersion(v, rids)
 	ws := make([]int64, len(parents))
 	for i, p := range parents {
-		ws[i] = vgraph.IntersectSize(o.bip.Records(p), o.bip.Records(v))
+		ws[i] = o.bip.CommonRecords(p, v)
 	}
-	if err := o.graph.AddVersion(v, parents, int64(len(o.bip.Records(v))), ws); err != nil {
+	if err := o.graph.AddVersion(v, parents, o.bip.Set(v).Cardinality(), ws); err != nil {
 		return false, err
 	}
 	o.parents[v] = append([]vgraph.VersionID(nil), parents...)
@@ -105,9 +106,10 @@ func (o *Online) Commit(v vgraph.VersionID, parents []vgraph.VersionID, rids []v
 
 // place applies the online placement rule: join the best parent's partition
 // unless the shared-record weight is below δ*·|R| while storage headroom
-// remains, in which case a fresh partition is opened.
+// remains, in which case a fresh partition is opened. Partition membership
+// is folded in with bitmap unions.
 func (o *Online) place(v vgraph.VersionID, parents []vgraph.VersionID, ws []int64) {
-	rids := o.bip.Records(v)
+	set := o.bip.Set(v)
 	bestParent := vgraph.VersionID(0)
 	var bestW int64 = -1
 	for i, p := range parents {
@@ -120,12 +122,14 @@ func (o *Online) place(v vgraph.VersionID, parents []vgraph.VersionID, ws []int6
 	newPartition := bestW < 0 ||
 		(float64(bestW) <= o.deltaStar*float64(o.bip.NumRecords()) && s < gamma)
 	if newPartition {
+		// Online partitions carry membership as Set only; consumers that
+		// need the materialized list (the physical replayer) fall back to
+		// a bipartite union when Records is nil.
 		idx := len(o.current.Parts)
-		recs := append([]vgraph.RecordID(nil), rids...)
 		o.current.Parts = append(o.current.Parts, Part{
 			Versions:   []vgraph.VersionID{v},
-			Records:    recs,
-			NumRecords: int64(len(recs)),
+			Set:        set.Clone(),
+			NumRecords: set.Cardinality(),
 		})
 		o.current.Of[v] = idx
 		return
@@ -133,8 +137,14 @@ func (o *Online) place(v vgraph.VersionID, parents []vgraph.VersionID, ws []int6
 	k := o.current.Of[bestParent]
 	part := &o.current.Parts[k]
 	part.Versions = append(part.Versions, v)
-	part.Records = unionSorted(part.Records, rids)
-	part.NumRecords = int64(len(part.Records))
+	merged := part.Set
+	if merged == nil {
+		merged = o.bip.UnionSet(part.Versions[:len(part.Versions)-1])
+	}
+	merged = bitmap.Or(merged, set)
+	part.Set = merged
+	part.Records = nil // stale after the merge; Set is authoritative
+	part.NumRecords = merged.Cardinality()
 	o.current.Of[v] = k
 }
 

@@ -6,8 +6,8 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/vgraph"
 )
 
@@ -23,10 +23,36 @@ type Partitioning struct {
 // Part is one partition: its versions and the distinct records they cover.
 type Part struct {
 	Versions []vgraph.VersionID
-	Records  []vgraph.RecordID // sorted distinct; may be nil if not materialized
-	// NumRecords is |Rk|. It equals len(Records) when Records is
-	// materialized, and otherwise carries the version-graph estimate.
+	// Set is the compressed membership of the partition's records. Treated
+	// as immutable once assigned; may be nil when only the estimate is
+	// known.
+	Set *bitmap.Bitmap
+	// Records is the materialized sorted record list; may be nil when only
+	// Set (or only the estimate) is available.
+	Records []vgraph.RecordID
+	// NumRecords is |Rk|. It matches Set/Records when materialized, and
+	// otherwise carries the version-graph estimate.
 	NumRecords int64
+}
+
+// recordList materializes a record slice from a membership set.
+func recordList(set *bitmap.Bitmap) []vgraph.RecordID {
+	out := make([]vgraph.RecordID, 0, set.Cardinality())
+	set.Iterate(func(r int64) bool {
+		out = append(out, vgraph.RecordID(r))
+		return true
+	})
+	return out
+}
+
+// newPart builds a fully materialized partition from a membership set.
+func newPart(versions []vgraph.VersionID, set *bitmap.Bitmap) Part {
+	return Part{
+		Versions:   versions,
+		Set:        set,
+		Records:    recordList(set),
+		NumRecords: set.Cardinality(),
+	}
 }
 
 // NewSinglePartition places all versions of b into one partition — the
@@ -34,9 +60,7 @@ type Part struct {
 func NewSinglePartition(b *vgraph.Bipartite) *Partitioning {
 	p := &Partitioning{Of: make(map[vgraph.VersionID]int, b.NumVersions())}
 	vs := append([]vgraph.VersionID(nil), b.Versions()...)
-	part := Part{Versions: vs, Records: b.Union(vs)}
-	part.NumRecords = int64(len(part.Records))
-	p.Parts = []Part{part}
+	p.Parts = []Part{newPart(vs, b.UnionSet(vs))}
 	for _, v := range vs {
 		p.Of[v] = 0
 	}
@@ -48,32 +72,22 @@ func NewSinglePartition(b *vgraph.Bipartite) *Partitioning {
 func NewPartitionPerVersion(b *vgraph.Bipartite) *Partitioning {
 	p := &Partitioning{Of: make(map[vgraph.VersionID]int, b.NumVersions())}
 	for i, v := range b.Versions() {
-		recs := append([]vgraph.RecordID(nil), b.Records(v)...)
-		p.Parts = append(p.Parts, Part{
-			Versions:   []vgraph.VersionID{v},
-			Records:    recs,
-			NumRecords: int64(len(recs)),
-		})
+		p.Parts = append(p.Parts, newPart([]vgraph.VersionID{v}, b.Set(v).Clone()))
 		p.Of[v] = i
 	}
 	return p
 }
 
 // FromVersionGroups builds a Partitioning from version groups, materializing
-// each partition's record set from the bipartite graph.
+// each partition's record set from the bipartite graph via bitmap unions.
 func FromVersionGroups(b *vgraph.Bipartite, groups [][]vgraph.VersionID) *Partitioning {
 	p := &Partitioning{Of: make(map[vgraph.VersionID]int)}
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		recs := b.Union(g)
 		idx := len(p.Parts)
-		p.Parts = append(p.Parts, Part{
-			Versions:   append([]vgraph.VersionID(nil), g...),
-			Records:    recs,
-			NumRecords: int64(len(recs)),
-		})
+		p.Parts = append(p.Parts, newPart(append([]vgraph.VersionID(nil), g...), b.UnionSet(g)))
 		for _, v := range g {
 			p.Of[v] = idx
 		}
@@ -103,12 +117,20 @@ func (p *Partitioning) Validate(b *vgraph.Bipartite) error {
 			return fmt.Errorf("partition: version %d unassigned", v)
 		}
 		part := p.Parts[i]
-		if part.Records == nil {
-			continue
-		}
-		if n := vgraph.IntersectSize(part.Records, b.Records(v)); n != int64(len(b.Records(v))) {
-			return fmt.Errorf("partition: partition %d missing %d records of version %d",
-				i, int64(len(b.Records(v)))-n, v)
+		want := b.Set(v).Cardinality()
+		// Coverage check against whichever representation is materialized;
+		// Records wins when callers have edited it directly.
+		switch {
+		case part.Records != nil:
+			if n := vgraph.IntersectSize(part.Records, b.Records(v)); n != int64(len(b.Records(v))) {
+				return fmt.Errorf("partition: partition %d missing %d records of version %d",
+					i, int64(len(b.Records(v)))-n, v)
+			}
+		case part.Set != nil:
+			if n := part.Set.AndCardinality(b.Set(v)); n != want {
+				return fmt.Errorf("partition: partition %d missing %d records of version %d",
+					i, want-n, v)
+			}
 		}
 	}
 	return nil
@@ -185,6 +207,9 @@ func (p *Partitioning) Clone() *Partitioning {
 			Records:    append([]vgraph.RecordID(nil), part.Records...),
 			NumRecords: part.NumRecords,
 		}
+		if part.Set != nil {
+			out.Parts[i].Set = part.Set.Clone()
+		}
 	}
 	for v, i := range p.Of {
 		out.Of[v] = i
@@ -201,9 +226,4 @@ func LowerBounds(b *vgraph.Bipartite) (minStorage int64, minCheckout float64) {
 		minCheckout = float64(b.NumEdges()) / float64(b.NumVersions())
 	}
 	return
-}
-
-// sortRecordIDs sorts a RecordID slice ascending.
-func sortRecordIDs(rs []vgraph.RecordID) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
 }

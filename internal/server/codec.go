@@ -62,6 +62,13 @@ func encodeValue(v orpheusdb.Value) any {
 			return []int64{}
 		}
 		return v.A
+	case engine.KindBitmap:
+		// Bitmap membership encodes as the sorted element array, so clients
+		// see the same shape whichever representation the model stores.
+		if v.B == nil {
+			return []int64{}
+		}
+		return v.B.ToSlice()
 	}
 	return v.String()
 }

@@ -151,6 +151,9 @@ type datasetSummary struct {
 	Versions   []int64      `json:"versions"`
 	Latest     int64        `json:"latest"`
 	Storage    int64        `json:"storageBytes"`
+	// StorageBreakdown splits Storage into compressed-membership bytes
+	// (rlist/vlist bitmaps) and record-data bytes.
+	StorageBreakdown orpheusdb.StorageBreakdown `json:"storageBreakdown"`
 }
 
 func (s *Server) summarize(name string) (*datasetSummary, error) {
@@ -162,14 +165,16 @@ func (s *Server) summarize(name string) (*datasetSummary, error) {
 	if pk == nil {
 		pk = []string{}
 	}
+	breakdown := d.StorageBreakdown()
 	return &datasetSummary{
-		Name:       d.Name(),
-		Model:      string(d.Model()),
-		Columns:    encodeColumns(d.Columns()),
-		PrimaryKey: pk,
-		Versions:   int64IDs(d.Versions()),
-		Latest:     int64(d.LatestVersion()),
-		Storage:    d.StorageBytes(),
+		Name:             d.Name(),
+		Model:            string(d.Model()),
+		Columns:          encodeColumns(d.Columns()),
+		PrimaryKey:       pk,
+		Versions:         int64IDs(d.Versions()),
+		Latest:           int64(d.LatestVersion()),
+		Storage:          breakdown.TotalBytes,
+		StorageBreakdown: breakdown,
 	}, nil
 }
 
@@ -493,13 +498,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":         d.Name(),
-		"delta":           res.Delta,
-		"partitions":      res.Partitions,
-		"estStorage":      res.EstStorage,
-		"estCheckout":     res.EstCheckout,
-		"solveMillis":     res.SolveTime.Milliseconds(),
-		"migrationMillis": res.MigrationTime.Milliseconds(),
+		"dataset":          d.Name(),
+		"delta":            res.Delta,
+		"partitions":       res.Partitions,
+		"estStorage":       res.EstStorage,
+		"estCheckout":      res.EstCheckout,
+		"solveMillis":      res.SolveTime.Milliseconds(),
+		"migrationMillis":  res.MigrationTime.Milliseconds(),
+		"storageBreakdown": d.StorageBreakdown(),
 	})
 }
 

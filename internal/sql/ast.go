@@ -45,6 +45,13 @@ type TableRef struct {
 	// `VERSION v OF CVD name` and resolved before execution.
 	Version int64
 	CVD     string
+	// Multi-version scans (`VERSION v1 INTERSECT v2 [UNION v3 ...] OF CVD
+	// name`) chain further versions onto Version left-associatively:
+	// SetOps[i] ∈ {UNION, INTERSECT, EXCEPT} combines the running record
+	// set with ExtraVersions[i]. The translator resolves the chain with
+	// bitmap algebra before any data table is touched.
+	ExtraVersions []int64
+	SetOps        []string
 }
 
 // SubqueryRef is a parenthesized SELECT in FROM.

@@ -225,7 +225,24 @@ func (ev *evalEnv) evalBinary(b *BinaryExpr) (engine.Value, error) {
 	if err != nil {
 		return engine.Value{}, err
 	}
-	switch b.Op {
+	return evalBinaryOp(b.Op, l, r)
+}
+
+// asMembership views an array or bitmap value as an element list.
+func asMembership(v engine.Value) ([]int64, bool) {
+	switch v.K {
+	case engine.KindIntArray:
+		return v.A, true
+	case engine.KindBitmap:
+		return v.B.ToSlice(), true
+	}
+	return nil, false
+}
+
+// evalBinaryOp applies a non-short-circuit binary operator to two evaluated
+// values.
+func evalBinaryOp(op string, l, r engine.Value) (engine.Value, error) {
+	switch op {
 	case "=":
 		return engine.BoolValue(engine.Equal(l, r)), nil
 	case "<>":
@@ -240,10 +257,20 @@ func (ev *evalEnv) evalBinary(b *BinaryExpr) (engine.Value, error) {
 		return engine.BoolValue(engine.Compare(l, r) >= 0), nil
 
 	case "<@":
-		if l.K != engine.KindIntArray || r.K != engine.KindIntArray {
-			return engine.Value{}, fmt.Errorf("sql: <@ requires arrays")
+		// Containment over arrays and/or bitmap membership sets.
+		lArr, lOK := asMembership(l)
+		if !lOK || !(r.K == engine.KindIntArray || r.K == engine.KindBitmap) {
+			return engine.Value{}, fmt.Errorf("sql: <@ requires arrays or bitmaps")
 		}
-		return engine.BoolValue(engine.ArrayContains(l.A, r.A)), nil
+		if r.K == engine.KindBitmap {
+			for _, x := range lArr {
+				if !r.B.Contains(x) {
+					return engine.BoolValue(false), nil
+				}
+			}
+			return engine.BoolValue(true), nil
+		}
+		return engine.BoolValue(engine.ArrayContains(lArr, r.A)), nil
 
 	case "LIKE":
 		return engine.BoolValue(likeMatch(l.String(), r.String())), nil
@@ -272,11 +299,11 @@ func (ev *evalEnv) evalBinary(b *BinaryExpr) (engine.Value, error) {
 		if l.K == engine.KindIntArray {
 			return engine.ArrayValue(engine.ArrayAppend(l.A, r.I)), nil
 		}
-		return arith(l, r, b.Op)
+		return arith(l, r, op)
 	case "-", "*", "/", "%":
-		return arith(l, r, b.Op)
+		return arith(l, r, op)
 	}
-	return engine.Value{}, fmt.Errorf("sql: unknown operator %q", b.Op)
+	return engine.Value{}, fmt.Errorf("sql: unknown operator %q", op)
 }
 
 // arith applies numeric arithmetic with int/float promotion.

@@ -471,7 +471,11 @@ func (x *executor) projectPlain(s *SelectStmt, src *rel) (*rel, error) {
 				if err != nil {
 					return nil, err
 				}
-				arr = v.A
+				if v.K == engine.KindBitmap {
+					arr = v.B.ToSlice()
+				} else {
+					arr = v.A
+				}
 				continue
 			}
 			v, err := ev.eval(item.Expr)

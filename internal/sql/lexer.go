@@ -43,6 +43,7 @@ var keywords = map[string]bool{
 	"DELETE": true, "CREATE": true, "TABLE": true, "DROP": true, "PRIMARY": true,
 	"KEY": true, "ARRAY": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,
 	"CVD": true, "VERSION": true, "OF": true, "UNION": true, "ALL": true,
+	"INTERSECT": true, "EXCEPT": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
 }
 

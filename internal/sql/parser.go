@@ -337,11 +337,35 @@ func (p *parser) parseFromPrimary() (FromItem, error) {
 		}
 		return ref, nil
 	}
-	// ORPHEUSDB extension: VERSION <n> OF CVD <name>.
+	// ORPHEUSDB extension: VERSION <n> [INTERSECT|UNION|EXCEPT <m> ...]
+	// OF CVD <name> — a single-version relation, or a multi-version scan
+	// whose record membership is set algebra over version rlists.
 	if p.eat(tokKeyword, "VERSION") {
 		v, err := p.integer()
 		if err != nil {
 			return nil, err
+		}
+		var extras []int64
+		var setOps []string
+		for {
+			op := ""
+			switch {
+			case p.eat(tokKeyword, "INTERSECT"):
+				op = "INTERSECT"
+			case p.eat(tokKeyword, "UNION"):
+				op = "UNION"
+			case p.eat(tokKeyword, "EXCEPT"):
+				op = "EXCEPT"
+			}
+			if op == "" {
+				break
+			}
+			ev, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			extras = append(extras, int64(ev))
+			setOps = append(setOps, op)
 		}
 		if err := p.expectKeyword("OF"); err != nil {
 			return nil, err
@@ -353,7 +377,7 @@ func (p *parser) parseFromPrimary() (FromItem, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref := &TableRef{CVD: name, Version: int64(v)}
+		ref := &TableRef{CVD: name, Version: int64(v), ExtraVersions: extras, SetOps: setOps}
 		p.eat(tokKeyword, "AS")
 		if p.at(tokIdent, "") {
 			ref.Alias = p.cur().text

@@ -465,3 +465,57 @@ func TestExecNeverPanicsOnValidParses(t *testing.T) {
 		}()
 	}
 }
+
+func TestParseMultiVersionRef(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM VERSION 2 INTERSECT 3 UNION 5 EXCEPT 1 OF CVD prot AS p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	ref := sel.From[0].(*TableRef)
+	if ref.CVD != "prot" || ref.Version != 2 || ref.Alias != "p" {
+		t.Fatalf("ref = %+v", ref)
+	}
+	if len(ref.ExtraVersions) != 3 || ref.ExtraVersions[0] != 3 || ref.ExtraVersions[1] != 5 || ref.ExtraVersions[2] != 1 {
+		t.Fatalf("extra versions = %v", ref.ExtraVersions)
+	}
+	if len(ref.SetOps) != 3 || ref.SetOps[0] != "INTERSECT" || ref.SetOps[1] != "UNION" || ref.SetOps[2] != "EXCEPT" {
+		t.Fatalf("set ops = %v", ref.SetOps)
+	}
+	// A single-version ref parses with no chain.
+	stmt, err = Parse("SELECT * FROM VERSION 7 OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = stmt.(*SelectStmt).From[0].(*TableRef)
+	if ref.Version != 7 || len(ref.ExtraVersions) != 0 || len(ref.SetOps) != 0 {
+		t.Fatalf("single ref = %+v", ref)
+	}
+	// A trailing operator without a version is a parse error.
+	if _, err := Parse("SELECT * FROM VERSION 2 INTERSECT OF CVD prot"); err == nil {
+		t.Fatal("dangling INTERSECT accepted")
+	}
+}
+
+func TestBitmapValuesInSQL(t *testing.T) {
+	db := engine.NewDB()
+	mustExec(t, db, "CREATE TABLE vt (vid int PRIMARY KEY, rlist bitmap)")
+	tab := db.Table("vt")
+	if _, err := tab.Insert(engine.Row{engine.IntValue(7), engine.BitmapFromSlice([]int64{10, 11, 12})}); err != nil {
+		t.Fatal(err)
+	}
+	// unnest expands bitmap membership like an array.
+	r := mustExec(t, db, "SELECT unnest(rlist) AS rid FROM vt WHERE vid = 7")
+	if len(r.Rows) != 3 || r.Rows[0][0].I != 10 || r.Rows[2][0].I != 12 {
+		t.Fatalf("unnest(bitmap) = %v", r.Rows)
+	}
+	// <@ containment probes bitmap membership.
+	r = mustExec(t, db, "SELECT count(*) FROM vt WHERE ARRAY[10,12] <@ rlist")
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("array <@ bitmap = %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM vt WHERE ARRAY[10,99] <@ rlist")
+	if r.Rows[0][0].I != 0 {
+		t.Fatalf("non-contained array <@ bitmap = %v", r.Rows)
+	}
+}

@@ -1,43 +1,87 @@
 package vgraph
 
-import "sort"
+import (
+	"sort"
+
+	"orpheusdb/internal/bitmap"
+)
 
 // Bipartite is the version-record bipartite graph G = (V, R, E) of Section
-// 4.1: for every version the sorted list of record IDs it contains. It is
-// exactly the information the split-by-rlist versioning table stores.
+// 4.1: for every version the set of record IDs it contains. It is exactly the
+// information the split-by-rlist versioning table stores. Membership is held
+// as compressed bitmaps, so the aggregate queries the partition optimizer
+// hammers (intersection sizes for edge weights, unions for partition record
+// sets) are chunked set algebra rather than list merges.
 type Bipartite struct {
-	recs  map[VersionID][]RecordID
+	sets  map[VersionID]*bitmap.Bitmap
+	lists map[VersionID][]RecordID // lazily materialized Records() views
 	order []VersionID
 	edges int64
-	rset  map[RecordID]struct{}
+	all   *bitmap.Bitmap // union of every version's records
 }
 
 // NewBipartite returns an empty bipartite graph.
 func NewBipartite() *Bipartite {
 	return &Bipartite{
-		recs: make(map[VersionID][]RecordID),
-		rset: make(map[RecordID]struct{}),
+		sets:  make(map[VersionID]*bitmap.Bitmap),
+		lists: make(map[VersionID][]RecordID),
+		all:   bitmap.New(),
 	}
 }
 
-// AddVersion registers version v with its record list. The slice is sorted in
-// place and retained.
+// AddVersion registers version v with its record list.
 func (b *Bipartite) AddVersion(v VersionID, rids []RecordID) {
-	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
-	if _, ok := b.recs[v]; !ok {
-		b.order = append(b.order, v)
-	} else {
-		b.edges -= int64(len(b.recs[v]))
+	vals := make([]int64, len(rids))
+	for i, r := range rids {
+		vals[i] = int64(r)
 	}
-	b.recs[v] = rids
-	b.edges += int64(len(rids))
-	for _, r := range rids {
-		b.rset[r] = struct{}{}
-	}
+	b.AddVersionSet(v, bitmap.FromSlice(vals))
 }
 
-// Records returns the sorted record list of v. Callers must not modify it.
-func (b *Bipartite) Records(v VersionID) []RecordID { return b.recs[v] }
+// AddVersionSet registers version v with its membership set. The bitmap is
+// retained and must not be mutated afterwards.
+func (b *Bipartite) AddVersionSet(v VersionID, set *bitmap.Bitmap) {
+	if set == nil {
+		set = bitmap.New()
+	}
+	if old, ok := b.sets[v]; ok {
+		b.edges -= old.Cardinality()
+		delete(b.lists, v)
+	} else {
+		b.order = append(b.order, v)
+	}
+	b.sets[v] = set
+	b.edges += set.Cardinality()
+	b.all.OrInPlace(set)
+}
+
+// Set returns the membership bitmap of v (nil-safe empty set for unknown
+// versions). Callers must not mutate it.
+func (b *Bipartite) Set(v VersionID) *bitmap.Bitmap {
+	if s, ok := b.sets[v]; ok {
+		return s
+	}
+	return nil
+}
+
+// Records returns the sorted record list of v. The slice is cached; callers
+// must not modify it.
+func (b *Bipartite) Records(v VersionID) []RecordID {
+	if l, ok := b.lists[v]; ok {
+		return l
+	}
+	s, ok := b.sets[v]
+	if !ok {
+		return nil
+	}
+	l := make([]RecordID, 0, s.Cardinality())
+	s.Iterate(func(r int64) bool {
+		l = append(l, RecordID(r))
+		return true
+	})
+	b.lists[v] = l
+	return l
+}
 
 // Versions returns versions in insertion order.
 func (b *Bipartite) Versions() []VersionID { return b.order }
@@ -46,45 +90,44 @@ func (b *Bipartite) Versions() []VersionID { return b.order }
 func (b *Bipartite) NumVersions() int { return len(b.order) }
 
 // NumRecords returns |R|, the number of distinct records.
-func (b *Bipartite) NumRecords() int64 { return int64(len(b.rset)) }
+func (b *Bipartite) NumRecords() int64 { return b.all.Cardinality() }
 
 // NumEdges returns |E|.
 func (b *Bipartite) NumEdges() int64 { return b.edges }
 
-// CommonRecords counts the records shared by versions a and b by merging
-// their sorted lists.
+// CommonRecords counts the records shared by versions x and y.
 func (b *Bipartite) CommonRecords(x, y VersionID) int64 {
-	return IntersectSize(b.recs[x], b.recs[y])
+	return b.sets[x].AndCardinality(b.sets[y])
+}
+
+// UnionSet returns the union of the given versions' membership sets.
+func (b *Bipartite) UnionSet(vs []VersionID) *bitmap.Bitmap {
+	out := bitmap.New()
+	for _, v := range vs {
+		out.OrInPlace(b.sets[v])
+	}
+	return out
 }
 
 // UnionSize counts distinct records across the given versions.
 func (b *Bipartite) UnionSize(vs []VersionID) int64 {
-	seen := make(map[RecordID]struct{})
-	for _, v := range vs {
-		for _, r := range b.recs[v] {
-			seen[r] = struct{}{}
-		}
-	}
-	return int64(len(seen))
+	return b.UnionSet(vs).Cardinality()
 }
 
 // Union returns the sorted distinct records across the given versions.
 func (b *Bipartite) Union(vs []VersionID) []RecordID {
-	seen := make(map[RecordID]struct{})
-	for _, v := range vs {
-		for _, r := range b.recs[v] {
-			seen[r] = struct{}{}
-		}
-	}
-	out := make([]RecordID, 0, len(seen))
-	for r := range seen {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	set := b.UnionSet(vs)
+	out := make([]RecordID, 0, set.Cardinality())
+	set.Iterate(func(r int64) bool {
+		out = append(out, RecordID(r))
+		return true
+	})
 	return out
 }
 
-// IntersectSize counts common elements of two sorted RecordID slices.
+// IntersectSize counts common elements of two sorted RecordID slices. Kept
+// for callers that work with materialized lists; set-holding code should use
+// CommonRecords / bitmap.AndCardinality.
 func IntersectSize(a, b []RecordID) int64 {
 	var n int64
 	i, j := 0, 0
@@ -103,6 +146,12 @@ func IntersectSize(a, b []RecordID) int64 {
 	return n
 }
 
+// SortRecordIDs sorts a RecordID slice ascending (IntersectSize requires
+// sorted inputs).
+func SortRecordIDs(rs []RecordID) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
 // Graph derives the version graph implied by the bipartite structure and an
 // explicit parent relation: edge weights are the record intersections.
 // parents[v] lists v's parents (commit order respected).
@@ -114,7 +163,7 @@ func (b *Bipartite) Graph(parents map[VersionID][]VersionID) (*Graph, error) {
 		for i, p := range ps {
 			ws[i] = b.CommonRecords(p, v)
 		}
-		if err := g.AddVersion(v, ps, int64(len(b.recs[v])), ws); err != nil {
+		if err := g.AddVersion(v, ps, b.sets[v].Cardinality(), ws); err != nil {
 			return nil, err
 		}
 	}

@@ -58,6 +58,18 @@ type (
 	OptimizeResult = core.OptimizeResult
 	// MaintenanceResult reports a periodic partition-maintenance check.
 	MaintenanceResult = core.MaintenanceResult
+	// SetOp is a record-membership operator for multi-version scans.
+	SetOp = core.SetOp
+	// StorageBreakdown splits dataset storage into membership vs data bytes.
+	StorageBreakdown = core.StorageBreakdown
+)
+
+// Membership set operators for Dataset.MultiVersionCheckout and the SQL
+// `VERSION v1 INTERSECT v2 OF CVD name` syntax.
+const (
+	SetUnion     = core.SetOpUnion
+	SetIntersect = core.SetOpIntersect
+	SetExcept    = core.SetOpExcept
 )
 
 // The data models of Section 3, plus the partitioned hybrid of Section 4.
@@ -584,7 +596,9 @@ func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
 	return v, err
 }
 
-// Diff returns the rows only in a and only in b.
+// Diff returns the rows only in a and only in b. Membership is resolved as
+// bitmap differences over the versions' rlists, so only |result| records are
+// fetched from the backing tables.
 func (d *Dataset) Diff(a, b VersionID) (onlyA, onlyB []Row, err error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -592,6 +606,29 @@ func (d *Dataset) Diff(a, b VersionID) (onlyA, onlyB []Row, err error) {
 		return nil, nil, err
 	}
 	return d.cvd.Diff(a, b)
+}
+
+// MultiVersionCheckout materializes a left-associative chain of record-set
+// operations over versions: vids[0] ops[0] vids[1] ... — the programmatic
+// face of the SQL `VERSION v1 INTERSECT v2 OF CVD name` scan. With a single
+// version and no ops it degenerates to a plain checkout of that version's
+// records. Unlike Checkout, results are record-id algebra: no primary-key
+// precedence is applied.
+func (d *Dataset) MultiVersionCheckout(vids []VersionID, ops []SetOp) ([]Row, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	return d.cvd.MultiVersionCheckout(vids, ops)
+}
+
+// StorageBreakdown reports where the dataset's bytes live: compressed
+// membership (rlists/vlists) versus record data.
+func (d *Dataset) StorageBreakdown() StorageBreakdown {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.StorageBreakdown()
 }
 
 // Ancestors returns all transitive ancestors of v.

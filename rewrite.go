@@ -332,10 +332,10 @@ func walkExpr(e sql.Expr, visit func(*sql.SelectStmt) error) error {
 }
 
 // materializeRef creates a transient table for a CVD reference: a single
-// version's rows, or the all-versions view with a leading vid column. The
-// table name is globally unique so concurrent queries never collide, and the
-// dataset's read lock is held for the duration of the copy so a concurrent
-// commit cannot interleave.
+// version's rows, a multi-version set-operation scan, or the all-versions
+// view with a leading vid column. The table name is globally unique so
+// concurrent queries never collide, and the dataset's read lock is held for
+// the duration of the copy so a concurrent commit cannot interleave.
 func (s *Store) materializeRef(ref *sql.TableRef) (string, error) {
 	d, err := s.dataset(ref.CVD) // caller (Run) already holds ioMu
 	if err != nil {
@@ -344,6 +344,38 @@ func (s *Store) materializeRef(ref *sql.TableRef) (string, error) {
 	name := fmt.Sprintf("__orpheus_tmp_%s_%d", ref.CVD, s.tmpSeq.Add(1))
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if ref.Version >= 0 && len(ref.ExtraVersions) > 0 {
+		// Multi-version scan: resolve membership with bitmap algebra over
+		// the versions' rlists, then materialize only the result records —
+		// the data table is never touched for records outside the result.
+		vids := make([]vgraph.VersionID, 0, len(ref.ExtraVersions)+1)
+		vids = append(vids, vgraph.VersionID(ref.Version))
+		for _, v := range ref.ExtraVersions {
+			vids = append(vids, vgraph.VersionID(v))
+		}
+		ops := make([]core.SetOp, len(ref.SetOps))
+		for i, kw := range ref.SetOps {
+			op, err := core.ParseSetOp(kw)
+			if err != nil {
+				return "", err
+			}
+			ops[i] = op
+		}
+		rows, err := d.cvd.MultiVersionCheckout(vids, ops)
+		if err != nil {
+			return "", err
+		}
+		t, err := s.db.CreateTable(name, d.cvd.Columns())
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			if _, err := t.Insert(r); err != nil {
+				return "", err
+			}
+		}
+		return name, nil
+	}
 	if ref.Version >= 0 {
 		vid := vgraph.VersionID(ref.Version)
 		rows, err := d.cvd.Checkout(vid)
