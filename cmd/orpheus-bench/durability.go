@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// durabilityBench measures acknowledged-commit latency under each durability
+// mode: the legacy whole-store snapshot rewrite ("snapshot-sync", what a
+// durable commit cost before the WAL existed) against WAL appends under each
+// fsync policy. Output is a table plus optional JSON (BENCH_wal.json) with a
+// per-window latency trajectory, showing how snapshot cost grows with store
+// size while WAL appends stay flat.
+func durabilityBench(args []string) error {
+	fs := flag.NewFlagSet("durability", flag.ContinueOnError)
+	commits := fs.Int("commits", 200, "commits per mode")
+	rows := fs.Int("rows", 100, "rows per commit")
+	jsonPath := fs.String("json", "", "also write results as JSON to this file")
+	modes := fs.String("modes", "snapshot-sync,always,interval,off", "comma-separated modes to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var out durabilityReport
+	out.Benchmark = "Durability"
+	out.Commits = *commits
+	out.RowsPerCommit = *rows
+	fmt.Printf("== Durability: %d commits x %d rows, commit latency by fsync mode ==\n", *commits, *rows)
+	fmt.Printf("%-14s %12s %12s %12s %12s\n", "mode", "p50", "p99", "mean", "total")
+	for _, mode := range strings.Split(*modes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		res, err := runDurabilityMode(mode, *commits, *rows)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		out.Modes = append(out.Modes, res)
+		fmt.Printf("%-14s %12v %12v %12v %12v\n", mode,
+			time.Duration(res.P50Nanos), time.Duration(res.P99Nanos),
+			time.Duration(res.MeanNanos), time.Duration(res.TotalNanos))
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+type durabilityReport struct {
+	Benchmark     string           `json:"benchmark"`
+	Commits       int              `json:"commits"`
+	RowsPerCommit int              `json:"rows_per_commit"`
+	Modes         []durabilityMode `json:"modes"`
+}
+
+type durabilityMode struct {
+	Mode       string `json:"mode"`
+	P50Nanos   int64  `json:"p50_ns"`
+	P99Nanos   int64  `json:"p99_ns"`
+	MeanNanos  int64  `json:"mean_ns"`
+	TotalNanos int64  `json:"total_ns"`
+	// Trajectory reports p50/p99 per quarter of the run: snapshot-sync
+	// degrades as the store grows, WAL modes stay flat.
+	Trajectory []trajectoryPoint `json:"trajectory"`
+}
+
+type trajectoryPoint struct {
+	UptoCommit int   `json:"upto_commit"`
+	P50Nanos   int64 `json:"p50_ns"`
+	P99Nanos   int64 `json:"p99_ns"`
+}
+
+// runDurabilityMode times `commits` acknowledged commits under one mode.
+func runDurabilityMode(mode string, commits, rowsPer int) (durabilityMode, error) {
+	dir, err := os.MkdirTemp("", "orpheus-durability-*")
+	if err != nil {
+		return durabilityMode{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := orpheusdb.OpenStore(filepath.Join(dir, "bench.odb"))
+	if err != nil {
+		return durabilityMode{}, err
+	}
+	snapshotSync := mode == "snapshot-sync"
+	if !snapshotSync {
+		policy, err := orpheusdb.ParseFsyncPolicy(mode)
+		if err != nil {
+			return durabilityMode{}, err
+		}
+		if err := store.EnableWAL(orpheusdb.WALConfig{Policy: policy}); err != nil {
+			return durabilityMode{}, err
+		}
+		// Long debounce: checkpoints off the measured path.
+		store.SetSaveDelay(time.Hour)
+	}
+	cols := []orpheusdb.Column{
+		{Name: "id", Type: orpheusdb.KindInt},
+		{Name: "payload", Type: orpheusdb.KindString},
+	}
+	ds, err := store.Init("bench", cols, orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		return durabilityMode{}, err
+	}
+	lat := make([]int64, 0, commits)
+	var parent orpheusdb.VersionID
+	var total time.Duration
+	for c := 0; c < commits; c++ {
+		rows := make([]orpheusdb.Row, rowsPer)
+		for i := range rows {
+			id := int64(c*rowsPer + i)
+			rows[i] = orpheusdb.Row{orpheusdb.Int(id), orpheusdb.String(fmt.Sprintf("payload-%d", id))}
+		}
+		var parents []orpheusdb.VersionID
+		if parent != 0 {
+			parents = []orpheusdb.VersionID{parent}
+		}
+		start := time.Now()
+		v, err := ds.Commit(rows, parents, fmt.Sprintf("c%d", c))
+		if err != nil {
+			return durabilityMode{}, err
+		}
+		if snapshotSync {
+			// The pre-WAL durability story: a commit is durable only once
+			// the full store snapshot hits disk.
+			if err := store.Save(); err != nil {
+				return durabilityMode{}, err
+			}
+		}
+		d := time.Since(start)
+		lat = append(lat, d.Nanoseconds())
+		total += d
+		parent = v
+	}
+	store.Flush()
+	res := durabilityMode{
+		Mode:       mode,
+		P50Nanos:   quantile(lat, 0.50),
+		P99Nanos:   quantile(lat, 0.99),
+		MeanNanos:  total.Nanoseconds() / int64(len(lat)),
+		TotalNanos: total.Nanoseconds(),
+	}
+	quarter := (commits + 3) / 4
+	for start := 0; start < commits; start += quarter {
+		end := start + quarter
+		if end > commits {
+			end = commits
+		}
+		window := lat[start:end]
+		res.Trajectory = append(res.Trajectory, trajectoryPoint{
+			UptoCommit: end,
+			P50Nanos:   quantile(window, 0.50),
+			P99Nanos:   quantile(window, 0.99),
+		})
+	}
+	return res, nil
+}
+
+// quantile returns the q-quantile of ns (not modified).
+func quantile(ns []int64, q float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -8,6 +8,11 @@
 //
 // Artifacts: table1 table2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 // fig19 fig20 fig21 fig22 fig23 all
+//
+// Two load-generator modes exist beyond the paper's artifacts: `http` drives
+// a running orpheus serve instance, and `durability` measures acknowledged-
+// commit latency under each WAL fsync policy against the legacy full-
+// snapshot rewrite.
 package main
 
 import (
@@ -33,11 +38,19 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: orpheus-bench [flags] <table1|table2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig19|fig20|fig21|fig22|fig23|all>")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench http [-clients 32] [-duration 5s] [-url http://host:port] [-mix commit=20,checkout=40,diff=10,query=30]")
+		fmt.Fprintln(os.Stderr, "       orpheus-bench durability [-commits 200] [-rows 100] [-modes snapshot-sync,always,interval,off] [-json BENCH_wal.json]")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "http" {
 		if err := httpBench(flag.Args()[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "orpheus-bench: http:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "durability" {
+		if err := durabilityBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus-bench: durability:", err)
 			os.Exit(1)
 		}
 		return

@@ -19,7 +19,13 @@
 //	run [-q <sql> | -s <script.sql>]                      execute SQL (VERSION ... OF CVD supported)
 //	create_user <name> | whoami | config -u <user>
 //	explain <cvd> -v <vid>                                Table 1 SQL translations
-//	serve [-addr :7077] [-quiet]                          run the HTTP/JSON versioning service
+//	serve [-addr :7077] [-quiet] [-fsync always|interval|off]
+//	                                                      run the HTTP/JSON versioning service
+//
+// The global -wal <dir> flag write-ahead-logs every mutation for crash
+// recovery; when <store>.wal already exists it is attached automatically so
+// CLI commands stay consistent with a WAL-enabled service. `serve` manages
+// its own WAL via -wal/-wal-dir/-fsync flags.
 package main
 
 import (
@@ -44,6 +50,7 @@ func run(args []string) error {
 	global := flag.NewFlagSet("orpheus", flag.ContinueOnError)
 	dbPath := global.String("d", "orpheus.odb", "store file")
 	user := global.String("u", "", "act as this user")
+	walDir := global.String("wal", "", "write-ahead log directory (default: <store>.wal when it exists)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -55,12 +62,31 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Attach the WAL when asked for — or when the store already has one, so
+	// CLI mutations stay consistent with a concurrently-served log (saving a
+	// snapshot without replaying the log tail would double-apply it later).
+	dir := *walDir
+	if dir == "" {
+		if fi, err := os.Stat(*dbPath + ".wal"); err == nil && fi.IsDir() {
+			dir = *dbPath + ".wal"
+		}
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+	if dir != "" {
+		if cmd == "serve" {
+			// serve manages its own WAL (policy flags, status banner); the
+			// global flag just becomes its directory default — an explicit
+			// -wal-dir later in the args still wins.
+			cmdArgs = append([]string{"-wal-dir", dir}, cmdArgs...)
+		} else if err := store.EnableWAL(orpheusdb.WALConfig{Dir: dir, Policy: orpheusdb.FsyncAlways}); err != nil {
+			return err
+		}
+	}
 	if *user != "" {
 		if err := store.SetUser(*user); err != nil {
 			return err
 		}
 	}
-	cmd, cmdArgs := rest[0], rest[1:]
 	if err := dispatch(store, cmd, cmdArgs); err != nil {
 		return err
 	}

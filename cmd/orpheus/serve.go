@@ -17,17 +17,53 @@ import (
 )
 
 // cmdServe runs the store as a concurrent HTTP/JSON versioning service
-// (`orpheus -d store.odb serve -addr :7077`). The process persists commits
-// asynchronously with a debounced save and flushes on shutdown.
+// (`orpheus -d store.odb serve -addr :7077`). Commits are made durable
+// through the write-ahead log (enabled by default, see -wal* and -fsync
+// flags); snapshots happen as debounced checkpoints that also truncate the
+// log, and the store flushes on shutdown.
 func cmdServe(store *orpheusdb.Store, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":7077", "listen address")
 	quiet := fs.Bool("quiet", false, "disable request logging")
-	saveDelay := fs.Duration("save-delay", orpheusdb.DefaultSaveDelay, "debounce interval for async persistence")
+	saveDelay := fs.Duration("save-delay", orpheusdb.DefaultSaveDelay, "debounce interval for async checkpoints")
+	walOn := fs.Bool("wal", true, "write-ahead log every mutation (crash recovery)")
+	walDir := fs.String("wal-dir", "", "WAL segment directory (default <store>.wal)")
+	fsync := fs.String("fsync", "interval", "WAL fsync policy: always|interval|off")
+	fsyncEvery := fs.Duration("fsync-interval", 50*time.Millisecond, "background fsync cadence for -fsync=interval")
+	segBytes := fs.Int64("wal-segment-bytes", 0, "rotate WAL segments past this size (default 16 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	store.SetSaveDelay(*saveDelay)
+	if !*walOn && !store.WALEnabled() && store.Path() != "" {
+		// Serving without the WAL while a log exists would save snapshots
+		// whose watermark never advances past the stale tail; the next
+		// WAL-enabled open would then replay obsolete records over newer
+		// state. Refuse rather than quietly poisoning the store.
+		legacy := store.Path() + ".wal"
+		if fi, err := os.Stat(legacy); err == nil && fi.IsDir() {
+			return fmt.Errorf("serve: %s exists; serving with -wal=false would desync it from the snapshot (delete the log or drop the flag)", legacy)
+		}
+	}
+	if *walOn && !store.WALEnabled() {
+		if store.Path() == "" && *walDir == "" {
+			return errors.New("serve: -wal needs -wal-dir for an in-memory store")
+		}
+		policy, err := orpheusdb.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		if err := store.EnableWAL(orpheusdb.WALConfig{
+			Dir:          *walDir,
+			Policy:       policy,
+			SyncInterval: *fsyncEvery,
+			SegmentBytes: *segBytes,
+		}); err != nil {
+			return fmt.Errorf("serve: enable WAL: %w", err)
+		}
+		st := store.WALStatus()
+		fmt.Fprintf(os.Stderr, "orpheus: WAL %s (fsync=%s, applied LSN %d)\n", st.Dir, st.Policy, st.AppliedLSN)
+	}
 
 	var logger *log.Logger
 	if !*quiet {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is the engine's catalog: a set of named tables sharing one Stats
@@ -14,6 +15,11 @@ type DB struct {
 	tables   map[string]*Table
 	settings map[string]string
 	stats    Stats
+
+	// walLSN is the last write-ahead-log sequence number whose effects are
+	// reflected in this database. The store advances it after each logged
+	// mutation; snapshots carry it so recovery knows where replay starts.
+	walLSN atomic.Uint64
 }
 
 // NewDB returns an empty database.
@@ -26,6 +32,25 @@ func NewDB() *DB {
 
 // Stats returns the shared I/O counters.
 func (db *DB) Stats() *Stats { return &db.stats }
+
+// WalLSN returns the last WAL sequence number applied to this database.
+func (db *DB) WalLSN() uint64 { return db.walLSN.Load() }
+
+// SetWalLSN overwrites the applied-LSN marker (used when loading snapshots).
+func (db *DB) SetWalLSN(lsn uint64) { db.walLSN.Store(lsn) }
+
+// AdvanceWalLSN raises the applied-LSN marker to lsn if it is higher.
+// Concurrent mutators on independent datasets may finish their WAL appends
+// out of LSN order; the max is always correct because a snapshot is only
+// captured while all mutators are quiesced.
+func (db *DB) AdvanceWalLSN(lsn uint64) {
+	for {
+		cur := db.walLSN.Load()
+		if lsn <= cur || db.walLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
 
 // SetSetting stores a session setting (e.g. "join_method" = "hash").
 func (db *DB) SetSetting(key, value string) {

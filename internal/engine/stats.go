@@ -20,6 +20,13 @@ type Stats struct {
 	RowsScanned atomic.Int64 // rows materialized from pages
 	IndexProbes atomic.Int64 // index lookups performed
 	HashBuilds  atomic.Int64 // rows inserted into transient hash tables
+
+	// Checkpoint accounting: how many snapshot checkpoints ran and the
+	// cumulative estimated snapshot bytes they captured (DBSnapshot.
+	// ByteSize), so the cost of full-store persistence is observable next
+	// to the I/O it competes with.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
 }
 
 // StatSnapshot is an immutable copy of the counters.
@@ -29,6 +36,9 @@ type StatSnapshot struct {
 	RowsScanned int64
 	IndexProbes int64
 	HashBuilds  int64
+
+	Checkpoints     int64
+	CheckpointBytes int64
 }
 
 // Snapshot copies the current counter values.
@@ -39,6 +49,9 @@ func (s *Stats) Snapshot() StatSnapshot {
 		RowsScanned: s.RowsScanned.Load(),
 		IndexProbes: s.IndexProbes.Load(),
 		HashBuilds:  s.HashBuilds.Load(),
+
+		Checkpoints:     s.Checkpoints.Load(),
+		CheckpointBytes: s.CheckpointBytes.Load(),
 	}
 }
 
@@ -49,6 +62,8 @@ func (s *Stats) Reset() {
 	s.RowsScanned.Store(0)
 	s.IndexProbes.Store(0)
 	s.HashBuilds.Store(0)
+	s.Checkpoints.Store(0)
+	s.CheckpointBytes.Store(0)
 }
 
 // Since returns the counter deltas accumulated after the given snapshot.
@@ -60,6 +75,9 @@ func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
 		RowsScanned: cur.RowsScanned - prev.RowsScanned,
 		IndexProbes: cur.IndexProbes - prev.IndexProbes,
 		HashBuilds:  cur.HashBuilds - prev.HashBuilds,
+
+		Checkpoints:     cur.Checkpoints - prev.Checkpoints,
+		CheckpointBytes: cur.CheckpointBytes - prev.CheckpointBytes,
 	}
 }
 

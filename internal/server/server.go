@@ -22,6 +22,8 @@
 //	POST   /api/v1/query                              SQL with VERSION ... OF CVD
 //	GET    /api/v1/users                              list users
 //	POST   /api/v1/users                              register a user
+//	GET    /api/v1/wal/status                         durability status (WAL, checkpoints, errors)
+//	POST   /api/v1/wal/checkpoint                     force a checkpoint + log truncation
 //
 // The Store's own locking makes every handler safe under concurrency:
 // commits on one dataset proceed in parallel with checkouts on another, and
@@ -74,6 +76,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
 	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
+	s.mux.HandleFunc("GET /api/v1/wal/status", s.handleWALStatus)
+	s.mux.HandleFunc("POST /api/v1/wal/checkpoint", s.handleWALCheckpoint)
 }
 
 // ServeHTTP implements http.Handler with optional request logging.
@@ -129,7 +133,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp["status"] = "degraded"
 		resp["save_error"] = err.Error()
 	}
+	// Durability summary: a WAL that stopped accepting appends degrades the
+	// service even though requests still succeed from memory.
+	wal := s.store.WALStatus()
+	resp["wal"] = wal
+	if wal.AppendError != "" {
+		resp["status"] = "degraded"
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWALStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.WALStatus())
+}
+
+// handleWALCheckpoint forces a synchronous checkpoint: snapshot the store,
+// then truncate the log segments the snapshot made obsolete.
+func (s *Server) handleWALCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Checkpoint(); err != nil {
+		writeError(w, fmt.Errorf("checkpoint: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.WALStatus())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +219,17 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, sum)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+	resp := map[string]any{"datasets": out}
+	// Surface persistence failures where clients actually look: a dataset
+	// listing that silently reflects an unpersistable store is a trap for
+	// callers who never poll SaveErr.
+	if err := s.store.SaveErr(); err != nil {
+		resp["saveError"] = err.Error()
+	}
+	if wal := s.store.WALStatus(); wal.AppendError != "" {
+		resp["walError"] = wal.AppendError
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleInitDataset(w http.ResponseWriter, r *http.Request) {

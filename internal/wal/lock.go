@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Single-writer enforcement. A log directory is owned by at most one process
+// at a time: tail repair truncates the active segment and the LSN counter
+// lives in process memory, so a second opener (say, a CLI command while the
+// server is running) would corrupt the log. Ownership is an advisory flock
+// on <dir>/wal.lock — released automatically by the kernel if the owner
+// dies, so crashes never leave a stale lock behind.
+
+const lockFileName = "wal.lock"
+
+// acquireDirLock takes the exclusive lock, failing fast when another
+// process holds it.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the flock (also implicit in Close, but explicit keeps
+// the intent visible).
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

@@ -1,0 +1,452 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/engine"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"always", PolicyAlways}, {"Interval", PolicyInterval}, {"off", PolicyOff}, {"none", PolicyOff}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}
+
+func sampleRecords() []*Record {
+	members := bitmap.FromSlice([]int64{1, 2, 3, 900000})
+	return []*Record{
+		{
+			Type:    TypeInit,
+			Dataset: "prot",
+			Model:   "split-by-rlist",
+			Cols: []engine.Column{
+				{Name: "id", Type: engine.KindInt},
+				{Name: "name", Type: engine.KindString},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Type:      TypeCommit,
+			Dataset:   "prot",
+			Msg:       "first",
+			Parents:   []int64{1, 2},
+			Version:   3,
+			TimeNanos: 1234567890,
+			Rows: []engine.Row{
+				{engine.IntValue(1), engine.StringValue("a")},
+				{engine.FloatValue(2.5), engine.NullValue()},
+				{engine.BoolValue(true), engine.ArrayValue([]int64{7, 8, 9})},
+				{engine.Value{K: engine.KindBitmap, B: bitmap.FromSlice([]int64{5, 6})}, engine.IntValue(0)},
+			},
+			Members: members,
+		},
+		{
+			Type:      TypeCommitSchema,
+			Dataset:   "prot",
+			Msg:       "evolve",
+			Cols:      []engine.Column{{Name: "id", Type: engine.KindFloat}},
+			Rows:      []engine.Row{{engine.FloatValue(1)}},
+			Version:   4,
+			TimeNanos: 42,
+			Members:   bitmap.FromSlice([]int64{10}),
+		},
+		{
+			Type:      TypeCommitTable,
+			Dataset:   "prot",
+			Table:     "staged1",
+			User:      "alice",
+			Msg:       "from table",
+			Cols:      []engine.Column{{Name: "id", Type: engine.KindInt}},
+			Rows:      []engine.Row{{engine.IntValue(9)}},
+			Parents:   []int64{4},
+			Version:   5,
+			TimeNanos: 43,
+			Members:   bitmap.FromSlice([]int64{11}),
+		},
+		{Type: TypeOptimize, Dataset: "prot", Gamma: 2.5, Naive: true},
+		{Type: TypeOptimize, Dataset: "prot", Gamma: 1.5, Weighted: true, Freq: map[int64]int64{1: 10, 2: 1}},
+		{Type: TypeMaintain, Dataset: "prot", Gamma: 2, Mu: 1.5},
+		{Type: TypeDrop, Dataset: "prot"},
+		{Type: TypeUserAdd, User: "bob"},
+		{Type: TypeCheckpoint, Version: 17},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		got, err := Decode(rec.Encode())
+		if err != nil {
+			t.Fatalf("record %d (%s): decode: %v", i, rec.Type, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("record %d (%s): round trip mismatch:\n in: %+v\nout: %+v", i, rec.Type, rec, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("want error for empty payload")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Fatal("want error for bad codec version")
+	}
+	rec := sampleRecords()[1]
+	enc := rec.Encode()
+	if _, err := Decode(enc[:len(enc)/2]); err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("want error for trailing bytes")
+	}
+}
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := &Record{Type: TypeCommit, Dataset: "d", Msg: fmt.Sprintf("c%d", from+i), Version: int64(from + i)}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", from+i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, dir string, from uint64) []*Record {
+	t.Helper()
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	defer l.Close()
+	var out []*Record
+	if err := l.Replay(from, func(lsn uint64, rec *Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyAlways})
+	appendN(t, l, 0, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir, 0)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Version != int64(i) {
+			t.Fatalf("record %d has version %d", i, r.Version)
+		}
+	}
+	// Reopen and continue appending; LSNs stay dense.
+	l2 := openT(t, dir, Options{Policy: PolicyInterval, SyncInterval: time.Millisecond})
+	if got := l2.NextLSN(); got != 11 {
+		t.Fatalf("NextLSN after reopen = %d, want 11", got)
+	}
+	appendN(t, l2, 10, 5)
+	l2.Close()
+	if recs := collect(t, dir, 0); len(recs) != 15 {
+		t.Fatalf("replayed %d records, want 15", len(recs))
+	}
+	if recs := collect(t, dir, 12); len(recs) != 3 {
+		t.Fatalf("replay from 12 gave %d records, want 3", len(recs))
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff, SegmentBytes: 256})
+	appendN(t, l, 0, 50)
+	st, err := l.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 3 {
+		t.Fatalf("want >= 3 segments after rotation, got %d", st.Segments)
+	}
+	// A checkpoint at LSN 30 frees every segment fully below it.
+	if err := l.Truncate(30); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := l.Stat()
+	if st2.Segments >= st.Segments {
+		t.Fatalf("truncate removed nothing (%d -> %d segments)", st.Segments, st2.Segments)
+	}
+	// Replay from the checkpoint still sees exactly records 31..50.
+	var lsns []uint64
+	if err := l.Replay(30, func(lsn uint64, rec *Record) error {
+		lsns = append(lsns, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 20 || lsns[0] != 31 || lsns[len(lsns)-1] != 50 {
+		t.Fatalf("replay after truncate: got %d records [%v..], want 31..50", len(lsns), lsns)
+	}
+	// A checkpoint covering the whole log rotates the active segment away.
+	if err := l.Truncate(50); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 50, 1)
+	l.Close()
+	if recs := collect(t, dir, 50); len(recs) != 1 {
+		t.Fatalf("append after full truncate: %d records, want 1", len(recs))
+	}
+}
+
+func TestReplayGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff, SegmentBytes: 128})
+	appendN(t, l, 0, 20)
+	if err := l.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Replay(0, func(uint64, *Record) error { return nil })
+	if err == nil {
+		t.Fatal("want gap error replaying from 0 after truncate(10)")
+	}
+	l.Close()
+}
+
+// segmentFiles lists segment paths sorted by first LSN.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, p := range segmentFiles(t, src) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(p)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestKillPointTornTail cuts the log at every byte offset and checks that
+// recovery yields exactly the longest valid prefix of appended records —
+// never an error, never a phantom record.
+func TestKillPointTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	const n = 8
+	appendN(t, l, 0, n)
+	l.Close()
+	files := segmentFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(files))
+	}
+	full, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries for computing the expected prefix at each cut.
+	var bounds []int
+	pos := 0
+	for pos < len(full) {
+		_, adv, ok := readFrame(full[pos:])
+		if !ok {
+			t.Fatalf("unexpected invalid frame at %d", pos)
+		}
+		pos += adv
+		bounds = append(bounds, pos)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(files[0])), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, b := range bounds {
+			if b <= cut {
+				want++
+			}
+		}
+		recs := collect(t, cutDir, 0)
+		if len(recs) != want {
+			t.Fatalf("cut at byte %d: recovered %d records, want %d", cut, len(recs), want)
+		}
+		for i, r := range recs {
+			if r.Version != int64(i) {
+				t.Fatalf("cut at byte %d: record %d is version %d", cut, i, r.Version)
+			}
+		}
+	}
+}
+
+// TestBadCRCMidLog flips a byte inside an early record: recovery must stop at
+// the record before it, discard the rest (including later segments), and
+// leave the log appendable.
+func TestBadCRCMidLog(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff, SegmentBytes: 200})
+	appendN(t, l, 0, 30)
+	l.Close()
+	files := segmentFiles(t, dir)
+	if len(files) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(files))
+	}
+	corrupt := copyDir(t, dir)
+	files = segmentFiles(t, corrupt)
+	// Flip a payload byte in the middle of the second segment.
+	data, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(files[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, corrupt, Options{Policy: PolicyOff})
+	var got []*Record
+	if err := l2.Replay(0, func(_ uint64, rec *Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after mid-log corruption: %v", err)
+	}
+	if len(got) == 0 || len(got) >= 30 {
+		t.Fatalf("recovered %d records, want a proper prefix", len(got))
+	}
+	for i, r := range got {
+		if r.Version != int64(i) {
+			t.Fatalf("record %d is version %d: recovery is not a prefix", i, r.Version)
+		}
+	}
+	// Later segments must be gone and the log must accept fresh appends.
+	if rem := segmentFiles(t, corrupt); len(rem) > 2 {
+		t.Fatalf("segments after the corruption survived repair: %v", rem)
+	}
+	next := l2.NextLSN()
+	if next != uint64(len(got))+1 {
+		t.Fatalf("NextLSN = %d after recovering %d records", next, len(got))
+	}
+	appendN(t, l2, len(got), 1)
+	l2.Close()
+	if recs := collect(t, corrupt, 0); len(recs) != len(got)+1 {
+		t.Fatalf("after post-repair append: %d records, want %d", len(recs), len(got)+1)
+	}
+}
+
+func TestEmptyAndGarbageSegments(t *testing.T) {
+	dir := t.TempDir()
+	// An empty segment (crash between rotation and first append) is fine.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	if got := l.NextLSN(); got != 1 {
+		t.Fatalf("NextLSN = %d, want 1", got)
+	}
+	appendN(t, l, 0, 3)
+	l.Close()
+
+	// A segment holding only garbage is truncated to zero records.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, segmentName(1)), []byte("not a wal segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, dir2, 0); len(recs) != 0 {
+		t.Fatalf("garbage segment yielded %d records", len(recs))
+	}
+}
+
+func TestEnsureNextLSN(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	if err := l.EnsureNextLSN(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextLSN(); got != 100 {
+		t.Fatalf("NextLSN = %d, want 100", got)
+	}
+	appendN(t, l, 0, 2)
+	l.Close()
+	var lsns []uint64
+	l2 := openT(t, dir, Options{Policy: PolicyOff})
+	if err := l2.Replay(99, func(lsn uint64, _ *Record) error {
+		lsns = append(lsns, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 2 || lsns[0] != 100 {
+		t.Fatalf("replay from 99: %v", lsns)
+	}
+	l2.Close()
+}
+
+func TestBrokenLogRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	appendN(t, l, 0, 1)
+	l.mu.Lock()
+	l.broken = fmt.Errorf("disk on fire")
+	l.mu.Unlock()
+	if _, err := l.Append(&Record{Type: TypeUserAdd, User: "x"}); err == nil {
+		t.Fatal("want error appending to a broken log")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() should report the failure")
+	}
+	l.Close()
+}
+
+// TestSingleOwnerLock: a log directory admits one process/opener at a time,
+// so a CLI cannot repair-truncate a segment out from under a live server.
+func TestSingleOwnerLock(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: PolicyOff})
+	if _, err := Open(Options{Dir: dir, Policy: PolicyOff}); err == nil {
+		t.Fatal("second Open of a held log directory must fail")
+	}
+	l.Close()
+	// Released on Close: the next opener gets it.
+	l2 := openT(t, dir, Options{Policy: PolicyOff})
+	l2.Close()
+}

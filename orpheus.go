@@ -34,6 +34,7 @@ import (
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/sql"
 	"orpheusdb/internal/vgraph"
+	"orpheusdb/internal/wal"
 )
 
 // Re-exported identifiers so applications only import this package.
@@ -147,6 +148,15 @@ type Store struct {
 	saveTimer *time.Timer
 	saveArmed bool
 	saveErr   error
+
+	// Write-ahead log (EnableWAL; nil when disabled). Set once before the
+	// store is shared, then read-only. walErr records the first append
+	// failure (guarded by saveMu); ckptLSN is the watermark covered by the
+	// last successful checkpoint.
+	wal     *wal.Log
+	walCfg  WALConfig
+	walErr  error
+	ckptLSN atomic.Uint64
 }
 
 func newStore(db *engine.DB, path string) *Store {
@@ -183,6 +193,12 @@ func OpenStore(path string) (*Store, error) {
 // stores). The save lock is held exclusively only while the in-memory
 // snapshot is captured; the expensive gob encode and disk write run after
 // it is released, so in-flight requests stall only for the copy.
+//
+// With a WAL attached, Save is a checkpoint: the snapshot carries the
+// applied-LSN watermark, and on success the log segments it made obsolete
+// are truncated. The snapshot's estimated size is accounted in
+// engine.Stats (Checkpoints / CheckpointBytes) so checkpoint cost stays
+// observable.
 func (s *Store) Save() error {
 	if s.path == "" {
 		return nil
@@ -193,6 +209,24 @@ func (s *Store) Save() error {
 	snap := s.db.Snapshot()
 	s.ioMu.Unlock()
 	err := snap.WriteFile(s.path)
+	if err == nil {
+		stats := s.db.Stats()
+		stats.Checkpoints.Add(1)
+		// The file just written gives the exact cost for free; the
+		// Snapshot.ByteSize estimator exists for callers who need the
+		// figure before encoding.
+		if fi, serr := os.Stat(s.path); serr == nil {
+			stats.CheckpointBytes.Add(fi.Size())
+		} else {
+			stats.CheckpointBytes.Add(snap.ByteSize())
+		}
+		s.ckptLSN.Store(snap.WalLSN)
+		if s.wal != nil {
+			if terr := s.wal.Truncate(snap.WalLSN); terr != nil {
+				err = terr
+			}
+		}
+	}
 	s.saveMu.Lock()
 	s.saveErr = err
 	s.saveMu.Unlock()
@@ -240,7 +274,8 @@ func (s *Store) SaveErr() error {
 	return s.saveErr
 }
 
-// Flush cancels any pending debounced save and persists synchronously. Call
+// Flush cancels any pending debounced save and persists synchronously, also
+// fsyncing the WAL tail (which matters under FsyncInterval/FsyncOff). Call
 // it before process exit (Close is an alias).
 func (s *Store) Flush() error {
 	s.saveMu.Lock()
@@ -249,7 +284,11 @@ func (s *Store) Flush() error {
 	}
 	s.saveArmed = false
 	s.saveMu.Unlock()
-	return s.Save()
+	err := s.Save()
+	if serr := s.SyncWAL(); err == nil {
+		err = serr
+	}
+	return err
 }
 
 // Close flushes pending state to disk. The store remains usable.
@@ -294,6 +333,9 @@ func (s *Store) AddUser(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := core.CreateUser(s.db, name); err != nil {
+		return err
+	}
+	if err := s.logMutation(&wal.Record{Type: wal.TypeUserAdd, User: name}); err != nil {
 		return err
 	}
 	s.ScheduleSave()
@@ -358,6 +400,15 @@ func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, er
 	}
 	d := &Dataset{store: s, cvd: c}
 	s.datasets[name] = d
+	if err := s.logMutation(&wal.Record{
+		Type:       wal.TypeInit,
+		Dataset:    name,
+		Model:      string(c.Model().Kind()),
+		Cols:       cols,
+		PrimaryKey: opts.PrimaryKey,
+	}); err != nil {
+		return nil, err
+	}
 	s.ScheduleSave()
 	return d, nil
 }
@@ -423,6 +474,9 @@ func (s *Store) Drop(name string) error {
 	}
 	d.dropped = true
 	delete(s.datasets, name)
+	if err := s.logMutation(&wal.Record{Type: wal.TypeDrop, Dataset: name}); err != nil {
+		return err
+	}
 	s.ScheduleSave()
 	return nil
 }
@@ -486,10 +540,14 @@ func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID
 		return 0, err
 	}
 	v, err := d.cvd.Commit(rows, parents, msg)
-	if err == nil {
-		d.store.ScheduleSave()
+	if err != nil {
+		return 0, err
 	}
-	return v, err
+	if err := d.store.logMutation(d.commitRecord(wal.TypeCommit, nil, rows, parents, msg, v)); err != nil {
+		return v, err
+	}
+	d.store.ScheduleSave()
+	return v, nil
 }
 
 // CommitWithSchema commits rows under a (possibly changed) schema,
@@ -503,10 +561,14 @@ func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionI
 		return 0, err
 	}
 	v, err := d.cvd.CommitWithSchema(cols, rows, parents, msg)
-	if err == nil {
-		d.store.ScheduleSave()
+	if err != nil {
+		return 0, err
 	}
-	return v, err
+	if err := d.store.logMutation(d.commitRecord(wal.TypeCommitSchema, cols, rows, parents, msg, v)); err != nil {
+		return v, err
+	}
+	d.store.ScheduleSave()
+	return v, nil
 }
 
 // Checkout materializes one or more versions as rows; with several versions
@@ -589,11 +651,51 @@ func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
 	}
 	s.stagingMu.Lock()
 	defer s.stagingMu.Unlock()
-	v, err := d.cvd.CommitTable(table, user, msg)
-	if err == nil {
-		s.ScheduleSave()
+	// Capture the staged rows before the commit consumes the table: the WAL
+	// record carries the materialized data, so recovery does not depend on
+	// the (checkpoint-durable-only) staging area.
+	var staged *wal.Record
+	if s.wal != nil {
+		t, terr := s.db.MustTable(table)
+		if terr == nil {
+			var rows []Row
+			t.Scan(func(_ engine.RowID, r Row) bool {
+				rows = append(rows, r)
+				return true
+			})
+			staged = &wal.Record{
+				Type:    wal.TypeCommitTable,
+				Dataset: d.cvd.Name(),
+				Table:   table,
+				User:    user,
+				Msg:     msg,
+				Cols:    append([]Column(nil), t.Columns()...),
+				Rows:    rows,
+			}
+		}
 	}
-	return v, err
+	v, err := d.cvd.CommitTable(table, user, msg)
+	if err != nil {
+		return 0, err
+	}
+	if staged != nil {
+		if info, ierr := d.cvd.Info(v); ierr == nil {
+			staged.TimeNanos = info.CommitTime.UnixNano()
+			staged.Parents = make([]int64, len(info.Parents))
+			for i, pv := range info.Parents {
+				staged.Parents[i] = int64(pv)
+			}
+		}
+		staged.Version = int64(v)
+		if set, serr := d.cvd.RlistSet(v); serr == nil {
+			staged.Members = set
+		}
+		if err := s.logMutation(staged); err != nil {
+			return v, err
+		}
+	}
+	s.ScheduleSave()
+	return v, nil
 }
 
 // Diff returns the rows only in a and only in b. Membership is resolved as
@@ -680,10 +782,19 @@ func (d *Dataset) optimize(gammaFactor float64, naive bool) (*core.OptimizeResul
 		return nil, err
 	}
 	res, err := d.cvd.Optimize(gammaFactor, naive)
-	if err == nil {
-		d.store.ScheduleSave()
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	if err := d.store.logMutation(&wal.Record{
+		Type:    wal.TypeOptimize,
+		Dataset: d.cvd.Name(),
+		Gamma:   gammaFactor,
+		Naive:   naive,
+	}); err != nil {
+		return res, err
+	}
+	d.store.ScheduleSave()
+	return res, nil
 }
 
 // CVD exposes the underlying core object for advanced use. Access through
@@ -743,10 +854,24 @@ func (d *Dataset) OptimizeWeighted(gammaFactor float64, freq map[VersionID]int64
 		return nil, err
 	}
 	res, err := d.cvd.OptimizeWeighted(gammaFactor, freq, false)
-	if err == nil {
-		d.store.ScheduleSave()
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	rec := &wal.Record{
+		Type:     wal.TypeOptimize,
+		Dataset:  d.cvd.Name(),
+		Gamma:    gammaFactor,
+		Weighted: true,
+		Freq:     make(map[int64]int64, len(freq)),
+	}
+	for k, v := range freq {
+		rec.Freq[int64(k)] = v
+	}
+	if err := d.store.logMutation(rec); err != nil {
+		return res, err
+	}
+	d.store.ScheduleSave()
+	return res, nil
 }
 
 // RecencyWeights builds a checkout-frequency map weighting the most recent
@@ -769,8 +894,19 @@ func (d *Dataset) MaintainPartitions(gammaFactor, mu float64) (*core.Maintenance
 		return nil, err
 	}
 	res, err := d.cvd.MaintainPartitions(gammaFactor, mu, false)
-	if err == nil && res != nil && res.Migrated {
+	if err != nil {
+		return nil, err
+	}
+	if res != nil && res.Migrated {
+		if err := d.store.logMutation(&wal.Record{
+			Type:    wal.TypeMaintain,
+			Dataset: d.cvd.Name(),
+			Gamma:   gammaFactor,
+			Mu:      mu,
+		}); err != nil {
+			return res, err
+		}
 		d.store.ScheduleSave()
 	}
-	return res, err
+	return res, nil
 }

@@ -1,0 +1,73 @@
+package orpheusdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkDurability measures acknowledged-commit latency under each
+// durability mode: the legacy synchronous full-snapshot rewrite versus WAL
+// appends under each fsync policy. CI runs it with -benchtime=1x as a smoke
+// test; `orpheus-bench durability` produces the full trajectory
+// (BENCH_wal.json).
+func BenchmarkDurability(b *testing.B) {
+	const rowsPer = 50
+	modes := []struct {
+		name   string
+		policy FsyncPolicy
+		wal    bool
+	}{
+		{"snapshot-sync", 0, false},
+		{"wal-always", FsyncAlways, true},
+		{"wal-interval", FsyncInterval, true},
+		{"wal-off", FsyncOff, true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := OpenStore(filepath.Join(b.TempDir(), "bench.odb"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.wal {
+				if err := s.EnableWAL(WALConfig{Policy: mode.policy}); err != nil {
+					b.Fatal(err)
+				}
+				s.SetSaveDelay(time.Hour) // checkpoints off the measured path
+			}
+			d, err := s.Init("bench", []Column{
+				{Name: "id", Type: KindInt},
+				{Name: "payload", Type: KindString},
+			}, InitOptions{PrimaryKey: []string{"id"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var parent VersionID
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows := make([]Row, rowsPer)
+				for j := range rows {
+					id := int64(i*rowsPer + j)
+					rows[j] = Row{Int(id), String(fmt.Sprintf("payload-%d", id))}
+				}
+				var parents []VersionID
+				if parent != 0 {
+					parents = []VersionID{parent}
+				}
+				v, err := d.Commit(rows, parents, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !mode.wal {
+					if err := s.Save(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				parent = v
+			}
+			b.StopTimer()
+			s.Flush()
+		})
+	}
+}

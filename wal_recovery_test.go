@@ -1,0 +1,624 @@
+package orpheusdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Crash-recovery suite for the write-ahead log: every test mutates a store,
+// simulates a SIGKILL (no flush, no checkpoint beyond what the test ran
+// explicitly), reopens from the surviving files, and asserts the recovered
+// state matches exactly what had been acknowledged.
+
+// openWALStore opens (or reopens) a WAL-backed store rooted at dir. The
+// debounced save is pushed out to an hour so checkpoints only happen when a
+// test asks for one.
+func openWALStore(t *testing.T, dir string, policy FsyncPolicy) *Store {
+	t.Helper()
+	s, err := OpenStore(filepath.Join(dir, "store.odb"))
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	s.SetSaveDelay(time.Hour)
+	if err := s.EnableWAL(WALConfig{Policy: policy}); err != nil {
+		t.Fatalf("EnableWAL: %v", err)
+	}
+	return s
+}
+
+// crash abandons the store without flushing: the pending debounced save is
+// cancelled and the log's file handle released. Anything not already handed
+// to the OS is lost, exactly as with a SIGKILL.
+func crash(s *Store) {
+	s.saveMu.Lock()
+	if s.saveTimer != nil {
+		s.saveTimer.Stop()
+	}
+	s.saveArmed = false
+	s.saveMu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+func protCols() []Column {
+	return []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "name", Type: KindString},
+	}
+}
+
+func mustCommit(t *testing.T, d *Dataset, parents []VersionID, msg string, ids ...int64) VersionID {
+	t.Helper()
+	rows := make([]Row, len(ids))
+	for i, id := range ids {
+		rows[i] = Row{Int(id), String(fmt.Sprintf("r%d", id))}
+	}
+	v, err := d.Commit(rows, parents, msg)
+	if err != nil {
+		t.Fatalf("commit %q: %v", msg, err)
+	}
+	return v
+}
+
+func assertVersions(t *testing.T, d *Dataset, want ...VersionID) {
+	t.Helper()
+	got := d.Versions()
+	if len(got) != len(want) {
+		t.Fatalf("versions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("versions = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWALRecoveryNoCheckpoint crashes before any snapshot exists: the entire
+// store state must come back from the log alone.
+func TestWALRecoveryNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncAlways)
+	if err := s.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1, 2, 3)
+	v2 := mustCommit(t, d, []VersionID{v1}, "v2", 2, 3, 4)
+	v3, err := d.CommitWithSchema(
+		[]Column{{Name: "id", Type: KindInt}, {Name: "name", Type: KindString}, {Name: "score", Type: KindFloat}},
+		[]Row{{Int(5), String("r5"), Float(0.5)}},
+		[]VersionID{v2}, "v3 schema evolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := s.Init("scratch", protCols(), InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, scratch, nil, "doomed", 9)
+	if err := s.Drop("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	wantRows, err := d.Checkout(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInfo, err := d.Info(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+	if _, err := os.Stat(filepath.Join(dir, "store.odb")); !os.IsNotExist(err) {
+		t.Fatalf("premise broken: snapshot file exists before any checkpoint")
+	}
+
+	r := openWALStore(t, dir, FsyncAlways)
+	defer crash(r)
+	if got := r.List(); len(got) != 1 || got[0] != "prot" {
+		t.Fatalf("recovered datasets = %v, want [prot]", got)
+	}
+	found := false
+	for _, u := range r.Users() {
+		if u == "alice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("user alice not recovered (users: %v)", r.Users())
+	}
+	rd, err := r.Dataset("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertVersions(t, rd, v1, v2, v3)
+	gotRows, err := rd.Checkout(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("checkout(v3) after recovery: %d rows, want %d", len(gotRows), len(wantRows))
+	}
+	gotInfo, err := rd.Info(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotInfo.Message != wantInfo.Message || !gotInfo.CommitTime.Equal(wantInfo.CommitTime) {
+		t.Fatalf("recovered v2 info %+v, want %+v", gotInfo, wantInfo)
+	}
+	if gotInfo.NumRecords != wantInfo.NumRecords {
+		t.Fatalf("recovered v2 has %d records, want %d", gotInfo.NumRecords, wantInfo.NumRecords)
+	}
+	// The recovered store is live: committing works (the schema now has the
+	// evolved third column) and extends the graph.
+	v4, err := rd.Commit([]Row{{Int(6), String("r6"), Float(1.5)}}, []VersionID{v3}, "post-recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 != v3+1 {
+		t.Fatalf("post-recovery commit got version %d, want %d", v4, v3+1)
+	}
+}
+
+// TestWALRecoveryAfterCheckpoint mixes snapshot and log: a checkpoint covers
+// a prefix, the log holds the tail, and recovery stitches them together.
+func TestWALRecoveryAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncInterval)
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1, 2)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.WALStatus()
+	if !st.Enabled || st.CheckpointLSN == 0 || st.CheckpointLSN != st.AppliedLSN {
+		t.Fatalf("after checkpoint, status = %+v", st)
+	}
+	if st.Checkpoints < 1 || st.CheckpointBytes <= 0 {
+		t.Fatalf("checkpoint accounting missing: %+v", st)
+	}
+	v2 := mustCommit(t, d, []VersionID{v1}, "after checkpoint", 2, 3)
+	if err := s.AddUser("bob"); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncInterval)
+	defer crash(r)
+	rd, err := r.Dataset("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertVersions(t, rd, v1, v2)
+	rows, err := rd.Checkout(v2)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("checkout(v2) = %d rows, %v; want 2", len(rows), err)
+	}
+	found := false
+	for _, u := range r.Users() {
+		found = found || u == "bob"
+	}
+	if !found {
+		t.Fatal("user bob (logged after the checkpoint) not recovered")
+	}
+}
+
+// TestWALCheckpointTruncatesLog verifies the checkpoint/truncation
+// lifecycle: once a snapshot covers the log, obsolete segments are removed
+// and recovery replays only the tail.
+func TestWALCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(filepath.Join(dir, "store.odb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSaveDelay(time.Hour)
+	// Tiny segments so commits rotate often.
+	if err := s.EnableWAL(WALConfig{Policy: FsyncOff, SegmentBytes: 512}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Init("prot", protCols(), InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := VersionID(0)
+	for i := 0; i < 20; i++ {
+		var parents []VersionID
+		if last != 0 {
+			parents = []VersionID{last}
+		}
+		last = mustCommit(t, d, parents, fmt.Sprintf("c%d", i), int64(i), int64(i+1))
+	}
+	before := s.WALStatus()
+	if before.Segments < 3 {
+		t.Fatalf("premise: want several segments, got %d", before.Segments)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.WALStatus()
+	if after.Segments >= before.Segments || after.SizeBytes >= before.SizeBytes {
+		t.Fatalf("checkpoint did not truncate: %d segs/%dB -> %d segs/%dB",
+			before.Segments, before.SizeBytes, after.Segments, after.SizeBytes)
+	}
+	mustCommit(t, d, []VersionID{last}, "tail", 99)
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncOff)
+	defer crash(r)
+	rd, err := r.Dataset("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rd.Versions()); got != 21 {
+		t.Fatalf("recovered %d versions, want 21", got)
+	}
+}
+
+// TestWALCommitTableRecovery covers the staged-table commit path: the WAL
+// record carries the materialized rows, so recovery does not need the (lost)
+// staging table.
+func TestWALCommitTableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncAlways)
+	if err := s.CreateUser("carol"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1, 2)
+	if err := d.CheckoutToTable("work", v1); err != nil {
+		t.Fatal(err)
+	}
+	// Edit the staged table through SQL, then commit it back.
+	if _, err := s.Run("INSERT INTO work VALUES (7, 'seven')"); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.CommitTable("work", "staged edit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Checkout(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncAlways)
+	defer crash(r)
+	rd, err := r.Dataset("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertVersions(t, rd, v1, v2)
+	got, err := rd.Checkout(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 3 {
+		t.Fatalf("recovered checkout(v2) = %d rows, want %d", len(got), len(want))
+	}
+	if r.DB().HasTable("work") {
+		t.Fatal("staged table resurrected after its commit was replayed")
+	}
+}
+
+// listSegments names the wal-*.log segment files in a log directory (the
+// lock file and anything else is excluded), sorted by name = first LSN.
+func listSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// copyWALDir clones the store's files (snapshot + log segments) into a fresh
+// directory, optionally cutting the newest segment at cutBytes.
+func copyWALDir(t *testing.T, src string, cut int64) string {
+	t.Helper()
+	dst := t.TempDir()
+	if data, err := os.ReadFile(filepath.Join(src, "store.odb")); err == nil {
+		if err := os.WriteFile(filepath.Join(dst, "store.odb"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walSrc := filepath.Join(src, "store.odb.wal")
+	if err := os.MkdirAll(filepath.Join(dst, "store.odb.wal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Segment names sort by first LSN, so the last one is the newest; the
+	// cut applies to it.
+	segs := listSegments(t, walSrc)
+	for i, name := range segs {
+		data, err := os.ReadFile(filepath.Join(walSrc, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(segs)-1 && cut >= 0 && cut < int64(len(data)) {
+			data = data[:cut]
+		}
+		if err := os.WriteFile(filepath.Join(dst, "store.odb.wal", name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestWALKillPoint is the acceptance test: the log is cut at arbitrary byte
+// offsets (simulating a crash with a partially flushed tail) and recovery
+// must always come back with exactly a prefix of the acknowledged commits —
+// never an error, never a half-applied version — and stay writable.
+func TestWALKillPoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncOff)
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := []VersionID{}
+	last := VersionID(0)
+	for i := 0; i < 6; i++ {
+		var parents []VersionID
+		if last != 0 {
+			parents = []VersionID{last}
+		}
+		last = mustCommit(t, d, parents, fmt.Sprintf("c%d", i), int64(i), int64(i)+100)
+		acked = append(acked, last)
+	}
+	crash(s)
+
+	seg := filepath.Join(dir, "store.odb.wal")
+	segs := listSegments(t, seg)
+	if len(segs) != 1 {
+		t.Fatalf("want one segment, got %v", segs)
+	}
+	fi, err := os.Stat(filepath.Join(seg, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	step := int64(7)
+	if testing.Short() {
+		step = 97
+	}
+	prevRecovered := -1
+	for cut := int64(0); cut <= size; cut += step {
+		if cut+step > size {
+			cut = size // always test the clean tail too
+		}
+		cutDir := copyWALDir(t, dir, cut)
+		r := openWALStore(t, cutDir, FsyncOff)
+		nVersions := 0
+		if names := r.List(); len(names) == 1 {
+			rd, err := r.Dataset("prot")
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			vs := rd.Versions()
+			nVersions = len(vs)
+			// Exactly a prefix of the acknowledged versions.
+			for i, v := range vs {
+				if v != acked[i] {
+					t.Fatalf("cut %d: recovered versions %v are not a prefix of %v", cut, vs, acked)
+				}
+			}
+			if nVersions > 0 {
+				rows, err := rd.Checkout(vs[nVersions-1])
+				if err != nil || len(rows) != 2 {
+					t.Fatalf("cut %d: checkout latest = %d rows, %v", cut, len(rows), err)
+				}
+				// Recovered store accepts new work.
+				mustCommit(t, rd, []VersionID{vs[nVersions-1]}, "again", 777)
+			}
+		} else if len(r.List()) > 1 {
+			t.Fatalf("cut %d: unexpected datasets %v", cut, r.List())
+		}
+		if nVersions < prevRecovered-0 && cut != size {
+			// Larger cuts can only recover >= as much as smaller cuts.
+			t.Fatalf("cut %d: recovered %d versions, previously %d", cut, nVersions, prevRecovered)
+		}
+		prevRecovered = nVersions
+		crash(r)
+		if cut == size {
+			if nVersions != len(acked) {
+				t.Fatalf("uncut log recovered %d versions, want %d", nVersions, len(acked))
+			}
+			break
+		}
+	}
+}
+
+// TestWALConcurrentCommitsWithCheckpoints hammers four datasets from four
+// goroutines while checkpoints run concurrently, then crashes and checks
+// that every acknowledged commit survived.
+func TestWALConcurrentCommitsWithCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncOff)
+	const (
+		datasets = 4
+		commits  = 25
+	)
+	names := make([]string, datasets)
+	for i := range names {
+		names[i] = fmt.Sprintf("ds%d", i)
+		if _, err := s.Init(names[i], protCols(), InitOptions{PrimaryKey: []string{"id"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	acked := make([][]VersionID, datasets)
+	for i := 0; i < datasets; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := s.Dataset(names[i])
+			if err != nil {
+				t.Errorf("%s: %v", names[i], err)
+				return
+			}
+			var last VersionID
+			for c := 0; c < commits; c++ {
+				var parents []VersionID
+				if last != 0 {
+					parents = []VersionID{last}
+				}
+				v, err := d.Commit([]Row{{Int(int64(c)), String("x")}}, parents, fmt.Sprintf("c%d", c))
+				if err != nil {
+					t.Errorf("%s commit %d: %v", names[i], c, err)
+					return
+				}
+				last = v
+				acked[i] = append(acked[i], v)
+			}
+		}(i)
+	}
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			default:
+				if err := s.Checkpoint(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopCkpt)
+	ckptWG.Wait()
+	if t.Failed() {
+		return
+	}
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncOff)
+	defer crash(r)
+	for i, name := range names {
+		rd, err := r.Dataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := rd.Versions()
+		if len(got) != len(acked[i]) {
+			t.Fatalf("%s: recovered %d versions, acked %d", name, len(got), len(acked[i]))
+		}
+		rows, err := rd.Checkout(got[len(got)-1])
+		if err != nil || len(rows) != 1 {
+			t.Fatalf("%s: checkout latest: %d rows, %v", name, len(rows), err)
+		}
+	}
+}
+
+// TestWALInMemoryStore uses the log as the sole persistence: a NewStore with
+// an explicit WAL directory recovers purely from the log.
+func TestWALInMemoryStore(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "log")
+	s := NewStore()
+	if err := s.EnableWAL(WALConfig{Dir: walDir, Policy: FsyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Init("mem", protCols(), InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1)
+	crash(s)
+
+	r := NewStore()
+	if err := r.EnableWAL(WALConfig{Dir: walDir, Policy: FsyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	defer crash(r)
+	rd, err := r.Dataset("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertVersions(t, rd, v1)
+}
+
+// TestWALOptimizeRecovery replays a partition-optimizer run: the optimize
+// record re-runs LYRESPLIT deterministically over the recovered graph.
+func TestWALOptimizeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncOff)
+	d, err := s.Init("part", protCols(), InitOptions{Model: PartitionedRlist, PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := VersionID(0)
+	for i := 0; i < 8; i++ {
+		var parents []VersionID
+		if last != 0 {
+			parents = []VersionID{last}
+		}
+		ids := make([]int64, 0, 4)
+		for j := 0; j < 4; j++ {
+			ids = append(ids, int64(i*4+j))
+		}
+		last = mustCommit(t, d, parents, fmt.Sprintf("c%d", i), ids...)
+	}
+	if _, err := d.Optimize(2.0); err != nil {
+		t.Fatal(err)
+	}
+	v9 := mustCommit(t, d, []VersionID{last}, "after optimize", 500)
+	want, err := d.Checkout(v9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncOff)
+	defer crash(r)
+	rd, err := r.Dataset("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rd.Versions()); got != 9 {
+		t.Fatalf("recovered %d versions, want 9", got)
+	}
+	got, err := rd.Checkout(v9)
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("checkout after optimize replay: %d rows, %v; want %d", len(got), err, len(want))
+	}
+}
+
+// TestWALStatusDisabled: WALStatus is meaningful without a WAL too.
+func TestWALStatusDisabled(t *testing.T) {
+	s := NewStore()
+	st := s.WALStatus()
+	if st.Enabled || st.AppliedLSN != 0 || st.AppendError != "" {
+		t.Fatalf("zero-state status = %+v", st)
+	}
+	if s.WALEnabled() {
+		t.Fatal("WALEnabled on a plain store")
+	}
+}

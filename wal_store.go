@@ -1,0 +1,373 @@
+package orpheusdb
+
+import (
+	"fmt"
+	"time"
+
+	"orpheusdb/internal/core"
+	"orpheusdb/internal/wal"
+)
+
+// Durability. A Store's snapshot file alone is only as fresh as the last
+// debounced save: a crash after an acknowledged Commit but before the async
+// save would silently lose versions. Enabling the write-ahead log closes
+// that window. Every mutation appends one typed record to an append-only,
+// CRC-checksummed segment log inside its critical section, before the call
+// returns; reopening the store replays the log tail over the last snapshot,
+// tolerating torn tails (the log is truncated at the first bad frame, so
+// recovery yields exactly the acknowledged prefix). The debounced save
+// becomes a checkpoint: it snapshots the engine together with the
+// applied-LSN watermark and then truncates the log segments the snapshot
+// made obsolete, so the log stays short and saves stop being the only
+// durability mechanism.
+//
+// Logged mutations: dataset init/drop, commits (including schema evolution
+// and staged-table commits, whose materialized rows ride in the record),
+// partition optimization/maintenance, and user registration. The staging
+// area itself (CheckoutToTable, SQL writes on staged tables) remains
+// checkpoint-durable only: staged tables are working copies whose loss is
+// recoverable by checking out again, and logging them would bloat the log
+// with data the commit record captures anyway.
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy = wal.Policy
+
+// Fsync policies, re-exported: FsyncAlways syncs before every commit
+// acknowledgment, FsyncInterval syncs on a background cadence (bounded loss
+// on power failure, none on process crash), FsyncOff leaves flushing to the
+// OS entirely.
+const (
+	FsyncAlways   = wal.PolicyAlways
+	FsyncInterval = wal.PolicyInterval
+	FsyncOff      = wal.PolicyOff
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// WALConfig configures the store's write-ahead log.
+type WALConfig struct {
+	// Dir is the segment directory; defaults to "<store path>.wal".
+	Dir string
+	// Policy is the fsync policy (default FsyncAlways).
+	Policy FsyncPolicy
+	// SyncInterval is the background fsync cadence under FsyncInterval
+	// (default 50ms).
+	SyncInterval time.Duration
+	// SegmentBytes rotates log segments past this size (default 16 MiB).
+	SegmentBytes int64
+}
+
+// EnableWAL attaches a write-ahead log to the store and runs crash recovery:
+// any log records the current state does not reflect (their LSN is beyond
+// the loaded snapshot's watermark) are replayed, reconstructing every
+// acknowledged mutation. Call it immediately after OpenStore, before the
+// store is shared; it is not safe to enable concurrently with mutations.
+// A store without a path (NewStore) may still enable a WAL with an explicit
+// Dir, making the log the sole persistence mechanism.
+func (s *Store) EnableWAL(cfg WALConfig) error {
+	if s.wal != nil {
+		return fmt.Errorf("orpheusdb: WAL already enabled")
+	}
+	if cfg.Dir == "" {
+		if s.path == "" {
+			return fmt.Errorf("orpheusdb: WAL needs a directory for an in-memory store")
+		}
+		cfg.Dir = s.path + ".wal"
+	}
+	l, err := wal.Open(wal.Options{
+		Dir:          cfg.Dir,
+		SegmentBytes: cfg.SegmentBytes,
+		Policy:       cfg.Policy,
+		SyncInterval: cfg.SyncInterval,
+	})
+	if err != nil {
+		return err
+	}
+	// If the snapshot is ahead of the log (the log directory was removed),
+	// fresh appends must not reuse LSNs the snapshot already covers.
+	base := s.db.WalLSN() // what the loaded snapshot reflects
+	if err := l.EnsureNextLSN(base + 1); err != nil {
+		l.Close()
+		return err
+	}
+	replayed := 0
+	err = l.Replay(base, func(lsn uint64, rec *wal.Record) error {
+		if err := s.applyRecord(rec); err != nil {
+			return fmt.Errorf("orpheusdb: wal replay LSN %d (%s %s): %w", lsn, rec.Type, rec.Dataset, err)
+		}
+		s.db.SetWalLSN(lsn)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	s.wal = l
+	s.walCfg = cfg
+	s.ckptLSN.Store(base) // the on-disk snapshot covers exactly the pre-replay watermark
+	if replayed > 0 && s.path != "" {
+		// Fold the replayed tail into a fresh snapshot soon so the next
+		// recovery starts closer to the tail.
+		s.ScheduleSave()
+	}
+	return nil
+}
+
+// WALEnabled reports whether a write-ahead log is attached.
+func (s *Store) WALEnabled() bool { return s.wal != nil }
+
+// Path returns the store's snapshot file path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// logMutation appends rec to the WAL inside the caller's critical section
+// and advances the engine's applied-LSN watermark. On append failure the
+// mutation is already applied in memory but must not be acknowledged: the
+// error is returned to the caller, the log refuses further appends, and an
+// immediate checkpoint is scheduled so snapshot-based durability takes over.
+func (s *Store) logMutation(rec *wal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	lsn, err := s.wal.Append(rec)
+	if lsn != 0 {
+		// Even a failed append may have put the record in the log (fsync or
+		// rotation failed after the write); the watermark must cover it so
+		// the next checkpoint doesn't leave recovery a record to replay
+		// over state that already contains it.
+		s.db.AdvanceWalLSN(lsn)
+	}
+	if err != nil {
+		s.saveMu.Lock()
+		s.walErr = err
+		s.saveMu.Unlock()
+		s.ScheduleSave()
+		return fmt.Errorf("orpheusdb: %w", err)
+	}
+	return nil
+}
+
+// commitRecord builds the WAL record for a just-applied commit on d. The
+// caller holds the dataset lock; rows/cols are the original inputs so replay
+// takes the exact same code path, and the version's membership bitmap rides
+// along so recovery can verify it rebuilt the acknowledged record set.
+func (d *Dataset) commitRecord(typ wal.Type, cols []Column, rows []Row, parents []VersionID, msg string, vid VersionID) *wal.Record {
+	rec := &wal.Record{
+		Type:    typ,
+		Dataset: d.cvd.Name(),
+		Msg:     msg,
+		Cols:    cols,
+		Rows:    rows,
+		Version: int64(vid),
+	}
+	rec.Parents = make([]int64, len(parents))
+	for i, p := range parents {
+		rec.Parents[i] = int64(p)
+	}
+	if info, err := d.cvd.Info(vid); err == nil {
+		rec.TimeNanos = info.CommitTime.UnixNano()
+	}
+	if set, err := d.cvd.RlistSet(vid); err == nil {
+		rec.Members = set
+	}
+	return rec
+}
+
+// applyRecord replays one WAL record against the store. It runs only during
+// EnableWAL, before the store is shared, so it calls core directly without
+// taking the concurrency locks (and without re-logging).
+func (s *Store) applyRecord(rec *wal.Record) error {
+	switch rec.Type {
+	case wal.TypeInit:
+		c, err := core.Init(s.db, rec.Dataset, rec.Cols, core.InitOptions{
+			Model:      core.ModelKind(rec.Model),
+			PrimaryKey: rec.PrimaryKey,
+		})
+		if err != nil {
+			return err
+		}
+		s.datasets[rec.Dataset] = &Dataset{store: s, cvd: c}
+		return nil
+	case wal.TypeDrop:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		if err := d.cvd.Drop(); err != nil {
+			return err
+		}
+		d.dropped = true
+		delete(s.datasets, rec.Dataset)
+		return nil
+	case wal.TypeCommit, wal.TypeCommitSchema, wal.TypeCommitTable:
+		return s.replayCommit(rec)
+	case wal.TypeOptimize:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		if rec.Weighted {
+			freq := make(map[VersionID]int64, len(rec.Freq))
+			for k, v := range rec.Freq {
+				freq[VersionID(k)] = v
+			}
+			_, err = d.cvd.OptimizeWeighted(rec.Gamma, freq, rec.Naive)
+		} else {
+			_, err = d.cvd.Optimize(rec.Gamma, rec.Naive)
+		}
+		return err
+	case wal.TypeMaintain:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		_, err = d.cvd.MaintainPartitions(rec.Gamma, rec.Mu, rec.Naive)
+		return err
+	case wal.TypeUserAdd:
+		return core.CreateUser(s.db, rec.User)
+	case wal.TypeCheckpoint:
+		return nil
+	}
+	return fmt.Errorf("unknown record type %d", rec.Type)
+}
+
+// replayCommit re-runs a logged commit with the recorded timestamp, then
+// verifies the replay was exact: same version id and, via the logged
+// membership bitmap, the same record set.
+func (s *Store) replayCommit(rec *wal.Record) error {
+	d, err := s.dataset(rec.Dataset)
+	if err != nil {
+		return err
+	}
+	cvd := d.cvd
+	at := time.Unix(0, rec.TimeNanos)
+	restore := cvd.Clock
+	cvd.Clock = func() time.Time { return at }
+	defer func() { cvd.Clock = restore }()
+
+	parents := make([]VersionID, len(rec.Parents))
+	for i, p := range rec.Parents {
+		parents[i] = VersionID(p)
+	}
+	var vid VersionID
+	switch rec.Type {
+	case wal.TypeCommit:
+		vid, err = cvd.Commit(rec.Rows, parents, rec.Msg)
+	case wal.TypeCommitSchema:
+		vid, err = cvd.CommitWithSchema(rec.Cols, rec.Rows, parents, rec.Msg)
+	case wal.TypeCommitTable:
+		// The staged table was consumed by the original commit; a stale
+		// copy may survive in an older snapshot. The record carries the
+		// materialized rows, so drop the leftover and commit those.
+		if s.db.HasTable(rec.Table) {
+			if err := s.db.DropTable(rec.Table); err != nil {
+				return err
+			}
+			_ = core.ReleaseProvenance(s.db, rec.Table)
+		}
+		vid, err = cvd.CommitWithSchema(rec.Cols, rec.Rows, parents, rec.Msg)
+	}
+	if err != nil {
+		return err
+	}
+	if rec.Version != 0 && int64(vid) != rec.Version {
+		return fmt.Errorf("replay diverged: produced version %d, log says %d", vid, rec.Version)
+	}
+	if rec.Members != nil {
+		set, err := cvd.RlistSet(vid)
+		if err != nil {
+			return err
+		}
+		if !set.Equal(rec.Members) {
+			return fmt.Errorf("replay diverged: version %d rebuilt %d records, log says %d",
+				vid, set.Cardinality(), rec.Members.Cardinality())
+		}
+	}
+	return nil
+}
+
+// WALStatus describes the durability subsystem for operators (the
+// /v1/wal/status endpoint renders it verbatim).
+type WALStatus struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	// AppliedLSN is the last mutation both applied and logged.
+	AppliedLSN uint64 `json:"appliedLSN"`
+	// CheckpointLSN is the watermark the last successful checkpoint
+	// covers; log records at or below it are obsolete.
+	CheckpointLSN uint64 `json:"checkpointLSN"`
+	Segments      int    `json:"segments"`
+	SizeBytes     int64  `json:"sizeBytes"`
+	// Checkpoints and CheckpointBytes mirror the engine's cumulative
+	// checkpoint counters (count and estimated snapshot bytes).
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpointBytes"`
+	// AppendError reports a WAL that stopped accepting records (the store
+	// keeps serving and checkpointing; restart to recover the log).
+	AppendError string `json:"appendError,omitempty"`
+	// SaveError reports the most recent snapshot/checkpoint failure.
+	SaveError string `json:"saveError,omitempty"`
+}
+
+// WALStatus reports the durability subsystem's state. It is meaningful (and
+// cheap) whether or not a WAL is attached: without one it still carries the
+// last save error and checkpoint counters.
+func (s *Store) WALStatus() WALStatus {
+	stats := s.db.Stats()
+	st := WALStatus{
+		Enabled:         s.wal != nil,
+		AppliedLSN:      s.db.WalLSN(),
+		CheckpointLSN:   s.ckptLSN.Load(),
+		Checkpoints:     stats.Checkpoints.Load(),
+		CheckpointBytes: stats.CheckpointBytes.Load(),
+	}
+	s.saveMu.Lock()
+	if s.saveErr != nil {
+		st.SaveError = s.saveErr.Error()
+	}
+	if s.walErr != nil {
+		st.AppendError = s.walErr.Error()
+	}
+	s.saveMu.Unlock()
+	if s.wal == nil {
+		return st
+	}
+	st.Dir = s.walCfg.Dir
+	st.Policy = s.walCfg.Policy.String()
+	if ls, err := s.wal.Stat(); err == nil {
+		st.Segments = ls.Segments
+		st.SizeBytes = ls.SizeBytes
+	}
+	if err := s.wal.Err(); err != nil && st.AppendError == "" {
+		st.AppendError = err.Error()
+	}
+	return st
+}
+
+// Checkpoint persists a snapshot now and truncates the log segments it made
+// obsolete — the synchronous form of what the debounced save does
+// continuously. No-op for in-memory stores (their WAL is the persistence).
+func (s *Store) Checkpoint() error { return s.Save() }
+
+// SyncWAL forces an fsync of the active log segment (useful under
+// FsyncInterval/FsyncOff before handing files to another process).
+func (s *Store) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// CloseWAL detaches and closes the log (final fsync included). The store
+// remains usable but subsequent mutations are checkpoint-durable only.
+// Flush first if the log should be fully absorbed into the snapshot.
+func (s *Store) CloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
