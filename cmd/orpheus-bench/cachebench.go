@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// cachebench measures the read path the checkout cache exists for: repeated
+// checkouts of hot versions and repeated multi-version scans, with the cache
+// disabled (budget 0, every request re-materializes) versus enabled. It
+// prints a table and writes BENCH_cache.json.
+
+type cacheBenchOp struct {
+	Op        string  `json:"op"`   // "checkout" | "scan" | "sql"
+	Mode      string  `json:"mode"` // "uncached" | "cached"
+	Iters     int     `json:"iters"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	MeanNs    int64   `json:"mean_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+type cacheBenchReport struct {
+	GeneratedAt string         `json:"generated_at"`
+	Rows        int            `json:"rows_per_version"`
+	Versions    int            `json:"versions"`
+	Iters       int            `json:"iters"`
+	Ops         []cacheBenchOp `json:"ops"`
+	// SpeedupP50 maps op name -> uncached p50 / cached p50.
+	SpeedupP50 map[string]float64   `json:"speedup_p50"`
+	CacheStats orpheusdb.CacheStats `json:"cache_stats"`
+}
+
+func cacheBench(args []string) error {
+	fs := flag.NewFlagSet("cachebench", flag.ContinueOnError)
+	rows := fs.Int("rows", 2000, "rows per version")
+	versions := fs.Int("nversions", 20, "committed versions")
+	iters := fs.Int("iters", 300, "measured requests per op/mode")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := orpheusdb.NewStore()
+	cols := []orpheusdb.Column{
+		{Name: "id", Type: orpheusdb.KindInt},
+		{Name: "score", Type: orpheusdb.KindFloat},
+		{Name: "tag", Type: orpheusdb.KindString},
+	}
+	ds, err := store.Init("hot", cols, orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		return err
+	}
+	// A lineage where each version keeps most of its parent's records and
+	// churns ~10% — the shape real checkout traffic sees.
+	rng := rand.New(rand.NewSource(7))
+	base := make([]orpheusdb.Row, *rows)
+	for i := range base {
+		base[i] = orpheusdb.Row{
+			orpheusdb.Int(int64(i)),
+			orpheusdb.Float(rng.Float64()),
+			orpheusdb.String(fmt.Sprintf("tag%d", i%17)),
+		}
+	}
+	var parent []orpheusdb.VersionID
+	for v := 0; v < *versions; v++ {
+		for j := 0; j < *rows/10; j++ {
+			i := rng.Intn(*rows)
+			base[i] = orpheusdb.Row{base[i][0], orpheusdb.Float(rng.Float64()), base[i][2]}
+		}
+		vid, err := ds.Commit(append([]orpheusdb.Row(nil), base...), parent, fmt.Sprintf("v%d", v+1))
+		if err != nil {
+			return err
+		}
+		parent = []orpheusdb.VersionID{vid}
+	}
+	hot := ds.LatestVersion()
+	mid := hot / 2
+	if mid == 0 {
+		mid = hot
+	}
+
+	ops := []struct {
+		name string
+		run  func() error
+	}{
+		{"checkout", func() error {
+			_, err := ds.Checkout(hot)
+			return err
+		}},
+		{"scan", func() error {
+			_, err := ds.MultiVersionCheckout(
+				[]orpheusdb.VersionID{hot, mid}, []orpheusdb.SetOp{orpheusdb.SetIntersect})
+			return err
+		}},
+		{"sql", func() error {
+			_, err := store.Run(fmt.Sprintf("SELECT count(*) FROM VERSION %d OF CVD hot", hot))
+			return err
+		}},
+	}
+
+	rep := &cacheBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Rows:        *rows,
+		Versions:    *versions,
+		Iters:       *iters,
+		SpeedupP50:  map[string]float64{},
+	}
+	fmt.Printf("%-10s %-9s %12s %12s %12s %14s\n", "op", "mode", "p50", "p95", "p99", "ops/sec")
+	p50 := map[string]map[string]int64{}
+	for _, mode := range []string{"uncached", "cached"} {
+		if mode == "uncached" {
+			store.SetCacheBudget(0)
+		} else {
+			store.SetCacheBudget(orpheusdb.DefaultCacheBudget)
+		}
+		for _, op := range ops {
+			// Warm once so the cached mode measures hits, not the miss.
+			if err := op.run(); err != nil {
+				return fmt.Errorf("%s warmup: %w", op.name, err)
+			}
+			lat := make([]int64, 0, *iters)
+			start := time.Now()
+			for i := 0; i < *iters; i++ {
+				t0 := time.Now()
+				if err := op.run(); err != nil {
+					return fmt.Errorf("%s: %w", op.name, err)
+				}
+				lat = append(lat, time.Since(t0).Nanoseconds())
+			}
+			elapsed := time.Since(start)
+			var sum int64
+			for _, n := range lat {
+				sum += n
+			}
+			res := cacheBenchOp{
+				Op:        op.name,
+				Mode:      mode,
+				Iters:     *iters,
+				P50Nanos:  quantile(lat, 0.50),
+				P95Nanos:  quantile(lat, 0.95),
+				P99Nanos:  quantile(lat, 0.99),
+				MeanNs:    sum / int64(len(lat)),
+				OpsPerSec: float64(*iters) / elapsed.Seconds(),
+			}
+			rep.Ops = append(rep.Ops, res)
+			if p50[op.name] == nil {
+				p50[op.name] = map[string]int64{}
+			}
+			p50[op.name][mode] = res.P50Nanos
+			fmt.Printf("%-10s %-9s %12v %12v %12v %14.0f\n", op.name, mode,
+				time.Duration(res.P50Nanos), time.Duration(res.P95Nanos),
+				time.Duration(res.P99Nanos), res.OpsPerSec)
+		}
+	}
+	for name, m := range p50 {
+		if m["cached"] > 0 {
+			rep.SpeedupP50[name] = float64(m["uncached"]) / float64(m["cached"])
+		}
+	}
+	rep.CacheStats = store.CacheStats()
+	fmt.Printf("\nhot-version p50 speedup: checkout %.1fx, scan %.1fx, sql %.1fx (hits=%d misses=%d)\n",
+		rep.SpeedupP50["checkout"], rep.SpeedupP50["scan"], rep.SpeedupP50["sql"],
+		rep.CacheStats.Hits, rep.CacheStats.Misses)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

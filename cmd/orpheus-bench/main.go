@@ -9,10 +9,11 @@
 // Artifacts: table1 table2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 // fig19 fig20 fig21 fig22 fig23 all
 //
-// Two load-generator modes exist beyond the paper's artifacts: `http` drives
-// a running orpheus serve instance, and `durability` measures acknowledged-
-// commit latency under each WAL fsync policy against the legacy full-
-// snapshot rewrite.
+// Three load-generator modes exist beyond the paper's artifacts: `http`
+// drives a running orpheus serve instance, `durability` measures
+// acknowledged-commit latency under each WAL fsync policy against the legacy
+// full-snapshot rewrite, and `cachebench` measures the read-heavy checkout
+// path with the version-aware cache disabled versus enabled.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: orpheus-bench [flags] <table1|table2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig19|fig20|fig21|fig22|fig23|all>")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench http [-clients 32] [-duration 5s] [-url http://host:port] [-mix commit=20,checkout=40,diff=10,query=30]")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench durability [-commits 200] [-rows 100] [-modes snapshot-sync,always,interval,off] [-json BENCH_wal.json]")
+		fmt.Fprintln(os.Stderr, "       orpheus-bench cachebench [-rows 2000] [-nversions 20] [-iters 300] [-json BENCH_cache.json]")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "http" {
@@ -51,6 +53,13 @@ func main() {
 	if flag.Arg(0) == "durability" {
 		if err := durabilityBench(flag.Args()[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "orpheus-bench: durability:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "cachebench" {
+		if err := cacheBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus-bench: cachebench:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"orpheusdb/internal/engine"
+)
+
+func rowsOf(vals ...int64) []engine.Row {
+	out := make([]engine.Row, len(vals))
+	for i, v := range vals {
+		out[i] = engine.Row{engine.IntValue(v)}
+	}
+	return out
+}
+
+func entryOf(vals ...int64) Entry {
+	return Entry{
+		Cols: []engine.Column{{Name: "n", Type: engine.KindInt}},
+		Rows: rowsOf(vals...),
+	}
+}
+
+// put seeds an entry through the public API (the cache has no direct insert).
+func put(c *Cache, ds, key string, e Entry) {
+	_, _ = c.GetOrCompute(ds, key, func() (Entry, error) { return e, nil })
+}
+
+func TestKeyCanonicalForms(t *testing.T) {
+	// Plain single-version checkouts: same vid, same key.
+	if Key("ds", []int64{3}, nil, true) != Key("ds", []int64{3}, nil, true) {
+		t.Fatal("identical requests produced different keys")
+	}
+	// Datasets partition the key space.
+	if Key("a", []int64{3}, nil, true) == Key("b", []int64{3}, nil, true) {
+		t.Fatal("different datasets share a key")
+	}
+	// Pure-UNION scans are order-insensitive.
+	u1 := Key("ds", []int64{2, 3}, []uint8{0}, false)
+	u2 := Key("ds", []int64{3, 2}, []uint8{0}, false)
+	if u1 != u2 {
+		t.Fatal("UNION scan keys should canonicalize order away")
+	}
+	// Pure-INTERSECT too, but not shared with UNION.
+	i1 := Key("ds", []int64{2, 3}, []uint8{1}, false)
+	if i1 == u1 {
+		t.Fatal("INTERSECT and UNION scans share a key")
+	}
+	// EXCEPT is not commutative: order must be encoded.
+	e1 := Key("ds", []int64{2, 3}, []uint8{2}, false)
+	e2 := Key("ds", []int64{3, 2}, []uint8{2}, false)
+	if e1 == e2 {
+		t.Fatal("EXCEPT scan keys must preserve order")
+	}
+	// Ordered multi-version checkout (primary-key precedence): order kept.
+	c1 := Key("ds", []int64{2, 3}, nil, true)
+	c2 := Key("ds", []int64{3, 2}, nil, true)
+	if c1 == c2 {
+		t.Fatal("ordered checkout keys must preserve order")
+	}
+	// A checkout and a scan of the same single vid are distinct shapes.
+	if Key("ds", []int64{3}, nil, true) == Key("ds", []int64{3}, []uint8{}, false) {
+		t.Fatal("checkout and scan of one vid share a key")
+	}
+}
+
+func TestGetOrComputeCachesAndCounts(t *testing.T) {
+	var eng engine.Stats
+	c := New(1<<20, &eng)
+	computes := 0
+	get := func() (Entry, error) {
+		k := Key("ds", []int64{1}, nil, true)
+		return c.GetOrCompute("ds", k, func() (Entry, error) {
+			computes++
+			return entryOf(1, 2, 3), nil
+		})
+	}
+	for i := 0; i < 5; i++ {
+		e, err := get()
+		if err != nil || len(e.Rows) != 3 {
+			t.Fatalf("get %d: %v rows=%d", i, err, len(e.Rows))
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 4 hits / 1 miss / 1 entry", st)
+	}
+	if eng.CacheHits.Load() != 4 || eng.CacheMisses.Load() != 1 {
+		t.Fatalf("engine mirror = %d/%d, want 4/1", eng.CacheHits.Load(), eng.CacheMisses.Load())
+	}
+}
+
+func TestComputeErrorsAreNotCached(t *testing.T) {
+	c := New(1<<20, nil)
+	k := Key("ds", []int64{1}, nil, true)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("ds", k, func() (Entry, error) { return Entry{}, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error was cached: %+v", st)
+	}
+	e, err := c.GetOrCompute("ds", k, func() (Entry, error) { return entryOf(9), nil })
+	if err != nil || len(e.Rows) != 1 {
+		t.Fatalf("recompute after error: %v rows=%d", err, len(e.Rows))
+	}
+}
+
+func TestInvalidateDatasetRemovesOnlyThatDataset(t *testing.T) {
+	c := New(1<<20, nil)
+	for _, ds := range []string{"a", "b"} {
+		for v := int64(1); v <= 3; v++ {
+			put(c, ds, Key(ds, []int64{v}, nil, true), entryOf(v))
+		}
+	}
+	g0 := c.Generation("a")
+	c.InvalidateDataset("a")
+	if got := c.DatasetStats("a").Entries; got != 0 {
+		t.Fatalf("a still has %d entries", got)
+	}
+	if got := c.DatasetStats("b").Entries; got != 3 {
+		t.Fatalf("b lost entries: %d", got)
+	}
+	if c.Generation("a") != g0+1 {
+		t.Fatalf("generation did not advance: %d -> %d", g0, c.Generation("a"))
+	}
+	if c.Generation("b") != 0 {
+		t.Fatalf("b generation moved: %d", c.Generation("b"))
+	}
+}
+
+func TestFlushDropsEverythingAndBumpsGenerations(t *testing.T) {
+	c := New(1<<20, nil)
+	put(c, "a", Key("a", []int64{1}, nil, true), entryOf(1))
+	put(c, "b", Key("b", []int64{1}, nil, true), entryOf(1))
+	c.Flush()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("flush left %+v", st)
+	}
+	if c.Generation("a") == 0 || c.Generation("b") == 0 {
+		t.Fatal("flush did not advance generations")
+	}
+	// Crucially, a dataset this cache has never seen advances too: raw DML
+	// (the reason Flush exists) may have rewritten its backing tables, so
+	// tokens minted against it must stop validating.
+	if c.Generation("never-seen") == 0 {
+		t.Fatal("flush did not advance an unseen dataset's generation")
+	}
+}
+
+func TestSeedEpochOffsetsGenerations(t *testing.T) {
+	c := New(1<<20, nil)
+	c.SeedEpoch(1000)
+	if g := c.Generation("anything"); g != 1000 {
+		t.Fatalf("generation = %d, want the seeded 1000", g)
+	}
+	c.InvalidateDataset("a")
+	if g := c.Generation("a"); g != 1001 {
+		t.Fatalf("generation after invalidate = %d, want 1001", g)
+	}
+	// Seeding after an insert is a programming error.
+	put(c, "a", Key("a", []int64{1}, nil, true), entryOf(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SeedEpoch after inserts did not panic")
+		}
+	}()
+	c.SeedEpoch(5)
+}
+
+func TestByteBudgetEvictsLRU(t *testing.T) {
+	var eng engine.Stats
+	// Each entry of one int row is ~64+17+24+56 bytes; budget for ~3.
+	c := New(500, &eng)
+	for v := int64(1); v <= 5; v++ {
+		put(c, "ds", Key("ds", []int64{v}, nil, true), entryOf(v))
+	}
+	st := c.Stats()
+	if st.Bytes > 500 {
+		t.Fatalf("bytes %d over budget", st.Bytes)
+	}
+	if st.Evictions == 0 || eng.CacheEvictions.Load() == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The most recent key must survive; the oldest must be gone.
+	if _, ok := c.lookup(Key("ds", []int64{5}, nil, true)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.lookup(Key("ds", []int64{1}, nil, true)); ok {
+		t.Fatal("oldest entry survived")
+	}
+}
+
+func TestOversizedEntryIsNotCached(t *testing.T) {
+	c := New(100, nil)
+	big := make([]int64, 100)
+	put(c, "ds", Key("ds", []int64{1}, nil, true), entryOf(big...))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry cached: %+v", st)
+	}
+}
+
+func TestSetBudgetZeroDisables(t *testing.T) {
+	c := New(1<<20, nil)
+	put(c, "ds", Key("ds", []int64{1}, nil, true), entryOf(1))
+	c.SetBudget(0)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("disable kept entries: %+v", st)
+	}
+	k := Key("ds", []int64{2}, nil, true)
+	computes := 0
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrCompute("ds", k, func() (Entry, error) {
+			computes++
+			return entryOf(2), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes != 3 {
+		t.Fatalf("disabled cache served from memory: %d computes", computes)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentComputes(t *testing.T) {
+	c := New(1<<20, nil)
+	k := Key("ds", []int64{1}, nil, true)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := c.GetOrCompute("ds", k, func() (Entry, error) {
+				computes.Add(1)
+				<-gate // hold the flight open so followers pile up
+				return entryOf(7), nil
+			})
+			if err != nil || len(e.Rows) != 1 || e.Rows[0][0].I != 7 {
+				t.Errorf("bad result: %v %+v", err, e)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1", n)
+	}
+}
+
+func TestStaleInsertSkippedWhenGenerationMoves(t *testing.T) {
+	c := New(1<<20, nil)
+	k := Key("ds", []int64{1}, nil, true)
+	if _, err := c.GetOrCompute("ds", k, func() (Entry, error) {
+		// Simulate the misuse the generation check guards against: an
+		// invalidation lands while the compute runs.
+		c.InvalidateDataset("ds")
+		return entryOf(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.DatasetStats("ds"); st.Entries != 0 {
+		t.Fatalf("stale entry inserted: %+v", st)
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(10<<10, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ds := fmt.Sprintf("ds%d", g%2)
+			for i := 0; i < 200; i++ {
+				v := int64(i % 7)
+				k := Key(ds, []int64{v}, nil, true)
+				if _, err := c.GetOrCompute(ds, k, func() (Entry, error) {
+					return entryOf(v, v+1), nil
+				}); err != nil {
+					t.Errorf("GetOrCompute: %v", err)
+					return
+				}
+				if i%31 == 0 {
+					c.InvalidateDataset(ds)
+				}
+				if i%97 == 0 {
+					c.Flush()
+				}
+				_ = c.Stats()
+				_ = c.DatasetStats(ds)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/cache"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/vgraph"
 )
@@ -29,6 +30,14 @@ type CVD struct {
 	vm *versionManager
 	rm *recordManager
 	am *attrManager
+
+	// cache, when set (SetCache), is consulted by Checkout,
+	// MultiVersionCheckout, and AllVersionsCheckout before any bitmap
+	// resolution or record fetch. The CVD only reads it: whoever attaches
+	// the cache owns invalidation and must call InvalidateDataset inside
+	// every mutator's critical section (the Store does, next to its WAL
+	// append).
+	cache *cache.Cache
 
 	// Clock supplies commit timestamps; replaceable for deterministic
 	// tests.
@@ -451,12 +460,67 @@ func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string
 	return vid, nil
 }
 
+// SetCache attaches the checkout cache consulted by Checkout,
+// MultiVersionCheckout, and AllVersionsCheckout. Call it before the CVD is
+// shared; the caller is responsible for invalidating the dataset's entries
+// (cache.InvalidateDataset) inside every mutation's critical section.
+func (c *CVD) SetCache(cc *cache.Cache) { c.cache = cc }
+
+// cacheVids converts version ids to the cache key's int64 form.
+func cacheVids(vids []vgraph.VersionID) []int64 {
+	out := make([]int64, len(vids))
+	for i, v := range vids {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// cachedRows looks key up in the checkout cache (computing and caching on a
+// miss) and returns the rows behind a fresh top-level slice, so callers may
+// append to or reorder the result without aliasing the cached copy. The rows
+// themselves stay shared and immutable, exactly like rows scanned straight
+// out of the engine.
+func (c *CVD) cachedRows(key string, compute func() ([]engine.Column, []engine.Row, error)) ([]engine.Column, []engine.Row, error) {
+	e, err := c.cache.GetOrCompute(c.name, key, func() (cache.Entry, error) {
+		cols, rows, err := compute()
+		if err != nil {
+			return cache.Entry{}, err
+		}
+		return cache.Entry{Cols: cols, Rows: rows}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Cols, append([]engine.Row(nil), e.Rows...), nil
+}
+
 // Checkout materializes the given versions as rows. With multiple versions,
 // records are added in the precedence order listed: a record whose primary
 // key was already added is omitted, so the result respects the key (Section
 // 2.2). Without a primary key, duplicate rids are dropped but distinct
 // records are all kept.
+//
+// When a cache is attached, the materialized record set is served from and
+// retained in it, keyed by the canonical form of the version set (order is
+// preserved in the key for multi-version requests, whose precedence rule
+// makes order significant).
 func (c *CVD) Checkout(vids ...vgraph.VersionID) ([]engine.Row, error) {
+	if c.cache == nil {
+		return c.checkoutUncached(vids...)
+	}
+	key := cache.Key(c.name, cacheVids(vids), nil, true)
+	_, rows, err := c.cachedRows(key, func() ([]engine.Column, []engine.Row, error) {
+		rows, err := c.checkoutUncached(vids...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]engine.Column(nil), c.cols...), rows, nil
+	})
+	return rows, err
+}
+
+// checkoutUncached is Checkout's materialization path.
+func (c *CVD) checkoutUncached(vids ...vgraph.VersionID) ([]engine.Row, error) {
 	if len(vids) == 0 {
 		return nil, fmt.Errorf("core: %s: checkout needs at least one version", c.name)
 	}
@@ -531,6 +595,15 @@ const (
 	SetOpExcept
 )
 
+// Compile-time ties between SetOp values and the cache package's key
+// operator codes (cache.Key canonicalizes commutative chains by these
+// values; a drifted constant would silently merge non-equivalent scans).
+var (
+	_ = [1]struct{}{}[uint8(SetOpUnion)-cache.OpUnion]
+	_ = [1]struct{}{}[uint8(SetOpIntersect)-cache.OpIntersect]
+	_ = [1]struct{}{}[uint8(SetOpExcept)-cache.OpExcept]
+)
+
 // ParseSetOp maps the SQL keywords UNION/INTERSECT/EXCEPT onto SetOps.
 func ParseSetOp(kw string) (SetOp, error) {
 	switch kw {
@@ -583,7 +656,32 @@ func (c *CVD) MembershipSet(vids []vgraph.VersionID, ops []SetOp) (*bitmap.Bitma
 // is resolved with bitmap algebra first, and only the result records touch
 // the data tables. The result is record-id algebra — no primary-key
 // precedence is applied, since each record appears once.
+//
+// When a cache is attached it is consulted before bitmap resolution; keys
+// canonicalize commutative chains (pure UNION, pure INTERSECT), so
+// `VERSION 2 UNION 3` and `VERSION 3 UNION 2` share one entry.
 func (c *CVD) MultiVersionCheckout(vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+	if c.cache == nil {
+		return c.multiVersionCheckoutUncached(vids, ops)
+	}
+	opBytes := make([]uint8, len(ops))
+	for i, op := range ops {
+		opBytes[i] = uint8(op)
+	}
+	key := cache.Key(c.name, cacheVids(vids), opBytes, false)
+	_, rows, err := c.cachedRows(key, func() ([]engine.Column, []engine.Row, error) {
+		rows, err := c.multiVersionCheckoutUncached(vids, ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]engine.Column(nil), c.cols...), rows, nil
+	})
+	return rows, err
+}
+
+// multiVersionCheckoutUncached is MultiVersionCheckout's materialization
+// path.
+func (c *CVD) multiVersionCheckoutUncached(vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
 	for _, v := range vids {
 		if _, err := c.vm.info(v); err != nil {
 			return nil, err
@@ -594,6 +692,39 @@ func (c *CVD) MultiVersionCheckout(vids []vgraph.VersionID, ops []SetOp) ([]engi
 		return nil, err
 	}
 	return c.fetchRows(set, vids...)
+}
+
+// AllVersionsCheckout materializes the all-versions view (`FROM CVD name` in
+// SQL): a leading vid column followed by the data attributes, one row per
+// (version, record) pair — the "table with versioned records" of Figure 1a,
+// generated on the fly and cached like any other checkout.
+func (c *CVD) AllVersionsCheckout() ([]engine.Column, []engine.Row, error) {
+	if c.cache == nil {
+		return c.allVersionsUncached()
+	}
+	return c.cachedRows(cache.AllVersionsKey(c.name), c.allVersionsUncached)
+}
+
+func (c *CVD) allVersionsUncached() ([]engine.Column, []engine.Row, error) {
+	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}},
+		append([]engine.Column(nil), c.cols...)...)
+	var out []engine.Row
+	for _, v := range c.vm.order {
+		// Uncached per-version materialization on purpose: the aggregate
+		// view is cached as one entry, and also inserting N per-version
+		// entries would double-store every record and churn the LRU.
+		rows, err := c.checkoutUncached(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range rows {
+			row := make(engine.Row, 0, len(r)+1)
+			row = append(row, engine.IntValue(int64(v)))
+			row = append(row, r...)
+			out = append(out, row)
+		}
+	}
+	return cols, out, nil
 }
 
 // fetchRows materializes the data rows of a membership set. Models exposing

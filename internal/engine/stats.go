@@ -27,6 +27,14 @@ type Stats struct {
 	// to the I/O it competes with.
 	Checkpoints     atomic.Int64
 	CheckpointBytes atomic.Int64
+
+	// Checkout-cache accounting (internal/cache mirrors its counters here
+	// when wired to a Stats): hits serve materialized version record sets
+	// without touching pages, misses fall through to the scans counted
+	// above, evictions track byte-budget pressure.
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
 }
 
 // StatSnapshot is an immutable copy of the counters.
@@ -39,6 +47,10 @@ type StatSnapshot struct {
 
 	Checkpoints     int64
 	CheckpointBytes int64
+
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // Snapshot copies the current counter values.
@@ -52,6 +64,10 @@ func (s *Stats) Snapshot() StatSnapshot {
 
 		Checkpoints:     s.Checkpoints.Load(),
 		CheckpointBytes: s.CheckpointBytes.Load(),
+
+		CacheHits:      s.CacheHits.Load(),
+		CacheMisses:    s.CacheMisses.Load(),
+		CacheEvictions: s.CacheEvictions.Load(),
 	}
 }
 
@@ -64,6 +80,9 @@ func (s *Stats) Reset() {
 	s.HashBuilds.Store(0)
 	s.Checkpoints.Store(0)
 	s.CheckpointBytes.Store(0)
+	s.CacheHits.Store(0)
+	s.CacheMisses.Store(0)
+	s.CacheEvictions.Store(0)
 }
 
 // Since returns the counter deltas accumulated after the given snapshot.
@@ -78,6 +97,10 @@ func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
 
 		Checkpoints:     cur.Checkpoints - prev.Checkpoints,
 		CheckpointBytes: cur.CheckpointBytes - prev.CheckpointBytes,
+
+		CacheHits:      cur.CacheHits - prev.CacheHits,
+		CacheMisses:    cur.CacheMisses - prev.CacheMisses,
+		CacheEvictions: cur.CacheEvictions - prev.CacheEvictions,
 	}
 }
 

@@ -2,6 +2,15 @@
 // the LYRESPLIT approximation algorithm, the NScale-derived AGGLO and KMEANS
 // baselines, the cost model for storage and checkout, online maintenance of a
 // partitioning as commits stream in, and the intelligent migration engine.
+//
+// Entry points: LyreSplit.Run partitions a version Tree under a target δ
+// (storage bound (1+δ)^ℓ·|R|, checkout bound |E|/|V|/δ); FromVersionGroups
+// turns its groups into a concrete Partitioning over the version-record
+// bipartite graph; Online.Commit maintains a Partitioning incrementally and
+// signals when checkout cost has drifted past µ× the achievable optimum; and
+// PlanMigration/PlanNaiveMigration produce the delta steps that move the
+// stored layout from one Partitioning to the next. Agglo and KMeans exist to
+// reproduce the paper's baseline comparisons, not for production use.
 package partition
 
 import (

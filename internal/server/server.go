@@ -24,6 +24,13 @@
 //	POST   /api/v1/users                              register a user
 //	GET    /api/v1/wal/status                         durability status (WAL, checkpoints, errors)
 //	POST   /api/v1/wal/checkpoint                     force a checkpoint + log truncation
+//	GET    /api/v1/cache                              checkout-cache status (budget, bytes, hit/miss/eviction counters)
+//	POST   /api/v1/cache/flush                        drop every cached materialization
+//
+// Checkout responses carry an ETag-style X-Orpheus-Version header (also set
+// as ETag): a validator over (dataset, versions, cache generation) that a
+// client may echo back via If-None-Match (or X-Orpheus-Version) to get a
+// 304 Not Modified instead of a re-materialized body.
 //
 // The Store's own locking makes every handler safe under concurrency:
 // commits on one dataset proceed in parallel with checkouts on another, and
@@ -31,6 +38,7 @@
 package server
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -78,6 +86,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
 	s.mux.HandleFunc("GET /api/v1/wal/status", s.handleWALStatus)
 	s.mux.HandleFunc("POST /api/v1/wal/checkpoint", s.handleWALCheckpoint)
+	s.mux.HandleFunc("GET /api/v1/cache", s.handleCacheStatus)
+	s.mux.HandleFunc("POST /api/v1/cache/flush", s.handleCacheFlush)
 }
 
 // ServeHTTP implements http.Handler with optional request logging.
@@ -160,12 +170,28 @@ func (s *Server) handleWALCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.DB().Stats().Snapshot()
 	writeJSON(w, http.StatusOK, map[string]int64{
-		"seq_pages":    snap.SeqPages,
-		"rand_pages":   snap.RandPages,
-		"rows_scanned": snap.RowsScanned,
-		"index_probes": snap.IndexProbes,
-		"hash_builds":  snap.HashBuilds,
+		"seq_pages":       snap.SeqPages,
+		"rand_pages":      snap.RandPages,
+		"rows_scanned":    snap.RowsScanned,
+		"index_probes":    snap.IndexProbes,
+		"hash_builds":     snap.HashBuilds,
+		"cache_hits":      snap.CacheHits,
+		"cache_misses":    snap.CacheMisses,
+		"cache_evictions": snap.CacheEvictions,
 	})
+}
+
+// handleCacheStatus reports the checkout cache: budget, resident bytes and
+// entries, and cumulative hit/miss/eviction/invalidation counters.
+func (s *Server) handleCacheStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.CacheStats())
+}
+
+// handleCacheFlush drops every cached materialization (entries rebuild on
+// demand) and reports the post-flush state.
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	s.store.FlushCache()
+	writeJSON(w, http.StatusOK, s.store.CacheStats())
 }
 
 type datasetSummary struct {
@@ -179,6 +205,9 @@ type datasetSummary struct {
 	// StorageBreakdown splits Storage into compressed-membership bytes
 	// (rlist/vlist bitmaps) and record-data bytes.
 	StorageBreakdown orpheusdb.StorageBreakdown `json:"storageBreakdown"`
+	// Cache is the dataset's share of the checkout cache: resident entries
+	// and bytes, plus the invalidation generation backing version tokens.
+	Cache orpheusdb.DatasetCacheStats `json:"cache"`
 }
 
 func (s *Server) summarize(name string) (*datasetSummary, error) {
@@ -200,6 +229,7 @@ func (s *Server) summarize(name string) (*datasetSummary, error) {
 		Latest:           int64(d.LatestVersion()),
 		Storage:          breakdown.TotalBytes,
 		StorageBreakdown: breakdown,
+		Cache:            s.store.DatasetCacheStats(name),
 	}, nil
 }
 
@@ -336,6 +366,39 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// versionToken builds the ETag-style validator for a checkout response:
+// stable for a (dataset, versions) pair until a mutation advances the
+// dataset's cache generation. Version ids are joined with "+", never ",",
+// so the token survives If-None-Match's comma-separated list syntax intact.
+func versionToken(dataset string, vids []orpheusdb.VersionID, gen uint64) string {
+	parts := make([]string, len(vids))
+	for i, v := range vids {
+		parts[i] = strconv.FormatInt(int64(v), 10)
+	}
+	return fmt.Sprintf("%q", dataset+".v"+strings.Join(parts, "+")+".g"+strconv.FormatUint(gen, 10))
+}
+
+// tokenMatches reports whether an If-None-Match style header (a
+// comma-separated validator list, possibly W/-prefixed) names token. The
+// RFC's "*" wildcard is deliberately not honored: it would turn requests
+// for nonexistent versions into 304s instead of not_found errors.
+func tokenMatches(header, token string) bool {
+	// Whole-header comparison first: the common case is a client echoing
+	// one token back, and it keeps validators working even for dataset
+	// names that themselves contain a comma (which the naive split below
+	// would cut apart).
+	if strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(header), "W/")) == token {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == token {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	d, err := s.store.Dataset(r.PathValue("name"))
 	if err != nil {
@@ -347,11 +410,34 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cols, rows, err := d.CheckoutWithColumns(vids...)
+	// Conditional request: if the client's validator still matches the
+	// dataset's current generation, nothing it holds can be stale — answer
+	// 304 without materializing anything. The versions must still exist:
+	// a fabricated token for a missing version should get the same
+	// not_found the uncached path produces, not a 304.
+	if match := cmp.Or(r.Header.Get("If-None-Match"), r.Header.Get("X-Orpheus-Version")); match != "" {
+		for _, vid := range vids {
+			if _, err := d.Info(vid); err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+		token := versionToken(d.Name(), vids, d.CacheGeneration())
+		if tokenMatches(match, token) {
+			w.Header().Set("X-Orpheus-Version", token)
+			w.Header().Set("ETag", token)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	cols, rows, gen, err := d.CheckoutWithToken(vids...)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	token := versionToken(d.Name(), vids, gen)
+	w.Header().Set("X-Orpheus-Version", token)
+	w.Header().Set("ETag", token)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset":  d.Name(),
 		"versions": int64IDs(vids),

@@ -15,6 +15,20 @@ type Result struct {
 	Affected int
 }
 
+// CVDSource materializes `VERSION ... OF CVD` references for the executor.
+// The OrpheusDB query translator passes one to RunWith; with it, a versioned
+// reference resolves directly into an in-memory relation (typically served
+// from the checkout cache) instead of requiring a pre-materialized table.
+// Returned rows are shared — with the cache and with other queries — and
+// must be treated as immutable.
+type CVDSource interface {
+	// MaterializeVersionRef resolves one CVD reference: a single version
+	// (ref.Version >= 0), a multi-version set-operation scan
+	// (ref.ExtraVersions/SetOps non-empty), or the all-versions view
+	// (ref.Version < 0, leading vid column).
+	MaterializeVersionRef(ref *TableRef) ([]engine.Column, []engine.Row, error)
+}
+
 // Exec parses and executes one SQL statement against db.
 func Exec(db *engine.DB, src string) (*Result, error) {
 	stmt, err := Parse(src)
@@ -41,9 +55,16 @@ func ExecScript(db *engine.DB, src string) (*Result, error) {
 	return res, nil
 }
 
-// Run executes a parsed statement.
+// Run executes a parsed statement. CVD references error; use RunWith to
+// resolve them.
 func Run(db *engine.DB, stmt Stmt) (*Result, error) {
-	x := &executor{db: db}
+	return RunWith(db, stmt, nil)
+}
+
+// RunWith executes a parsed statement, resolving `VERSION ... OF CVD`
+// references through src (which may be nil when the statement has none).
+func RunWith(db *engine.DB, stmt Stmt, src CVDSource) (*Result, error) {
+	x := &executor{db: db, cvd: src}
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		rel, err := x.execSelect(s)
@@ -95,9 +116,11 @@ func (r *rel) names() []string {
 	return out
 }
 
-// executor runs statements; it carries the database for subqueries.
+// executor runs statements; it carries the database for subqueries and the
+// CVD source for versioned references.
 type executor struct {
-	db *engine.DB
+	db  *engine.DB
+	cvd CVDSource
 }
 
 // resolve finds the position of a column reference.
@@ -149,7 +172,22 @@ func (x *executor) fromRel(f FromItem) (*rel, error) {
 	switch t := f.(type) {
 	case *TableRef:
 		if t.CVD != "" {
-			return nil, fmt.Errorf("sql: unresolved VERSION %d OF CVD %s (run through the OrpheusDB query translator)", t.Version, t.CVD)
+			if x.cvd == nil {
+				return nil, fmt.Errorf("sql: unresolved VERSION %d OF CVD %s (run through the OrpheusDB query translator)", t.Version, t.CVD)
+			}
+			cols, rows, err := x.cvd.MaterializeVersionRef(t)
+			if err != nil {
+				return nil, err
+			}
+			alias := t.Alias
+			if alias == "" {
+				alias = t.CVD
+			}
+			out := &rel{rows: rows}
+			for _, c := range cols {
+				out.cols = append(out.cols, colInfo{table: alias, name: c.Name})
+			}
+			return out, nil
 		}
 		return x.tableRel(t.Name, t.Alias)
 	case *SubqueryRef:

@@ -9,6 +9,15 @@
 // The log is torn-tail tolerant: opening a log validates every frame and
 // truncates at the first bad length or CRC, so a crash mid-append (or a
 // partially flushed page) costs at most the unacknowledged suffix.
+//
+// Lifecycle: Open acquires single-owner ownership of a segment directory
+// (advisory flock on wal.lock) and repairs any torn tail; Append assigns the
+// next LSN and persists one Record under the configured fsync Policy; Replay
+// streams every record strictly after a snapshot's LSN watermark back to the
+// caller; Truncate drops segments a successful checkpoint made obsolete; and
+// Close fsyncs and releases the lock. LSNs are dense and store-wide, so
+// "snapshot state ≡ replay of records 1..LSN" is the invariant recovery
+// rests on (docs/ARCHITECTURE.md, "WAL-before-ack").
 package wal
 
 import (

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orpheusdb/internal/cache"
 	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/sql"
@@ -63,6 +64,10 @@ type (
 	SetOp = core.SetOp
 	// StorageBreakdown splits dataset storage into membership vs data bytes.
 	StorageBreakdown = core.StorageBreakdown
+	// CacheStats is a snapshot of the checkout cache's counters.
+	CacheStats = cache.Stats
+	// DatasetCacheStats is one dataset's share of the checkout cache.
+	DatasetCacheStats = cache.DatasetStats
 )
 
 // Membership set operators for Dataset.MultiVersionCheckout and the SQL
@@ -106,6 +111,10 @@ const (
 // with ScheduleSave.
 const DefaultSaveDelay = 250 * time.Millisecond
 
+// DefaultCacheBudget is the byte budget the checkout cache starts with.
+// Adjust with SetCacheBudget (0 disables caching).
+const DefaultCacheBudget = cache.DefaultBudget
+
 // Store is an OrpheusDB instance: an embedded relational database hosting any
 // number of CVDs, a staging area, and user accounts. All methods are safe for
 // concurrent use.
@@ -138,9 +147,12 @@ type Store struct {
 	// async save and a Flush never interleave writes to the same path.
 	diskMu sync.Mutex
 
-	// tmpSeq allocates unique transient-table names for concurrent Run
-	// calls.
-	tmpSeq atomic.Uint64
+	// cache is the version-aware checkout cache consulted by every
+	// checkout and versioned scan. Read paths populate it under dataset
+	// read locks; every mutator invalidates the affected dataset inside
+	// its critical section (next to the WAL append), so no reader can
+	// observe a stale entry. Set once in newStore, then read-only.
+	cache *cache.Cache
 
 	// Debounced async persistence (ScheduleSave / Flush).
 	saveMu    sync.Mutex
@@ -160,12 +172,19 @@ type Store struct {
 }
 
 func newStore(db *engine.DB, path string) *Store {
+	c := cache.New(DefaultCacheBudget, db.Stats())
+	// Seed the generation epoch per process so ETag-style version tokens
+	// minted before a restart can never validate against post-restart
+	// content (the in-memory generation counters would otherwise restart
+	// at zero and could collide).
+	c.SeedEpoch(uint64(time.Now().UnixNano()))
 	return &Store{
 		db:        db,
 		path:      path,
 		user:      "default",
 		datasets:  make(map[string]*Dataset),
 		saveDelay: DefaultSaveDelay,
+		cache:     c,
 	}
 }
 
@@ -398,6 +417,11 @@ func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, er
 	if err != nil {
 		return nil, err
 	}
+	c.SetCache(s.cache)
+	// A dropped dataset of the same name may have left clients holding
+	// version tokens; advancing the generation keeps them from validating
+	// against the new incarnation.
+	s.cache.InvalidateDataset(name)
 	d := &Dataset{store: s, cvd: c}
 	s.datasets[name] = d
 	if err := s.logMutation(&wal.Record{
@@ -438,6 +462,7 @@ func (s *Store) dataset(name string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetCache(s.cache)
 	d := &Dataset{store: s, cvd: c}
 	s.datasets[name] = d
 	return d, nil
@@ -474,6 +499,7 @@ func (s *Store) Drop(name string) error {
 	}
 	d.dropped = true
 	delete(s.datasets, name)
+	s.cache.InvalidateDataset(name)
 	if err := s.logMutation(&wal.Record{Type: wal.TypeDrop, Dataset: name}); err != nil {
 		return err
 	}
@@ -543,6 +569,9 @@ func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID
 	if err != nil {
 		return 0, err
 	}
+	// Invalidate before the WAL append: even if the append fails, the
+	// version exists in memory and readers must not see pre-commit entries.
+	d.store.cache.InvalidateDataset(d.cvd.Name())
 	if err := d.store.logMutation(d.commitRecord(wal.TypeCommit, nil, rows, parents, msg, v)); err != nil {
 		return v, err
 	}
@@ -564,6 +593,7 @@ func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionI
 	if err != nil {
 		return 0, err
 	}
+	d.store.cache.InvalidateDataset(d.cvd.Name()) // before WAL append; see Commit
 	if err := d.store.logMutation(d.commitRecord(wal.TypeCommitSchema, cols, rows, parents, msg, v)); err != nil {
 		return v, err
 	}
@@ -597,6 +627,51 @@ func (d *Dataset) CheckoutWithColumns(vids ...VersionID) ([]Column, []Row, error
 	}
 	return append([]Column(nil), d.cvd.Columns()...), rows, nil
 }
+
+// CheckoutWithToken is CheckoutWithColumns plus the dataset's cache
+// generation, observed under the same lock acquisition as the rows. The
+// generation advances on every mutation that could change what this
+// dataset's versions materialize to, so (dataset, versions, generation) is a
+// sound validator: a client holding rows tagged with the same generation is
+// guaranteed they are still current (the HTTP layer turns this into
+// ETag-style X-Orpheus-Version headers and 304 responses).
+func (d *Dataset) CheckoutWithToken(vids ...VersionID) ([]Column, []Row, uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, nil, 0, err
+	}
+	rows, err := d.cvd.Checkout(vids...)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	gen := d.store.cache.Generation(d.cvd.Name())
+	return append([]Column(nil), d.cvd.Columns()...), rows, gen, nil
+}
+
+// CacheGeneration returns the dataset's current cache generation (see
+// CheckoutWithToken) under the dataset read lock.
+func (d *Dataset) CacheGeneration() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.cache.Generation(d.cvd.Name())
+}
+
+// CacheStats snapshots the store's checkout-cache counters.
+func (s *Store) CacheStats() CacheStats { return s.cache.Stats() }
+
+// DatasetCacheStats reports one dataset's share of the checkout cache.
+func (s *Store) DatasetCacheStats(name string) DatasetCacheStats {
+	return s.cache.DatasetStats(name)
+}
+
+// FlushCache drops every cached materialization (entries rebuild on demand;
+// correctness never depends on flushing).
+func (s *Store) FlushCache() { s.cache.Flush() }
+
+// SetCacheBudget resizes the checkout cache's byte budget, evicting down to
+// it immediately. A budget <= 0 disables caching.
+func (s *Store) SetCacheBudget(budget int64) { s.cache.SetBudget(budget) }
 
 // DiffWithColumns is Diff plus the schema under a single lock acquisition.
 func (d *Dataset) DiffWithColumns(a, b VersionID) (cols []Column, onlyA, onlyB []Row, err error) {
@@ -678,6 +753,7 @@ func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.cache.InvalidateDataset(d.cvd.Name()) // before WAL append; see Commit
 	if staged != nil {
 		if info, ierr := d.cvd.Info(v); ierr == nil {
 			staged.TimeNanos = info.CommitTime.UnixNano()
@@ -785,6 +861,10 @@ func (d *Dataset) optimize(gammaFactor float64, naive bool) (*core.OptimizeResul
 	if err != nil {
 		return nil, err
 	}
+	// Migration rewrites the partitioned layout; cached materializations
+	// remain value-correct but would pin the pre-migration fetch results,
+	// so drop them (and advance the generation) for observability's sake.
+	d.store.cache.InvalidateDataset(d.cvd.Name())
 	if err := d.store.logMutation(&wal.Record{
 		Type:    wal.TypeOptimize,
 		Dataset: d.cvd.Name(),
@@ -857,6 +937,7 @@ func (d *Dataset) OptimizeWeighted(gammaFactor float64, freq map[VersionID]int64
 	if err != nil {
 		return nil, err
 	}
+	d.store.cache.InvalidateDataset(d.cvd.Name()) // layout change; see optimize
 	rec := &wal.Record{
 		Type:     wal.TypeOptimize,
 		Dataset:  d.cvd.Name(),
@@ -898,6 +979,7 @@ func (d *Dataset) MaintainPartitions(gammaFactor, mu float64) (*core.Maintenance
 		return nil, err
 	}
 	if res != nil && res.Migrated {
+		d.store.cache.InvalidateDataset(d.cvd.Name()) // layout change; see optimize
 		if err := d.store.logMutation(&wal.Record{
 			Type:    wal.TypeMaintain,
 			Dataset: d.cvd.Name(),

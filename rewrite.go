@@ -1,7 +1,6 @@
 package orpheusdb
 
 import (
-	"fmt"
 	"sort"
 
 	"orpheusdb/internal/core"
@@ -12,18 +11,22 @@ import (
 
 // The query translator (Section 2.3): SQL statements may reference
 // `VERSION <v> OF CVD <name>` (one version as a relation) or `CVD <name>`
-// (every version, with a leading vid column). Run materializes each such
-// reference as a transient table, rewrites the statement to use it, executes,
-// and cleans up — so the underlying engine stays completely unaware of
+// (every version, with a leading vid column). Run resolves each such
+// reference through a CVDSource that serves the materialized record set
+// straight from the checkout cache (internal/cache) when warm — no transient
+// tables are created, and the underlying engine stays completely unaware of
 // versioning.
 
 // stmtWrites reports whether a statement mutates named engine tables
-// (INSERT/UPDATE/DELETE/DDL). Such statements run under the exclusive save
-// lock so they cannot race other queries or commits touching the same
-// tables; SELECTs run under the shared lock.
+// (INSERT/UPDATE/DELETE/DDL, and SELECT ... INTO, which materializes a new
+// table). Such statements run under the exclusive save lock so they cannot
+// race other queries or commits touching the same tables, and their results
+// are scheduled for persistence; plain SELECTs run under the shared lock.
 func stmtWrites(st sql.Stmt) bool {
-	_, isSelect := st.(*sql.SelectStmt)
-	return !isSelect
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		return sel.Into != ""
+	}
+	return true
 }
 
 // lockForStmts acquires the save lock in the mode the statements need and
@@ -72,13 +75,15 @@ func (s *Store) lockAllDatasets(write bool) func() {
 }
 
 // Run executes one SQL statement, resolving OrpheusDB version references.
-// Run is safe for concurrent use. VERSION ... OF CVD references materialize
-// into uniquely named transient tables under the referenced datasets' read
-// locks, so versioned queries on dataset A run alongside commits on dataset
-// B. Statements naming plain tables additionally take every dataset's lock
-// (shared for SELECT, exclusive for DML, which also holds the save lock
-// exclusively), since a raw name may resolve to any dataset's backing
-// tables.
+// Run is safe for concurrent use. VERSION ... OF CVD references resolve
+// under the referenced datasets' read locks into in-memory relations served
+// by the checkout cache, so versioned queries on dataset A run alongside
+// commits on dataset B. Statements naming plain tables additionally take
+// every dataset's lock (shared for SELECT, exclusive for DML, which also
+// holds the save lock exclusively), since a raw name may resolve to any
+// dataset's backing tables. After a write statement the checkout cache is
+// flushed inside the same locked window: raw DML may have rewritten any
+// dataset's backing tables out from under the versioning layer.
 func (s *Store) Run(src string) (*Result, error) {
 	stmt, err := sql.Parse(src)
 	if err != nil {
@@ -86,18 +91,17 @@ func (s *Store) Run(src string) (*Result, error) {
 	}
 	writes := stmtWrites(stmt)
 	defer s.lockForStmts(stmt)()
-	temps, plain, err := s.resolveStmt(stmt)
-	defer s.dropTemps(temps)
-	if err != nil {
-		return nil, err
-	}
+	plain := stmtReferencesPlainTables(stmt)
 	if writes || plain {
 		defer s.lockAllDatasets(writes)()
 	}
-	res, err := sql.Run(s.db, stmt)
+	res, err := sql.RunWith(s.db, stmt, &cvdSource{s: s, locked: writes || plain})
 	if writes {
-		// Even a failed statement may have applied partial mutations
-		// (e.g. a multi-row INSERT failing midway), so persist either way.
+		// Still inside the exclusive window: invalidate before any reader
+		// can observe post-DML state through a stale entry. Even a failed
+		// statement may have applied partial mutations (e.g. a multi-row
+		// INSERT failing midway), so flush and persist either way.
+		s.cache.Flush()
 		s.ScheduleSave()
 	}
 	return res, err
@@ -120,21 +124,20 @@ func (s *Store) RunScript(src string) (*Result, error) {
 		}
 	}()
 	for _, stmt := range stmts {
-		temps, plain, err := s.resolveStmt(stmt)
-		if err != nil {
-			s.dropTemps(temps)
-			return nil, err
-		}
 		w := stmtWrites(stmt)
 		wrote = wrote || w
+		plain := stmtReferencesPlainTables(stmt)
+		source := &cvdSource{s: s, locked: w || plain}
 		if w || plain {
 			unlock := s.lockAllDatasets(w)
-			res, err = sql.Run(s.db, stmt)
+			res, err = sql.RunWith(s.db, stmt, source)
+			if w {
+				s.cache.Flush() // before unlock: see Run
+			}
 			unlock()
 		} else {
-			res, err = sql.Run(s.db, stmt)
+			res, err = sql.RunWith(s.db, stmt, source)
 		}
-		s.dropTemps(temps)
 		if err != nil {
 			return nil, err
 		}
@@ -142,48 +145,80 @@ func (s *Store) RunScript(src string) (*Result, error) {
 	return res, nil
 }
 
-func (s *Store) dropTemps(temps []string) {
-	for _, t := range temps {
-		if s.db.HasTable(t) {
-			_ = s.db.DropTable(t)
+// cvdSource resolves `VERSION ... OF CVD` references for the SQL executor,
+// serving materialized record sets from the store's checkout cache. locked
+// marks statements for which Run already holds every dataset's lock (plain
+// tables or DML); taking the per-dataset read lock again would deadlock
+// against the held write lock, and is redundant under the held read lock.
+type cvdSource struct {
+	s      *Store
+	locked bool
+}
+
+func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column, []engine.Row, error) {
+	d, err := src.s.dataset(ref.CVD) // caller (Run) already holds ioMu
+	if err != nil {
+		return nil, nil, err
+	}
+	if !src.locked {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	if err := d.aliveLocked(); err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case ref.Version >= 0 && len(ref.ExtraVersions) > 0:
+		// Multi-version scan: membership is bitmap algebra over the
+		// versions' rlists; only the result records touch the data tables,
+		// and the whole materialization is cached under the chain's
+		// canonical key.
+		vids := make([]vgraph.VersionID, 0, len(ref.ExtraVersions)+1)
+		vids = append(vids, vgraph.VersionID(ref.Version))
+		for _, v := range ref.ExtraVersions {
+			vids = append(vids, vgraph.VersionID(v))
 		}
+		ops := make([]core.SetOp, len(ref.SetOps))
+		for i, kw := range ref.SetOps {
+			op, err := core.ParseSetOp(kw)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops[i] = op
+		}
+		rows, err := d.cvd.MultiVersionCheckout(vids, ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]engine.Column(nil), d.cvd.Columns()...), rows, nil
+	case ref.Version >= 0:
+		rows, err := d.cvd.Checkout(vgraph.VersionID(ref.Version))
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]engine.Column(nil), d.cvd.Columns()...), rows, nil
+	default:
+		// All-versions view: vid + data attributes, one row per
+		// (version, record) pair — the "table with versioned records" of
+		// Figure 1a, generated on the fly.
+		return d.cvd.AllVersionsCheckout()
 	}
 }
 
-// resolveStmt walks the statement and materializes CVD references, returning
-// the temp tables it created and whether the statement also references plain
-// (non-versioned) tables by name.
-func (s *Store) resolveStmt(stmt sql.Stmt) (_ []string, plain bool, _ error) {
-	var temps []string
+// stmtReferencesPlainTables walks the statement and reports whether it names
+// any plain (non-versioned) table — such statements take every dataset's
+// lock, since a raw name may resolve to any dataset's backing tables.
+func stmtReferencesPlainTables(stmt sql.Stmt) bool {
+	plain := false
 	var walkSelect func(sel *sql.SelectStmt) error
-
-	resolveFrom := func(f sql.FromItem) error {
-		ref, ok := f.(*sql.TableRef)
-		if !ok {
-			return nil
-		}
-		if ref.CVD == "" {
-			plain = true
-			return nil
-		}
-		name, err := s.materializeRef(ref)
-		if err != nil {
-			return err
-		}
-		temps = append(temps, name)
-		if ref.Alias == "" {
-			ref.Alias = ref.CVD
-		}
-		ref.Name = name
-		ref.CVD = ""
-		return nil
-	}
 
 	var walkFrom func(f sql.FromItem) error
 	walkFrom = func(f sql.FromItem) error {
 		switch t := f.(type) {
 		case *sql.TableRef:
-			return resolveFrom(t)
+			if t.CVD == "" {
+				plain = true
+			}
 		case *sql.SubqueryRef:
 			return walkSelect(t.Select)
 		case *sql.JoinRef:
@@ -225,38 +260,18 @@ func (s *Store) resolveStmt(stmt sql.Stmt) (_ []string, plain bool, _ error) {
 		return nil
 	}
 
-	var err error
 	switch t := stmt.(type) {
 	case *sql.SelectStmt:
-		err = walkSelect(t)
-	case *sql.InsertStmt:
-		plain = true // targets a named table directly
-		err = walkSelect(t.Select)
-		for _, row := range t.Rows {
-			for _, e := range row {
-				if e2 := walkExpr(e, walkSelect); e2 != nil {
-					err = e2
-				}
-			}
+		_ = walkSelect(t)
+		if t.Into != "" {
+			plain = true // materializes into a named table
 		}
-	case *sql.UpdateStmt:
-		plain = true // targets a named table directly
-		for _, a := range t.Set {
-			if e2 := walkExpr(a.Expr, walkSelect); e2 != nil {
-				err = e2
-			}
-		}
-		if e2 := walkExpr(t.Where, walkSelect); e2 != nil {
-			err = e2
-		}
-	case *sql.DeleteStmt:
-		plain = true // targets a named table directly
-		err = walkExpr(t.Where, walkSelect)
 	default:
-		// DDL and anything else touches named tables.
+		// INSERT/UPDATE/DELETE/DDL target a named table directly; no need
+		// to walk further, the answer cannot change.
 		plain = true
 	}
-	return temps, plain, err
+	return plain
 }
 
 // walkExpr visits subqueries inside an expression tree.
@@ -329,91 +344,4 @@ func walkExpr(e sql.Expr, visit func(*sql.SelectStmt) error) error {
 		return walkExpr(t.Else, visit)
 	}
 	return nil
-}
-
-// materializeRef creates a transient table for a CVD reference: a single
-// version's rows, a multi-version set-operation scan, or the all-versions
-// view with a leading vid column. The table name is globally unique so
-// concurrent queries never collide, and the dataset's read lock is held for
-// the duration of the copy so a concurrent commit cannot interleave.
-func (s *Store) materializeRef(ref *sql.TableRef) (string, error) {
-	d, err := s.dataset(ref.CVD) // caller (Run) already holds ioMu
-	if err != nil {
-		return "", err
-	}
-	name := fmt.Sprintf("__orpheus_tmp_%s_%d", ref.CVD, s.tmpSeq.Add(1))
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if ref.Version >= 0 && len(ref.ExtraVersions) > 0 {
-		// Multi-version scan: resolve membership with bitmap algebra over
-		// the versions' rlists, then materialize only the result records —
-		// the data table is never touched for records outside the result.
-		vids := make([]vgraph.VersionID, 0, len(ref.ExtraVersions)+1)
-		vids = append(vids, vgraph.VersionID(ref.Version))
-		for _, v := range ref.ExtraVersions {
-			vids = append(vids, vgraph.VersionID(v))
-		}
-		ops := make([]core.SetOp, len(ref.SetOps))
-		for i, kw := range ref.SetOps {
-			op, err := core.ParseSetOp(kw)
-			if err != nil {
-				return "", err
-			}
-			ops[i] = op
-		}
-		rows, err := d.cvd.MultiVersionCheckout(vids, ops)
-		if err != nil {
-			return "", err
-		}
-		t, err := s.db.CreateTable(name, d.cvd.Columns())
-		if err != nil {
-			return "", err
-		}
-		for _, r := range rows {
-			if _, err := t.Insert(r); err != nil {
-				return "", err
-			}
-		}
-		return name, nil
-	}
-	if ref.Version >= 0 {
-		vid := vgraph.VersionID(ref.Version)
-		rows, err := d.cvd.Checkout(vid)
-		if err != nil {
-			return "", err
-		}
-		t, err := s.db.CreateTable(name, d.cvd.Columns())
-		if err != nil {
-			return "", err
-		}
-		for _, r := range rows {
-			if _, err := t.Insert(r); err != nil {
-				return "", err
-			}
-		}
-		return name, nil
-	}
-	// All-versions view: vid + data attributes, one row per
-	// (version, record) pair — the "table with versioned records" of
-	// Figure 1a, generated on the fly.
-	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}}, d.cvd.Columns()...)
-	t, err := s.db.CreateTable(name, cols)
-	if err != nil {
-		return "", err
-	}
-	for _, v := range d.cvd.Versions() {
-		rows, err := d.cvd.Checkout(v)
-		if err != nil {
-			return "", err
-		}
-		for _, r := range rows {
-			row := make(engine.Row, 0, len(r)+1)
-			row = append(row, engine.IntValue(int64(v)))
-			row = append(row, r...)
-			if _, err := t.Insert(row); err != nil {
-				return "", err
-			}
-		}
-	}
-	return name, nil
 }

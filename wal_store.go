@@ -107,6 +107,12 @@ func (s *Store) EnableWAL(cfg WALConfig) error {
 	s.wal = l
 	s.walCfg = cfg
 	s.ckptLSN.Store(base) // the on-disk snapshot covers exactly the pre-replay watermark
+	if replayed > 0 {
+		// Replay mutated CVDs directly, bypassing the mutators that
+		// invalidate the checkout cache; drop anything a pre-EnableWAL
+		// read may have materialized from the pre-replay state.
+		s.cache.Flush()
+	}
 	if replayed > 0 && s.path != "" {
 		// Fold the replayed tail into a fresh snapshot soon so the next
 		// recovery starts closer to the tail.
@@ -187,6 +193,7 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 		if err != nil {
 			return err
 		}
+		c.SetCache(s.cache)
 		s.datasets[rec.Dataset] = &Dataset{store: s, cvd: c}
 		return nil
 	case wal.TypeDrop:
