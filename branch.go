@@ -1,0 +1,295 @@
+package orpheusdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orpheusdb/internal/core"
+	"orpheusdb/internal/merge"
+	"orpheusdb/internal/vgraph"
+	"orpheusdb/internal/wal"
+)
+
+// Branch & merge: the git-style named workflow over a dataset's version DAG.
+// A branch is a named head version plus a persisted lineage bitmap; merging
+// reconciles two divergent versions three-way against their lowest common
+// ancestor using bitmap algebra over the versions' rlists, with record-level
+// primary-key conflict detection and pluggable resolution. Every branch
+// mutation and merge is WAL-logged inside its critical section like any
+// other store mutation, and merge commits invalidate the checkout cache the
+// same way plain commits do.
+
+// Re-exported branch/merge identifiers.
+type (
+	// BranchInfo describes one named branch of a dataset.
+	BranchInfo = core.BranchInfo
+	// MergePolicy selects conflict resolution (fail/ours/theirs).
+	MergePolicy = merge.Policy
+	// MergeResult reports a merge: resulting version, base, conflict list.
+	MergeResult = core.MergeResult
+	// MergeConflict is one record-level conflict in a merge report.
+	MergeConflict = merge.Conflict
+	// MergeConflictError is the error PolicyFail returns when conflicts
+	// exist; it carries the full MergeResult report.
+	MergeConflictError = core.ConflictError
+)
+
+// Merge conflict-resolution policies, re-exported.
+const (
+	MergeFail   = merge.PolicyFail
+	MergeOurs   = merge.PolicyOurs
+	MergeTheirs = merge.PolicyTheirs
+)
+
+// ParseMergePolicy parses "fail", "ours", or "theirs".
+func ParseMergePolicy(s string) (MergePolicy, error) { return merge.ParsePolicy(s) }
+
+// CreateBranch registers a named branch pointing at version at (0 means the
+// dataset's latest version). Branch names share reference slots with version
+// ids, so purely numeric names are rejected.
+func (d *Dataset) CreateBranch(name string, at VersionID) (*BranchInfo, error) {
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	if at == 0 {
+		if at = d.cvd.LatestVersion(); at == 0 {
+			return nil, fmt.Errorf("orpheusdb: dataset %q has no versions to branch from", d.cvd.Name())
+		}
+	}
+	b, err := d.cvd.CreateBranch(name, at)
+	if err != nil {
+		return nil, err
+	}
+	d.store.db.Stats().BranchCreates.Add(1)
+	if err := d.store.logMutation(&wal.Record{
+		Type:      wal.TypeBranchCreate,
+		Dataset:   d.cvd.Name(),
+		Branch:    name,
+		Version:   int64(at),
+		TimeNanos: b.CreatedAt.UnixNano(),
+	}); err != nil {
+		return b, err
+	}
+	d.store.ScheduleSave()
+	return b, nil
+}
+
+// Branches lists the dataset's branches sorted by name. The BranchInfo
+// values (including their lineage bitmaps) are shared and must be treated as
+// immutable.
+func (d *Dataset) Branches() []*BranchInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.Branches()
+}
+
+// Branch returns one branch by name.
+func (d *Dataset) Branch(name string) (*BranchInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	return d.cvd.Branch(name)
+}
+
+// DeleteBranch removes a branch; the versions it pointed at are untouched.
+func (d *Dataset) DeleteBranch(name string) error {
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return err
+	}
+	if err := d.cvd.DeleteBranch(name); err != nil {
+		return err
+	}
+	if err := d.store.logMutation(&wal.Record{
+		Type:    wal.TypeBranchDelete,
+		Dataset: d.cvd.Name(),
+		Branch:  name,
+	}); err != nil {
+		return err
+	}
+	d.store.ScheduleSave()
+	return nil
+}
+
+// ResolveRef resolves a version reference — a decimal version id or a branch
+// name (yielding the branch head).
+func (d *Dataset) ResolveRef(ref string) (VersionID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, err
+	}
+	return d.cvd.ResolveRef(ref)
+}
+
+// MergeBase returns the lowest common ancestor of two version references
+// (ok=false when they share no ancestry).
+func (d *Dataset) MergeBase(oursRef, theirsRef string) (VersionID, bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, false, err
+	}
+	ours, err := d.cvd.ResolveRef(oursRef)
+	if err != nil {
+		return 0, false, err
+	}
+	theirs, err := d.cvd.ResolveRef(theirsRef)
+	if err != nil {
+		return 0, false, err
+	}
+	return d.cvd.MergeBase(ours, theirs)
+}
+
+// Merge three-way-merges theirsRef into oursRef. Either reference may be a
+// version id or a branch name; when oursRef names a branch, the branch head
+// advances to the merge result (including fast-forwards). A true merge
+// produces a new version with both sides as parents, whose record set is the
+// bitmap formula base-kept ∪ ours-added ∪ theirs-added with deletions on
+// either side honored; record-level conflicts (both sides changed the same
+// primary key differently) are resolved per policy, or reported via a
+// *MergeConflictError under MergeFail — the returned MergeResult carries the
+// conflict report either way.
+func (d *Dataset) Merge(oursRef, theirsRef string, policy MergePolicy, msg string) (*MergeResult, error) {
+	// Trim up front so branch detection below sees exactly the form
+	// ResolveRef resolves (a padded branch ref must still advance it).
+	oursRef = strings.TrimSpace(oursRef)
+	theirsRef = strings.TrimSpace(theirsRef)
+	d.store.ioMu.RLock()
+	defer d.store.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
+	}
+	ours, err := d.cvd.ResolveRef(oursRef)
+	if err != nil {
+		return nil, err
+	}
+	theirs, err := d.cvd.ResolveRef(theirsRef)
+	if err != nil {
+		return nil, err
+	}
+	oursBranch := ""
+	if b, berr := d.cvd.Branch(oursRef); berr == nil {
+		oursBranch = b.Name
+	}
+	stats := d.store.db.Stats()
+	stats.Merges.Add(1)
+	res, err := d.cvd.Merge(ours, theirs, core.MergeOptions{Policy: policy, Message: msg})
+	if res != nil {
+		stats.MergeConflicts.Add(int64(len(res.Conflicts)))
+	}
+	if err != nil {
+		return res, err // conflict-refused or failed merges mutate nothing
+	}
+	switch {
+	case res.UpToDate:
+		return res, nil
+	case res.FastForward:
+		if oursBranch == "" {
+			return res, nil // nothing to advance; no state changed
+		}
+		if _, err := d.cvd.AdvanceBranch(oursBranch, res.Version); err != nil {
+			return res, err
+		}
+		if err := d.store.logMutation(&wal.Record{
+			Type:    wal.TypeBranchAdvance,
+			Dataset: d.cvd.Name(),
+			Branch:  oursBranch,
+			Version: int64(res.Version),
+		}); err != nil {
+			return res, err
+		}
+		d.store.ScheduleSave()
+		return res, nil
+	}
+	// A merge commit extends the version graph: readers must not see
+	// pre-merge cached materializations of the all-versions view, and the
+	// dataset's generation token must advance. Invalidate before the WAL
+	// append, exactly like Commit.
+	d.store.cache.InvalidateDataset(d.cvd.Name())
+	if oursBranch != "" {
+		if _, err := d.cvd.AdvanceBranch(oursBranch, res.Version); err != nil {
+			return res, err
+		}
+	}
+	rec := &wal.Record{
+		Type:    wal.TypeMerge,
+		Dataset: d.cvd.Name(),
+		Branch:  oursBranch,
+		Msg:     msg,
+		Policy:  policy.String(),
+		Base:    int64(res.Base),
+		Parents: []int64{int64(ours), int64(theirs)},
+		Version: int64(res.Version),
+	}
+	if info, ierr := d.cvd.Info(res.Version); ierr == nil {
+		rec.TimeNanos = info.CommitTime.UnixNano()
+	}
+	if set, serr := d.cvd.RlistSet(res.Version); serr == nil {
+		rec.Members = set
+	}
+	if err := d.store.logMutation(rec); err != nil {
+		return res, err
+	}
+	d.store.ScheduleSave()
+	return res, nil
+}
+
+// replayMerge re-runs a logged merge with the recorded timestamp and policy,
+// verifying the replay reconstructed the acknowledged version id and record
+// set, then re-advances the branch head the original merge moved.
+func (s *Store) replayMerge(rec *wal.Record) error {
+	d, err := s.dataset(rec.Dataset)
+	if err != nil {
+		return err
+	}
+	if len(rec.Parents) != 2 {
+		return fmt.Errorf("merge record has %d parents, want 2", len(rec.Parents))
+	}
+	policy, err := merge.ParsePolicy(rec.Policy)
+	if err != nil {
+		return err
+	}
+	cvd := d.cvd
+	at := time.Unix(0, rec.TimeNanos)
+	restore := cvd.Clock
+	cvd.Clock = func() time.Time { return at }
+	defer func() { cvd.Clock = restore }()
+
+	res, err := cvd.Merge(vgraph.VersionID(rec.Parents[0]), vgraph.VersionID(rec.Parents[1]),
+		core.MergeOptions{Policy: policy, Message: rec.Msg})
+	if err != nil {
+		return err
+	}
+	if rec.Version != 0 && int64(res.Version) != rec.Version {
+		return fmt.Errorf("merge replay diverged: produced version %d, log says %d", res.Version, rec.Version)
+	}
+	if rec.Members != nil {
+		set, err := cvd.RlistSet(res.Version)
+		if err != nil {
+			return err
+		}
+		if !set.Equal(rec.Members) {
+			return fmt.Errorf("merge replay diverged: version %d rebuilt %d records, log says %d",
+				res.Version, set.Cardinality(), rec.Members.Cardinality())
+		}
+	}
+	if rec.Branch != "" {
+		if _, err := cvd.AdvanceBranch(rec.Branch, res.Version); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the observed output")
+
+// captureOutput runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed.
+func captureOutput(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return out
+}
+
+var timestampRE = regexp.MustCompile(`\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}`)
+
+// normalize strips run-dependent details (timestamps, temp paths) from CLI
+// output.
+func normalize(out, csvPath string) string {
+	out = strings.ReplaceAll(out, csvPath, "<CSV>")
+	return timestampRE.ReplaceAllString(out, "<TIME>")
+}
+
+// TestCLIGoldenBranchWorkflow drives the full branch workflow end to end —
+// init → three commits → branch → diverge → merge (including a conflicted
+// merge resolved by policy) → checkout — and compares the normalized CLI
+// output against testdata/branch_workflow.golden. Regenerate with
+// `go test ./cmd/orpheus -run TestCLIGolden -update`.
+func TestCLIGoldenBranchWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "data.csv",
+		"id:integer,val:string\n1,alpha\n2,beta\n3,gamma\n")
+
+	steps := [][]string{
+		// init → v1, then two linear commits → v2, v3.
+		{"init", "-n", "prot", "-f", csv, "-p", "id"},
+		{"checkout", "prot", "-v", "1", "-t", "w"},
+		{"run", "-q", "UPDATE w SET val = 'alpha2' WHERE id = 1"},
+		{"commit", "-t", "w", "-m", "rescore alpha"},
+		{"checkout", "prot", "-v", "2", "-t", "w"},
+		{"run", "-q", "INSERT INTO w VALUES (4, 'delta')"},
+		{"commit", "-t", "w", "-m", "add delta"},
+		// Branch dev off the root and diverge: modify beta there.
+		{"branch", "prot", "-c", "dev", "-v", "1"},
+		{"checkout", "prot", "-v", "dev", "-t", "w"},
+		{"run", "-q", "UPDATE w SET val = 'beta-dev' WHERE id = 2"},
+		{"commit", "-t", "w", "-m", "dev beta"},
+		// main tracks the tip; dev's commit (v4) is merged into it.
+		{"branch", "prot", "-c", "main", "-v", "3"},
+		{"branch", "prot"},
+		{"merge", "prot", "-from", "4", "-into", "main", "-m", "land dev"},
+		{"branch", "prot"},
+		{"log", "prot"},
+		// A conflicting pair: both rescore id=1 from v1, resolved by policy.
+		{"checkout", "prot", "-v", "1", "-t", "w"},
+		{"run", "-q", "UPDATE w SET val = 'left' WHERE id = 1"},
+		{"commit", "-t", "w", "-m", "left"},
+		{"checkout", "prot", "-v", "1", "-t", "w"},
+		{"run", "-q", "UPDATE w SET val = 'right' WHERE id = 1"},
+		{"commit", "-t", "w", "-m", "right"},
+		{"merge", "prot", "-from", "7", "-into", "6", "-policy", "theirs"},
+		// Checkout the merge results through SQL (branch name resolution)
+		// and diff the merged head against one side.
+		{"run", "-q", "SELECT id, val FROM VERSION main OF CVD prot ORDER BY id"},
+		{"diff", "prot", "-v", "3,5"},
+	}
+
+	var b strings.Builder
+	for _, step := range steps {
+		b.WriteString("$ orpheus " + strings.Join(step, " ") + "\n")
+		out := captureOutput(t, func() error { return cli(t, dir, step...) })
+		b.WriteString(out)
+	}
+	got := normalize(b.String(), csv)
+
+	golden := filepath.Join("testdata", "branch_workflow.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CLI output deviates from %s.\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

@@ -13,6 +13,9 @@
 //	commit (-t <table> | -f <file.csv> -n <cvd>) -m <message>
 //	diff <cvd> -v <v1>,<v2>
 //	log <cvd>                                             version graph with metadata
+//	branch <cvd> [-c <name> [-v <ref>] | -d <name>]       list/create/delete branches
+//	merge <cvd> -from <ref> -into <ref> [-policy fail|ours|theirs] [-m msg]
+//	                                                      three-way merge (refs are version ids or branch names)
 //	ls                                                    list CVDs
 //	drop <cvd>
 //	optimize <cvd> [-gamma 2.0] [-naive]                  run the partition optimizer
@@ -105,6 +108,10 @@ func dispatch(store *orpheusdb.Store, cmd string, args []string) error {
 		return cmdDiff(store, args)
 	case "log":
 		return cmdLog(store, args)
+	case "branch":
+		return cmdBranch(store, args)
+	case "merge":
+		return cmdMerge(store, args)
 	case "ls":
 		for _, name := range store.List() {
 			fmt.Println(name)
@@ -158,6 +165,23 @@ func splitLeading(args []string) (pos, flags []string) {
 		i++
 	}
 	return args[:i], args[i:]
+}
+
+// resolveRefs parses a comma-separated list of version references — ids or
+// branch names — against a dataset.
+func resolveRefs(d *orpheusdb.Dataset, s string) ([]orpheusdb.VersionID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -v version list")
+	}
+	var out []orpheusdb.VersionID
+	for _, part := range strings.Split(s, ",") {
+		v, err := d.ResolveRef(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseVids(s string) ([]orpheusdb.VersionID, error) {
@@ -215,7 +239,7 @@ func cmdCheckout(store *orpheusdb.Store, args []string) error {
 	if err != nil {
 		return err
 	}
-	vids, err := parseVids(*vlist)
+	vids, err := resolveRefs(d, *vlist)
 	if err != nil {
 		return err
 	}
@@ -328,6 +352,90 @@ func printRows(rows []orpheusdb.Row, limit int) {
 		}
 		fmt.Println("  " + strings.Join(parts, ", "))
 	}
+}
+
+func cmdBranch(store *orpheusdb.Store, args []string) error {
+	pos, args := splitLeading(args)
+	fs := flag.NewFlagSet("branch", flag.ContinueOnError)
+	create := fs.String("c", "", "create a branch with this name")
+	del := fs.String("d", "", "delete this branch")
+	at := fs.String("v", "", "anchor version for -c (id or branch; default: latest)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("usage: branch <cvd> [-c <name> [-v <ref>] | -d <name>]")
+	}
+	d, err := store.Dataset(pos[0])
+	if err != nil {
+		return err
+	}
+	switch {
+	case *create != "":
+		head := orpheusdb.VersionID(0)
+		if *at != "" {
+			if head, err = d.ResolveRef(*at); err != nil {
+				return err
+			}
+		}
+		b, err := d.CreateBranch(*create, head)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created branch %s at v%d\n", b.Name, b.Head)
+	case *del != "":
+		if err := d.DeleteBranch(*del); err != nil {
+			return err
+		}
+		fmt.Printf("deleted branch %s\n", *del)
+	default:
+		for _, b := range d.Branches() {
+			fmt.Printf("%-12s head=v%-5d versions=%d\n", b.Name, b.Head, b.Lineage.Cardinality())
+		}
+	}
+	return nil
+}
+
+func cmdMerge(store *orpheusdb.Store, args []string) error {
+	pos, args := splitLeading(args)
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	from := fs.String("from", "", "side to merge in (version id or branch)")
+	into := fs.String("into", "", "merge target (version id or branch; a branch head advances)")
+	policy := fs.String("policy", "fail", "conflict resolution: fail, ours, or theirs")
+	msg := fs.String("m", "", "merge commit message")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(pos) != 1 || *from == "" || *into == "" {
+		return fmt.Errorf("usage: merge <cvd> -from <ref> -into <ref> [-policy fail|ours|theirs] [-m msg]")
+	}
+	d, err := store.Dataset(pos[0])
+	if err != nil {
+		return err
+	}
+	pol, err := orpheusdb.ParseMergePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	res, err := d.Merge(*into, *from, pol, *msg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.UpToDate:
+		fmt.Printf("already up to date: v%d contains v%d\n", res.Ours, res.Theirs)
+	case res.FastForward:
+		fmt.Printf("fast-forward to v%d\n", res.Version)
+	default:
+		fmt.Printf("merged v%d into v%d as v%d (base v%d)\n", res.Theirs, res.Ours, res.Version, res.Base)
+		if n := len(res.Conflicts); n > 0 {
+			fmt.Printf("resolved %d conflict(s) using %s:\n", n, pol)
+			for _, c := range res.Conflicts {
+				fmt.Printf("  %s (%s)\n", c.Key, c.Kind())
+			}
+		}
+	}
+	return nil
 }
 
 func cmdLog(store *orpheusdb.Store, args []string) error {

@@ -44,6 +44,13 @@ func sqlDocStore(t *testing.T) *Store {
 	if _, err := ds.Commit(v3rows, []VersionID{1}, "v3"); err != nil {
 		t.Fatal(err)
 	}
+	v4rows := []Row{
+		{Int(1), Int(1), Float(0.95), String("alpha")},
+		{Int(2), Int(2), Float(0.9), String("beta")},
+	}
+	if _, err := ds.Commit(v4rows, []VersionID{1}, "v4"); err != nil {
+		t.Fatal(err)
+	}
 	return store
 }
 
@@ -126,7 +133,7 @@ func TestSQLDocClaimedResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := [][2]int64{{1, 2}, {2, 3}, {3, 2}}
+	want := [][2]int64{{1, 2}, {2, 3}, {3, 2}, {4, 2}}
 	if len(res.Rows) != len(want) {
 		t.Fatalf("all-versions counts: %d rows, want %d", len(res.Rows), len(want))
 	}
@@ -137,12 +144,12 @@ func TestSQLDocClaimedResults(t *testing.T) {
 		}
 	}
 
-	res, err = store.Run("SELECT DISTINCT vid FROM CVD prot WHERE tag = 'alpha' AND score > 0.6")
+	res, err = store.Run("SELECT DISTINCT vid FROM CVD prot WHERE tag = 'alpha' AND score > 0.6 ORDER BY vid")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
-		t.Errorf("alpha>0.6 versions = %v, want just 3", res.Rows)
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 3 || res.Rows[1][0].I != 4 {
+		t.Errorf("alpha>0.6 versions = %v, want 3 and 4", res.Rows)
 	}
 
 	res, err = store.Run("SELECT vid, avg(score) AS mean FROM CVD prot GROUP BY vid HAVING count(*) > 2 ORDER BY vid")
@@ -151,6 +158,29 @@ func TestSQLDocClaimedResults(t *testing.T) {
 	}
 	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
 		t.Errorf("HAVING example = %v, want only version 2", res.Rows)
+	}
+
+	// Claims of the "Branches and merges" section.
+	if _, err := store.Run("CREATE BRANCH main FROM VERSION 2 OF CVD prot"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = store.Run("MERGE VERSION 3 INTO main OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 5 || res.Rows[0][1].I != 1 || res.Rows[0][2].I != 0 {
+		t.Errorf("merge into main = %v, want version 5, base 1, 0 conflicts", res.Rows)
+	}
+	res, err = store.Run("SELECT count(*) FROM VERSION main OF CVD prot")
+	if err != nil || res.Rows[0][0].I != 3 {
+		t.Errorf("merged main count = %v, %v; want 3", res.Rows, err)
+	}
+	if _, err := store.Run("MERGE VERSION 4 INTO 3 OF CVD prot"); err == nil {
+		t.Error("modify/modify merge under fail policy should error")
+	}
+	res, err = store.Run("MERGE VERSION 4 INTO 3 OF CVD prot USING theirs")
+	if err != nil || res.Rows[0][2].I != 1 {
+		t.Errorf("USING theirs = %v, %v; want 1 resolved conflict", res, err)
 	}
 }
 
@@ -166,7 +196,7 @@ func TestArchitectureDocMatchesTree(t *testing.T) {
 	for _, pkg := range []string{
 		"internal/engine", "internal/bitmap", "internal/wal", "internal/cache",
 		"internal/vgraph", "internal/partition", "internal/core", "internal/sql",
-		"internal/server",
+		"internal/server", "internal/merge",
 	} {
 		if !strings.Contains(doc, pkg) {
 			t.Errorf("ARCHITECTURE.md does not mention %s", pkg)

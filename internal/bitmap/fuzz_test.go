@@ -1,0 +1,95 @@
+package bitmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harness for ORBM deserialization: arbitrary (and corrupted) byte
+// strings must never panic or hang the decoder — they either decode into a
+// bitmap whose re-serialization round-trips, or fail with an error. CI runs
+// this with a short -fuzztime as a smoke test; the seed corpus covers every
+// container layout plus hand-corrupted frames.
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	seeds := []*Bitmap{
+		New(),
+		FromSlice([]int64{1, 2, 3}),
+		FromSlice([]int64{0, 65535, 65536, 1 << 20}),
+	}
+	// Dense chunk → bitset container.
+	dense := New()
+	for v := int64(0); v < 5000; v++ {
+		dense.Add(v)
+	}
+	seeds = append(seeds, dense)
+	// Contiguous chunk → run container after Optimize.
+	run := New()
+	for v := int64(10); v < 2000; v++ {
+		run.Add(v)
+	}
+	run.Optimize()
+	seeds = append(seeds, run)
+
+	for _, b := range seeds {
+		data, err := b.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Hand-corrupted variants: truncations and byte flips.
+		if len(data) > 6 {
+			f.Add(data[:len(data)/2])
+			flipped := append([]byte(nil), data...)
+			flipped[5] ^= 0xff // container count
+			f.Add(flipped)
+			flipped2 := append([]byte(nil), data...)
+			flipped2[len(flipped2)-1] ^= 0x55
+			f.Add(flipped2)
+		}
+	}
+	f.Add([]byte("ORBM"))
+	f.Add([]byte{})
+}
+
+func FuzzORBMUnmarshal(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := FromBytes(data)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// Accepted payloads must describe an internally consistent bitmap:
+		// iteration, cardinality, and re-serialization all agree.
+		var n int64
+		var prev int64 = -1
+		b.Iterate(func(v int64) bool {
+			if v <= prev {
+				t.Fatalf("iteration not strictly ascending: %d after %d", v, prev)
+			}
+			prev = v
+			n++
+			return true
+		})
+		if n != b.Cardinality() {
+			t.Fatalf("iterated %d values, Cardinality says %d", n, b.Cardinality())
+		}
+		out, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted payload failed: %v", err)
+		}
+		back, err := FromBytes(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-marshal failed: %v", err)
+		}
+		if !back.Equal(b) {
+			t.Fatal("re-marshal round-trip diverged")
+		}
+		// Canonical payloads (what MarshalBinary itself produces) are stable.
+		out2, _ := back.MarshalBinary()
+		if !bytes.Equal(out, out2) {
+			t.Fatal("canonical serialization not stable")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property-based randomized suite: every set-algebra operation is driven
+// against a naive map[int64]bool reference model, with value distributions
+// tuned to cross all three container layouts (sparse arrays, dense bitsets
+// past the 4096-cardinality threshold, and runs) and multiple chunks.
+
+// model is the reference implementation.
+type model map[int64]bool
+
+func (m model) slice() []int64 {
+	out := make([]int64, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func modelOf(b *Bitmap) model {
+	m := make(model)
+	b.Iterate(func(v int64) bool { m[v] = true; return true })
+	return m
+}
+
+func (m model) equal(o model) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for v := range m {
+		if !o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// genValue draws values from a regime-dependent distribution so containers
+// land in array, bitset, and run layouts across trials:
+//   - sparse: scattered values within one chunk (array containers)
+//   - dense: thousands of values in one chunk (bitset containers)
+//   - runs: contiguous ranges (run containers after Optimize)
+//   - multi: values spread across several 65536-value chunks
+func genValue(rng *rand.Rand, regime int) int64 {
+	switch regime {
+	case 0:
+		return int64(rng.Intn(60000))
+	case 1:
+		return int64(rng.Intn(8192)) // dense: Intn range << trial count
+	case 2:
+		base := int64(rng.Intn(8)) * 100
+		return base + int64(rng.Intn(40)) // clustered: runs after Optimize
+	default:
+		return int64(rng.Intn(6))<<16 | int64(rng.Intn(3000))
+	}
+}
+
+func genPair(t *testing.T, rng *rand.Rand, regime, n int) (*Bitmap, model, *Bitmap, model) {
+	t.Helper()
+	a, b := New(), New()
+	am, bm := make(model), make(model)
+	for i := 0; i < n; i++ {
+		v := genValue(rng, regime)
+		if rng.Intn(2) == 0 {
+			a.Add(v)
+			am[v] = true
+		}
+		if rng.Intn(2) == 0 {
+			b.Add(v)
+			bm[v] = true
+		}
+	}
+	if rng.Intn(2) == 0 {
+		a.Optimize()
+	}
+	if rng.Intn(2) == 0 {
+		b.Optimize()
+	}
+	if !modelOf(a).equal(am) || !modelOf(b).equal(bm) {
+		t.Fatal("construction diverged from model")
+	}
+	return a, am, b, bm
+}
+
+func TestBitmapPropertySetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		regime := trial % 4
+		n := 50
+		if regime == 1 {
+			n = 6000 // push past arrayMaxCard so bitset containers appear
+		}
+		a, am, b, bm := genPair(t, rng, regime, n)
+
+		refAnd, refOr, refAndNot, refXor := make(model), make(model), make(model), make(model)
+		for v := range am {
+			if bm[v] {
+				refAnd[v] = true
+			} else {
+				refAndNot[v] = true
+				refXor[v] = true
+			}
+			refOr[v] = true
+		}
+		for v := range bm {
+			refOr[v] = true
+			if !am[v] {
+				refXor[v] = true
+			}
+		}
+
+		if got := modelOf(And(a, b)); !got.equal(refAnd) {
+			t.Fatalf("trial %d (regime %d): And diverged", trial, regime)
+		}
+		if got := modelOf(Or(a, b)); !got.equal(refOr) {
+			t.Fatalf("trial %d (regime %d): Or diverged", trial, regime)
+		}
+		if got := modelOf(AndNot(a, b)); !got.equal(refAndNot) {
+			t.Fatalf("trial %d (regime %d): AndNot diverged", trial, regime)
+		}
+		if got := modelOf(Xor(a, b)); !got.equal(refXor) {
+			t.Fatalf("trial %d (regime %d): Xor diverged", trial, regime)
+		}
+		if got := a.AndCardinality(b); got != int64(len(refAnd)) {
+			t.Fatalf("trial %d: AndCardinality = %d, want %d", trial, got, len(refAnd))
+		}
+		if got := a.Intersects(b); got != (len(refAnd) > 0) {
+			t.Fatalf("trial %d: Intersects = %v, want %v", trial, got, len(refAnd) > 0)
+		}
+
+		// OrInPlace on a clone matches Or.
+		c := a.Clone()
+		c.OrInPlace(b)
+		if !modelOf(c).equal(refOr) {
+			t.Fatalf("trial %d: OrInPlace diverged", trial)
+		}
+		// The clone's mutation must not have leaked into a.
+		if !modelOf(a).equal(am) {
+			t.Fatalf("trial %d: Clone aliases its source", trial)
+		}
+	}
+}
+
+func TestBitmapPropertyQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 120; trial++ {
+		regime := trial % 4
+		n := 60
+		if regime == 1 {
+			n = 5500
+		}
+		a, am, _, _ := genPair(t, rng, regime, n)
+		vals := am.slice()
+
+		if got := a.Cardinality(); got != int64(len(vals)) {
+			t.Fatalf("trial %d: Cardinality = %d, want %d", trial, got, len(vals))
+		}
+		if got := a.ToSlice(); len(got) != len(vals) {
+			t.Fatalf("trial %d: ToSlice length %d, want %d", trial, len(got), len(vals))
+		} else {
+			for i := range got {
+				if got[i] != vals[i] {
+					t.Fatalf("trial %d: ToSlice[%d] = %d, want %d", trial, i, got[i], vals[i])
+				}
+			}
+		}
+		if len(vals) > 0 {
+			if mn, ok := a.Min(); !ok || mn != vals[0] {
+				t.Fatalf("trial %d: Min = %d,%v want %d", trial, mn, ok, vals[0])
+			}
+			if mx, ok := a.Max(); !ok || mx != vals[len(vals)-1] {
+				t.Fatalf("trial %d: Max = %d,%v want %d", trial, mx, ok, vals[len(vals)-1])
+			}
+		}
+		// Contains / Rank / Select against the model at probe points.
+		for probe := 0; probe < 30; probe++ {
+			v := genValue(rng, regime)
+			if a.Contains(v) != am[v] {
+				t.Fatalf("trial %d: Contains(%d) = %v, want %v", trial, v, a.Contains(v), am[v])
+			}
+			wantRank := int64(sort.Search(len(vals), func(i int) bool { return vals[i] > v }))
+			if got := a.Rank(v); got != wantRank {
+				t.Fatalf("trial %d: Rank(%d) = %d, want %d", trial, v, got, wantRank)
+			}
+		}
+		for i := 0; i < len(vals); i += 1 + len(vals)/17 {
+			if got, ok := a.Select(int64(i)); !ok || got != vals[i] {
+				t.Fatalf("trial %d: Select(%d) = %d,%v want %d", trial, i, got, ok, vals[i])
+			}
+		}
+		if _, ok := a.Select(int64(len(vals))); ok {
+			t.Fatalf("trial %d: Select past the end succeeded", trial)
+		}
+
+		// Serialization round-trips, with and without run optimization.
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromBytes(data)
+		if err != nil {
+			t.Fatalf("trial %d: round-trip decode: %v", trial, err)
+		}
+		if !back.Equal(a) {
+			t.Fatalf("trial %d: serialization round-trip diverged", trial)
+		}
+		a.Optimize()
+		data2, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back2, err := FromBytes(data2)
+		if err != nil || !back2.Equal(a) {
+			t.Fatalf("trial %d: post-Optimize round-trip diverged (%v)", trial, err)
+		}
+		if int64(len(data2)) != a.SerializedSizeBytes() {
+			t.Fatalf("trial %d: SerializedSizeBytes %d != actual %d", trial, a.SerializedSizeBytes(), len(data2))
+		}
+	}
+}
+
+// TestBitmapPropertyContainerBoundaries walks cardinality across the
+// array→bitset threshold and back (via AndNot), checking the model at every
+// step where the representation flips.
+func TestBitmapPropertyContainerBoundaries(t *testing.T) {
+	a := New()
+	m := make(model)
+	// Grow through the arrayMaxCard boundary.
+	for v := int64(0); v < int64(arrayMaxCard)+50; v++ {
+		a.Add(v * 2) // even spacing prevents run coalescing
+		m[v*2] = true
+	}
+	if ar, bs, _ := a.ContainerCounts(); ar != 0 || bs == 0 {
+		t.Fatalf("expected a bitset container past the threshold, got array=%d bitset=%d", ar, bs)
+	}
+	if !modelOf(a).equal(m) {
+		t.Fatal("grown bitmap diverged from model")
+	}
+	// Shrink back below the threshold through AndNot.
+	drop := New()
+	for v := int64(0); v < int64(arrayMaxCard); v++ {
+		drop.Add(v * 2)
+		delete(m, v*2)
+	}
+	small := AndNot(a, drop)
+	if !modelOf(small).equal(m) {
+		t.Fatal("shrunk bitmap diverged from model")
+	}
+	// Run containers appear for contiguous ranges after Optimize and behave.
+	r := New()
+	rm := make(model)
+	for v := int64(100000); v < 101000; v++ {
+		r.Add(v)
+		rm[v] = true
+	}
+	r.Optimize()
+	if _, _, runs := r.ContainerCounts(); runs == 0 {
+		t.Fatal("contiguous range did not become a run container")
+	}
+	if !modelOf(r).equal(rm) {
+		t.Fatal("run-encoded bitmap diverged from model")
+	}
+	if got := modelOf(And(r, a)); !got.equal(func() model {
+		out := make(model)
+		for v := range rm {
+			if modelOf(a)[v] {
+				out[v] = true
+			}
+		}
+		return out
+	}()) {
+		t.Fatal("run ∩ bitset diverged from model")
+	}
+}

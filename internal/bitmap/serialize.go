@@ -3,6 +3,7 @@ package bitmap
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Binary serialization. The format is little-endian and self-describing:
@@ -115,6 +116,12 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 		if i > 0 && key <= prevKey {
 			return fmt.Errorf("bitmap: chunk keys out of order at %d", key)
 		}
+		// Values are non-negative int64s (Add rejects negatives), so a key
+		// whose values would overflow into the sign bit cannot come from a
+		// legitimate serialization — only from corruption.
+		if key > uint64(math.MaxInt64)>>16 {
+			return fmt.Errorf("bitmap: chunk key %d exceeds the value space", key)
+		}
 		prevKey = key
 		c := &container{typ: typ}
 		switch typ {
@@ -125,6 +132,9 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 			c.arr = make([]uint16, cnt)
 			for j := 0; j < cnt; j++ {
 				c.arr[j] = binary.LittleEndian.Uint16(data[pos+2*j:])
+				if j > 0 && c.arr[j] <= c.arr[j-1] {
+					return fmt.Errorf("bitmap: array container values out of order at %d", c.arr[j])
+				}
 			}
 			pos += 2 * cnt
 			c.card = cnt
@@ -154,6 +164,9 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 				}
 				if r.Last < r.Start {
 					return fmt.Errorf("bitmap: inverted run [%d,%d]", r.Start, r.Last)
+				}
+				if j > 0 && int(r.Start) <= int(c.runs[j-1].Last) {
+					return fmt.Errorf("bitmap: overlapping runs at [%d,%d]", r.Start, r.Last)
 				}
 				c.runs[j] = r
 				card += int(r.Last-r.Start) + 1

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// Branches are the git-style named workflow over the version DAG: a branch is
+// a named head version plus its lineage — the bitmap of the head and all its
+// transitive ancestors. Lineage is persisted next to the head so branch
+// containment checks ("is v on branch b?") and branch-to-branch merge-base
+// discovery are single bitmap operations, never graph walks. The registry
+// lives in the <cvd>__branches system table and is WAL-logged by the store
+// like every other mutation.
+
+// BranchInfo describes one named branch.
+type BranchInfo struct {
+	Name string
+	// Head is the version the branch currently points at.
+	Head vgraph.VersionID
+	// CreatedAt is the branch creation time.
+	CreatedAt time.Time
+	// Lineage is the ancestry bitmap of Head: Head plus every transitive
+	// ancestor, as version ids. Shared and immutable once loaded.
+	Lineage *bitmap.Bitmap
+}
+
+// branchManager owns the branch registry of one CVD: the system table and an
+// in-memory mirror.
+type branchManager struct {
+	db  *engine.DB
+	cvd string
+
+	branches map[string]*BranchInfo
+}
+
+func (bm *branchManager) tableName() string { return bm.cvd + "__branches" }
+
+func newBranchManager(db *engine.DB, cvd string) *branchManager {
+	return &branchManager{db: db, cvd: cvd, branches: make(map[string]*BranchInfo)}
+}
+
+func (bm *branchManager) init() error {
+	t, err := bm.db.CreateTable(bm.tableName(), []engine.Column{
+		{Name: "name", Type: engine.KindString},
+		{Name: "head", Type: engine.KindInt},
+		{Name: "created_t", Type: engine.KindInt},
+		{Name: "lineage", Type: engine.KindBitmap},
+	})
+	if err != nil {
+		return err
+	}
+	return t.SetPrimaryKey("name")
+}
+
+// load rebuilds the mirror; stores snapshotted before branches existed get
+// the table created on the spot, so old CVDs gain branch support on open.
+func (bm *branchManager) load() error {
+	if !bm.db.HasTable(bm.tableName()) {
+		return bm.init()
+	}
+	t, err := bm.db.MustTable(bm.tableName())
+	if err != nil {
+		return err
+	}
+	t.Scan(func(_ engine.RowID, row engine.Row) bool {
+		bm.branches[row[0].S] = &BranchInfo{
+			Name:      row[0].S,
+			Head:      vgraph.VersionID(row[1].I),
+			CreatedAt: time.Unix(0, row[2].I),
+			Lineage:   membershipValue(row[3]),
+		}
+		return true
+	})
+	return nil
+}
+
+// validBranchName rejects names that would be ambiguous in version slots
+// (pure integers) or unusable in the SQL/CLI/HTTP surfaces.
+func validBranchName(name string) error {
+	if name == "" {
+		return fmt.Errorf("core: empty branch name")
+	}
+	allDigits := true
+	for _, r := range name {
+		if r < '0' || r > '9' {
+			allDigits = false
+		}
+		if r == ',' || r == '/' || r == ' ' || r == '\t' || r == '\n' {
+			return fmt.Errorf("core: branch name %q contains %q", name, r)
+		}
+	}
+	if allDigits {
+		return fmt.Errorf("core: branch name %q would be ambiguous with a version id", name)
+	}
+	return nil
+}
+
+// rowOf encodes a branch as its table row.
+func branchRow(b *BranchInfo) engine.Row {
+	return engine.Row{
+		engine.StringValue(b.Name),
+		engine.IntValue(int64(b.Head)),
+		engine.IntValue(b.CreatedAt.UnixNano()),
+		engine.BitmapValue(b.Lineage),
+	}
+}
+
+// add persists a new branch.
+func (bm *branchManager) add(b *BranchInfo) error {
+	t, err := bm.db.MustTable(bm.tableName())
+	if err != nil {
+		return err
+	}
+	if _, err := t.Insert(branchRow(b)); err != nil {
+		return err
+	}
+	bm.branches[b.Name] = b
+	return nil
+}
+
+// rowID locates a branch's engine row.
+func (bm *branchManager) rowID(name string) (*engine.Table, engine.RowID, error) {
+	t, err := bm.db.MustTable(bm.tableName())
+	if err != nil {
+		return nil, 0, err
+	}
+	var id engine.RowID
+	found := false
+	t.Scan(func(rid engine.RowID, row engine.Row) bool {
+		if row[0].S == name {
+			id, found = rid, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return nil, 0, fmt.Errorf("core: %s: no branch %q", bm.cvd, name)
+	}
+	return t, id, nil
+}
+
+// update rewrites a branch's persisted row after a head advance.
+func (bm *branchManager) update(b *BranchInfo) error {
+	t, id, err := bm.rowID(b.Name)
+	if err != nil {
+		return err
+	}
+	if err := t.Update(id, branchRow(b)); err != nil {
+		return err
+	}
+	bm.branches[b.Name] = b
+	return nil
+}
+
+// remove deletes a branch from table and mirror.
+func (bm *branchManager) remove(name string) error {
+	t, id, err := bm.rowID(name)
+	if err != nil {
+		return err
+	}
+	t.Delete(id)
+	delete(bm.branches, name)
+	return nil
+}
+
+func (bm *branchManager) drop() error {
+	if bm.db.HasTable(bm.tableName()) {
+		return bm.db.DropTable(bm.tableName())
+	}
+	return nil
+}
+
+// CreateBranch registers a named branch pointing at head. Branch names must
+// not be purely numeric (they share reference slots with version ids).
+func (c *CVD) CreateBranch(name string, head vgraph.VersionID) (*BranchInfo, error) {
+	return c.CreateBranchAt(name, head, c.Clock())
+}
+
+// CreateBranchAt is CreateBranch with an explicit creation timestamp (WAL
+// replay re-creates branches with their recorded time).
+func (c *CVD) CreateBranchAt(name string, head vgraph.VersionID, at time.Time) (*BranchInfo, error) {
+	if err := validBranchName(name); err != nil {
+		return nil, err
+	}
+	if _, ok := c.bm.branches[name]; ok {
+		return nil, fmt.Errorf("core: %s: branch %q already exists", c.name, name)
+	}
+	if _, err := c.vm.info(head); err != nil {
+		return nil, err
+	}
+	lineage, err := c.ancestrySet(head)
+	if err != nil {
+		return nil, err
+	}
+	b := &BranchInfo{Name: name, Head: head, CreatedAt: at, Lineage: lineage}
+	if err := c.bm.add(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Branch returns a branch by name.
+func (c *CVD) Branch(name string) (*BranchInfo, error) {
+	if b, ok := c.bm.branches[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("core: %s: no branch %q", c.name, name)
+}
+
+// Branches lists the registered branches sorted by name.
+func (c *CVD) Branches() []*BranchInfo {
+	out := make([]*BranchInfo, 0, len(c.bm.branches))
+	for _, b := range c.bm.branches {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeleteBranch removes a branch; the versions it pointed at are untouched.
+func (c *CVD) DeleteBranch(name string) error {
+	return c.bm.remove(name)
+}
+
+// AdvanceBranch moves a branch head to the given version and recomputes its
+// lineage bitmap from the version graph.
+func (c *CVD) AdvanceBranch(name string, to vgraph.VersionID) (*BranchInfo, error) {
+	b, err := c.Branch(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.vm.info(to); err != nil {
+		return nil, err
+	}
+	lineage, err := c.ancestrySet(to)
+	if err != nil {
+		return nil, err
+	}
+	nb := &BranchInfo{Name: b.Name, Head: to, CreatedAt: b.CreatedAt, Lineage: lineage}
+	if err := c.bm.update(nb); err != nil {
+		return nil, err
+	}
+	return nb, nil
+}
+
+// ResolveRef resolves a version reference: a decimal version id or a branch
+// name (which resolves to the branch head).
+func (c *CVD) ResolveRef(ref string) (vgraph.VersionID, error) {
+	ref = strings.TrimSpace(ref)
+	if ref == "" {
+		return 0, fmt.Errorf("core: %s: empty version reference", c.name)
+	}
+	allDigits := true
+	for _, r := range ref {
+		if r < '0' || r > '9' {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits {
+		v, err := strconv.ParseInt(ref, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s: bad version reference %q", c.name, ref)
+		}
+		if _, err := c.vm.info(vgraph.VersionID(v)); err != nil {
+			return 0, err
+		}
+		return vgraph.VersionID(v), nil
+	}
+	b, err := c.Branch(ref)
+	if err != nil {
+		return 0, err
+	}
+	return b.Head, nil
+}
+
+// ancestrySet builds the lineage bitmap of v: v plus all transitive
+// ancestors, as version ids. A branch whose head is v supplies its persisted
+// lineage directly — branch-to-branch merge-base discovery then costs one
+// bitmap intersection, no walk at all. Otherwise the set is assembled from
+// the metadata mirror's parent lists (no weighted graph is built).
+func (c *CVD) ancestrySet(v vgraph.VersionID) (*bitmap.Bitmap, error) {
+	for _, b := range c.bm.branches {
+		if b.Head == v && b.Lineage != nil {
+			return b.Lineage, nil
+		}
+	}
+	if _, err := c.vm.info(v); err != nil {
+		return nil, err
+	}
+	set := bitmap.New()
+	stack := []vgraph.VersionID{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if set.Contains(int64(u)) {
+			continue
+		}
+		set.Add(int64(u))
+		info, err := c.vm.info(u)
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, info.Parents...)
+	}
+	set.Optimize()
+	return set, nil
+}

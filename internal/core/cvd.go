@@ -30,6 +30,7 @@ type CVD struct {
 	vm *versionManager
 	rm *recordManager
 	am *attrManager
+	bm *branchManager
 
 	// cache, when set (SetCache), is consulted by Checkout,
 	// MultiVersionCheckout, and AllVersionsCheckout before any bitmap
@@ -121,6 +122,7 @@ func Init(db *engine.DB, name string, cols []engine.Column, opts InitOptions) (*
 		vm:    newVersionManager(db, name),
 		rm:    newRecordManager(db, name),
 		am:    newAttrManager(db, name),
+		bm:    newBranchManager(db, name),
 		Clock: time.Now,
 	}
 	if err := c.vm.init(); err != nil {
@@ -130,6 +132,9 @@ func Init(db *engine.DB, name string, cols []engine.Column, opts InitOptions) (*
 		return nil, err
 	}
 	if err := c.am.init(); err != nil {
+		return nil, err
+	}
+	if err := c.bm.init(); err != nil {
 		return nil, err
 	}
 	for _, col := range cols {
@@ -191,6 +196,7 @@ func Open(db *engine.DB, name string) (*CVD, error) {
 		vm:    newVersionManager(db, name),
 		rm:    newRecordManager(db, name),
 		am:    newAttrManager(db, name),
+		bm:    newBranchManager(db, name),
 		Clock: time.Now,
 	}
 	if pkList != "" {
@@ -209,6 +215,9 @@ func Open(db *engine.DB, name string) (*CVD, error) {
 		return nil, err
 	}
 	if err := c.am.load(); err != nil {
+		return nil, err
+	}
+	if err := c.bm.load(); err != nil {
 		return nil, err
 	}
 	// The physical pool is persisted once a schema change happens; static-
@@ -727,27 +736,32 @@ func (c *CVD) allVersionsUncached() ([]engine.Column, []engine.Row, error) {
 	return cols, out, nil
 }
 
-// fetchRows materializes the data rows of a membership set. Models exposing
-// record fetch are driven directly; otherwise the hint versions (then every
-// version) are checked out and filtered, subtracting covered records so each
-// version is visited at most once.
+// fetchRows materializes the data rows of a membership set.
 func (c *CVD) fetchRows(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]engine.Row, error) {
+	recs, err := c.fetchRecords(set, hints...)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]engine.Row, len(recs))
+	for i, r := range recs {
+		rows[i] = r.Data
+	}
+	return rows, nil
+}
+
+// fetchRecords materializes the records of a membership set, rids included.
+// Models exposing record fetch are driven directly; otherwise the hint
+// versions (then every version) are checked out and filtered, subtracting
+// covered records so each version is visited at most once.
+func (c *CVD) fetchRecords(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]Record, error) {
 	if set.IsEmpty() {
 		return nil, nil
 	}
 	if f, ok := c.model.(recordFetcher); ok {
-		recs, err := f.FetchRecords(set.ToSlice())
-		if err != nil {
-			return nil, err
-		}
-		rows := make([]engine.Row, len(recs))
-		for i, r := range recs {
-			rows[i] = r.Data
-		}
-		return rows, nil
+		return f.FetchRecords(set.ToSlice())
 	}
 	remaining := set
-	var rows []engine.Row
+	var out []Record
 	for _, v := range append(append([]vgraph.VersionID(nil), hints...), c.vm.order...) {
 		if remaining.IsEmpty() {
 			break
@@ -762,7 +776,7 @@ func (c *CVD) fetchRows(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]engine
 		}
 		for _, rec := range recs {
 			if remaining.Contains(int64(rec.RID)) {
-				rows = append(rows, rec.Data)
+				out = append(out, rec)
 			}
 		}
 		remaining = bitmap.AndNot(remaining, vset)
@@ -771,7 +785,7 @@ func (c *CVD) fetchRows(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]engine
 		mn, _ := remaining.Min()
 		return nil, fmt.Errorf("core: %s: record %d not reachable from any version", c.name, mn)
 	}
-	return rows, nil
+	return out, nil
 }
 
 // Drop removes the CVD: model tables, system tables, and the catalog entry.
@@ -786,6 +800,9 @@ func (c *CVD) Drop() error {
 		return err
 	}
 	if err := c.am.drop(); err != nil {
+		return err
+	}
+	if err := c.bm.drop(); err != nil {
 		return err
 	}
 	cat := c.db.Table(catalogTable)

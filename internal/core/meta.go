@@ -221,6 +221,24 @@ func (vm *versionManager) bipartite() *vgraph.Bipartite {
 	return b
 }
 
+// levels computes every version's depth (roots have level 1) straight from
+// the metadata mirror. Commit order is a topological order, so one pass
+// suffices — much cheaper than building the weighted version graph when only
+// depths are needed (LCA tie-breaking).
+func (vm *versionManager) levels() map[vgraph.VersionID]int {
+	lv := make(map[vgraph.VersionID]int, len(vm.order))
+	for _, v := range vm.order {
+		best := 0
+		for _, p := range vm.infos[v].Parents {
+			if lv[p] > best {
+				best = lv[p]
+			}
+		}
+		lv[v] = best + 1
+	}
+	return lv
+}
+
 // graph builds the version graph with record-intersection edge weights.
 func (vm *versionManager) graph() (*vgraph.Graph, error) {
 	b := vm.bipartite()

@@ -35,6 +35,14 @@ type Stats struct {
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
+
+	// Branch/merge accounting (the store mirrors its branch registry and
+	// three-way-merge activity here): branches created, merges attempted,
+	// and record-level conflicts detected across all merges — resolved by
+	// policy or surfaced under the fail policy alike.
+	BranchCreates  atomic.Int64
+	Merges         atomic.Int64
+	MergeConflicts atomic.Int64
 }
 
 // StatSnapshot is an immutable copy of the counters.
@@ -51,6 +59,10 @@ type StatSnapshot struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+
+	BranchCreates  int64
+	Merges         int64
+	MergeConflicts int64
 }
 
 // Snapshot copies the current counter values.
@@ -68,6 +80,10 @@ func (s *Stats) Snapshot() StatSnapshot {
 		CacheHits:      s.CacheHits.Load(),
 		CacheMisses:    s.CacheMisses.Load(),
 		CacheEvictions: s.CacheEvictions.Load(),
+
+		BranchCreates:  s.BranchCreates.Load(),
+		Merges:         s.Merges.Load(),
+		MergeConflicts: s.MergeConflicts.Load(),
 	}
 }
 
@@ -83,6 +99,9 @@ func (s *Stats) Reset() {
 	s.CacheHits.Store(0)
 	s.CacheMisses.Store(0)
 	s.CacheEvictions.Store(0)
+	s.BranchCreates.Store(0)
+	s.Merges.Store(0)
+	s.MergeConflicts.Store(0)
 }
 
 // Since returns the counter deltas accumulated after the given snapshot.
@@ -101,6 +120,10 @@ func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
 		CacheHits:      cur.CacheHits - prev.CacheHits,
 		CacheMisses:    cur.CacheMisses - prev.CacheMisses,
 		CacheEvictions: cur.CacheEvictions - prev.CacheEvictions,
+
+		BranchCreates:  cur.BranchCreates - prev.BranchCreates,
+		Merges:         cur.Merges - prev.Merges,
+		MergeConflicts: cur.MergeConflicts - prev.MergeConflicts,
 	}
 }
 

@@ -1,0 +1,339 @@
+// Package merge implements three-way reconciliation of version record sets:
+// lowest-common-ancestor discovery over the version DAG and the record-set
+// merge itself, computed entirely with bitmap algebra over version rlists.
+// The defining operation of branchable storage (ForkBase-style) reduces to
+// cheap set operations here because membership is already compressed bitmaps:
+//
+//	merged = (ours ∩ theirs) ∪ (ours − base) ∪ (theirs − base)
+//
+// which keeps every record both sides still hold, adds what either side
+// added, and honors deletions made on either side. On datasets with a primary
+// key the package additionally detects record-level conflicts — both sides
+// changed the record behind the same key to different outcomes — and applies
+// a pluggable resolution policy (ours/theirs/fail).
+//
+// The package is deliberately ignorant of internal/core: it sees membership
+// bitmaps and a fetch callback that materializes records with their key
+// encoding, so it can be property-tested in isolation against naive
+// reference implementations.
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+// Policy selects how record-level conflicts are resolved.
+type Policy uint8
+
+// Resolution policies: PolicyFail surfaces conflicts to the caller without
+// producing a merged set; PolicyOurs keeps the first (ours) side's outcome;
+// PolicyTheirs keeps the second side's.
+const (
+	PolicyFail Policy = iota
+	PolicyOurs
+	PolicyTheirs
+)
+
+// ParsePolicy maps the SQL/CLI/HTTP spellings onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fail", "FAIL":
+		return PolicyFail, nil
+	case "ours", "OURS":
+		return PolicyOurs, nil
+	case "theirs", "THEIRS":
+		return PolicyTheirs, nil
+	}
+	return 0, fmt.Errorf("merge: unknown policy %q (want fail, ours, or theirs)", s)
+}
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFail:
+		return "fail"
+	case PolicyOurs:
+		return "ours"
+	case PolicyTheirs:
+		return "theirs"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Record is one materialized record as the merge sees it: the record id, the
+// primary-key encoding (empty on keyless datasets), a human-readable form of
+// the key for reports, and the data row.
+type Record struct {
+	RID int64
+	// Key is the collision-free key encoding records are matched by.
+	Key string
+	// Display is the key rendered for humans (conflict reports, errors).
+	Display string
+	Row     engine.Row
+}
+
+// Conflict reports one key both sides changed to different outcomes. A nil
+// side means that side deleted the record; a nil Base means both sides added
+// the key independently (add/add). Key is the human-readable key form.
+type Conflict struct {
+	Key    string
+	Base   *Record
+	Ours   *Record
+	Theirs *Record
+}
+
+// Kind classifies the conflict for reports: "add/add", "modify/modify",
+// "modify/delete", or "delete/modify" (ours side named first).
+func (c *Conflict) Kind() string {
+	switch {
+	case c.Base == nil:
+		return "add/add"
+	case c.Ours == nil:
+		return "delete/modify"
+	case c.Theirs == nil:
+		return "modify/delete"
+	}
+	return "modify/modify"
+}
+
+// Input describes one three-way merge.
+type Input struct {
+	// Base, Ours, Theirs are the record-membership bitmaps (rlists) of the
+	// merge base (typically the LCA) and the two sides.
+	Base, Ours, Theirs *bitmap.Bitmap
+	// Keyed marks a dataset with a primary key; without one, records are
+	// content-addressed and conflicts cannot exist.
+	Keyed bool
+	// Fetch materializes the records of a membership set, Key filled when
+	// the dataset is keyed. Only the changed slices (side − base and
+	// base − side) are ever fetched, never a full version.
+	Fetch func(*bitmap.Bitmap) ([]Record, error)
+	// Policy resolves conflicts; PolicyFail reports them instead.
+	Policy Policy
+}
+
+// Result is the outcome of a merge computation.
+type Result struct {
+	// Members is the merged record set. With PolicyFail and conflicts
+	// present it is nil: there is no merged set to commit.
+	Members *bitmap.Bitmap
+	// Conflicts lists the keys both sides changed incompatibly, sorted by
+	// key. Under PolicyOurs/PolicyTheirs they were resolved into Members.
+	Conflicts []Conflict
+}
+
+// ThreeWay computes the record-set merge formula over membership bitmaps:
+// keep what both sides kept, add what either side added, drop what either
+// side deleted. Pure bitmap algebra — no record is materialized.
+func ThreeWay(base, ours, theirs *bitmap.Bitmap) *bitmap.Bitmap {
+	kept := bitmap.And(ours, theirs)
+	added := bitmap.Or(bitmap.AndNot(ours, base), bitmap.AndNot(theirs, base))
+	return bitmap.Or(kept, added)
+}
+
+// sideOutcome is what one side did to a key: rec == nil means deleted.
+type sideOutcome struct {
+	touched bool
+	rec     *Record
+}
+
+// outcomes folds a side's added and deleted records into a key → outcome
+// map. A modification appears as both a delete (old rid) and an add (new
+// rid) for the same key; the add wins, because the key's new state is what
+// matters.
+func outcomes(added, deleted []Record) map[string]sideOutcome {
+	out := make(map[string]sideOutcome, len(added)+len(deleted))
+	for i := range added {
+		out[added[i].Key] = sideOutcome{touched: true, rec: &added[i]}
+	}
+	for i := range deleted {
+		if _, ok := out[deleted[i].Key]; !ok {
+			out[deleted[i].Key] = sideOutcome{touched: true}
+		}
+	}
+	return out
+}
+
+// sameOutcome reports whether two non-conflicting outcomes converged: both
+// deleted, the same record, or byte-identical content under different rids
+// (both sides added an indistinguishable record independently).
+func sameOutcome(a, b sideOutcome) bool {
+	if a.rec == nil || b.rec == nil {
+		return a.rec == nil && b.rec == nil
+	}
+	if a.rec.RID == b.rec.RID {
+		return true
+	}
+	return engine.EncodeKey(a.rec.Row...) == engine.EncodeKey(b.rec.Row...)
+}
+
+// Merge computes the three-way merge of Input. The membership result always
+// starts from the ThreeWay formula; on keyed datasets, keys changed on both
+// sides are then reconciled record by record, and the policy decides
+// conflicting outcomes. The conflict scan touches only the changed slices
+// (adds and deletes relative to base), so merge cost scales with the size of
+// the divergence, not the size of the versions.
+func Merge(in Input) (*Result, error) {
+	members := ThreeWay(in.Base, in.Ours, in.Theirs)
+	if !in.Keyed {
+		return &Result{Members: members}, nil
+	}
+	addO := bitmap.AndNot(in.Ours, in.Base)
+	addT := bitmap.AndNot(in.Theirs, in.Base)
+	delO := bitmap.AndNot(in.Base, in.Ours)
+	delT := bitmap.AndNot(in.Base, in.Theirs)
+	if (addO.IsEmpty() && delO.IsEmpty()) || (addT.IsEmpty() && delT.IsEmpty()) {
+		// One side never diverged from base: nothing to conflict with.
+		return &Result{Members: members}, nil
+	}
+	fetch4 := func(sets ...*bitmap.Bitmap) ([][]Record, error) {
+		out := make([][]Record, len(sets))
+		for i, s := range sets {
+			if s.IsEmpty() {
+				continue
+			}
+			recs, err := in.Fetch(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = recs
+		}
+		return out, nil
+	}
+	recs, err := fetch4(addO, addT, delO, delT)
+	if err != nil {
+		return nil, err
+	}
+	oursOut := outcomes(recs[0], recs[2])
+	theirsOut := outcomes(recs[1], recs[3])
+
+	// Base records behind every changed key, for conflict reports.
+	baseByKey := make(map[string]*Record, len(recs[2])+len(recs[3]))
+	for _, side := range [][]Record{recs[2], recs[3]} {
+		for i := range side {
+			baseByKey[side[i].Key] = &side[i]
+		}
+	}
+
+	var conflicts []Conflict
+	for key, ours := range oursOut {
+		theirs, ok := theirsOut[key]
+		if !ok {
+			continue // only ours touched the key; ThreeWay already applied it
+		}
+		if sameOutcome(ours, theirs) {
+			// Converged. When both sides added identical content under
+			// different rids, keep ours' rid so the merged version holds
+			// the key once.
+			if ours.rec != nil && theirs.rec != nil && ours.rec.RID != theirs.rec.RID {
+				members = bitmap.AndNot(members, one(theirs.rec.RID))
+			}
+			continue
+		}
+		conflicts = append(conflicts, Conflict{
+			Key:    displayOf(baseByKey[key], ours.rec, theirs.rec),
+			Base:   baseByKey[key],
+			Ours:   ours.rec,
+			Theirs: theirs.rec,
+		})
+	}
+	sort.Slice(conflicts, func(i, j int) bool { return conflicts[i].Key < conflicts[j].Key })
+
+	switch in.Policy {
+	case PolicyFail:
+		if len(conflicts) > 0 {
+			return &Result{Conflicts: conflicts}, nil
+		}
+	case PolicyOurs:
+		for _, c := range conflicts {
+			members = applyOutcome(members, c.Ours, c.Theirs)
+		}
+	case PolicyTheirs:
+		for _, c := range conflicts {
+			members = applyOutcome(members, c.Theirs, c.Ours)
+		}
+	default:
+		return nil, fmt.Errorf("merge: unknown policy %d", in.Policy)
+	}
+	return &Result{Members: members, Conflicts: conflicts}, nil
+}
+
+// applyOutcome enforces the winning side's record for a conflicted key:
+// the loser's added rid (if any) leaves the set, the winner's (if any) is
+// guaranteed in. A winning deletion therefore just removes the loser's add —
+// the base rid is already excluded by the ThreeWay formula, since the winner
+// deleted it.
+func applyOutcome(members *bitmap.Bitmap, winner, loser *Record) *bitmap.Bitmap {
+	if loser != nil {
+		members = bitmap.AndNot(members, one(loser.RID))
+	}
+	if winner != nil && !members.Contains(winner.RID) {
+		members = bitmap.Or(members, one(winner.RID))
+	}
+	return members
+}
+
+// displayOf picks the human-readable key form from whichever record exists.
+func displayOf(recs ...*Record) string {
+	for _, r := range recs {
+		if r != nil {
+			return r.Display
+		}
+	}
+	return ""
+}
+
+// one builds a single-value bitmap.
+func one(v int64) *bitmap.Bitmap {
+	b := bitmap.New()
+	b.Add(v)
+	return b
+}
+
+// LCA returns the lowest common ancestor of a and b in the version graph:
+// the common ancestor (a and b count as their own ancestors) with the
+// greatest depth, ties broken toward the highest version id so the choice is
+// deterministic. ok is false when the two versions share no ancestry
+// (disjoint roots); merging then proceeds against an empty base.
+func LCA(g *vgraph.Graph, a, b vgraph.VersionID) (vgraph.VersionID, bool) {
+	return LCAFromSets(AncestrySet(g, a), AncestrySet(g, b), func(v vgraph.VersionID) int {
+		if n := g.Node(v); n != nil {
+			return n.Level
+		}
+		return 0
+	})
+}
+
+// AncestrySet builds the bitmap of v and all its transitive ancestors — the
+// same shape the branch registry persists as a branch's lineage.
+func AncestrySet(g *vgraph.Graph, v vgraph.VersionID) *bitmap.Bitmap {
+	set := bitmap.New()
+	if g.Has(v) {
+		set.Add(int64(v))
+		for _, p := range g.Ancestors(v) {
+			set.Add(int64(p))
+		}
+	}
+	return set
+}
+
+// LCAFromSets picks the deepest version common to two ancestry bitmaps (ties
+// broken toward the highest id). Branch lineage bitmaps feed straight in, so
+// branch-to-branch LCA discovery costs one bitmap intersection.
+func LCAFromSets(a, b *bitmap.Bitmap, level func(vgraph.VersionID) int) (vgraph.VersionID, bool) {
+	common := bitmap.And(a, b)
+	best, bestLevel, found := vgraph.VersionID(0), -1, false
+	common.Iterate(func(v int64) bool {
+		vid := vgraph.VersionID(v)
+		if l := level(vid); l > bestLevel || (l == bestLevel && vid > best) {
+			best, bestLevel, found = vid, l, true
+		}
+		return true
+	})
+	return best, found
+}

@@ -1,0 +1,476 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/engine"
+	"orpheusdb/internal/vgraph"
+)
+
+func bm(vals ...int64) *bitmap.Bitmap { return bitmap.FromSlice(vals) }
+
+// refThreeWay is the naive reference: keep base records not deleted by
+// either side, plus everything either side added.
+func refThreeWay(base, a, b map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool)
+	for v := range base {
+		if a[v] && b[v] {
+			out[v] = true
+		}
+	}
+	for v := range a {
+		if !base[v] {
+			out[v] = true
+		}
+	}
+	for v := range b {
+		if !base[v] {
+			out[v] = true
+		}
+	}
+	// Records in both sides but not base (shared non-base ancestry).
+	for v := range a {
+		if b[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func toMap(b *bitmap.Bitmap) map[int64]bool {
+	out := make(map[int64]bool)
+	b.Iterate(func(v int64) bool { out[v] = true; return true })
+	return out
+}
+
+func mapsEqual(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestThreeWayBasics(t *testing.T) {
+	cases := []struct {
+		name               string
+		base, ours, theirs []int64
+		want               []int64
+	}{
+		{"identity", []int64{1, 2}, []int64{1, 2}, []int64{1, 2}, []int64{1, 2}},
+		{"ours-adds", []int64{1}, []int64{1, 2}, []int64{1}, []int64{1, 2}},
+		{"theirs-adds", []int64{1}, []int64{1}, []int64{1, 3}, []int64{1, 3}},
+		{"both-add", []int64{1}, []int64{1, 2}, []int64{1, 3}, []int64{1, 2, 3}},
+		{"ours-deletes", []int64{1, 2}, []int64{1}, []int64{1, 2}, []int64{1}},
+		{"theirs-deletes", []int64{1, 2}, []int64{1, 2}, []int64{2}, []int64{2}},
+		{"delete-both-sides", []int64{1, 2, 3}, []int64{1, 2}, []int64{2, 3}, []int64{2}},
+		{"empty-base", nil, []int64{1, 2}, []int64{2, 3}, []int64{1, 2, 3}},
+		{"disjoint", []int64{9}, []int64{1}, []int64{2}, []int64{1, 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ThreeWay(bm(c.base...), bm(c.ours...), bm(c.theirs...))
+			if !got.Equal(bm(c.want...)) {
+				t.Fatalf("ThreeWay(%v, %v, %v) = %v, want %v",
+					c.base, c.ours, c.theirs, got.ToSlice(), c.want)
+			}
+		})
+	}
+}
+
+// TestThreeWayProperties checks the formula against the map reference and
+// its algebraic laws over random sets.
+func TestThreeWayProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randSet := func(n int) *bitmap.Bitmap {
+		s := bitmap.New()
+		for i := 0; i < n; i++ {
+			s.Add(int64(rng.Intn(200)))
+		}
+		return s
+	}
+	for trial := 0; trial < 500; trial++ {
+		base := randSet(rng.Intn(50))
+		ours := bitmap.Or(bitmap.AndNot(base, randSet(rng.Intn(30))), randSet(rng.Intn(20)))
+		theirs := bitmap.Or(bitmap.AndNot(base, randSet(rng.Intn(30))), randSet(rng.Intn(20)))
+
+		got := ThreeWay(base, ours, theirs)
+		want := refThreeWay(toMap(base), toMap(ours), toMap(theirs))
+		if !mapsEqual(toMap(got), want) {
+			t.Fatalf("trial %d: ThreeWay disagrees with reference model", trial)
+		}
+		// Commutative in (ours, theirs).
+		if !got.Equal(ThreeWay(base, theirs, ours)) {
+			t.Fatalf("trial %d: ThreeWay not commutative", trial)
+		}
+		// Idempotent: merging a version with itself against itself is it.
+		if !ThreeWay(ours, ours, ours).Equal(ours) {
+			t.Fatalf("trial %d: ThreeWay(x,x,x) != x", trial)
+		}
+		// Merging an unchanged side returns the other side.
+		if !ThreeWay(base, base, theirs).Equal(theirs) {
+			t.Fatalf("trial %d: ThreeWay(base,base,theirs) != theirs", trial)
+		}
+	}
+}
+
+// memFetch builds a Fetch over an in-memory record table.
+func memFetch(records map[int64]Record) func(*bitmap.Bitmap) ([]Record, error) {
+	return func(set *bitmap.Bitmap) ([]Record, error) {
+		var out []Record
+		var err error
+		set.Iterate(func(v int64) bool {
+			r, ok := records[v]
+			if !ok {
+				err = fmt.Errorf("no record %d", v)
+				return false
+			}
+			out = append(out, r)
+			return true
+		})
+		return out, err
+	}
+}
+
+func rec(rid int64, key string, val string) Record {
+	return Record{
+		RID:     rid,
+		Key:     engine.EncodeKey(engine.StringValue(key)),
+		Display: key,
+		Row:     engine.Row{engine.StringValue(key), engine.StringValue(val)},
+	}
+}
+
+func TestMergeConflicts(t *testing.T) {
+	// Base: k1@1, k2@2. Ours modifies k1 (rid 3) and deletes k2.
+	// Theirs modifies k1 differently (rid 4) and keeps k2.
+	records := map[int64]Record{
+		1: rec(1, "k1", "base"),
+		2: rec(2, "k2", "base"),
+		3: rec(3, "k1", "ours"),
+		4: rec(4, "k1", "theirs"),
+	}
+	in := Input{
+		Base:   bm(1, 2),
+		Ours:   bm(3),
+		Theirs: bm(4, 2),
+		Keyed:  true,
+		Fetch:  memFetch(records),
+	}
+
+	res, err := Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Members != nil {
+		t.Fatalf("fail policy with conflicts should not produce members, got %v", res.Members.ToSlice())
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Key != "k1" || res.Conflicts[0].Kind() != "modify/modify" {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+
+	in.Policy = PolicyOurs
+	res, err = Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k1 resolves to ours (rid 3); k2 deleted by ours (only ours touched it).
+	if !res.Members.Equal(bm(3)) {
+		t.Fatalf("ours policy members = %v, want [3]", res.Members.ToSlice())
+	}
+
+	in.Policy = PolicyTheirs
+	res, err = Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Members.Equal(bm(4)) {
+		t.Fatalf("theirs policy members = %v, want [4]", res.Members.ToSlice())
+	}
+}
+
+func TestMergeModifyDelete(t *testing.T) {
+	records := map[int64]Record{
+		1: rec(1, "k1", "base"),
+		3: rec(3, "k1", "ours"),
+	}
+	in := Input{
+		Base:   bm(1),
+		Ours:   bm(3),        // modified k1
+		Theirs: bitmap.New(), // deleted k1
+		Keyed:  true,
+		Fetch:  memFetch(records),
+	}
+	res, err := Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind() != "modify/delete" {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	in.Policy = PolicyTheirs
+	if res, err = Merge(in); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Members.IsEmpty() {
+		t.Fatalf("theirs (deletion) should win: members = %v", res.Members.ToSlice())
+	}
+	in.Policy = PolicyOurs
+	if res, err = Merge(in); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Members.Equal(bm(3)) {
+		t.Fatalf("ours (modification) should win: members = %v", res.Members.ToSlice())
+	}
+}
+
+func TestMergeAddAddIdentical(t *testing.T) {
+	// Both sides independently add identical content under different rids:
+	// converged, not a conflict, and only one rid survives.
+	records := map[int64]Record{
+		1: rec(1, "k0", "base"),
+		5: rec(5, "new", "same"),
+		6: rec(6, "new", "same"),
+	}
+	in := Input{
+		Base:   bm(1),
+		Ours:   bm(1, 5),
+		Theirs: bm(1, 6),
+		Keyed:  true,
+		Fetch:  memFetch(records),
+	}
+	res, err := Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("identical adds conflicted: %+v", res.Conflicts)
+	}
+	if !res.Members.Equal(bm(1, 5)) {
+		t.Fatalf("members = %v, want [1 5]", res.Members.ToSlice())
+	}
+}
+
+func TestMergeAddAddDifferent(t *testing.T) {
+	records := map[int64]Record{
+		5: rec(5, "new", "ours"),
+		6: rec(6, "new", "theirs"),
+	}
+	in := Input{
+		Base:   bitmap.New(),
+		Ours:   bm(5),
+		Theirs: bm(6),
+		Keyed:  true,
+		Fetch:  memFetch(records),
+	}
+	res, err := Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind() != "add/add" {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	in.Policy = PolicyTheirs
+	if res, err = Merge(in); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Members.Equal(bm(6)) {
+		t.Fatalf("theirs policy: members = %v, want [6]", res.Members.ToSlice())
+	}
+}
+
+func TestMergeKeylessNeverConflicts(t *testing.T) {
+	in := Input{
+		Base:   bm(1, 2),
+		Ours:   bm(2, 3),
+		Theirs: bm(2, 4),
+		Keyed:  false,
+		Fetch: func(*bitmap.Bitmap) ([]Record, error) {
+			return nil, fmt.Errorf("keyless merge must not fetch")
+		},
+	}
+	res, err := Merge(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 || !res.Members.Equal(bm(2, 3, 4)) {
+		t.Fatalf("keyless merge = %+v", res)
+	}
+}
+
+// TestMergeConflictSymmetry: swapping ours and theirs yields the same
+// conflict keys and mirrored policy outcomes.
+func TestMergeConflictSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nKeys := 2 + rng.Intn(6)
+		records := make(map[int64]Record)
+		nextRID := int64(1)
+		addRec := func(k int, val string) int64 {
+			rid := nextRID
+			nextRID++
+			records[rid] = rec(rid, fmt.Sprintf("k%d", k), val)
+			return rid
+		}
+		base, ours, theirs := bitmap.New(), bitmap.New(), bitmap.New()
+		for k := 0; k < nKeys; k++ {
+			inBase := rng.Intn(2) == 0
+			var baseRID int64
+			if inBase {
+				baseRID = addRec(k, "base")
+				base.Add(baseRID)
+			}
+			for _, side := range []*bitmap.Bitmap{ours, theirs} {
+				switch rng.Intn(3) {
+				case 0: // keep/absent
+					if inBase {
+						side.Add(baseRID)
+					}
+				case 1: // modify/add
+					side.Add(addRec(k, fmt.Sprintf("v%d", rng.Intn(3))))
+				case 2: // delete/absent
+				}
+			}
+		}
+		fwd, err := Merge(Input{Base: base, Ours: ours, Theirs: theirs, Keyed: true, Fetch: memFetch(records)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := Merge(Input{Base: base, Ours: theirs, Theirs: ours, Keyed: true, Fetch: memFetch(records)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keysOf := func(cs []Conflict) []string {
+			out := make([]string, len(cs))
+			for i, c := range cs {
+				out[i] = c.Key
+			}
+			sort.Strings(out)
+			return out
+		}
+		fk, rk := keysOf(fwd.Conflicts), keysOf(rev.Conflicts)
+		if len(fk) != len(rk) {
+			t.Fatalf("trial %d: conflict count asymmetric: %v vs %v", trial, fk, rk)
+		}
+		for i := range fk {
+			if fk[i] != rk[i] {
+				t.Fatalf("trial %d: conflict keys asymmetric: %v vs %v", trial, fk, rk)
+			}
+		}
+		if len(fwd.Conflicts) == 0 {
+			// Conflict-free: result must equal the pure bitmap formula up to
+			// converged add/add dedup, and commute up to record content.
+			if !rowsOf(t, fwd.Members, records).equal(rowsOf(t, rev.Members, records)) {
+				t.Fatalf("trial %d: conflict-free merge not content-commutative", trial)
+			}
+		} else {
+			// PolicyOurs one way == PolicyTheirs the other way.
+			po, err := Merge(Input{Base: base, Ours: ours, Theirs: theirs, Keyed: true, Fetch: memFetch(records), Policy: PolicyOurs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := Merge(Input{Base: base, Ours: theirs, Theirs: ours, Keyed: true, Fetch: memFetch(records), Policy: PolicyTheirs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rowsOf(t, po.Members, records).equal(rowsOf(t, pt.Members, records)) {
+				t.Fatalf("trial %d: ours/theirs not mirror images", trial)
+			}
+		}
+	}
+}
+
+// rowSet is a content multiset for order/rid-insensitive comparison.
+type rowSet map[string]int
+
+func rowsOf(t *testing.T, members *bitmap.Bitmap, records map[int64]Record) rowSet {
+	t.Helper()
+	out := make(rowSet)
+	members.Iterate(func(v int64) bool {
+		r, ok := records[v]
+		if !ok {
+			t.Fatalf("merged member %d has no record", v)
+		}
+		out[engine.EncodeKey(r.Row...)]++
+		return true
+	})
+	return out
+}
+
+func (a rowSet) equal(b rowSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLCA(t *testing.T) {
+	// DAG:      1
+	//          / \
+	//         2   3
+	//         |  / \
+	//         4 5   6
+	//          \|
+	//           7 (merge of 4,5)
+	g := vgraph.New()
+	add := func(v vgraph.VersionID, parents ...vgraph.VersionID) {
+		w := make([]int64, len(parents))
+		if err := g.AddVersion(v, parents, 1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1)
+	add(2, 1)
+	add(3, 1)
+	add(4, 2)
+	add(5, 3)
+	add(6, 3)
+	add(7, 4, 5)
+
+	cases := []struct {
+		a, b, want vgraph.VersionID
+	}{
+		{2, 3, 1},
+		{4, 5, 1},
+		{5, 6, 3},
+		{7, 6, 3}, // 7 reaches 3 via 5
+		{4, 4, 4},
+		{1, 7, 1},
+	}
+	for _, c := range cases {
+		got, ok := LCA(g, c.a, c.b)
+		if !ok || got != c.want {
+			t.Errorf("LCA(%d,%d) = %d,%v; want %d", c.a, c.b, got, ok, c.want)
+		}
+	}
+
+	// Disjoint roots share no ancestor.
+	add(10)
+	if _, ok := LCA(g, 10, 7); ok {
+		t.Error("disjoint roots should have no LCA")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"", "fail", "ours", "theirs", "OURS", "THEIRS", "FAIL"} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Error("ParsePolicy should reject unknown policies")
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	orpheusdb "orpheusdb"
+)
+
+// branchStore seeds a dataset with a small divergent DAG:
+//
+//	v1 (base) ── v2 (modifies id=1, adds id=4)
+//	         └── v3 (modifies id=1 differently)
+func branchStore(t *testing.T) (*orpheusdb.Store, string) {
+	t.Helper()
+	store := orpheusdb.NewStore()
+	d, err := store.Init("prot", []orpheusdb.Column{
+		{Name: "id", Type: orpheusdb.KindInt},
+		{Name: "val", Type: orpheusdb.KindString},
+	}, orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(id int64, v string) orpheusdb.Row {
+		return orpheusdb.Row{orpheusdb.Int(id), orpheusdb.String(v)}
+	}
+	v1, err := d.Commit([]orpheusdb.Row{row(1, "a"), row(2, "b")}, nil, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit([]orpheusdb.Row{row(1, "a-ours"), row(2, "b"), row(4, "d")},
+		[]orpheusdb.VersionID{v1}, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit([]orpheusdb.Row{row(1, "a-theirs"), row(2, "b")},
+		[]orpheusdb.VersionID{v1}, "v3"); err != nil {
+		t.Fatal(err)
+	}
+	return store, "prot"
+}
+
+func TestHTTPBranchLifecycle(t *testing.T) {
+	store, name := branchStore(t)
+	ts := newTestServerWith(t, store)
+	base := ts.URL + "/api/v1/datasets/" + name
+
+	// Create at an explicit version, then one defaulting to latest.
+	status, body := doJSON(t, "POST", base+"/branches", map[string]any{"name": "dev", "at": "1"})
+	if status != http.StatusCreated || body["name"] != "dev" || jsonInt(t, body["head"]) != 1 {
+		t.Fatalf("create dev: %d %v", status, body)
+	}
+	status, body = doJSON(t, "POST", base+"/branches", map[string]any{"name": "main"})
+	if status != http.StatusCreated || jsonInt(t, body["head"]) != 3 {
+		t.Fatalf("create main: %d %v", status, body)
+	}
+	if jsonInt(t, body["lineageSize"]) != 2 {
+		t.Fatalf("main lineageSize = %v", body["lineageSize"])
+	}
+	// Duplicates and bad anchors are 409/404.
+	if status, _ = doJSON(t, "POST", base+"/branches", map[string]any{"name": "dev"}); status != http.StatusConflict {
+		t.Fatalf("duplicate create = %d", status)
+	}
+	if status, _ = doJSON(t, "POST", base+"/branches", map[string]any{"name": "x", "at": "99"}); status != http.StatusNotFound {
+		t.Fatalf("bad anchor = %d", status)
+	}
+
+	// List.
+	status, body = doJSON(t, "GET", base+"/branches", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	branches := body["branches"].([]any)
+	if len(branches) != 2 {
+		t.Fatalf("branches = %v", branches)
+	}
+	// The dataset summary carries the branches too.
+	status, body = doJSON(t, "GET", base, nil)
+	if status != http.StatusOK || len(body["branches"].([]any)) != 2 {
+		t.Fatalf("summary branches = %v", body["branches"])
+	}
+
+	// Delete.
+	if status, _ = doJSON(t, "DELETE", base+"/branches/dev", nil); status != http.StatusNoContent {
+		t.Fatalf("delete = %d", status)
+	}
+	if status, _ = doJSON(t, "DELETE", base+"/branches/dev", nil); status != http.StatusNotFound {
+		t.Fatalf("double delete = %d", status)
+	}
+}
+
+func TestHTTPMerge(t *testing.T) {
+	store, name := branchStore(t)
+	ts := newTestServerWith(t, store)
+	base := ts.URL + "/api/v1/datasets/" + name
+
+	// Conflicting merge under the default fail policy: 409 with the report.
+	status, body := doJSON(t, "POST", base+"/merge", map[string]any{"ours": "2", "theirs": "3"})
+	if status != http.StatusConflict {
+		t.Fatalf("conflicted merge = %d %v", status, body)
+	}
+	errBody := body["error"].(map[string]any)
+	if errBody["code"] != "merge_conflict" {
+		t.Fatalf("error code = %v", errBody["code"])
+	}
+	conflicts := errBody["conflicts"].([]any)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflict report = %v", conflicts)
+	}
+	c := conflicts[0].(map[string]any)
+	if c["kind"] != "modify/modify" || c["key"] != "1" {
+		t.Fatalf("conflict = %v", c)
+	}
+	if c["ours"] == nil || c["theirs"] == nil || c["base"] == nil {
+		t.Fatalf("conflict payload missing sides: %v", c)
+	}
+
+	// Resolved with a policy, targeting a branch: head advances.
+	if status, _ = doJSON(t, "POST", base+"/branches", map[string]any{"name": "main", "at": "2"}); status != http.StatusCreated {
+		t.Fatal("create main failed")
+	}
+	status, body = doJSON(t, "POST", base+"/merge", map[string]any{
+		"ours": "main", "theirs": "3", "policy": "theirs", "message": "land",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("resolved merge = %d %v", status, body)
+	}
+	merged := jsonInt(t, body["version"])
+	if merged != 4 || jsonInt(t, body["base"]) != 1 || len(body["conflicts"].([]any)) != 1 {
+		t.Fatalf("merge body = %v", body)
+	}
+	status, body = doJSON(t, "GET", base+"/branches", nil)
+	if status != http.StatusOK {
+		t.Fatal("list failed")
+	}
+	head := jsonInt(t, body["branches"].([]any)[0].(map[string]any)["head"])
+	if head != merged {
+		t.Fatalf("main head = %d, want %d", head, merged)
+	}
+
+	// Up-to-date and fast-forward responses.
+	status, body = doJSON(t, "POST", base+"/merge", map[string]any{"ours": "main", "theirs": "2"})
+	if status != http.StatusOK || body["upToDate"] != true {
+		t.Fatalf("up-to-date merge = %d %v", status, body)
+	}
+	// Bad inputs.
+	for _, req := range []map[string]any{
+		{"ours": "2"},
+		{"ours": "2", "theirs": "3", "policy": "wat"},
+		{"ours": "ghost", "theirs": "3"},
+	} {
+		if status, _ := doJSON(t, "POST", base+"/merge", req); status == http.StatusOK {
+			t.Errorf("merge %v should fail", req)
+		}
+	}
+
+	// Stats mirror the merge counters.
+	status, stats := doJSON(t, "GET", ts.URL+"/api/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	if jsonInt(t, stats["merges"]) < 3 || jsonInt(t, stats["merge_conflicts"]) < 2 ||
+		jsonInt(t, stats["branch_creates"]) < 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// jsonInt coerces a decoded json.Number.
+func jsonInt(t *testing.T, v any) int64 {
+	t.Helper()
+	n, ok := v.(json.Number)
+	if !ok {
+		t.Fatalf("value %v (%T) is not a number", v, v)
+	}
+	i, err := n.Int64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+// newTestServerWith wraps an existing store in an httptest server.
+func newTestServerWith(t *testing.T, store *orpheusdb.Store) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(store, nil))
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -36,6 +36,7 @@ func classify(err error) *apiError {
 	switch {
 	case strings.Contains(msg, "no CVD") ||
 		strings.Contains(msg, "no version") ||
+		strings.Contains(msg, "no branch") ||
 		strings.Contains(msg, "not in the staging area") ||
 		strings.Contains(msg, "was dropped") ||
 		strings.Contains(msg, "no table"):

@@ -18,6 +18,10 @@
 //	GET    /api/v1/datasets/{name}/versions/{vid}     one version's metadata
 //	GET    /api/v1/datasets/{name}/versions/{vid}/ancestors
 //	GET    /api/v1/datasets/{name}/versions/{vid}/descendants
+//	GET    /api/v1/datasets/{name}/branches           list branches (head, lineage size)
+//	POST   /api/v1/datasets/{name}/branches           create a branch {name, at}
+//	DELETE /api/v1/datasets/{name}/branches/{branch}  delete a branch
+//	POST   /api/v1/datasets/{name}/merge              three-way merge {ours, theirs, policy, message}
 //	POST   /api/v1/datasets/{name}/optimize           run LYRESPLIT / maintenance
 //	POST   /api/v1/query                              SQL with VERSION ... OF CVD
 //	GET    /api/v1/users                              list users
@@ -80,6 +84,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}", s.handleVersionInfo)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}/ancestors", s.handleAncestors)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}/descendants", s.handleDescendants)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/branches", s.handleListBranches)
+	s.mux.HandleFunc("POST /api/v1/datasets/{name}/branches", s.handleCreateBranch)
+	s.mux.HandleFunc("DELETE /api/v1/datasets/{name}/branches/{branch}", s.handleDeleteBranch)
+	s.mux.HandleFunc("POST /api/v1/datasets/{name}/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /api/v1/datasets/{name}/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
@@ -178,6 +186,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":      snap.CacheHits,
 		"cache_misses":    snap.CacheMisses,
 		"cache_evictions": snap.CacheEvictions,
+		"branch_creates":  snap.BranchCreates,
+		"merges":          snap.Merges,
+		"merge_conflicts": snap.MergeConflicts,
 	})
 }
 
@@ -201,7 +212,9 @@ type datasetSummary struct {
 	PrimaryKey []string     `json:"primaryKey"`
 	Versions   []int64      `json:"versions"`
 	Latest     int64        `json:"latest"`
-	Storage    int64        `json:"storageBytes"`
+	// Branches lists the dataset's named branches with their heads.
+	Branches []branchJSON `json:"branches"`
+	Storage  int64        `json:"storageBytes"`
 	// StorageBreakdown splits Storage into compressed-membership bytes
 	// (rlist/vlist bitmaps) and record-data bytes.
 	StorageBreakdown orpheusdb.StorageBreakdown `json:"storageBreakdown"`
@@ -220,6 +233,11 @@ func (s *Server) summarize(name string) (*datasetSummary, error) {
 		pk = []string{}
 	}
 	breakdown := d.StorageBreakdown()
+	branches := d.Branches()
+	bjs := make([]branchJSON, 0, len(branches))
+	for _, b := range branches {
+		bjs = append(bjs, branchToJSON(b))
+	}
 	return &datasetSummary{
 		Name:             d.Name(),
 		Model:            string(d.Model()),
@@ -227,6 +245,7 @@ func (s *Server) summarize(name string) (*datasetSummary, error) {
 		PrimaryKey:       pk,
 		Versions:         int64IDs(d.Versions()),
 		Latest:           int64(d.LatestVersion()),
+		Branches:         bjs,
 		Storage:          breakdown.TotalBytes,
 		StorageBreakdown: breakdown,
 		Cache:            s.store.DatasetCacheStats(name),

@@ -45,6 +45,10 @@ type TableRef struct {
 	// `VERSION v OF CVD name` and resolved before execution.
 	Version int64
 	CVD     string
+	// Branch is set when the version slot named a branch instead of an id
+	// (`VERSION main OF CVD name`); the translator resolves it to the
+	// branch's head version.
+	Branch string
 	// Multi-version scans (`VERSION v1 INTERSECT v2 [UNION v3 ...] OF CVD
 	// name`) chain further versions onto Version left-associatively:
 	// SetOps[i] ∈ {UNION, INTERSECT, EXCEPT} combines the running record
@@ -109,12 +113,45 @@ type DropTableStmt struct {
 	Table string
 }
 
-func (*SelectStmt) stmt()      {}
-func (*InsertStmt) stmt()      {}
-func (*UpdateStmt) stmt()      {}
-func (*DeleteStmt) stmt()      {}
-func (*CreateTableStmt) stmt() {}
-func (*DropTableStmt) stmt()   {}
+// CreateBranchStmt is the ORPHEUSDB extension
+// `CREATE BRANCH name [FROM VERSION ref] OF CVD cvd`. Without a FROM clause
+// the branch starts at the dataset's latest version. The reference is a
+// version id (From >= 0) or a branch name (FromBranch).
+type CreateBranchStmt struct {
+	Branch     string
+	CVD        string
+	From       int64 // -1 when absent or FromBranch is set
+	FromBranch string
+}
+
+// DropBranchStmt is `DROP BRANCH name OF CVD cvd`.
+type DropBranchStmt struct {
+	Branch string
+	CVD    string
+}
+
+// MergeStmt is the ORPHEUSDB extension
+// `MERGE VERSION a INTO b OF CVD cvd [USING policy]` (BRANCH is accepted as
+// a synonym for VERSION). Each side is a version id (>= 0) or a branch name;
+// when the INTO side names a branch, its head advances to the merge result.
+// Policy is OURS, THEIRS, or FAIL (the default).
+type MergeStmt struct {
+	CVD          string
+	Ours, Theirs int64 // -1 when the matching branch name is set
+	OursBranch   string
+	TheirsBranch string
+	Policy       string
+}
+
+func (*SelectStmt) stmt()       {}
+func (*InsertStmt) stmt()       {}
+func (*UpdateStmt) stmt()       {}
+func (*DeleteStmt) stmt()       {}
+func (*CreateTableStmt) stmt()  {}
+func (*DropTableStmt) stmt()    {}
+func (*CreateBranchStmt) stmt() {}
+func (*DropBranchStmt) stmt()   {}
+func (*MergeStmt) stmt()        {}
 
 // Expr is any expression node.
 type Expr interface{ expr() }

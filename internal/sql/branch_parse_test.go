@@ -1,0 +1,119 @@
+package sql
+
+import "testing"
+
+func TestParseCreateBranch(t *testing.T) {
+	st, err := Parse("CREATE BRANCH dev FROM VERSION 3 OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, ok := st.(*CreateBranchStmt)
+	if !ok || cb.Branch != "dev" || cb.CVD != "prot" || cb.From != 3 || cb.FromBranch != "" {
+		t.Fatalf("parsed %+v", st)
+	}
+	// Branch-name anchor.
+	st, err = Parse("CREATE BRANCH hotfix FROM VERSION main OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb = st.(*CreateBranchStmt); cb.FromBranch != "main" || cb.From != -1 {
+		t.Fatalf("parsed %+v", cb)
+	}
+	// Default anchor (latest).
+	st, err = Parse("CREATE BRANCH tip OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb = st.(*CreateBranchStmt); cb.From != -1 || cb.FromBranch != "" {
+		t.Fatalf("parsed %+v", cb)
+	}
+	// CREATE TABLE still parses.
+	if _, err := Parse("CREATE TABLE t (id integer PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDropBranch(t *testing.T) {
+	st, err := Parse("DROP BRANCH dev OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, ok := st.(*DropBranchStmt)
+	if !ok || db.Branch != "dev" || db.CVD != "prot" {
+		t.Fatalf("parsed %+v", st)
+	}
+	if _, err := Parse("DROP TABLE t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMerge(t *testing.T) {
+	st, err := Parse("MERGE VERSION 4 INTO 2 OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*MergeStmt)
+	if m.Theirs != 4 || m.Ours != 2 || m.CVD != "prot" || m.Policy != "" {
+		t.Fatalf("parsed %+v", m)
+	}
+	st, err = Parse("MERGE BRANCH dev INTO main OF CVD prot USING theirs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = st.(*MergeStmt)
+	if m.TheirsBranch != "dev" || m.OursBranch != "main" || m.Policy != "theirs" ||
+		m.Ours != -1 || m.Theirs != -1 {
+		t.Fatalf("parsed %+v", m)
+	}
+	for _, bad := range []string{
+		"MERGE 1 INTO 2 OF CVD prot",
+		"MERGE VERSION 1 OF CVD prot",
+		"MERGE VERSION 1 INTO 2 OF prot",
+		"MERGE VERSION 1 INTO 2 OF CVD prot USING",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}
+
+func TestParseVersionBranchRef(t *testing.T) {
+	st, err := Parse("SELECT * FROM VERSION main OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := st.(*SelectStmt).From[0].(*TableRef)
+	if ref.Branch != "main" || ref.CVD != "prot" || ref.Version != 0 {
+		t.Fatalf("ref = %+v", ref)
+	}
+	// Branch ref with a set-operation chain.
+	st, err = Parse("SELECT * FROM VERSION main EXCEPT 1 OF CVD prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = st.(*SelectStmt).From[0].(*TableRef)
+	if ref.Branch != "main" || len(ref.ExtraVersions) != 1 || ref.SetOps[0] != "EXCEPT" {
+		t.Fatalf("ref = %+v", ref)
+	}
+	// Executing a branch statement without a store is a clear error.
+	if _, err := Exec(nil, "CREATE BRANCH b OF CVD c"); err == nil {
+		t.Fatal("branch statement without a store should fail")
+	}
+}
+
+// TestBranchWordsNotReserved: BRANCH/MERGE/USING are contextual, so schemas
+// that use them as table or column names keep parsing.
+func TestBranchWordsNotReserved(t *testing.T) {
+	for _, q := range []string{
+		"CREATE TABLE branch (merge integer, using string)",
+		"SELECT merge, using FROM branch WHERE merge > 1",
+		"SELECT b.merge FROM branch AS b",
+		"INSERT INTO merge VALUES (1)",
+		"UPDATE branch SET merge = 2",
+		"DROP TABLE branch",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%q no longer parses: %v", q, err)
+		}
+	}
+}

@@ -92,6 +92,10 @@ func RunWith(db *engine.DB, stmt Stmt, src CVDSource) (*Result, error) {
 			return nil, err
 		}
 		return &Result{}, nil
+	case *CreateBranchStmt, *DropBranchStmt, *MergeStmt:
+		// Branch and merge statements mutate the versioning layer, which the
+		// engine knows nothing about; only the store can execute them.
+		return nil, fmt.Errorf("sql: %T requires an OrpheusDB store (run it through Store.Run)", stmt)
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
 }

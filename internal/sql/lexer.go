@@ -33,6 +33,11 @@ type token struct {
 }
 
 // keywords recognized by the parser. Everything else is an identifier.
+// BRANCH, MERGE, and USING are deliberately NOT reserved: they appear only
+// in positions where no identifier is grammatical (statement start, after
+// CREATE/DROP, after the OF CVD suffix), so the parser matches them as
+// contextual identifiers and stores/columns named "branch" or "merge" keep
+// working.
 var keywords = map[string]bool{
 	"SELECT": true, "DISTINCT": true, "INTO": true, "FROM": true, "WHERE": true,
 	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,

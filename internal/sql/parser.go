@@ -123,6 +123,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseCreate()
 	case p.atKeyword("DROP"):
 		return p.parseDrop()
+	case p.at(tokIdent, "merge"):
+		// Contextual: no valid statement starts with a bare identifier, so
+		// "merge" here can only mean the MERGE statement.
+		return p.parseMerge()
 	}
 	return nil, p.errf("expected a statement, found %q", p.cur().text)
 }
@@ -337,11 +341,12 @@ func (p *parser) parseFromPrimary() (FromItem, error) {
 		}
 		return ref, nil
 	}
-	// ORPHEUSDB extension: VERSION <n> [INTERSECT|UNION|EXCEPT <m> ...]
-	// OF CVD <name> — a single-version relation, or a multi-version scan
-	// whose record membership is set algebra over version rlists.
+	// ORPHEUSDB extension: VERSION <n|branch> [INTERSECT|UNION|EXCEPT <m>
+	// ...] OF CVD <name> — a single-version relation (the version slot may
+	// name a branch, resolving to its head), or a multi-version scan whose
+	// record membership is set algebra over version rlists.
 	if p.eat(tokKeyword, "VERSION") {
-		v, err := p.integer()
+		v, branch, err := p.versionRef()
 		if err != nil {
 			return nil, err
 		}
@@ -377,7 +382,7 @@ func (p *parser) parseFromPrimary() (FromItem, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref := &TableRef{CVD: name, Version: int64(v), ExtraVersions: extras, SetOps: setOps}
+		ref := &TableRef{CVD: name, Version: v, Branch: branch, ExtraVersions: extras, SetOps: setOps}
 		p.eat(tokKeyword, "AS")
 		if p.at(tokIdent, "") {
 			ref.Alias = p.cur().text
@@ -523,9 +528,37 @@ func (p *parser) parseDelete() (Stmt, error) {
 	return d, nil
 }
 
+// versionRef reads a version slot: a decimal version id or a branch name.
+func (p *parser) versionRef() (int64, string, error) {
+	if p.at(tokNumber, "") {
+		n, err := p.integer()
+		return int64(n), "", err
+	}
+	if p.at(tokIdent, "") {
+		name := p.cur().text
+		p.pos++
+		return 0, name, nil
+	}
+	return 0, "", p.errf("expected version id or branch name, found %q", p.cur().text)
+}
+
+// cvdSuffix reads the trailing `OF CVD <name>` of a branch/merge statement.
+func (p *parser) cvdSuffix() (string, error) {
+	if err := p.expectKeyword("OF"); err != nil {
+		return "", err
+	}
+	if err := p.expectKeyword("CVD"); err != nil {
+		return "", err
+	}
+	return p.ident()
+}
+
 func (p *parser) parseCreate() (Stmt, error) {
 	if err := p.expectKeyword("CREATE"); err != nil {
 		return nil, err
+	}
+	if p.eat(tokIdent, "branch") { // contextual: CREATE <what> is next
+		return p.parseCreateBranch()
 	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -610,6 +643,17 @@ func (p *parser) parseDrop() (Stmt, error) {
 	if err := p.expectKeyword("DROP"); err != nil {
 		return nil, err
 	}
+	if p.eat(tokIdent, "branch") { // contextual: DROP <what> is next
+		branch, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cvd, err := p.cvdSuffix()
+		if err != nil {
+			return nil, err
+		}
+		return &DropBranchStmt{Branch: branch, CVD: cvd}, nil
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -618,6 +662,74 @@ func (p *parser) parseDrop() (Stmt, error) {
 		return nil, err
 	}
 	return &DropTableStmt{Table: name}, nil
+}
+
+// parseCreateBranch parses the tail of
+// `CREATE BRANCH name [FROM VERSION ref] OF CVD cvd`.
+func (p *parser) parseCreateBranch() (Stmt, error) {
+	branch, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateBranchStmt{Branch: branch, From: -1}
+	if p.eat(tokKeyword, "FROM") {
+		if err := p.expectKeyword("VERSION"); err != nil {
+			return nil, err
+		}
+		v, fromBranch, err := p.versionRef()
+		if err != nil {
+			return nil, err
+		}
+		if fromBranch == "" {
+			st.From = v
+		}
+		st.FromBranch = fromBranch
+	}
+	if st.CVD, err = p.cvdSuffix(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseMerge parses
+// `MERGE (VERSION|BRANCH) ref INTO ref OF CVD cvd [USING policy]`.
+func (p *parser) parseMerge() (Stmt, error) {
+	if !p.eat(tokIdent, "merge") {
+		return nil, p.errf("expected MERGE, found %q", p.cur().text)
+	}
+	if !p.eat(tokKeyword, "VERSION") && !p.eat(tokIdent, "branch") {
+		return nil, p.errf("expected VERSION or BRANCH after MERGE, found %q", p.cur().text)
+	}
+	st := &MergeStmt{Ours: -1, Theirs: -1}
+	v, branch, err := p.versionRef()
+	if err != nil {
+		return nil, err
+	}
+	if branch == "" {
+		st.Theirs = v
+	}
+	st.TheirsBranch = branch
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	if v, branch, err = p.versionRef(); err != nil {
+		return nil, err
+	}
+	if branch == "" {
+		st.Ours = v
+	}
+	st.OursBranch = branch
+	if st.CVD, err = p.cvdSuffix(); err != nil {
+		return nil, err
+	}
+	if p.eat(tokIdent, "using") { // contextual: the statement ends here
+		if !p.at(tokIdent, "") {
+			return nil, p.errf("expected merge policy after USING, found %q", p.cur().text)
+		}
+		st.Policy = p.cur().text
+		p.pos++
+	}
+	return st, nil
 }
 
 // Expression grammar, lowest precedence first:

@@ -45,6 +45,14 @@ const (
 	TypeMaintain
 	TypeUserAdd
 	TypeCheckpoint
+	// Branch/merge records (codec version 2): branch registry mutations and
+	// three-way merges. A merge that fast-forwards a branch head logs as a
+	// branch advance; a true merge logs TypeMerge with the merged version's
+	// membership bitmap for replay verification.
+	TypeBranchCreate
+	TypeBranchDelete
+	TypeBranchAdvance
+	TypeMerge
 )
 
 // String names the record type for status output and debugging.
@@ -68,6 +76,14 @@ func (t Type) String() string {
 		return "user-add"
 	case TypeCheckpoint:
 		return "checkpoint"
+	case TypeBranchCreate:
+		return "branch-create"
+	case TypeBranchDelete:
+		return "branch-delete"
+	case TypeBranchAdvance:
+		return "branch-advance"
+	case TypeMerge:
+		return "merge"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -99,11 +115,19 @@ type Record struct {
 	Freq     map[int64]int64 // weighted-optimize frequencies
 
 	Members *bitmap.Bitmap // committed version's rlist (nil when n/a)
+
+	// Branch/merge fields (codec version 2; zero on records decoded from
+	// version-1 logs).
+	Branch string // branch name (branch ops; merge when ours is a branch)
+	Policy string // merge conflict-resolution policy
+	Base   int64  // merge base version (0 = disjoint ancestry)
 }
 
 // codecVersion is the first byte of every encoded record, so the payload
-// format can evolve without breaking old logs.
-const codecVersion = 1
+// format can evolve without breaking old logs. Version 2 appended the
+// branch/merge fields; version-1 records remain decodable (the appended
+// fields read as zero).
+const codecVersion = 2
 
 // Encode serializes the record to a self-contained byte payload.
 func (r *Record) Encode() []byte {
@@ -154,14 +178,20 @@ func (r *Record) Encode() []byte {
 		b, _ := r.Members.MarshalBinary() // never fails
 		e.bytes(b)
 	}
+	// Version-2 fields ride at the end so a version-1 payload is an exact
+	// prefix of the version-2 layout.
+	e.str(r.Branch)
+	e.str(r.Policy)
+	e.i64(r.Base)
 	return e.buf
 }
 
 // Decode restores a record encoded by Encode.
 func Decode(data []byte) (*Record, error) {
 	d := &decoder{buf: data}
-	if v := d.u8(); v != codecVersion {
-		return nil, fmt.Errorf("wal: unsupported record codec version %d", v)
+	ver := d.u8()
+	if ver != 1 && ver != codecVersion {
+		return nil, fmt.Errorf("wal: unsupported record codec version %d", ver)
 	}
 	r := &Record{}
 	r.Type = Type(d.u8())
@@ -217,6 +247,11 @@ func Decode(data []byte) (*Record, error) {
 			d.err = err
 		}
 		r.Members = b
+	}
+	if ver >= 2 {
+		r.Branch = d.str()
+		r.Policy = d.str()
+		r.Base = d.i64()
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("wal: decode %s record: %w", r.Type, d.err)

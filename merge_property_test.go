@@ -1,0 +1,276 @@
+package orpheusdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Merge-correctness property suite: random derivation DAGs are grown commit
+// by commit, then random version pairs are merged and the results checked
+// against the algebraic laws the subsystem promises:
+//
+//   - Merge(x, x) is a no-op (idempotence: the result is x's record set)
+//   - Merge(a, b) and Merge(b, a) produce the same record contents when
+//     conflict-free, and mirrored contents under ours/theirs policies
+//   - conflict-free merges equal the bitmap formula
+//     (ours ∩ theirs) ∪ (ours − base) ∪ (theirs − base) exactly
+//   - the conflict report is symmetric in (a, b)
+//
+// The suite runs in CI's race-mode job alongside the rest of the tests.
+
+// dagState mirrors each version's rows (id → value) for reference checks.
+type dagState struct {
+	d    *Dataset
+	rows map[VersionID]map[int]string
+	vids []VersionID
+}
+
+// growDAG builds a random derivation DAG with nCommits commits. Each commit
+// picks a random parent and randomly adds, modifies, and deletes keys.
+// Values are globally unique so two branches can never converge on identical
+// content independently — that (deliberate) dedup case would make the merged
+// rlist a strict subset of the raw bitmap formula, and it has its own
+// targeted test (TestMergeAddAddIdentical in internal/merge); here we pin
+// the formula exactly.
+func growDAG(t *testing.T, d *Dataset, rng *rand.Rand, nCommits int) *dagState {
+	t.Helper()
+	st := &dagState{d: d, rows: make(map[VersionID]map[int]string)}
+	nextKey, uniq := 0, 0
+	val := func(prefix string) string {
+		uniq++
+		return fmt.Sprintf("%s%d", prefix, uniq)
+	}
+	commit := func(parent VersionID, content map[int]string, msg string) VersionID {
+		keys := make([]int, 0, len(content))
+		for k := range content {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		rows := make([]Row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, Row{Int(int64(k)), String(content[k])})
+		}
+		var parents []VersionID
+		if parent != 0 {
+			parents = []VersionID{parent}
+		}
+		v, err := d.Commit(rows, parents, msg)
+		if err != nil {
+			t.Fatalf("commit %s: %v", msg, err)
+		}
+		st.rows[v] = content
+		st.vids = append(st.vids, v)
+		return v
+	}
+
+	root := map[int]string{}
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		root[nextKey] = val("r")
+		nextKey++
+	}
+	commit(0, root, "root")
+
+	for i := 1; i < nCommits; i++ {
+		parent := st.vids[rng.Intn(len(st.vids))]
+		content := make(map[int]string, len(st.rows[parent]))
+		for k, v := range st.rows[parent] {
+			content[k] = v
+		}
+		for _, k := range keysOfMap(content) {
+			switch rng.Intn(6) {
+			case 0: // modify
+				content[k] = val("m")
+			case 1: // delete
+				delete(content, k)
+			}
+		}
+		for rng.Intn(3) == 0 { // add
+			content[nextKey] = val("a")
+			nextKey++
+		}
+		commit(parent, content, fmt.Sprintf("c%d", i))
+	}
+	return st
+}
+
+func keysOfMap(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// contentOf renders a version's checkout as a canonical string.
+func contentOf(t *testing.T, d *Dataset, v VersionID) string {
+	t.Helper()
+	rows, err := d.Checkout(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%d=%s", r[0].I, r[1].S)
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+func conflictKeys(res *MergeResult) []string {
+	out := make([]string, len(res.Conflicts))
+	for i, c := range res.Conflicts {
+		out[i] = c.Key
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMergePropertyRandomDAGs(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel() // exercise the locking paths under -race
+			rng := rand.New(rand.NewSource(seed))
+			s := NewStore()
+			d, err := s.Init(fmt.Sprintf("dag%d", seed), []Column{
+				{Name: "id", Type: KindInt},
+				{Name: "val", Type: KindString},
+			}, InitOptions{PrimaryKey: []string{"id"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := growDAG(t, d, rng, 12)
+
+			// Idempotence over every version: merging x with x is x.
+			for _, v := range st.vids {
+				res, err := d.Merge(fmt.Sprint(v), fmt.Sprint(v), MergeFail, "")
+				if err != nil || !res.UpToDate || res.Version != v {
+					t.Fatalf("Merge(%d,%d) = %+v, %v", v, v, res, err)
+				}
+			}
+
+			for trial := 0; trial < 12; trial++ {
+				a := st.vids[rng.Intn(len(st.vids))]
+				b := st.vids[rng.Intn(len(st.vids))]
+				cvd := d.CVD()
+
+				fwd, errF := d.Merge(fmt.Sprint(a), fmt.Sprint(b), MergeFail, "")
+				rev, errR := d.Merge(fmt.Sprint(b), fmt.Sprint(a), MergeFail, "")
+
+				// Conflict reports are symmetric.
+				var ceF, ceR *MergeConflictError
+				if errors.As(errF, &ceF) != errors.As(errR, &ceR) {
+					t.Fatalf("merge(%d,%d): conflict asymmetry: %v vs %v", a, b, errF, errR)
+				}
+				if errF != nil && !errors.As(errF, &ceF) {
+					t.Fatalf("merge(%d,%d): %v", a, b, errF)
+				}
+				if ceF != nil {
+					fk, rk := conflictKeys(fwd), conflictKeys(rev)
+					if fmt.Sprint(fk) != fmt.Sprint(rk) {
+						t.Fatalf("merge(%d,%d): conflict keys differ: %v vs %v", a, b, fk, rk)
+					}
+					// Policy mirror: ours one way == theirs the other way.
+					po, err := d.Merge(fmt.Sprint(a), fmt.Sprint(b), MergeOurs, "")
+					if err != nil {
+						t.Fatal(err)
+					}
+					pt, err := d.Merge(fmt.Sprint(b), fmt.Sprint(a), MergeTheirs, "")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if contentOf(t, d, po.Version) != contentOf(t, d, pt.Version) {
+						t.Fatalf("merge(%d,%d): ours/theirs not mirror images", a, b)
+					}
+					continue
+				}
+
+				// Conflict-free: contents commute...
+				if contentOf(t, d, fwd.Version) != contentOf(t, d, rev.Version) {
+					t.Fatalf("merge(%d,%d): not commutative", a, b)
+				}
+				// ...and true merge commits equal the bitmap formula exactly.
+				if !fwd.UpToDate && !fwd.FastForward {
+					base, _ := cvd.RlistSet(fwd.Base)
+					oursSet, _ := cvd.RlistSet(a)
+					theirsSet, _ := cvd.RlistSet(b)
+					merged, _ := cvd.RlistSet(fwd.Version)
+					if !merged.Equal(formulaMembers(base, oursSet, theirsSet)) {
+						t.Fatalf("merge(%d,%d): rlist deviates from the bitmap formula", a, b)
+					}
+					// The merge version re-merged with either parent is a
+					// no-op (it contains both sides).
+					again, err := d.Merge(fmt.Sprint(fwd.Version), fmt.Sprint(a), MergeFail, "")
+					if err != nil || !again.UpToDate {
+						t.Fatalf("re-merge of parent not up-to-date: %+v, %v", again, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergePropertyKeyless runs the same DAG shapes without a primary key:
+// merges must never conflict and must always equal the formula.
+func TestMergePropertyKeyless(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := NewStore()
+	d, err := s.Init("nk", []Column{{Name: "val", Type: KindString}}, InitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vids []VersionID
+	v1, err := d.Commit([]Row{{String("x")}, {String("y")}}, nil, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vids = append(vids, v1)
+	for i := 0; i < 10; i++ {
+		parent := vids[rng.Intn(len(vids))]
+		rows, err := d.Checkout(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next []Row
+		for _, r := range rows {
+			if rng.Intn(4) != 0 {
+				next = append(next, r)
+			}
+		}
+		next = append(next, Row{String(fmt.Sprintf("n%d", i))})
+		v, err := d.Commit(next, []VersionID{parent}, fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vids = append(vids, v)
+	}
+	cvd := d.CVD()
+	for trial := 0; trial < 20; trial++ {
+		a := vids[rng.Intn(len(vids))]
+		b := vids[rng.Intn(len(vids))]
+		res, err := d.Merge(fmt.Sprint(a), fmt.Sprint(b), MergeFail, "")
+		if err != nil {
+			t.Fatalf("keyless merge(%d,%d): %v", a, b, err)
+		}
+		if len(res.Conflicts) != 0 {
+			t.Fatalf("keyless merge(%d,%d) conflicted", a, b)
+		}
+		if !res.UpToDate && !res.FastForward {
+			base, _ := cvd.RlistSet(res.Base)
+			oursSet, _ := cvd.RlistSet(a)
+			theirsSet, _ := cvd.RlistSet(b)
+			merged, _ := cvd.RlistSet(res.Version)
+			if !merged.Equal(formulaMembers(base, oursSet, theirsSet)) {
+				t.Fatalf("keyless merge(%d,%d) deviates from formula", a, b)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package orpheusdb
 
 import (
 	"sort"
+	"strconv"
 
 	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
@@ -89,6 +90,17 @@ func (s *Store) Run(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runParsed(stmt)
+}
+
+// runParsed executes one parsed statement with the locking its kind needs.
+// Branch and merge statements dispatch to the store's branch layer (which
+// takes its own locks and WAL-logs); everything else runs through the SQL
+// executor under the save lock.
+func (s *Store) runParsed(stmt sql.Stmt) (*Result, error) {
+	if res, handled, err := s.runBranchStmt(stmt); handled {
+		return res, err
+	}
 	writes := stmtWrites(stmt)
 	defer s.lockForStmts(stmt)()
 	plain := stmtReferencesPlainTables(stmt)
@@ -108,10 +120,22 @@ func (s *Store) Run(src string) (*Result, error) {
 }
 
 // RunScript executes a semicolon-separated script, returning the last result.
+// A script containing branch or merge statements runs statement by statement
+// (each under its own locking), since those statements acquire the store's
+// locks themselves; pure SQL scripts keep the single save-lock window.
 func (s *Store) RunScript(src string) (*Result, error) {
 	stmts, err := sql.ParseScript(src)
 	if err != nil {
 		return nil, err
+	}
+	if scriptHasBranchStmt(stmts) {
+		res := &Result{}
+		for _, stmt := range stmts {
+			if res, err = s.runParsed(stmt); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
 	}
 	defer s.lockForStmts(stmts...)()
 	res := &Result{}
@@ -145,6 +169,81 @@ func (s *Store) RunScript(src string) (*Result, error) {
 	return res, nil
 }
 
+// scriptHasBranchStmt reports whether any statement is a branch/merge op.
+func scriptHasBranchStmt(stmts []sql.Stmt) bool {
+	for _, st := range stmts {
+		switch st.(type) {
+		case *sql.CreateBranchStmt, *sql.DropBranchStmt, *sql.MergeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// refString renders a statement's version-or-branch reference pair as the
+// string form Dataset.Merge and friends resolve.
+func refString(vid int64, branch string) string {
+	if branch != "" {
+		return branch
+	}
+	return strconv.FormatInt(vid, 10)
+}
+
+// runBranchStmt dispatches the ORPHEUSDB branch/merge statements to the
+// store's branch layer. handled is false for every other statement.
+func (s *Store) runBranchStmt(stmt sql.Stmt) (*Result, bool, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateBranchStmt:
+		d, err := s.Dataset(st.CVD)
+		if err != nil {
+			return nil, true, err
+		}
+		// Resolve an explicit anchor through ResolveRef so a nonsense
+		// `FROM VERSION 0` is rejected rather than read as "latest".
+		at := VersionID(0)
+		if st.FromBranch != "" || st.From >= 0 {
+			if at, err = d.ResolveRef(refString(st.From, st.FromBranch)); err != nil {
+				return nil, true, err
+			}
+		}
+		b, err := d.CreateBranch(st.Branch, at)
+		if err != nil {
+			return nil, true, err
+		}
+		return &Result{
+			Cols: []string{"branch", "head"},
+			Rows: []Row{{String(b.Name), Int(int64(b.Head))}},
+		}, true, nil
+	case *sql.DropBranchStmt:
+		d, err := s.Dataset(st.CVD)
+		if err != nil {
+			return nil, true, err
+		}
+		if err := d.DeleteBranch(st.Branch); err != nil {
+			return nil, true, err
+		}
+		return &Result{Affected: 1}, true, nil
+	case *sql.MergeStmt:
+		d, err := s.Dataset(st.CVD)
+		if err != nil {
+			return nil, true, err
+		}
+		policy, err := ParseMergePolicy(st.Policy)
+		if err != nil {
+			return nil, true, err
+		}
+		res, err := d.Merge(refString(st.Ours, st.OursBranch), refString(st.Theirs, st.TheirsBranch), policy, "")
+		if err != nil {
+			return nil, true, err
+		}
+		return &Result{
+			Cols: []string{"version", "base", "conflicts"},
+			Rows: []Row{{Int(int64(res.Version)), Int(int64(res.Base)), Int(int64(len(res.Conflicts)))}},
+		}, true, nil
+	}
+	return nil, false, nil
+}
+
 // cvdSource resolves `VERSION ... OF CVD` references for the SQL executor,
 // serving materialized record sets from the store's checkout cache. locked
 // marks statements for which Run already holds every dataset's lock (plain
@@ -167,14 +266,24 @@ func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column,
 	if err := d.aliveLocked(); err != nil {
 		return nil, nil, err
 	}
+	version := ref.Version
+	if ref.Branch != "" {
+		// A branch name in the version slot resolves to the branch head
+		// under the same lock acquisition as the materialization.
+		v, err := d.cvd.ResolveRef(ref.Branch)
+		if err != nil {
+			return nil, nil, err
+		}
+		version = int64(v)
+	}
 	switch {
-	case ref.Version >= 0 && len(ref.ExtraVersions) > 0:
+	case version >= 0 && len(ref.ExtraVersions) > 0:
 		// Multi-version scan: membership is bitmap algebra over the
 		// versions' rlists; only the result records touch the data tables,
 		// and the whole materialization is cached under the chain's
 		// canonical key.
 		vids := make([]vgraph.VersionID, 0, len(ref.ExtraVersions)+1)
-		vids = append(vids, vgraph.VersionID(ref.Version))
+		vids = append(vids, vgraph.VersionID(version))
 		for _, v := range ref.ExtraVersions {
 			vids = append(vids, vgraph.VersionID(v))
 		}
@@ -191,8 +300,8 @@ func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column,
 			return nil, nil, err
 		}
 		return append([]engine.Column(nil), d.cvd.Columns()...), rows, nil
-	case ref.Version >= 0:
-		rows, err := d.cvd.Checkout(vgraph.VersionID(ref.Version))
+	case version >= 0:
+		rows, err := d.cvd.Checkout(vgraph.VersionID(version))
 		if err != nil {
 			return nil, nil, err
 		}

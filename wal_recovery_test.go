@@ -611,6 +611,202 @@ func TestWALOptimizeRecovery(t *testing.T) {
 	}
 }
 
+// TestWALBranchMergeRecovery replays the full branch/merge record set:
+// branch create/advance/delete and true merge commits must reconstruct the
+// identical branch heads, lineage bitmaps, and merged record sets.
+func TestWALBranchMergeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncAlways)
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1, 2)
+	v2 := mustCommit(t, d, []VersionID{v1}, "ours", 1, 2, 3)
+	v3 := mustCommit(t, d, []VersionID{v1}, "theirs", 1, 2, 4)
+	if _, err := d.CreateBranch("main", v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateBranch("doomed", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteBranch("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// True merge into the branch: logs one TypeMerge record that also
+	// advances the head on replay.
+	res, err := d.Merge("main", fmt.Sprint(v3), MergeFail, "merge v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast-forward a second branch: logs TypeBranchAdvance.
+	if _, err := d.CreateBranch("trail", v1); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := d.Merge("trail", fmt.Sprint(res.Version), MergeFail, "")
+	if err != nil || !ff.FastForward {
+		t.Fatalf("expected fast-forward, got %+v, %v", ff, err)
+	}
+	wantMain, err := d.Branch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, err := d.Checkout(res.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	r := openWALStore(t, dir, FsyncAlways)
+	defer crash(r)
+	rd, err := r.Dataset("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Branch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Head != wantMain.Head || !got.Lineage.Equal(wantMain.Lineage) {
+		t.Fatalf("recovered main = head %d lineage %v, want head %d lineage %v",
+			got.Head, got.Lineage.ToSlice(), wantMain.Head, wantMain.Lineage.ToSlice())
+	}
+	if !got.CreatedAt.Equal(wantMain.CreatedAt) {
+		t.Fatalf("recovered creation time %v, want %v", got.CreatedAt, wantMain.CreatedAt)
+	}
+	if trail, err := rd.Branch("trail"); err != nil || trail.Head != res.Version {
+		t.Fatalf("recovered trail = %+v, %v", trail, err)
+	}
+	if _, err := rd.Branch("doomed"); err == nil {
+		t.Fatal("deleted branch resurrected by replay")
+	}
+	rows, err := rd.Checkout(res.Version)
+	if err != nil || len(rows) != len(wantRows) {
+		t.Fatalf("recovered merge checkout: %d rows, %v; want %d", len(rows), err, len(wantRows))
+	}
+	// The recovered store keeps merging.
+	v6 := mustCommit(t, rd, []VersionID{res.Version}, "post", 9)
+	if post, err := rd.Merge("main", fmt.Sprint(v6), MergeFail, ""); err != nil || !post.FastForward {
+		t.Fatalf("post-recovery merge = %+v, %v", post, err)
+	}
+}
+
+// TestWALKillPointBranchMerge extends the kill-point matrix to branch/merge
+// records: the log (holding commits, branch creations, a conflicting merge
+// resolved by policy, and branch advances) is cut at arbitrary offsets;
+// every cut must recover a consistent prefix — branch heads always point at
+// existing versions, lineage bitmaps always equal the head's ancestry — and
+// the full log must replay to the identical branch head.
+func TestWALKillPointBranchMerge(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncOff)
+	d, err := s.Init("prot", protCols(), InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustCommit(t, d, nil, "v1", 1, 2, 3)
+	if _, err := d.CreateBranch("main", v1); err != nil {
+		t.Fatal(err)
+	}
+	v2 := mustCommit(t, d, []VersionID{v1}, "ours", 1, 2, 3, 10)
+	v3 := mustCommit(t, d, []VersionID{v1}, "theirs", 1, 2, 3, 20)
+	// Advance main onto ours via fast-forward, then a true merge of theirs.
+	if _, err := d.Merge("main", fmt.Sprint(v2), MergeFail, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Merge("main", fmt.Sprint(v3), MergeFail, "true merge"); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting pair resolved by policy (exercises TypeMerge with a
+	// non-default policy on replay).
+	v5 := mustCommit(t, d, []VersionID{v1}, "left", 1, 2, 3, 30)
+	v6 := mustCommit(t, d, []VersionID{v1}, "right", 1, 2, 3, 30)
+	_ = v5
+	if _, err := d.Merge("main", fmt.Sprint(v6), MergeTheirs, "resolved"); err != nil {
+		t.Fatal(err)
+	}
+	wantHead, err := d.Branch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVersions := len(d.Versions())
+	crash(s)
+
+	seg := filepath.Join(dir, "store.odb.wal")
+	segs := listSegments(t, seg)
+	if len(segs) != 1 {
+		t.Fatalf("want one segment, got %v", segs)
+	}
+	fi, err := os.Stat(filepath.Join(seg, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	step := int64(13)
+	if testing.Short() {
+		step = 131
+	}
+	for cut := int64(0); cut <= size; cut += step {
+		if cut+step > size {
+			cut = size
+		}
+		cutDir := copyWALDir(t, dir, cut)
+		r := openWALStore(t, cutDir, FsyncOff)
+		if names := r.List(); len(names) == 1 {
+			rd, err := r.Dataset("prot")
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			// Every recovered branch is internally consistent: its head
+			// exists and its lineage is exactly the head's ancestry.
+			for _, b := range rd.Branches() {
+				if _, err := rd.Info(b.Head); err != nil {
+					t.Fatalf("cut %d: branch %s head %d missing: %v", cut, b.Name, b.Head, err)
+				}
+				anc, err := rd.Ancestors(b.Head)
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				if want := int64(len(anc) + 1); b.Lineage.Cardinality() != want {
+					t.Fatalf("cut %d: branch %s lineage has %d versions, ancestry says %d",
+						cut, b.Name, b.Lineage.Cardinality(), want)
+				}
+				if !b.Lineage.Contains(int64(b.Head)) {
+					t.Fatalf("cut %d: branch %s lineage misses its own head", cut, b.Name)
+				}
+			}
+			// The recovered store accepts further branch/merge work.
+			if vs := rd.Versions(); len(vs) >= 2 {
+				if _, err := rd.Merge(fmt.Sprint(vs[len(vs)-1]), fmt.Sprint(vs[0]), MergeOurs, "probe"); err != nil {
+					t.Fatalf("cut %d: post-recovery merge: %v", cut, err)
+				}
+			}
+		}
+		if cut == size {
+			rd, err := r.Dataset("prot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Replay of the complete log converges to the identical head.
+			b, err := rd.Branch("main")
+			if err != nil {
+				t.Fatalf("uncut log lost branch main: %v", err)
+			}
+			if b.Head != wantHead.Head || !b.Lineage.Equal(wantHead.Lineage) {
+				t.Fatalf("uncut replay head = %d, want %d", b.Head, wantHead.Head)
+			}
+			// The probe merge above may have appended one version.
+			if got := len(rd.Versions()); got < wantVersions {
+				t.Fatalf("uncut replay recovered %d versions, want >= %d", got, wantVersions)
+			}
+			crash(r)
+			break
+		}
+		crash(r)
+	}
+}
+
 // TestWALStatusDisabled: WALStatus is meaningful without a WAL too.
 func TestWALStatusDisabled(t *testing.T) {
 	s := NewStore()

@@ -233,6 +233,28 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 		return err
 	case wal.TypeUserAdd:
 		return core.CreateUser(s.db, rec.User)
+	case wal.TypeBranchCreate:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		_, err = d.cvd.CreateBranchAt(rec.Branch, VersionID(rec.Version), time.Unix(0, rec.TimeNanos))
+		return err
+	case wal.TypeBranchDelete:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		return d.cvd.DeleteBranch(rec.Branch)
+	case wal.TypeBranchAdvance:
+		d, err := s.dataset(rec.Dataset)
+		if err != nil {
+			return err
+		}
+		_, err = d.cvd.AdvanceBranch(rec.Branch, VersionID(rec.Version))
+		return err
+	case wal.TypeMerge:
+		return s.replayMerge(rec)
 	case wal.TypeCheckpoint:
 		return nil
 	}
