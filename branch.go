@@ -1,6 +1,7 @@
 package orpheusdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -161,6 +162,16 @@ func (d *Dataset) MergeBase(oursRef, theirsRef string) (VersionID, bool, error) 
 // *MergeConflictError under MergeFail — the returned MergeResult carries the
 // conflict report either way.
 func (d *Dataset) Merge(oursRef, theirsRef string, policy MergePolicy, msg string) (*MergeResult, error) {
+	return d.MergeCtx(context.Background(), oursRef, theirsRef, policy, msg)
+}
+
+// MergeCtx is Merge with trace propagation and latency observation: the LCA
+// discovery, bitmap merge formula, merge commit, and WAL append contribute
+// nested spans when ctx carries a trace, and the end-to-end latency lands in
+// the merge histogram.
+func (d *Dataset) MergeCtx(ctx context.Context, oursRef, theirsRef string, policy MergePolicy, msg string) (*MergeResult, error) {
+	start := time.Now()
+	defer func() { d.store.obs.mergeSeconds.ObserveDuration(time.Since(start)) }()
 	// Trim up front so branch detection below sees exactly the form
 	// ResolveRef resolves (a padded branch ref must still advance it).
 	oursRef = strings.TrimSpace(oursRef)
@@ -186,7 +197,7 @@ func (d *Dataset) Merge(oursRef, theirsRef string, policy MergePolicy, msg strin
 	}
 	stats := d.store.db.Stats()
 	stats.Merges.Add(1)
-	res, err := d.cvd.Merge(ours, theirs, core.MergeOptions{Policy: policy, Message: msg})
+	res, err := d.cvd.MergeCtx(ctx, ours, theirs, core.MergeOptions{Policy: policy, Message: msg})
 	if res != nil {
 		stats.MergeConflicts.Add(int64(len(res.Conflicts)))
 	}
@@ -203,7 +214,7 @@ func (d *Dataset) Merge(oursRef, theirsRef string, policy MergePolicy, msg strin
 		if _, err := d.cvd.AdvanceBranch(oursBranch, res.Version); err != nil {
 			return res, err
 		}
-		if err := d.store.logMutation(&wal.Record{
+		if err := d.store.logMutationCtx(ctx, &wal.Record{
 			Type:    wal.TypeBranchAdvance,
 			Dataset: d.cvd.Name(),
 			Branch:  oursBranch,
@@ -240,7 +251,7 @@ func (d *Dataset) Merge(oursRef, theirsRef string, policy MergePolicy, msg strin
 	if set, serr := d.cvd.RlistSet(res.Version); serr == nil {
 		rec.Members = set
 	}
-	if err := d.store.logMutation(rec); err != nil {
+	if err := d.store.logMutationCtx(ctx, rec); err != nil {
 		return res, err
 	}
 	d.store.ScheduleSave()

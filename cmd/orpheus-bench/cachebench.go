@@ -9,6 +9,7 @@ import (
 	"time"
 
 	orpheusdb "orpheusdb"
+	"orpheusdb/internal/obs"
 )
 
 // cachebench measures the read path the checkout cache exists for: repeated
@@ -126,28 +127,27 @@ func cacheBench(args []string) error {
 			if err := op.run(); err != nil {
 				return fmt.Errorf("%s warmup: %w", op.name, err)
 			}
-			lat := make([]int64, 0, *iters)
+			// Latencies land in the same fixed-bucket histogram the service
+			// exports on /metrics, so bench percentiles and production
+			// percentiles come from one implementation.
+			hist := obs.NewHistogram(obs.LatencyBuckets)
 			start := time.Now()
 			for i := 0; i < *iters; i++ {
 				t0 := time.Now()
 				if err := op.run(); err != nil {
 					return fmt.Errorf("%s: %w", op.name, err)
 				}
-				lat = append(lat, time.Since(t0).Nanoseconds())
+				hist.ObserveDuration(time.Since(t0))
 			}
 			elapsed := time.Since(start)
-			var sum int64
-			for _, n := range lat {
-				sum += n
-			}
 			res := cacheBenchOp{
 				Op:        op.name,
 				Mode:      mode,
 				Iters:     *iters,
-				P50Nanos:  quantile(lat, 0.50),
-				P95Nanos:  quantile(lat, 0.95),
-				P99Nanos:  quantile(lat, 0.99),
-				MeanNs:    sum / int64(len(lat)),
+				P50Nanos:  hist.QuantileDuration(0.50).Nanoseconds(),
+				P95Nanos:  hist.QuantileDuration(0.95).Nanoseconds(),
+				P99Nanos:  hist.QuantileDuration(0.99).Nanoseconds(),
+				MeanNs:    int64(hist.Sum() / float64(hist.Count()) * 1e9),
 				OpsPerSec: float64(*iters) / elapsed.Seconds(),
 			}
 			rep.Ops = append(rep.Ops, res)

@@ -5,8 +5,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,11 +21,17 @@ import (
 // (`orpheus -d store.odb serve -addr :7077`). Commits are made durable
 // through the write-ahead log (enabled by default, see -wal* and -fsync
 // flags); snapshots happen as debounced checkpoints that also truncate the
-// log, and the store flushes on shutdown.
+// log, and the store flushes on shutdown. Observability comes built in:
+// Prometheus metrics on GET /metrics, request traces on GET /debug/traces
+// (slow-trace capture tuned by -slow), structured access logs leveled by
+// -log-level, and Go's runtime profiler on /debug/pprof/ behind -pprof.
 func cmdServe(store *orpheusdb.Store, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":7077", "listen address")
 	quiet := fs.Bool("quiet", false, "disable request logging")
+	logLevel := fs.String("log-level", "info", "access log level: debug|info|warn|error")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiles under /debug/pprof/")
+	slow := fs.Duration("slow", 0, "slow-trace threshold (0 keeps the default)")
 	saveDelay := fs.Duration("save-delay", orpheusdb.DefaultSaveDelay, "debounce interval for async checkpoints")
 	walOn := fs.Bool("wal", true, "write-ahead log every mutation (crash recovery)")
 	walDir := fs.String("wal-dir", "", "WAL segment directory (default <store>.wal)")
@@ -65,13 +72,35 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 		fmt.Fprintf(os.Stderr, "orpheus: WAL %s (fsync=%s, applied LSN %d)\n", st.Dir, st.Policy, st.AppliedLSN)
 	}
 
-	var logger *log.Logger
+	if *slow > 0 {
+		store.Tracer().SetSlowThreshold(*slow)
+	}
+	var logger *slog.Logger
 	if !*quiet {
-		logger = log.New(os.Stderr, "orpheus: ", log.LstdFlags)
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("serve: bad -log-level %q: %w", *logLevel, err)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+	var handler http.Handler = server.New(store, logger)
+	if *pprofOn {
+		// The API mux stays authoritative for everything else; only the
+		// profiler prefix is diverted, and only when asked for — profiles
+		// expose heap contents and should not be reachable by default.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		fmt.Fprintln(os.Stderr, "orpheus: pprof mounted on /debug/pprof/")
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(store, logger),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/cache"
 	"orpheusdb/internal/engine"
+	"orpheusdb/internal/obs"
 	"orpheusdb/internal/vgraph"
 )
 
@@ -39,6 +42,10 @@ type CVD struct {
 	// every mutator's critical section (the Store does, next to its WAL
 	// append).
 	cache *cache.Cache
+
+	// metrics, when set (SetMetrics), receives checkout and commit latency
+	// observations; individual histograms may be nil.
+	metrics *Metrics
 
 	// Clock supplies commit timestamps; replaceable for deterministic
 	// tests.
@@ -378,10 +385,18 @@ func (c *CVD) pkPositions() []int {
 // records: unchanged rows keep their rid, anything else becomes a new
 // record. Returns the new version id.
 func (c *CVD) Commit(rows []engine.Row, parents []vgraph.VersionID, msg string) (vgraph.VersionID, error) {
-	return c.commitAt(rows, parents, msg, c.Clock(), c.Clock())
+	return c.CommitCtx(context.Background(), rows, parents, msg)
 }
 
-func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string, checkoutT, commitT time.Time) (vgraph.VersionID, error) {
+// CommitCtx is Commit with trace propagation: the phases — record hash
+// matching against the parents, the model write, version metadata — each
+// contribute a span when ctx carries a trace.
+func (c *CVD) CommitCtx(ctx context.Context, rows []engine.Row, parents []vgraph.VersionID, msg string) (vgraph.VersionID, error) {
+	return c.commitAt(ctx, rows, parents, msg, c.Clock(), c.Clock())
+}
+
+func (c *CVD) commitAt(ctx context.Context, rows []engine.Row, parents []vgraph.VersionID, msg string, checkoutT, commitT time.Time) (vgraph.VersionID, error) {
+	start := time.Now()
 	for _, p := range parents {
 		if _, err := c.vm.info(p); err != nil {
 			return 0, err
@@ -411,6 +426,7 @@ func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string
 	// Match rows against parent records by content hash. The candidate set
 	// is the bitmap union of the parents' rlists (duplicates across parents
 	// collapse for free).
+	_, matchSpan := obs.StartSpan(ctx, "commit.match")
 	parentSet := bitmap.New()
 	for _, p := range parents {
 		set, err := c.vm.rlistSet(p)
@@ -445,11 +461,17 @@ func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string
 		all = append(all, rec)
 		fresh = append(fresh, rec)
 	}
+	matchSpan.SetAttr("rows", strconv.Itoa(len(all)))
+	matchSpan.SetAttr("fresh", strconv.Itoa(len(fresh)))
+	matchSpan.End()
 
 	vid := c.vm.allocVersion()
+	_, modelSpan := obs.StartSpan(ctx, "commit.model")
 	if err := c.model.Commit(vid, parents, all, fresh); err != nil {
+		modelSpan.End()
 		return 0, err
 	}
+	modelSpan.End()
 	rlist := make([]vgraph.RecordID, len(all))
 	for i, r := range all {
 		rlist[i] = r.RID
@@ -463,8 +485,14 @@ func (c *CVD) commitAt(rows []engine.Row, parents []vgraph.VersionID, msg string
 		Attributes:   append([]int64(nil), c.schema...),
 		NumRecords:   len(all),
 	}
-	if err := c.vm.add(info, rlist); err != nil {
+	_, metaSpan := obs.StartSpan(ctx, "commit.meta")
+	err := c.vm.add(info, rlist)
+	metaSpan.End()
+	if err != nil {
 		return 0, err
+	}
+	if c.metrics != nil {
+		c.metrics.Commit.ObserveDuration(time.Since(start))
 	}
 	return vid, nil
 }
@@ -488,19 +516,29 @@ func cacheVids(vids []vgraph.VersionID) []int64 {
 // miss) and returns the rows behind a fresh top-level slice, so callers may
 // append to or reorder the result without aliasing the cached copy. The rows
 // themselves stay shared and immutable, exactly like rows scanned straight
-// out of the engine.
-func (c *CVD) cachedRows(key string, compute func() ([]engine.Column, []engine.Row, error)) ([]engine.Column, []engine.Row, error) {
+// out of the engine. The returned hit flag reports whether this call served
+// from cache (false whenever the compute closure ran, even piggybacked on
+// another caller's in-flight computation via singleflight). The lookup
+// contributes a "checkout.cache" span when ctx carries a trace.
+func (c *CVD) cachedRows(ctx context.Context, key string, compute func(context.Context) ([]engine.Column, []engine.Row, error)) (_ []engine.Column, _ []engine.Row, hit bool, _ error) {
+	ctx, span := obs.StartSpan(ctx, "checkout.cache")
+	hit = true
 	e, err := c.cache.GetOrCompute(c.name, key, func() (cache.Entry, error) {
-		cols, rows, err := compute()
+		hit = false
+		cols, rows, err := compute(ctx)
 		if err != nil {
 			return cache.Entry{}, err
 		}
 		return cache.Entry{Cols: cols, Rows: rows}, nil
 	})
-	if err != nil {
-		return nil, nil, err
+	if span != nil {
+		span.SetAttr("hit", strconv.FormatBool(hit))
+		span.End()
 	}
-	return e.Cols, append([]engine.Row(nil), e.Rows...), nil
+	if err != nil {
+		return nil, nil, hit, err
+	}
+	return e.Cols, append([]engine.Row(nil), e.Rows...), hit, nil
 }
 
 // Checkout materializes the given versions as rows. With multiple versions,
@@ -514,33 +552,62 @@ func (c *CVD) cachedRows(key string, compute func() ([]engine.Column, []engine.R
 // preserved in the key for multi-version requests, whose precedence rule
 // makes order significant).
 func (c *CVD) Checkout(vids ...vgraph.VersionID) ([]engine.Row, error) {
+	return c.CheckoutCtx(context.Background(), vids...)
+}
+
+// CheckoutCtx is Checkout with trace propagation: when ctx carries a trace,
+// the cache lookup, bitmap resolution, and record fetch each contribute a
+// nested span, and the end-to-end latency lands in the hit or miss
+// histogram (SetMetrics).
+func (c *CVD) CheckoutCtx(ctx context.Context, vids ...vgraph.VersionID) ([]engine.Row, error) {
+	start := time.Now()
 	if c.cache == nil {
-		return c.checkoutUncached(vids...)
+		rows, err := c.checkoutUncached(ctx, vids...)
+		if err == nil {
+			c.observeCheckout(time.Since(start).Seconds(), false)
+		}
+		return rows, err
 	}
 	key := cache.Key(c.name, cacheVids(vids), nil, true)
-	_, rows, err := c.cachedRows(key, func() ([]engine.Column, []engine.Row, error) {
-		rows, err := c.checkoutUncached(vids...)
+	_, rows, hit, err := c.cachedRows(ctx, key, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
+		rows, err := c.checkoutUncached(ctx, vids...)
 		if err != nil {
 			return nil, nil, err
 		}
 		return append([]engine.Column(nil), c.cols...), rows, nil
 	})
+	if err == nil {
+		c.observeCheckout(time.Since(start).Seconds(), hit)
+	}
 	return rows, err
 }
 
-// checkoutUncached is Checkout's materialization path.
-func (c *CVD) checkoutUncached(vids ...vgraph.VersionID) ([]engine.Row, error) {
+// checkoutUncached is Checkout's materialization path: membership
+// resolution (validating the versions and touching their rlist bitmaps),
+// then the record fetch with rid/primary-key precedence dedup.
+func (c *CVD) checkoutUncached(ctx context.Context, vids ...vgraph.VersionID) ([]engine.Row, error) {
 	if len(vids) == 0 {
 		return nil, fmt.Errorf("core: %s: checkout needs at least one version", c.name)
 	}
+	_, bitmapSpan := obs.StartSpan(ctx, "bitmap.resolve")
+	for _, vid := range vids {
+		if _, err := c.vm.info(vid); err != nil {
+			bitmapSpan.End()
+			return nil, err
+		}
+		if _, err := c.vm.rlistSet(vid); err != nil {
+			bitmapSpan.End()
+			return nil, err
+		}
+	}
+	bitmapSpan.End()
+	_, fetchSpan := obs.StartSpan(ctx, "record.fetch")
+	defer fetchSpan.End()
 	pos := c.pkPositions()
 	seenPK := make(map[string]bool)
 	seenRid := make(map[vgraph.RecordID]bool)
 	var out []engine.Row
 	for _, vid := range vids {
-		if _, err := c.vm.info(vid); err != nil {
-			return nil, err
-		}
 		recs, err := c.model.Checkout(vid)
 		if err != nil {
 			return nil, err
@@ -566,6 +633,7 @@ func (c *CVD) checkoutUncached(vids ...vgraph.VersionID) ([]engine.Row, error) {
 			out = append(out, rec.Data)
 		}
 	}
+	fetchSpan.SetAttr("rows", strconv.Itoa(len(out)))
 	return out, nil
 }
 
@@ -670,36 +738,60 @@ func (c *CVD) MembershipSet(vids []vgraph.VersionID, ops []SetOp) (*bitmap.Bitma
 // canonicalize commutative chains (pure UNION, pure INTERSECT), so
 // `VERSION 2 UNION 3` and `VERSION 3 UNION 2` share one entry.
 func (c *CVD) MultiVersionCheckout(vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+	return c.MultiVersionCheckoutCtx(context.Background(), vids, ops)
+}
+
+// MultiVersionCheckoutCtx is MultiVersionCheckout with trace propagation and
+// hit/miss latency observation, mirroring CheckoutCtx.
+func (c *CVD) MultiVersionCheckoutCtx(ctx context.Context, vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+	start := time.Now()
 	if c.cache == nil {
-		return c.multiVersionCheckoutUncached(vids, ops)
+		rows, err := c.multiVersionCheckoutUncached(ctx, vids, ops)
+		if err == nil {
+			c.observeCheckout(time.Since(start).Seconds(), false)
+		}
+		return rows, err
 	}
 	opBytes := make([]uint8, len(ops))
 	for i, op := range ops {
 		opBytes[i] = uint8(op)
 	}
 	key := cache.Key(c.name, cacheVids(vids), opBytes, false)
-	_, rows, err := c.cachedRows(key, func() ([]engine.Column, []engine.Row, error) {
-		rows, err := c.multiVersionCheckoutUncached(vids, ops)
+	_, rows, hit, err := c.cachedRows(ctx, key, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
+		rows, err := c.multiVersionCheckoutUncached(ctx, vids, ops)
 		if err != nil {
 			return nil, nil, err
 		}
 		return append([]engine.Column(nil), c.cols...), rows, nil
 	})
+	if err == nil {
+		c.observeCheckout(time.Since(start).Seconds(), hit)
+	}
 	return rows, err
 }
 
 // multiVersionCheckoutUncached is MultiVersionCheckout's materialization
-// path.
-func (c *CVD) multiVersionCheckoutUncached(vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+// path: bitmap algebra over the rlists, then one fetch of the surviving
+// records.
+func (c *CVD) multiVersionCheckoutUncached(ctx context.Context, vids []vgraph.VersionID, ops []SetOp) ([]engine.Row, error) {
+	_, bitmapSpan := obs.StartSpan(ctx, "bitmap.resolve")
 	for _, v := range vids {
 		if _, err := c.vm.info(v); err != nil {
+			bitmapSpan.End()
 			return nil, err
 		}
 	}
 	set, err := c.MembershipSet(vids, ops)
 	if err != nil {
+		bitmapSpan.End()
 		return nil, err
 	}
+	if bitmapSpan != nil {
+		bitmapSpan.SetAttr("records", strconv.FormatInt(set.Cardinality(), 10))
+		bitmapSpan.End()
+	}
+	_, fetchSpan := obs.StartSpan(ctx, "record.fetch")
+	defer fetchSpan.End()
 	return c.fetchRows(set, vids...)
 }
 
@@ -708,13 +800,28 @@ func (c *CVD) multiVersionCheckoutUncached(vids []vgraph.VersionID, ops []SetOp)
 // (version, record) pair — the "table with versioned records" of Figure 1a,
 // generated on the fly and cached like any other checkout.
 func (c *CVD) AllVersionsCheckout() ([]engine.Column, []engine.Row, error) {
-	if c.cache == nil {
-		return c.allVersionsUncached()
-	}
-	return c.cachedRows(cache.AllVersionsKey(c.name), c.allVersionsUncached)
+	return c.AllVersionsCheckoutCtx(context.Background())
 }
 
-func (c *CVD) allVersionsUncached() ([]engine.Column, []engine.Row, error) {
+// AllVersionsCheckoutCtx is AllVersionsCheckout with trace propagation and
+// hit/miss latency observation.
+func (c *CVD) AllVersionsCheckoutCtx(ctx context.Context) ([]engine.Column, []engine.Row, error) {
+	start := time.Now()
+	if c.cache == nil {
+		cols, rows, err := c.allVersionsUncached(ctx)
+		if err == nil {
+			c.observeCheckout(time.Since(start).Seconds(), false)
+		}
+		return cols, rows, err
+	}
+	cols, rows, hit, err := c.cachedRows(ctx, cache.AllVersionsKey(c.name), c.allVersionsUncached)
+	if err == nil {
+		c.observeCheckout(time.Since(start).Seconds(), hit)
+	}
+	return cols, rows, err
+}
+
+func (c *CVD) allVersionsUncached(ctx context.Context) ([]engine.Column, []engine.Row, error) {
 	cols := append([]engine.Column{{Name: "vid", Type: engine.KindInt}},
 		append([]engine.Column(nil), c.cols...)...)
 	var out []engine.Row
@@ -722,7 +829,7 @@ func (c *CVD) allVersionsUncached() ([]engine.Column, []engine.Row, error) {
 		// Uncached per-version materialization on purpose: the aggregate
 		// view is cached as one entry, and also inserting N per-version
 		// entries would double-store every record and churn the LRU.
-		rows, err := c.checkoutUncached(v)
+		rows, err := c.checkoutUncached(ctx, v)
 		if err != nil {
 			return nil, nil, err
 		}

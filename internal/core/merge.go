@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 	"orpheusdb/internal/merge"
+	"orpheusdb/internal/obs"
 	"orpheusdb/internal/vgraph"
 )
 
@@ -74,10 +76,17 @@ func (e *ConflictError) Error() string {
 // parents (ours, theirs). With PolicyFail and conflicts present the error is
 // a *ConflictError carrying the report.
 func (c *CVD) Merge(ours, theirs vgraph.VersionID, opts MergeOptions) (*MergeResult, error) {
-	return c.mergeAt(ours, theirs, opts, c.Clock())
+	return c.MergeCtx(context.Background(), ours, theirs, opts)
 }
 
-func (c *CVD) mergeAt(ours, theirs vgraph.VersionID, opts MergeOptions, at time.Time) (*MergeResult, error) {
+// MergeCtx is Merge with trace propagation: LCA discovery, the bitmap merge
+// formula (including record fetch and conflict detection), and the merge
+// commit each contribute a span when ctx carries a trace.
+func (c *CVD) MergeCtx(ctx context.Context, ours, theirs vgraph.VersionID, opts MergeOptions) (*MergeResult, error) {
+	return c.mergeAt(ctx, ours, theirs, opts, c.Clock())
+}
+
+func (c *CVD) mergeAt(ctx context.Context, ours, theirs vgraph.VersionID, opts MergeOptions, at time.Time) (*MergeResult, error) {
 	if _, err := c.vm.info(ours); err != nil {
 		return nil, err
 	}
@@ -85,37 +94,47 @@ func (c *CVD) mergeAt(ours, theirs vgraph.VersionID, opts MergeOptions, at time.
 		return nil, err
 	}
 	res := &MergeResult{Ours: ours, Theirs: theirs}
+	_, lcaSpan := obs.StartSpan(ctx, "merge.lca")
 	ancO, err := c.ancestrySet(ours)
 	if err != nil {
+		lcaSpan.End()
 		return nil, err
 	}
 	ancT, err := c.ancestrySet(theirs)
 	if err != nil {
+		lcaSpan.End()
 		return nil, err
 	}
 	if ancO.Contains(int64(theirs)) {
+		lcaSpan.End()
 		res.Version, res.Base, res.UpToDate = ours, theirs, true
 		return res, nil
 	}
 	if ancT.Contains(int64(ours)) {
+		lcaSpan.End()
 		res.Version, res.Base, res.FastForward = theirs, ours, true
 		return res, nil
 	}
 	levels := c.vm.levels()
 	base, ok := merge.LCAFromSets(ancO, ancT, func(v vgraph.VersionID) int { return levels[v] })
+	lcaSpan.End()
+	_, formulaSpan := obs.StartSpan(ctx, "merge.formula")
 	baseSet := bitmap.New()
 	if ok {
 		res.Base = base
 		if baseSet, err = c.vm.rlistSet(base); err != nil {
+			formulaSpan.End()
 			return nil, err
 		}
 	}
 	oursSet, err := c.vm.rlistSet(ours)
 	if err != nil {
+		formulaSpan.End()
 		return nil, err
 	}
 	theirsSet, err := c.vm.rlistSet(theirs)
 	if err != nil {
+		formulaSpan.End()
 		return nil, err
 	}
 	pos := c.pkPositions()
@@ -147,6 +166,7 @@ func (c *CVD) mergeAt(ours, theirs vgraph.VersionID, opts MergeOptions, at time.
 			return out, nil
 		},
 	})
+	formulaSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +174,9 @@ func (c *CVD) mergeAt(ours, theirs vgraph.VersionID, opts MergeOptions, at time.
 	if mres.Members == nil {
 		return res, &ConflictError{CVD: c.name, Result: res}
 	}
+	_, commitSpan := obs.StartSpan(ctx, "merge.commit")
 	vid, err := c.commitMerged(mres.Members, ours, theirs, opts, at)
+	commitSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"orpheusdb/internal/engine"
@@ -76,6 +77,12 @@ func (c *CVD) loadSchema() (bool, error) {
 // attributes are added to the pool, and conflicting types are widened. The
 // new version's visible schema is exactly cols.
 func (c *CVD) CommitWithSchema(cols []engine.Column, rows []engine.Row, parents []vgraph.VersionID, msg string) (vgraph.VersionID, error) {
+	return c.CommitWithSchemaCtx(context.Background(), cols, rows, parents, msg)
+}
+
+// CommitWithSchemaCtx is CommitWithSchema with trace propagation (the commit
+// phases contribute spans when ctx carries a trace).
+func (c *CVD) CommitWithSchemaCtx(ctx context.Context, cols []engine.Column, rows []engine.Row, parents []vgraph.VersionID, msg string) (vgraph.VersionID, error) {
 	for i, r := range rows {
 		if len(r) != len(cols) {
 			return 0, fmt.Errorf("core: %s: commit row %d has %d values, want %d", c.name, i, len(r), len(cols))
@@ -154,7 +161,7 @@ func (c *CVD) CommitWithSchema(cols []engine.Column, rows []engine.Row, parents 
 		phys[i] = pr
 	}
 
-	vid, err := c.commitAt(phys, parents, msg, c.Clock(), c.Clock())
+	vid, err := c.commitAt(ctx, phys, parents, msg, c.Clock(), c.Clock())
 	if err != nil {
 		return 0, err
 	}

@@ -132,8 +132,14 @@ func (d StatSnapshot) IOCost() int64 {
 	return d.SeqPages + RandCost*d.RandPages
 }
 
-// String formats the snapshot for logs and experiment output.
+// String formats the snapshot for logs and experiment output, covering every
+// counter group: scan I/O, checkpointing, the checkout cache, and
+// branch/merge activity.
 func (d StatSnapshot) String() string {
-	return fmt.Sprintf("seq=%d rand=%d rows=%d probes=%d cost=%d",
-		d.SeqPages, d.RandPages, d.RowsScanned, d.IndexProbes, d.IOCost())
+	return fmt.Sprintf("seq=%d rand=%d rows=%d probes=%d hash=%d cost=%d"+
+		" ckpt=%d ckptBytes=%d cacheHit=%d cacheMiss=%d cacheEvict=%d"+
+		" branches=%d merges=%d conflicts=%d",
+		d.SeqPages, d.RandPages, d.RowsScanned, d.IndexProbes, d.HashBuilds, d.IOCost(),
+		d.Checkpoints, d.CheckpointBytes, d.CacheHits, d.CacheMisses, d.CacheEvictions,
+		d.BranchCreates, d.Merges, d.MergeConflicts)
 }

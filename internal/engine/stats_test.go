@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The snapshot formatter must report every counter group — PRs 3–5 added
+// checkpoint, cache, and branch/merge counters that the original format
+// silently dropped from experiment output.
+func TestStatSnapshotStringCoversAllCounters(t *testing.T) {
+	var s Stats
+	s.SeqPages.Store(1)
+	s.RandPages.Store(2)
+	s.RowsScanned.Store(3)
+	s.IndexProbes.Store(4)
+	s.HashBuilds.Store(5)
+	s.Checkpoints.Store(6)
+	s.CheckpointBytes.Store(7)
+	s.CacheHits.Store(8)
+	s.CacheMisses.Store(9)
+	s.CacheEvictions.Store(10)
+	s.BranchCreates.Store(11)
+	s.Merges.Store(12)
+	s.MergeConflicts.Store(13)
+
+	got := s.Snapshot().String()
+	for _, want := range []string{
+		"seq=1", "rand=2", "rows=3", "probes=4", "hash=5",
+		"ckpt=6", "ckptBytes=7",
+		"cacheHit=8", "cacheMiss=9", "cacheEvict=10",
+		"branches=11", "merges=12", "conflicts=13",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("StatSnapshot.String() missing %q: %s", want, got)
+		}
+	}
+}

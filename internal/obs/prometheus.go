@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one sample line per series — histograms expand to cumulative
+// _bucket{le=...} samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.fn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labelNames, s.labels, "", ""), formatFloat(s.fn()))
+	case s.c != nil:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labelNames, s.labels, "", ""), s.c.Value())
+	case s.g != nil:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labelNames, s.labels, "", ""), s.g.Value())
+	case s.h != nil:
+		cum, total := s.h.snapshot()
+		for i, bound := range s.h.bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelSet(f.labelNames, s.labels, "le", formatFloat(bound)), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelSet(f.labelNames, s.labels, "le", "+Inf"), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+			labelSet(f.labelNames, s.labels, "", ""), formatFloat(s.h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+			labelSet(f.labelNames, s.labels, "", ""), total)
+	}
+}
+
+// labelSet renders {k="v",...} from the family's label names and this
+// series' values, appending an extra pair (the histogram "le") when given.
+// Returns "" when there are no labels at all.
+func labelSet(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as text/plain exposition for GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer captures per-request traces: a root span started by the HTTP
+// middleware (or a bench driver), with nested timed spans opened by each
+// layer the request passes through — SQL parse/execute, checkout cache
+// lookup, bitmap resolution, record fetch, WAL append. Finished traces land
+// in a fixed-size ring of recent traces; traces whose total duration crosses
+// the slow threshold additionally land in the slow ring, which GET
+// /debug/traces serves as JSON.
+//
+// Span handles are nil-safe: code holding a context with no active trace
+// gets nil spans back from StartSpan and every method on them is a no-op, so
+// uninstrumented entry points (library use, tests) pay nothing.
+type Tracer struct {
+	threshold atomic.Int64 // nanoseconds; traces at or above land in slow ring
+	slowTotal Counter      // cumulative count of slow traces
+
+	mu     sync.Mutex
+	recent *traceRing
+	slow   *traceRing
+
+	// OnSlow, when set before use, is invoked (outside the ring lock) for
+	// every trace crossing the threshold — the server points it at its
+	// structured log.
+	OnSlow func(TraceData)
+}
+
+// DefaultSlowThreshold flags operations slower than 250ms — an order of
+// magnitude above a cold multi-version checkout on the paper-scale datasets.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// NewTracer builds a tracer keeping the last `recent` finished traces and
+// the last `slow` threshold-crossing traces (both capped at sane minimums).
+func NewTracer(recent, slow int, threshold time.Duration) *Tracer {
+	if recent < 1 {
+		recent = 1
+	}
+	if slow < 1 {
+		slow = 1
+	}
+	t := &Tracer{recent: newTraceRing(recent), slow: newTraceRing(slow)}
+	t.threshold.Store(int64(threshold))
+	return t
+}
+
+// SetSlowThreshold changes the slow-trace threshold at runtime (tests set it
+// to 0 to capture everything).
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.threshold.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-trace threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.threshold.Load()) }
+
+// SlowCount returns how many traces have crossed the threshold so far.
+func (t *Tracer) SlowCount() int64 { return t.slowTotal.Value() }
+
+// Span is one timed region of a trace. Create children with StartSpan on the
+// context returned by the parent. All methods are nil-safe.
+type Span struct {
+	trace  *activeTrace
+	parent *Span
+
+	name     string
+	start    time.Time
+	duration time.Duration // set by End, guarded by trace.mu
+	attrs    []attr
+	children []*Span
+	ended    bool
+}
+
+type attr struct{ k, v string }
+
+// activeTrace is the in-flight tree; it flattens to TraceData when the root
+// span ends.
+type activeTrace struct {
+	tracer *Tracer
+	id     string
+	mu     sync.Mutex // guards every span's mutable fields
+	root   *Span
+}
+
+type ctxKey int
+
+const spanCtxKey ctxKey = 0
+
+// StartTrace opens a new trace rooted at a span named name and returns a
+// context carrying it. The returned context must flow into every layer that
+// should contribute spans; call End on the root to finish the trace.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	at := &activeTrace{tracer: t, id: newTraceID()}
+	root := &Span{trace: at, name: name, start: time.Now()}
+	at.root = root
+	return context.WithValue(ctx, spanCtxKey, root), root
+}
+
+// StartSpan opens a child of the span carried by ctx. When ctx carries no
+// trace it returns (ctx, nil) and the nil span's methods are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	at := parent.trace
+	s := &Span{trace: at, parent: parent, name: name, start: time.Now()}
+	at.mu.Lock()
+	parent.children = append(parent.children, s)
+	at.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey, s), s
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when untraced.
+func TraceID(ctx context.Context) string {
+	if s, _ := ctx.Value(spanCtxKey).(*Span); s != nil {
+		return s.trace.id
+	}
+	return ""
+}
+
+// ID returns the owning trace's ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.id
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, attr{k, v})
+	s.trace.mu.Unlock()
+}
+
+// End closes the span. Ending the root span finishes the trace: it is
+// snapshotted into the recent ring and, past the threshold, the slow ring.
+// Double-End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	at := s.trace
+	at.mu.Lock()
+	if s.ended {
+		at.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.duration = time.Since(s.start)
+	isRoot := s.parent == nil
+	var data TraceData
+	if isRoot {
+		data = at.snapshotLocked()
+	}
+	at.mu.Unlock()
+	if !isRoot {
+		return
+	}
+	t := at.tracer
+	slow := data.DurationNanos >= t.threshold.Load()
+	t.mu.Lock()
+	t.recent.push(data)
+	if slow {
+		t.slow.push(data)
+	}
+	t.mu.Unlock()
+	if slow {
+		t.slowTotal.Inc()
+		if t.OnSlow != nil {
+			t.OnSlow(data)
+		}
+	}
+}
+
+// TraceData is an immutable finished trace, shaped for JSON on
+// GET /debug/traces.
+type TraceData struct {
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Start         time.Time `json:"start"`
+	DurationNanos int64     `json:"duration_ns"`
+	Root          SpanData  `json:"root"`
+}
+
+// SpanData is one finished span in a TraceData tree. Offsets are relative to
+// the trace start so a reader can lay spans on one timeline.
+type SpanData struct {
+	Name          string            `json:"name"`
+	OffsetNanos   int64             `json:"offset_ns"`
+	DurationNanos int64             `json:"duration_ns"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Children      []SpanData        `json:"children,omitempty"`
+}
+
+func (at *activeTrace) snapshotLocked() TraceData {
+	root := at.root
+	return TraceData{
+		ID:            at.id,
+		Name:          root.name,
+		Start:         root.start,
+		DurationNanos: int64(root.duration),
+		Root:          snapshotSpanLocked(root, root.start),
+	}
+}
+
+func snapshotSpanLocked(s *Span, origin time.Time) SpanData {
+	d := SpanData{
+		Name:          s.name,
+		OffsetNanos:   int64(s.start.Sub(origin)),
+		DurationNanos: int64(s.duration),
+	}
+	if !s.ended {
+		// A child left open when the root ends is reported as running until
+		// trace end rather than with a zero duration.
+		d.DurationNanos = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.k] = a.v
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, snapshotSpanLocked(c, origin))
+	}
+	return d
+}
+
+// Snapshot returns the retained traces, newest first.
+type Snapshot struct {
+	SlowThresholdNanos int64       `json:"slow_threshold_ns"`
+	SlowTotal          int64       `json:"slow_total"`
+	Slow               []TraceData `json:"slow"`
+	Recent             []TraceData `json:"recent"`
+}
+
+// Snapshot copies the current recent and slow rings, newest first.
+func (t *Tracer) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Snapshot{
+		SlowThresholdNanos: t.threshold.Load(),
+		SlowTotal:          t.slowTotal.Value(),
+		Slow:               t.slow.newestFirst(),
+		Recent:             t.recent.newestFirst(),
+	}
+}
+
+// traceRing is a fixed-capacity overwrite-oldest buffer.
+type traceRing struct {
+	buf  []TraceData
+	next int
+	full bool
+}
+
+func newTraceRing(n int) *traceRing { return &traceRing{buf: make([]TraceData, n)} }
+
+func (r *traceRing) push(d TraceData) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *traceRing) newestFirst() []TraceData {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]TraceData, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+var traceCounter atomic.Uint64
+
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// process-local counter rather than failing the request.
+		n := traceCounter.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

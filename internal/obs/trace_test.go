@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceNestedSpans(t *testing.T) {
+	tr := NewTracer(8, 8, time.Hour)
+	ctx, root := tr.StartTrace(context.Background(), "GET /api/v1/checkout")
+	root.SetAttr("dataset", "demo")
+
+	cctx, cache := StartSpan(ctx, "checkout.cache")
+	_, bitmap := StartSpan(cctx, "bitmap.resolve")
+	bitmap.End()
+	_, fetch := StartSpan(cctx, "record.fetch")
+	fetch.SetAttr("rows", "42")
+	fetch.End()
+	cache.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Recent) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(snap.Recent))
+	}
+	td := snap.Recent[0]
+	if td.ID == "" || len(td.ID) != 16 {
+		t.Fatalf("bad trace id %q", td.ID)
+	}
+	if td.Name != "GET /api/v1/checkout" || td.Root.Attrs["dataset"] != "demo" {
+		t.Fatalf("root mangled: %+v", td.Root)
+	}
+	if len(td.Root.Children) != 1 || td.Root.Children[0].Name != "checkout.cache" {
+		t.Fatalf("cache span missing: %+v", td.Root.Children)
+	}
+	kids := td.Root.Children[0].Children
+	if len(kids) != 2 || kids[0].Name != "bitmap.resolve" || kids[1].Name != "record.fetch" {
+		t.Fatalf("nested spans wrong: %+v", kids)
+	}
+	if kids[1].Attrs["rows"] != "42" {
+		t.Fatalf("span attr lost: %+v", kids[1])
+	}
+	if len(snap.Slow) != 0 {
+		t.Fatalf("trace under threshold landed in slow ring: %+v", snap.Slow)
+	}
+}
+
+func TestSlowTraceCaptured(t *testing.T) {
+	tr := NewTracer(8, 8, 0) // threshold 0: everything is slow
+	var hooked TraceData
+	tr.OnSlow = func(d TraceData) { hooked = d }
+
+	ctx, root := tr.StartTrace(context.Background(), "slow-op")
+	_, s := StartSpan(ctx, "inner")
+	s.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Slow) != 1 || snap.Slow[0].Name != "slow-op" {
+		t.Fatalf("slow ring = %+v, want the slow-op trace", snap.Slow)
+	}
+	if snap.SlowTotal != 1 || tr.SlowCount() != 1 {
+		t.Fatalf("slow total = %d, want 1", snap.SlowTotal)
+	}
+	if hooked.Name != "slow-op" {
+		t.Fatalf("OnSlow hook got %+v", hooked)
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatal("StartSpan without a trace must return a nil span")
+	}
+	s.SetAttr("k", "v")
+	s.End() // must not panic
+	if TraceID(ctx) != "" {
+		t.Fatalf("TraceID on untraced ctx = %q, want empty", TraceID(ctx))
+	}
+	var nilTracer *Tracer
+	ctx2, root := nilTracer.StartTrace(context.Background(), "x")
+	if root != nil || TraceID(ctx2) != "" {
+		t.Fatal("nil tracer must produce nil spans")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(2, 2, time.Hour)
+	for _, name := range []string{"a", "b", "c"} {
+		_, root := tr.StartTrace(context.Background(), name)
+		root.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Recent) != 2 || snap.Recent[0].Name != "c" || snap.Recent[1].Name != "b" {
+		t.Fatalf("ring = %+v, want newest-first [c b]", snap.Recent)
+	}
+}
+
+func TestUnendedChildReported(t *testing.T) {
+	tr := NewTracer(2, 2, time.Hour)
+	ctx, root := tr.StartTrace(context.Background(), "leaky")
+	StartSpan(ctx, "never-ended")
+	time.Sleep(time.Millisecond)
+	root.End()
+	snap := tr.Snapshot()
+	kid := snap.Recent[0].Root.Children[0]
+	if kid.Name != "never-ended" || kid.DurationNanos <= 0 {
+		t.Fatalf("unended child should report elapsed time: %+v", kid)
+	}
+}
+
+func TestSlowThresholdRuntimeChange(t *testing.T) {
+	tr := NewTracer(4, 4, time.Hour)
+	_, r1 := tr.StartTrace(context.Background(), "fast")
+	r1.End()
+	tr.SetSlowThreshold(0)
+	_, r2 := tr.StartTrace(context.Background(), "now-slow")
+	r2.End()
+	snap := tr.Snapshot()
+	if len(snap.Slow) != 1 || snap.Slow[0].Name != "now-slow" {
+		t.Fatalf("slow ring = %+v, want only now-slow", snap.Slow)
+	}
+}

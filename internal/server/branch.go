@@ -148,7 +148,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err.Error()))
 		return
 	}
-	res, err := d.Merge(req.Ours, req.Theirs, policy, req.Message)
+	res, err := d.MergeCtx(r.Context(), req.Ours, req.Theirs, policy, req.Message)
 	if err != nil {
 		var ce *orpheusdb.MergeConflictError
 		if errors.As(err, &ce) {

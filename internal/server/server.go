@@ -6,6 +6,8 @@
 // Routes (all under /api/v1 unless noted):
 //
 //	GET    /healthz                                   liveness + last async save error
+//	GET    /metrics                                   Prometheus text exposition (store registry)
+//	GET    /debug/traces                              recent + slow request traces (JSON)
 //	GET    /api/v1/stats                              engine I/O counters
 //	GET    /api/v1/datasets                           list CVDs
 //	POST   /api/v1/datasets                           init a CVD
@@ -39,6 +41,12 @@
 // The Store's own locking makes every handler safe under concurrency:
 // commits on one dataset proceed in parallel with checkouts on another, and
 // persistence is debounced off the request path via Store.ScheduleSave.
+//
+// Every request runs under a trace: the server opens a root span named after
+// the matched route, hands the traced context to the handler (whose checkout,
+// commit, merge, and SQL phases contribute nested spans), answers with the
+// trace id in X-Orpheus-Trace, and records per-route latency and status
+// counts in the store's metrics registry — served right back on GET /metrics.
 package server
 
 import (
@@ -46,32 +54,55 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	orpheusdb "orpheusdb"
+	"orpheusdb/internal/obs"
 )
 
 // Server is the HTTP face of one Store.
 type Server struct {
 	store *orpheusdb.Store
 	mux   *http.ServeMux
-	log   *log.Logger
+	log   *slog.Logger
+
+	// HTTP-layer metrics, registered on the store's registry so one scrape
+	// covers both the service and the store beneath it.
+	reqSeconds *obs.HistogramVec // latency by (method, route)
+	reqTotal   *obs.CounterVec   // count by (method, route, status)
+	respBytes  *obs.Counter      // cumulative response body bytes
 }
 
 // New builds a Server around store. logger may be nil to disable request
-// logging.
-func New(store *orpheusdb.Store, logger *log.Logger) *Server {
-	s := &Server{store: store, mux: http.NewServeMux(), log: logger}
+// logging. New registers the HTTP metric families on store's registry, so
+// build at most one Server per Store.
+func New(store *orpheusdb.Store, logger *slog.Logger) *Server {
+	reg := store.Metrics()
+	s := &Server{
+		store: store,
+		mux:   http.NewServeMux(),
+		log:   logger,
+		reqSeconds: reg.HistogramVec("orpheus_http_request_seconds",
+			"HTTP request latency by method and matched route.",
+			obs.LatencyBuckets, "method", "route"),
+		reqTotal: reg.CounterVec("orpheus_http_requests_total",
+			"HTTP requests by method, matched route, and status code.",
+			"method", "route", "status"),
+		respBytes: reg.Counter("orpheus_http_response_bytes_total",
+			"Cumulative HTTP response body bytes written."),
+	}
 	s.routes()
 	return s
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.store.Metrics().Handler())
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /api/v1/datasets", s.handleInitDataset)
@@ -98,15 +129,91 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/cache/flush", s.handleCacheFlush)
 }
 
-// ServeHTTP implements http.Handler with optional request logging.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.log != nil {
-		start := time.Now()
-		s.mux.ServeHTTP(w, r)
-		s.log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-		return
+// statusRecorder wraps a ResponseWriter to capture the status code and body
+// byte count for the access log and the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if !rec.wrote {
+		rec.status = code
+		rec.wrote = true
 	}
-	s.mux.ServeHTTP(w, r)
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(p []byte) (int, error) {
+	rec.wrote = true // implicit 200 on first Write without WriteHeader
+	n, err := rec.ResponseWriter.Write(p)
+	rec.bytes += int64(n)
+	return n, err
+}
+
+// Flush keeps streaming responses working through the wrapper.
+func (rec *statusRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// route returns the mux pattern the request will dispatch to, method prefix
+// stripped (the method is its own metric label). Unrouted requests — 404s and
+// 405s — collapse into one "none" series instead of minting a series per
+// probed path.
+func (s *Server) route(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return "none"
+	}
+	if _, rest, ok := strings.Cut(pattern, " "); ok {
+		return rest
+	}
+	return pattern
+}
+
+// ServeHTTP implements http.Handler. Each request is dispatched under a root
+// trace span named "METHOD route" (the trace id is echoed in X-Orpheus-Trace),
+// its status and response size are captured through a wrapped writer, and its
+// latency and status land in the per-route histograms and counters. With a
+// logger configured, one structured access-log line is emitted per request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := s.route(r)
+	ctx, span := s.store.Tracer().StartTrace(r.Context(), r.Method+" "+route)
+	traceID := obs.TraceID(ctx)
+	if traceID != "" {
+		w.Header().Set("X-Orpheus-Trace", traceID)
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	elapsed := time.Since(start)
+	span.SetAttr("status", strconv.Itoa(rec.status))
+	span.End()
+	s.reqSeconds.With(r.Method, route).ObserveDuration(elapsed)
+	s.reqTotal.With(r.Method, route, strconv.Itoa(rec.status)).Inc()
+	s.respBytes.Add(rec.bytes)
+	if s.log != nil {
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur", elapsed.Round(time.Microsecond),
+			"trace", traceID,
+		)
+	}
+}
+
+// handleTraces serves the tracer's ring buffers: recent completed traces and
+// traces that crossed the slow-operation threshold, newest first, each with
+// its nested span tree.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Tracer().Snapshot())
 }
 
 // decodeBody parses a JSON request body with numeric fidelity preserved
@@ -362,7 +469,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, badRequest(err.Error()))
 			return
 		}
-		vid, err = d.CommitWithSchema(cols, rows, versionIDs(req.Parents), req.Message)
+		vid, err = d.CommitWithSchemaCtx(r.Context(), cols, rows, versionIDs(req.Parents), req.Message)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -373,7 +480,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, badRequest(err.Error()))
 			return
 		}
-		vid, err = d.Commit(rows, versionIDs(req.Parents), req.Message)
+		vid, err = d.CommitCtx(r.Context(), rows, versionIDs(req.Parents), req.Message)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -449,7 +556,7 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	cols, rows, gen, err := d.CheckoutWithToken(vids...)
+	cols, rows, gen, err := d.CheckoutWithTokenCtx(r.Context(), vids...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -665,9 +772,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var res *orpheusdb.Result
 	var err error
 	if req.Script {
-		res, err = s.store.RunScript(req.SQL)
+		res, err = s.store.RunScriptCtx(r.Context(), req.SQL)
 	} else {
-		res, err = s.store.Run(req.SQL)
+		res, err = s.store.RunCtx(r.Context(), req.SQL)
 	}
 	if err != nil {
 		writeError(w, err)

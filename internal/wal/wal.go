@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"orpheusdb/internal/obs"
 )
 
 // Policy selects when appended records reach stable storage.
@@ -75,6 +77,13 @@ type Options struct {
 	// SyncInterval is the background fsync cadence under PolicyInterval
 	// (default 50ms).
 	SyncInterval time.Duration
+	// AppendBytes, when set, observes the framed size of every appended
+	// record, and FsyncSeconds the latency of every fsync (both the
+	// per-append syncs of PolicyAlways and the background syncs of
+	// PolicyInterval). Histogram methods are nil-safe, so leaving these
+	// unset costs nothing.
+	AppendBytes  *obs.Histogram
+	FsyncSeconds *obs.Histogram
 }
 
 // Log is an append-only record log over a directory of segment files. All
@@ -334,11 +343,11 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	}
 	l.segBytes += int64(len(frame))
 	l.nextLSN++
+	l.opts.AppendBytes.Observe(float64(len(frame)))
 	switch l.opts.Policy {
 	case PolicyAlways:
-		if err := l.f.Sync(); err != nil {
-			l.broken = err
-			return lsn, fmt.Errorf("wal: fsync: %w", err)
+		if err := l.syncLocked(); err != nil {
+			return lsn, err
 		}
 	case PolicyInterval:
 		l.dirty = true
@@ -365,10 +374,12 @@ func (l *Log) syncLocked() error {
 	if l.closed || l.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.broken = err
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	l.opts.FsyncSeconds.ObserveDuration(time.Since(start))
 	l.dirty = false
 	return nil
 }

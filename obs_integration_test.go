@@ -1,0 +1,59 @@
+package orpheusdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCheckoutLatencyHistogramsSplitHitMiss commits a dataset large enough
+// that materializing it measurably outweighs a cache lookup, then checks the
+// two checkout histograms tell the story: the cold checkout lands in the miss
+// series, the hot repeats land in the hit series, and the hit p50 sits below
+// the miss p50 — the distribution pair /metrics exposes as
+// orpheus_checkout_seconds{result=...}.
+func TestCheckoutLatencyHistogramsSplitHitMiss(t *testing.T) {
+	s := NewStore()
+	ds, err := s.Init("wide", []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "payload", Type: KindString},
+	}, InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), String(fmt.Sprintf("payload-%06d", i))}
+	}
+	vid, err := ds.Commit(rows, nil, "bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ds.Checkout(vid); err != nil { // cold: materializes
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ { // hot: served from the checkout cache
+		if _, err := ds.Checkout(vid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hit, miss := s.obs.core.CheckoutHit, s.obs.core.CheckoutMiss
+	if got := miss.Count(); got < 1 {
+		t.Fatalf("miss histogram count = %d, want >= 1", got)
+	}
+	if got := hit.Count(); got < 20 {
+		t.Fatalf("hit histogram count = %d, want >= 20", got)
+	}
+	hitP50, missP50 := hit.Quantile(0.50), miss.Quantile(0.50)
+	if hitP50 <= 0 || missP50 <= 0 {
+		t.Fatalf("degenerate p50s: hit %v, miss %v", hitP50, missP50)
+	}
+	if hitP50 >= missP50 {
+		t.Fatalf("hot checkout p50 (%.6fs) not below cold checkout p50 (%.6fs)", hitP50, missP50)
+	}
+	if c := s.CacheStats(); c.Hits < 20 || c.Misses < 1 {
+		t.Fatalf("cache counters disagree with histograms: %+v", c)
+	}
+}

@@ -24,6 +24,7 @@
 package orpheusdb
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -169,6 +170,11 @@ type Store struct {
 	walCfg  WALConfig
 	walErr  error
 	ckptLSN atomic.Uint64
+
+	// obs is the store's observability substrate: metrics registry, tracer,
+	// and the histogram handles the layers observe into (see obs_store.go).
+	// Set once in newStore, then read-only.
+	obs *storeObs
 }
 
 func newStore(db *engine.DB, path string) *Store {
@@ -178,14 +184,17 @@ func newStore(db *engine.DB, path string) *Store {
 	// content (the in-memory generation counters would otherwise restart
 	// at zero and could collide).
 	c.SeedEpoch(uint64(time.Now().UnixNano()))
-	return &Store{
+	s := &Store{
 		db:        db,
 		path:      path,
 		user:      "default",
 		datasets:  make(map[string]*Dataset),
 		saveDelay: DefaultSaveDelay,
 		cache:     c,
+		obs:       newStoreObs(),
 	}
+	s.registerCollectors()
+	return s
 }
 
 // NewStore creates an in-memory store.
@@ -418,6 +427,7 @@ func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, er
 		return nil, err
 	}
 	c.SetCache(s.cache)
+	c.SetMetrics(s.obs.core)
 	// A dropped dataset of the same name may have left clients holding
 	// version tokens; advancing the generation keeps them from validating
 	// against the new incarnation.
@@ -463,6 +473,7 @@ func (s *Store) dataset(name string) (*Dataset, error) {
 		return nil, err
 	}
 	c.SetCache(s.cache)
+	c.SetMetrics(s.obs.core)
 	d := &Dataset{store: s, cvd: c}
 	s.datasets[name] = d
 	return d, nil
@@ -558,6 +569,13 @@ func (d *Dataset) Info(v VersionID) (*VersionInfo, error) {
 
 // Commit adds a new version derived from parents and returns its id.
 func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	return d.CommitCtx(context.Background(), rows, parents, msg)
+}
+
+// CommitCtx is Commit with trace propagation: when ctx carries a trace (the
+// HTTP middleware starts one per request), the core commit phases and the
+// WAL append contribute nested spans.
+func (d *Dataset) CommitCtx(ctx context.Context, rows []Row, parents []VersionID, msg string) (VersionID, error) {
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -565,14 +583,14 @@ func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID
 	if err := d.aliveLocked(); err != nil {
 		return 0, err
 	}
-	v, err := d.cvd.Commit(rows, parents, msg)
+	v, err := d.cvd.CommitCtx(ctx, rows, parents, msg)
 	if err != nil {
 		return 0, err
 	}
 	// Invalidate before the WAL append: even if the append fails, the
 	// version exists in memory and readers must not see pre-commit entries.
 	d.store.cache.InvalidateDataset(d.cvd.Name())
-	if err := d.store.logMutation(d.commitRecord(wal.TypeCommit, nil, rows, parents, msg, v)); err != nil {
+	if err := d.store.logMutationCtx(ctx, d.commitRecord(wal.TypeCommit, nil, rows, parents, msg, v)); err != nil {
 		return v, err
 	}
 	d.store.ScheduleSave()
@@ -582,6 +600,12 @@ func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID
 // CommitWithSchema commits rows under a (possibly changed) schema,
 // exercising the single-pool schema evolution of Section 3.3.
 func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	return d.CommitWithSchemaCtx(context.Background(), cols, rows, parents, msg)
+}
+
+// CommitWithSchemaCtx is CommitWithSchema with trace propagation (see
+// CommitCtx).
+func (d *Dataset) CommitWithSchemaCtx(ctx context.Context, cols []Column, rows []Row, parents []VersionID, msg string) (VersionID, error) {
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -589,12 +613,12 @@ func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionI
 	if err := d.aliveLocked(); err != nil {
 		return 0, err
 	}
-	v, err := d.cvd.CommitWithSchema(cols, rows, parents, msg)
+	v, err := d.cvd.CommitWithSchemaCtx(ctx, cols, rows, parents, msg)
 	if err != nil {
 		return 0, err
 	}
 	d.store.cache.InvalidateDataset(d.cvd.Name()) // before WAL append; see Commit
-	if err := d.store.logMutation(d.commitRecord(wal.TypeCommitSchema, cols, rows, parents, msg, v)); err != nil {
+	if err := d.store.logMutationCtx(ctx, d.commitRecord(wal.TypeCommitSchema, cols, rows, parents, msg, v)); err != nil {
 		return v, err
 	}
 	d.store.ScheduleSave()
@@ -604,12 +628,19 @@ func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionI
 // Checkout materializes one or more versions as rows; with several versions
 // records merge in precedence order under the primary key.
 func (d *Dataset) Checkout(vids ...VersionID) ([]Row, error) {
+	return d.CheckoutCtx(context.Background(), vids...)
+}
+
+// CheckoutCtx is Checkout with trace propagation: when ctx carries a trace,
+// the cache lookup, bitmap resolution, and record fetch contribute nested
+// spans, and the latency lands in the hit/miss checkout histograms.
+func (d *Dataset) CheckoutCtx(ctx context.Context, vids ...VersionID) ([]Row, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.aliveLocked(); err != nil {
 		return nil, err
 	}
-	return d.cvd.Checkout(vids...)
+	return d.cvd.CheckoutCtx(ctx, vids...)
 }
 
 // CheckoutWithColumns returns the schema and the materialized rows under a
@@ -636,12 +667,18 @@ func (d *Dataset) CheckoutWithColumns(vids ...VersionID) ([]Column, []Row, error
 // guaranteed they are still current (the HTTP layer turns this into
 // ETag-style X-Orpheus-Version headers and 304 responses).
 func (d *Dataset) CheckoutWithToken(vids ...VersionID) ([]Column, []Row, uint64, error) {
+	return d.CheckoutWithTokenCtx(context.Background(), vids...)
+}
+
+// CheckoutWithTokenCtx is CheckoutWithToken with trace propagation (see
+// CheckoutCtx).
+func (d *Dataset) CheckoutWithTokenCtx(ctx context.Context, vids ...VersionID) ([]Column, []Row, uint64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.aliveLocked(); err != nil {
 		return nil, nil, 0, err
 	}
-	rows, err := d.cvd.Checkout(vids...)
+	rows, err := d.cvd.CheckoutCtx(ctx, vids...)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -793,12 +830,18 @@ func (d *Dataset) Diff(a, b VersionID) (onlyA, onlyB []Row, err error) {
 // records. Unlike Checkout, results are record-id algebra: no primary-key
 // precedence is applied.
 func (d *Dataset) MultiVersionCheckout(vids []VersionID, ops []SetOp) ([]Row, error) {
+	return d.MultiVersionCheckoutCtx(context.Background(), vids, ops)
+}
+
+// MultiVersionCheckoutCtx is MultiVersionCheckout with trace propagation
+// (see CheckoutCtx).
+func (d *Dataset) MultiVersionCheckoutCtx(ctx context.Context, vids []VersionID, ops []SetOp) ([]Row, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.aliveLocked(); err != nil {
 		return nil, err
 	}
-	return d.cvd.MultiVersionCheckout(vids, ops)
+	return d.cvd.MultiVersionCheckoutCtx(ctx, vids, ops)
 }
 
 // StorageBreakdown reports where the dataset's bytes live: compressed

@@ -1,11 +1,14 @@
 package orpheusdb
 
 import (
+	"context"
 	"sort"
 	"strconv"
+	"time"
 
 	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
+	"orpheusdb/internal/obs"
 	"orpheusdb/internal/sql"
 	"orpheusdb/internal/vgraph"
 )
@@ -86,28 +89,51 @@ func (s *Store) lockAllDatasets(write bool) func() {
 // flushed inside the same locked window: raw DML may have rewritten any
 // dataset's backing tables out from under the versioning layer.
 func (s *Store) Run(src string) (*Result, error) {
-	stmt, err := sql.Parse(src)
+	return s.RunCtx(context.Background(), src)
+}
+
+// RunCtx is Run with trace propagation and latency observation: the parse and
+// execution phases contribute "sql.parse" / "sql.execute" spans when ctx
+// carries a trace, and each lands in its histogram.
+func (s *Store) RunCtx(ctx context.Context, src string) (*Result, error) {
+	stmt, err := s.parseTimed(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	return s.runParsed(stmt)
+	return s.runParsed(ctx, stmt)
+}
+
+// parseTimed wraps sql.Parse with the sql.parse span and histogram.
+func (s *Store) parseTimed(ctx context.Context, src string) (sql.Stmt, error) {
+	_, span := obs.StartSpan(ctx, "sql.parse")
+	start := time.Now()
+	stmt, err := sql.Parse(src)
+	s.obs.sqlParseSeconds.ObserveDuration(time.Since(start))
+	span.End()
+	return stmt, err
 }
 
 // runParsed executes one parsed statement with the locking its kind needs.
 // Branch and merge statements dispatch to the store's branch layer (which
 // takes its own locks and WAL-logs); everything else runs through the SQL
 // executor under the save lock.
-func (s *Store) runParsed(stmt sql.Stmt) (*Result, error) {
-	if res, handled, err := s.runBranchStmt(stmt); handled {
+func (s *Store) runParsed(ctx context.Context, stmt sql.Stmt) (*Result, error) {
+	if res, handled, err := s.runBranchStmt(ctx, stmt); handled {
 		return res, err
 	}
+	ctx, span := obs.StartSpan(ctx, "sql.execute")
+	start := time.Now()
+	defer func() {
+		s.obs.sqlExecSeconds.ObserveDuration(time.Since(start))
+		span.End()
+	}()
 	writes := stmtWrites(stmt)
 	defer s.lockForStmts(stmt)()
 	plain := stmtReferencesPlainTables(stmt)
 	if writes || plain {
 		defer s.lockAllDatasets(writes)()
 	}
-	res, err := sql.RunWith(s.db, stmt, &cvdSource{s: s, locked: writes || plain})
+	res, err := sql.RunWith(s.db, stmt, &cvdSource{ctx: ctx, s: s, locked: writes || plain})
 	if writes {
 		// Still inside the exclusive window: invalidate before any reader
 		// can observe post-DML state through a stale entry. Even a failed
@@ -124,19 +150,37 @@ func (s *Store) runParsed(stmt sql.Stmt) (*Result, error) {
 // (each under its own locking), since those statements acquire the store's
 // locks themselves; pure SQL scripts keep the single save-lock window.
 func (s *Store) RunScript(src string) (*Result, error) {
+	return s.RunScriptCtx(context.Background(), src)
+}
+
+// RunScriptCtx is RunScript with trace propagation: the script-level parse
+// contributes one "sql.parse" span, and each executed statement its own
+// "sql.execute" span (scripts containing branch statements span per statement
+// through runParsed instead).
+func (s *Store) RunScriptCtx(ctx context.Context, src string) (*Result, error) {
+	_, pspan := obs.StartSpan(ctx, "sql.parse")
+	pstart := time.Now()
 	stmts, err := sql.ParseScript(src)
+	s.obs.sqlParseSeconds.ObserveDuration(time.Since(pstart))
+	pspan.End()
 	if err != nil {
 		return nil, err
 	}
 	if scriptHasBranchStmt(stmts) {
 		res := &Result{}
 		for _, stmt := range stmts {
-			if res, err = s.runParsed(stmt); err != nil {
+			if res, err = s.runParsed(ctx, stmt); err != nil {
 				return nil, err
 			}
 		}
 		return res, nil
 	}
+	ctx, span := obs.StartSpan(ctx, "sql.execute")
+	start := time.Now()
+	defer func() {
+		s.obs.sqlExecSeconds.ObserveDuration(time.Since(start))
+		span.End()
+	}()
 	defer s.lockForStmts(stmts...)()
 	res := &Result{}
 	wrote := false
@@ -151,7 +195,7 @@ func (s *Store) RunScript(src string) (*Result, error) {
 		w := stmtWrites(stmt)
 		wrote = wrote || w
 		plain := stmtReferencesPlainTables(stmt)
-		source := &cvdSource{s: s, locked: w || plain}
+		source := &cvdSource{ctx: ctx, s: s, locked: w || plain}
 		if w || plain {
 			unlock := s.lockAllDatasets(w)
 			res, err = sql.RunWith(s.db, stmt, source)
@@ -191,7 +235,7 @@ func refString(vid int64, branch string) string {
 
 // runBranchStmt dispatches the ORPHEUSDB branch/merge statements to the
 // store's branch layer. handled is false for every other statement.
-func (s *Store) runBranchStmt(stmt sql.Stmt) (*Result, bool, error) {
+func (s *Store) runBranchStmt(ctx context.Context, stmt sql.Stmt) (*Result, bool, error) {
 	switch st := stmt.(type) {
 	case *sql.CreateBranchStmt:
 		d, err := s.Dataset(st.CVD)
@@ -232,7 +276,7 @@ func (s *Store) runBranchStmt(stmt sql.Stmt) (*Result, bool, error) {
 		if err != nil {
 			return nil, true, err
 		}
-		res, err := d.Merge(refString(st.Ours, st.OursBranch), refString(st.Theirs, st.TheirsBranch), policy, "")
+		res, err := d.MergeCtx(ctx, refString(st.Ours, st.OursBranch), refString(st.Theirs, st.TheirsBranch), policy, "")
 		if err != nil {
 			return nil, true, err
 		}
@@ -250,8 +294,21 @@ func (s *Store) runBranchStmt(stmt sql.Stmt) (*Result, bool, error) {
 // tables or DML); taking the per-dataset read lock again would deadlock
 // against the held write lock, and is redundant under the held read lock.
 type cvdSource struct {
+	// ctx carries the statement's trace (if any) into the checkout layer, so
+	// a versioned query's cache lookup, bitmap algebra, and record fetch
+	// appear as spans nested under sql.execute. The executor's source
+	// interface has no ctx parameter, so the source pins it per statement.
+	ctx    context.Context
 	s      *Store
 	locked bool
+}
+
+// context returns the pinned statement context, tolerating zero-value sources.
+func (src *cvdSource) context() context.Context {
+	if src.ctx != nil {
+		return src.ctx
+	}
+	return context.Background()
 }
 
 func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column, []engine.Row, error) {
@@ -295,13 +352,13 @@ func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column,
 			}
 			ops[i] = op
 		}
-		rows, err := d.cvd.MultiVersionCheckout(vids, ops)
+		rows, err := d.cvd.MultiVersionCheckoutCtx(src.context(), vids, ops)
 		if err != nil {
 			return nil, nil, err
 		}
 		return append([]engine.Column(nil), d.cvd.Columns()...), rows, nil
 	case version >= 0:
-		rows, err := d.cvd.Checkout(vgraph.VersionID(version))
+		rows, err := d.cvd.CheckoutCtx(src.context(), vgraph.VersionID(version))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -310,7 +367,7 @@ func (src *cvdSource) MaterializeVersionRef(ref *sql.TableRef) ([]engine.Column,
 		// All-versions view: vid + data attributes, one row per
 		// (version, record) pair — the "table with versioned records" of
 		// Figure 1a, generated on the fly.
-		return d.cvd.AllVersionsCheckout()
+		return d.cvd.AllVersionsCheckoutCtx(src.context())
 	}
 }
 

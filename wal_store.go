@@ -80,6 +80,8 @@ func (s *Store) EnableWAL(cfg WALConfig) error {
 		SegmentBytes: cfg.SegmentBytes,
 		Policy:       cfg.Policy,
 		SyncInterval: cfg.SyncInterval,
+		AppendBytes:  s.obs.walAppendBytes,
+		FsyncSeconds: s.obs.walFsyncSeconds,
 	})
 	if err != nil {
 		return err
@@ -194,6 +196,7 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 			return err
 		}
 		c.SetCache(s.cache)
+		c.SetMetrics(s.obs.core)
 		s.datasets[rec.Dataset] = &Dataset{store: s, cvd: c}
 		return nil
 	case wal.TypeDrop:
