@@ -429,7 +429,9 @@ func BenchmarkRangeEncoding(b *testing.B) {
 // membershipFixture builds 8 overlapping version rlists over ~n records:
 // a dense shared core (90% of n) plus a sparse per-version tail — the shape
 // OrpheusDB commits produce (dense rid ranges with per-branch additions).
-func membershipFixture(n int) (slices [][]int64, bitmaps []*bitmap.Bitmap) {
+// It also loads the union of the rlists into an engine table, the partition
+// the checkout cell fetches from.
+func membershipFixture(n int) (slices [][]int64, bitmaps []*bitmap.Bitmap, tab *engine.Table) {
 	core := make([]int64, 0, n*9/10)
 	for r := int64(1); r <= int64(n*9/10); r++ {
 		core = append(core, r)
@@ -450,7 +452,21 @@ func membershipFixture(n int) (slices [][]int64, bitmaps []*bitmap.Bitmap) {
 		slices = append(slices, rl)
 		bitmaps = append(bitmaps, bitmap.FromSorted(rl))
 	}
-	return slices, bitmaps
+	db := engine.NewDB()
+	tab, err := db.CreateTable("part", []engine.Column{
+		{Name: "rid", Type: engine.KindInt},
+		{Name: "val", Type: engine.KindInt},
+	})
+	if err != nil {
+		panic(err)
+	}
+	union := bitmap.OrAll(bitmaps...)
+	for _, rid := range union.ToSlice() {
+		if _, err := tab.Insert(engine.Row{engine.IntValue(rid), engine.IntValue(rid * 3)}); err != nil {
+			panic(err)
+		}
+	}
+	return slices, bitmaps, tab
 }
 
 // Seed-style slice membership operations.
@@ -500,13 +516,26 @@ type membershipCase struct {
 	run  func(slices [][]int64, bitmaps []*bitmap.Bitmap) int
 }
 
-func membershipCases() []membershipCase {
+func membershipCases(tab *engine.Table) []membershipCase {
 	return []membershipCase{
+		// checkout fetches one version's rows from its partition table. The
+		// slice arm is the seed's plan: materialize the rlist (defensive
+		// copy, as Rlist must) and hash-join it against the scan, paying a
+		// map build per checkout. The bitmap arm hands the membership set
+		// straight to the probe scan (JoinRidsSet), skipping both.
 		{"checkout", func(s [][]int64, bm []*bitmap.Bitmap) int {
 			if s != nil {
-				return len(append([]int64(nil), s[0]...)) // defensive copy, as Rlist must
+				rows, err := engine.JoinRids(tab, 0, append([]int64(nil), s[0]...), engine.HashJoin)
+				if err != nil {
+					return -1
+				}
+				return len(rows)
 			}
-			return len(bm[0].ToSlice())
+			rows, err := engine.JoinRidsSet(tab, 0, bm[0], engine.HashJoin)
+			if err != nil {
+				return -1
+			}
+			return len(rows)
 		}},
 		{"diff", func(s [][]int64, bm []*bitmap.Bitmap) int {
 			if s != nil {
@@ -541,8 +570,8 @@ func membershipCases() []membershipCase {
 // BenchmarkRlistVsBitmap runs every (operation, scale, representation) cell.
 func BenchmarkRlistVsBitmap(b *testing.B) {
 	for _, scale := range []int{10_000, 100_000} {
-		slices, bitmaps := membershipFixture(scale)
-		for _, c := range membershipCases() {
+		slices, bitmaps, tab := membershipFixture(scale)
+		for _, c := range membershipCases(tab) {
 			b.Run(fmt.Sprintf("%s-%dk/slice", c.name, scale/1000), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if c.run(slices, nil) < 0 {
@@ -582,13 +611,13 @@ func TestEmitBitmapBenchJSON(t *testing.T) {
 	}
 	var cells []cell
 	for _, scale := range []int{10_000, 100_000} {
-		slices, bitmaps := membershipFixture(scale)
+		slices, bitmaps, tab := membershipFixture(scale)
 		var sliceBytes, bmBytes int64
 		for i := range slices {
 			sliceBytes += int64(len(slices[i])) * 8
 			bmBytes += bitmaps[i].SerializedSizeBytes()
 		}
-		for _, c := range membershipCases() {
+		for _, c := range membershipCases(tab) {
 			c := c
 			rs := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

@@ -255,6 +255,7 @@ func (d *Dataset) MergeCtx(ctx context.Context, oursRef, theirsRef string, polic
 		return res, err
 	}
 	d.store.ScheduleSave()
+	d.store.wakeOptimizer()
 	return res, nil
 }
 

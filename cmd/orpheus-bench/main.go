@@ -12,8 +12,10 @@
 // Three load-generator modes exist beyond the paper's artifacts: `http`
 // drives a running orpheus serve instance, `durability` measures
 // acknowledged-commit latency under each WAL fsync policy against the legacy
-// full-snapshot rewrite, and `cachebench` measures the read-heavy checkout
-// path with the version-aware cache disabled versus enabled.
+// full-snapshot rewrite, `cachebench` measures the read-heavy checkout
+// path with the version-aware cache disabled versus enabled, and `partbench`
+// sweeps the partitioner's δ tolerance on a ≥1M-record store, tracing the
+// checkout-latency-vs-storage-amplification curve through live migrations.
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       orpheus-bench http [-clients 32] [-duration 5s] [-url http://host:port] [-mix commit=20,checkout=40,diff=10,query=30]")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench durability [-commits 200] [-rows 100] [-modes snapshot-sync,always,interval,off] [-json BENCH_wal.json]")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench cachebench [-rows 2000] [-nversions 20] [-iters 300] [-json BENCH_cache.json]")
+		fmt.Fprintln(os.Stderr, "       orpheus-bench partbench [-versions 200] [-rows 5000] [-window 35000] [-deltas 2,1,0.5,0.1] [-json BENCH_partition.json]")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "http" {
@@ -60,6 +63,13 @@ func main() {
 	if flag.Arg(0) == "cachebench" {
 		if err := cacheBench(flag.Args()[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "orpheus-bench: cachebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "partbench" {
+		if err := partBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus-bench: partbench:", err)
 			os.Exit(1)
 		}
 		return

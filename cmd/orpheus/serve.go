@@ -38,6 +38,12 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 	fsync := fs.String("fsync", "interval", "WAL fsync policy: always|interval|off")
 	fsyncEvery := fs.Duration("fsync-interval", 50*time.Millisecond, "background fsync cadence for -fsync=interval")
 	segBytes := fs.Int64("wal-segment-bytes", 0, "rotate WAL segments past this size (default 16 MiB)")
+	optimize := fs.Bool("optimize", false, "run the background partition optimizer")
+	optGamma := fs.Float64("optimize-gamma", 2, "optimizer storage budget factor (γ = factor·|R|)")
+	optMu := fs.Float64("optimize-mu", 2, "optimizer drift trigger µ (0 observes without migrating)")
+	optBatch := fs.Int64("optimize-batch-rows", 4096, "max records a migration batch moves in one critical section")
+	optEvery := fs.Int("optimize-recompute-every", 16, "refresh C*avg every N observed commits")
+	optInterval := fs.Duration("optimize-interval", 30*time.Second, "fallback sweep period without commit traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +76,26 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 		}
 		st := store.WALStatus()
 		fmt.Fprintf(os.Stderr, "orpheus: WAL %s (fsync=%s, applied LSN %d)\n", st.Dir, st.Policy, st.AppliedLSN)
+	}
+
+	if *optimize {
+		mu := *optMu
+		if mu == 0 {
+			mu = orpheusdb.MuDisabled
+		}
+		opt, err := store.StartPartitionOptimizer(orpheusdb.PartitionOptimizerConfig{
+			GammaFactor:    *optGamma,
+			Mu:             mu,
+			BatchRows:      *optBatch,
+			RecomputeEvery: *optEvery,
+			Interval:       *optInterval,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		defer opt.Stop()
+		fmt.Fprintf(os.Stderr, "orpheus: partition optimizer on (gamma=%g mu=%g batch=%d)\n",
+			*optGamma, *optMu, *optBatch)
 	}
 
 	if *slow > 0 {

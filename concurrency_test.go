@@ -3,6 +3,8 @@ package orpheusdb
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -337,4 +339,189 @@ func TestSharedDatasetHandles(t *testing.T) {
 		t.Error("stale handle Checkout succeeded after Drop+Init")
 	}
 	_ = b
+}
+
+// checkoutFingerprint reduces a version's contents to an order-independent
+// string, safe to call from worker goroutines (no testing.T).
+func checkoutFingerprint(d *Dataset, v VersionID) (string, error) {
+	rows, err := d.Checkout(v)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprint(r)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n"), nil
+}
+
+// TestOptimizerMigrationUnderTraffic hammers the background optimizer:
+// drift-triggered and manual migrations rewrite the partition layout while
+// checkouts verify version contents byte-for-byte, commits extend the
+// chain, merges fork and join branches, and cache flushes keep emptying
+// the checkout cache. Under -race this exercises the optimizer's locking
+// against the whole read/write surface at once.
+func TestOptimizerMigrationUnderTraffic(t *testing.T) {
+	s := NewStore()
+	cols := []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "val", Type: KindString},
+	}
+	d, err := s.Init("hot", cols, InitOptions{Model: PartitionedRlist, PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Growing chain: version i holds 4(i+1) rows, so the single seed
+	// partition drifts and the optimizer keeps finding profitable splits.
+	rowsFor := func(n, extra int, tag string) []Row {
+		rows := make([]Row, 0, n+1)
+		for i := 0; i < n; i++ {
+			rows = append(rows, Row{Int(int64(i)), String("v")})
+		}
+		if extra >= 0 {
+			rows = append(rows, Row{Int(int64(extra)), String(tag)})
+		}
+		return rows
+	}
+	const seeded = 24
+	var vids []VersionID
+	last := VersionID(0)
+	for i := 0; i < seeded; i++ {
+		var parents []VersionID
+		if last != 0 {
+			parents = []VersionID{last}
+		}
+		v, err := d.Commit(rowsFor(4*(i+1), -1, ""), parents, fmt.Sprintf("seed %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vids = append(vids, v)
+		last = v
+	}
+	want := make(map[VersionID]string, len(vids))
+	for _, v := range vids {
+		fp, err := checkoutFingerprint(d, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[v] = fp
+	}
+
+	o, err := s.StartPartitionOptimizer(PartitionOptimizerConfig{
+		Mu:             1.05, // migrate on slight drift
+		RecomputeEvery: 1,
+		BatchRows:      64, // several critical sections per migration
+		Interval:       2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	run := func(name string, f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}()
+	}
+
+	for w := 0; w < 2; w++ {
+		w := w
+		run(fmt.Sprintf("checker%d", w), func() error {
+			for i := 0; i < 60; i++ {
+				v := vids[(i*7+w)%len(vids)]
+				fp, err := checkoutFingerprint(d, v)
+				if err != nil {
+					return err
+				}
+				if fp != want[v] {
+					return fmt.Errorf("version %d contents changed under migration", v)
+				}
+			}
+			return nil
+		})
+	}
+	run("committer", func() error {
+		tip := vids[len(vids)-1]
+		for i := 0; i < 20; i++ {
+			rows := rowsFor(4*seeded, 10000+i, "w")
+			v, err := d.Commit(rows, []VersionID{tip}, fmt.Sprintf("traffic %d", i))
+			if err != nil {
+				return err
+			}
+			tip = v
+		}
+		return nil
+	})
+	run("merger", func() error {
+		base := vids[len(vids)/2]
+		baseRows := 4 * (len(vids)/2 + 1)
+		for i := 0; i < 8; i++ {
+			ours, err := d.Commit(rowsFor(baseRows, 50000+i, "a"), []VersionID{base}, "ours")
+			if err != nil {
+				return err
+			}
+			theirs, err := d.Commit(rowsFor(baseRows, 60000+i, "b"), []VersionID{base}, "theirs")
+			if err != nil {
+				return err
+			}
+			bn := fmt.Sprintf("hammer-%d", i)
+			if _, err := d.CreateBranch(bn, ours); err != nil {
+				return err
+			}
+			if _, err := d.Merge(bn, fmt.Sprint(theirs), MergeFail, "join"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("flusher", func() error {
+		for i := 0; i < 40; i++ {
+			s.FlushCache()
+			if _, err := d.Checkout(vids[(i*11)%len(vids)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("trigger", func() error {
+		for i := 0; i < 10; i++ {
+			if _, err := o.Trigger("hot"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	o.Stop()
+
+	// Whatever layout the hammer left behind still serves every seeded
+	// version byte-for-byte, and the store still accepts writes.
+	for _, v := range vids {
+		fp, err := checkoutFingerprint(d, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != want[v] {
+			t.Errorf("version %d corrupted after hammer", v)
+		}
+	}
+	if _, err := d.Commit(rowsFor(4, 777, "post"), []VersionID{vids[len(vids)-1]}, "post-hammer"); err != nil {
+		t.Fatalf("store rejects writes after hammer: %v", err)
+	}
+	st, ok := d.PartitionStatus()
+	if !ok || len(st.Partitions) < 2 {
+		t.Fatalf("expected the optimizer to have split the layout (ok=%v, status %+v)", ok, st)
+	}
 }

@@ -155,38 +155,17 @@ func (b *Bitmap) Iterate(f func(v int64) bool) {
 	}
 }
 
-// ToSlice materializes the set as an ascending []int64. Containers are
-// walked with typed loops (no per-value closure), so materializing dense
-// membership is a tight append loop.
+// ToSlice materializes the set as an ascending []int64. The output is
+// preallocated at exact cardinality and filled with typed per-container loops
+// (no per-value closure); sets past a few thousand values are filled by a
+// worker pool over sub-container segments (see materialize.go), sized by
+// MaterializeWorkers.
 func (b *Bitmap) ToSlice() []int64 {
 	if b == nil {
 		return nil
 	}
-	out := make([]int64, 0, b.Cardinality())
-	for i, key := range b.keys {
-		hi := int64(key) << 16
-		c := b.cts[i]
-		switch c.typ {
-		case typeArray:
-			for _, low := range c.arr {
-				out = append(out, hi|int64(low))
-			}
-		case typeBitmap:
-			for w, word := range c.bits {
-				base := hi | int64(w<<6)
-				for word != 0 {
-					out = append(out, base|int64(trailingZeros(word)))
-					word &= word - 1
-				}
-			}
-		case typeRun:
-			for _, r := range c.runs {
-				for v := int(r.Start); v <= int(r.Last); v++ {
-					out = append(out, hi|int64(v))
-				}
-			}
-		}
-	}
+	out := make([]int64, b.Cardinality())
+	b.fillInto(out, MaterializeWorkers())
 	return out
 }
 

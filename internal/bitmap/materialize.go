@@ -1,0 +1,219 @@
+package bitmap
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Materialization: turning a bitmap back into an ascending []int64 is the
+// inner loop of every checkout (the record fetch joins against the
+// materialized rid list), so it gets two fast paths. Small sets fill a
+// preallocated slice with one sequential typed loop per container. Large sets
+// split the work into segments — sub-container ranges whose destination
+// offsets are known up front from cardinality prefix sums — and a worker pool
+// fills the segments concurrently. Sub-container splitting matters: a 10k-rid
+// membership usually lives in a single 64Ki-value container, so
+// container-granularity parallelism would degenerate to one worker.
+
+// materializeMinValues is the cardinality below which the sequential fill
+// always wins: goroutine fan-out costs a few microseconds, about what filling
+// 8k values costs in one loop.
+const materializeMinValues = 8192
+
+// materializeWorkers, when set, overrides the GOMAXPROCS-derived worker count
+// (tests pin it; 0 restores the default).
+var materializeWorkers atomic.Int32
+
+// SetMaterializeWorkers overrides the parallel-fill worker count. n <= 0
+// restores the GOMAXPROCS-aware default. Intended for tests and benchmarks.
+func SetMaterializeWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	materializeWorkers.Store(int32(n))
+}
+
+// MaterializeWorkers reports the worker count parallel fills will use:
+// GOMAXPROCS capped at 16 (memory bandwidth saturates well before that on
+// wider boxes), unless overridden by SetMaterializeWorkers.
+func MaterializeWorkers() int {
+	if v := materializeWorkers.Load(); v > 0 {
+		return int(v)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// matSeg is one independently fillable slice of the output: a sub-range of a
+// single container plus the destination window its values land in.
+type matSeg struct {
+	c   *container
+	dst []int64
+	hi  int64 // container key << 16
+	typ uint8
+	// typeArray: arr index range [lo,end). typeBitmap: word index range
+	// [lo,end). typeRun: inclusive value range [lo,end].
+	lo, end int
+}
+
+func (s *matSeg) fill() {
+	d := s.dst
+	switch s.typ {
+	case typeArray:
+		for i, low := range s.c.arr[s.lo:s.end] {
+			d[i] = s.hi | int64(low)
+		}
+	case typeBitmap:
+		idx := 0
+		for w := s.lo; w < s.end; w++ {
+			word := s.c.bits[w]
+			base := s.hi | int64(w<<6)
+			for word != 0 {
+				d[idx] = base | int64(trailingZeros(word))
+				idx++
+				word &= word - 1
+			}
+		}
+	case typeRun:
+		idx := 0
+		for v := s.lo; v <= s.end; v++ {
+			d[idx] = s.hi | int64(v)
+			idx++
+		}
+	}
+}
+
+// planSegments cuts the bitmap into segments of roughly target values each,
+// assigning every segment its destination window in out. The plan pass is a
+// single cheap walk: array and run containers cut on index arithmetic alone,
+// bitset containers pay one popcount per word (64 values) to learn the
+// destination offsets.
+func (b *Bitmap) planSegments(out []int64, target int) []matSeg {
+	segs := make([]matSeg, 0, len(b.cts)+len(out)/target)
+	off := 0
+	for i, key := range b.keys {
+		c := b.cts[i]
+		hi := int64(key) << 16
+		switch c.typ {
+		case typeArray:
+			for lo := 0; lo < len(c.arr); lo += target {
+				end := lo + target
+				if end > len(c.arr) {
+					end = len(c.arr)
+				}
+				segs = append(segs, matSeg{c: c, dst: out[off : off+end-lo], hi: hi, typ: typeArray, lo: lo, end: end})
+				off += end - lo
+			}
+		case typeBitmap:
+			lo, cnt := 0, 0
+			for w := range c.bits {
+				cnt += bits.OnesCount64(c.bits[w])
+				if cnt >= target || w == len(c.bits)-1 {
+					if cnt > 0 {
+						segs = append(segs, matSeg{c: c, dst: out[off : off+cnt], hi: hi, typ: typeBitmap, lo: lo, end: w + 1})
+						off += cnt
+					}
+					lo, cnt = w+1, 0
+				}
+			}
+		case typeRun:
+			for _, r := range c.runs {
+				for v := int(r.Start); v <= int(r.Last); v += target {
+					end := v + target - 1
+					if end > int(r.Last) {
+						end = int(r.Last)
+					}
+					segs = append(segs, matSeg{c: c, dst: out[off : off+end-v+1], hi: hi, typ: typeRun, lo: v, end: end})
+					off += end - v + 1
+				}
+			}
+		}
+	}
+	return segs
+}
+
+// fillInto materializes the set into out (len(out) must equal Cardinality),
+// in parallel when the set is large enough and workers allow.
+func (b *Bitmap) fillInto(out []int64, workers int) {
+	if int64(len(out)) < materializeMinValues || workers <= 1 {
+		b.fillSequential(out)
+		return
+	}
+	target := len(out) / (workers * 4)
+	if target < 2048 {
+		target = 2048
+	}
+	segs := b.planSegments(out, target)
+	if len(segs) <= 1 {
+		b.fillSequential(out)
+		return
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(segs)) {
+					return
+				}
+				segs[i].fill()
+			}
+		}()
+	}
+	// The calling goroutine works the same queue instead of blocking idle.
+	for {
+		i := next.Add(1) - 1
+		if i >= int64(len(segs)) {
+			break
+		}
+		segs[i].fill()
+	}
+	wg.Wait()
+}
+
+// fillSequential is the single-goroutine fill: the same typed per-container
+// loops as the parallel segments, writing through one running index.
+func (b *Bitmap) fillSequential(out []int64) {
+	idx := 0
+	for i, key := range b.keys {
+		hi := int64(key) << 16
+		c := b.cts[i]
+		switch c.typ {
+		case typeArray:
+			for _, low := range c.arr {
+				out[idx] = hi | int64(low)
+				idx++
+			}
+		case typeBitmap:
+			for w, word := range c.bits {
+				base := hi | int64(w<<6)
+				for word != 0 {
+					out[idx] = base | int64(trailingZeros(word))
+					idx++
+					word &= word - 1
+				}
+			}
+		case typeRun:
+			for _, r := range c.runs {
+				for v := int(r.Start); v <= int(r.Last); v++ {
+					out[idx] = hi | int64(v)
+					idx++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelMaterializeMatchesSequential checks that the segmented parallel
+// fill produces exactly the sequential ordering across container layouts
+// (dense runs, bitset-grade density, sparse arrays) and worker counts.
+func TestParallelMaterializeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]*Bitmap{}
+
+	dense := New()
+	for v := int64(1); v <= 150_000; v++ {
+		dense.Add(v)
+	}
+	shapes["dense-runs"] = dense
+
+	half := New()
+	for v := int64(0); v < 300_000; v++ {
+		if rng.Intn(2) == 0 {
+			half.Add(v)
+		}
+	}
+	shapes["bitset"] = half
+
+	sparse := New()
+	for i := 0; i < 40_000; i++ {
+		sparse.Add(rng.Int63n(1 << 30))
+	}
+	shapes["sparse-arrays"] = sparse
+
+	mixed := Or(dense, sparse)
+	mixed.Optimize()
+	shapes["mixed-optimized"] = mixed
+
+	small := FromSlice([]int64{3, 5, 65536, 70000})
+	shapes["tiny"] = small
+
+	for name, bm := range shapes {
+		want := make([]int64, bm.Cardinality())
+		bm.fillSequential(want)
+		for _, workers := range []int{1, 2, 3, 8} {
+			SetMaterializeWorkers(workers)
+			got := bm.ToSlice()
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: len %d, want %d", name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: got[%d]=%d, want %d", name, workers, i, got[i], want[i])
+				}
+			}
+		}
+		SetMaterializeWorkers(0)
+	}
+}

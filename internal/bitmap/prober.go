@@ -1,0 +1,38 @@
+package bitmap
+
+// Prober answers repeated Contains probes against one bitmap, caching the
+// container of the last probed high key. Scan-side probe streams (the
+// engine's bitmap-probe join walks a rid-clustered heap in order) hit the
+// same 64Ki-value container for long stretches, so the per-probe binary
+// search over container keys collapses to a single comparison. A Prober is
+// not safe for concurrent use — each worker takes its own — but any number
+// of Probers may share one bitmap as long as nothing mutates it.
+type Prober struct {
+	b     *Bitmap
+	key   uint64
+	c     *container
+	valid bool
+}
+
+// NewProber returns a probe cursor over b (which must not be mutated while
+// the prober is in use). A nil bitmap yields a prober that always answers
+// false.
+func NewProber(b *Bitmap) *Prober { return &Prober{b: b} }
+
+// Contains reports whether v is in the set.
+func (p *Prober) Contains(v int64) bool {
+	if p.b == nil || v < 0 {
+		return false
+	}
+	key := uint64(v) >> 16
+	if !p.valid || key != p.key {
+		p.key = key
+		p.valid = true
+		if i := p.b.findKey(key); i >= 0 {
+			p.c = p.b.cts[i]
+		} else {
+			p.c = nil
+		}
+	}
+	return p.c != nil && p.c.contains(uint16(v))
+}

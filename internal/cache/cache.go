@@ -61,10 +61,14 @@ type Entry struct {
 	Rows []engine.Row
 }
 
-// entry is the internal LRU node payload.
+// entry is the internal LRU node payload. vids, when set, tags the entry
+// with the version ids its rows were materialized from, enabling selective
+// invalidation (InvalidateVersions); untagged entries are treated as touching
+// every version.
 type entry struct {
 	key     string
 	dataset string
+	vids    *bitmap.Bitmap
 	val     Entry
 	bytes   int64
 }
@@ -227,6 +231,15 @@ func (c *Cache) lookup(key string) (Entry, bool) {
 // apply+invalidate. As insurance against misuse, the insert is skipped if the
 // dataset's generation moved while computing.
 func (c *Cache) GetOrCompute(dataset, key string, compute func() (Entry, error)) (Entry, error) {
+	return c.GetOrComputeTagged(dataset, key, nil, compute)
+}
+
+// GetOrComputeTagged is GetOrCompute with a version tag: vids names the
+// versions the materialization reads, so InvalidateVersions can drop exactly
+// the entries a partition migration touched. The bitmap is shared, not
+// copied; callers must not mutate it. A nil tag marks the entry as touching
+// every version.
+func (c *Cache) GetOrComputeTagged(dataset, key string, vids *bitmap.Bitmap, compute func() (Entry, error)) (Entry, error) {
 	c.mu.Lock()
 	if el, ok := c.elems[key]; ok {
 		c.ll.MoveToFront(el)
@@ -260,7 +273,7 @@ func (c *Cache) GetOrCompute(dataset, key string, compute func() (Entry, error))
 	c.mu.Lock()
 	delete(c.flight, key)
 	if f.err == nil && c.gens[dataset]+c.epoch == f.gen {
-		f.used = c.insertLocked(dataset, key, f.val)
+		f.used = c.insertLocked(dataset, key, vids, f.val)
 	}
 	c.mu.Unlock()
 	f.wg.Done()
@@ -269,7 +282,7 @@ func (c *Cache) GetOrCompute(dataset, key string, compute func() (Entry, error))
 
 // insertLocked stores val under key, evicting from the LRU tail until the
 // budget holds. Entries larger than the whole budget are not cached.
-func (c *Cache) insertLocked(dataset, key string, val Entry) bool {
+func (c *Cache) insertLocked(dataset, key string, vids *bitmap.Bitmap, val Entry) bool {
 	if c.budget <= 0 {
 		return false
 	}
@@ -283,7 +296,7 @@ func (c *Cache) insertLocked(dataset, key string, val Entry) bool {
 	if sz > c.budget {
 		return false
 	}
-	e := &entry{key: key, dataset: dataset, val: val, bytes: sz}
+	e := &entry{key: key, dataset: dataset, vids: vids, val: val, bytes: sz}
 	el := c.ll.PushFront(e)
 	c.elems[key] = el
 	ds := c.byDataset[dataset]
@@ -333,6 +346,24 @@ func (c *Cache) InvalidateDataset(dataset string) {
 	ds := c.byDataset[dataset]
 	for _, el := range ds {
 		c.removeLocked(el)
+	}
+}
+
+// InvalidateVersions removes dataset entries whose version tag intersects
+// vids; untagged entries are removed too (they may touch any version).
+// Unlike InvalidateDataset it does NOT bump the dataset's generation: its
+// caller is the partition migrator, whose batches preserve every version's
+// materialized contents — ETag validators minted before the migration remain
+// sound, only the row materializations must be refetched from the new layout.
+func (c *Cache) InvalidateVersions(dataset string, vids *bitmap.Bitmap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidations++
+	for _, el := range c.byDataset[dataset] {
+		e := el.Value.(*entry)
+		if e.vids == nil || e.vids.Intersects(vids) {
+			c.removeLocked(el)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"orpheusdb/internal/bitmap"
 	"orpheusdb/internal/engine"
 )
 
@@ -133,6 +134,49 @@ func TestInvalidateDatasetRemovesOnlyThatDataset(t *testing.T) {
 	}
 	if c.Generation("b") != 0 {
 		t.Fatalf("b generation moved: %d", c.Generation("b"))
+	}
+}
+
+// putTagged seeds an entry tagged with the versions it reads.
+func putTagged(c *Cache, ds, key string, vids []int64, e Entry) {
+	_, _ = c.GetOrComputeTagged(ds, key, bitmap.FromSlice(vids), func() (Entry, error) { return e, nil })
+}
+
+func TestInvalidateVersionsIsSelective(t *testing.T) {
+	c := New(1<<20, nil)
+	k := func(v int64) string { return Key("ds", []int64{v}, nil, true) }
+	putTagged(c, "ds", k(1), []int64{1}, entryOf(1))
+	putTagged(c, "ds", k(2), []int64{2}, entryOf(2))
+	putTagged(c, "ds", k(3), []int64{3}, entryOf(3))
+	// Untagged entries must be treated as touching every version.
+	put(c, "ds", AllVersionsKey("ds"), entryOf(1, 2, 3))
+	// Another dataset is out of scope entirely.
+	putTagged(c, "other", Key("other", []int64{2}, nil, true), []int64{2}, entryOf(2))
+
+	g0 := c.Generation("ds")
+	c.InvalidateVersions("ds", bitmap.FromSlice([]int64{2}))
+
+	hits := func(ds, key string) bool {
+		computed := false
+		_, _ = c.GetOrCompute(ds, key, func() (Entry, error) { computed = true; return entryOf(0), nil })
+		return !computed
+	}
+	if !hits("ds", k(1)) || !hits("ds", k(3)) {
+		t.Fatal("non-intersecting tagged entries were dropped")
+	}
+	if hits("ds", k(2)) {
+		t.Fatal("intersecting tagged entry survived")
+	}
+	if hits("ds", AllVersionsKey("ds")) {
+		t.Fatal("untagged entry survived a version invalidation")
+	}
+	if !hits("other", Key("other", []int64{2}, nil, true)) {
+		t.Fatal("other dataset was invalidated")
+	}
+	// Migration preserves materialized contents, so validators stay sound:
+	// the generation must not advance.
+	if c.Generation("ds") != g0 {
+		t.Fatalf("generation moved on version invalidation: %d -> %d", g0, c.Generation("ds"))
 	}
 }
 

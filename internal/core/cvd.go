@@ -520,10 +520,17 @@ func cacheVids(vids []vgraph.VersionID) []int64 {
 // from cache (false whenever the compute closure ran, even piggybacked on
 // another caller's in-flight computation via singleflight). The lookup
 // contributes a "checkout.cache" span when ctx carries a trace.
-func (c *CVD) cachedRows(ctx context.Context, key string, compute func(context.Context) ([]engine.Column, []engine.Row, error)) (_ []engine.Column, _ []engine.Row, hit bool, _ error) {
+func (c *CVD) cachedRows(ctx context.Context, key string, vids []vgraph.VersionID, compute func(context.Context) ([]engine.Column, []engine.Row, error)) (_ []engine.Column, _ []engine.Row, hit bool, _ error) {
 	ctx, span := obs.StartSpan(ctx, "checkout.cache")
 	hit = true
-	e, err := c.cache.GetOrCompute(c.name, key, func() (cache.Entry, error) {
+	// Tag the entry with the versions it reads, so partition migrations can
+	// invalidate exactly the entries they touched (nil tag = all versions,
+	// used by the all-versions view).
+	var tag *bitmap.Bitmap
+	if len(vids) > 0 {
+		tag = bitmap.FromSlice(cacheVids(vids))
+	}
+	e, err := c.cache.GetOrComputeTagged(c.name, key, tag, func() (cache.Entry, error) {
 		hit = false
 		cols, rows, err := compute(ctx)
 		if err != nil {
@@ -569,7 +576,7 @@ func (c *CVD) CheckoutCtx(ctx context.Context, vids ...vgraph.VersionID) ([]engi
 		return rows, err
 	}
 	key := cache.Key(c.name, cacheVids(vids), nil, true)
-	_, rows, hit, err := c.cachedRows(ctx, key, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
+	_, rows, hit, err := c.cachedRows(ctx, key, vids, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
 		rows, err := c.checkoutUncached(ctx, vids...)
 		if err != nil {
 			return nil, nil, err
@@ -603,6 +610,22 @@ func (c *CVD) checkoutUncached(ctx context.Context, vids ...vgraph.VersionID) ([
 	bitmapSpan.End()
 	_, fetchSpan := obs.StartSpan(ctx, "record.fetch")
 	defer fetchSpan.End()
+	if len(vids) == 1 {
+		// One version needs no precedence dedup: its rlist is a set (each
+		// rid fetched once) and commit rejects duplicate primary keys
+		// within a version, so the maps below could never drop a row. On
+		// big checkouts the map builds cost more than the fetch itself.
+		recs, err := c.model.Checkout(vids[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]engine.Row, len(recs))
+		for i := range recs {
+			out[i] = recs[i].Data
+		}
+		fetchSpan.SetAttr("rows", strconv.Itoa(len(out)))
+		return out, nil
+	}
 	pos := c.pkPositions()
 	seenPK := make(map[string]bool)
 	seenRid := make(map[vgraph.RecordID]bool)
@@ -757,7 +780,7 @@ func (c *CVD) MultiVersionCheckoutCtx(ctx context.Context, vids []vgraph.Version
 		opBytes[i] = uint8(op)
 	}
 	key := cache.Key(c.name, cacheVids(vids), opBytes, false)
-	_, rows, hit, err := c.cachedRows(ctx, key, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
+	_, rows, hit, err := c.cachedRows(ctx, key, vids, func(ctx context.Context) ([]engine.Column, []engine.Row, error) {
 		rows, err := c.multiVersionCheckoutUncached(ctx, vids, ops)
 		if err != nil {
 			return nil, nil, err
@@ -814,7 +837,7 @@ func (c *CVD) AllVersionsCheckoutCtx(ctx context.Context) ([]engine.Column, []en
 		}
 		return cols, rows, err
 	}
-	cols, rows, hit, err := c.cachedRows(ctx, cache.AllVersionsKey(c.name), c.allVersionsUncached)
+	cols, rows, hit, err := c.cachedRows(ctx, cache.AllVersionsKey(c.name), nil, c.allVersionsUncached)
 	if err == nil {
 		c.observeCheckout(time.Since(start).Seconds(), hit)
 	}
@@ -863,6 +886,9 @@ func (c *CVD) fetchRows(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]engine
 func (c *CVD) fetchRecords(set *bitmap.Bitmap, hints ...vgraph.VersionID) ([]Record, error) {
 	if set.IsEmpty() {
 		return nil, nil
+	}
+	if f, ok := c.model.(recordSetFetcher); ok {
+		return f.FetchRecordSet(set)
 	}
 	if f, ok := c.model.(recordFetcher); ok {
 		return f.FetchRecords(set.ToSlice())

@@ -90,6 +90,14 @@ type recordFetcher interface {
 	FetchRecords(rids []int64) ([]Record, error)
 }
 
+// recordSetFetcher is the bitmap-driven refinement of recordFetcher: the
+// membership set is handed to the scan as-is, so implementations can probe it
+// in place (no rid materialization, no transient hash table) and parallelize
+// the scan. The CVD prefers this capability whenever a model offers it.
+type recordSetFetcher interface {
+	FetchRecordSet(set *bitmap.Bitmap) ([]Record, error)
+}
+
 // membershipSized is an optional DataModel capability: report how many bytes
 // of the model's storage hold version membership (rlists/vlists) as opposed
 // to record data. Backs the storage-breakdown endpoint.

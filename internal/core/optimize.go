@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"orpheusdb/internal/bitmap"
@@ -28,6 +29,12 @@ type PartitionedModel interface {
 	SetOnlineParams(deltaStar float64, gammaRecords int64)
 	// ApplyPartitioning migrates to the given version groups.
 	ApplyPartitioning(groups [][]vgraph.VersionID, naive bool) (*MigrationReport, error)
+	// PlanPartitionBatches plans a bounded-batch migration to the groups.
+	PlanPartitionBatches(groups [][]vgraph.VersionID, batchRows int64) ([]PartitionBatch, error)
+	// ApplyPartitionBatch executes one planned batch.
+	ApplyPartitionBatch(b PartitionBatch) (int64, error)
+	// PartitionStatus snapshots the live layout.
+	PartitionStatus() *PartitionStatus
 }
 
 // OptimizeResult reports one invocation of the partition optimizer.
@@ -112,6 +119,12 @@ func (m *partitionedRlist) reload(cols []engine.Column) error {
 	}
 	for p := range seenPart {
 		m.partIDs = append(m.partIDs, p)
+	}
+	// Keep the partition walk order stable across reloads: cross-partition
+	// fetches visit partIDs in order, and WAL replay of migration batches must
+	// reproduce the live walk exactly.
+	sort.Ints(m.partIDs)
+	for _, p := range m.partIDs {
 		if p >= m.nextPart {
 			m.nextPart = p + 1
 		}

@@ -269,8 +269,8 @@ func (m *partitionedRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: %s: partition %d lost version %d", m.cvd, p, vid)
 	}
-	rids := membershipValue(vt.Get(ids[0])[1]).ToSlice()
-	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
+	set := membershipValue(vt.Get(ids[0])[1])
+	rows, err := engine.JoinRidsSet(dt, 0, set, m.db.JoinMethodSetting())
 	if err != nil {
 		return nil, err
 	}
@@ -281,12 +281,12 @@ func (m *partitionedRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	return out, nil
 }
 
-// FetchRecords materializes the given record ids, joining against each
-// partition that covers part of the set; records duplicated across
-// partitions are fetched once.
-func (m *partitionedRlist) FetchRecords(rids []int64) ([]Record, error) {
-	remaining := bitmap.FromSlice(rids)
-	out := make([]Record, 0, remaining.Cardinality())
+// FetchRecordSet materializes a membership set, probing each partition's data
+// table with the sub-bitmap it covers; records duplicated across partitions
+// are fetched once.
+func (m *partitionedRlist) FetchRecordSet(set *bitmap.Bitmap) ([]Record, error) {
+	remaining := set
+	out := make([]Record, 0, set.Cardinality())
 	for _, p := range m.partIDs {
 		if remaining.IsEmpty() {
 			break
@@ -299,12 +299,53 @@ func (m *partitionedRlist) FetchRecords(rids []int64) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := engine.JoinRids(dt, 0, sub.ToSlice(), m.db.JoinMethodSetting())
+		rows, err := engine.JoinRidsSet(dt, 0, sub, m.db.JoinMethodSetting())
 		if err != nil {
 			return nil, err
 		}
 		for _, row := range rows {
 			out = append(out, recordFromRow(row))
+		}
+		remaining = bitmap.AndNot(remaining, sub)
+	}
+	if !remaining.IsEmpty() {
+		mn, _ := remaining.Min()
+		return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, mn)
+	}
+	return out, nil
+}
+
+// FetchRecords materializes the given record ids, joining against each
+// partition that covers part of the set; records duplicated across
+// partitions are fetched once.
+func (m *partitionedRlist) FetchRecords(rids []int64) ([]Record, error) {
+	return m.FetchRecordSet(bitmap.FromSlice(rids))
+}
+
+// fetchRowsAcross clones the data rows of a record set from the current
+// layout, probing every partition that covers part of it. Migration batches
+// use it to stage the rows a target partition is missing.
+func (m *partitionedRlist) fetchRowsAcross(want *bitmap.Bitmap) ([]engine.Row, error) {
+	remaining := want
+	out := make([]engine.Row, 0, want.Cardinality())
+	for _, pid := range m.partIDs {
+		if remaining.IsEmpty() {
+			break
+		}
+		sub := bitmap.And(remaining, m.partRecs[pid])
+		if sub.IsEmpty() {
+			continue
+		}
+		dt, err := m.db.MustTable(m.dataName(pid))
+		if err != nil {
+			return nil, err
+		}
+		rows, err := engine.JoinRidsSet(dt, 0, sub, m.db.JoinMethodSetting())
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			out = append(out, engine.CloneRow(row))
 		}
 		remaining = bitmap.AndNot(remaining, sub)
 	}
@@ -431,39 +472,6 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 	}
 	report := &MigrationReport{Plan: plan, NewPartitions: len(next.Parts)}
 
-	// fetchAll materializes the rows of a record set from the pre-migration
-	// layout, joining against each partition covering part of the set.
-	fetchAll := func(want *bitmap.Bitmap) ([]engine.Row, error) {
-		remaining := want
-		out := make([]engine.Row, 0, want.Cardinality())
-		for _, pid := range m.partIDs {
-			if remaining.IsEmpty() {
-				break
-			}
-			sub := bitmap.And(remaining, m.partRecs[pid])
-			if sub.IsEmpty() {
-				continue
-			}
-			dt, err := m.db.MustTable(m.dataName(pid))
-			if err != nil {
-				return nil, err
-			}
-			rows, err := engine.JoinRids(dt, 0, sub.ToSlice(), m.db.JoinMethodSetting())
-			if err != nil {
-				return nil, err
-			}
-			for _, row := range rows {
-				out = append(out, engine.CloneRow(row))
-			}
-			remaining = bitmap.AndNot(remaining, sub)
-		}
-		if !remaining.IsEmpty() {
-			mn, _ := remaining.Min()
-			return nil, fmt.Errorf("core: %s: record %d not found in any partition", m.cvd, mn)
-		}
-		return out, nil
-	}
-
 	newPartIDs := make([]int, len(next.Parts))
 	newRecs := make([]*bitmap.Bitmap, len(next.Parts))
 
@@ -490,7 +498,7 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 			newPartIDs[step.New] = -1 // build from scratch
 			missing = want
 		}
-		rows, err := fetchAll(missing)
+		rows, err := m.fetchRowsAcross(missing)
 		if err != nil {
 			return nil, err
 		}
@@ -517,6 +525,11 @@ func (m *partitionedRlist) ApplyPartitioning(groups [][]vgraph.VersionID, naive 
 				return true
 			})
 			dt.DeleteBatch(drop)
+			if dt.NumDeleted()*4 > dt.NumRows() {
+				if err := dt.Compact(); err != nil {
+					return nil, err
+				}
+			}
 			report.RowsDeleted += int64(len(drop))
 			for _, row := range ins.rows {
 				if _, err := dt.Insert(row); err != nil {
@@ -637,7 +650,8 @@ func (m *partitionedRlist) MembershipBytes() int64 {
 }
 
 var (
-	_ DataModel       = (*partitionedRlist)(nil)
-	_ recordFetcher   = (*partitionedRlist)(nil)
-	_ membershipSized = (*partitionedRlist)(nil)
+	_ DataModel        = (*partitionedRlist)(nil)
+	_ recordFetcher    = (*partitionedRlist)(nil)
+	_ recordSetFetcher = (*partitionedRlist)(nil)
+	_ membershipSized  = (*partitionedRlist)(nil)
 )

@@ -90,11 +90,11 @@ func (m *splitByRlist) Rlist(vid vgraph.VersionID) ([]int64, error) {
 }
 
 func (m *splitByRlist) Checkout(vid vgraph.VersionID) ([]Record, error) {
-	rids, err := m.Rlist(vid)
+	set, err := m.RlistSet(vid)
 	if err != nil {
 		return nil, err
 	}
-	return m.FetchRecords(rids)
+	return m.FetchRecordSet(set)
 }
 
 // FetchRecords joins the given record ids against the data table — the same
@@ -108,6 +108,26 @@ func (m *splitByRlist) FetchRecords(rids []int64) ([]Record, error) {
 	// SELECT * INTO T' FROM dataTable, (SELECT unnest(rlist) ...) tmp
 	// WHERE rid = rid_tmp — by default a hash join (Appendix D.1).
 	rows, err := engine.JoinRids(dt, 0, rids, m.db.JoinMethodSetting())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(rows))
+	for i, row := range rows {
+		out[i] = recordFromRow(row)
+	}
+	return out, nil
+}
+
+// FetchRecordSet is FetchRecords driven by the membership bitmap itself: the
+// scan probes the set in place, skipping both the rid materialization and
+// the transient hash build, and splits into parallel page chunks on
+// multi-core hosts.
+func (m *splitByRlist) FetchRecordSet(set *bitmap.Bitmap) ([]Record, error) {
+	dt, err := m.db.MustTable(m.dataName())
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.JoinRidsSet(dt, 0, set, m.db.JoinMethodSetting())
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +183,8 @@ func (m *splitByRlist) Drop() error {
 }
 
 var (
-	_ DataModel       = (*splitByRlist)(nil)
-	_ recordFetcher   = (*splitByRlist)(nil)
-	_ membershipSized = (*splitByRlist)(nil)
+	_ DataModel        = (*splitByRlist)(nil)
+	_ recordFetcher    = (*splitByRlist)(nil)
+	_ recordSetFetcher = (*splitByRlist)(nil)
+	_ membershipSized  = (*splitByRlist)(nil)
 )

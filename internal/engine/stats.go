@@ -43,6 +43,15 @@ type Stats struct {
 	BranchCreates  atomic.Int64
 	Merges         atomic.Int64
 	MergeConflicts atomic.Int64
+
+	// Partition-optimizer accounting (the store's background optimizer and
+	// the manual optimize entry points mirror their activity here): completed
+	// LYRESPLIT migrations, individual migration batches applied under the
+	// dataset critical section, and record rows moved (inserted into or
+	// deleted from partition data tables) by those batches.
+	PartitionMigrations atomic.Int64
+	PartitionBatches    atomic.Int64
+	PartitionRowsMoved  atomic.Int64
 }
 
 // StatSnapshot is an immutable copy of the counters.
@@ -63,6 +72,10 @@ type StatSnapshot struct {
 	BranchCreates  int64
 	Merges         int64
 	MergeConflicts int64
+
+	PartitionMigrations int64
+	PartitionBatches    int64
+	PartitionRowsMoved  int64
 }
 
 // Snapshot copies the current counter values.
@@ -84,6 +97,10 @@ func (s *Stats) Snapshot() StatSnapshot {
 		BranchCreates:  s.BranchCreates.Load(),
 		Merges:         s.Merges.Load(),
 		MergeConflicts: s.MergeConflicts.Load(),
+
+		PartitionMigrations: s.PartitionMigrations.Load(),
+		PartitionBatches:    s.PartitionBatches.Load(),
+		PartitionRowsMoved:  s.PartitionRowsMoved.Load(),
 	}
 }
 
@@ -102,6 +119,9 @@ func (s *Stats) Reset() {
 	s.BranchCreates.Store(0)
 	s.Merges.Store(0)
 	s.MergeConflicts.Store(0)
+	s.PartitionMigrations.Store(0)
+	s.PartitionBatches.Store(0)
+	s.PartitionRowsMoved.Store(0)
 }
 
 // Since returns the counter deltas accumulated after the given snapshot.
@@ -124,6 +144,10 @@ func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
 		BranchCreates:  cur.BranchCreates - prev.BranchCreates,
 		Merges:         cur.Merges - prev.Merges,
 		MergeConflicts: cur.MergeConflicts - prev.MergeConflicts,
+
+		PartitionMigrations: cur.PartitionMigrations - prev.PartitionMigrations,
+		PartitionBatches:    cur.PartitionBatches - prev.PartitionBatches,
+		PartitionRowsMoved:  cur.PartitionRowsMoved - prev.PartitionRowsMoved,
 	}
 }
 
@@ -138,8 +162,10 @@ func (d StatSnapshot) IOCost() int64 {
 func (d StatSnapshot) String() string {
 	return fmt.Sprintf("seq=%d rand=%d rows=%d probes=%d hash=%d cost=%d"+
 		" ckpt=%d ckptBytes=%d cacheHit=%d cacheMiss=%d cacheEvict=%d"+
-		" branches=%d merges=%d conflicts=%d",
+		" branches=%d merges=%d conflicts=%d"+
+		" partMigrations=%d partBatches=%d partRowsMoved=%d",
 		d.SeqPages, d.RandPages, d.RowsScanned, d.IndexProbes, d.HashBuilds, d.IOCost(),
 		d.Checkpoints, d.CheckpointBytes, d.CacheHits, d.CacheMisses, d.CacheEvictions,
-		d.BranchCreates, d.Merges, d.MergeConflicts)
+		d.BranchCreates, d.Merges, d.MergeConflicts,
+		d.PartitionMigrations, d.PartitionBatches, d.PartitionRowsMoved)
 }

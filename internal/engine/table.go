@@ -78,6 +78,10 @@ func (t *Table) ColIndex(name string) int {
 // NumRows returns the number of live rows.
 func (t *Table) NumRows() int { return t.nrows - t.ndel }
 
+// NumDeleted returns the number of tombstoned slots still occupying heap
+// pages (reclaimed by Compact).
+func (t *Table) NumDeleted() int { return t.ndel }
+
 // NumPages returns the number of heap pages.
 func (t *Table) NumPages() int { return len(t.pages) }
 
@@ -394,6 +398,46 @@ func (t *Table) Cluster(names ...string) error {
 		t.indexes[key] = ix
 	}
 	t.cluster = indexKeyName(names)
+	return nil
+}
+
+// Compact rewrites the heap dropping tombstoned slots, preserving scan
+// order. RowIDs change; indexes are rebuilt. Sequential scans pay per heap
+// slot whether or not it is live, so a table that shrank (bulk deletes,
+// migration GC) needs this for scan cost to track live rows again.
+func (t *Table) Compact() error {
+	if t.ndel == 0 {
+		return nil
+	}
+	rows := make([]Row, 0, t.NumRows())
+	for _, page := range t.pages {
+		for _, r := range page {
+			if r != nil {
+				rows = append(rows, r)
+			}
+		}
+	}
+	t.pages = nil
+	t.nrows = 0
+	t.ndel = 0
+	old := t.indexes
+	t.indexes = make(map[string]*Index)
+	for _, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	for key := range old {
+		ix := newIndex(old[key].cols)
+		for p, page := range t.pages {
+			for s, r := range page {
+				if r != nil {
+					ix.insert(r, MakeRowID(p, s))
+				}
+			}
+		}
+		t.indexes[key] = ix
+	}
 	return nil
 }
 

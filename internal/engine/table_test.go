@@ -279,3 +279,63 @@ func TestRowIDPacking(t *testing.T) {
 		t.Fatalf("roundtrip: page=%d slot=%d", id.Page(), id.Slot())
 	}
 }
+
+func TestTableCompact(t *testing.T) {
+	_, tab := testTable(t, 1000)
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	var drop []RowID
+	tab.Scan(func(id RowID, r Row) bool {
+		if r[0].I%3 != 0 {
+			drop = append(drop, id)
+		}
+		return true
+	})
+	tab.DeleteBatch(drop)
+	pagesBefore := tab.NumPages()
+	if tab.NumDeleted() != len(drop) {
+		t.Fatalf("NumDeleted = %d, want %d", tab.NumDeleted(), len(drop))
+	}
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumDeleted() != 0 {
+		t.Fatalf("NumDeleted = %d after compact", tab.NumDeleted())
+	}
+	if tab.NumRows() != 334 { // 0,3,...,999
+		t.Fatalf("NumRows = %d, want 334", tab.NumRows())
+	}
+	if tab.NumPages() >= pagesBefore {
+		t.Fatalf("compact did not shrink the heap: %d pages", tab.NumPages())
+	}
+	// Scan order preserved, no tombstoned slots visited.
+	prev := int64(-1)
+	n := 0
+	tab.Scan(func(_ RowID, r Row) bool {
+		if r[0].I <= prev || r[0].I%3 != 0 {
+			t.Fatalf("bad row %d after compact (prev %d)", r[0].I, prev)
+		}
+		prev = r[0].I
+		n++
+		return true
+	})
+	if n != 334 {
+		t.Fatalf("scan visited %d rows", n)
+	}
+	// Indexes rebuilt over the new RowIDs.
+	ids := tab.Index("id").Lookup(IntValue(999))
+	if len(ids) != 1 {
+		t.Fatalf("index lookup found %d rows", len(ids))
+	}
+	if got := tab.Get(ids[0]); got == nil || got[0].I != 999 {
+		t.Fatalf("index points at %v", got)
+	}
+	// Compacting a clean table is a no-op.
+	if err := tab.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 334 {
+		t.Fatalf("second compact changed NumRows to %d", tab.NumRows())
+	}
+}

@@ -29,12 +29,54 @@ type Online struct {
 	parents map[vgraph.VersionID][]vgraph.VersionID
 	current *Partitioning
 	// deltaStar is δ* from the last LYRESPLIT invocation.
-	deltaStar float64
-	bestCavg  float64
-	commits   int
+	deltaStar  float64
+	bestCavg   float64
+	bestGroups [][]vgraph.VersionID
+	commits    int
 
 	// Migrations records every migration that occurred, in commit order.
 	Migrations []MigrationEvent
+}
+
+// OptionsError reports an invalid Online configuration field. Callers match
+// it with errors.As to distinguish configuration mistakes from runtime
+// failures.
+type OptionsError struct {
+	Field  string
+	Value  string
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("partition: online: invalid %s=%s: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the maintainer's tuning fields. It catches in particular
+// RecomputeEvery <= 0, which would otherwise either divide by zero or
+// silently never refresh C*avg — leaving the µ-drift trigger dead.
+func (o *Online) Validate() error {
+	if o.RecomputeEvery <= 0 {
+		return &OptionsError{
+			Field:  "RecomputeEvery",
+			Value:  fmt.Sprint(o.RecomputeEvery),
+			Reason: "must be >= 1 (C*avg would never be refreshed and the drift trigger would never fire)",
+		}
+	}
+	if o.GammaFactor < 1 {
+		return &OptionsError{
+			Field:  "GammaFactor",
+			Value:  fmt.Sprintf("%g", o.GammaFactor),
+			Reason: "must be >= 1 (the storage budget γ cannot be below |R|)",
+		}
+	}
+	if o.Mu != 0 && o.Mu < 1 {
+		return &OptionsError{
+			Field:  "Mu",
+			Value:  fmt.Sprintf("%g", o.Mu),
+			Reason: "must be 0 (migration disabled) or >= 1 (a tolerance below 1 would migrate on every commit)",
+		}
+	}
+	return nil
 }
 
 // MigrationEvent records one triggered migration, including the layouts
@@ -80,28 +122,82 @@ func (o *Online) BestCheckoutCost() float64 { return o.bestCavg }
 // per the online rule, and triggers migration when the tolerance is
 // exceeded. It reports whether a migration happened.
 func (o *Online) Commit(v vgraph.VersionID, parents []vgraph.VersionID, rids []vgraph.RecordID) (bool, error) {
-	o.bip.AddVersion(v, rids)
+	if err := o.Validate(); err != nil {
+		return false, err
+	}
+	ws, err := o.register(v, parents, bitmap.FromSlice(recordIDsToInt64(rids)))
+	if err != nil {
+		return false, err
+	}
+	o.place(v, parents, ws)
+
+	if o.commits%o.RecomputeEvery == 0 {
+		if err := o.refreshBest(); err != nil {
+			return false, err
+		}
+	}
+	if o.Drifted(o.current.CheckoutCost()) {
+		return true, o.migrate()
+	}
+	return false, nil
+}
+
+// ObserveCommit registers a committed version without placing it in the
+// shadow partitioning: the caller owns the physical layout (the store's
+// partitioned model) and only wants the drift trigger — the version graph,
+// the bipartite membership, and the periodic C*avg refresh. The membership
+// set is shared, not copied; it must not be mutated afterwards.
+func (o *Online) ObserveCommit(v vgraph.VersionID, parents []vgraph.VersionID, set *bitmap.Bitmap) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if _, err := o.register(v, parents, set); err != nil {
+		return err
+	}
+	if o.commits%o.RecomputeEvery == 0 {
+		return o.refreshBest()
+	}
+	return nil
+}
+
+// register adds the version to the graph and bipartite membership, returning
+// the parent-overlap weights.
+func (o *Online) register(v vgraph.VersionID, parents []vgraph.VersionID, set *bitmap.Bitmap) ([]int64, error) {
+	o.bip.AddVersionSet(v, set)
 	ws := make([]int64, len(parents))
 	for i, p := range parents {
 		ws[i] = o.bip.CommonRecords(p, v)
 	}
 	if err := o.graph.AddVersion(v, parents, o.bip.Set(v).Cardinality(), ws); err != nil {
-		return false, err
+		return nil, err
 	}
 	o.parents[v] = append([]vgraph.VersionID(nil), parents...)
 	o.commits++
+	return ws, nil
+}
 
-	o.place(v, parents, ws)
+// Drifted applies the µ trigger to a caller-supplied checkout cost: true when
+// cavg exceeds µ times the best cost of the last LYRESPLIT refresh.
+func (o *Online) Drifted(cavg float64) bool {
+	return o.Mu > 0 && o.bestCavg > 0 && cavg > o.Mu*o.bestCavg
+}
 
-	if o.RecomputeEvery > 0 && o.commits%o.RecomputeEvery == 0 {
-		if err := o.refreshBest(); err != nil {
-			return false, err
-		}
+// BestGroups returns the version grouping of the last LYRESPLIT refresh (nil
+// before the first refresh). The slice is shared; callers must not mutate it.
+func (o *Online) BestGroups() [][]vgraph.VersionID { return o.bestGroups }
+
+// DeltaStar returns δ* from the last LYRESPLIT refresh.
+func (o *Online) DeltaStar() float64 { return o.deltaStar }
+
+// Commits returns how many versions have been registered.
+func (o *Online) Commits() int { return o.commits }
+
+func recordIDsToInt64(rids []vgraph.RecordID) []int64 {
+	out := make([]int64, len(rids))
+	for i, r := range rids {
+		out[i] = int64(r)
 	}
-	if o.Mu > 0 && o.bestCavg > 0 && o.current.CheckoutCost() > o.Mu*o.bestCavg {
-		return true, o.migrate()
-	}
-	return false, nil
+	return out
 }
 
 // place applies the online placement rule: join the best parent's partition
@@ -159,6 +255,7 @@ func (o *Online) refreshBest() error {
 	}
 	o.bestCavg = res.EstCheckout
 	o.deltaStar = res.Delta
+	o.bestGroups = res.Groups
 	return nil
 }
 
@@ -190,5 +287,6 @@ func (o *Online) migrate() error {
 	o.current = next
 	o.deltaStar = res.Delta
 	o.bestCavg = res.EstCheckout
+	o.bestGroups = res.Groups
 	return nil
 }

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/vgraph"
+)
+
+func TestOnlineValidate(t *testing.T) {
+	if err := NewOnline(2.0, 1.5).Validate(); err != nil {
+		t.Fatalf("default construction invalid: %v", err)
+	}
+	if err := NewOnline(2.0, 0).Validate(); err != nil {
+		t.Fatalf("mu=0 (migration disabled) should be valid: %v", err)
+	}
+	cases := []struct {
+		name  string
+		o     *Online
+		field string
+	}{
+		{"recompute-zero", &Online{GammaFactor: 2, Mu: 1.5, RecomputeEvery: 0}, "RecomputeEvery"},
+		{"recompute-negative", &Online{GammaFactor: 2, Mu: 1.5, RecomputeEvery: -3}, "RecomputeEvery"},
+		{"gamma-below-one", &Online{GammaFactor: 0.5, Mu: 1.5, RecomputeEvery: 1}, "GammaFactor"},
+		{"mu-below-one", &Online{GammaFactor: 2, Mu: 0.5, RecomputeEvery: 1}, "Mu"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.o.Validate()
+			var oe *OptionsError
+			if !errors.As(err, &oe) {
+				t.Fatalf("want *OptionsError, got %v", err)
+			}
+			if oe.Field != tc.field {
+				t.Fatalf("error names field %q, want %q", oe.Field, tc.field)
+			}
+			if oe.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+// TestOnlineCommitRejectsInvalidOptions: a maintainer built by hand with
+// RecomputeEvery=0 used to silently never refresh C*avg (the drift trigger
+// never fired); now every entry point surfaces the typed error.
+func TestOnlineCommitRejectsInvalidOptions(t *testing.T) {
+	o := NewOnline(2.0, 1.5)
+	o.RecomputeEvery = 0
+	var oe *OptionsError
+	if _, err := o.Commit(1, nil, []vgraph.RecordID{1, 2, 3}); !errors.As(err, &oe) {
+		t.Fatalf("Commit with RecomputeEvery=0: want *OptionsError, got %v", err)
+	}
+	if err := o.ObserveCommit(1, nil, bitmap.FromSlice([]int64{1, 2, 3})); !errors.As(err, &oe) {
+		t.Fatalf("ObserveCommit with RecomputeEvery=0: want *OptionsError, got %v", err)
+	}
+}
+
+// TestObserveCommitFeedsTrigger drives the observe-mode feed the store's
+// background optimizer uses: no shadow placement, but the version graph,
+// C*avg, δ*, and the best grouping stay fresh.
+func TestObserveCommitFeedsTrigger(t *testing.T) {
+	o := NewOnline(2.0, 1.5)
+	// A mainline plus a stale branch: every version keeps records [1..n*10].
+	set := func(n int64) *bitmap.Bitmap {
+		b := bitmap.New()
+		for i := int64(1); i <= n; i++ {
+			b.Add(i)
+		}
+		return b
+	}
+	if err := o.ObserveCommit(1, nil, set(10)); err != nil {
+		t.Fatal(err)
+	}
+	for v := vgraph.VersionID(2); v <= 12; v++ {
+		if err := o.ObserveCommit(v, []vgraph.VersionID{v - 1}, set(int64(v)*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Commits() != 12 {
+		t.Fatalf("Commits() = %d, want 12", o.Commits())
+	}
+	if o.BestCheckoutCost() <= 0 {
+		t.Fatal("C*avg not refreshed by observe feed")
+	}
+	if o.BestGroups() == nil {
+		t.Fatal("no best grouping after refresh")
+	}
+	if o.DeltaStar() <= 0 {
+		t.Fatal("δ* not refreshed")
+	}
+	if len(o.Current().Parts) != 0 {
+		t.Fatalf("observe mode placed versions: %d shadow partitions", len(o.Current().Parts))
+	}
+	// The trigger compares a caller-supplied Cavg against µ·C*avg.
+	if o.Drifted(o.BestCheckoutCost()) {
+		t.Fatal("cost at the optimum reported as drifted")
+	}
+	if !o.Drifted(10 * o.BestCheckoutCost()) {
+		t.Fatal("10x the optimal cost not reported as drifted")
+	}
+}

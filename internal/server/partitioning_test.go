@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// seedPartitioned builds a partitioned dataset with a linear commit chain.
+func seedPartitioned(t *testing.T, store *orpheusdb.Store, name string, versions int) {
+	t.Helper()
+	ds, err := store.Init(name, []orpheusdb.Column{
+		{Name: "k", Type: orpheusdb.KindInt},
+		{Name: "v", Type: orpheusdb.KindInt},
+	}, orpheusdb.InitOptions{Model: orpheusdb.PartitionedRlist, PrimaryKey: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []orpheusdb.Row
+	var parents []orpheusdb.VersionID
+	for i := 0; i < versions; i++ {
+		for j := 0; j < 8; j++ {
+			k := int64(i*8 + j)
+			rows = append(rows, orpheusdb.Row{orpheusdb.Int(k), orpheusdb.Int(k * 2)})
+		}
+		v, err := ds.Commit(append([]orpheusdb.Row(nil), rows...), parents, "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = []orpheusdb.VersionID{v}
+	}
+}
+
+func TestPartitioningEndpoints(t *testing.T) {
+	ts, store := newTestServer(t)
+	seedPartitioned(t, store, "part", 16)
+
+	// Status without an optimizer: layout present, optimizer not running.
+	status, body := doJSON(t, "GET", ts.URL+"/api/v1/datasets/part/partitioning", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET partitioning: status %d, body %v", status, body)
+	}
+	layout := body["layout"].(map[string]any)
+	if n := len(layout["partitions"].([]any)); n != 1 {
+		t.Fatalf("expected 1 initial partition, got %d", n)
+	}
+	if running := body["optimizer"].(map[string]any)["running"].(bool); running {
+		t.Fatal("optimizer reported running before start")
+	}
+
+	// Manual trigger without the optimizer is a client error.
+	if status, _ := doJSON(t, "POST", ts.URL+"/api/v1/datasets/part/partitioning", nil); status != http.StatusBadRequest {
+		t.Fatalf("POST without optimizer: status %d, want 400", status)
+	}
+
+	o, err := store.StartPartitionOptimizer(orpheusdb.PartitionOptimizerConfig{
+		Mu:       orpheusdb.MuDisabled,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	status, body = doJSON(t, "POST", ts.URL+"/api/v1/datasets/part/partitioning", nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST partitioning: status %d, body %v", status, body)
+	}
+	if reason := body["reason"].(string); reason != "manual" {
+		t.Fatalf("trigger reason = %q, want manual", reason)
+	}
+	if n, _ := body["batches"].(json.Number).Int64(); n == 0 {
+		t.Fatal("trigger reported zero batches")
+	}
+
+	status, body = doJSON(t, "GET", ts.URL+"/api/v1/datasets/part/partitioning", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET after trigger: status %d", status)
+	}
+	opt := body["optimizer"].(map[string]any)
+	if !opt["running"].(bool) {
+		t.Fatal("optimizer should report running")
+	}
+	if m, _ := opt["migrations"].(json.Number).Int64(); m != 1 {
+		t.Fatalf("migrations = %v, want 1", opt["migrations"])
+	}
+	if n := len(body["layout"].(map[string]any)["partitions"].([]any)); n < 2 {
+		t.Fatalf("layout still has %d partition(s) after trigger", n)
+	}
+
+	// Non-partitioned datasets refuse with a client error.
+	if _, err := store.Init("plain", []orpheusdb.Column{{Name: "k", Type: orpheusdb.KindInt}},
+		orpheusdb.InitOptions{PrimaryKey: []string{"k"}}); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/datasets/plain/partitioning", nil); status != http.StatusBadRequest {
+		t.Fatalf("GET partitioning on plain model: status %d, want 400", status)
+	}
+
+	// The stats endpoint mirrors the engine's partition counters.
+	status, body = doJSON(t, "GET", ts.URL+"/api/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET stats: status %d", status)
+	}
+	if n, _ := body["partition_migrations"].(json.Number).Int64(); n != 1 {
+		t.Fatalf("stats partition_migrations = %v, want 1", body["partition_migrations"])
+	}
+}

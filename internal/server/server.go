@@ -25,6 +25,8 @@
 //	DELETE /api/v1/datasets/{name}/branches/{branch}  delete a branch
 //	POST   /api/v1/datasets/{name}/merge              three-way merge {ours, theirs, policy, message}
 //	POST   /api/v1/datasets/{name}/optimize           run LYRESPLIT / maintenance
+//	GET    /api/v1/datasets/{name}/partitioning       live partition layout + optimizer status
+//	POST   /api/v1/datasets/{name}/partitioning       trigger a batched repartitioning now
 //	POST   /api/v1/query                              SQL with VERSION ... OF CVD
 //	GET    /api/v1/users                              list users
 //	POST   /api/v1/users                              register a user
@@ -120,6 +122,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /api/v1/datasets/{name}/branches/{branch}", s.handleDeleteBranch)
 	s.mux.HandleFunc("POST /api/v1/datasets/{name}/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /api/v1/datasets/{name}/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/partitioning", s.handlePartitioning)
+	s.mux.HandleFunc("POST /api/v1/datasets/{name}/partitioning", s.handleRepartition)
 	s.mux.HandleFunc("POST /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
 	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
@@ -296,6 +300,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"branch_creates":  snap.BranchCreates,
 		"merges":          snap.Merges,
 		"merge_conflicts": snap.MergeConflicts,
+
+		"partition_migrations": snap.PartitionMigrations,
+		"partition_batches":    snap.PartitionBatches,
+		"partition_rows_moved": snap.PartitionRowsMoved,
 	})
 }
 
@@ -754,6 +762,49 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		"migrationMillis":  res.MigrationTime.Milliseconds(),
 		"storageBreakdown": d.StorageBreakdown(),
 	})
+}
+
+// handlePartitioning reports the dataset's live partitioned layout plus the
+// background optimizer's view of it (commits observed, best cost, drift
+// tunables, migration counters).
+func (s *Server) handlePartitioning(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status, ok := d.PartitionStatus()
+	if !ok {
+		writeError(w, badRequest(fmt.Sprintf("dataset %q is not on the partitioned model", d.Name())))
+		return
+	}
+	resp := map[string]any{
+		"dataset": d.Name(),
+		"layout":  status,
+	}
+	if o := s.store.PartitionOptimizer(); o != nil {
+		resp["optimizer"] = o.Status(d.Name())
+	} else {
+		resp["optimizer"] = orpheusdb.PartitionOptimizerStatus{Running: false}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRepartition triggers an immediate background-style repartitioning:
+// plan under the read lock, migrate in bounded WAL-logged batches. Requires
+// the optimizer to be running (it owns the batch execution discipline).
+func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	o := s.store.PartitionOptimizer()
+	if o == nil {
+		writeError(w, badRequest("partition optimizer is not running (start the server with -optimize)"))
+		return
+	}
+	rep, err := o.Trigger(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,10 @@ func fuzzSeedRecords() []*Record {
 		{Type: TypeMerge, Dataset: "ds", Branch: "main", Policy: "theirs",
 			Base: 1, Parents: []int64{4, 5}, Version: 6,
 			Members: bitmap.FromSlice([]int64{1, 4, 9})},
+		{Type: TypeOptimizeMigrate, Dataset: "ds", BatchKind: 1, Anchor: 3,
+			MovedVersions: []int64{4, 5, 6},
+			Members:       bitmap.FromSlice([]int64{10, 11, 12})},
+		{Type: TypeOptimizeMigrate, Dataset: "ds", BatchKind: 4},
 	}
 }
 
@@ -57,31 +61,45 @@ func FuzzRecordDecode(f *testing.F) {
 	})
 }
 
-// TestRecordCodecV1Compat: payloads written by the version-1 codec (before
-// the branch/merge fields) must still decode, with the appended fields zero.
+// TestRecordCodecV1Compat: payloads written by the version-1 and version-2
+// codecs (before the branch/merge and partition-migration fields) must still
+// decode, with the appended fields zero. Older payloads are exact prefixes of
+// the current layout: v3 appends BatchKind (u8) + Anchor (i64) + an empty
+// MovedVersions count (1 byte) after the v2 tail of two empty strings (1 byte
+// each) + one i64.
 func TestRecordCodecV1Compat(t *testing.T) {
 	rec := &Record{Type: TypeCommit, Dataset: "ds", Msg: "m", Parents: []int64{1},
 		Version: 2, TimeNanos: 7, Members: bitmap.FromSlice([]int64{1, 2})}
-	v2 := rec.Encode()
-	// A v1 payload is the v2 payload minus the appended fields (two empty
-	// strings and one i64) with the version byte rewritten.
-	v1 := append([]byte(nil), v2[:len(v2)-(1+1+8)]...)
-	if v2[0] != 2 {
-		t.Fatalf("codec version byte = %d, want 2", v2[0])
+	v3 := rec.Encode()
+	if v3[0] != 3 {
+		t.Fatalf("codec version byte = %d, want 3", v3[0])
 	}
+	v2 := append([]byte(nil), v3[:len(v3)-(1+8+1)]...)
+	v2[0] = 2
+	v1 := append([]byte(nil), v2[:len(v2)-(1+1+8)]...)
 	v1[0] = 1
+	for ver, payload := range map[int][]byte{1: v1, 2: v2} {
+		back, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("v%d payload rejected: %v", ver, err)
+		}
+		if back.Type != rec.Type || back.Dataset != rec.Dataset || back.Version != rec.Version {
+			t.Fatalf("v%d decode diverged: %+v", ver, back)
+		}
+		if back.BatchKind != 0 || back.Anchor != 0 || back.MovedVersions != nil {
+			t.Fatalf("v%d decode should zero the migration fields: %+v", ver, back)
+		}
+		if !back.Members.Equal(rec.Members) {
+			t.Fatalf("v%d decode lost the membership bitmap", ver)
+		}
+	}
+	// v1 additionally zeroes the branch/merge fields.
 	back, err := Decode(v1)
 	if err != nil {
-		t.Fatalf("v1 payload rejected: %v", err)
-	}
-	if back.Type != rec.Type || back.Dataset != rec.Dataset || back.Version != rec.Version {
-		t.Fatalf("v1 decode diverged: %+v", back)
+		t.Fatal(err)
 	}
 	if back.Branch != "" || back.Policy != "" || back.Base != 0 {
-		t.Fatalf("v1 decode should zero the appended fields: %+v", back)
-	}
-	if !back.Members.Equal(rec.Members) {
-		t.Fatal("v1 decode lost the membership bitmap")
+		t.Fatalf("v1 decode should zero the branch fields: %+v", back)
 	}
 }
 
@@ -106,6 +124,17 @@ func TestRecordBranchMergeRoundTrip(t *testing.T) {
 		}
 		if len(back.Parents) != len(rec.Parents) {
 			t.Fatalf("%s: parents diverged", rec.Type)
+		}
+		if back.BatchKind != rec.BatchKind || back.Anchor != rec.Anchor {
+			t.Fatalf("%s: migration fields diverged: %+v vs %+v", rec.Type, rec, back)
+		}
+		if len(back.MovedVersions) != len(rec.MovedVersions) {
+			t.Fatalf("%s: moved versions diverged", rec.Type)
+		}
+		for i := range rec.MovedVersions {
+			if back.MovedVersions[i] != rec.MovedVersions[i] {
+				t.Fatalf("%s: moved version %d diverged", rec.Type, i)
+			}
 		}
 	}
 }

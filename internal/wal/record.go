@@ -53,6 +53,12 @@ const (
 	TypeBranchDelete
 	TypeBranchAdvance
 	TypeMerge
+	// TypeOptimizeMigrate (codec version 3) logs one bounded batch of a
+	// partition migration. The batch is anchor-addressed and deterministic
+	// from state, so replaying the logged batch sequence over the same
+	// starting state reproduces the live layout; a log cut mid-migration
+	// replays to the consistent layout of the last logged batch boundary.
+	TypeOptimizeMigrate
 )
 
 // String names the record type for status output and debugging.
@@ -84,6 +90,8 @@ func (t Type) String() string {
 		return "branch-advance"
 	case TypeMerge:
 		return "merge"
+	case TypeOptimizeMigrate:
+		return "optimize-migrate"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -121,13 +129,23 @@ type Record struct {
 	Branch string // branch name (branch ops; merge when ours is a branch)
 	Policy string // merge conflict-resolution policy
 	Base   int64  // merge base version (0 = disjoint ancestry)
+
+	// Partition-migration fields (codec version 3; zero on records decoded
+	// from older logs). A TypeOptimizeMigrate record carries one batch:
+	// BatchKind discriminates assign/preload/gc/drop-empty, Anchor is the
+	// version whose current partition the batch targets (0 = create fresh),
+	// MovedVersions lists the versions an assign remaps, and Members (the
+	// shared field above) holds the batch's record set.
+	BatchKind     uint8
+	Anchor        int64
+	MovedVersions []int64
 }
 
 // codecVersion is the first byte of every encoded record, so the payload
 // format can evolve without breaking old logs. Version 2 appended the
-// branch/merge fields; version-1 records remain decodable (the appended
-// fields read as zero).
-const codecVersion = 2
+// branch/merge fields and version 3 the partition-migration fields; version-1
+// and version-2 records remain decodable (the appended fields read as zero).
+const codecVersion = 3
 
 // Encode serializes the record to a self-contained byte payload.
 func (r *Record) Encode() []byte {
@@ -178,11 +196,18 @@ func (r *Record) Encode() []byte {
 		b, _ := r.Members.MarshalBinary() // never fails
 		e.bytes(b)
 	}
-	// Version-2 fields ride at the end so a version-1 payload is an exact
-	// prefix of the version-2 layout.
+	// Newer-version fields ride at the end so an older payload is an exact
+	// prefix of the newer layout.
 	e.str(r.Branch)
 	e.str(r.Policy)
 	e.i64(r.Base)
+	// Version-3 fields.
+	e.u8(r.BatchKind)
+	e.i64(r.Anchor)
+	e.uvarint(uint64(len(r.MovedVersions)))
+	for _, v := range r.MovedVersions {
+		e.i64(v)
+	}
 	return e.buf
 }
 
@@ -190,7 +215,7 @@ func (r *Record) Encode() []byte {
 func Decode(data []byte) (*Record, error) {
 	d := &decoder{buf: data}
 	ver := d.u8()
-	if ver != 1 && ver != codecVersion {
+	if ver < 1 || ver > codecVersion {
 		return nil, fmt.Errorf("wal: unsupported record codec version %d", ver)
 	}
 	r := &Record{}
@@ -252,6 +277,16 @@ func Decode(data []byte) (*Record, error) {
 		r.Branch = d.str()
 		r.Policy = d.str()
 		r.Base = d.i64()
+	}
+	if ver >= 3 {
+		r.BatchKind = d.u8()
+		r.Anchor = d.i64()
+		if n := d.count(); n > 0 {
+			r.MovedVersions = make([]int64, n)
+			for i := range r.MovedVersions {
+				r.MovedVersions[i] = d.i64()
+			}
+		}
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("wal: decode %s record: %w", r.Type, d.err)

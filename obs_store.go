@@ -28,11 +28,12 @@ type storeObs struct {
 	// (checkout hit/miss, commit).
 	core *core.Metrics
 
-	mergeSeconds    *obs.Histogram
-	sqlParseSeconds *obs.Histogram
-	sqlExecSeconds  *obs.Histogram
-	walAppendBytes  *obs.Histogram
-	walFsyncSeconds *obs.Histogram
+	mergeSeconds            *obs.Histogram
+	sqlParseSeconds         *obs.Histogram
+	sqlExecSeconds          *obs.Histogram
+	walAppendBytes          *obs.Histogram
+	walFsyncSeconds         *obs.Histogram
+	partitionMigrateSeconds *obs.Histogram
 }
 
 func newStoreObs() *storeObs {
@@ -63,6 +64,9 @@ func newStoreObs() *storeObs {
 		walFsyncSeconds: reg.Histogram("orpheus_wal_fsync_seconds",
 			"WAL fsync latency (per-append under the always policy, background under interval).",
 			obs.LatencyBuckets),
+		partitionMigrateSeconds: reg.Histogram("orpheus_partition_migrate_seconds",
+			"End-to-end latency of one background repartitioning (plan + all batches).",
+			obs.LatencyBuckets),
 	}
 }
 
@@ -90,6 +94,16 @@ func (s *Store) registerCollectors() {
 	counter("orpheus_branch_creates_total", "Branches created.", stats.BranchCreates.Load)
 	counter("orpheus_merges_total", "Merges attempted.", stats.Merges.Load)
 	counter("orpheus_merge_conflicts_total", "Record-level merge conflicts detected.", stats.MergeConflicts.Load)
+
+	counter("orpheus_partition_migrations_total", "Background repartitionings executed.", stats.PartitionMigrations.Load)
+	counter("orpheus_partition_batches_total", "Migration batches applied (each one brief critical section).", stats.PartitionBatches.Load)
+	counter("orpheus_partition_rows_moved_total", "Records inserted or deleted by migration batches.", stats.PartitionRowsMoved.Load)
+	gauge("orpheus_partition_optimizer_running", "1 while the background partition optimizer is started.", func() int64 {
+		if s.optimizer.Load() != nil {
+			return 1
+		}
+		return 0
+	})
 
 	counter("orpheus_cache_hits_total", "Checkout-cache hits.", func() int64 { return s.cache.Stats().Hits })
 	counter("orpheus_cache_misses_total", "Checkout-cache misses.", func() int64 { return s.cache.Stats().Misses })

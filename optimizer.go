@@ -1,0 +1,452 @@
+package orpheusdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"orpheusdb/internal/bitmap"
+	"orpheusdb/internal/core"
+	"orpheusdb/internal/obs"
+	"orpheusdb/internal/partition"
+)
+
+// Background partition optimizer ("live LYRESPLIT", Section 4.3 under
+// traffic). A store-owned goroutine observes every commit into a per-dataset
+// partition.Online instance, and when the observed checkout cost drifts past
+// µ times the best cost LYRESPLIT can achieve under the storage budget, it
+// replans the layout and migrates it in bounded batches. Each batch takes the
+// dataset's exclusive lock only briefly — checkouts keep running between
+// batches — and is WAL-logged as an optimize-migrate record before the lock
+// is released, so a crash mid-migration replays to a consistent layout.
+
+// PartitionOptimizerConfig tunes the background optimizer. The zero value of
+// any field selects its default.
+type PartitionOptimizerConfig struct {
+	// GammaFactor sets the storage budget γ = GammaFactor·|R|. Default 2.
+	GammaFactor float64
+	// Mu is the drift trigger: migrate when Cavg > Mu·C*avg. Mu = 0 keeps
+	// the optimizer observing without ever migrating on its own (manual
+	// triggers still work). Default 2 — set MuDisabled for observe-only.
+	Mu float64
+	// BatchRows bounds the records a single migration batch inserts or
+	// deletes, and therefore how long the per-batch critical section holds
+	// the dataset lock. Default 4096.
+	BatchRows int64
+	// RecomputeEvery refreshes C*avg every that many observed commits.
+	// Default 16.
+	RecomputeEvery int
+	// Interval is the fallback sweep period when no commit notifications
+	// arrive (e.g. after WAL replay). Default 30s.
+	Interval time.Duration
+}
+
+// MuDisabled is a sentinel for PartitionOptimizerConfig.Mu requesting
+// observe-only mode (the config treats Mu = 0 as "use the default").
+const MuDisabled = -1
+
+func (c PartitionOptimizerConfig) withDefaults() PartitionOptimizerConfig {
+	if c.GammaFactor == 0 {
+		c.GammaFactor = 2
+	}
+	switch c.Mu {
+	case 0:
+		c.Mu = 2
+	case MuDisabled:
+		c.Mu = 0
+	}
+	if c.BatchRows == 0 {
+		c.BatchRows = 4096
+	}
+	if c.RecomputeEvery == 0 {
+		c.RecomputeEvery = 16
+	}
+	if c.Interval == 0 {
+		c.Interval = 30 * time.Second
+	}
+	return c
+}
+
+// PartitionOptimizer is the running background optimizer. One per store,
+// started with Store.StartPartitionOptimizer.
+type PartitionOptimizer struct {
+	store *Store
+	cfg   PartitionOptimizerConfig
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	states map[string]*optimizerState
+}
+
+// optimizerState is the optimizer's per-dataset bookkeeping. Guarded by
+// PartitionOptimizer.mu except where noted.
+type optimizerState struct {
+	// migrateMu serializes migrations of one dataset: a manual trigger
+	// racing a drift migration would otherwise interleave two plans, and
+	// the second plan's batches were computed against a layout the first
+	// is rewriting. Independent datasets still migrate concurrently.
+	migrateMu sync.Mutex
+
+	online *partition.Online
+	// observed counts the prefix of the dataset's version order already fed
+	// into online.
+	observed int
+
+	migrations int64
+	batches    int64
+	rowsMoved  int64
+	lastRun    time.Time
+	lastReason string
+	lastErr    string
+}
+
+// PartitionOptimizerStatus is one dataset's optimizer view, served on
+// GET /api/v1/datasets/{name}/partitioning.
+type PartitionOptimizerStatus struct {
+	Running         bool    `json:"running"`
+	GammaFactor     float64 `json:"gamma_factor,omitempty"`
+	Mu              float64 `json:"mu"`
+	BatchRows       int64   `json:"batch_rows,omitempty"`
+	CommitsObserved int     `json:"commits_observed"`
+	BestCavg        float64 `json:"best_avg_checkout_records"`
+	DeltaStar       float64 `json:"delta_star"`
+	Migrations      int64   `json:"migrations"`
+	Batches         int64   `json:"batches"`
+	RowsMoved       int64   `json:"rows_moved"`
+	LastRun         string  `json:"last_run,omitempty"`
+	LastReason      string  `json:"last_reason,omitempty"`
+	LastError       string  `json:"last_error,omitempty"`
+}
+
+// MigrationReport summarizes one executed repartitioning.
+type MigrationReport struct {
+	Dataset    string        `json:"dataset"`
+	Reason     string        `json:"reason"`
+	Delta      float64       `json:"delta"`
+	Groups     int           `json:"groups"`
+	Batches    int           `json:"batches"`
+	RowsMoved  int64         `json:"rows_moved"`
+	SolveTime  time.Duration `json:"-"`
+	TotalTime  time.Duration `json:"-"`
+	SolveMs    int64         `json:"solve_ms"`
+	TotalMs    int64         `json:"total_ms"`
+	Partitions int           `json:"partitions"`
+}
+
+// StartPartitionOptimizer launches the store's background partition
+// optimizer. At most one runs per store; starting a second is an error.
+// The returned handle is also reachable via Store.PartitionOptimizer.
+func (s *Store) StartPartitionOptimizer(cfg PartitionOptimizerConfig) (*PartitionOptimizer, error) {
+	cfg = cfg.withDefaults()
+	// Surface bad tunables now, not on the first observed commit: the
+	// goroutine has no caller to report to.
+	probe := partition.NewOnline(cfg.GammaFactor, cfg.Mu)
+	probe.RecomputeEvery = cfg.RecomputeEvery
+	if err := probe.Validate(); err != nil {
+		return nil, fmt.Errorf("orpheusdb: partition optimizer: %w", err)
+	}
+	o := &PartitionOptimizer{
+		store:  s,
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		states: make(map[string]*optimizerState),
+	}
+	if !s.optimizer.CompareAndSwap(nil, o) {
+		return nil, fmt.Errorf("orpheusdb: partition optimizer already running")
+	}
+	go o.loop()
+	return o, nil
+}
+
+// PartitionOptimizer returns the running optimizer, or nil.
+func (s *Store) PartitionOptimizer() *PartitionOptimizer {
+	return s.optimizer.Load()
+}
+
+// wakeOptimizer pings the optimizer after a commit. Non-blocking: a full
+// wake channel means a sweep is already pending.
+func (s *Store) wakeOptimizer() {
+	if o := s.optimizer.Load(); o != nil {
+		select {
+		case o.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stop shuts the optimizer down and waits for its goroutine to exit. Any
+// in-flight migration finishes its current batch sequence first.
+func (o *PartitionOptimizer) Stop() {
+	close(o.stop)
+	<-o.done
+	o.store.optimizer.CompareAndSwap(o, nil)
+}
+
+// Config returns the optimizer's effective (defaulted) configuration.
+func (o *PartitionOptimizer) Config() PartitionOptimizerConfig { return o.cfg }
+
+func (o *PartitionOptimizer) loop() {
+	defer close(o.done)
+	t := time.NewTicker(o.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-o.wake:
+		case <-t.C:
+		}
+		o.sweep()
+	}
+}
+
+// sweep feeds unobserved commits of every partitioned dataset into its
+// Online instance and migrates any dataset whose cost has drifted.
+func (o *PartitionOptimizer) sweep() {
+	for _, name := range o.store.List() {
+		select {
+		case <-o.stop:
+			return
+		default:
+		}
+		o.sweepDataset(name)
+	}
+}
+
+// state returns (creating on first use) the per-dataset bookkeeping.
+func (o *PartitionOptimizer) state(name string) *optimizerState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.states[name]
+	if !ok {
+		online := partition.NewOnline(o.cfg.GammaFactor, o.cfg.Mu)
+		online.RecomputeEvery = o.cfg.RecomputeEvery
+		st = &optimizerState{online: online}
+		o.states[name] = st
+	}
+	return st
+}
+
+func (o *PartitionOptimizer) sweepDataset(name string) {
+	d, err := o.store.Dataset(name)
+	if err != nil || d.Model() != PartitionedRlist {
+		return
+	}
+	st := o.state(name)
+
+	// Collect the unobserved suffix of the commit order under the read
+	// lock: version ids, parents, and the persisted lineage bitmaps.
+	type feed struct {
+		v       VersionID
+		parents []VersionID
+		set     *bitmap.Bitmap
+	}
+	d.mu.RLock()
+	vids := d.cvd.Versions()
+	var feeds []feed
+	for _, v := range vids[st.observed:] {
+		info, ierr := d.cvd.Info(v)
+		if ierr != nil {
+			continue
+		}
+		set, serr := d.cvd.RlistSet(v)
+		if serr != nil {
+			continue
+		}
+		feeds = append(feeds, feed{v: v, parents: info.Parents, set: set})
+	}
+	status, _ := d.cvd.PartitionStatus()
+	d.mu.RUnlock()
+
+	for _, f := range feeds {
+		if err := st.online.ObserveCommit(f.v, f.parents, f.set); err != nil {
+			o.recordErr(st, err)
+			return
+		}
+	}
+	o.mu.Lock()
+	st.observed = len(vids)
+	o.mu.Unlock()
+
+	if status == nil || !st.online.Drifted(status.CheckoutCost) {
+		return
+	}
+	if _, err := o.migrate(d, st, "drift"); err != nil {
+		o.recordErr(st, err)
+	}
+}
+
+func (o *PartitionOptimizer) recordErr(st *optimizerState, err error) {
+	o.mu.Lock()
+	st.lastErr = err.Error()
+	o.mu.Unlock()
+}
+
+// Trigger replans and migrates the named dataset immediately, regardless of
+// the drift trigger — the manual path behind
+// POST /api/v1/datasets/{name}/partitioning.
+func (o *PartitionOptimizer) Trigger(name string) (*MigrationReport, error) {
+	d, err := o.store.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	st := o.state(name)
+	rep, err := o.migrate(d, st, "manual")
+	if err != nil {
+		o.recordErr(st, err)
+	}
+	return rep, err
+}
+
+// migrate plans a repartitioning under the dataset read lock, then executes
+// it batch by batch: each batch briefly takes the exclusive lock, applies,
+// invalidates exactly the cache entries reading the moved versions, and
+// appends an optimize-migrate WAL record before releasing — checkouts run
+// freely between batches, and a crash replays the logged prefix to a
+// consistent layout.
+func (o *PartitionOptimizer) migrate(d *Dataset, st *optimizerState, reason string) (*MigrationReport, error) {
+	st.migrateMu.Lock()
+	defer st.migrateMu.Unlock()
+	s := o.store
+	t0 := time.Now()
+	ctx, root := s.obs.tracer.StartTrace(context.Background(), "optimize")
+	defer root.End()
+
+	_, planSpan := obs.StartSpan(ctx, "optimize.plan")
+	d.mu.RLock()
+	var plan *core.RepartitionPlan
+	err := d.aliveLocked()
+	if err == nil {
+		plan, err = d.cvd.PlanRepartition(o.cfg.GammaFactor, o.cfg.BatchRows)
+	}
+	d.mu.RUnlock()
+	planSpan.End()
+	if err != nil {
+		return nil, err
+	}
+
+	stats := s.db.Stats()
+	var moved int64
+	for _, b := range plan.Batches {
+		select {
+		case <-o.stop:
+			// Shutting down mid-plan is safe: every prefix of the batch
+			// sequence leaves a consistent layout (and is already logged).
+			return nil, fmt.Errorf("orpheusdb: %s: migration interrupted by optimizer shutdown", d.cvd.Name())
+		default:
+		}
+		n, aerr := o.applyBatch(ctx, d, b)
+		if aerr != nil {
+			return nil, aerr
+		}
+		moved += n
+		stats.PartitionBatches.Add(1)
+		stats.PartitionRowsMoved.Add(n)
+	}
+	stats.PartitionMigrations.Add(1)
+	total := time.Since(t0)
+	s.obs.partitionMigrateSeconds.Observe(total.Seconds())
+	s.ScheduleSave()
+
+	o.mu.Lock()
+	st.migrations++
+	st.batches += int64(len(plan.Batches))
+	st.rowsMoved += moved
+	st.lastRun = time.Now()
+	st.lastReason = reason
+	st.lastErr = ""
+	o.mu.Unlock()
+
+	status, _ := d.PartitionStatus()
+	rep := &MigrationReport{
+		Dataset:   d.cvd.Name(),
+		Reason:    reason,
+		Delta:     plan.Delta,
+		Groups:    plan.Groups,
+		Batches:   len(plan.Batches),
+		RowsMoved: moved,
+		SolveTime: plan.SolveTime,
+		TotalTime: total,
+		SolveMs:   plan.SolveTime.Milliseconds(),
+		TotalMs:   total.Milliseconds(),
+	}
+	if status != nil {
+		rep.Partitions = len(status.Partitions)
+	}
+	return rep, nil
+}
+
+// applyBatch is one migration batch's critical section.
+func (o *PartitionOptimizer) applyBatch(ctx context.Context, d *Dataset, b core.PartitionBatch) (int64, error) {
+	s := o.store
+	_, span := obs.StartSpan(ctx, "optimize.migrate")
+	defer span.End()
+	s.ioMu.RLock()
+	defer s.ioMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return 0, err
+	}
+	n, err := d.cvd.ApplyPartitionBatch(b)
+	if err != nil {
+		return 0, err
+	}
+	// Migration preserves every version's materialized contents, so only
+	// entries reading the remapped versions are dropped — and the dataset
+	// generation (the ETag validator) does not move.
+	if len(b.Versions) > 0 {
+		vids := make([]int64, len(b.Versions))
+		for i, v := range b.Versions {
+			vids[i] = int64(v)
+		}
+		s.cache.InvalidateVersions(d.cvd.Name(), bitmap.FromSlice(vids))
+	}
+	if err := s.logMutation(migrateBatchRecord(d.cvd.Name(), b)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Status reports the optimizer's view of one dataset.
+func (o *PartitionOptimizer) Status(name string) PartitionOptimizerStatus {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := PartitionOptimizerStatus{
+		Running:     true,
+		GammaFactor: o.cfg.GammaFactor,
+		Mu:          o.cfg.Mu,
+		BatchRows:   o.cfg.BatchRows,
+	}
+	st, ok := o.states[name]
+	if !ok {
+		return out
+	}
+	out.CommitsObserved = st.online.Commits()
+	out.BestCavg = st.online.BestCheckoutCost()
+	out.DeltaStar = st.online.DeltaStar()
+	out.Migrations = st.migrations
+	out.Batches = st.batches
+	out.RowsMoved = st.rowsMoved
+	out.LastReason = st.lastReason
+	out.LastError = st.lastErr
+	if !st.lastRun.IsZero() {
+		out.LastRun = st.lastRun.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+// PartitionStatus snapshots the dataset's partitioned layout (partition
+// sizes, storage amplification, δ*, current average checkout cost). ok is
+// false for datasets on non-partitioned models.
+func (d *Dataset) PartitionStatus() (*core.PartitionStatus, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cvd.PartitionStatus()
+}

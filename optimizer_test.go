@@ -1,0 +1,188 @@
+package orpheusdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"orpheusdb/internal/partition"
+)
+
+// chainStore builds a partitioned dataset whose versions form a growing
+// chain: version i carries i*rowsPer accumulated rows, so the single initial
+// partition's checkout cost drifts far above what LYRESPLIT can achieve.
+func chainStore(t *testing.T, name string, versions, rowsPer int) (*Store, *Dataset, []VersionID) {
+	t.Helper()
+	store := NewStore()
+	cols := []Column{{Name: "k", Type: KindInt}, {Name: "v", Type: KindInt}}
+	ds, err := store.Init(name, cols, InitOptions{Model: PartitionedRlist, PrimaryKey: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	var parents []VersionID
+	var vids []VersionID
+	next := int64(0)
+	for i := 0; i < versions; i++ {
+		for j := 0; j < rowsPer; j++ {
+			rows = append(rows, Row{Int(next), Int(next * 3)})
+			next++
+		}
+		v, err := ds.Commit(append([]Row(nil), rows...), parents, fmt.Sprintf("step %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = []VersionID{v}
+		vids = append(vids, v)
+	}
+	return store, ds, vids
+}
+
+// sortedCheckout fingerprints one version's rows independent of fetch order.
+func sortedCheckout(t *testing.T, ds *Dataset, v VersionID) []string {
+	t.Helper()
+	rows, err := ds.Checkout(v)
+	if err != nil {
+		t.Fatalf("checkout %d: %v", v, err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestStartPartitionOptimizerValidatesConfig(t *testing.T) {
+	store := NewStore()
+	if _, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{RecomputeEvery: -1}); err == nil {
+		t.Fatal("negative RecomputeEvery accepted")
+	} else {
+		var oe *partition.OptionsError
+		if !errors.As(err, &oe) || oe.Field != "RecomputeEvery" {
+			t.Fatalf("want OptionsError on RecomputeEvery, got %v", err)
+		}
+	}
+	if _, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{GammaFactor: 0.5}); err == nil {
+		t.Fatal("sub-1 gamma accepted")
+	}
+	o, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{}); err == nil {
+		t.Fatal("second optimizer accepted while first is running")
+	}
+	o.Stop()
+	if store.PartitionOptimizer() != nil {
+		t.Fatal("Stop left the optimizer registered")
+	}
+	// Restartable after Stop.
+	o2, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{Mu: MuDisabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o2.Config().Mu; got != 0 {
+		t.Fatalf("MuDisabled should map to Mu=0, got %g", got)
+	}
+	o2.Stop()
+}
+
+// TestOptimizerDriftMigratesUnderTraffic drives commits through a store with
+// the optimizer running and waits for the µ-drift trigger to repartition the
+// dataset in the background; every version must checkout identically before
+// and after, and the layout must end up multi-partition.
+func TestOptimizerDriftMigratesUnderTraffic(t *testing.T) {
+	store, ds, vids := chainStore(t, "drift", 40, 25)
+	before := make(map[VersionID][]string, len(vids))
+	for _, v := range vids {
+		before[v] = sortedCheckout(t, ds, v)
+	}
+	st0, _ := ds.PartitionStatus()
+	if len(st0.Partitions) != 1 {
+		t.Fatalf("fixture should start single-partition, got %d", len(st0.Partitions))
+	}
+
+	o, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{
+		Mu:             1, // migrate as soon as the layout is beatable at all
+		RecomputeEvery: 1,
+		BatchRows:      200,
+		Interval:       10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	// One more commit wakes the optimizer; the sweep observes the whole
+	// history and the drift check fires.
+	if _, err := ds.Commit([]Row{{Int(99999), Int(0)}}, []VersionID{vids[len(vids)-1]}, "wake"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := o.Status("drift"); s.Migrations > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("optimizer never migrated: %+v", o.Status("drift"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st1, _ := ds.PartitionStatus()
+	if len(st1.Partitions) < 2 {
+		t.Fatalf("migration left %d partitions", len(st1.Partitions))
+	}
+	if st1.CheckoutCost >= st0.CheckoutCost {
+		t.Fatalf("checkout cost did not improve: %g -> %g", st0.CheckoutCost, st1.CheckoutCost)
+	}
+	for _, v := range vids {
+		after := sortedCheckout(t, ds, v)
+		if len(after) != len(before[v]) {
+			t.Fatalf("version %d: %d rows after migration, want %d", v, len(after), len(before[v]))
+		}
+		for i := range after {
+			if after[i] != before[v][i] {
+				t.Fatalf("version %d row %d diverged after migration", v, i)
+			}
+		}
+	}
+	status := o.Status("drift")
+	if status.Batches == 0 || status.RowsMoved == 0 || status.LastReason != "drift" {
+		t.Fatalf("optimizer status incomplete: %+v", status)
+	}
+	if n := store.DB().Stats().PartitionMigrations.Load(); n == 0 {
+		t.Fatal("engine migration counter not bumped")
+	}
+}
+
+// TestOptimizerManualTrigger repartitions on demand without any drift.
+func TestOptimizerManualTrigger(t *testing.T) {
+	store, ds, vids := chainStore(t, "manual", 20, 10)
+	o, err := store.StartPartitionOptimizer(PartitionOptimizerConfig{
+		Mu:       MuDisabled, // observe-only: only the manual path migrates
+		Interval: time.Hour,  // no background sweeps interfere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	rep, err := o.Trigger("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches == 0 || rep.Partitions < 2 || rep.Reason != "manual" {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	for _, v := range vids {
+		if _, err := ds.Checkout(v); err != nil {
+			t.Fatalf("checkout %d after manual migration: %v", v, err)
+		}
+	}
+	if _, err := o.Trigger("no-such-dataset"); err == nil {
+		t.Fatal("trigger on unknown dataset accepted")
+	}
+}

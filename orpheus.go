@@ -175,6 +175,10 @@ type Store struct {
 	// and the histogram handles the layers observe into (see obs_store.go).
 	// Set once in newStore, then read-only.
 	obs *storeObs
+
+	// optimizer is the background partition optimizer, nil until
+	// StartPartitionOptimizer (see optimizer.go).
+	optimizer atomic.Pointer[PartitionOptimizer]
 }
 
 func newStore(db *engine.DB, path string) *Store {
@@ -594,6 +598,7 @@ func (d *Dataset) CommitCtx(ctx context.Context, rows []Row, parents []VersionID
 		return v, err
 	}
 	d.store.ScheduleSave()
+	d.store.wakeOptimizer()
 	return v, nil
 }
 
@@ -622,6 +627,7 @@ func (d *Dataset) CommitWithSchemaCtx(ctx context.Context, cols []Column, rows [
 		return v, err
 	}
 	d.store.ScheduleSave()
+	d.store.wakeOptimizer()
 	return v, nil
 }
 
@@ -808,6 +814,7 @@ func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
 		}
 	}
 	s.ScheduleSave()
+	s.wakeOptimizer()
 	return v, nil
 }
 

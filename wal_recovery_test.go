@@ -818,3 +818,119 @@ func TestWALStatusDisabled(t *testing.T) {
 		t.Fatal("WALEnabled on a plain store")
 	}
 }
+
+// TestWALKillPointOptimizeMigrate extends the kill-point matrix to the
+// optimize-migrate record: a background repartitioning is WAL-logged batch by
+// batch, and the log is cut at arbitrary byte offsets across the whole
+// migration. Every cut must recover to a consistent layout — some replayed
+// prefix of the batch sequence — where every recovered version still checks
+// out its exact acknowledged contents, and the store stays writable.
+func TestWALKillPointOptimizeMigrate(t *testing.T) {
+	dir := t.TempDir()
+	s := openWALStore(t, dir, FsyncOff)
+	d, err := s.Init("part", protCols(), InitOptions{Model: PartitionedRlist, PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Growing chain: version i carries 3*(i+1) rows, so the single initial
+	// partition drifts and the plan needs several small batches.
+	acked := []VersionID{}
+	last := VersionID(0)
+	next := int64(0)
+	for i := 0; i < 10; i++ {
+		var parents []VersionID
+		if last != 0 {
+			parents = []VersionID{last}
+		}
+		ids := make([]int64, 0, next+3)
+		for id := int64(0); id < next+3; id++ {
+			ids = append(ids, id)
+		}
+		next += 3
+		last = mustCommit(t, d, parents, fmt.Sprintf("c%d", i), ids...)
+		acked = append(acked, last)
+	}
+
+	o, err := s.StartPartitionOptimizer(PartitionOptimizerConfig{
+		Mu:        MuDisabled,
+		BatchRows: 24, // force a multi-batch migration = many kill points
+		Interval:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := o.Trigger("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches < 3 {
+		t.Fatalf("migration used %d batches; the matrix needs a multi-batch log", rep.Batches)
+	}
+	// Traffic after the migration: the log tail mixes commit and migrate
+	// records, so cuts land before, inside, and after the batch sequence.
+	after := mustCommit(t, d, []VersionID{last}, "after migrate", 999)
+	acked = append(acked, after)
+	o.Stop()
+
+	// Contents are invariant under migration, so one fingerprint per version
+	// is the oracle for every cut.
+	want := make(map[VersionID][]string, len(acked))
+	for _, v := range acked {
+		want[v] = sortedCheckout(t, d, v)
+	}
+	crash(s)
+
+	seg := filepath.Join(dir, "store.odb.wal")
+	segs := listSegments(t, seg)
+	if len(segs) != 1 {
+		t.Fatalf("want one segment, got %v", segs)
+	}
+	fi, err := os.Stat(filepath.Join(seg, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	step := int64(13)
+	if testing.Short() {
+		step = 251
+	}
+	for cut := int64(0); cut <= size; cut += step {
+		if cut+step > size {
+			cut = size // always include the clean tail
+		}
+		cutDir := copyWALDir(t, dir, cut)
+		r := openWALStore(t, cutDir, FsyncOff)
+		if names := r.List(); len(names) == 1 {
+			rd, err := r.Dataset("part")
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			vs := rd.Versions()
+			for i, v := range vs {
+				if v != acked[i] {
+					t.Fatalf("cut %d: recovered versions %v are not a prefix of %v", cut, vs, acked)
+				}
+				got := sortedCheckout(t, rd, v)
+				if len(got) != len(want[v]) {
+					t.Fatalf("cut %d: version %d has %d rows, want %d", cut, v, len(got), len(want[v]))
+				}
+				for j := range got {
+					if got[j] != want[v][j] {
+						t.Fatalf("cut %d: version %d row %d diverged after replay", cut, v, j)
+					}
+				}
+			}
+			if n := len(vs); n > 0 {
+				// Recovered store accepts new work mid-migration-replay too.
+				mustCommit(t, rd, []VersionID{vs[n-1]}, "again", 777)
+			}
+		} else if len(r.List()) > 1 {
+			t.Fatalf("cut %d: unexpected datasets %v", cut, r.List())
+		}
+		crash(r)
+		if cut == size {
+			break
+		}
+	}
+}
