@@ -37,6 +37,21 @@ type cacheBenchReport struct {
 	// SpeedupP50 maps op name -> uncached p50 / cached p50.
 	SpeedupP50 map[string]float64   `json:"speedup_p50"`
 	CacheStats orpheusdb.CacheStats `json:"cache_stats"`
+	// Heat is the benchmark dataset's access-heat table after the run — the
+	// same aggregate GET /api/v1/datasets/{name}/heat serves.
+	Heat orpheusdb.HeatSnapshot `json:"heat"`
+	// History is the retained checkout-latency series a metrics-history
+	// sampler accumulated across the run: per series, how many points the
+	// query path would serve. Non-empty counts are what CI asserts on.
+	History []historyEvidence `json:"history"`
+}
+
+type historyEvidence struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Tier   string  `json:"tier"`
+	Points int     `json:"points"`
+	Newest float64 `json:"newest"`
 }
 
 func cacheBench(args []string) error {
@@ -86,6 +101,17 @@ func cacheBench(args []string) error {
 	mid := hot / 2
 	if mid == 0 {
 		mid = hot
+	}
+
+	// Retained-history sampler over the store's own registry, driven manually
+	// (one Sample per op/mode batch) instead of by its goroutine, so the bench
+	// stays deterministic while still exercising the exact path the service's
+	// /api/v1/metrics/history serves from.
+	sampler, err := obs.NewHistory(store.Metrics(), obs.HistoryOptions{
+		Tiers: []obs.HistoryTier{{Interval: 10 * time.Millisecond, Retain: 10 * time.Second}},
+	})
+	if err != nil {
+		return err
 	}
 
 	ops := []struct {
@@ -158,6 +184,7 @@ func cacheBench(args []string) error {
 			fmt.Printf("%-10s %-9s %12v %12v %12v %14.0f\n", op.name, mode,
 				time.Duration(res.P50Nanos), time.Duration(res.P95Nanos),
 				time.Duration(res.P99Nanos), res.OpsPerSec)
+			sampler.Sample(time.Now())
 		}
 	}
 	for name, m := range p50 {
@@ -166,9 +193,21 @@ func cacheBench(args []string) error {
 		}
 	}
 	rep.CacheStats = store.CacheStats()
+	if rep.Heat, err = ds.Heat(5); err != nil {
+		return err
+	}
+	for _, s := range sampler.Query("orpheus_checkout_seconds", time.Time{}) {
+		ev := historyEvidence{Name: s.Name, Labels: s.Labels, Tier: s.Tier, Points: len(s.Points)}
+		if n := len(s.Points); n > 0 {
+			ev.Newest = s.Points[n-1].V
+		}
+		rep.History = append(rep.History, ev)
+	}
 	fmt.Printf("\nhot-version p50 speedup: checkout %.1fx, scan %.1fx, sql %.1fx (hits=%d misses=%d)\n",
 		rep.SpeedupP50["checkout"], rep.SpeedupP50["scan"], rep.SpeedupP50["sql"],
 		rep.CacheStats.Hits, rep.CacheStats.Misses)
+	fmt.Printf("heat: %d checkouts tracked over %d versions (hit ratio %.2f); history retains %d checkout series\n",
+		rep.Heat.Checkouts, rep.Heat.TrackedVersions, rep.Heat.CacheHitRatio, len(rep.History))
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -24,6 +24,7 @@
 //	explain <cvd> -v <vid>                                Table 1 SQL translations
 //	serve [-addr :7077] [-quiet] [-fsync always|interval|off]
 //	                                                      run the HTTP/JSON versioning service
+//	top [-addr http://host:7077] [-interval 2s] [-once]   live workload dashboard over a running serve
 //
 // The global -wal <dir> flag write-ahead-logs every mutation for crash
 // recovery; when <store>.wal already exists it is attached automatically so
@@ -60,6 +61,11 @@ func run(args []string) error {
 	rest := global.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("no command; see -h")
+	}
+	if rest[0] == "top" {
+		// Pure network client: runs against a served store and must not
+		// open (or create, or save) a local store file of its own.
+		return cmdTop(rest[1:])
 	}
 	store, err := orpheusdb.OpenStore(*dbPath)
 	if err != nil {

@@ -44,6 +44,9 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 	optBatch := fs.Int64("optimize-batch-rows", 4096, "max records a migration batch moves in one critical section")
 	optEvery := fs.Int("optimize-recompute-every", 16, "refresh C*avg every N observed commits")
 	optInterval := fs.Duration("optimize-interval", 30*time.Second, "fallback sweep period without commit traffic")
+	history := fs.Bool("history", true, "retain metrics history (GET /api/v1/metrics/history, orpheus top)")
+	histInterval := fs.Duration("history-interval", 10*time.Second, "finest history sampling cadence")
+	histRetain := fs.Duration("history-retain", time.Hour, "retention at the finest cadence (a 1m/24h coarse tier rides along)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +99,19 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 		defer opt.Stop()
 		fmt.Fprintf(os.Stderr, "orpheus: partition optimizer on (gamma=%g mu=%g batch=%d)\n",
 			*optGamma, *optMu, *optBatch)
+	}
+
+	if *history {
+		tiers := []orpheusdb.HistoryTier{{Interval: *histInterval, Retain: *histRetain}}
+		// A coarse day-long tier rides along whenever the configured cadence
+		// is finer than a minute; otherwise the single tier is the history.
+		if *histInterval < time.Minute {
+			tiers = append(tiers, orpheusdb.HistoryTier{Interval: time.Minute, Retain: 24 * time.Hour})
+		}
+		if _, err := store.StartMetricsHistory(orpheusdb.HistoryOptions{Tiers: tiers}); err != nil {
+			return fmt.Errorf("serve: metrics history: %w", err)
+		}
+		defer store.StopMetricsHistory()
 	}
 
 	if *slow > 0 {

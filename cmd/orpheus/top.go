@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// cmdTop is the live workload view (`orpheus top -addr http://host:7077`): a
+// refreshing terminal dashboard over a running serve instance, built entirely
+// from the telemetry endpoints — /healthz, /api/v1/datasets/{name}/heat, and
+// /api/v1/metrics/history. Per dataset it shows the sliding-window op rate,
+// total checkouts, cache hit ratio, the hottest versions, and the optimizer's
+// drift verdict; the header carries service health, WAL checkpoint lag, and
+// checkout/fsync latency percentiles from the retained history. When stdout
+// is not a terminal (or with -once) it prints a single plain-text table and
+// exits, so scripts and CI can scrape it.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:7077", "base URL of a running orpheus serve")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	topK := fs.Int("top", 3, "hot versions shown per dataset")
+	since := fs.Duration("since", 15*time.Minute, "history window for latency percentiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("top: -interval must be positive")
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &topClient{base: base, http: &http.Client{Timeout: 5 * time.Second}}
+
+	tty := isTerminal(os.Stdout)
+	if *once || !tty {
+		snap, err := c.gather(*topK, *since)
+		if err != nil {
+			return err
+		}
+		renderTop(os.Stdout, snap)
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		snap, err := c.gather(*topK, *since)
+		// Clear screen + home; a fetch error renders in place of the table so
+		// a bounced server shows up instead of a frozen last frame.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("orpheus top: %v (retrying every %s)\n", err, *interval)
+		} else {
+			renderTop(os.Stdout, snap)
+			fmt.Printf("\nrefresh %s — ctrl-c to quit\n", *interval)
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// isTerminal reports whether f is a character device (a TTY) — the switch
+// between the refreshing dashboard and the plain scrapeable table.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+type topClient struct {
+	base string
+	http *http.Client
+}
+
+func (c *topClient) getJSON(path string, dst any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, dst)
+}
+
+// The decode targets mirror just the fields top renders; unknown fields from
+// newer servers are ignored by design.
+
+type topHealth struct {
+	Status string `json:"status"`
+	WAL    struct {
+		Enabled       bool   `json:"enabled"`
+		Policy        string `json:"policy"`
+		AppliedLSN    uint64 `json:"appliedLSN"`
+		CheckpointLSN uint64 `json:"checkpointLSN"`
+		AppendError   string `json:"appendError"`
+	} `json:"wal"`
+	Optimizer *struct {
+		Running    bool   `json:"running"`
+		Migrations int64  `json:"migrations"`
+		LastRun    string `json:"last_run"`
+		LastError  string `json:"last_error"`
+	} `json:"optimizer"`
+}
+
+type topHeat struct {
+	Checkouts     int64   `json:"checkouts"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Commits       int64   `json:"commits"`
+	Merges        int64   `json:"merges"`
+	OpsPerSecond  float64 `json:"ops_per_second"`
+	TopVersions   []struct {
+		Version   int64 `json:"version"`
+		Checkouts int64 `json:"checkouts"`
+	} `json:"top_versions"`
+}
+
+type topOptimizer struct {
+	Running  bool    `json:"running"`
+	Cavg     float64 `json:"avg_checkout_records"`
+	BestCavg float64 `json:"best_avg_checkout_records"`
+	Drifted  bool    `json:"drifted"`
+	Weighted bool    `json:"access_weighted"`
+}
+
+type topHistory struct {
+	Series []struct {
+		Name   string `json:"name"`
+		Points []struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+type topRow struct {
+	name string
+	heat topHeat
+	opt  *topOptimizer
+}
+
+type topSnapshot struct {
+	at         time.Time
+	health     topHealth
+	healthErr  error
+	rows       []topRow
+	checkP50   float64 // seconds, -1 when unknown
+	checkP95   float64
+	fsyncP95   float64
+	historyOK  bool
+	historyErr string
+}
+
+func (c *topClient) gather(topK int, since time.Duration) (*topSnapshot, error) {
+	snap := &topSnapshot{at: time.Now(), checkP50: -1, checkP95: -1, fsyncP95: -1}
+
+	var list struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := c.getJSON("/api/v1/datasets", &list); err != nil {
+		return nil, err
+	}
+	snap.healthErr = c.getJSON("/healthz", &snap.health)
+
+	for _, d := range list.Datasets {
+		row := topRow{name: d.Name}
+		var hr struct {
+			Heat topHeat `json:"heat"`
+		}
+		if err := c.getJSON("/api/v1/datasets/"+d.Name+"/heat?top="+fmt.Sprint(topK), &hr); err == nil {
+			row.heat = hr.Heat
+		}
+		var pr struct {
+			Optimizer topOptimizer `json:"optimizer"`
+		}
+		// Non-partitioned datasets 400 here; the drift column just stays "-".
+		if err := c.getJSON("/api/v1/datasets/"+d.Name+"/partitioning", &pr); err == nil {
+			row.opt = &pr.Optimizer
+		}
+		snap.rows = append(snap.rows, row)
+	}
+	sort.Slice(snap.rows, func(i, j int) bool {
+		if snap.rows[i].heat.OpsPerSecond != snap.rows[j].heat.OpsPerSecond {
+			return snap.rows[i].heat.OpsPerSecond > snap.rows[j].heat.OpsPerSecond
+		}
+		return snap.rows[i].name < snap.rows[j].name
+	})
+
+	var hist topHistory
+	q := fmt.Sprintf("/api/v1/metrics/history?since=%s", since)
+	if err := c.getJSON(q, &hist); err != nil {
+		snap.historyErr = err.Error()
+	} else {
+		snap.historyOK = true
+		snap.checkP50 = newestMax(hist, "orpheus_checkout_seconds_p50")
+		snap.checkP95 = newestMax(hist, "orpheus_checkout_seconds_p95")
+		snap.fsyncP95 = newestMax(hist, "orpheus_wal_fsync_seconds_p95")
+	}
+	return snap, nil
+}
+
+// newestMax returns the largest newest-point value across the series with the
+// given digest name (a labeled histogram contributes one child per label set;
+// the max is the conservative summary), or -1 when none retain points.
+func newestMax(h topHistory, name string) float64 {
+	v := -1.0
+	for _, s := range h.Series {
+		if s.Name != name || len(s.Points) == 0 {
+			continue
+		}
+		if p := s.Points[len(s.Points)-1].V; p > v {
+			v = p
+		}
+	}
+	return v
+}
+
+func fmtLatency(sec float64) string {
+	if sec < 0 {
+		return "-"
+	}
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func renderTop(w io.Writer, s *topSnapshot) {
+	fmt.Fprintf(w, "orpheus top — %s\n", s.at.Format("15:04:05"))
+	if s.healthErr != nil {
+		fmt.Fprintf(w, "health: unavailable (%v)\n", s.healthErr)
+	} else {
+		line := "health: " + s.health.Status
+		if s.health.WAL.Enabled {
+			line += fmt.Sprintf("  wal: %s lag=%d", s.health.WAL.Policy,
+				s.health.WAL.AppliedLSN-s.health.WAL.CheckpointLSN)
+			if s.health.WAL.AppendError != "" {
+				line += " APPEND-ERROR"
+			}
+		} else {
+			line += "  wal: off"
+		}
+		if o := s.health.Optimizer; o != nil && o.Running {
+			line += fmt.Sprintf("  optimizer: on migrations=%d", o.Migrations)
+			if o.LastError != "" {
+				line += " ERROR=" + o.LastError
+			}
+		} else {
+			line += "  optimizer: off"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if s.historyOK {
+		fmt.Fprintf(w, "latency: checkout p50=%s p95=%s  wal fsync p95=%s\n",
+			fmtLatency(s.checkP50), fmtLatency(s.checkP95), fmtLatency(s.fsyncP95))
+	} else {
+		fmt.Fprintf(w, "latency: history unavailable (%s)\n", s.historyErr)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s %8s %10s %8s %6s %6s %-9s %s\n",
+		"DATASET", "OPS/S", "CHECKOUTS", "COMMITS", "MERGES", "HIT%", "DRIFT", "HOT VERSIONS")
+	for _, r := range s.rows {
+		drift := "-"
+		if o := r.opt; o != nil && o.Running {
+			switch {
+			case o.Drifted && o.Weighted:
+				drift = "DRIFT*w"
+			case o.Drifted:
+				drift = "DRIFT"
+			default:
+				drift = "ok"
+			}
+			if o.BestCavg > 0 {
+				drift += fmt.Sprintf(" %.2f", o.Cavg/o.BestCavg)
+			}
+		}
+		hot := make([]string, 0, len(r.heat.TopVersions))
+		for _, v := range r.heat.TopVersions {
+			hot = append(hot, fmt.Sprintf("v%d:%d", v.Version, v.Checkouts))
+		}
+		fmt.Fprintf(w, "%-20s %8.2f %10d %8d %6d %5.1f%% %-9s %s\n",
+			r.name, r.heat.OpsPerSecond, r.heat.Checkouts, r.heat.Commits,
+			r.heat.Merges, 100*r.heat.CacheHitRatio, drift, strings.Join(hot, " "))
+	}
+	if len(s.rows) == 0 {
+		fmt.Fprintln(w, "(no datasets)")
+	}
+}

@@ -47,6 +47,10 @@ type CVD struct {
 	// observations; individual histograms may be nil.
 	metrics *Metrics
 
+	// heat, when set (SetHeat), receives per-version access credits from the
+	// checkout, commit, and merge paths (nil-safe, like metrics).
+	heat *Heat
+
 	// Clock supplies commit timestamps; replaceable for deterministic
 	// tests.
 	Clock func() time.Time
@@ -494,6 +498,7 @@ func (c *CVD) commitAt(ctx context.Context, rows []engine.Row, parents []vgraph.
 	if c.metrics != nil {
 		c.metrics.Commit.ObserveDuration(time.Since(start))
 	}
+	c.heat.RecordCommit(parents)
 	return vid, nil
 }
 
@@ -572,6 +577,7 @@ func (c *CVD) CheckoutCtx(ctx context.Context, vids ...vgraph.VersionID) ([]engi
 		rows, err := c.checkoutUncached(ctx, vids...)
 		if err == nil {
 			c.observeCheckout(time.Since(start).Seconds(), false)
+			c.heat.RecordCheckout(vids, false)
 		}
 		return rows, err
 	}
@@ -585,6 +591,7 @@ func (c *CVD) CheckoutCtx(ctx context.Context, vids ...vgraph.VersionID) ([]engi
 	})
 	if err == nil {
 		c.observeCheckout(time.Since(start).Seconds(), hit)
+		c.heat.RecordCheckout(vids, hit)
 	}
 	return rows, err
 }
@@ -772,6 +779,7 @@ func (c *CVD) MultiVersionCheckoutCtx(ctx context.Context, vids []vgraph.Version
 		rows, err := c.multiVersionCheckoutUncached(ctx, vids, ops)
 		if err == nil {
 			c.observeCheckout(time.Since(start).Seconds(), false)
+			c.heat.RecordCheckout(vids, false)
 		}
 		return rows, err
 	}
@@ -789,6 +797,7 @@ func (c *CVD) MultiVersionCheckoutCtx(ctx context.Context, vids []vgraph.Version
 	})
 	if err == nil {
 		c.observeCheckout(time.Since(start).Seconds(), hit)
+		c.heat.RecordCheckout(vids, hit)
 	}
 	return rows, err
 }
@@ -834,12 +843,14 @@ func (c *CVD) AllVersionsCheckoutCtx(ctx context.Context) ([]engine.Column, []en
 		cols, rows, err := c.allVersionsUncached(ctx)
 		if err == nil {
 			c.observeCheckout(time.Since(start).Seconds(), false)
+			c.heat.RecordCheckout(nil, false)
 		}
 		return cols, rows, err
 	}
 	cols, rows, hit, err := c.cachedRows(ctx, cache.AllVersionsKey(c.name), nil, c.allVersionsUncached)
 	if err == nil {
 		c.observeCheckout(time.Since(start).Seconds(), hit)
+		c.heat.RecordCheckout(nil, hit)
 	}
 	return cols, rows, err
 }

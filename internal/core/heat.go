@@ -1,0 +1,292 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orpheusdb/internal/vgraph"
+)
+
+// Heat tracks which versions of a CVD are actually accessed: lock-cheap
+// counters recorded on the checkout/commit/merge paths, aggregated at read
+// time into a heat table (top-K hot versions, per-branch checkout rates,
+// cache hit ratio per version). The paper's partitioner assumes every
+// version is equally likely to be checked out; Heat supplies the observed
+// weights that let drift detection reflect real traffic instead.
+//
+// The write path is one RLock plus a few atomic adds when the version has
+// been seen before; only a first access to a version takes the write lock.
+// All methods are safe for concurrent use and nil receivers, mirroring the
+// rest of the observability hooks.
+type Heat struct {
+	mu       sync.RWMutex
+	versions map[vgraph.VersionID]*heatEntry
+
+	checkouts atomic.Int64 // checkout ops (not per-version credits)
+	hits      atomic.Int64 // checkout ops served from cache
+	commits   atomic.Int64
+	merges    atomic.Int64
+
+	recent recentRing // per-version access credits (per-branch rate source)
+	ops    recentRing // whole operations (ops/s source)
+
+	// Clock supplies "now" for rate windows; replaceable for deterministic
+	// tests.
+	Clock func() time.Time
+}
+
+type heatEntry struct {
+	checkouts atomic.Int64
+	hits      atomic.Int64
+	lastUnix  atomic.Int64 // unix nanoseconds of last access
+}
+
+// recentRing is a fixed lock-free log of recent version accesses, each entry
+// a (unix-second, version) pair packed into one uint64. Readers scan all
+// slots and window by the embedded second, which is what per-branch rates
+// are computed from. Writes race benignly: a torn overwrite loses one sample
+// of telemetry, nothing more.
+type recentRing struct {
+	idx   atomic.Uint64
+	slots [1024]atomic.Uint64
+}
+
+func (r *recentRing) record(sec int64, v vgraph.VersionID) {
+	i := r.idx.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(uint64(sec)<<24 | uint64(v)&0xffffff)
+}
+
+// scan invokes fn for every recorded access not older than window seconds.
+func (r *recentRing) scan(nowSec, windowSec int64, fn func(sec int64, v vgraph.VersionID)) {
+	for i := range r.slots {
+		packed := r.slots[i].Load()
+		if packed == 0 {
+			continue
+		}
+		sec := int64(packed >> 24)
+		if nowSec-sec >= windowSec {
+			continue
+		}
+		fn(sec, vgraph.VersionID(packed&0xffffff))
+	}
+}
+
+// NewHeat builds an empty tracker.
+func NewHeat() *Heat {
+	return &Heat{versions: make(map[vgraph.VersionID]*heatEntry)}
+}
+
+func (h *Heat) now() time.Time {
+	if h.Clock != nil {
+		return h.Clock()
+	}
+	return time.Now()
+}
+
+// entry returns the tracker for v, creating it under the write lock on first
+// access.
+func (h *Heat) entry(v vgraph.VersionID) *heatEntry {
+	h.mu.RLock()
+	e := h.versions[v]
+	h.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e = h.versions[v]; e == nil {
+		e = &heatEntry{}
+		h.versions[v] = e
+	}
+	return e
+}
+
+func (h *Heat) touch(vids []vgraph.VersionID, hit bool, now time.Time) {
+	sec := now.Unix()
+	nano := now.UnixNano()
+	for _, v := range vids {
+		e := h.entry(v)
+		e.checkouts.Add(1)
+		if hit {
+			e.hits.Add(1)
+		}
+		e.lastUnix.Store(nano)
+		h.recent.record(sec, v)
+	}
+}
+
+// RecordCheckout notes one checkout operation over vids (empty for the
+// all-versions view) and whether it was served from the checkout cache.
+func (h *Heat) RecordCheckout(vids []vgraph.VersionID, hit bool) {
+	if h == nil {
+		return
+	}
+	h.checkouts.Add(1)
+	if hit {
+		h.hits.Add(1)
+	}
+	now := h.now()
+	h.ops.record(now.Unix(), 0)
+	h.touch(vids, hit, now)
+}
+
+// RecordCommit notes one commit; the parents are credited as accesses (a
+// commit reads its parent's record set for hash matching).
+func (h *Heat) RecordCommit(parents []vgraph.VersionID) {
+	if h == nil {
+		return
+	}
+	h.commits.Add(1)
+	now := h.now()
+	h.ops.record(now.Unix(), 0)
+	h.touch(parents, false, now)
+}
+
+// RecordMerge notes one merge; both sides are credited as accesses.
+func (h *Heat) RecordMerge(ours, theirs vgraph.VersionID) {
+	if h == nil {
+		return
+	}
+	h.merges.Add(1)
+	now := h.now()
+	h.ops.record(now.Unix(), 0)
+	h.touch([]vgraph.VersionID{ours, theirs}, false, now)
+}
+
+// Weights returns per-version access counts (checkout credits), the shape
+// partition.Online.SetAccessWeights consumes. Nil when nothing was recorded,
+// so callers fall back to the paper's uniform assumption.
+func (h *Heat) Weights() map[vgraph.VersionID]int64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.versions) == 0 {
+		return nil
+	}
+	out := make(map[vgraph.VersionID]int64, len(h.versions))
+	for v, e := range h.versions {
+		if n := e.checkouts.Load(); n > 0 {
+			out[v] = n
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// rateWindowSec is the sliding window (seconds) behind the ops/s figures.
+const rateWindowSec = 60
+
+// VersionHeat is one row of the heat table.
+type VersionHeat struct {
+	Version    vgraph.VersionID `json:"version"`
+	Checkouts  int64            `json:"checkouts"`
+	CacheHits  int64            `json:"cache_hits"`
+	HitRatio   float64          `json:"hit_ratio"`
+	LastAccess int64            `json:"last_access_ms,omitempty"` // unix milliseconds, 0 if never
+}
+
+// BranchHeat is the observed access rate of one branch: checkouts crediting
+// any version in the branch's lineage.
+type BranchHeat struct {
+	Name      string           `json:"name"`
+	Head      vgraph.VersionID `json:"head"`
+	Recent    int64            `json:"recent_checkouts"`
+	PerSecond float64          `json:"checkouts_per_second"`
+}
+
+// HeatSnapshot is the aggregated heat table served on
+// GET /api/v1/datasets/{name}/heat.
+type HeatSnapshot struct {
+	TrackedVersions int           `json:"tracked_versions"`
+	Checkouts       int64         `json:"checkouts"`
+	CacheHits       int64         `json:"cache_hits"`
+	CacheHitRatio   float64       `json:"cache_hit_ratio"`
+	Commits         int64         `json:"commits"`
+	Merges          int64         `json:"merges"`
+	OpsPerSecond    float64       `json:"ops_per_second"` // checkouts+commits+merges over the window
+	WindowSeconds   int64         `json:"window_seconds"`
+	TopVersions     []VersionHeat `json:"top_versions"`
+	Branches        []BranchHeat  `json:"branches,omitempty"`
+}
+
+// Snapshot aggregates the counters: the topK hottest versions by checkout
+// count, totals and cache hit ratio, the sliding-window op rate, and — when
+// branches are supplied — per-branch checkout rates computed by joining the
+// recent-access ring against each branch's lineage bitmap.
+func (h *Heat) Snapshot(topK int, branches []*BranchInfo) HeatSnapshot {
+	if h == nil {
+		return HeatSnapshot{WindowSeconds: rateWindowSec}
+	}
+	now := h.now()
+	snap := HeatSnapshot{
+		Checkouts:     h.checkouts.Load(),
+		CacheHits:     h.hits.Load(),
+		Commits:       h.commits.Load(),
+		Merges:        h.merges.Load(),
+		WindowSeconds: rateWindowSec,
+	}
+	if snap.Checkouts > 0 {
+		snap.CacheHitRatio = float64(snap.CacheHits) / float64(snap.Checkouts)
+	}
+
+	h.mu.RLock()
+	snap.TrackedVersions = len(h.versions)
+	rows := make([]VersionHeat, 0, len(h.versions))
+	for v, e := range h.versions {
+		r := VersionHeat{
+			Version:   v,
+			Checkouts: e.checkouts.Load(),
+			CacheHits: e.hits.Load(),
+		}
+		if r.Checkouts > 0 {
+			r.HitRatio = float64(r.CacheHits) / float64(r.Checkouts)
+		}
+		if n := e.lastUnix.Load(); n > 0 {
+			r.LastAccess = n / int64(time.Millisecond)
+		}
+		rows = append(rows, r)
+	}
+	h.mu.RUnlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Checkouts != rows[j].Checkouts {
+			return rows[i].Checkouts > rows[j].Checkouts
+		}
+		return rows[i].Version < rows[j].Version
+	})
+	if topK > 0 && len(rows) > topK {
+		rows = rows[:topK]
+	}
+	snap.TopVersions = rows
+
+	var windowedOps int64
+	h.ops.scan(now.Unix(), rateWindowSec, func(int64, vgraph.VersionID) { windowedOps++ })
+	snap.OpsPerSecond = float64(windowedOps) / float64(rateWindowSec)
+
+	// Window the recent-access ring once, then attribute to branches by
+	// lineage membership. A version on two branches credits both — lineages
+	// overlap by construction, and the question each row answers is "how hot
+	// is the history this branch can reach".
+	perVersion := make(map[vgraph.VersionID]int64)
+	h.recent.scan(now.Unix(), rateWindowSec, func(_ int64, v vgraph.VersionID) {
+		perVersion[v]++
+	})
+
+	for _, b := range branches {
+		bh := BranchHeat{Name: b.Name, Head: b.Head}
+		for v, n := range perVersion {
+			if b.Lineage != nil && b.Lineage.Contains(int64(v)) {
+				bh.Recent += n
+			}
+		}
+		bh.PerSecond = float64(bh.Recent) / float64(rateWindowSec)
+		snap.Branches = append(snap.Branches, bh)
+	}
+	return snap
+}

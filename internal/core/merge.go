@@ -181,6 +181,7 @@ func (c *CVD) mergeAt(ctx context.Context, ours, theirs vgraph.VersionID, opts M
 		return nil, err
 	}
 	res.Version = vid
+	c.heat.RecordMerge(ours, theirs)
 	return res, nil
 }
 

@@ -25,6 +25,14 @@ type Metrics struct {
 // Commit. Like SetCache, call it before the CVD is shared.
 func (c *CVD) SetMetrics(m *Metrics) { c.metrics = m }
 
+// SetHeat attaches the per-version access tracker credited by Checkout,
+// MultiVersionCheckout, AllVersionsCheckout, Commit, and Merge. Like
+// SetCache, call it before the CVD is shared.
+func (c *CVD) SetHeat(h *Heat) { c.heat = h }
+
+// Heat returns the attached access tracker (nil when none).
+func (c *CVD) Heat() *Heat { return c.heat }
+
 // observeCheckout routes one checkout duration to the hit or miss histogram.
 func (c *CVD) observeCheckout(seconds float64, hit bool) {
 	if c.metrics == nil {

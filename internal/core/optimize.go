@@ -25,6 +25,9 @@ type PartitionedModel interface {
 	StorageRecords() int64
 	// CheckoutCost returns the current Cavg in records.
 	CheckoutCost() float64
+	// WeightedCheckoutCost returns Cavg reweighted by observed per-version
+	// checkout frequencies (missing versions weigh 1; nil = CheckoutCost).
+	WeightedCheckoutCost(freq map[vgraph.VersionID]int64) float64
 	// SetOnlineParams configures online placement (δ*, γ in records).
 	SetOnlineParams(deltaStar float64, gammaRecords int64)
 	// ApplyPartitioning migrates to the given version groups.

@@ -155,6 +155,28 @@ func (m *partitionedRlist) CheckoutCost() float64 {
 	return float64(num) / float64(len(m.partOf))
 }
 
+// WeightedCheckoutCost returns Cw = Σ fi·|R(part(vi))| / Σ fi under observed
+// per-version checkout frequencies (Appendix C.2); versions missing from
+// freq default to weight 1, and a nil freq degenerates to CheckoutCost.
+func (m *partitionedRlist) WeightedCheckoutCost(freq map[vgraph.VersionID]int64) float64 {
+	if len(m.partOf) == 0 {
+		return 0
+	}
+	var num, den int64
+	for v, p := range m.partOf {
+		f, ok := freq[v]
+		if !ok {
+			f = 1
+		}
+		num += f * m.partRecs[p].Cardinality()
+		den += f
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 func (m *partitionedRlist) Commit(vid vgraph.VersionID, parents []vgraph.VersionID, all []Record, fresh []Record) error {
 	ridSet := bitmap.FromSlice(ridsOf(all))
 	// Online placement (Section 4.3): join the best parent's partition

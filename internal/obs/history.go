@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HistoryTier is one retention level of the metrics history: sample every
+// Interval, keep Retain's worth of points in a fixed ring.
+type HistoryTier struct {
+	Interval time.Duration
+	Retain   time.Duration
+}
+
+// DefaultHistoryTiers is the stock two-tier layout: 10-second samples for an
+// hour, 1-minute samples for a day.
+func DefaultHistoryTiers() []HistoryTier {
+	return []HistoryTier{
+		{Interval: 10 * time.Second, Retain: time.Hour},
+		{Interval: time.Minute, Retain: 24 * time.Hour},
+	}
+}
+
+// maxTierPoints bounds any single ring regardless of Retain/Interval, so a
+// misconfigured tier cannot balloon the fixed memory budget.
+const maxTierPoints = 8192
+
+// HistoryOptions configures a History.
+type HistoryOptions struct {
+	// Tiers are the retention levels, finest first (defaults to
+	// DefaultHistoryTiers). Tier 0's interval is the sampling cadence.
+	Tiers []HistoryTier
+	// MaxSeries caps the number of distinct series tracked; samples for
+	// series beyond the budget are dropped (default 1024).
+	MaxSeries int
+}
+
+// HistoryPoint is one retained reading: unix-millisecond timestamp and value.
+type HistoryPoint struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// HistorySeries is one series' retained points from one tier, as served by
+// GET /api/v1/metrics/history.
+type HistorySeries struct {
+	Name   string         `json:"name"`
+	Labels string         `json:"labels,omitempty"`
+	Tier   string         `json:"tier"`
+	Points []HistoryPoint `json:"points"`
+}
+
+// History is a fixed-budget retained time-series over a Registry: a sampler
+// records every counter, gauge, and histogram digest (count/sum/p50/p95/p99)
+// into per-series rings at tiered resolutions, so "what did checkout p95 do
+// over the last hour" is answerable without an external TSDB. All methods
+// are safe for concurrent use.
+type History struct {
+	reg       *Registry
+	tiers     []HistoryTier
+	maxSeries int
+
+	mu     sync.Mutex
+	series map[string]*historySeries
+	order  []string
+	last   []time.Time // per-tier time of last recorded sample
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+type historySeries struct {
+	name   string
+	labels string
+	rings  []pointRing
+}
+
+// pointRing is a fixed-capacity ring of points, oldest first.
+type pointRing struct {
+	pts  []HistoryPoint
+	head int // index of the oldest point
+	n    int
+}
+
+func (r *pointRing) push(p HistoryPoint) {
+	if len(r.pts) == 0 {
+		return
+	}
+	if r.n < len(r.pts) {
+		r.pts[(r.head+r.n)%len(r.pts)] = p
+		r.n++
+		return
+	}
+	r.pts[r.head] = p
+	r.head = (r.head + 1) % len(r.pts)
+}
+
+func (r *pointRing) since(sinceMs int64) []HistoryPoint {
+	out := make([]HistoryPoint, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if p := r.pts[(r.head+i)%len(r.pts)]; p.T >= sinceMs {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *pointRing) newest() (HistoryPoint, bool) {
+	if r.n == 0 {
+		return HistoryPoint{}, false
+	}
+	return r.pts[(r.head+r.n-1)%len(r.pts)], true
+}
+
+func tierCap(t HistoryTier) int {
+	n := int(t.Retain / t.Interval)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxTierPoints {
+		n = maxTierPoints
+	}
+	return n
+}
+
+// NewHistory builds a sampler over reg. Call Start to launch the background
+// goroutine, or drive it manually with Sample (tests, benchmarks).
+func NewHistory(reg *Registry, opts HistoryOptions) (*History, error) {
+	tiers := opts.Tiers
+	if len(tiers) == 0 {
+		tiers = DefaultHistoryTiers()
+	}
+	for i, t := range tiers {
+		if t.Interval <= 0 || t.Retain < t.Interval {
+			return nil, fmt.Errorf("obs: history tier %d: need 0 < interval <= retain, got %v/%v", i, t.Interval, t.Retain)
+		}
+		if i > 0 && t.Interval <= tiers[i-1].Interval {
+			return nil, fmt.Errorf("obs: history tiers must be finest first (tier %d interval %v <= tier %d interval %v)",
+				i, t.Interval, i-1, tiers[i-1].Interval)
+		}
+	}
+	maxSeries := opts.MaxSeries
+	if maxSeries <= 0 {
+		maxSeries = 1024
+	}
+	return &History{
+		reg:       reg,
+		tiers:     append([]HistoryTier(nil), tiers...),
+		maxSeries: maxSeries,
+		series:    make(map[string]*historySeries),
+		last:      make([]time.Time, len(tiers)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Tiers returns the retention configuration.
+func (h *History) Tiers() []HistoryTier {
+	return append([]HistoryTier(nil), h.tiers...)
+}
+
+// Start launches the sampling goroutine (idempotent). Stop ends it.
+func (h *History) Start() {
+	h.startOnce.Do(func() {
+		go h.run()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe to call
+// multiple times and without a prior Start.
+func (h *History) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // never started: nothing to wait for
+	<-h.done
+}
+
+func (h *History) run() {
+	defer close(h.done)
+	h.Sample(time.Now())
+	tick := time.NewTicker(h.tiers[0].Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case now := <-tick.C:
+			h.Sample(now)
+		}
+	}
+}
+
+// Sample takes one reading of the registry at the given instant, recording
+// into each tier whose interval has elapsed since its last recording (with
+// 5% tolerance, so ticker jitter never skips a slot). Exposed so tests and
+// benchmarks can drive the sampler with synthetic clocks.
+func (h *History) Sample(now time.Time) {
+	samples := h.reg.Samples() // outside h.mu: collectors may take other locks
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	due := make([]bool, len(h.tiers))
+	any := false
+	for i, t := range h.tiers {
+		if h.last[i].IsZero() || now.Sub(h.last[i]) >= t.Interval-t.Interval/20 {
+			due[i] = true
+			h.last[i] = now
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	ms := now.UnixMilli()
+	for _, s := range samples {
+		key := s.Name + s.Labels
+		hs := h.series[key]
+		if hs == nil {
+			if len(h.series) >= h.maxSeries {
+				continue
+			}
+			hs = &historySeries{name: s.Name, labels: s.Labels, rings: make([]pointRing, len(h.tiers))}
+			for i, t := range h.tiers {
+				hs.rings[i].pts = make([]HistoryPoint, tierCap(t))
+			}
+			h.series[key] = hs
+			h.order = append(h.order, key)
+		}
+		for i := range h.tiers {
+			if due[i] {
+				hs.rings[i].push(HistoryPoint{T: ms, V: s.Value})
+			}
+		}
+	}
+}
+
+// Names lists the tracked series names (deduplicated, insertion order).
+func (h *History) Names() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, k := range h.order {
+		s := h.series[k]
+		if !seen[s.name] {
+			seen[s.name] = true
+			out = append(out, s.name)
+		}
+	}
+	return out
+}
+
+// Query returns the retained points at or after since for every series whose
+// name equals name or extends it with a suffix (so "orpheus_checkout_seconds"
+// matches the _count/_sum/_p50/_p95/_p99 digests and any labeled children);
+// name "" matches everything. Per series it serves the finest tier whose
+// retention window, anchored at that series' newest point, still reaches
+// since — older queries fall through to coarser tiers.
+func (h *History) Query(name string, since time.Time) []HistorySeries {
+	sinceMs := since.UnixMilli()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []HistorySeries
+	for _, k := range h.order {
+		s := h.series[k]
+		if name != "" && s.name != name && !hasSeriesPrefix(s.name, name) {
+			continue
+		}
+		tier := len(h.tiers) - 1
+		for i := range h.tiers {
+			newest, ok := s.rings[i].newest()
+			if !ok {
+				continue
+			}
+			if newest.T-h.tiers[i].Retain.Milliseconds() <= sinceMs {
+				tier = i
+				break
+			}
+		}
+		out = append(out, HistorySeries{
+			Name:   s.name,
+			Labels: s.labels,
+			Tier:   h.tiers[tier].Interval.String(),
+			Points: s.rings[tier].since(sinceMs),
+		})
+	}
+	return out
+}
+
+func hasSeriesPrefix(name, prefix string) bool {
+	return len(name) > len(prefix)+1 && name[:len(prefix)] == prefix && name[len(prefix)] == '_'
+}
+
+// historyDump is the persisted form: versioned JSON written through the
+// store's checkpoint path, so retained history survives a restart.
+type historyDump struct {
+	V      int                 `json:"v"`
+	Series []historySeriesDump `json:"series"`
+}
+
+type historySeriesDump struct {
+	Name   string           `json:"name"`
+	Labels string           `json:"labels,omitempty"`
+	Tiers  [][]HistoryPoint `json:"tiers"`
+}
+
+// Snapshot serializes the retained points for persistence.
+func (h *History) Snapshot() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dump := historyDump{V: 1}
+	for _, k := range h.order {
+		s := h.series[k]
+		sd := historySeriesDump{Name: s.name, Labels: s.labels, Tiers: make([][]HistoryPoint, len(s.rings))}
+		for i := range s.rings {
+			sd.Tiers[i] = s.rings[i].since(0)
+		}
+		dump.Series = append(dump.Series, sd)
+	}
+	return json.Marshal(dump)
+}
+
+// Restore ingests a prior Snapshot, re-pushing its points through the current
+// tier rings (best-effort: a changed tier layout keeps whatever fits). Call
+// before Start; points sampled after a Restore append after the restored
+// tail.
+func (h *History) Restore(data []byte) error {
+	var dump historyDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("obs: restore history: %w", err)
+	}
+	if dump.V != 1 {
+		return fmt.Errorf("obs: restore history: unsupported version %d", dump.V)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, sd := range dump.Series {
+		key := sd.Name + sd.Labels
+		hs := h.series[key]
+		if hs == nil {
+			if len(h.series) >= h.maxSeries {
+				continue
+			}
+			hs = &historySeries{name: sd.Name, labels: sd.Labels, rings: make([]pointRing, len(h.tiers))}
+			for i, t := range h.tiers {
+				hs.rings[i].pts = make([]HistoryPoint, tierCap(t))
+			}
+			h.series[key] = hs
+			h.order = append(h.order, key)
+		}
+		for i := 0; i < len(hs.rings) && i < len(sd.Tiers); i++ {
+			for _, p := range sd.Tiers[i] {
+				hs.rings[i].push(p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histTiers is the synthetic two-tier layout the boundary tests drive with a
+// fake clock: 1-second samples kept 10 seconds, 10-second samples kept a
+// minute.
+func histTiers() []HistoryTier {
+	return []HistoryTier{
+		{Interval: time.Second, Retain: 10 * time.Second},
+		{Interval: 10 * time.Second, Retain: time.Minute},
+	}
+}
+
+func TestHistoryTierValidation(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range [][]HistoryTier{
+		{{Interval: 0, Retain: time.Minute}},
+		{{Interval: time.Second, Retain: time.Millisecond}},
+		{{Interval: time.Minute, Retain: time.Hour}, {Interval: time.Second, Retain: time.Hour}},
+		{{Interval: time.Second, Retain: time.Hour}, {Interval: time.Second, Retain: time.Hour}},
+	} {
+		if _, err := NewHistory(reg, HistoryOptions{Tiers: bad}); err == nil {
+			t.Fatalf("tiers %v accepted, want error", bad)
+		}
+	}
+	if _, err := NewHistory(reg, HistoryOptions{}); err != nil {
+		t.Fatalf("default tiers rejected: %v", err)
+	}
+}
+
+// TestHistoryRetentionAndDownsampling drives a synthetic clock through two
+// minutes of counter traffic and checks both tiers at their boundaries: the
+// fine ring holds exactly its retention's worth of 1s points, the coarse ring
+// downsamples to one point per 10s, and Query picks the finest tier that
+// still reaches the requested window.
+func TestHistoryRetentionAndDownsampling(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops")
+	h, err := NewHistory(reg, HistoryOptions{Tiers: histTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i <= 120; i++ {
+		c.Inc()
+		h.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	now := t0.Add(120 * time.Second)
+
+	// Recent window → the 1s tier serves it.
+	fine := h.Query("ops_total", now.Add(-5*time.Second))
+	if len(fine) != 1 {
+		t.Fatalf("got %d series, want 1", len(fine))
+	}
+	if fine[0].Tier != "1s" {
+		t.Fatalf("recent query served from tier %s, want 1s", fine[0].Tier)
+	}
+	if n := len(fine[0].Points); n != 6 { // t-5s .. t inclusive
+		t.Fatalf("fine window has %d points, want 6: %v", n, fine[0].Points)
+	}
+	for i, p := range fine[0].Points {
+		if want := float64(116 + i); p.V != want {
+			t.Fatalf("fine point %d = %g, want %g (last-value, 1s apart)", i, p.V, want)
+		}
+	}
+
+	// Window past the fine tier's 10s retention → falls to the 10s tier, with
+	// points 10s apart (downsampled, not averaged: each slot is one reading).
+	coarse := h.Query("ops_total", now.Add(-40*time.Second))
+	if coarse[0].Tier != "10s" {
+		t.Fatalf("old query served from tier %s, want 10s", coarse[0].Tier)
+	}
+	pts := coarse[0].Points
+	if len(pts) < 4 {
+		t.Fatalf("coarse window has %d points, want >= 4", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T-pts[i-1].T != (10 * time.Second).Milliseconds() {
+			t.Fatalf("coarse points %d ms apart, want 10000: %v", pts[i].T-pts[i-1].T, pts)
+		}
+	}
+
+	// Ring capacity: the fine ring holds retain/interval points, no more.
+	all := h.Query("ops_total", time.Time{})
+	for _, s := range all {
+		if s.Tier == "1s" {
+			t.Fatalf("query older than fine retention must not pick the 1s tier")
+		}
+	}
+}
+
+// TestHistorySampleDueTolerance pins the 5% jitter tolerance: a tick arriving
+// slightly early still records, one arriving far too early does not.
+func TestHistorySampleDueTolerance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	h, err := NewHistory(reg, HistoryOptions{Tiers: []HistoryTier{{Interval: time.Second, Retain: time.Minute}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	h.Sample(t0)
+	h.Sample(t0.Add(500 * time.Millisecond)) // far too early: skipped
+	h.Sample(t0.Add(960 * time.Millisecond)) // within 5% of due: recorded
+	got := h.Query("x_total", time.Time{})
+	if n := len(got[0].Points); n != 2 {
+		t.Fatalf("recorded %d points, want 2 (jittered tick must count, early one must not)", n)
+	}
+}
+
+// TestHistoryQueryPrefix checks the family-matching rule: a query for a
+// histogram's base name returns its _count/_sum/_pXX digests, an exact digest
+// name returns just that series, and a non-token prefix matches nothing.
+func TestHistoryQueryPrefix(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	hist.Observe(0.05)
+	reg.Counter("lat_seconds_like_total", "a lookalike") // extends the name with "_like..."
+	h, err := NewHistory(reg, HistoryOptions{Tiers: histTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sample(time.Unix(1_700_000_000, 0))
+
+	byName := map[string]bool{}
+	for _, s := range h.Query("lat_seconds", time.Time{}) {
+		byName[s.Name] = true
+	}
+	for _, want := range []string{"lat_seconds_count", "lat_seconds_sum", "lat_seconds_p50", "lat_seconds_p95", "lat_seconds_p99"} {
+		if !byName[want] {
+			t.Fatalf("family query missing digest %s (got %v)", want, byName)
+		}
+	}
+	// The "_" extension rule is deliberately loose enough to include the
+	// lookalike — it shares the name token boundary — but a mid-token prefix
+	// must not match.
+	if got := h.Query("lat_secon", time.Time{}); len(got) != 0 {
+		t.Fatalf("mid-token prefix matched %d series", len(got))
+	}
+	if got := h.Query("lat_seconds_p95", time.Time{}); len(got) != 1 || got[0].Name != "lat_seconds_p95" {
+		t.Fatalf("exact digest query = %+v, want the single p95 series", got)
+	}
+	if got := h.Query("", time.Time{}); len(got) < 6 {
+		t.Fatalf("empty-name query returned %d series, want all", len(got))
+	}
+}
+
+// TestHistorySnapshotRestoreRoundTrip persists a sampled history and restores
+// it into a fresh sampler: queries over both must agree, and sampling after
+// the restore appends after the restored tail.
+func TestHistorySnapshotRestoreRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("rt_total", "round trip")
+	h, err := NewHistory(reg, HistoryOptions{Tiers: histTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 30; i++ {
+		c.Inc()
+		h.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	data, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := NewHistory(reg, HistoryOptions{Tiers: histTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	want := h.Query("rt_total", time.Time{})
+	got := h2.Query("rt_total", time.Time{})
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("restored query disagrees:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// Post-restore samples extend the restored tail.
+	c.Inc()
+	h2.Sample(t0.Add(31 * time.Second))
+	after := h2.Query("rt_total", time.Time{})
+	var fine *HistorySeries
+	for i := range after {
+		if after[i].Name == "rt_total" {
+			fine = &after[i]
+		}
+	}
+	last := fine.Points[len(fine.Points)-1]
+	if last.V != 31 {
+		t.Fatalf("post-restore sample = %g, want 31 appended after restored tail", last.V)
+	}
+
+	// Garbage and future dump versions are rejected, not half-applied.
+	if err := h2.Restore([]byte("{")); err == nil {
+		t.Fatal("corrupt dump accepted")
+	}
+	if err := h2.Restore([]byte(`{"v":99}`)); err == nil {
+		t.Fatal("future dump version accepted")
+	}
+}
+
+func TestHistoryMaxSeriesBudget(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 5; i++ {
+		reg.Counter(fmt.Sprintf("m%d_total", i), "m")
+	}
+	h, err := NewHistory(reg, HistoryOptions{Tiers: histTiers(), MaxSeries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sample(time.Unix(1_700_000_000, 0))
+	if got := len(h.Query("", time.Time{})); got != 3 {
+		t.Fatalf("tracked %d series, want the 3-series budget enforced", got)
+	}
+}
+
+// TestHistoryStartStop exercises the real goroutine path: a fast cadence, a
+// brief run, and an idempotent stop — including Stop without Start.
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("live_total", "live")
+	c.Inc()
+	h, err := NewHistory(reg, HistoryOptions{Tiers: []HistoryTier{{Interval: 5 * time.Millisecond, Retain: time.Second}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(h.Query("live_total", time.Time{})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler recorded nothing within 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+
+	h2, err := NewHistory(reg, HistoryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Stop() // stop without start must not hang
+}
+
+// TestHistoryRaceHammer runs concurrent registry writers against Sample,
+// Query, Names, and Snapshot. Meaningful under -race; correctness assertion
+// is just "no panic, and the sampler saw the series".
+func TestHistoryRaceHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("race_total", "race")
+	hist := reg.Histogram("race_seconds", "race", []float64{0.001, 0.1})
+	hv := reg.CounterVec("race_vec_total", "race vec", "k")
+	h, err := NewHistory(reg, HistoryOptions{Tiers: []HistoryTier{{Interval: time.Microsecond, Retain: time.Second}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				hist.Observe(float64(j%100) / 1000)
+				hv.With(fmt.Sprintf("k%d", j%3)).Inc()
+			}
+		}(i)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 200; i++ {
+		h.Sample(base.Add(time.Duration(i) * time.Millisecond))
+		_ = h.Query("race_total", time.Time{})
+		_ = h.Names()
+		if _, err := h.Snapshot(); err != nil {
+			t.Errorf("snapshot: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if len(h.Query("race_total", time.Time{})) == 0 {
+		t.Fatal("sampler lost the counter series")
+	}
+}

@@ -114,10 +114,14 @@ func (g *Gauge) Value() int64 {
 // unit is whatever the caller observes — seconds for latencies
 // (ObserveDuration), bytes for sizes (Observe).
 type Histogram struct {
-	bounds []float64 // ascending upper bounds, +Inf implied
+	bounds []float64 // ascending upper bounds; counts has one extra slot: the +Inf overflow bucket
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomicFloat
+	// overflowMax tracks the largest value observed into the +Inf overflow
+	// bucket, so quantiles whose rank lands there report a real outlier
+	// magnitude instead of silently clamping to the last finite bound.
+	overflowMax atomicFloat
 }
 
 // NewHistogram builds an unregistered histogram over the given ascending
@@ -144,6 +148,9 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.add(v)
+	if i == len(h.bounds) { // +Inf overflow bucket
+		h.overflowMax.max(v)
+	}
 }
 
 // ObserveDuration records a latency in seconds.
@@ -180,8 +187,9 @@ func (h *Histogram) snapshot() (cum []int64, total int64) {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
 // within the bucket holding the target rank, the same estimate
-// histogram_quantile() gives in PromQL. Values beyond the last bound clamp
-// to it. Returns 0 with no observations.
+// histogram_quantile() gives in PromQL. Ranks landing in the +Inf overflow
+// bucket report the largest overflow value observed, so p99 of an
+// outlier-heavy series is not understated. Returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -195,7 +203,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if float64(c) < rank {
 			continue
 		}
-		if i == len(h.bounds) { // +Inf bucket: clamp to the last finite bound
+		if i == len(h.bounds) { // +Inf overflow bucket
+			if m := h.overflowMax.load(); m > h.bounds[len(h.bounds)-1] {
+				return m
+			}
 			return h.bounds[len(h.bounds)-1]
 		}
 		lo := 0.0
@@ -234,6 +245,19 @@ func (f *atomicFloat) add(v float64) {
 }
 
 func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// max raises the stored value to v if v is larger.
+func (f *atomicFloat) max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
 
 // metricKind is the Prometheus TYPE of a family.
 type metricKind string
@@ -407,4 +431,67 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames 
 // With returns the child histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.get(values, func() *series { return &series{h: NewHistogram(v.f.bounds)} }).h
+}
+
+// Sample is one scalar reading taken from the registry: counters and gauges
+// flatten to one sample each, histograms expand to _count, _sum, and
+// interpolated _p50/_p95/_p99 samples per labeled series. Name carries any
+// suffix; Labels is the rendered Prometheus label set ("" when unlabeled),
+// so Name+Labels is a stable series identity across scrapes.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// histQuantileSuffixes pairs the exported per-histogram digest samples with
+// their quantiles.
+var histQuantileSuffixes = []struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p95", 0.95},
+	{"_p99", 0.99},
+}
+
+// Samples flattens every registered family into scalar samples, calling
+// scrape-time collector functions as it goes. Families and series appear in
+// registration order, so repeated calls yield stable series ordering.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		sers := make([]*series, 0, len(f.order))
+		for _, k := range f.order {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			ls := labelSet(f.labelNames, s.labels, "", "")
+			switch {
+			case s.fn != nil:
+				out = append(out, Sample{Name: f.name, Labels: ls, Value: s.fn()})
+			case s.c != nil:
+				out = append(out, Sample{Name: f.name, Labels: ls, Value: float64(s.c.Value())})
+			case s.g != nil:
+				out = append(out, Sample{Name: f.name, Labels: ls, Value: float64(s.g.Value())})
+			case s.h != nil:
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: ls, Value: float64(s.h.Count())},
+					Sample{Name: f.name + "_sum", Labels: ls, Value: s.h.Sum()})
+				for _, pq := range histQuantileSuffixes {
+					out = append(out, Sample{Name: f.name + pq.suffix, Labels: ls, Value: s.h.Quantile(pq.q)})
+				}
+			}
+		}
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -103,11 +105,44 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
-func TestHistogramQuantileOverflowClamps(t *testing.T) {
+// TestHistogramQuantileOverflow pins the +Inf-bucket behavior: a quantile
+// landing past the last bound reports the largest overflowing observation,
+// not the last finite bound — so p99 of an outlier-heavy series is no longer
+// understated — while quantiles inside the bounds stay interpolated.
+func TestHistogramQuantileOverflow(t *testing.T) {
 	h := NewHistogram([]float64{1, 2})
 	h.Observe(1000)
-	if q := h.Quantile(0.5); q != 2 {
-		t.Fatalf("overflow quantile = %g, want clamp to last bound 2", q)
+	if q := h.Quantile(0.5); q != 1000 {
+		t.Fatalf("overflow quantile = %g, want the observed max 1000", q)
+	}
+	h.Observe(2500)
+	if q := h.Quantile(0.99); q != 2500 {
+		t.Fatalf("overflow quantile = %g, want the new max 2500", q)
+	}
+
+	// Outlier-heavy series: 90 fast observations, 10 far past the last bound.
+	// p99 sits in the +Inf bucket and must surface the outlier magnitude.
+	h2 := NewHistogram([]float64{0.5, 1})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.2)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(60)
+	}
+	if q := h2.Quantile(0.99); q != 60 {
+		t.Fatalf("p99 = %g, want 60 (outliers hidden by the last bound)", q)
+	}
+	if q := h2.Quantile(0.5); q > 0.5 {
+		t.Fatalf("p50 = %g, want interpolated within the first bucket", q)
+	}
+
+	// A max below the last bound keeps the old clamp: the rank says "past the
+	// buckets" only because of where observations fell, and the last bound
+	// remains the tightest truthful answer.
+	h3 := NewHistogram([]float64{1, 2})
+	h3.Observe(1.5)
+	if q := h3.Quantile(1); q != 2 {
+		t.Fatalf("in-bounds q = %g, want bucket bound 2", q)
 	}
 }
 
@@ -189,5 +224,57 @@ func TestConcurrentObserve(t *testing.T) {
 	wg.Wait()
 	if h.Count() != 8000 || c.Value() != 8000 || v.With("x").Value() != 8000 {
 		t.Fatalf("lost updates: hist=%d counter=%d vec=%d", h.Count(), c.Value(), v.With("x").Value())
+	}
+}
+
+// TestOverflowHistogramExpositionParses guards the exposition side of the
+// overflow fix: a histogram whose observations land past the last bound must
+// still write well-formed text — a +Inf bucket equal to _count, cumulative
+// bucket lines, and finite sample values.
+func TestOverflowHistogramExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("over_seconds", "overflow-heavy latencies", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(900)
+	h.Observe(4000)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var infBucket, count float64
+	var bucketVals []float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("non-finite or unparsable value in %q: %v", line, err)
+		}
+		switch {
+		case strings.HasPrefix(fields[0], `over_seconds_bucket{le="+Inf"}`):
+			infBucket = v
+		case fields[0] == "over_seconds_count":
+			count = v
+		}
+		if strings.HasPrefix(fields[0], "over_seconds_bucket") {
+			bucketVals = append(bucketVals, v)
+		}
+	}
+	if count != 3 || infBucket != 3 {
+		t.Fatalf("count=%g +Inf bucket=%g, want both 3", count, infBucket)
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", bucketVals)
+		}
+	}
+	if q := h.Quantile(0.99); q != 4000 {
+		t.Fatalf("p99 = %g, want the overflow max 4000", q)
 	}
 }

@@ -34,6 +34,13 @@ type Online struct {
 	bestGroups [][]vgraph.VersionID
 	commits    int
 
+	// weights holds observed per-version checkout frequencies
+	// (SetAccessWeights); nil means the paper's uniform assumption.
+	weights map[vgraph.VersionID]int64
+	// bestWeightedCavg caches the weighted cost of bestGroups under weights
+	// (-1 = stale, recomputed on demand).
+	bestWeightedCavg float64
+
 	// Migrations records every migration that occurred, in commit order.
 	Migrations []MigrationEvent
 }
@@ -136,7 +143,7 @@ func (o *Online) Commit(v vgraph.VersionID, parents []vgraph.VersionID, rids []v
 			return false, err
 		}
 	}
-	if o.Drifted(o.current.CheckoutCost()) {
+	if o.Drifted(o.currentCost()) {
 		return true, o.migrate()
 	}
 	return false, nil
@@ -177,9 +184,49 @@ func (o *Online) register(v vgraph.VersionID, parents []vgraph.VersionID, set *b
 }
 
 // Drifted applies the µ trigger to a caller-supplied checkout cost: true when
-// cavg exceeds µ times the best cost of the last LYRESPLIT refresh.
+// cavg exceeds µ times the best cost of the last LYRESPLIT refresh. With
+// access weights attached (SetAccessWeights), the caller should supply a
+// likewise-weighted current cost, and the comparison baseline becomes the
+// weighted cost of the best grouping — so drift reflects the traffic the
+// store actually serves, not the uniform assumption.
 func (o *Online) Drifted(cavg float64) bool {
-	return o.Mu > 0 && o.bestCavg > 0 && cavg > o.Mu*o.bestCavg
+	best := o.BestCost()
+	return o.Mu > 0 && best > 0 && cavg > o.Mu*best
+}
+
+// SetAccessWeights attaches observed per-version checkout frequencies (e.g.
+// core.Heat.Weights); versions absent from w default to weight 1, and nil
+// restores the uniform assumption. Not safe for use concurrent with Commit /
+// ObserveCommit / Drifted — call it from the same goroutine that drives the
+// maintainer, as the store's optimizer sweep does.
+func (o *Online) SetAccessWeights(w map[vgraph.VersionID]int64) {
+	o.weights = w
+	o.bestWeightedCavg = -1
+}
+
+// AccessWeights returns the attached frequency map (nil when uniform).
+func (o *Online) AccessWeights() map[vgraph.VersionID]int64 { return o.weights }
+
+// BestCost returns the drift baseline: C*avg from the last LYRESPLIT refresh,
+// reweighted by the attached access frequencies when present (cached until
+// the weights or the best grouping change).
+func (o *Online) BestCost() float64 {
+	if o.weights == nil || len(o.bestGroups) == 0 {
+		return o.bestCavg
+	}
+	if o.bestWeightedCavg < 0 {
+		o.bestWeightedCavg = FromVersionGroups(o.bip, o.bestGroups).WeightedCheckoutCost(o.weights)
+	}
+	return o.bestWeightedCavg
+}
+
+// currentCost is the drift input for the self-placed (Commit) path: the
+// maintained partitioning's cost under the attached weights, if any.
+func (o *Online) currentCost() float64 {
+	if o.weights == nil {
+		return o.current.CheckoutCost()
+	}
+	return o.current.WeightedCheckoutCost(o.weights)
 }
 
 // BestGroups returns the version grouping of the last LYRESPLIT refresh (nil
@@ -256,6 +303,7 @@ func (o *Online) refreshBest() error {
 	o.bestCavg = res.EstCheckout
 	o.deltaStar = res.Delta
 	o.bestGroups = res.Groups
+	o.bestWeightedCavg = -1
 	return nil
 }
 
@@ -288,5 +336,6 @@ func (o *Online) migrate() error {
 	o.deltaStar = res.Delta
 	o.bestCavg = res.EstCheckout
 	o.bestGroups = res.Groups
+	o.bestWeightedCavg = -1
 	return nil
 }

@@ -5,9 +5,10 @@
 //
 // Routes (all under /api/v1 unless noted):
 //
-//	GET    /healthz                                   liveness + last async save error
+//	GET    /healthz                                   liveness + last async save error + optimizer health
 //	GET    /metrics                                   Prometheus text exposition (store registry)
-//	GET    /debug/traces                              recent + slow request traces (JSON)
+//	GET    /debug/traces                              recent + slow request traces (?min_ms=&op=)
+//	GET    /api/v1/metrics/history                    retained metrics time-series (?name=&since=)
 //	GET    /api/v1/stats                              engine I/O counters
 //	GET    /api/v1/datasets                           list CVDs
 //	POST   /api/v1/datasets                           init a CVD
@@ -16,6 +17,7 @@
 //	POST   /api/v1/datasets/{name}/commit             commit rows (optionally with a new schema)
 //	GET    /api/v1/datasets/{name}/checkout?versions= materialize version(s)
 //	GET    /api/v1/datasets/{name}/diff?a=&b=         diff two versions
+//	GET    /api/v1/datasets/{name}/heat               access-heat table (?top=)
 //	GET    /api/v1/datasets/{name}/versions           version graph with metadata
 //	GET    /api/v1/datasets/{name}/versions/{vid}     one version's metadata
 //	GET    /api/v1/datasets/{name}/versions/{vid}/ancestors
@@ -105,6 +107,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", s.store.Metrics().Handler())
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/v1/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /api/v1/datasets", s.handleInitDataset)
@@ -113,6 +116,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/datasets/{name}/commit", s.handleCommit)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/checkout", s.handleCheckout)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /api/v1/datasets/{name}/heat", s.handleHeat)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions", s.handleVersions)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}", s.handleVersionInfo)
 	s.mux.HandleFunc("GET /api/v1/datasets/{name}/versions/{vid}/ancestors", s.handleAncestors)
@@ -215,9 +219,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // handleTraces serves the tracer's ring buffers: recent completed traces and
 // traces that crossed the slow-operation threshold, newest first, each with
-// its nested span tree.
+// its nested span tree. ?min_ms= keeps only traces at least that long;
+// ?op= keeps only traces whose root name contains the substring
+// (case-insensitive) — so "?op=checkout&min_ms=50" isolates slow checkouts.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Tracer().Snapshot())
+	snap := s.store.Tracer().Snapshot()
+	q := r.URL.Query()
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			writeError(w, badRequest(fmt.Sprintf("bad min_ms %q (want a non-negative number)", raw)))
+			return
+		}
+		minNanos := int64(ms * float64(time.Millisecond))
+		keep := func(t obs.TraceData) bool { return t.DurationNanos >= minNanos }
+		snap.Recent = filterTraces(snap.Recent, keep)
+		snap.Slow = filterTraces(snap.Slow, keep)
+	}
+	if op := q.Get("op"); op != "" {
+		needle := strings.ToLower(op)
+		keep := func(t obs.TraceData) bool { return strings.Contains(strings.ToLower(t.Name), needle) }
+		snap.Recent = filterTraces(snap.Recent, keep)
+		snap.Slow = filterTraces(snap.Slow, keep)
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// filterTraces keeps the traces matching keep, preserving newest-first order.
+// The input slices are Snapshot's own copies, so filtering in place is safe.
+func filterTraces(in []obs.TraceData, keep func(obs.TraceData) bool) []obs.TraceData {
+	out := in[:0]
+	for _, t := range in {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // decodeBody parses a JSON request body with numeric fidelity preserved
@@ -268,6 +305,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp["wal"] = wal
 	if wal.AppendError != "" {
 		resp["status"] = "degraded"
+	}
+	// Background optimizer: a sweep that keeps failing must not hide behind a
+	// green liveness check, so its last error degrades the service too.
+	if o := s.store.PartitionOptimizer(); o != nil {
+		oh := o.Health()
+		resp["optimizer"] = oh
+		if oh.LastError != "" {
+			resp["status"] = "degraded"
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -606,6 +652,85 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		"onlyA":   encodeRows(onlyA),
 		"onlyB":   encodeRows(onlyB),
 	})
+}
+
+// handleHeat serves the dataset's access-heat table: the ?top= hottest
+// versions by checkout count (default 10), cache hit ratios, the sliding-
+// window op rate, and per-branch checkout rates.
+func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	top := 10
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, badRequest(fmt.Sprintf("bad top %q (want a positive integer)", raw)))
+			return
+		}
+		top = n
+	}
+	snap, err := d.Heat(top)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.Name(),
+		"heat":    snap,
+	})
+}
+
+// historyTierJSON renders one retention tier human-readably.
+type historyTierJSON struct {
+	Interval string `json:"interval"`
+	Retain   string `json:"retain"`
+}
+
+// handleMetricsHistory serves the retained metrics time-series. ?name=
+// selects one metric family (digest suffixes like _p95 and labeled children
+// included); ?since= is either a relative duration ("15m") or an RFC 3339
+// timestamp, defaulting to everything retained.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	h := s.store.MetricsHistory()
+	if h == nil {
+		writeError(w, badRequest("metrics history is not running (start the server with -history)"))
+		return
+	}
+	q := r.URL.Query()
+	var since time.Time
+	if raw := q.Get("since"); raw != "" {
+		if d, err := time.ParseDuration(raw); err == nil && d > 0 {
+			since = time.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, raw); err == nil {
+			since = t
+		} else {
+			writeError(w, badRequest(fmt.Sprintf("bad since %q (want a duration like 15m or an RFC 3339 time)", raw)))
+			return
+		}
+	}
+	series := h.Query(q.Get("name"), since)
+	if series == nil {
+		series = []obs.HistorySeries{}
+	}
+	tiers := h.Tiers()
+	tjs := make([]historyTierJSON, len(tiers))
+	for i, t := range tiers {
+		tjs[i] = historyTierJSON{Interval: t.Interval.String(), Retain: t.Retain.String()}
+	}
+	resp := map[string]any{
+		"tiers":  tjs,
+		"series": series,
+	}
+	if name := q.Get("name"); name != "" {
+		resp["name"] = name
+	}
+	if !since.IsZero() {
+		resp["since"] = since.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type versionJSON struct {

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// seedHeatTraffic commits two versions and checks out v1 twice plus v2 once,
+// so the heat table has a clear hottest version and one cache hit.
+func seedHeatTraffic(t *testing.T, base string) (v1, v2 int64) {
+	t.Helper()
+	initProtein(t, base)
+	v1 = commitRows(t, base, [][]any{{1, 1, 0.5, "a"}, {1, 2, 1.25, "b"}}, nil, "first")
+	v2 = commitRows(t, base, [][]any{{1, 1, 0.5, "a"}, {2, 2, 2.5, "c"}}, []int64{v1}, "second")
+	for _, q := range []string{"?versions=1", "?versions=1", "?versions=2"} {
+		status, body := doJSON(t, "GET", base+"/api/v1/datasets/prot/checkout"+q, nil)
+		if status != http.StatusOK {
+			t.Fatalf("checkout %s: status %d, body %v", q, status, body)
+		}
+	}
+	return v1, v2
+}
+
+func TestHeatEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedHeatTraffic(t, ts.URL)
+
+	status, body := doJSON(t, "GET", ts.URL+"/api/v1/datasets/prot/heat", nil)
+	if status != http.StatusOK {
+		t.Fatalf("heat: status %d, body %v", status, body)
+	}
+	if body["dataset"] != "prot" {
+		t.Fatalf("dataset = %v, want prot", body["dataset"])
+	}
+	heat, ok := body["heat"].(map[string]any)
+	if !ok {
+		t.Fatalf("heat payload missing: %v", body)
+	}
+	if n, _ := heat["checkouts"].(json.Number).Int64(); n != 3 {
+		t.Fatalf("checkouts = %v, want 3", heat["checkouts"])
+	}
+	// v2's commit listed v1 as parent, so v1 carries 2 checkout credits plus
+	// a commit credit and must rank hottest.
+	top, ok := heat["top_versions"].([]any)
+	if !ok || len(top) == 0 {
+		t.Fatalf("top_versions missing or empty: %v", heat)
+	}
+	first := top[0].(map[string]any)
+	if v, _ := first["version"].(json.Number).Int64(); v != 1 {
+		t.Fatalf("hottest version = %v, want 1", first["version"])
+	}
+	// The store wires a checkout cache, so the repeated v1 checkout hit.
+	if n, _ := heat["cache_hits"].(json.Number).Int64(); n != 1 {
+		t.Fatalf("cache_hits = %v, want 1", heat["cache_hits"])
+	}
+	// Branch rates appear once branches exist: the recent v1/v2 accesses all
+	// sit on dev's lineage.
+	if status, b := doJSON(t, "POST", ts.URL+"/api/v1/datasets/prot/branches", map[string]any{"name": "dev", "at": "2"}); status != http.StatusCreated {
+		t.Fatalf("create branch: status %d, body %v", status, b)
+	}
+	_, body = doJSON(t, "GET", ts.URL+"/api/v1/datasets/prot/heat", nil)
+	branches, ok := body["heat"].(map[string]any)["branches"].([]any)
+	if !ok || len(branches) != 1 {
+		t.Fatalf("branch rates missing from heat: %v", body)
+	}
+	dev := branches[0].(map[string]any)
+	if dev["branch"] != "dev" && dev["name"] != "dev" {
+		t.Fatalf("branch row = %v, want dev", dev)
+	}
+	// 3 checkout credits plus v2's commit crediting its parent v1.
+	if n, _ := dev["recent_checkouts"].(json.Number).Int64(); n != 4 {
+		t.Fatalf("dev recent checkouts = %v, want all 4 recent credits", dev)
+	}
+
+	// ?top= truncates; non-positive or non-numeric values are rejected.
+	status, body = doJSON(t, "GET", ts.URL+"/api/v1/datasets/prot/heat?top=1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("heat top=1: status %d", status)
+	}
+	if top := body["heat"].(map[string]any)["top_versions"].([]any); len(top) != 1 {
+		t.Fatalf("top=1 returned %d rows", len(top))
+	}
+	for _, bad := range []string{"0", "-2", "xyz"} {
+		if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/datasets/prot/heat?top="+bad, nil); status != http.StatusBadRequest {
+			t.Fatalf("top=%s: status %d, want 400", bad, status)
+		}
+	}
+	if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/datasets/nope/heat", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", status)
+	}
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	ts, store := newTestServer(t)
+	seedHeatTraffic(t, ts.URL)
+
+	// Without a sampler running the endpoint refuses rather than 200-ing an
+	// eternally empty series.
+	if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/metrics/history", nil); status != http.StatusBadRequest {
+		t.Fatalf("history without sampler: status %d, want 400", status)
+	}
+
+	if _, err := store.StartMetricsHistory(orpheusdb.HistoryOptions{
+		Tiers: []orpheusdb.HistoryTier{{Interval: 5 * time.Millisecond, Retain: time.Minute}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer store.StopMetricsHistory()
+
+	// The sampler runs on its own goroutine; poll until the checkout series
+	// it retains shows up.
+	deadline := time.Now().Add(5 * time.Second)
+	var series []any
+	for {
+		status, body := doJSON(t, "GET", ts.URL+"/api/v1/metrics/history?name=orpheus_checkout_seconds", nil)
+		if status != http.StatusOK {
+			t.Fatalf("history: status %d, body %v", status, body)
+		}
+		if body["name"] != "orpheus_checkout_seconds" {
+			t.Fatalf("name echo = %v", body["name"])
+		}
+		if tiers := body["tiers"].([]any); len(tiers) != 1 {
+			t.Fatalf("tiers = %v, want the 1 configured tier", body["tiers"])
+		}
+		series = body["series"].([]any)
+		if len(series) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(series) == 0 {
+		t.Fatal("sampler recorded no orpheus_checkout_seconds series within 5s")
+	}
+	for _, raw := range series {
+		s := raw.(map[string]any)
+		name := s["name"].(string)
+		if !strings.HasPrefix(name, "orpheus_checkout_seconds") {
+			t.Fatalf("series %q outside the requested family", name)
+		}
+		if pts := s["points"].([]any); len(pts) == 0 {
+			t.Fatalf("series %q has no points", name)
+		}
+	}
+
+	// since accepts durations and RFC 3339 stamps; anything else is a 400.
+	for _, ok := range []string{"15m", "2026-08-07T00:00:00Z"} {
+		if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/metrics/history?since="+ok, nil); status != http.StatusOK {
+			t.Fatalf("since=%s: status %d, want 200", ok, status)
+		}
+	}
+	if status, _ := doJSON(t, "GET", ts.URL+"/api/v1/metrics/history?since=yesterday", nil); status != http.StatusBadRequest {
+		t.Fatal("since=yesterday accepted, want 400")
+	}
+}
+
+func TestHealthzReportsOptimizer(t *testing.T) {
+	ts, store := newTestServer(t)
+
+	// No optimizer: the health payload omits the block entirely.
+	status, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: status %d, body %v", status, body)
+	}
+	if _, ok := body["optimizer"]; ok {
+		t.Fatalf("optimizer block present without an optimizer: %v", body)
+	}
+
+	opt2, err := store.StartPartitionOptimizer(orpheusdb.PartitionOptimizerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opt2.Stop()
+	status, body = doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	opt, ok := body["optimizer"].(map[string]any)
+	if !ok {
+		t.Fatalf("optimizer block missing: %v", body)
+	}
+	if opt["running"] != true {
+		t.Fatalf("optimizer.running = %v, want true", opt["running"])
+	}
+	// A healthy optimizer reports no error and does not degrade the service.
+	if _, ok := opt["last_error"]; ok {
+		t.Fatalf("unexpected last_error in %v", opt)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("status = %v, want ok", body["status"])
+	}
+}
+
+func TestTracesFilters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedHeatTraffic(t, ts.URL)
+
+	get := func(q string) (int, map[string]any) {
+		t.Helper()
+		return doJSON(t, "GET", ts.URL+"/debug/traces"+q, nil)
+	}
+	names := func(body map[string]any) []string {
+		var out []string
+		if recent, ok := body["recent"].([]any); ok {
+			for _, raw := range recent {
+				out = append(out, raw.(map[string]any)["name"].(string))
+			}
+		}
+		return out
+	}
+
+	status, body := get("")
+	if status != http.StatusOK {
+		t.Fatalf("traces: status %d", status)
+	}
+	if len(names(body)) == 0 {
+		t.Fatal("no traces recorded by the seed traffic")
+	}
+
+	// ?op= keeps only matching root names (case-insensitive substring).
+	status, body = get("?op=CHECKOUT")
+	if status != http.StatusOK {
+		t.Fatalf("traces op filter: status %d", status)
+	}
+	got := names(body)
+	if len(got) == 0 {
+		t.Fatal("op=CHECKOUT matched nothing; checkout traffic was traced")
+	}
+	for _, n := range got {
+		if !strings.Contains(strings.ToLower(n), "checkout") {
+			t.Fatalf("op filter leaked trace %q", n)
+		}
+	}
+
+	// A threshold far above any test op filters everything out.
+	status, body = get("?min_ms=600000")
+	if status != http.StatusOK {
+		t.Fatalf("traces min_ms filter: status %d", status)
+	}
+	if got := names(body); len(got) != 0 {
+		t.Fatalf("min_ms=600000 kept %v", got)
+	}
+	// min_ms=0 keeps everything and composes with op=.
+	status, body = get("?min_ms=0&op=checkout")
+	if status != http.StatusOK || len(names(body)) == 0 {
+		t.Fatalf("min_ms=0&op=checkout: status %d, names %v", status, names(body))
+	}
+
+	for _, bad := range []string{"-1", "fast"} {
+		if status, _ := get("?min_ms=" + bad); status != http.StatusBadRequest {
+			t.Fatalf("min_ms=%s: status %d, want 400", bad, status)
+		}
+	}
+}

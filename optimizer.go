@@ -102,6 +102,12 @@ type optimizerState struct {
 	lastRun    time.Time
 	lastReason string
 	lastErr    string
+
+	// Last sweep's drift inputs: the (possibly heat-weighted) current
+	// checkout cost and whether it crossed the µ trigger.
+	lastCavg     float64
+	lastDrifted  bool
+	lastWeighted bool
 }
 
 // PartitionOptimizerStatus is one dataset's optimizer view, served on
@@ -120,6 +126,12 @@ type PartitionOptimizerStatus struct {
 	LastRun         string  `json:"last_run,omitempty"`
 	LastReason      string  `json:"last_reason,omitempty"`
 	LastError       string  `json:"last_error,omitempty"`
+	// Last sweep's drift decision: the current checkout cost fed into the µ
+	// trigger (heat-weighted when access weights were observed), and whether
+	// it crossed it.
+	Cavg           float64 `json:"avg_checkout_records"`
+	Drifted        bool    `json:"drifted"`
+	AccessWeighted bool    `json:"access_weighted"`
 }
 
 // MigrationReport summarizes one executed repartitioning.
@@ -262,6 +274,17 @@ func (o *PartitionOptimizer) sweepDataset(name string) {
 		feeds = append(feeds, feed{v: v, parents: info.Parents, set: set})
 	}
 	status, _ := d.cvd.PartitionStatus()
+	// Observed access heat: when traffic has been recorded, drift is judged
+	// on the weighted checkout cost (Appendix C.2) instead of the paper's
+	// uniform assumption. The weighted current cost must come from the same
+	// lock acquisition as status, so both describe one layout.
+	weights := d.cvd.Heat().Weights()
+	var weightedCavg float64
+	if weights != nil && status != nil {
+		if pm, ok := d.cvd.Model().(core.PartitionedModel); ok {
+			weightedCavg = pm.WeightedCheckoutCost(weights)
+		}
+	}
 	d.mu.RUnlock()
 
 	for _, f := range feeds {
@@ -270,11 +293,29 @@ func (o *PartitionOptimizer) sweepDataset(name string) {
 			return
 		}
 	}
+	// SetAccessWeights is only touched from this sweep goroutine, matching
+	// online's single-driver discipline.
+	st.online.SetAccessWeights(weights)
+
+	if status == nil {
+		o.mu.Lock()
+		st.observed = len(vids)
+		o.mu.Unlock()
+		return
+	}
+	cavg := status.CheckoutCost
+	if weights != nil {
+		cavg = weightedCavg
+	}
+	drifted := st.online.Drifted(cavg)
 	o.mu.Lock()
 	st.observed = len(vids)
+	st.lastCavg = cavg
+	st.lastDrifted = drifted
+	st.lastWeighted = weights != nil
 	o.mu.Unlock()
 
-	if status == nil || !st.online.Drifted(status.CheckoutCost) {
+	if !drifted {
 		return
 	}
 	if _, err := o.migrate(d, st, "drift"); err != nil {
@@ -436,8 +477,46 @@ func (o *PartitionOptimizer) Status(name string) PartitionOptimizerStatus {
 	out.RowsMoved = st.rowsMoved
 	out.LastReason = st.lastReason
 	out.LastError = st.lastErr
+	out.Cavg = st.lastCavg
+	out.Drifted = st.lastDrifted
+	out.AccessWeighted = st.lastWeighted
 	if !st.lastRun.IsZero() {
 		out.LastRun = st.lastRun.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+// PartitionOptimizerHealth is the optimizer's store-wide health summary,
+// served on /healthz: a silently failing optimizer must not look healthy.
+type PartitionOptimizerHealth struct {
+	Running    bool   `json:"running"`
+	Datasets   int    `json:"datasets_observed"`
+	Migrations int64  `json:"migrations"`
+	LastRun    string `json:"last_run,omitempty"`
+	// LastError is the most recent unrecovered per-dataset error, with the
+	// dataset it came from.
+	LastError        string `json:"last_error,omitempty"`
+	LastErrorDataset string `json:"last_error_dataset,omitempty"`
+}
+
+// Health aggregates the per-dataset optimizer states for /healthz.
+func (o *PartitionOptimizer) Health() PartitionOptimizerHealth {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := PartitionOptimizerHealth{Running: true, Datasets: len(o.states)}
+	var lastRun time.Time
+	for name, st := range o.states {
+		out.Migrations += st.migrations
+		if st.lastRun.After(lastRun) {
+			lastRun = st.lastRun
+		}
+		if st.lastErr != "" {
+			out.LastError = st.lastErr
+			out.LastErrorDataset = name
+		}
+	}
+	if !lastRun.IsZero() {
+		out.LastRun = lastRun.UTC().Format(time.RFC3339Nano)
 	}
 	return out
 }

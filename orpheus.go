@@ -34,6 +34,7 @@ import (
 	"orpheusdb/internal/cache"
 	"orpheusdb/internal/core"
 	"orpheusdb/internal/engine"
+	"orpheusdb/internal/obs"
 	"orpheusdb/internal/sql"
 	"orpheusdb/internal/vgraph"
 	"orpheusdb/internal/wal"
@@ -179,6 +180,10 @@ type Store struct {
 	// optimizer is the background partition optimizer, nil until
 	// StartPartitionOptimizer (see optimizer.go).
 	optimizer atomic.Pointer[PartitionOptimizer]
+
+	// history is the retained metrics sampler, nil until
+	// StartMetricsHistory (see telemetry.go).
+	history atomic.Pointer[obs.History]
 }
 
 func newStore(db *engine.DB, path string) *Store {
@@ -262,6 +267,9 @@ func (s *Store) Save() error {
 	s.saveMu.Lock()
 	s.saveErr = err
 	s.saveMu.Unlock()
+	// Retained metrics history rides the checkpoint path (best-effort
+	// sidecar; see telemetry.go).
+	s.saveHistory()
 	return err
 }
 
@@ -432,6 +440,7 @@ func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, er
 	}
 	c.SetCache(s.cache)
 	c.SetMetrics(s.obs.core)
+	c.SetHeat(core.NewHeat())
 	// A dropped dataset of the same name may have left clients holding
 	// version tokens; advancing the generation keeps them from validating
 	// against the new incarnation.
@@ -478,6 +487,7 @@ func (s *Store) dataset(name string) (*Dataset, error) {
 	}
 	c.SetCache(s.cache)
 	c.SetMetrics(s.obs.core)
+	c.SetHeat(core.NewHeat())
 	d := &Dataset{store: s, cvd: c}
 	s.datasets[name] = d
 	return d, nil
