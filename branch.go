@@ -50,6 +50,9 @@ func ParseMergePolicy(s string) (MergePolicy, error) { return merge.ParsePolicy(
 // dataset's latest version). Branch names share reference slots with version
 // ids, so purely numeric names are rejected.
 func (d *Dataset) CreateBranch(name string, at VersionID) (*BranchInfo, error) {
+	if err := d.store.writable(); err != nil {
+		return nil, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -101,6 +104,9 @@ func (d *Dataset) Branch(name string) (*BranchInfo, error) {
 
 // DeleteBranch removes a branch; the versions it pointed at are untouched.
 func (d *Dataset) DeleteBranch(name string) error {
+	if err := d.store.writable(); err != nil {
+		return err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -176,6 +182,9 @@ func (d *Dataset) MergeCtx(ctx context.Context, oursRef, theirsRef string, polic
 	// ResolveRef resolves (a padded branch ref must still advance it).
 	oursRef = strings.TrimSpace(oursRef)
 	theirsRef = strings.TrimSpace(theirsRef)
+	if err := d.store.writable(); err != nil {
+		return nil, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()

@@ -1,0 +1,378 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	orpheusdb "orpheusdb"
+	"orpheusdb/internal/repl"
+	"orpheusdb/internal/server"
+)
+
+// replbench measures read-throughput scaling across follower counts: a
+// WAL-enabled primary, N followers bootstrapped over HTTP and tailing the
+// shipping stream, and the read router fanning checkout requests across
+// them. It prints a table and writes BENCH_repl.json.
+//
+// Every backend (primary included) sits behind a capacity gate: a fixed
+// concurrency semaphore plus a per-request service-time floor. The gate
+// models a node with bounded parallelism, so adding followers adds real
+// serving capacity and the 1→2→4 scaling curve is deterministic on shared
+// CI hardware instead of a function of how many idle cores the host has.
+// The gate parameters are part of the report — the claim replbench makes
+// is about the router's fan-out, not raw single-node speed.
+
+type replBenchRun struct {
+	Followers     int      `json:"followers"`
+	Ops           int      `json:"ops"`
+	Errors        int      `json:"errors"`
+	ThroughputRPS float64  `json:"throughput_rps"`
+	P50Nanos      int64    `json:"p50_ns"`
+	P95Nanos      int64    `json:"p95_ns"`
+	P99Nanos      int64    `json:"p99_ns"`
+	FollowerReads []uint64 `json:"follower_reads"`
+	PrimaryReads  uint64   `json:"primary_reads"`
+}
+
+type replBenchCapacity struct {
+	Concurrency    int     `json:"concurrency"`
+	ServiceFloorMS float64 `json:"service_floor_ms"`
+}
+
+type replBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	Rows        int               `json:"rows"`
+	Versions    int               `json:"versions"`
+	Clients     int               `json:"clients"`
+	DurationMS  int64             `json:"duration_ms_per_run"`
+	Capacity    replBenchCapacity `json:"backend_capacity"`
+	Runs        []replBenchRun    `json:"runs"`
+	// ThroughputIncreases is the headline assertion CI checks: every run's
+	// throughput beats the previous (smaller) follower count's.
+	ThroughputIncreases bool    `json:"throughput_increases_with_followers"`
+	SpeedupMaxVs1       float64 `json:"speedup_4_vs_1"`
+}
+
+func replBench(args []string) error {
+	fs := flag.NewFlagSet("replbench", flag.ContinueOnError)
+	counts := fs.String("counts", "1,2,4", "comma-separated follower counts to sweep")
+	clients := fs.Int("clients", 32, "concurrent read clients driving the router")
+	duration := fs.Duration("duration", 2*time.Second, "measured window per follower count")
+	rows := fs.Int("rows", 200, "rows per seeded version")
+	versions := fs.Int("nversions", 8, "seeded versions (reads rotate across them)")
+	slots := fs.Int("capacity", 4, "per-backend concurrency gate")
+	floor := fs.Duration("floor", 2*time.Millisecond, "per-backend request service-time floor")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sweep []int
+	for _, raw := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(raw))
+		if err != nil || n < 1 {
+			return fmt.Errorf("replbench: bad -counts entry %q", raw)
+		}
+		sweep = append(sweep, n)
+	}
+
+	dir, err := os.MkdirTemp("", "replbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := orpheusdb.OpenStore(filepath.Join(dir, "primary.odb"))
+	if err != nil {
+		return err
+	}
+	if err := store.EnableWAL(orpheusdb.WALConfig{
+		Dir:    filepath.Join(dir, "wal"),
+		Policy: orpheusdb.FsyncOff,
+	}); err != nil {
+		return err
+	}
+	defer store.CloseWAL()
+
+	d, err := store.Init("replbench", []orpheusdb.Column{
+		{Name: "id", Type: orpheusdb.KindInt},
+		{Name: "val", Type: orpheusdb.KindString},
+	}, orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		return err
+	}
+	var vids []orpheusdb.VersionID
+	for v := 0; v < *versions; v++ {
+		batch := make([]orpheusdb.Row, *rows)
+		for i := range batch {
+			batch[i] = orpheusdb.Row{
+				orpheusdb.Int(int64(v*(*rows) + i)),
+				orpheusdb.String(fmt.Sprintf("v%d-row%d", v, i)),
+			}
+		}
+		var parents []orpheusdb.VersionID
+		if latest := d.LatestVersion(); latest != 0 {
+			parents = []orpheusdb.VersionID{latest}
+		}
+		vid, err := d.Commit(batch, parents, fmt.Sprintf("seed %d", v))
+		if err != nil {
+			return err
+		}
+		vids = append(vids, vid)
+	}
+
+	primarySrv := httptest.NewServer(capacityGate(server.New(store, nil), *slots, *floor))
+	defer primarySrv.Close()
+	primaryLSN := store.WALStatus().AppliedLSN
+
+	report := replBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Rows:        *rows,
+		Versions:    *versions,
+		Clients:     *clients,
+		DurationMS:  duration.Milliseconds(),
+		Capacity: replBenchCapacity{
+			Concurrency:    *slots,
+			ServiceFloorMS: float64(*floor) / float64(time.Millisecond),
+		},
+	}
+
+	fmt.Printf("replbench: %d versions x %d rows, %d clients, %s per run, gate %d slots / %s floor\n",
+		*versions, *rows, *clients, *duration, *slots, *floor)
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n", "followers", "ops", "rps", "p50", "p95", "p99")
+	for _, n := range sweep {
+		run, err := replBenchRunOnce(primarySrv.URL, primaryLSN, n, *clients, *duration, *slots, *floor, vids)
+		if err != nil {
+			return fmt.Errorf("replbench: %d follower(s): %w", n, err)
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%-10d %10d %12.0f %12s %12s %12s\n", n, run.Ops, run.ThroughputRPS,
+			time.Duration(run.P50Nanos), time.Duration(run.P95Nanos), time.Duration(run.P99Nanos))
+	}
+
+	report.ThroughputIncreases = len(report.Runs) > 1
+	for i := 1; i < len(report.Runs); i++ {
+		if report.Runs[i].ThroughputRPS <= report.Runs[i-1].ThroughputRPS {
+			report.ThroughputIncreases = false
+		}
+	}
+	if len(report.Runs) > 1 && report.Runs[0].ThroughputRPS > 0 {
+		report.SpeedupMaxVs1 = report.Runs[len(report.Runs)-1].ThroughputRPS / report.Runs[0].ThroughputRPS
+	}
+	fmt.Printf("throughput increases with followers: %v", report.ThroughputIncreases)
+	if report.SpeedupMaxVs1 > 0 {
+		fmt.Printf("  (max/1 speedup %.2fx)", report.SpeedupMaxVs1)
+	}
+	fmt.Println()
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// replBenchRunOnce stands up n followers and a router over them, drives
+// checkout reads through the router for the window, and tears it all down.
+func replBenchRunOnce(primaryURL string, primaryLSN uint64, n, clients int, window time.Duration, slots int, floor time.Duration, vids []orpheusdb.VersionID) (replBenchRun, error) {
+	run := replBenchRun{Followers: n}
+
+	followers := make([]*repl.Follower, 0, n)
+	followerSrvs := make([]*httptest.Server, 0, n)
+	var urls []string
+	defer func() {
+		for _, s := range followerSrvs {
+			s.Close()
+		}
+		for _, f := range followers {
+			f.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		f, err := repl.StartFollower(repl.FollowerConfig{
+			Primary:        primaryURL,
+			WaitMS:         250,
+			ReconnectDelay: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return run, fmt.Errorf("start follower %d: %w", i, err)
+		}
+		followers = append(followers, f)
+		fl := f
+		srv := httptest.NewServer(capacityGate(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fl.Handler().ServeHTTP(w, r)
+		}), slots, floor))
+		followerSrvs = append(followerSrvs, srv)
+		urls = append(urls, srv.URL)
+	}
+	for _, f := range followers {
+		if err := waitUntil(10*time.Second, func() bool {
+			return f.Store().WALStatus().AppliedLSN >= primaryLSN
+		}); err != nil {
+			return run, fmt.Errorf("follower catch-up: %w", err)
+		}
+	}
+
+	rt, err := repl.NewRouter(repl.RouterConfig{
+		Primary:        primaryURL,
+		Followers:      urls,
+		HealthInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return run, err
+	}
+	defer rt.Close()
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	// The router only fans out to backends its health loop has marked up;
+	// measuring before that would route everything to the primary.
+	if err := waitUntil(10*time.Second, func() bool {
+		return routerHealthyFollowers(rtSrv.URL) >= n
+	}); err != nil {
+		return run, fmt.Errorf("router health: %w", err)
+	}
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        clients * 2,
+			MaxIdleConnsPerHost: clients * 2,
+		},
+	}
+	type result struct {
+		durs []time.Duration
+		errs int
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				v := vids[(c+i)%len(vids)]
+				url := fmt.Sprintf("%s/api/v1/datasets/replbench/checkout?versions=%d", rtSrv.URL, v)
+				start := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					results[c].errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					results[c].errs++
+					continue
+				}
+				results[c].durs = append(results[c].durs, time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var durs []time.Duration
+	for _, r := range results {
+		durs = append(durs, r.durs...)
+		run.Errors += r.errs
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	run.Ops = len(durs)
+	run.ThroughputRPS = float64(len(durs)) / window.Seconds()
+	run.P50Nanos = pct(durs, 50).Nanoseconds()
+	run.P95Nanos = pct(durs, 95).Nanoseconds()
+	run.P99Nanos = pct(durs, 99).Nanoseconds()
+	run.FollowerReads, run.PrimaryReads = routerReadCounts(rtSrv.URL)
+	return run, nil
+}
+
+// capacityGate bounds a backend to `slots` in-flight requests, each taking
+// at least `floor` of service time while holding its slot. This is the
+// fixed-capacity node model the scaling claim is measured against.
+func capacityGate(h http.Handler, slots int, floor time.Duration) http.Handler {
+	sem := make(chan struct{}, slots)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		if spent := time.Since(start); spent < floor {
+			time.Sleep(floor - spent)
+		}
+	})
+}
+
+type routerStatus struct {
+	Followers []struct {
+		Healthy  bool   `json:"healthy"`
+		Requests uint64 `json:"requests"`
+	} `json:"followers"`
+	Primary struct {
+		Requests uint64 `json:"requests"`
+	} `json:"primary"`
+}
+
+func routerHealth(url string) (routerStatus, error) {
+	var st routerStatus
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func routerHealthyFollowers(url string) int {
+	st, err := routerHealth(url)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range st.Followers {
+		if f.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+func routerReadCounts(url string) ([]uint64, uint64) {
+	st, err := routerHealth(url)
+	if err != nil {
+		return nil, 0
+	}
+	reads := make([]uint64, len(st.Followers))
+	for i, f := range st.Followers {
+		reads[i] = f.Requests
+	}
+	return reads, st.Primary.Requests
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("condition not met within %s", timeout)
+}

@@ -24,6 +24,10 @@
 //	explain <cvd> -v <vid>                                Table 1 SQL translations
 //	serve [-addr :7077] [-quiet] [-fsync always|interval|off]
 //	                                                      run the HTTP/JSON versioning service
+//	serve -follow <primary-url> [-addr :7078] [-wal-dir <dir>]
+//	                                                      run a read-only follower replica of a served primary
+//	route -primary <url> -followers <url,url> [-addr :7079]
+//	                                                      fan reads across followers, proxy writes to the primary
 //	top [-addr http://host:7077] [-interval 2s] [-once]   live workload dashboard over a running serve
 //
 // The global -wal <dir> flag write-ahead-logs every mutation for crash
@@ -66,6 +70,16 @@ func run(args []string) error {
 		// Pure network client: runs against a served store and must not
 		// open (or create, or save) a local store file of its own.
 		return cmdTop(rest[1:])
+	}
+	if rest[0] == "route" {
+		// Pure network proxy: no local store either.
+		return cmdRoute(rest[1:])
+	}
+	if rest[0] == "serve" && hasFollowFlag(rest[1:]) {
+		// A follower manages its own replicated store (bootstrapped from the
+		// primary's snapshot); opening — and on exit saving — a local store
+		// file here would clobber the path with an empty database.
+		return cmdServeFollower(rest[1:])
 	}
 	store, err := orpheusdb.OpenStore(*dbPath)
 	if err != nil {

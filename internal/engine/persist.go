@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -196,6 +197,27 @@ func splitIndexKey(key string) []string {
 	return out
 }
 
+// EncodeTo gob-encodes the snapshot to w. This is the snapshot's transport
+// form — the same bytes WriteFile persists, minus the file/fsync plumbing —
+// so a replication bootstrap can stream it over a connection.
+func (snap *DBSnapshot) EncodeTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
+		return fmt.Errorf("engine: encode snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeSnapshot reads a gob-encoded snapshot from r (the inverse of
+// EncodeTo, and the format Save writes to disk).
+func DecodeSnapshot(r io.Reader) (*DBSnapshot, error) {
+	var snap DBSnapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
 // Load reads a snapshot produced by Save.
 func Load(path string) (*DB, error) {
 	f, err := os.Open(path)
@@ -203,10 +225,16 @@ func Load(path string) (*DB, error) {
 		return nil, fmt.Errorf("engine: load: %w", err)
 	}
 	defer f.Close()
-	var snap DBSnapshot
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
+	snap, err := DecodeSnapshot(f)
+	if err != nil {
 		return nil, fmt.Errorf("engine: load %s: %w", filepath.Base(path), err)
 	}
+	return FromSnapshot(snap)
+}
+
+// FromSnapshot materializes a database from a snapshot: the restore half of
+// Snapshot, shared by disk loads and replication bootstraps.
+func FromSnapshot(snap *DBSnapshot) (*DB, error) {
 	db := NewDB()
 	db.walLSN.Store(snap.WalLSN)
 	for k, v := range snap.Settings {

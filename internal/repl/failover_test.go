@@ -1,0 +1,154 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	orpheusdb "orpheusdb"
+)
+
+// Failover: the primary dies mid-traffic, an operator promotes a follower
+// over HTTP, writes resume against the promoted node, and a replacement
+// follower (standing in for the old primary rejoining) syncs off the
+// promoted node without inheriting any unreplicated write the dead primary
+// still held.
+func TestFailoverPromotion(t *testing.T) {
+	primary, srv := newPrimary(t)
+	d, err := primary.Init("fo", testColumns(), orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, d, 5, "pre")
+
+	// The follower gets a WAL dir so promotion can arm durability — after
+	// the flip it is a first-class primary that can ship its own log.
+	walDir := filepath.Join(t.TempDir(), "follower-wal")
+	f, err := StartFollower(FollowerConfig{
+		Primary:        srv.URL,
+		WaitMS:         250,
+		ReconnectDelay: 25 * time.Millisecond,
+		PromoteWALDir:  walDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitCaughtUp(t, f, primary)
+	fsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.Handler().ServeHTTP(w, r) // re-resolve per request: promotion survives re-bootstrap swaps
+	}))
+	defer fsrv.Close()
+
+	// Kill the primary mid-traffic, with one write that never replicated —
+	// the classic lost-update the promoted timeline must not contain.
+	preFailover := primary.WALStatus().AppliedLSN
+	srv.Close()
+	lostV, err := d.Commit([]orpheusdb.Row{{orpheusdb.Int(666), orpheusdb.String("lost")}},
+		[]orpheusdb.VersionID{d.LatestVersion()}, "never replicated")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote over HTTP, exactly as an operator would.
+	presp, err := http.Post(fsrv.URL+"/api/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Promoted    bool                      `json:"promoted"`
+		Replication orpheusdb.ReplicationInfo `json:"replication"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&promoted); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || !promoted.Promoted {
+		t.Fatalf("promote: status %d, body %+v", presp.StatusCode, promoted)
+	}
+	if promoted.Replication.Role != "promoted" || promoted.Replication.State != "promoted" {
+		t.Fatalf("post-promote replication info = %+v", promoted.Replication)
+	}
+	if got := f.Store().WALStatus().AppliedLSN; got != preFailover {
+		t.Fatalf("promoted node's watermark = %d, want the pre-failover %d (must not include the lost write)", got, preFailover)
+	}
+	if f.Store().IsReadOnly() {
+		t.Fatal("promoted store still read-only")
+	}
+
+	// Promote is idempotent: a second POST must succeed, not error.
+	presp2, err := http.Post(fsrv.URL+"/api/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp2.Body.Close()
+	if presp2.StatusCode != http.StatusOK {
+		t.Fatalf("second promote: status %d, want 200", presp2.StatusCode)
+	}
+
+	// Writes resume through the promoted node's HTTP API.
+	latest := int64(0)
+	{
+		fd, err := f.Store().Dataset("fo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest = int64(fd.LatestVersion())
+	}
+	body := bytes.NewReader([]byte(fmt.Sprintf(
+		`{"rows":[[100,"after-failover"]],"parents":[%d],"message":"first write on the new primary"}`, latest)))
+	cresp, err := http.Post(fsrv.URL+"/api/v1/datasets/fo/commit", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-promotion commit: status %d, want 201", cresp.StatusCode)
+	}
+
+	// The old primary rejoins the group as a follower of the promoted node
+	// (a rejoin is a fresh bootstrap — its diverged timeline is discarded,
+	// which is exactly how divergence is avoided).
+	rejoined, err := StartFollower(FollowerConfig{
+		Primary:        fsrv.URL,
+		WaitMS:         250,
+		ReconnectDelay: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("rejoin as follower of the promoted node: %v", err)
+	}
+	defer rejoined.Close()
+	waitCaughtUp(t, rejoined, f.Store())
+	assertConverged(t, f.Store(), rejoined.Store())
+
+	// The lost write must be absent from the promoted timeline: the version
+	// id was reused by the post-failover commit with different content.
+	rd, err := rejoined.Store().Dataset("fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rd.Checkout(orpheusdb.VersionID(lostV))
+	if err != nil {
+		t.Fatalf("checkout of reused version id %d: %v", lostV, err)
+	}
+	for _, r := range rows {
+		if fmt.Sprintf("%v", r) == fmt.Sprintf("%v", orpheusdb.Row{orpheusdb.Int(666), orpheusdb.String("lost")}) {
+			t.Fatal("lost (unreplicated) write leaked into the promoted timeline")
+		}
+	}
+
+	// Replication keeps flowing: another write on the promoted node reaches
+	// the rejoined follower.
+	fd, err := f.Store().Dataset("fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, fd, 2, "steady")
+	waitCaughtUp(t, rejoined, f.Store())
+	assertConverged(t, f.Store(), rejoined.Store())
+}

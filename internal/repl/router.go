@@ -1,0 +1,282 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The read router is the thin fan-out layer in front of a replication
+// group: reads (checkouts, diffs, version metadata, SELECT queries) go
+// round-robin across healthy followers, everything that can mutate goes to
+// the primary. It proxies blindly — consistency is the follower's job (each
+// serves an always-consistent applied prefix, with ETag validators minted
+// per node), and the router only tracks liveness and lag.
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Primary is the primary's base URL; all writes proxy here.
+	Primary string
+	// Followers are follower base URLs; reads fan out across the healthy
+	// ones (falling back to the primary when none are).
+	Followers []string
+	// Client is used for health polling (default: 2s-timeout client).
+	Client *http.Client
+	// HealthInterval is the /healthz polling cadence (default 1s).
+	HealthInterval time.Duration
+	// Logger, if non-nil, receives backend health transitions.
+	Logger *slog.Logger
+}
+
+// backend is one proxied node with its health state.
+type backend struct {
+	url      string
+	proxy    *httputil.ReverseProxy
+	healthy  atomic.Bool
+	requests atomic.Uint64
+	// Follower lag from its /healthz replication block (primary: zero).
+	lagRecords atomic.Uint64
+	lagSecBits atomic.Uint64 // float64 bits
+}
+
+func (b *backend) setLagSeconds(v float64) { b.lagSecBits.Store(math.Float64bits(v)) }
+func (b *backend) lagSeconds() float64     { return math.Float64frombits(b.lagSecBits.Load()) }
+
+// Router fans reads across followers and proxies writes to the primary.
+type Router struct {
+	cfg       RouterConfig
+	primary   *backend
+	followers []*backend
+	rr        atomic.Uint64 // round-robin cursor
+	reads     atomic.Uint64
+	writes    atomic.Uint64
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRouter builds a router and starts its health-polling loop. Close stops
+// it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("repl: router needs a primary URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	rt := &Router{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	var err error
+	if rt.primary, err = newBackend(cfg.Primary); err != nil {
+		return nil, err
+	}
+	rt.primary.healthy.Store(true) // assume up until the first poll says otherwise
+	for _, u := range cfg.Followers {
+		b, err := newBackend(u)
+		if err != nil {
+			return nil, err
+		}
+		rt.followers = append(rt.followers, b)
+	}
+	rt.pollOnce()
+	go rt.healthLoop()
+	return rt, nil
+}
+
+func newBackend(raw string) (*backend, error) {
+	u, err := url.Parse(strings.TrimRight(raw, "/"))
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("repl: bad backend URL %q", raw)
+	}
+	b := &backend{url: u.String(), proxy: httputil.NewSingleHostReverseProxy(u)}
+	b.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		b.healthy.Store(false)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+			"error": {"code": "upstream_unreachable", "message": err.Error()},
+		})
+	}
+	return b, nil
+}
+
+// Close stops the health loop.
+func (rt *Router) Close() error {
+	close(rt.stop)
+	<-rt.done
+	return nil
+}
+
+func (rt *Router) healthLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.pollOnce()
+		}
+	}
+}
+
+// pollOnce refreshes every backend's health. A backend is routable iff its
+// /healthz answers 200 (degraded still serves consistent reads — a follower
+// with a broken stream lags but never serves torn state, and its lag is
+// surfaced here for operators to act on).
+func (rt *Router) pollOnce() {
+	for _, b := range append([]*backend{rt.primary}, rt.followers...) {
+		resp, err := rt.cfg.Client.Get(b.url + "/healthz")
+		if err != nil {
+			rt.markHealth(b, false)
+			continue
+		}
+		var body struct {
+			Replication struct {
+				LagRecords uint64  `json:"lagRecords"`
+				LagSeconds float64 `json:"lagSeconds"`
+			} `json:"replication"`
+		}
+		derr := decodeJSON(resp.Body, &body)
+		resp.Body.Close()
+		ok := resp.StatusCode == http.StatusOK && derr == nil
+		rt.markHealth(b, ok)
+		if ok {
+			b.lagRecords.Store(body.Replication.LagRecords)
+			b.setLagSeconds(body.Replication.LagSeconds)
+		}
+	}
+}
+
+func (rt *Router) markHealth(b *backend, ok bool) {
+	if b.healthy.Swap(ok) != ok && rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("router backend health", "url", b.url, "healthy", ok)
+	}
+}
+
+// pickFollower returns the next healthy follower, or nil when reads must
+// fall back to the primary.
+func (rt *Router) pickFollower() *backend {
+	n := len(rt.followers)
+	if n == 0 {
+		return nil
+	}
+	start := rt.rr.Add(1)
+	for i := 0; i < n; i++ {
+		b := rt.followers[(start+uint64(i))%uint64(n)]
+		if b.healthy.Load() {
+			return b
+		}
+	}
+	return nil
+}
+
+// isRead reports whether the request may be served by a follower. GETs and
+// HEADs under the dataset API are reads by construction; a POST /api/v1/query
+// counts when its (single-statement) SQL starts with SELECT — the body is
+// consumed for the sniff and restored for the proxy.
+func isRead(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return strings.HasPrefix(r.URL.Path, "/api/v1/datasets")
+	case http.MethodPost:
+		if r.URL.Path != "/api/v1/query" {
+			return false
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		r.Body.Close()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		var q struct {
+			SQL    string `json:"sql"`
+			Script bool   `json:"script"`
+		}
+		if json.Unmarshal(body, &q) != nil || q.Script {
+			return false
+		}
+		sql := strings.ToUpper(strings.TrimSpace(q.SQL))
+		return strings.HasPrefix(sql, "SELECT")
+	}
+	return false
+}
+
+// ServeHTTP implements http.Handler. The router's own /healthz reports the
+// backend roster; everything else proxies.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+		rt.serveStatus(w)
+		return
+	}
+	if isRead(r) {
+		if b := rt.pickFollower(); b != nil {
+			rt.reads.Add(1)
+			b.requests.Add(1)
+			b.proxy.ServeHTTP(w, r)
+			return
+		}
+		rt.reads.Add(1) // primary fallback still counts as a routed read
+	} else {
+		rt.writes.Add(1)
+	}
+	rt.primary.requests.Add(1)
+	rt.primary.proxy.ServeHTTP(w, r)
+}
+
+type backendStatus struct {
+	URL        string  `json:"url"`
+	Healthy    bool    `json:"healthy"`
+	Requests   uint64  `json:"requests"`
+	LagRecords uint64  `json:"lagRecords,omitempty"`
+	LagSeconds float64 `json:"lagSeconds,omitempty"`
+}
+
+func (rt *Router) serveStatus(w http.ResponseWriter) {
+	fs := make([]backendStatus, len(rt.followers))
+	anyHealthy := rt.primary.healthy.Load()
+	for i, b := range rt.followers {
+		fs[i] = backendStatus{
+			URL:        b.url,
+			Healthy:    b.healthy.Load(),
+			Requests:   b.requests.Load(),
+			LagRecords: b.lagRecords.Load(),
+			LagSeconds: b.lagSeconds(),
+		}
+		anyHealthy = anyHealthy || fs[i].Healthy
+	}
+	status := "ok"
+	if !anyHealthy {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"role":   "router",
+		"primary": backendStatus{
+			URL:      rt.primary.url,
+			Healthy:  rt.primary.healthy.Load(),
+			Requests: rt.primary.requests.Load(),
+		},
+		"followers":    fs,
+		"routedReads":  rt.reads.Load(),
+		"routedWrites": rt.writes.Load(),
+	})
+}
+
+// decodeJSON decodes one JSON document from r.
+func decodeJSON(r io.Reader, dst any) error {
+	return json.NewDecoder(r).Decode(dst)
+}

@@ -43,6 +43,8 @@ func classify(err error) *apiError {
 		return &apiError{Status: http.StatusNotFound, Code: "not_found", Message: msg}
 	case strings.Contains(msg, "already exists"):
 		return &apiError{Status: http.StatusConflict, Code: "already_exists", Message: msg}
+	case strings.Contains(msg, "read-only"):
+		return &apiError{Status: http.StatusForbidden, Code: "read_only", Message: msg}
 	case strings.Contains(msg, "violates primary key") ||
 		strings.Contains(msg, "primary key column"):
 		return &apiError{Status: http.StatusConflict, Code: "constraint_violation", Message: msg}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"orpheusdb/internal/obs"
+	"orpheusdb/internal/wal"
+)
+
+// Primary-side replication endpoints. The WAL is shipped verbatim: the
+// stream endpoint writes the same CRC-framed records the log stores on disk,
+// so a follower needs no second codec — it parses frames with
+// wal.ReadFrameFrom and applies them through the store's replay path.
+//
+//	GET  /api/v1/wal/snapshot            gob engine snapshot (bootstrap); LSN in X-Orpheus-Snapshot-LSN
+//	GET  /api/v1/wal/stream?from_lsn=N   chunked tail of framed records with LSN > N (long-poll window)
+//	POST /api/v1/promote                 flip a follower writable (404-ish error on a primary)
+//
+// A from_lsn below the log's retained range answers 410 Gone with code
+// "wal_truncated": the records were checkpointed away, so the follower must
+// re-bootstrap from a fresh snapshot.
+
+// streamWindow bounds one long-poll stream response. The follower reconnects
+// immediately after a clean window end, so the window only bounds how long a
+// dead follower can pin a handler goroutine. ?wait_ms= overrides it (tests
+// and final promote drains use 0 for take-what's-there requests).
+const streamWindow = 25 * time.Second
+
+// replMetrics is the primary-side shipping telemetry, registered in New.
+type replMetrics struct {
+	streamsActive *obs.Gauge
+	streamRecords *obs.Counter
+	streamBytes   *obs.Counter
+	snapshots     *obs.Counter
+}
+
+func newReplMetrics(reg *obs.Registry) replMetrics {
+	return replMetrics{
+		streamsActive: reg.Gauge("orpheus_repl_streams_active",
+			"WAL shipping streams currently open to followers."),
+		streamRecords: reg.Counter("orpheus_repl_stream_records_total",
+			"WAL records shipped to followers."),
+		streamBytes: reg.Counter("orpheus_repl_stream_bytes_total",
+			"WAL frame bytes shipped to followers."),
+		snapshots: reg.Counter("orpheus_repl_snapshots_served_total",
+			"Bootstrap snapshots served to followers."),
+	}
+}
+
+// handleWALSnapshot serves the bootstrap snapshot: a gob-encoded engine
+// snapshot whose WalLSN watermark (echoed in X-Orpheus-Snapshot-LSN) is where
+// the follower resumes the stream.
+func (s *Server) handleWALSnapshot(w http.ResponseWriter, r *http.Request) {
+	_, span := obs.StartSpan(r.Context(), "repl.snapshot")
+	defer span.End()
+	snap := s.store.ReplicationSnapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Orpheus-Snapshot-LSN", strconv.FormatUint(snap.WalLSN, 10))
+	s.repl.snapshots.Inc()
+	span.SetAttr("lsn", strconv.FormatUint(snap.WalLSN, 10))
+	// Headers are committed before encoding starts; a mid-encode failure
+	// cuts the body short and the follower's gob decode rejects it.
+	_ = snap.EncodeTo(w)
+}
+
+// handleWALStream tails the primary's WAL to a follower: raw CRC-framed
+// records with LSN > from_lsn, flushed per record, long-polling across idle
+// gaps until the window closes. The response header X-Orpheus-WAL-Next-LSN
+// carries the primary's applied watermark at stream start so the follower can
+// compute lag before the first record arrives.
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var from uint64
+	if raw := q.Get("from_lsn"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, badRequest(fmt.Sprintf("bad from_lsn %q (want a non-negative integer)", raw)))
+			return
+		}
+		from = n
+	}
+	window := streamWindow
+	if raw := q.Get("wait_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			writeError(w, badRequest(fmt.Sprintf("bad wait_ms %q (want a non-negative integer)", raw)))
+			return
+		}
+		window = time.Duration(ms) * time.Millisecond
+	}
+	it, err := s.store.OpenWALStream(from)
+	if err != nil {
+		if strings.Contains(err.Error(), "gap") {
+			writeError(w, &apiError{Status: http.StatusGone, Code: "wal_truncated", Message: err.Error()})
+			return
+		}
+		writeError(w, badRequest(err.Error()))
+		return
+	}
+	defer it.Close()
+
+	// Probe before committing to a 200: a follower asking for records a
+	// checkpoint already reclaimed must get a clean 410 so it re-bootstraps
+	// from a snapshot instead of parsing an error page as frames.
+	notify := s.store.WALNotify()
+	_, _, frame, err := it.Next()
+	if err != nil && !errors.Is(err, wal.ErrNoRecord) {
+		if strings.Contains(err.Error(), "gap") {
+			writeError(w, &apiError{Status: http.StatusGone, Code: "wal_truncated", Message: err.Error()})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Orpheus-WAL-Next-LSN", strconv.FormatUint(s.store.WALStatus().AppliedLSN, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: a caught-up follower long-polling an
+		// idle window must see the 200 immediately, not at window end.
+		flusher.Flush()
+	}
+	s.repl.streamsActive.Add(1)
+	defer s.repl.streamsActive.Add(-1)
+
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	ctx := r.Context()
+
+	ship := func(frame []byte) bool {
+		if _, werr := w.Write(frame); werr != nil {
+			return false // follower went away; it reconnects with a fresh from_lsn
+		}
+		s.repl.streamRecords.Inc()
+		s.repl.streamBytes.Add(int64(len(frame)))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if err == nil {
+		if !ship(frame) {
+			return
+		}
+	}
+	for {
+		// Drain everything available, then wait on the append notification
+		// grabbed BEFORE the drain: a record landing between the grab and
+		// the last Next closes the channel, so no append is ever missed.
+		for {
+			_, _, frame, err := it.Next()
+			if errors.Is(err, wal.ErrNoRecord) {
+				break
+			}
+			if err != nil {
+				// Mid-stream failure (e.g. truncated under a slow reader):
+				// cut the body; the follower's next handshake gets the 410.
+				return
+			}
+			if !ship(frame) {
+				return
+			}
+		}
+		select {
+		case <-notify:
+			notify = s.store.WALNotify()
+		case <-ctx.Done():
+			return
+		case <-deadline.C:
+			return
+		}
+	}
+}
+
+// handlePromote flips a follower writable (see orpheusdb.Replication). On a
+// node with no replication source it is a bad request — there is nothing to
+// promote a primary to.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	repl := s.store.Replication()
+	if repl == nil {
+		writeError(w, badRequest("not a follower: this node has no replication source to promote from"))
+		return
+	}
+	if err := repl.Promote(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted":    true,
+		"replication": repl.Info(),
+	})
+}

@@ -34,6 +34,9 @@
 //	POST   /api/v1/users                              register a user
 //	GET    /api/v1/wal/status                         durability status (WAL, checkpoints, errors)
 //	POST   /api/v1/wal/checkpoint                     force a checkpoint + log truncation
+//	GET    /api/v1/wal/snapshot                       replication bootstrap snapshot (gob; LSN in header)
+//	GET    /api/v1/wal/stream?from_lsn=               WAL shipping stream for followers (framed records)
+//	POST   /api/v1/promote                            flip a follower writable (failover)
 //	GET    /api/v1/cache                              checkout-cache status (budget, bytes, hit/miss/eviction counters)
 //	POST   /api/v1/cache/flush                        drop every cached materialization
 //
@@ -79,6 +82,9 @@ type Server struct {
 	reqSeconds *obs.HistogramVec // latency by (method, route)
 	reqTotal   *obs.CounterVec   // count by (method, route, status)
 	respBytes  *obs.Counter      // cumulative response body bytes
+
+	// repl is the primary-side WAL shipping telemetry (see repl.go).
+	repl replMetrics
 }
 
 // New builds a Server around store. logger may be nil to disable request
@@ -98,6 +104,7 @@ func New(store *orpheusdb.Store, logger *slog.Logger) *Server {
 			"method", "route", "status"),
 		respBytes: reg.Counter("orpheus_http_response_bytes_total",
 			"Cumulative HTTP response body bytes written."),
+		repl: newReplMetrics(reg),
 	}
 	s.routes()
 	return s
@@ -133,6 +140,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
 	s.mux.HandleFunc("GET /api/v1/wal/status", s.handleWALStatus)
 	s.mux.HandleFunc("POST /api/v1/wal/checkpoint", s.handleWALCheckpoint)
+	s.mux.HandleFunc("GET /api/v1/wal/snapshot", s.handleWALSnapshot)
+	s.mux.HandleFunc("GET /api/v1/wal/stream", s.handleWALStream)
+	s.mux.HandleFunc("POST /api/v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /api/v1/cache", s.handleCacheStatus)
 	s.mux.HandleFunc("POST /api/v1/cache/flush", s.handleCacheFlush)
 }
@@ -312,6 +322,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		oh := o.Health()
 		resp["optimizer"] = oh
 		if oh.LastError != "" {
+			resp["status"] = "degraded"
+		}
+	}
+	// Follower role and lag: operators (and the read router) watch lag here,
+	// and a broken stream must degrade the follower even though reads still
+	// succeed from its last applied state.
+	if repl := s.store.Replication(); repl != nil {
+		info := repl.Info()
+		resp["replication"] = info
+		if info.LastError != "" {
 			resp["status"] = "degraded"
 		}
 	}

@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Resumable reads. Recovery (Log.Replay) and replication (the WAL-shipping
+// stream) share one reader: an Iterator positioned at an arbitrary LSN that
+// walks frames in order across segment rotations. The two callers differ only
+// in how they treat the log's moving tail — recovery runs over a repaired,
+// quiescent log, so running out of valid frames means "done", while a
+// streaming reader races live appends and must treat an incomplete frame as
+// "no data yet, ask again". ErrNoRecord is that signal.
+
+// ErrNoRecord reports that no complete record is available at the iterator's
+// position right now. For an iterator over a quiescent log it means the end;
+// for a tailing iterator it means "wait for the next append and retry" (see
+// Log.AppendWait).
+var ErrNoRecord = errors.New("wal: no complete record available")
+
+// readChunk is how much of a segment an Iterator pulls per file read.
+const readChunk = 256 << 10
+
+// Iterator walks log records in LSN order starting after a fixed point. It
+// reads segment files directly (never through the log's append path), so any
+// number of iterators run concurrently with appends and with each other.
+// An Iterator is not safe for concurrent use by multiple goroutines.
+type Iterator struct {
+	l    *Log
+	from uint64 // records with LSN <= from are skipped
+	next uint64 // LSN the next record must carry (dense-sequence check)
+	tail bool   // tolerate a growing, possibly torn active tail
+
+	f        *os.File
+	segFirst uint64
+	off      int64 // file offset the buffer starts at
+	buf      []byte
+	pos      int // parse position within buf
+	closed   bool
+}
+
+// OpenAt returns an iterator over the records with LSN > from, in order,
+// tolerant of a live tail: when it catches up with the writer (including a
+// partially flushed final frame) Next returns ErrNoRecord rather than an
+// error, and succeeds again once more appends land. Use it for streaming;
+// recovery uses Replay, which wraps the same iterator in strict mode.
+//
+// A from below the log's retained range (the records were truncated by a
+// checkpoint) surfaces as a gap error from Next, telling the caller to
+// re-bootstrap from a snapshot instead.
+func (l *Log) OpenAt(from uint64) (*Iterator, error) {
+	return l.openIter(from, true)
+}
+
+func (l *Log) openIter(from uint64, tail bool) (*Iterator, error) {
+	it := &Iterator{l: l, from: from, next: from + 1, tail: tail}
+	if err := it.openSegmentFor(from + 1); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// openSegmentFor opens the segment that contains (or will contain) LSN want:
+// the last segment whose first LSN is <= want, or the earliest segment if
+// every segment starts later (the dense-sequence check in Next then reports
+// the gap). A log always has at least one segment once Opened.
+func (it *Iterator) openSegmentFor(want uint64) error {
+	segs, err := it.l.segments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("wal: open at %d: no segments", want)
+	}
+	pick := segs[0]
+	for _, s := range segs {
+		if s.first <= want {
+			pick = s
+		}
+	}
+	f, err := os.Open(filepath.Join(it.l.opts.Dir, pick.name))
+	if err != nil {
+		return fmt.Errorf("wal: open at %d: %w", want, err)
+	}
+	if it.f != nil {
+		it.f.Close()
+	}
+	it.f = f
+	it.segFirst = pick.first
+	it.off = 0
+	it.buf = it.buf[:0]
+	it.pos = 0
+	return nil
+}
+
+// fill compacts the buffer and reads more bytes from the current segment.
+// Returns the number of new bytes (0 at the segment's current end).
+func (it *Iterator) fill() (int, error) {
+	if it.pos > 0 {
+		it.off += int64(it.pos)
+		it.buf = it.buf[:copy(it.buf, it.buf[it.pos:])]
+		it.pos = 0
+	}
+	start := len(it.buf)
+	if cap(it.buf)-start < readChunk {
+		grown := make([]byte, start, start+readChunk)
+		copy(grown, it.buf)
+		it.buf = grown
+	}
+	n, err := it.f.ReadAt(it.buf[start:start+readChunk], it.off+int64(start))
+	it.buf = it.buf[:start+n]
+	if err != nil && err != io.EOF {
+		return n, fmt.Errorf("wal: read %s: %w", filepath.Base(it.f.Name()), err)
+	}
+	return n, nil
+}
+
+// Next returns the next record: its LSN, the decoded record, and the raw
+// frame bytes (length+CRC header included — valid to ship verbatim to another
+// log reader). The frame slice aliases the iterator's buffer and is only
+// valid until the following Next call.
+//
+// When no complete record is available it returns ErrNoRecord: end of log for
+// a strict iterator, "retry after the next append" for a tailing one. A
+// record out of dense sequence — the log was truncated past the iterator's
+// start — is a gap error.
+func (it *Iterator) Next() (uint64, *Record, []byte, error) {
+	if it.closed {
+		return 0, nil, nil, fmt.Errorf("wal: iterator closed")
+	}
+	for {
+		body, n, ok := readFrame(it.buf[it.pos:])
+		if !ok {
+			grew, err := it.fill()
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if grew > 0 {
+				continue
+			}
+			// The segment has no further complete frame. If a later segment
+			// holds the next LSN the writer rotated past us; otherwise we are
+			// at the live tail (or, for a strict iterator, the end).
+			rotated, err := it.rotate()
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if rotated {
+				continue
+			}
+			if it.tail {
+				return 0, nil, nil, ErrNoRecord
+			}
+			if len(it.buf)-it.pos > 0 {
+				// Open repaired torn tails already; leftover bytes that never
+				// become a valid frame mean the file changed underneath us.
+				return 0, nil, nil, fmt.Errorf("wal: replay %s: invalid frame at byte %d",
+					filepath.Base(it.f.Name()), it.off+int64(it.pos))
+			}
+			return 0, nil, nil, ErrNoRecord
+		}
+		frame := it.buf[it.pos : it.pos+n]
+		it.pos += n
+		lsn := binary.LittleEndian.Uint64(body)
+		if lsn <= it.from {
+			continue
+		}
+		if lsn != it.next {
+			return 0, nil, nil, fmt.Errorf("wal: replay: gap: want LSN %d, found %d (log truncated past snapshot?)", it.next, lsn)
+		}
+		rec, err := Decode(body[8:])
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		it.next = lsn + 1
+		return lsn, rec, frame, nil
+	}
+}
+
+// rotate switches to the segment holding it.next if one past the current
+// segment exists. It reports false when the current segment is still the
+// last — the iterator has caught up with the writer.
+func (it *Iterator) rotate() (bool, error) {
+	segs, err := it.l.segments()
+	if err != nil {
+		return false, err
+	}
+	for _, s := range segs {
+		if s.first > it.segFirst && s.first <= it.next {
+			return true, it.openSegmentFor(it.next)
+		}
+	}
+	return false, nil
+}
+
+// Close releases the iterator's file handle.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	if it.f != nil {
+		err := it.f.Close()
+		it.f = nil
+		return err
+	}
+	return nil
+}
+
+// FirstRetained returns the first LSN the log still retains — the earliest
+// segment's starting LSN. A reader whose resume point is below it cannot be
+// served exactly (a checkpoint truncated the records away) and must restart
+// from a snapshot. Note an empty active segment retains no records yet; its
+// first LSN is where the next append will land.
+func (l *Log) FirstRetained() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("wal: first retained: no segments")
+	}
+	return segs[0].first, nil
+}
+
+// AppendWait returns a channel closed on the next successful Append — the
+// long-poll primitive for tailing iterators: grab the channel, drain Next
+// until ErrNoRecord, then select on the channel (a record appended between
+// the grab and the drain closes it immediately, so no append is missed).
+func (l *Log) AppendWait() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.updated == nil {
+		l.updated = make(chan struct{})
+	}
+	return l.updated
+}
+
+// notifyAppend wakes AppendWait waiters. Caller holds l.mu.
+func (l *Log) notifyAppend() {
+	if l.updated != nil {
+		close(l.updated)
+		l.updated = nil
+	}
+}
+
+// ReadFrameFrom reads one CRC-framed record from r (the wire format of the
+// replication stream is exactly the on-disk frame layout). It returns the
+// record's LSN, the decoded record, and the framed size in bytes. A cleanly
+// closed stream yields io.EOF before any header byte; a frame cut mid-way
+// yields io.ErrUnexpectedEOF; a corrupt frame is an explicit error.
+func ReadFrameFrom(r io.Reader) (uint64, *Record, int, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, 0, io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 8 || length > maxRecordBytes {
+		return 0, nil, 0, fmt.Errorf("wal: stream: invalid frame length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, err
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return 0, nil, 0, fmt.Errorf("wal: stream: frame CRC mismatch")
+	}
+	lsn := binary.LittleEndian.Uint64(body)
+	rec, err := Decode(body[8:])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return lsn, rec, frameHeader + int(length), nil
+}

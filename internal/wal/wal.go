@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -102,6 +103,7 @@ type Log struct {
 	dirty    bool     // unsynced writes under PolicyInterval
 	broken   error    // first append/fsync failure; log refuses writes afterwards
 	closed   bool
+	updated  chan struct{} // closed+replaced per append; see AppendWait
 
 	stop chan struct{} // interval syncer shutdown
 	done chan struct{}
@@ -343,6 +345,7 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	}
 	l.segBytes += int64(len(frame))
 	l.nextLSN++
+	l.notifyAppend()
 	l.opts.AppendBytes.Observe(float64(len(frame)))
 	switch l.opts.Policy {
 	case PolicyAlways:
@@ -515,55 +518,26 @@ func (l *Log) Truncate(upto uint64) error {
 // must have Opened the log (repairing any torn tail) first. LSNs are dense;
 // a gap between from and the first available record means the log was
 // truncated past the snapshot and recovery cannot be exact, which is
-// reported as an error.
+// reported as an error. Replay is the strict (quiescent-log) mode of the
+// resumable iterator behind OpenAt.
 func (l *Log) Replay(from uint64, fn func(lsn uint64, rec *Record) error) error {
-	l.mu.Lock()
-	segs, err := l.segments()
-	dir := l.opts.Dir
-	l.mu.Unlock()
+	it, err := l.openIter(from, false)
 	if err != nil {
 		return err
 	}
-	expect := from + 1
-	for _, seg := range segs {
-		if err := replaySegment(filepath.Join(dir, seg.name), from, &expect, fn); err != nil {
-			return err
+	defer it.Close()
+	for {
+		lsn, rec, _, err := it.Next()
+		if errors.Is(err, ErrNoRecord) {
+			return nil // exhausted the log
 		}
-	}
-	return nil
-}
-
-func replaySegment(path string, from uint64, expect *uint64, fn func(uint64, *Record) error) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("wal: replay: %w", err)
-	}
-	pos := 0
-	for pos < len(data) {
-		body, n, ok := readFrame(data[pos:])
-		if !ok {
-			// Open repaired tails already; an invalid frame here means the
-			// file changed underneath us.
-			return fmt.Errorf("wal: replay %s: invalid frame at byte %d", filepath.Base(path), pos)
-		}
-		pos += n
-		lsn := binary.LittleEndian.Uint64(body)
-		if lsn <= from {
-			continue
-		}
-		if lsn != *expect {
-			return fmt.Errorf("wal: replay: gap: want LSN %d, found %d (log truncated past snapshot?)", *expect, lsn)
-		}
-		rec, err := Decode(body[8:])
 		if err != nil {
 			return err
 		}
 		if err := fn(lsn, rec); err != nil {
 			return err
 		}
-		*expect = lsn + 1
 	}
-	return nil
 }
 
 // readFrame parses one frame from the start of data, returning the body,

@@ -184,6 +184,16 @@ type Store struct {
 	// history is the retained metrics sampler, nil until
 	// StartMetricsHistory (see telemetry.go).
 	history atomic.Pointer[obs.History]
+
+	// readOnly gates every mutator: a follower replica applies the
+	// primary's WAL stream and serves reads but rejects local writes
+	// (see repl_store.go). Flipped false by promotion.
+	readOnly atomic.Bool
+
+	// repl is the attached replication driver (a follower's state machine),
+	// nil on a primary. Guarded by replMu.
+	replMu sync.Mutex
+	repl   Replication
 }
 
 func newStore(db *engine.DB, path string) *Store {
@@ -368,6 +378,9 @@ func (s *Store) CreateUser(name string) error {
 // AddUser registers a new user without switching to it (the multi-client
 // variant of CreateUser, used by the HTTP service).
 func (s *Store) AddUser(name string) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
@@ -427,6 +440,9 @@ func (d *Dataset) aliveLocked() error {
 
 // Init creates a new CVD.
 func (s *Store) Init(name string, cols []Column, opts InitOptions) (*Dataset, error) {
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
@@ -505,6 +521,9 @@ func (s *Store) List() []string {
 // Drop removes a CVD and all its versions (drop command). Outstanding
 // Dataset handles are invalidated: their operations fail until reopened.
 func (s *Store) Drop(name string) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
@@ -590,6 +609,9 @@ func (d *Dataset) Commit(rows []Row, parents []VersionID, msg string) (VersionID
 // HTTP middleware starts one per request), the core commit phases and the
 // WAL append contribute nested spans.
 func (d *Dataset) CommitCtx(ctx context.Context, rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	if err := d.store.writable(); err != nil {
+		return 0, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -621,6 +643,9 @@ func (d *Dataset) CommitWithSchema(cols []Column, rows []Row, parents []VersionI
 // CommitWithSchemaCtx is CommitWithSchema with trace propagation (see
 // CommitCtx).
 func (d *Dataset) CommitWithSchemaCtx(ctx context.Context, cols []Column, rows []Row, parents []VersionID, msg string) (VersionID, error) {
+	if err := d.store.writable(); err != nil {
+		return 0, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -744,6 +769,9 @@ func (d *Dataset) DiffWithColumns(a, b VersionID) (cols []Column, onlyA, onlyB [
 // store's active user.
 func (d *Dataset) CheckoutToTable(table string, vids ...VersionID) error {
 	s := d.store
+	if err := s.writable(); err != nil {
+		return err
+	}
 	user := s.WhoAmI() // before d.mu: lock order is s.mu before dataset locks
 	// Exclusive save lock: the staged table and provenance rows must not
 	// be observed half-written by concurrent SQL or saves.
@@ -767,6 +795,9 @@ func (d *Dataset) CheckoutToTable(table string, vids ...VersionID) error {
 // from the staging area.
 func (d *Dataset) CommitTable(table, msg string) (VersionID, error) {
 	s := d.store
+	if err := s.writable(); err != nil {
+		return 0, err
+	}
 	user := s.WhoAmI() // before d.mu: lock order is s.mu before dataset locks
 	// Exclusive save lock: committing drops the staged table out from
 	// under any SQL statement that could name it.
@@ -910,6 +941,9 @@ func (d *Dataset) OptimizeNaive(gammaFactor float64) (*core.OptimizeResult, erro
 }
 
 func (d *Dataset) optimize(gammaFactor float64, naive bool) (*core.OptimizeResult, error) {
+	if err := d.store.writable(); err != nil {
+		return nil, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -986,6 +1020,9 @@ func (d *Dataset) LastModified() (time.Time, error) {
 // C.2: versions with higher freq land in smaller partitions. Missing
 // versions default to weight 1.
 func (d *Dataset) OptimizeWeighted(gammaFactor float64, freq map[VersionID]int64) (*core.OptimizeResult, error) {
+	if err := d.store.writable(); err != nil {
+		return nil, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()
@@ -1027,6 +1064,9 @@ func (d *Dataset) RecencyWeights(recentFraction float64, hot int64) map[VersionI
 // when the current checkout cost exceeds mu times the best LYRESPLIT can
 // achieve under gammaFactor·|R|, the layout is migrated.
 func (d *Dataset) MaintainPartitions(gammaFactor, mu float64) (*core.MaintenanceResult, error) {
+	if err := d.store.writable(); err != nil {
+		return nil, err
+	}
 	d.store.ioMu.RLock()
 	defer d.store.ioMu.RUnlock()
 	d.mu.Lock()

@@ -128,6 +128,11 @@ func (s *Store) runParsed(ctx context.Context, stmt sql.Stmt) (*Result, error) {
 		span.End()
 	}()
 	writes := stmtWrites(stmt)
+	if writes {
+		if err := s.writable(); err != nil {
+			return nil, err
+		}
+	}
 	defer s.lockForStmts(stmt)()
 	plain := stmtReferencesPlainTables(stmt)
 	if writes || plain {
@@ -193,6 +198,11 @@ func (s *Store) RunScriptCtx(ctx context.Context, src string) (*Result, error) {
 	}()
 	for _, stmt := range stmts {
 		w := stmtWrites(stmt)
+		if w {
+			if err := s.writable(); err != nil {
+				return nil, err
+			}
+		}
 		wrote = wrote || w
 		plain := stmtReferencesPlainTables(stmt)
 		source := &cvdSource{ctx: ctx, s: s, locked: w || plain}

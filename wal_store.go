@@ -182,12 +182,18 @@ func (d *Dataset) commitRecord(typ wal.Type, cols []Column, rows []Row, parents 
 	return rec
 }
 
-// applyRecord replays one WAL record against the store. It runs only during
-// EnableWAL, before the store is shared, so it calls core directly without
-// taking the concurrency locks (and without re-logging).
+// applyRecord replays one WAL record against the store. It runs during
+// EnableWAL recovery (single-threaded, before the store is shared) and from
+// ApplyReplicated on a live follower, which holds the save lock and the
+// affected dataset's lock; the registry/catalog mutations below take s.mu
+// themselves so follower reads never observe a half-updated registry. It
+// calls core directly (no re-logging, no cache invalidation — callers own
+// both).
 func (s *Store) applyRecord(rec *wal.Record) error {
 	switch rec.Type {
 	case wal.TypeInit:
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		c, err := core.Init(s.db, rec.Dataset, rec.Cols, core.InitOptions{
 			Model:      core.ModelKind(rec.Model),
 			PrimaryKey: rec.PrimaryKey,
@@ -197,6 +203,7 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 		}
 		c.SetCache(s.cache)
 		c.SetMetrics(s.obs.core)
+		c.SetHeat(core.NewHeat())
 		s.datasets[rec.Dataset] = &Dataset{store: s, cvd: c}
 		return nil
 	case wal.TypeDrop:
@@ -208,7 +215,9 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 			return err
 		}
 		d.dropped = true
+		s.mu.Lock()
 		delete(s.datasets, rec.Dataset)
+		s.mu.Unlock()
 		return nil
 	case wal.TypeCommit, wal.TypeCommitSchema, wal.TypeCommitTable:
 		return s.replayCommit(rec)
@@ -235,6 +244,8 @@ func (s *Store) applyRecord(rec *wal.Record) error {
 		_, err = d.cvd.MaintainPartitions(rec.Gamma, rec.Mu, rec.Naive)
 		return err
 	case wal.TypeUserAdd:
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		return core.CreateUser(s.db, rec.User)
 	case wal.TypeBranchCreate:
 		d, err := s.dataset(rec.Dataset)
