@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	orpheusdb "orpheusdb"
+	"orpheusdb/internal/obs"
+)
+
+// diskbench measures the disk backend's hot/cold checkout split: a dataset
+// committed and checkpointed into the single-file page store, deliberately
+// larger than both the resident page budget and the checkout cache. Cold
+// checkouts (cache off, tiny page budget) pay ranged page reads from disk on
+// every request; hot checkouts (cache on, warmed) serve from the explicit
+// hot tier. It prints a table and writes BENCH_disk.json.
+
+type diskBenchOp struct {
+	Mode      string  `json:"mode"` // "cold" | "hot"
+	Iters     int     `json:"iters"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	MeanNs    int64   `json:"mean_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+type diskBenchReport struct {
+	GeneratedAt     string        `json:"generated_at"`
+	Rows            int           `json:"rows_per_version"`
+	Versions        int           `json:"versions"`
+	Iters           int           `json:"iters"`
+	DatasetBytes    int64         `json:"dataset_bytes"`
+	FileBytes       int64         `json:"file_bytes"`
+	PageBudgetBytes int64         `json:"page_budget_bytes"`
+	CacheBudget     int64         `json:"cache_budget_bytes"`
+	PageFaults      int64         `json:"page_faults"`
+	PageEvictions   int64         `json:"page_evictions"`
+	Ops             []diskBenchOp `json:"ops"`
+	// SlowdownP50 is cold p50 / hot p50: what the hot tier buys.
+	SlowdownP50 float64 `json:"cold_over_hot_p50"`
+}
+
+func diskBench(args []string) error {
+	fs := flag.NewFlagSet("diskbench", flag.ContinueOnError)
+	rows := fs.Int("rows", 3000, "rows per version")
+	versions := fs.Int("nversions", 24, "committed versions")
+	iters := fs.Int("iters", 60, "measured checkouts per mode")
+	pageBudget := fs.Int64("page-budget", 128<<10, "resident page budget in bytes")
+	// The defaults are sized so one hot version's record set fits the cache
+	// while the whole dataset does not: the hot tier holds the working set,
+	// everything else must come through backend page reads.
+	cacheBudget := fs.Int64("cache-budget", 768<<10, "checkout cache budget in bytes for the hot mode")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "orpheus-diskbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "store.odb")
+
+	// Build phase: commit the lineage on the disk backend with no budget
+	// pressure, checkpoint it into the page file, and close.
+	store, err := orpheusdb.OpenStoreWithOptions(path, orpheusdb.StoreOptions{Backend: orpheusdb.BackendDisk})
+	if err != nil {
+		return err
+	}
+	cols := []orpheusdb.Column{
+		{Name: "id", Type: orpheusdb.KindInt},
+		{Name: "score", Type: orpheusdb.KindFloat},
+		{Name: "tag", Type: orpheusdb.KindString},
+	}
+	ds, err := store.Init("big", cols, orpheusdb.InitOptions{PrimaryKey: []string{"id"}})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	base := make([]orpheusdb.Row, *rows)
+	for i := range base {
+		base[i] = orpheusdb.Row{
+			orpheusdb.Int(int64(i)),
+			orpheusdb.Float(rng.Float64()),
+			orpheusdb.String(fmt.Sprintf("payload-%06d-%06d", i, rng.Intn(1<<20))),
+		}
+	}
+	var parent []orpheusdb.VersionID
+	vids := make([]orpheusdb.VersionID, 0, *versions)
+	for v := 0; v < *versions; v++ {
+		for j := 0; j < *rows/10; j++ {
+			i := rng.Intn(*rows)
+			base[i] = orpheusdb.Row{base[i][0], orpheusdb.Float(rng.Float64()), base[i][2]}
+		}
+		vid, err := ds.Commit(append([]orpheusdb.Row(nil), base...), parent, fmt.Sprintf("v%d", v+1))
+		if err != nil {
+			return err
+		}
+		parent = []orpheusdb.VersionID{vid}
+		vids = append(vids, vid)
+	}
+	datasetBytes := store.DB().TotalSizeBytes()
+	if err := store.Close(); err != nil {
+		return err
+	}
+
+	// Measure phase: reopen under the budgets. Nothing is resident — the
+	// first reads of every page are genuine disk faults.
+	store, err = orpheusdb.OpenStoreWithOptions(path, orpheusdb.StoreOptions{
+		Backend:         orpheusdb.BackendDisk,
+		PageBudgetBytes: *pageBudget,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	ds, err = store.Dataset("big")
+	if err != nil {
+		return err
+	}
+	fileBytes := store.DB().Backend().SizeBytes()
+	hotVid := vids[len(vids)-1]
+
+	rep := &diskBenchReport{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Rows:            *rows,
+		Versions:        *versions,
+		Iters:           *iters,
+		DatasetBytes:    datasetBytes,
+		FileBytes:       fileBytes,
+		PageBudgetBytes: *pageBudget,
+		CacheBudget:     *cacheBudget,
+	}
+	fmt.Printf("dataset %d bytes on disk (%d in rows), page budget %d, cache budget %d\n",
+		fileBytes, datasetBytes, *pageBudget, *cacheBudget)
+	fmt.Printf("%-6s %12s %12s %12s %14s\n", "mode", "p50", "p95", "p99", "ops/sec")
+
+	p50 := map[string]int64{}
+	for _, mode := range []string{"cold", "hot"} {
+		if mode == "cold" {
+			// No hot tier: every checkout re-materializes, faulting its
+			// pages through the backend under the tiny resident budget.
+			store.SetCacheBudget(0)
+		} else {
+			store.SetCacheBudget(*cacheBudget)
+			// Warm the hot version so the measured loop hits, not misses.
+			if _, err := ds.Checkout(hotVid); err != nil {
+				return err
+			}
+		}
+		hist := obs.NewHistogram(obs.LatencyBuckets)
+		start := time.Now()
+		for i := 0; i < *iters; i++ {
+			t0 := time.Now()
+			if _, err := ds.Checkout(hotVid); err != nil {
+				return fmt.Errorf("%s checkout: %w", mode, err)
+			}
+			hist.ObserveDuration(time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		res := diskBenchOp{
+			Mode:      mode,
+			Iters:     *iters,
+			P50Nanos:  hist.QuantileDuration(0.50).Nanoseconds(),
+			P95Nanos:  hist.QuantileDuration(0.95).Nanoseconds(),
+			P99Nanos:  hist.QuantileDuration(0.99).Nanoseconds(),
+			MeanNs:    int64(hist.Sum() / float64(hist.Count()) * 1e9),
+			OpsPerSec: float64(*iters) / elapsed.Seconds(),
+		}
+		rep.Ops = append(rep.Ops, res)
+		p50[mode] = res.P50Nanos
+		fmt.Printf("%-6s %12v %12v %12v %14.0f\n", mode,
+			time.Duration(res.P50Nanos), time.Duration(res.P95Nanos),
+			time.Duration(res.P99Nanos), res.OpsPerSec)
+	}
+	if p50["hot"] > 0 {
+		rep.SlowdownP50 = float64(p50["cold"]) / float64(p50["hot"])
+	}
+	st := store.DB().Stats()
+	rep.PageFaults = st.PageFaults.Load()
+	rep.PageEvictions = st.PageEvictions.Load()
+	fmt.Printf("\ncold/hot p50 ratio %.1fx; %d page faults, %d evictions across the run\n",
+		rep.SlowdownP50, rep.PageFaults, rep.PageEvictions)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

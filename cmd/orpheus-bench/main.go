@@ -45,6 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       orpheus-bench cachebench [-rows 2000] [-nversions 20] [-iters 300] [-json BENCH_cache.json]")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench partbench [-versions 200] [-rows 5000] [-window 35000] [-deltas 2,1,0.5,0.1] [-json BENCH_partition.json]")
 		fmt.Fprintln(os.Stderr, "       orpheus-bench replbench [-counts 1,2,4] [-clients 32] [-duration 2s] [-json BENCH_repl.json]")
+		fmt.Fprintln(os.Stderr, "       orpheus-bench diskbench [-rows 2000] [-nversions 12] [-iters 60] [-page-budget 131072] [-cache-budget 262144] [-json BENCH_disk.json]")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "http" {
@@ -78,6 +79,13 @@ func main() {
 	if flag.Arg(0) == "replbench" {
 		if err := replBench(flag.Args()[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "orpheus-bench: replbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "diskbench" {
+		if err := diskBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus-bench: diskbench:", err)
 			os.Exit(1)
 		}
 		return

@@ -59,6 +59,8 @@ func run(args []string) error {
 	dbPath := global.String("d", "orpheus.odb", "store file")
 	user := global.String("u", "", "act as this user")
 	walDir := global.String("wal", "", "write-ahead log directory (default: <store>.wal when it exists)")
+	backend := global.String("backend", "", "storage engine: memory|disk (default: match the existing file; new stores use memory)")
+	pageBudget := global.Int64("page-budget", 0, "disk backend resident working-set cap in bytes (0 = default)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +83,24 @@ func run(args []string) error {
 		// file here would clobber the path with an empty database.
 		return cmdServeFollower(rest[1:])
 	}
-	store, err := orpheusdb.OpenStore(*dbPath)
+	// `serve -backend=...` selects the engine too, but the store opens
+	// before serve parses its flags — peek the value out of the raw args.
+	if rest[0] == "serve" {
+		if v, ok := peekFlagValue(rest[1:], "backend"); ok && *backend == "" {
+			*backend = v
+		}
+		if v, ok := peekFlagValue(rest[1:], "page-budget"); ok && *pageBudget == 0 {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("serve: bad -page-budget %q: %w", v, err)
+			}
+			*pageBudget = n
+		}
+	}
+	store, err := orpheusdb.OpenStoreWithOptions(*dbPath, orpheusdb.StoreOptions{
+		Backend:         orpheusdb.BackendKind(*backend),
+		PageBudgetBytes: *pageBudget,
+	})
 	if err != nil {
 		return err
 	}
@@ -113,7 +132,22 @@ func run(args []string) error {
 	if err := dispatch(store, cmd, cmdArgs); err != nil {
 		return err
 	}
-	return store.Save()
+	return store.Close()
+}
+
+// peekFlagValue scans raw (unparsed) args for -name=v / -name v and returns
+// the value. Boolean-style occurrences without a value report ("", false).
+func peekFlagValue(args []string, name string) (string, bool) {
+	for i, a := range args {
+		a = strings.TrimPrefix(strings.TrimPrefix(a, "-"), "-")
+		if a == name && i+1 < len(args) {
+			return args[i+1], true
+		}
+		if strings.HasPrefix(a, name+"=") {
+			return a[len(name)+1:], true
+		}
+	}
+	return "", false
 }
 
 func dispatch(store *orpheusdb.Store, cmd string, args []string) error {

@@ -47,8 +47,19 @@ func cmdServe(store *orpheusdb.Store, args []string) error {
 	history := fs.Bool("history", true, "retain metrics history (GET /api/v1/metrics/history, orpheus top)")
 	histInterval := fs.Duration("history-interval", 10*time.Second, "finest history sampling cadence")
 	histRetain := fs.Duration("history-retain", time.Hour, "retention at the finest cadence (a 1m/24h coarse tier rides along)")
+	// Consumed by main before the store opened (the engine is chosen at
+	// open); declared here so parsing accepts them and -h documents them.
+	backend := fs.String("backend", "", "storage engine: memory|disk (applied at store open)")
+	fs.Int64("page-budget", 0, "disk backend resident working-set cap in bytes (applied at store open)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *backend != "" && string(store.BackendKind()) != *backend {
+		return fmt.Errorf("serve: store opened with backend %q but -backend=%q requested", store.BackendKind(), *backend)
+	}
+	if store.BackendKind() == orpheusdb.BackendDisk {
+		fmt.Fprintf(os.Stderr, "orpheus: disk backend %s (page budget %d bytes)\n",
+			store.Path(), store.DB().PageBudget())
 	}
 	store.SetSaveDelay(*saveDelay)
 	if !*walOn && !store.WALEnabled() && store.Path() != "" {

@@ -1,6 +1,7 @@
 package bitmap
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -235,17 +236,29 @@ func TestSerializationRejectsGarbage(t *testing.T) {
 		[]byte("xx"),
 		[]byte("XXXX\x01\x00\x00\x00\x00"),
 		[]byte("ORBM\x09\x00\x00\x00\x00"),
+		// Hostile chunk count (0xFFFFFFFF) over an empty payload.
 		[]byte("ORBM\x01\xff\xff\xff\xff"),
+		// One chunk whose array container claims 0xFFFFFFFF values.
+		[]byte("ORBM\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff"),
+		// One chunk whose run container claims 0xFFFFFFFF intervals.
+		[]byte("ORBM\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x02\xff\xff\xff\xff"),
 	}
 	for i, data := range cases {
-		if _, err := FromBytes(data); err == nil {
+		_, err := FromBytes(data)
+		if err == nil {
 			t.Fatalf("case %d: garbage accepted", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("case %d: error %v does not wrap ErrCorrupt", i, err)
 		}
 	}
 	// Truncated valid payload.
 	good, _ := FromSlice([]int64{1, 2, 3, 100000}).MarshalBinary()
 	if _, err := FromBytes(good[:len(good)-3]); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+	if _, err := FromBytes(good[:len(good)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncation error does not wrap ErrCorrupt")
 	}
 }
 

@@ -2,6 +2,7 @@ package bitmap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -24,6 +25,14 @@ import (
 // values persist through the database's gob snapshots unchanged.
 
 var magic = [4]byte{'O', 'R', 'B', 'M'}
+
+// ErrCorrupt marks structurally invalid ORBM input: truncated payloads,
+// length fields that exceed the remaining bytes, out-of-order or overlapping
+// content, bad magic. Every UnmarshalBinary/FromBytes failure wraps it, so
+// callers handling untrusted bytes can match with errors.Is instead of
+// string-mangling. The length checks run before any count-sized allocation —
+// a hostile uint32 count cannot make the decoder allocate gigabytes.
+var ErrCorrupt = errors.New("corrupt ORBM data")
 
 const formatVersion = 1
 
@@ -80,27 +89,28 @@ func (b *Bitmap) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary restores a bitmap serialized by MarshalBinary.
 func (b *Bitmap) UnmarshalBinary(data []byte) error {
 	if len(data) < len(magic)+1+4 {
-		return fmt.Errorf("bitmap: truncated header (%d bytes)", len(data))
+		return fmt.Errorf("bitmap: truncated header (%d bytes): %w", len(data), ErrCorrupt)
 	}
 	if [4]byte(data[:4]) != magic {
-		return fmt.Errorf("bitmap: bad magic %q", data[:4])
+		return fmt.Errorf("bitmap: bad magic %q: %w", data[:4], ErrCorrupt)
 	}
 	if v := data[4]; v != formatVersion {
-		return fmt.Errorf("bitmap: unsupported format version %d", v)
+		return fmt.Errorf("bitmap: unsupported format version %d: %w", v, ErrCorrupt)
 	}
 	n := binary.LittleEndian.Uint32(data[5:])
 	pos := 9
-	// Preallocate from the untrusted count only up to what the payload could
-	// possibly hold (13 bytes minimum per chunk).
-	capHint := int(n)
-	if max := (len(data) - pos) / 13; capHint > max {
-		capHint = max
+	// The container count is untrusted: clamp it against what the payload
+	// could possibly hold (13 bytes minimum per chunk) before it sizes any
+	// allocation or drives the loop. A count like 0xFFFFFFFF over a
+	// 20-byte input fails here, immediately.
+	if int64(n) > int64(len(data)-pos)/13 {
+		return fmt.Errorf("bitmap: chunk count %d exceeds input (%d bytes): %w", n, len(data), ErrCorrupt)
 	}
-	b.keys = make([]uint64, 0, capHint)
-	b.cts = make([]*container, 0, capHint)
+	b.keys = make([]uint64, 0, int(n))
+	b.cts = make([]*container, 0, int(n))
 	need := func(k int) error {
 		if pos+k > len(data) {
-			return fmt.Errorf("bitmap: truncated at byte %d (need %d of %d)", pos, k, len(data))
+			return fmt.Errorf("bitmap: truncated at byte %d (need %d of %d): %w", pos, k, len(data), ErrCorrupt)
 		}
 		return nil
 	}
@@ -114,26 +124,26 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 		cnt := int(binary.LittleEndian.Uint32(data[pos+9:]))
 		pos += 13
 		if i > 0 && key <= prevKey {
-			return fmt.Errorf("bitmap: chunk keys out of order at %d", key)
+			return fmt.Errorf("bitmap: chunk keys out of order at %d: %w", key, ErrCorrupt)
 		}
 		// Values are non-negative int64s (Add rejects negatives), so a key
 		// whose values would overflow into the sign bit cannot come from a
 		// legitimate serialization — only from corruption.
 		if key > uint64(math.MaxInt64)>>16 {
-			return fmt.Errorf("bitmap: chunk key %d exceeds the value space", key)
+			return fmt.Errorf("bitmap: chunk key %d exceeds the value space: %w", key, ErrCorrupt)
 		}
 		prevKey = key
 		c := &container{typ: typ}
 		switch typ {
 		case typeArray:
-			if err := need(2 * cnt); err != nil {
-				return err
+			if cnt > (len(data)-pos)/2 {
+				return fmt.Errorf("bitmap: array count %d exceeds remaining %d bytes: %w", cnt, len(data)-pos, ErrCorrupt)
 			}
 			c.arr = make([]uint16, cnt)
 			for j := 0; j < cnt; j++ {
 				c.arr[j] = binary.LittleEndian.Uint16(data[pos+2*j:])
 				if j > 0 && c.arr[j] <= c.arr[j-1] {
-					return fmt.Errorf("bitmap: array container values out of order at %d", c.arr[j])
+					return fmt.Errorf("bitmap: array container values out of order at %d: %w", c.arr[j], ErrCorrupt)
 				}
 			}
 			pos += 2 * cnt
@@ -149,11 +159,11 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 			pos += 8 * bitmapWords
 			c.card = cnt
 			if got := popcount(c.bits); got != cnt {
-				return fmt.Errorf("bitmap: bitset cardinality mismatch: header %d, bits %d", cnt, got)
+				return fmt.Errorf("bitmap: bitset cardinality mismatch: header %d, bits %d: %w", cnt, got, ErrCorrupt)
 			}
 		case typeRun:
-			if err := need(4 * cnt); err != nil {
-				return err
+			if cnt > (len(data)-pos)/4 {
+				return fmt.Errorf("bitmap: run count %d exceeds remaining %d bytes: %w", cnt, len(data)-pos, ErrCorrupt)
 			}
 			c.runs = make([]interval, cnt)
 			card := 0
@@ -163,10 +173,10 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 					Last:  binary.LittleEndian.Uint16(data[pos+4*j+2:]),
 				}
 				if r.Last < r.Start {
-					return fmt.Errorf("bitmap: inverted run [%d,%d]", r.Start, r.Last)
+					return fmt.Errorf("bitmap: inverted run [%d,%d]: %w", r.Start, r.Last, ErrCorrupt)
 				}
 				if j > 0 && int(r.Start) <= int(c.runs[j-1].Last) {
-					return fmt.Errorf("bitmap: overlapping runs at [%d,%d]", r.Start, r.Last)
+					return fmt.Errorf("bitmap: overlapping runs at [%d,%d]: %w", r.Start, r.Last, ErrCorrupt)
 				}
 				c.runs[j] = r
 				card += int(r.Last-r.Start) + 1
@@ -174,7 +184,7 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 			pos += 4 * cnt
 			c.card = card
 		default:
-			return fmt.Errorf("bitmap: unknown container type %d", typ)
+			return fmt.Errorf("bitmap: unknown container type %d: %w", typ, ErrCorrupt)
 		}
 		b.keys = append(b.keys, key)
 		b.cts = append(b.cts, c)

@@ -292,6 +292,19 @@ func (c *Cache) insertLocked(dataset, key string, vids *bitmap.Bitmap, val Entry
 		c.ll.MoveToFront(el)
 		return false
 	}
+	// Trim before caching: record sets are built with append, so they can
+	// arrive with cap > len. The spare capacity aliases the builder's backing
+	// array — in the worst case a block also referenced by a live table — and
+	// entryBytes (which counts len) would silently under-count what the cache
+	// actually retains. An exact-size copy of the slice headers (not the rows;
+	// those are immutable and shared by design) makes the accounting honest
+	// and keeps a caller's later append from writing into the cached array.
+	if cap(val.Rows) > len(val.Rows) {
+		val.Rows = append(make([]engine.Row, 0, len(val.Rows)), val.Rows...)
+	}
+	if cap(val.Cols) > len(val.Cols) {
+		val.Cols = append(make([]engine.Column, 0, len(val.Cols)), val.Cols...)
+	}
 	sz := entryBytes(val)
 	if sz > c.budget {
 		return false

@@ -346,3 +346,48 @@ func TestConcurrentMixedUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestInsertTrimsSliceCapacity asserts the accounting invariant the trim in
+// insertLocked exists for: an entry built with append (cap > len, the spare
+// capacity aliasing the builder's — possibly a live table's — backing array)
+// must be re-sliced to exact size on insert, so entryBytes' len-based count
+// matches what the cache retains and later appends by callers cannot write
+// into the cached array.
+func TestInsertTrimsSliceCapacity(t *testing.T) {
+	c := New(1<<20, nil)
+	// Build rows the way checkout does: append into a generously-sized
+	// slice, leaving spare capacity behind the cached view.
+	oversized := make([]engine.Row, 0, 1024)
+	for i := int64(0); i < 3; i++ {
+		oversized = append(oversized, engine.Row{engine.IntValue(i)})
+	}
+	put(c, "ds", "k", Entry{
+		Cols: append(make([]engine.Column, 0, 64), engine.Column{Name: "n", Type: engine.KindInt}),
+		Rows: oversized,
+	})
+	got, ok := c.lookup("k")
+	if !ok {
+		t.Fatal("entry not cached")
+	}
+	if cap(got.Rows) != len(got.Rows) {
+		t.Fatalf("cached Rows cap %d > len %d: retains the builder's backing array", cap(got.Rows), len(got.Rows))
+	}
+	if cap(got.Cols) != len(got.Cols) {
+		t.Fatalf("cached Cols cap %d > len %d", cap(got.Cols), len(got.Cols))
+	}
+	if &got.Rows[0] == &oversized[0] {
+		t.Fatal("cached Rows share the oversized backing array")
+	}
+	// The charge recorded for the entry must equal entryBytes of the exact
+	// slices actually retained.
+	if want, have := entryBytes(got), c.Stats().Bytes; have != want {
+		t.Fatalf("accounted %d bytes, entry retains %d", have, want)
+	}
+	// Appending to the returned value must reallocate, never write behind
+	// the cached entry's back.
+	_ = append(got.Rows, engine.Row{engine.IntValue(99)})
+	again, _ := c.lookup("k")
+	if len(again.Rows) != 3 {
+		t.Fatalf("append through returned slice mutated cached entry: %d rows", len(again.Rows))
+	}
+}

@@ -87,7 +87,10 @@ func (m *combinedTable) Checkout(vid vgraph.VersionID) ([]Record, error) {
 	var out []Record
 	t.Scan(func(_ engine.RowID, row engine.Row) bool {
 		if engine.ArrayContains(want, row[vlistCol].A) {
-			out = append(out, recordFromRow(row[:vlistCol]))
+			// Full slice expression: without the cap, the record's spare
+			// capacity would reach into the live row's vlist cell, and a
+			// caller appending to the returned row would overwrite it.
+			out = append(out, recordFromRow(row[:vlistCol:vlistCol]))
 		}
 		return true
 	})

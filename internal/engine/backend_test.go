@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fillTable inserts n rows (id, payload) into a fresh table named name.
+func fillTable(t *testing.T, db *DB, name string, n int) *Table {
+	t.Helper()
+	tb, err := db.CreateTable(name, []Column{{Name: "id", Type: KindInt}, {Name: "payload", Type: KindString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(Row{IntValue(int64(i)), StringValue(fmt.Sprintf("payload-%06d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// checkTable asserts the table holds exactly rows 0..n-1 in scan order.
+func checkTable(t *testing.T, tb *Table, n int) {
+	t.Helper()
+	want := int64(0)
+	tb.Scan(func(_ RowID, r Row) bool {
+		if r[0].I != want || r[1].S != fmt.Sprintf("payload-%06d", want) {
+			t.Fatalf("row %d = (%d, %q)", want, r[0].I, r[1].S)
+		}
+		want++
+		return true
+	})
+	if int(want) != n {
+		t.Fatalf("scanned %d rows, want %d", want, n)
+	}
+}
+
+func TestBackendFlushReopenRoundTrip(t *testing.T) {
+	for _, kind := range []string{"memory", "disk"} {
+		t.Run(kind, func(t *testing.T) {
+			var b Backend
+			path := filepath.Join(t.TempDir(), "store.odb")
+			if kind == "disk" {
+				var err error
+				b, err = OpenDiskBackend(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				b = NewMemBackend()
+			}
+			db := NewDBWithBackend(b, 0)
+			const n = 1000 // ~4 pages
+			tb := fillTable(t, db, "records", n)
+			if err := tb.CreateIndex("id"); err != nil {
+				t.Fatal(err)
+			}
+			db.SetSetting("join_method", "hash")
+			db.SetWalLSN(42)
+			if _, err := db.FlushBackend(); err != nil {
+				t.Fatal(err)
+			}
+			if kind == "disk" {
+				if err := db.CloseBackend(); err != nil {
+					t.Fatal(err)
+				}
+				var err error
+				b, err = OpenDiskBackend(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			db2, err := OpenBackendDB(b, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.CloseBackend()
+			tb2 := db2.Table("records")
+			if tb2 == nil {
+				t.Fatal("records table missing after reopen")
+			}
+			if tb2.NumRows() != n {
+				t.Fatalf("NumRows = %d, want %d", tb2.NumRows(), n)
+			}
+			checkTable(t, tb2, n)
+			if tb2.Index("id") == nil {
+				t.Fatal("index not rebuilt on open")
+			}
+			if got := db2.Setting("join_method"); got != "hash" {
+				t.Fatalf("setting = %q", got)
+			}
+			if got := db2.WalLSN(); got != 42 {
+				t.Fatalf("WalLSN = %d", got)
+			}
+		})
+	}
+}
+
+func TestBackendEvictionKeepsWorkingSetUnderBudget(t *testing.T) {
+	db := NewDBWithBackend(NewMemBackend(), 0)
+	const n = 4000
+	tb := fillTable(t, db, "records", n)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	total := db.ResidentBytes()
+	if total <= 0 {
+		t.Fatal("no resident bytes tracked")
+	}
+	budget := total / 4
+	db.SetPageBudget(budget)
+	if got := db.ResidentBytes(); got > budget {
+		t.Fatalf("resident %d > budget %d after trim", got, budget)
+	}
+	if db.Stats().PageEvictions.Load() == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// Every row must still be readable (faulting pages back in), and the
+	// working set must stay bounded while we sweep.
+	checkTable(t, tb, n)
+	if got := db.ResidentBytes(); got > budget+total/4 {
+		t.Fatalf("resident %d far over budget %d during sweep", got, budget)
+	}
+	if db.Stats().PageFaults.Load() == 0 {
+		t.Fatal("no faults counted")
+	}
+}
+
+func TestBackendDirtyPagesPinnedUntilFlush(t *testing.T) {
+	db := NewDBWithBackend(NewMemBackend(), 1) // 1-byte budget: evict everything evictable
+	tb := fillTable(t, db, "records", 600)
+	// All pages are dirty (never flushed) → pinned despite the budget.
+	if db.ResidentBytes() == 0 {
+		t.Fatal("dirty pages were evicted")
+	}
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush cleaned them; the eviction pass should have drained the heap.
+	if got := db.ResidentBytes(); got != 0 {
+		t.Fatalf("resident %d after flush under 1-byte budget", got)
+	}
+	checkTable(t, tb, 600)
+}
+
+func TestBackendUpdateDeleteSurviveFlushCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.odb")
+	b, err := OpenDiskBackend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDBWithBackend(b, 0)
+	tb := fillTable(t, db, "records", 700)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate a committed state: update row 10, delete rows 300..309.
+	tb.Scan(func(id RowID, r Row) bool {
+		if r[0].I == 10 {
+			if err := tb.Update(id, Row{IntValue(10), StringValue("updated")}); err != nil {
+				t.Fatal(err)
+			}
+			return false
+		}
+		return true
+	})
+	var dead []RowID
+	tb.Scan(func(id RowID, r Row) bool {
+		if r[0].I >= 300 && r[0].I < 310 {
+			dead = append(dead, id)
+		}
+		return true
+	})
+	tb.DeleteBatch(dead)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	db.CloseBackend()
+
+	db2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.CloseBackend()
+	tb2 := db2.Table("records")
+	if tb2.NumRows() != 690 {
+		t.Fatalf("NumRows = %d, want 690", tb2.NumRows())
+	}
+	seen := 0
+	tb2.Scan(func(_ RowID, r Row) bool {
+		seen++
+		if r[0].I == 10 && r[1].S != "updated" {
+			t.Fatalf("row 10 = %q", r[1].S)
+		}
+		if r[0].I >= 300 && r[0].I < 310 {
+			t.Fatalf("deleted row %d still live", r[0].I)
+		}
+		return true
+	})
+	if seen != 690 {
+		t.Fatalf("scanned %d rows", seen)
+	}
+}
+
+func TestBackendDropAndRenameAcrossFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.odb")
+	db, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, db, "keep", 300)
+	fillTable(t, db, "gone", 300)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RenameTable("keep", "kept"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	db.CloseBackend()
+
+	db2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.CloseBackend()
+	if db2.HasTable("gone") || db2.HasTable("keep") {
+		t.Fatalf("tables after reopen: %v", db2.TableNames())
+	}
+	checkTable(t, db2.Table("kept"), 300)
+}
+
+func TestBackendCompactTruncatesHeapOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.odb")
+	db, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := fillTable(t, db, "records", 1000)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	var dead []RowID
+	tb.Scan(func(id RowID, r Row) bool {
+		if r[0].I >= 200 {
+			dead = append(dead, id)
+		}
+		return true
+	})
+	tb.DeleteBatch(dead)
+	if err := tb.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	db.CloseBackend()
+
+	db2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.CloseBackend()
+	tb2 := db2.Table("records")
+	if tb2.NumRows() != 200 || tb2.NumDeleted() != 0 {
+		t.Fatalf("rows=%d ndel=%d", tb2.NumRows(), tb2.NumDeleted())
+	}
+	if tb2.NumPages() != 1 {
+		t.Fatalf("pages = %d, want 1 after compact", tb2.NumPages())
+	}
+	checkTable(t, tb2, 200)
+	// The orphaned tail pages must be gone from the KV, not just the catalog.
+	raw, ok, _ := db2.Backend().GetMeta(pageKey(tb2.id, 2))
+	if ok {
+		t.Fatalf("orphan page survived compact flush (%d bytes)", len(raw))
+	}
+}
+
+func TestBackendUncommittedMutationsRollBackOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.odb")
+	db, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := fillTable(t, db, "records", 400)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash after more inserts without a flush: reopen must show the
+	// committed 400 rows only.
+	for i := 400; i < 500; i++ {
+		if _, err := tb.Insert(Row{IntValue(int64(i)), StringValue("lost")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CloseBackend()
+
+	db2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.CloseBackend()
+	checkTable(t, db2.Table("records"), 400)
+}
+
+func TestBackendSnapshotOfDiskDBFaultsEverything(t *testing.T) {
+	db := NewDBWithBackend(NewMemBackend(), 0)
+	fillTable(t, db, "records", 600)
+	if _, err := db.FlushBackend(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetPageBudget(1)
+	snap := db.Snapshot()
+	if len(snap.Tables) != 1 || len(snap.Tables[0].Rows) != 600 {
+		t.Fatalf("snapshot shape: %d tables", len(snap.Tables))
+	}
+	db2, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, db2.Table("records"), 600)
+}

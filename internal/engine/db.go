@@ -20,6 +20,29 @@ type DB struct {
 	// reflected in this database. The store advances it after each logged
 	// mutation; snapshots carry it so recovery knows where replay starts.
 	walLSN atomic.Uint64
+
+	// Storage-backend state (nil backend = pure in-memory engine; see
+	// Backend and pager.go). residentBytes tracks the loaded working set
+	// against pageBudget; evictQueue holds FIFO eviction candidates;
+	// pendingDrops defers table removal to the next checkpoint so a crash
+	// before it rolls the drop back together with the WAL.
+	backend       Backend
+	pageBudget    atomic.Int64
+	residentBytes atomic.Int64
+	evictMu       sync.Mutex
+	evictQueue    []evictEntry
+	nextTableID   atomic.Uint64
+	pendingMu     sync.Mutex
+	pendingDrops  []droppedTable
+	backendErrMu  sync.Mutex
+	backendErr    error
+}
+
+// droppedTable remembers a dropped table's backend footprint until the next
+// checkpoint deletes it.
+type droppedTable struct {
+	id    uint64
+	pages int
 }
 
 // NewDB returns an empty database.
@@ -98,6 +121,9 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 		seen[c.Name] = true
 	}
 	t := newTable(name, cols, &db.stats)
+	if db.backend != nil {
+		db.attachBackend(t)
+	}
 	db.tables[name] = t
 	return t, nil
 }
@@ -120,11 +146,22 @@ func (db *DB) MustTable(name string) (*Table, error) {
 // DropTable removes the named table.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; !ok {
+	t, ok := db.tables[name]
+	if !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("engine: no table %q", name)
 	}
 	delete(db.tables, name)
+	db.mu.Unlock()
+	if db.backend != nil {
+		t.resMu.Lock()
+		persisted := t.persistedPages
+		t.resMu.Unlock()
+		db.pendingMu.Lock()
+		db.pendingDrops = append(db.pendingDrops, droppedTable{t.id, persisted})
+		db.pendingMu.Unlock()
+		t.releaseResidency()
+	}
 	return nil
 }
 

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"fmt"
+
+	"orpheusdb/internal/engine/diskv"
+)
+
+// DiskBackend adapts the diskv append-only KV to the engine's Backend
+// interface. Key layout inside the KV:
+//
+//	catalog/table/<id>   gob TableMeta, id as %016x
+//	page/<id>/<page>     gob PageData, id %016x, page %08x
+//	meta/settings        gob map[string]string
+//	meta/lsn             uint64 big-endian WAL low-water mark
+//	meta/nextid          uint64 big-endian table-id counter
+//
+// Table ids (not names) key the pages, so a rename is a catalog-only write.
+// diskv stages Put/Delete until Commit seals them with a commit frame, which
+// is exactly the atomic-checkpoint contract Backend requires.
+type DiskBackend struct {
+	kv *diskv.KV
+}
+
+// OpenDiskBackend opens (or creates) the single-file KV at path.
+func OpenDiskBackend(path string) (*DiskBackend, error) {
+	kv, err := diskv.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskBackend{kv: kv}, nil
+}
+
+func catalogKey(id uint64) string      { return fmt.Sprintf("catalog/table/%016x", id) }
+func pageKey(id uint64, p int) string  { return fmt.Sprintf("page/%016x/%08x", id, p) }
+func tablePagePrefix(id uint64) string { return fmt.Sprintf("page/%016x/", id) }
+
+// Kind implements Backend.
+func (b *DiskBackend) Kind() string { return "disk" }
+
+// TableMetas implements Backend.
+func (b *DiskBackend) TableMetas() ([]TableMeta, error) {
+	var out []TableMeta
+	for _, key := range b.kv.Keys("catalog/table/") {
+		raw, ok, err := b.kv.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		m, err := decodeTableMeta(raw)
+		if err != nil {
+			return nil, fmt.Errorf("engine: disk backend: %s: %w", key, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// PutTableMeta implements Backend.
+func (b *DiskBackend) PutTableMeta(m TableMeta) error {
+	raw, err := encodeTableMeta(m)
+	if err != nil {
+		return err
+	}
+	return b.kv.Put(catalogKey(m.ID), raw)
+}
+
+// DeleteTable implements Backend.
+func (b *DiskBackend) DeleteTable(id uint64, pages int) error {
+	if err := b.kv.Delete(catalogKey(id)); err != nil {
+		return err
+	}
+	for p := 0; p < pages; p++ {
+		if err := b.kv.Delete(pageKey(id, p)); err != nil {
+			return err
+		}
+	}
+	// Pages beyond the caller's count (e.g. staged but never committed)
+	// cannot exist: page keys are only ever staged together with their
+	// catalog entry in one commit. Sweep the prefix anyway for safety.
+	for _, key := range b.kv.Keys(tablePagePrefix(id)) {
+		if err := b.kv.Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePage implements Backend.
+func (b *DiskBackend) WritePage(table uint64, page int, pd *PageData) (int, error) {
+	raw, err := encodePage(pd)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.kv.Put(pageKey(table, page), raw); err != nil {
+		return 0, err
+	}
+	return len(raw), nil
+}
+
+// ReadPage implements Backend.
+func (b *DiskBackend) ReadPage(table uint64, page int) (*PageData, error) {
+	raw, ok, err := b.kv.Get(pageKey(table, page))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: disk backend: missing page %016x/%08x", table, page)
+	}
+	return decodePage(raw)
+}
+
+// DeletePage implements Backend.
+func (b *DiskBackend) DeletePage(table uint64, page int) error {
+	return b.kv.Delete(pageKey(table, page))
+}
+
+// GetMeta implements Backend.
+func (b *DiskBackend) GetMeta(key string) ([]byte, bool, error) { return b.kv.Get(key) }
+
+// PutMeta implements Backend.
+func (b *DiskBackend) PutMeta(key string, val []byte) error { return b.kv.Put(key, val) }
+
+// Commit implements Backend: one fsynced commit frame seals the batch.
+func (b *DiskBackend) Commit() error { return b.kv.Commit() }
+
+// Maintain implements Backend: fold out garbage frames once overwrites have
+// stranded enough of the file.
+func (b *DiskBackend) Maintain() error {
+	if !b.kv.ShouldCompact() {
+		return nil
+	}
+	return b.kv.Compact()
+}
+
+// SizeBytes implements Backend.
+func (b *DiskBackend) SizeBytes() int64 { return b.kv.Stats().FileBytes }
+
+// Close implements Backend. Staged (uncommitted) writes are discarded.
+func (b *DiskBackend) Close() error { return b.kv.Close() }
+
+// Path returns the KV file path.
+func (b *DiskBackend) Path() string { return b.kv.Path() }
+
+// DiskOptions tunes OpenDisk.
+type DiskOptions struct {
+	// PageBudgetBytes caps the resident working set (0 = unlimited).
+	PageBudgetBytes int64
+}
+
+// OpenDisk opens (or creates) a disk-backed database at path: heap pages and
+// catalog live in the diskv file, and at most opts.PageBudgetBytes of pages
+// are kept resident. The file is flocked until DB.CloseBackend.
+func OpenDisk(path string, opts DiskOptions) (*DB, error) {
+	b, err := OpenDiskBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	db, err := OpenBackendDB(b, opts.PageBudgetBytes)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// IsDiskFile reports whether path holds a diskv-format store (as opposed to
+// a gob snapshot). Missing files report false with no error.
+func IsDiskFile(path string) (bool, error) {
+	return diskv.Sniff(path)
+}

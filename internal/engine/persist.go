@@ -3,6 +3,7 @@ package engine
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -63,8 +64,8 @@ func (db *DB) Snapshot() *DBSnapshot {
 			ts.Clustered = splitIndexKey(t.cluster)
 		}
 		ts.Rows = make([]Row, 0, t.NumRows())
-		for _, page := range t.pages {
-			for _, r := range page {
+		for p := 0; p < len(t.pages); p++ {
+			for _, r := range t.page(p) {
 				if r != nil {
 					ts.Rows = append(ts.Rows, CloneRow(r))
 				}
@@ -208,12 +209,20 @@ func (snap *DBSnapshot) EncodeTo(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ErrCorruptSnapshot marks a snapshot file (or stream) that cannot be
+// decoded: truncated writes, bit rot, or a file that was never a snapshot.
+// Load and DecodeSnapshot wrap every decode failure with it so callers can
+// distinguish "the file is damaged" (errors.Is) from I/O errors like a
+// missing file, without parsing gob's error strings. No partially-decoded
+// database ever escapes — a failed decode returns nil.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
 // DecodeSnapshot reads a gob-encoded snapshot from r (the inverse of
 // EncodeTo, and the format Save writes to disk).
 func DecodeSnapshot(r io.Reader) (*DBSnapshot, error) {
 	var snap DBSnapshot
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("engine: decode snapshot: %w", err)
+		return nil, fmt.Errorf("engine: decode snapshot: %v: %w", err, ErrCorruptSnapshot)
 	}
 	return &snap, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -186,6 +187,56 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.odb")); err == nil {
 		t.Error("loading missing file succeeded")
+	}
+	// A missing file is an I/O problem, not corruption: the typed sentinel
+	// must not be attached to it.
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.odb")); errors.Is(err, ErrCorruptSnapshot) {
+		t.Error("missing file misreported as corrupt snapshot")
+	}
+}
+
+// TestLoadCorruptSnapshotTyped runs damaged snapshot files through Load and
+// asserts every decode failure wraps ErrCorruptSnapshot and returns no DB.
+func TestLoadCorruptSnapshotTyped(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.odb")
+	if err := buildPersistDB(t).Save(good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (gob carries no checksum, so a bit flip inside a value's payload can
+	// decode "successfully" to wrong data — only structural damage like
+	// truncation or garbage is detectable, and those must be typed.)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not a snapshot at all")},
+		{"truncated-header", raw[:3]},
+		{"truncated-half", raw[:len(raw)/2]},
+		{"truncated-tail", raw[:len(raw)-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".odb")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			db, err := Load(path)
+			if err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("error %v does not wrap ErrCorruptSnapshot", err)
+			}
+			if db != nil {
+				t.Fatal("partially-initialized DB returned alongside error")
+			}
+		})
 	}
 }
 

@@ -75,7 +75,8 @@ func JoinRidsSet(t *Table, ridCol int, set *bitmap.Bitmap, m JoinMethod) ([]Row,
 func probeJoinSeq(t *Table, ridCol int, set *bitmap.Bitmap, card int) []Row {
 	out := make([]Row, 0, card)
 	pr := bitmap.NewProber(set)
-	for _, page := range t.pages {
+	for p := 0; p < len(t.pages); p++ {
+		page := t.page(p)
 		t.stats.SeqPages.Add(1)
 		for _, r := range page {
 			if r == nil {
@@ -114,7 +115,8 @@ func probeJoinParallel(t *Table, ridCol int, set *bitmap.Bitmap, card, workers i
 		}
 		buf := make([]Row, 0, card/nChunks+8)
 		pr := bitmap.NewProber(set)
-		for _, page := range t.pages[lo:hi] {
+		for p := lo; p < hi; p++ {
+			page := t.page(p)
 			t.stats.SeqPages.Add(1)
 			for _, r := range page {
 				if r == nil {

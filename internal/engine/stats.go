@@ -52,6 +52,13 @@ type Stats struct {
 	PartitionMigrations atomic.Int64
 	PartitionBatches    atomic.Int64
 	PartitionRowsMoved  atomic.Int64
+
+	// Pager accounting (backend-attached engines only): cold heap pages
+	// faulted in from the storage backend, resident pages evicted under
+	// byte-budget pressure, and dirty pages written back by checkpoints.
+	PageFaults    atomic.Int64
+	PageEvictions atomic.Int64
+	PagesFlushed  atomic.Int64
 }
 
 // StatSnapshot is an immutable copy of the counters.
@@ -76,6 +83,10 @@ type StatSnapshot struct {
 	PartitionMigrations int64
 	PartitionBatches    int64
 	PartitionRowsMoved  int64
+
+	PageFaults    int64
+	PageEvictions int64
+	PagesFlushed  int64
 }
 
 // Snapshot copies the current counter values.
@@ -101,6 +112,10 @@ func (s *Stats) Snapshot() StatSnapshot {
 		PartitionMigrations: s.PartitionMigrations.Load(),
 		PartitionBatches:    s.PartitionBatches.Load(),
 		PartitionRowsMoved:  s.PartitionRowsMoved.Load(),
+
+		PageFaults:    s.PageFaults.Load(),
+		PageEvictions: s.PageEvictions.Load(),
+		PagesFlushed:  s.PagesFlushed.Load(),
 	}
 }
 
@@ -122,6 +137,9 @@ func (s *Stats) Reset() {
 	s.PartitionMigrations.Store(0)
 	s.PartitionBatches.Store(0)
 	s.PartitionRowsMoved.Store(0)
+	s.PageFaults.Store(0)
+	s.PageEvictions.Store(0)
+	s.PagesFlushed.Store(0)
 }
 
 // Since returns the counter deltas accumulated after the given snapshot.
@@ -148,6 +166,10 @@ func (s *Stats) Since(prev StatSnapshot) StatSnapshot {
 		PartitionMigrations: cur.PartitionMigrations - prev.PartitionMigrations,
 		PartitionBatches:    cur.PartitionBatches - prev.PartitionBatches,
 		PartitionRowsMoved:  cur.PartitionRowsMoved - prev.PartitionRowsMoved,
+
+		PageFaults:    cur.PageFaults - prev.PageFaults,
+		PageEvictions: cur.PageEvictions - prev.PageEvictions,
+		PagesFlushed:  cur.PagesFlushed - prev.PagesFlushed,
 	}
 }
 
@@ -163,9 +185,11 @@ func (d StatSnapshot) String() string {
 	return fmt.Sprintf("seq=%d rand=%d rows=%d probes=%d hash=%d cost=%d"+
 		" ckpt=%d ckptBytes=%d cacheHit=%d cacheMiss=%d cacheEvict=%d"+
 		" branches=%d merges=%d conflicts=%d"+
-		" partMigrations=%d partBatches=%d partRowsMoved=%d",
+		" partMigrations=%d partBatches=%d partRowsMoved=%d"+
+		" pageFaults=%d pageEvictions=%d pagesFlushed=%d",
 		d.SeqPages, d.RandPages, d.RowsScanned, d.IndexProbes, d.HashBuilds, d.IOCost(),
 		d.Checkpoints, d.CheckpointBytes, d.CacheHits, d.CacheMisses, d.CacheEvictions,
 		d.BranchCreates, d.Merges, d.MergeConflicts,
-		d.PartitionMigrations, d.PartitionBatches, d.PartitionRowsMoved)
+		d.PartitionMigrations, d.PartitionBatches, d.PartitionRowsMoved,
+		d.PageFaults, d.PageEvictions, d.PagesFlushed)
 }

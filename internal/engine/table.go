@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // RowsPerPage is the heap page capacity. Together with Stats it forms the
@@ -44,6 +45,19 @@ type Table struct {
 	indexes map[string]*Index // by column-list key
 	cluster string            // column list the heap is physically ordered by
 	stats   *Stats
+
+	// Residency state for tables attached to a storage backend (see
+	// Backend and pager.go). With a nil backend every page is resident and
+	// none of this is used.
+	backend        Backend
+	db             *DB
+	id             uint64
+	resMu          sync.Mutex
+	resident       []bool       // pages[p] is loaded
+	pageBytes      []int64      // estimated bytes of each resident page
+	dirty          map[int]bool // resident pages modified since last flush
+	dataBytes      int64        // live row bytes across the whole heap
+	persistedPages int          // page count in the backend's committed catalog
 }
 
 // newTable builds an empty table.
@@ -112,10 +126,12 @@ func (t *Table) AddColumn(c Column) error {
 	}
 	t.cols = append(t.cols, c)
 	t.colIdx[c.Name] = len(t.cols) - 1
-	for _, p := range t.pages {
+	for pi := 0; pi < len(t.pages); pi++ {
+		p := t.writablePage(pi)
 		for i := range p {
 			if p[i] != nil {
 				p[i] = append(p[i], NullValue())
+				t.noteRowDelta(pi, 1)
 			}
 		}
 	}
@@ -135,12 +151,15 @@ func (t *Table) AlterColumnType(name string, k Kind) error {
 		return fmt.Errorf("engine: table %s: cannot narrow %s from %s to %s", t.name, name, old, k)
 	}
 	t.cols[i].Type = k
-	for _, p := range t.pages {
+	for pi := 0; pi < len(t.pages); pi++ {
+		p := t.writablePage(pi)
 		for j := range p {
 			if p[j] == nil || p[j][i].IsNull() {
 				continue
 			}
+			before := rowBytes(p[j])
 			p[j][i] = convert(p[j][i], k)
+			t.noteRowDelta(pi, rowBytes(p[j])-before)
 		}
 	}
 	return nil
@@ -178,12 +197,18 @@ func (t *Table) Insert(r Row) (RowID, error) {
 	if len(r) != len(t.cols) {
 		return 0, fmt.Errorf("engine: table %s: row has %d values, want %d", t.name, len(r), len(t.cols))
 	}
-	if len(t.pages) == 0 || len(t.pages[len(t.pages)-1]) == RowsPerPage {
-		t.pages = append(t.pages, make([]Row, 0, RowsPerPage))
+	var id RowID
+	if t.backend == nil {
+		if len(t.pages) == 0 || len(t.pages[len(t.pages)-1]) == RowsPerPage {
+			t.pages = append(t.pages, make([]Row, 0, RowsPerPage))
+		}
+		p := len(t.pages) - 1
+		t.pages[p] = append(t.pages[p], r)
+		id = MakeRowID(p, len(t.pages[p])-1)
+	} else {
+		p, s := t.backendAppend(r, rowBytes(r))
+		id = MakeRowID(p, s)
 	}
-	p := len(t.pages) - 1
-	t.pages[p] = append(t.pages[p], r)
-	id := MakeRowID(p, len(t.pages[p])-1)
 	t.nrows++
 	for _, ix := range t.indexes {
 		ix.insert(r, id)
@@ -205,11 +230,11 @@ func (t *Table) InsertMany(rows []Row) error {
 // deleted slots.
 func (t *Table) Get(id RowID) Row {
 	p, s := id.Page(), id.Slot()
-	if p >= len(t.pages) || s >= len(t.pages[p]) {
+	if p < 0 || p >= len(t.pages) || s >= t.slotCount(p) {
 		return nil
 	}
 	t.stats.RandPages.Add(1)
-	r := t.pages[p][s]
+	r := t.page(p)[s]
 	if r != nil {
 		t.stats.RowsScanned.Add(1)
 	}
@@ -219,17 +244,18 @@ func (t *Table) Get(id RowID) Row {
 // getNoCharge fetches a row without I/O accounting (for index maintenance).
 func (t *Table) getNoCharge(id RowID) Row {
 	p, s := id.Page(), id.Slot()
-	if p >= len(t.pages) || s >= len(t.pages[p]) {
+	if p < 0 || p >= len(t.pages) || s >= t.slotCount(p) {
 		return nil
 	}
-	return t.pages[p][s]
+	return t.page(p)[s]
 }
 
 // Scan iterates all live rows sequentially, charging one sequential page per
 // page visited. The callback must not retain the row slice across calls if it
 // mutates it. Iteration stops early if fn returns false.
 func (t *Table) Scan(fn func(id RowID, r Row) bool) {
-	for p, page := range t.pages {
+	for p := 0; p < len(t.pages); p++ {
+		page := t.page(p)
 		t.stats.SeqPages.Add(1)
 		for s, r := range page {
 			if r == nil {
@@ -261,7 +287,8 @@ func (t *Table) Update(id RowID, r Row) error {
 		ix.remove(old, id)
 		ix.insert(r, id)
 	}
-	t.pages[id.Page()][id.Slot()] = r
+	t.writablePage(id.Page())[id.Slot()] = r
+	t.noteRowDelta(id.Page(), rowBytes(r)-rowBytes(old))
 	t.stats.RandPages.Add(1)
 	return nil
 }
@@ -280,7 +307,9 @@ func (t *Table) DeleteBatch(ids []RowID) {
 		}
 	}
 	for id := range drop {
-		t.pages[id.Page()][id.Slot()] = nil
+		pg := t.writablePage(id.Page())
+		t.noteRowDelta(id.Page(), -rowBytes(pg[id.Slot()]))
+		pg[id.Slot()] = nil
 	}
 	t.ndel += len(drop)
 	t.stats.RandPages.Add(int64(len(drop)))
@@ -298,7 +327,8 @@ func (t *Table) Delete(id RowID) {
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
-	t.pages[id.Page()][id.Slot()] = nil
+	t.writablePage(id.Page())[id.Slot()] = nil
+	t.noteRowDelta(id.Page(), -rowBytes(old))
 	t.ndel++
 	t.stats.RandPages.Add(1)
 }
@@ -331,8 +361,8 @@ func (t *Table) CreateIndex(names ...string) error {
 		cols[i] = j
 	}
 	ix := newIndex(cols)
-	for p, page := range t.pages {
-		for s, r := range page {
+	for p := 0; p < len(t.pages); p++ {
+		for s, r := range t.page(p) {
 			if r != nil {
 				ix.insert(r, MakeRowID(p, s))
 			}
@@ -361,8 +391,8 @@ func (t *Table) Cluster(names ...string) error {
 		cols[i] = j
 	}
 	rows := make([]Row, 0, t.NumRows())
-	for _, page := range t.pages {
-		for _, r := range page {
+	for p := 0; p < len(t.pages); p++ {
+		for _, r := range t.page(p) {
 			if r != nil {
 				rows = append(rows, r)
 			}
@@ -376,9 +406,7 @@ func (t *Table) Cluster(names ...string) error {
 		}
 		return false
 	})
-	t.pages = nil
-	t.nrows = 0
-	t.ndel = 0
+	t.resetHeap()
 	old := t.indexes
 	t.indexes = make(map[string]*Index)
 	for _, r := range rows {
@@ -386,10 +414,18 @@ func (t *Table) Cluster(names ...string) error {
 			return err
 		}
 	}
+	t.rebuildIndexes(old)
+	t.cluster = indexKeyName(names)
+	return nil
+}
+
+// rebuildIndexes replaces every index in old with one rebuilt from the
+// current heap (used after Cluster/Compact invalidate all RowIDs).
+func (t *Table) rebuildIndexes(old map[string]*Index) {
 	for key := range old {
 		ix := newIndex(old[key].cols)
-		for p, page := range t.pages {
-			for s, r := range page {
+		for p := 0; p < len(t.pages); p++ {
+			for s, r := range t.page(p) {
 				if r != nil {
 					ix.insert(r, MakeRowID(p, s))
 				}
@@ -397,8 +433,6 @@ func (t *Table) Cluster(names ...string) error {
 		}
 		t.indexes[key] = ix
 	}
-	t.cluster = indexKeyName(names)
-	return nil
 }
 
 // Compact rewrites the heap dropping tombstoned slots, preserving scan
@@ -410,16 +444,14 @@ func (t *Table) Compact() error {
 		return nil
 	}
 	rows := make([]Row, 0, t.NumRows())
-	for _, page := range t.pages {
-		for _, r := range page {
+	for p := 0; p < len(t.pages); p++ {
+		for _, r := range t.page(p) {
 			if r != nil {
 				rows = append(rows, r)
 			}
 		}
 	}
-	t.pages = nil
-	t.nrows = 0
-	t.ndel = 0
+	t.resetHeap()
 	old := t.indexes
 	t.indexes = make(map[string]*Index)
 	for _, r := range rows {
@@ -427,17 +459,7 @@ func (t *Table) Compact() error {
 			return err
 		}
 	}
-	for key := range old {
-		ix := newIndex(old[key].cols)
-		for p, page := range t.pages {
-			for s, r := range page {
-				if r != nil {
-					ix.insert(r, MakeRowID(p, s))
-				}
-			}
-		}
-		t.indexes[key] = ix
-	}
+	t.rebuildIndexes(old)
 	return nil
 }
 
@@ -472,12 +494,20 @@ func (t *Table) CheckPrimaryKey() error {
 // comparisons.
 func (t *Table) SizeBytes() int64 {
 	var n int64
-	for _, page := range t.pages {
-		for _, r := range page {
-			if r == nil {
-				continue
+	if t.backend != nil {
+		// Walking the heap would fault every cold page in; the pager
+		// maintains the live-byte total incrementally instead.
+		t.resMu.Lock()
+		n = t.dataBytes
+		t.resMu.Unlock()
+	} else {
+		for _, page := range t.pages {
+			for _, r := range page {
+				if r == nil {
+					continue
+				}
+				n += rowBytes(r)
 			}
-			n += rowBytes(r)
 		}
 	}
 	for _, ix := range t.indexes {

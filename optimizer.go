@@ -91,7 +91,13 @@ type optimizerState struct {
 	// is rewriting. Independent datasets still migrate concurrently.
 	migrateMu sync.Mutex
 
-	online *partition.Online
+	// onlineMu guards every access to online: the sweep goroutine drives it
+	// (ObserveCommit / SetAccessWeights / Drifted) while Status reads its
+	// counters from API goroutines. partition.Online itself is
+	// single-threaded by contract, so the lock lives here at the sharing
+	// boundary.
+	onlineMu sync.Mutex
+	online   *partition.Online
 	// observed counts the prefix of the dataset's version order already fed
 	// into online.
 	observed int
@@ -287,15 +293,16 @@ func (o *PartitionOptimizer) sweepDataset(name string) {
 	}
 	d.mu.RUnlock()
 
+	st.onlineMu.Lock()
 	for _, f := range feeds {
 		if err := st.online.ObserveCommit(f.v, f.parents, f.set); err != nil {
+			st.onlineMu.Unlock()
 			o.recordErr(st, err)
 			return
 		}
 	}
-	// SetAccessWeights is only touched from this sweep goroutine, matching
-	// online's single-driver discipline.
 	st.online.SetAccessWeights(weights)
+	st.onlineMu.Unlock()
 
 	if status == nil {
 		o.mu.Lock()
@@ -307,7 +314,9 @@ func (o *PartitionOptimizer) sweepDataset(name string) {
 	if weights != nil {
 		cavg = weightedCavg
 	}
+	st.onlineMu.Lock()
 	drifted := st.online.Drifted(cavg)
+	st.onlineMu.Unlock()
 	o.mu.Lock()
 	st.observed = len(vids)
 	st.lastCavg = cavg
@@ -469,9 +478,11 @@ func (o *PartitionOptimizer) Status(name string) PartitionOptimizerStatus {
 	if !ok {
 		return out
 	}
+	st.onlineMu.Lock()
 	out.CommitsObserved = st.online.Commits()
 	out.BestCavg = st.online.BestCheckoutCost()
 	out.DeltaStar = st.online.DeltaStar()
+	st.onlineMu.Unlock()
 	out.Migrations = st.migrations
 	out.Batches = st.batches
 	out.RowsMoved = st.rowsMoved

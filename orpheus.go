@@ -221,20 +221,101 @@ func NewStore() *Store {
 	return newStore(engine.NewDB(), "")
 }
 
-// OpenStore opens (or creates) a store persisted at path.
+// BackendKind selects the storage engine behind a persisted store.
+type BackendKind string
+
+const (
+	// BackendAuto sniffs the existing file format (new stores default to
+	// the in-memory engine with gob snapshots).
+	BackendAuto BackendKind = ""
+	// BackendMemory keeps every record in memory; checkpoints write whole
+	// gob snapshots. The original engine.
+	BackendMemory BackendKind = "memory"
+	// BackendDisk keeps records in a single-file page KV; only a
+	// byte-budgeted working set stays resident and checkpoints flush dirty
+	// pages. Datasets can exceed RAM.
+	BackendDisk BackendKind = "disk"
+)
+
+// StoreOptions tunes OpenStoreWithOptions.
+type StoreOptions struct {
+	// Backend picks the storage engine. BackendAuto matches whatever is on
+	// disk already.
+	Backend BackendKind
+	// PageBudgetBytes caps the disk backend's resident working set
+	// (0 = DefaultPageBudget). Ignored by the memory backend.
+	PageBudgetBytes int64
+}
+
+// DefaultPageBudget is the disk backend's resident working-set cap when none
+// is configured.
+const DefaultPageBudget int64 = 256 << 20
+
+// OpenStore opens (or creates) a store persisted at path, sniffing the
+// existing file's format to pick the storage engine (gob snapshot → memory,
+// page KV → disk). New stores get the memory engine; use
+// OpenStoreWithOptions to create a disk-backed store.
 func OpenStore(path string) (*Store, error) {
-	if _, err := os.Stat(path); err != nil {
-		if os.IsNotExist(err) {
-			return newStore(engine.NewDB(), path), nil
-		}
-		return nil, err
+	return OpenStoreWithOptions(path, StoreOptions{})
+}
+
+// OpenStoreWithOptions opens (or creates) a store persisted at path with an
+// explicit storage engine choice.
+func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
+	if opts.PageBudgetBytes <= 0 {
+		opts.PageBudgetBytes = DefaultPageBudget
 	}
-	db, err := engine.Load(path)
+	isDisk, err := engine.IsDiskFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return newStore(db, path), nil
+	exists := false
+	if _, serr := os.Stat(path); serr == nil {
+		exists = true
+	} else if !os.IsNotExist(serr) {
+		return nil, serr
+	}
+	kind := opts.Backend
+	if kind == BackendAuto {
+		if isDisk {
+			kind = BackendDisk
+		} else {
+			kind = BackendMemory
+		}
+	}
+	switch kind {
+	case BackendDisk:
+		if exists && !isDisk {
+			return nil, fmt.Errorf("orpheus: %s holds a gob snapshot, not a disk-backend store; open with -backend=memory (or move it aside)", path)
+		}
+		db, err := engine.OpenDisk(path, engine.DiskOptions{PageBudgetBytes: opts.PageBudgetBytes})
+		if err != nil {
+			return nil, err
+		}
+		return newStore(db, path), nil
+	case BackendMemory:
+		if isDisk {
+			return nil, fmt.Errorf("orpheus: %s holds a disk-backend store; open with -backend=disk", path)
+		}
+		if !exists {
+			return newStore(engine.NewDB(), path), nil
+		}
+		db, err := engine.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return newStore(db, path), nil
+	default:
+		return nil, fmt.Errorf("orpheus: unknown backend %q (want memory or disk)", kind)
+	}
 }
+
+// BackendKind names the store's storage engine ("memory" or "disk").
+func (s *Store) BackendKind() BackendKind { return BackendKind(s.db.BackendKind()) }
+
+// SetPageBudget adjusts the disk backend's resident working-set cap at
+// runtime (no-op for memory stores). See engine.DB.SetPageBudget.
+func (s *Store) SetPageBudget(n int64) { s.db.SetPageBudget(n) }
 
 // Save persists the store to its path synchronously (no-op for in-memory
 // stores). The save lock is held exclusively only while the in-memory
@@ -249,6 +330,9 @@ func OpenStore(path string) (*Store, error) {
 func (s *Store) Save() error {
 	if s.path == "" {
 		return nil
+	}
+	if s.db.Backend() != nil {
+		return s.saveBackend()
 	}
 	s.diskMu.Lock()
 	defer s.diskMu.Unlock()
@@ -279,6 +363,38 @@ func (s *Store) Save() error {
 	s.saveMu.Unlock()
 	// Retained metrics history rides the checkpoint path (best-effort
 	// sidecar; see telemetry.go).
+	s.saveHistory()
+	return err
+}
+
+// saveBackend is the disk-backend checkpoint: flush dirty pages and the
+// catalog as one atomic KV commit instead of re-serializing the whole store.
+// The save lock is held exclusively for the duration — unlike the snapshot
+// path there is no in-memory copy to hand off, but the write is O(dirty
+// pages), not O(store). Pure readers proceed throughout (they never take
+// ioMu); on success the WAL is truncated up to the flushed watermark exactly
+// as after a snapshot checkpoint.
+func (s *Store) saveBackend() error {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	s.ioMu.Lock()
+	written, err := s.db.FlushBackend()
+	lsn := s.db.WalLSN()
+	s.ioMu.Unlock()
+	if err == nil {
+		stats := s.db.Stats()
+		stats.Checkpoints.Add(1)
+		stats.CheckpointBytes.Add(written)
+		s.ckptLSN.Store(lsn)
+		if s.wal != nil {
+			if terr := s.wal.Truncate(lsn); terr != nil {
+				err = terr
+			}
+		}
+	}
+	s.saveMu.Lock()
+	s.saveErr = err
+	s.saveMu.Unlock()
 	s.saveHistory()
 	return err
 }
@@ -341,8 +457,18 @@ func (s *Store) Flush() error {
 	return err
 }
 
-// Close flushes pending state to disk. The store remains usable.
-func (s *Store) Close() error { return s.Flush() }
+// Close flushes pending state to disk and, for disk-backend stores, releases
+// the store file (and its lock). A memory-backend store remains usable after
+// Close; a disk-backend store does not.
+func (s *Store) Close() error {
+	err := s.Flush()
+	if s.db.Backend() != nil {
+		if cerr := s.db.CloseBackend(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // DB exposes the underlying engine database (for advanced use and tests).
 // Access through DB bypasses the store's locking; do not mix it with

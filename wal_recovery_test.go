@@ -15,17 +15,30 @@ import (
 // explicitly), reopens from the surviving files, and asserts the recovered
 // state matches exactly what had been acknowledged.
 
-// openWALStore opens (or reopens) a WAL-backed store rooted at dir. The
-// debounced save is pushed out to an hour so checkpoints only happen when a
-// test asks for one.
+// walTestBackend selects the storage engine every openWALStore call uses.
+// The default (memory) runs the suite as it always ran; the disk-backend
+// umbrella test flips it to re-run the same matrices against the page store.
+// Tests in this package run sequentially, so a plain variable is safe.
+var walTestBackend = BackendMemory
+
+// openWALStore opens (or reopens) a WAL-backed store rooted at dir, on the
+// backend walTestBackend selects. The debounced save is pushed out to an
+// hour so checkpoints only happen when a test asks for one.
 func openWALStore(t *testing.T, dir string, policy FsyncPolicy) *Store {
 	t.Helper()
-	s, err := OpenStore(filepath.Join(dir, "store.odb"))
+	return openWALStoreCfg(t, dir, WALConfig{Policy: policy})
+}
+
+// openWALStoreCfg is openWALStore with the full WAL configuration exposed
+// (segment size, fsync cadence) for tests that need rotation behavior.
+func openWALStoreCfg(t *testing.T, dir string, cfg WALConfig) *Store {
+	t.Helper()
+	s, err := OpenStoreWithOptions(filepath.Join(dir, "store.odb"), StoreOptions{Backend: walTestBackend})
 	if err != nil {
 		t.Fatalf("OpenStore: %v", err)
 	}
 	s.SetSaveDelay(time.Hour)
-	if err := s.EnableWAL(WALConfig{Policy: policy}); err != nil {
+	if err := s.EnableWAL(cfg); err != nil {
 		t.Fatalf("EnableWAL: %v", err)
 	}
 	return s
@@ -33,7 +46,10 @@ func openWALStore(t *testing.T, dir string, policy FsyncPolicy) *Store {
 
 // crash abandons the store without flushing: the pending debounced save is
 // cancelled and the log's file handle released. Anything not already handed
-// to the OS is lost, exactly as with a SIGKILL.
+// to the OS is lost, exactly as with a SIGKILL. For a disk-backend store the
+// page file's handle (and its flock) is released too — diskv discards writes
+// staged since the last commit frame, which is exactly what a kill leaves
+// behind — so the next open in this process can take the lock.
 func crash(s *Store) {
 	s.saveMu.Lock()
 	if s.saveTimer != nil {
@@ -43,6 +59,9 @@ func crash(s *Store) {
 	s.saveMu.Unlock()
 	if s.wal != nil {
 		s.wal.Close()
+	}
+	if s.db.Backend() != nil {
+		s.db.CloseBackend()
 	}
 }
 
@@ -117,8 +136,12 @@ func TestWALRecoveryNoCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	crash(s)
-	if _, err := os.Stat(filepath.Join(dir, "store.odb")); !os.IsNotExist(err) {
-		t.Fatalf("premise broken: snapshot file exists before any checkpoint")
+	if walTestBackend != BackendDisk {
+		// (A disk-backend store creates its page file at open; only the gob
+		// snapshot is written lazily at the first checkpoint.)
+		if _, err := os.Stat(filepath.Join(dir, "store.odb")); !os.IsNotExist(err) {
+			t.Fatalf("premise broken: snapshot file exists before any checkpoint")
+		}
 	}
 
 	r := openWALStore(t, dir, FsyncAlways)
@@ -219,15 +242,8 @@ func TestWALRecoveryAfterCheckpoint(t *testing.T) {
 // and recovery replays only the tail.
 func TestWALCheckpointTruncatesLog(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(filepath.Join(dir, "store.odb"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	s.SetSaveDelay(time.Hour)
 	// Tiny segments so commits rotate often.
-	if err := s.EnableWAL(WALConfig{Policy: FsyncOff, SegmentBytes: 512}); err != nil {
-		t.Fatal(err)
-	}
+	s := openWALStoreCfg(t, dir, WALConfig{Policy: FsyncOff, SegmentBytes: 512})
 	d, err := s.Init("prot", protCols(), InitOptions{})
 	if err != nil {
 		t.Fatal(err)
